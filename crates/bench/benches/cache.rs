@@ -1,0 +1,62 @@
+//! Criterion benches for the storage substrates: NVMe cache hit/miss/
+//! eviction paths, PFS accounting, and synthetic-content generation.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftc_storage::{synth_bytes, NvmeCache, Pfs};
+use std::hint::black_box;
+
+fn nvme_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nvme_cache");
+    let cache = NvmeCache::unbounded();
+    for i in 0..10_000 {
+        cache.insert(&format!("k{i}"), Bytes::from_static(&[0u8; 64]));
+    }
+    g.bench_function("hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            black_box(cache.get(&format!("k{i}")))
+        });
+    });
+    g.bench_function("miss", |b| {
+        b.iter(|| black_box(cache.get("absent")));
+    });
+    g.bench_function("insert_with_eviction", |b| {
+        let small = NvmeCache::new(64 * 100); // holds 100 entries
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(small.insert(&format!("k{i}"), Bytes::from_static(&[0u8; 64])))
+        });
+    });
+    g.finish();
+}
+
+fn pfs_read_accounting(c: &mut Criterion) {
+    let pfs = Pfs::in_memory();
+    for i in 0..1000 {
+        pfs.stage(&format!("f{i}"), Bytes::from_static(&[0u8; 256]));
+    }
+    c.bench_function("pfs_read_counted", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1000;
+            black_box(pfs.read(&format!("f{i}")))
+        });
+    });
+}
+
+fn synth_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synth_bytes");
+    g.bench_function("2_2MB_sample", |b| {
+        b.iter(|| black_box(synth_bytes("train/sample_0000001.tfrecord", 2_200_000)));
+    });
+    g.bench_function("64B_control", |b| {
+        b.iter(|| black_box(synth_bytes("x", 64)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, nvme_paths, pfs_read_accounting, synth_generation);
+criterion_main!(benches);

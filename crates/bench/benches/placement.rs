@@ -1,0 +1,61 @@
+//! Criterion benches comparing every placement strategy's lookup cost —
+//! the other half of the §IV-B trade-off (the ring's O(log T) vs
+//! rendezvous's O(N) vs modulo's O(1)).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftc_hashring::{
+    HashRing, ModuloPlacement, MultiHashPlacement, Placement, RangePartition, RebalanceMode,
+    RendezvousPlacement,
+};
+use std::hint::black_box;
+
+fn lookup_all_strategies(c: &mut Criterion) {
+    let strategies: Vec<(&str, Box<dyn Placement>)> = vec![
+        ("hash-ring-100", Box::new(HashRing::with_nodes(1024, 100))),
+        ("modulo", Box::new(ModuloPlacement::with_nodes(1024))),
+        ("multi-hash", Box::new(MultiHashPlacement::with_nodes(1024))),
+        (
+            "range-merge",
+            Box::new(RangePartition::with_nodes(1024, RebalanceMode::MergeNeighbor)),
+        ),
+        ("rendezvous", Box::new(RendezvousPlacement::with_nodes(1024))),
+    ];
+    let keys: Vec<String> = (0..1000)
+        .map(|i| format!("train/sample_{i:07}.tfrecord"))
+        .collect();
+    let mut g = c.benchmark_group("placement_lookup_1024");
+    for (name, s) in &strategies {
+        g.bench_function(*name, |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                black_box(s.owner(&keys[i]))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn multihash_degradation(c: &mut Criterion) {
+    // Lookup cost after 0 / 256 / 512 accumulated failures — the
+    // scalability problem §IV-B raises against the multi-hash scheme.
+    let mut g = c.benchmark_group("multihash_lookup_after_failures");
+    for dead in [0u32, 256, 512] {
+        let mut p = MultiHashPlacement::with_nodes(1024);
+        for i in 0..dead {
+            p.remove_node(ftc_hashring::NodeId(i)).unwrap();
+        }
+        let keys: Vec<String> = (0..1000).map(|i| format!("k{i}")).collect();
+        g.bench_function(format!("{dead}_dead"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                black_box(p.owner(&keys[i]))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, lookup_all_strategies, multihash_degradation);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benches for the hash ring: lookup cost vs virtual-node
+//! count (the §IV-B memory/latency trade-off behind Fig. 6(b)), ring
+//! construction, and failover redistribution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftc_hashring::{hash::key_hash, HashRing, NodeId, Placement};
+use std::hint::black_box;
+
+fn ring_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_lookup");
+    for vnodes in [10u32, 100, 1000] {
+        let ring = HashRing::with_nodes(1024, vnodes);
+        let keys: Vec<String> = (0..1000)
+            .map(|i| format!("train/sample_{i:07}.tfrecord"))
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(vnodes), &vnodes, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                black_box(ring.owner(&keys[i]))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn ring_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_build_1024_nodes");
+    g.sample_size(10);
+    for vnodes in [10u32, 100, 500] {
+        g.bench_with_input(BenchmarkId::from_parameter(vnodes), &vnodes, |b, &v| {
+            b.iter(|| black_box(HashRing::with_nodes(1024, v)));
+        });
+    }
+    g.finish();
+}
+
+fn ring_failover(c: &mut Criterion) {
+    let ring = HashRing::with_nodes(1024, 100);
+    let hashes: Vec<u64> = (0..524_288u32)
+        .map(|i| key_hash(&format!("train/sample_{i:07}.tfrecord")))
+        .collect();
+    let lost: Vec<u64> = hashes
+        .iter()
+        .copied()
+        .filter(|&h| ring.owner_of_hash(h) == Some(NodeId(7)))
+        .collect();
+    let mut g = c.benchmark_group("ring_failover_distribution");
+    g.sample_size(20);
+    g.bench_function("one_node_524k_files", |b| {
+        b.iter(|| black_box(ring.failover_distribution(NodeId(7), lost.iter().copied())));
+    });
+    g.finish();
+}
+
+fn ring_membership(c: &mut Criterion) {
+    c.bench_function("ring_remove_and_rejoin", |b| {
+        let mut ring = HashRing::with_nodes(1024, 100);
+        b.iter(|| {
+            ring.remove_node(NodeId(3)).unwrap();
+            ring.add_node(NodeId(3)).unwrap();
+        });
+    });
+}
+
+criterion_group!(benches, ring_lookup, ring_build, ring_failover, ring_membership);
+criterion_main!(benches);

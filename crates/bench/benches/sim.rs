@@ -1,0 +1,55 @@
+//! Criterion meso-benchmarks: full simulated training runs per policy —
+//! the engine that regenerates Figures 5 and 6(a). Also measures the
+//! Fig. 6(b) redistribution simulation at paper scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftc_core::FtPolicy;
+use ftc_hashring::NodeId;
+use ftc_sim::{fig6b, FaultEvent, SimCalibration, SimCluster, SimWorkload};
+use std::hint::black_box;
+
+fn simulated_training(c: &mut Criterion) {
+    let workload = SimWorkload {
+        samples: 8192,
+        sample_bytes: 2_200_000,
+        epochs: 5,
+        seed: 3,
+        time_compression: 64,
+    };
+    let cal = SimCalibration::frontier();
+    let fault = [FaultEvent {
+        epoch: 1,
+        step: 0,
+        node: NodeId(5),
+    }];
+    let mut g = c.benchmark_group("sim_train_64n_8k_samples");
+    g.sample_size(10);
+    for policy in [FtPolicy::NoFt, FtPolicy::PfsRedirect, FtPolicy::RingRecache] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &policy,
+            |b, &p| {
+                b.iter(|| {
+                    let faults: &[FaultEvent] = if p == FtPolicy::NoFt { &[] } else { &fault };
+                    black_box(
+                        SimCluster::new(64, p, workload.samples, cal.clone())
+                            .run(workload, faults),
+                    )
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig6b_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6b_redistribution");
+    g.sample_size(10);
+    g.bench_function("1024n_100v_50trials", |b| {
+        b.iter(|| black_box(fig6b(&[100], 1024, 65_536, 50, 9)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, simulated_training, fig6b_simulation);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benches for the Table I / Fig 1–2 analysis pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftc_slurm::{by_node_count, census, weekly_elapsed, TraceConfig, TraceGenerator};
+use std::hint::black_box;
+
+fn generate_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slurm_trace");
+    g.sample_size(10);
+    g.bench_function("generate_196k_jobs", |b| {
+        b.iter(|| black_box(TraceGenerator::frontier().generate()));
+    });
+    g.finish();
+}
+
+fn analyze_trace(c: &mut Criterion) {
+    // Smaller trace for per-analysis timing.
+    let cfg = TraceConfig {
+        total_jobs: 20_000,
+        cancelled_jobs: 1_500,
+        ..TraceConfig::default()
+    };
+    let trace = TraceGenerator::new(cfg).generate();
+    let mut g = c.benchmark_group("slurm_analysis_20k");
+    g.bench_function("census", |b| b.iter(|| black_box(census(&trace))));
+    g.bench_function("weekly_elapsed", |b| {
+        b.iter(|| black_box(weekly_elapsed(&trace, 27)))
+    });
+    g.bench_function("by_node_count", |b| b.iter(|| black_box(by_node_count(&trace))));
+    g.finish();
+}
+
+criterion_group!(benches, generate_trace, analyze_trace);
+criterion_main!(benches);

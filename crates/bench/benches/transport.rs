@@ -1,0 +1,67 @@
+//! Criterion benches for the RPC substrate and the full cache read path
+//! through a live threaded server.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftc_core::{CacheNet, CacheRequest, CacheResponse, ServerHandle};
+use ftc_hashring::NodeId;
+use ftc_net::Network;
+use ftc_storage::{synth_bytes, Pfs};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn rpc_round_trip(c: &mut Criterion) {
+    let net: Network<String, String> = Network::instant(1);
+    let mbox = net.register(NodeId(0));
+    std::thread::spawn(move || {
+        while let Some(inc) = mbox.recv() {
+            inc.reply("ok".into());
+        }
+    });
+    let ep = net.endpoint(NodeId(1));
+    c.bench_function("rpc_round_trip", |b| {
+        b.iter(|| black_box(ep.call(NodeId(0), "ping".into(), Duration::from_secs(1)).unwrap()));
+    });
+}
+
+fn cached_read_path(c: &mut Criterion) {
+    let net: CacheNet = Network::instant(2);
+    let pfs = Arc::new(Pfs::in_memory());
+    for i in 0..100 {
+        let p = format!("train/s{i}.bin");
+        pfs.stage(&p, synth_bytes(&p, 4096));
+    }
+    let _h = ServerHandle::spawn(NodeId(0), &net, pfs, u64::MAX);
+    let ep = net.endpoint(NodeId(1));
+    // Warm the cache.
+    for i in 0..100 {
+        ep.call(
+            NodeId(0),
+            CacheRequest::Read {
+                path: format!("train/s{i}.bin"),
+            },
+            Duration::from_secs(1),
+        )
+        .unwrap();
+    }
+    c.bench_function("server_read_nvme_hit_4k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 100;
+            let r = ep
+                .call(
+                    NodeId(0),
+                    CacheRequest::Read {
+                        path: format!("train/s{i}.bin"),
+                    },
+                    Duration::from_secs(1),
+                )
+                .unwrap();
+            assert!(matches!(r, CacheResponse::Data { .. }));
+            black_box(r)
+        });
+    });
+}
+
+criterion_group!(benches, rpc_round_trip, cached_read_path);
+criterion_main!(benches);

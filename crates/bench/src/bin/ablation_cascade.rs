@@ -1,0 +1,50 @@
+//! Ablation — cascading failures: how training time and PFS traffic grow
+//! as N−1, N−2, … nodes die during one run, per policy.
+//!
+//! `cargo run -p ftc-bench --release --bin ablation_cascade [--nodes 64] [--scale 64]`
+
+use ftc_bench::{arg_or, fmt_mmss};
+use ftc_core::FtPolicy;
+use ftc_hashring::NodeId;
+use ftc_sim::{FaultEvent, SimCalibration, SimCluster, SimWorkload};
+
+fn main() {
+    let nodes: u32 = arg_or("--nodes", 64);
+    let scale: u32 = arg_or("--scale", 64);
+    let workload = SimWorkload::cosmoflow(scale);
+    let cal = SimCalibration::frontier();
+
+    ftc_bench::header(&format!(
+        "Ablation — cascading failures at {nodes} nodes ({} samples, {} epochs)",
+        workload.samples, workload.epochs
+    ));
+    println!(
+        "{:>9} {:>14} {:>14} {:>12} {:>12}",
+        "failures", "FT w/ PFS", "FT w/ NVMe", "PFS reads", "ring reads"
+    );
+    for k in 0..=4u32 {
+        // k failures, one per epoch starting at epoch 1, victims 0..k.
+        let faults: Vec<FaultEvent> = (0..k)
+            .map(|i| FaultEvent {
+                epoch: 1 + (i % (workload.epochs - 1)),
+                step: 0,
+                node: NodeId(i),
+            })
+            .collect();
+        let pfs = SimCluster::new(nodes, FtPolicy::PfsRedirect, workload.samples, cal.clone())
+            .run(workload, &faults);
+        let ring = SimCluster::new(nodes, FtPolicy::RingRecache, workload.samples, cal.clone())
+            .run(workload, &faults);
+        println!(
+            "{:>9} {:>14} {:>14} {:>12} {:>12}",
+            k,
+            fmt_mmss(pfs.total_s),
+            fmt_mmss(ring.total_s),
+            pfs.pfs_reads,
+            ring.pfs_reads,
+        );
+    }
+    println!(
+        "\n[the ring's advantage compounds: each additional failure adds a one-time\n recache burst instead of a permanent per-epoch PFS tax]"
+    );
+}

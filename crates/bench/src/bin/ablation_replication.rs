@@ -1,0 +1,49 @@
+//! Ablation — write-through replication (the "no-PFS-fallback" extension):
+//! post-failure PFS traffic and NVMe footprint at replication factor 1
+//! (the paper's design) vs 2 and 3, on a live threaded cluster.
+//!
+//! `cargo run -p ftc-bench --release --bin ablation_replication`
+
+use ftc_core::{Cluster, ClusterConfig, FtPolicy};
+use ftc_hashring::NodeId;
+
+fn run_factor(replication: u32) -> (u64, u64, u64) {
+    let mut cfg = ClusterConfig::small(5, FtPolicy::RingRecache);
+    cfg.ft.replication = replication;
+    let cluster = Cluster::start(cfg);
+    let paths = cluster.stage_dataset("train", 60, 1024);
+    let client = cluster.client(0);
+    for p in &paths {
+        client.read(p).unwrap();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    let footprint = cluster.metrics().total_resident_bytes();
+
+    cluster.kill(NodeId(2));
+    cluster.pfs().reset_read_counters();
+    for _ in 0..3 {
+        for p in &paths {
+            client.read(p).unwrap();
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    let post_failure_pfs = cluster.pfs().total_reads();
+    let replicas = cluster.metrics().clients.replicas_written;
+    cluster.shutdown();
+    (post_failure_pfs, footprint, replicas)
+}
+
+fn main() {
+    ftc_bench::header("Ablation — replication factor vs post-failure PFS traffic");
+    println!(
+        "{:>12} {:>20} {:>18} {:>16}",
+        "replication", "post-failure PFS", "NVMe bytes (warm)", "replicas pushed"
+    );
+    for k in [1u32, 2, 3] {
+        let (pfs, bytes, replicas) = run_factor(k);
+        println!("{:>12} {:>20} {:>18} {:>16}", k, pfs, bytes, replicas);
+    }
+    println!(
+        "\n[k=1 is the paper's design: one cache copy, PFS as fallback (recache burst on\n failure). k>=2 removes the burst entirely at the cost of k x NVMe footprint —\n the trade-off the paper's conclusion hints at for future work]"
+    );
+}

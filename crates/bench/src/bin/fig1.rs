@@ -1,0 +1,14 @@
+//! Figure 1 — average elapsed time of failed jobs per week, 27 weeks.
+//!
+//! `cargo run -p ftc-bench --release --bin fig1`
+
+use ftc_slurm::{overall_mean_elapsed, render::render_fig1, weekly_elapsed, TraceGenerator};
+
+fn main() {
+    ftc_bench::header("Fig 1 — weekly mean elapsed-before-failure (synthetic trace)");
+    let gen = TraceGenerator::frontier();
+    let weeks = gen.config().weeks;
+    let trace = gen.generate();
+    let rows = weekly_elapsed(&trace, weeks);
+    print!("{}", render_fig1(&rows, overall_mean_elapsed(&trace)));
+}

@@ -1,0 +1,17 @@
+//! Figure 2 — failure-type distribution by (a) node count, (b) elapsed
+//! time.
+//!
+//! `cargo run -p ftc-bench --release --bin fig2`
+
+use ftc_slurm::{by_elapsed, by_node_count, render::render_fig2, TraceGenerator};
+
+fn main() {
+    ftc_bench::header("Fig 2 — failure-type distribution (synthetic trace)");
+    let trace = TraceGenerator::frontier().generate();
+    print!("{}", render_fig2(&by_node_count(&trace), "node count"));
+    println!(
+        "[paper: in 7750-9300 nodes, NODE_FAIL = 46.04%, NODE_FAIL+TIMEOUT = 78.60%]\n"
+    );
+    print!("{}", render_fig2(&by_elapsed(&trace), "elapsed (min)"));
+    println!("[paper: elapsed time does not significantly affect the failure-type mix]");
+}

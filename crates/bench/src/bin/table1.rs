@@ -1,0 +1,20 @@
+//! Table I — analysis of job failures on Frontier over six months.
+//!
+//! Generates the calibrated synthetic `sacct` trace and runs the census,
+//! printing measured ratios next to the paper's published values.
+//!
+//! `cargo run -p ftc-bench --release --bin table1`
+
+use ftc_slurm::{census, render::render_table1, TraceGenerator};
+
+fn main() {
+    ftc_bench::header("Table I — job-failure census (synthetic trace calibrated to Frontier)");
+    let trace = TraceGenerator::frontier().generate();
+    let c = census(&trace);
+    print!("{}", render_table1(&c));
+    println!();
+    println!(
+        "Node Fail + Timeout = {:.2}% of failures  [paper: ~47.5%, \"about half\"]",
+        100.0 * c.node_failure_share()
+    );
+}

@@ -1,0 +1,46 @@
+//! Table II — Frontier compute-node specification, as encoded in the
+//! calibration that every simulated experiment consumes.
+//!
+//! `cargo run -p ftc-bench --release --bin table2`
+
+use ftc_sim::SimCalibration;
+use ftc_storage::frontier_node;
+
+fn main() {
+    ftc_bench::header("Table II — Frontier node specification (calibration echo)");
+    let n = frontier_node();
+    println!("{:<22} Frontier", "Supercomputer");
+    println!("{:<22} {}", "CPU", n.cpu);
+    println!("{:<22} {}", "GPU", n.gpu);
+    println!("{:<22} {} GiB DDR4", "Memory Capacity", n.memory_gib);
+    println!("{:<22} {}", "Node-local Storage", n.node_local_storage);
+    println!(
+        "{:<22} {:.1} TB usable, {:.0} GB/s read / {:.0} GB/s write",
+        "Derived NVMe volume",
+        n.nvme_capacity_bytes as f64 / 1e12,
+        n.nvme.read_bps / 1e9,
+        n.nvme.write_bps / 1e9,
+    );
+    println!();
+    let cal = SimCalibration::frontier();
+    println!("Simulation calibration derived from it:");
+    println!(
+        "  NVMe op latency {:.0} µs | net {:.0} µs + {:.0} GB/s | PFS {:.0} GB/s agg, {:.0} ms metadata (x(1+N/{:.0}) under load)",
+        cal.nvme.op_lat_s * 1e6,
+        cal.net.base_s * 1e6,
+        cal.net.bandwidth_bps / 1e9,
+        cal.pfs.agg_bandwidth_bps / 1e9,
+        cal.pfs.metadata_lat_s * 1e3,
+        cal.pfs_meta_clients_scale,
+    );
+    println!(
+        "  compute/step {:.0} ms | allreduce {:.0}·log2(N)+{:.0} ms | TTL {:.1} s x{} | resume {:.0} s | vnodes {}",
+        cal.compute_per_step_s * 1e3,
+        cal.allreduce_alpha_s * 1e3,
+        cal.allreduce_beta_s * 1e3,
+        cal.ttl_s,
+        cal.timeout_limit,
+        cal.resume_overhead_s,
+        cal.vnodes,
+    );
+}

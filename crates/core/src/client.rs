@@ -1,0 +1,640 @@
+//! The FT-Cache client — the `LD_PRELOAD` shim's brain.
+//!
+//! Each training process holds one client. A read maps the file path to
+//! its owner via the placement structure, issues the RPC, and feeds the
+//! failure detector with the outcome. What happens when the detector
+//! declares the owner dead is the [`FtPolicy`]:
+//!
+//! * **NoFT** — propagate the failure; the job dies (baseline HVAC).
+//! * **FT w/ PFS** (§IV-A) — remember the node is dead; this and all
+//!   future reads of its keys go straight to the PFS.
+//! * **FT w/ NVMe** (§IV-B) — remove the node from the hash ring and
+//!   retry: the clockwise successor now owns the key, recaching it from
+//!   the PFS on first miss.
+//!
+//! During the suspect window (timeouts seen but below `TIMEOUT_LIMIT`),
+//! fault-tolerant policies redirect *the affected request* to the PFS so
+//! training never stalls on detection, mirroring the artifact's client.
+
+use crate::detector::{FailureDetector, Verdict};
+use crate::metrics::ClientMetrics;
+use crate::policy::{FtConfig, FtPolicy};
+use crate::proto::{CacheRequest, CacheResponse, ServeSource};
+use crate::server::CacheNet;
+use bytes::Bytes;
+use ftc_hashring::{NodeId, Placement};
+use ftc_net::Endpoint;
+use ftc_storage::Pfs;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a read could not be satisfied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// A server failed and the policy (NoFT) does not tolerate it — the
+    /// training job aborts, as the baseline does in Fig. 5(b).
+    NodeFailed(NodeId),
+    /// The file exists neither in any cache nor on the PFS.
+    NotFound(String),
+    /// No live node remains in the placement.
+    NoLiveNodes,
+    /// Retries exhausted without an answer (pathological churn).
+    Exhausted(String),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::NodeFailed(n) => write!(f, "node {n} failed and policy is NoFT"),
+            ReadError::NotFound(p) => write!(f, "file not found: {p}"),
+            ReadError::NoLiveNodes => write!(f, "no live nodes remain"),
+            ReadError::Exhausted(p) => write!(f, "retries exhausted reading {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// A successful read plus provenance, for callers that care where bytes
+/// came from (benches and tests mostly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// The file contents.
+    pub bytes: Bytes,
+    /// Which path produced them.
+    pub via: ReadVia,
+}
+
+/// Provenance of a completed read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadVia {
+    /// A server's NVMe (local or remote to the reader — locality is the
+    /// server's business).
+    ServerNvme(NodeId),
+    /// A server fetched it from the PFS (miss/recache path).
+    ServerPfsFetch(NodeId),
+    /// The client read the PFS directly (redirect policy or suspect
+    /// window).
+    DirectPfs,
+}
+
+/// The FT-Cache client for one training process.
+pub struct HvacClient {
+    me: NodeId,
+    endpoint: Endpoint<CacheRequest, CacheResponse>,
+    placement: Mutex<Box<dyn Placement + Send>>,
+    detector: Mutex<FailureDetector>,
+    config: FtConfig,
+    pfs: Arc<Pfs>,
+    metrics: Arc<ClientMetrics>,
+}
+
+impl HvacClient {
+    /// Build a client for rank `me` over `server_count` nodes.
+    pub fn new(
+        me: NodeId,
+        net: &CacheNet,
+        pfs: Arc<Pfs>,
+        server_count: u32,
+        config: FtConfig,
+    ) -> Self {
+        HvacClient {
+            me,
+            endpoint: net.endpoint(me),
+            placement: Mutex::new(config.placement.build(server_count)),
+            detector: Mutex::new(FailureDetector::new(config.detector)),
+            config,
+            pfs,
+            metrics: Arc::new(ClientMetrics::default()),
+        }
+    }
+
+    /// This client's rank/node id.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> FtPolicy {
+        self.config.policy
+    }
+
+    /// Shared metrics handle.
+    pub fn metrics(&self) -> Arc<ClientMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Nodes this client's detector has declared failed.
+    pub fn failed_nodes(&self) -> Vec<NodeId> {
+        self.detector.lock().failed_nodes()
+    }
+
+    /// Nodes the placement still routes to.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        self.placement.lock().live_nodes()
+    }
+
+    /// The current owner of `path` under this client's placement view.
+    pub fn owner_of(&self, path: &str) -> Option<NodeId> {
+        self.placement.lock().owner(path)
+    }
+
+    /// Read a file through the fault-tolerant cache.
+    pub fn read(&self, path: &str) -> Result<Bytes, ReadError> {
+        self.read_traced(path).map(|o| o.bytes)
+    }
+
+    /// Read with provenance.
+    pub fn read_traced(&self, path: &str) -> Result<ReadOutcome, ReadError> {
+        let ttl = self.config.detector.ttl;
+        // Each retry follows either a node removal or a suspect redirect,
+        // so this bound is generous; it exists to make livelock impossible.
+        let max_attempts =
+            (self.placement.lock().len() as u32 + 2) * self.config.detector.timeout_limit + 4;
+
+        for _ in 0..max_attempts {
+            let owner = match self.placement.lock().owner(path) {
+                Some(n) => n,
+                None => return Err(ReadError::NoLiveNodes),
+            };
+
+            // PFS-redirect keeps its static placement: keys of dead owners
+            // divert here forever.
+            if self.config.policy == FtPolicy::PfsRedirect && self.detector.lock().is_failed(owner)
+            {
+                return self.read_pfs_direct(path);
+            }
+
+            match self.endpoint.call(
+                owner,
+                CacheRequest::Read {
+                    path: path.to_owned(),
+                },
+                ttl,
+            ) {
+                Ok(CacheResponse::Data { bytes, source, .. }) => {
+                    self.detector.lock().record_success(owner);
+                    ClientMetrics::inc(&self.metrics.reads_ok);
+                    ClientMetrics::add(&self.metrics.bytes_read, bytes.len() as u64);
+                    let via = match source {
+                        ServeSource::NvmeHit => {
+                            ClientMetrics::inc(&self.metrics.nvme_hits);
+                            ReadVia::ServerNvme(owner)
+                        }
+                        ServeSource::PfsFetch => {
+                            ClientMetrics::inc(&self.metrics.pfs_fetches_via_server);
+                            // Write-through replication: the file just
+                            // entered the cache tier; push copies to the
+                            // ring successors so even the owner's failure
+                            // needs no PFS fallback.
+                            if self.config.replication > 1 {
+                                self.replicate(path, &bytes, owner);
+                            }
+                            ReadVia::ServerPfsFetch(owner)
+                        }
+                    };
+                    return Ok(ReadOutcome { bytes, via });
+                }
+                Ok(CacheResponse::NotFound { .. }) => {
+                    self.detector.lock().record_success(owner);
+                    return Err(ReadError::NotFound(path.to_owned()));
+                }
+                Ok(CacheResponse::Pong) | Ok(CacheResponse::PutAck { .. }) => {
+                    // Protocol confusion; count as a retry and try again.
+                    ClientMetrics::inc(&self.metrics.retries);
+                    continue;
+                }
+                Err(e) if e.indicates_failure() => {
+                    ClientMetrics::inc(&self.metrics.rpc_timeouts);
+                    let verdict = self.detector.lock().record_timeout(owner);
+                    match self.config.policy {
+                        FtPolicy::NoFt => return Err(ReadError::NodeFailed(owner)),
+                        FtPolicy::PfsRedirect => {
+                            if verdict == Verdict::JustFailed {
+                                ClientMetrics::inc(&self.metrics.nodes_declared_failed);
+                            }
+                            // Whether suspect or declared: this request is
+                            // redirected now (§IV-A operational flow ③).
+                            return self.read_pfs_direct(path);
+                        }
+                        FtPolicy::RingRecache => match verdict {
+                            Verdict::JustFailed | Verdict::AlreadyFailed => {
+                                let mut p = self.placement.lock();
+                                if p.contains(owner) {
+                                    let _ = p.remove_node(owner);
+                                }
+                                if verdict == Verdict::JustFailed {
+                                    ClientMetrics::inc(&self.metrics.nodes_declared_failed);
+                                }
+                                ClientMetrics::inc(&self.metrics.retries);
+                                continue; // new clockwise owner serves it
+                            }
+                            Verdict::Suspect { .. } => {
+                                // Keep training moving during the
+                                // detection window without paying another
+                                // TTL on the same node.
+                                return self.read_pfs_direct(path);
+                            }
+                        },
+                    }
+                }
+                Err(_) => {
+                    // UnknownNode / local shutdown: not a liveness signal.
+                    ClientMetrics::inc(&self.metrics.retries);
+                    return self.read_pfs_direct(path);
+                }
+            }
+        }
+        Err(ReadError::Exhausted(path.to_owned()))
+    }
+
+    /// Declare a node failed out-of-band (e.g. the scheduler told us) and
+    /// apply the policy's membership consequence immediately.
+    pub fn mark_failed(&self, node: NodeId) {
+        self.detector.lock().mark_failed(node);
+        if self.config.policy == FtPolicy::RingRecache {
+            let mut p = self.placement.lock();
+            if p.contains(node) {
+                let _ = p.remove_node(node);
+            }
+        }
+    }
+
+    /// Elastic grow-back: re-admit a repaired node to the placement and
+    /// clear its failed flag. Under RingRecache the ring re-add restores
+    /// the node's original arcs, so its keys route back to it (and its
+    /// cold cache refills through the ordinary miss path).
+    pub fn readmit(&self, node: NodeId) {
+        self.detector.lock().clear_failed(node);
+        let mut p = self.placement.lock();
+        if !p.contains(node) {
+            let _ = p.add_node(node);
+        }
+    }
+
+    /// Push `bytes` to the next `replication - 1` ring successors of
+    /// `path` (best effort: a failed put costs nothing but the attempt —
+    /// the PFS remains the fallback of last resort).
+    fn replicate(&self, path: &str, bytes: &Bytes, owner: NodeId) {
+        let ttl = self.config.detector.ttl;
+        let successors = self
+            .placement
+            .lock()
+            .successors(path, self.config.replication as usize);
+        for node in successors.into_iter().filter(|&n| n != owner) {
+            let ok = self
+                .endpoint
+                .call(
+                    node,
+                    CacheRequest::Put {
+                        path: path.to_owned(),
+                        bytes: bytes.clone(),
+                    },
+                    ttl,
+                )
+                .is_ok();
+            if ok {
+                ClientMetrics::inc(&self.metrics.replicas_written);
+            }
+        }
+    }
+
+    fn read_pfs_direct(&self, path: &str) -> Result<ReadOutcome, ReadError> {
+        match self.pfs.read(path) {
+            Some(bytes) => {
+                ClientMetrics::inc(&self.metrics.reads_ok);
+                ClientMetrics::inc(&self.metrics.pfs_direct_reads);
+                ClientMetrics::add(&self.metrics.bytes_read, bytes.len() as u64);
+                Ok(ReadOutcome {
+                    bytes,
+                    via: ReadVia::DirectPfs,
+                })
+            }
+            None => Err(ReadError::NotFound(path.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::DetectorConfig;
+    use crate::policy::PlacementKind;
+    use crate::server::ServerHandle;
+    use ftc_net::Network;
+    use ftc_storage::synth_bytes;
+    use std::time::Duration;
+
+    const FILE_SIZE: usize = 64;
+
+    struct Rig {
+        net: CacheNet,
+        pfs: Arc<Pfs>,
+        servers: Vec<ServerHandle>,
+    }
+
+    fn rig(nodes: u32, files: usize) -> Rig {
+        let net: CacheNet = Network::instant(99);
+        let pfs = Arc::new(Pfs::in_memory());
+        for i in 0..files {
+            let p = format!("train/s{i}.bin");
+            pfs.stage(&p, synth_bytes(&p, FILE_SIZE));
+        }
+        let servers = (0..nodes)
+            .map(|i| ServerHandle::spawn(NodeId(i), &net, Arc::clone(&pfs), u64::MAX))
+            .collect();
+        Rig { net, pfs, servers }
+    }
+
+    fn fast_config(policy: FtPolicy) -> FtConfig {
+        FtConfig {
+            policy,
+            placement: PlacementKind::default_for(policy),
+            detector: DetectorConfig {
+                ttl: Duration::from_millis(25),
+                timeout_limit: 2,
+            },
+            replication: 1,
+        }
+    }
+
+    fn client(r: &Rig, policy: FtPolicy) -> HvacClient {
+        HvacClient::new(
+            NodeId(100),
+            &r.net,
+            Arc::clone(&r.pfs),
+            r.servers.len() as u32,
+            fast_config(policy),
+        )
+    }
+
+    fn read_all(c: &HvacClient, files: usize) {
+        for i in 0..files {
+            let p = format!("train/s{i}.bin");
+            let bytes = c.read(&p).unwrap();
+            assert_eq!(bytes, synth_bytes(&p, FILE_SIZE), "corruption on {p}");
+        }
+    }
+
+    #[test]
+    fn healthy_reads_verify_for_all_policies() {
+        for policy in [FtPolicy::NoFt, FtPolicy::PfsRedirect, FtPolicy::RingRecache] {
+            let r = rig(4, 12);
+            let c = client(&r, policy);
+            read_all(&c, 12);
+            let m = c.metrics().snapshot();
+            assert_eq!(m.reads_ok, 12);
+            assert_eq!(m.rpc_timeouts, 0);
+            assert_eq!(m.pfs_direct_reads, 0);
+        }
+    }
+
+    #[test]
+    fn second_epoch_is_all_nvme_hits() {
+        let r = rig(4, 12);
+        let c = client(&r, FtPolicy::RingRecache);
+        read_all(&c, 12); // epoch 1: populates caches
+        // Wait for movers to land everything.
+        std::thread::sleep(Duration::from_millis(50));
+        let before = r.pfs.total_reads();
+        read_all(&c, 12); // epoch 2
+        assert_eq!(r.pfs.total_reads(), before, "epoch 2 must not touch PFS");
+        let m = c.metrics().snapshot();
+        assert!(m.nvme_hits >= 12);
+    }
+
+    #[test]
+    fn noft_aborts_on_failure() {
+        let r = rig(4, 12);
+        let c = client(&r, FtPolicy::NoFt);
+        read_all(&c, 12);
+        // Find a file owned by node 2, then kill node 2.
+        let victim_file = (0..12)
+            .map(|i| format!("train/s{i}.bin"))
+            .find(|p| c.owner_of(p) == Some(NodeId(2)))
+            .expect("some file on node 2");
+        r.net.kill(NodeId(2));
+        r.servers[2].request_stop();
+        assert_eq!(
+            c.read(&victim_file).unwrap_err(),
+            ReadError::NodeFailed(NodeId(2))
+        );
+    }
+
+    #[test]
+    fn pfs_redirect_survives_failure_with_pfs_traffic_every_epoch() {
+        let r = rig(4, 16);
+        let c = client(&r, FtPolicy::PfsRedirect);
+        read_all(&c, 16); // warm epoch
+        std::thread::sleep(Duration::from_millis(50));
+        let lost: Vec<String> = (0..16)
+            .map(|i| format!("train/s{i}.bin"))
+            .filter(|p| c.owner_of(p) == Some(NodeId(1)))
+            .collect();
+        assert!(!lost.is_empty());
+        r.net.kill(NodeId(1));
+        r.servers[1].request_stop();
+        r.pfs.reset_read_counters();
+
+        read_all(&c, 16); // epoch after failure
+        read_all(&c, 16); // and another
+        for p in &lost {
+            assert_eq!(
+                r.pfs.reads_of(p),
+                2,
+                "redirect must hit PFS once per epoch for {p}"
+            );
+        }
+        assert!(c.failed_nodes().contains(&NodeId(1)));
+        // Static placement still names the dead node as owner.
+        assert_eq!(c.owner_of(&lost[0]), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn ring_recache_pays_pfs_once_per_lost_file() {
+        let r = rig(4, 16);
+        let c = client(&r, FtPolicy::RingRecache);
+        read_all(&c, 16); // warm epoch
+        std::thread::sleep(Duration::from_millis(50));
+        let lost: Vec<String> = (0..16)
+            .map(|i| format!("train/s{i}.bin"))
+            .filter(|p| c.owner_of(p) == Some(NodeId(1)))
+            .collect();
+        assert!(!lost.is_empty());
+        r.net.kill(NodeId(1));
+        r.servers[1].request_stop();
+        r.pfs.reset_read_counters();
+
+        read_all(&c, 16); // failure epoch: detection + recache begins
+        read_all(&c, 16); // files read via direct-PFS during detection recache now
+        std::thread::sleep(Duration::from_millis(50));
+        // Detection itself may redirect up to (timeout_limit - 1) reads to
+        // the PFS before the node is declared failed; beyond that, each
+        // lost file costs exactly one recache fetch.
+        for p in &lost {
+            assert!(
+                r.pfs.reads_of(p) <= 2,
+                "at most suspect-redirect + recache for {p}"
+            );
+        }
+        assert!(
+            r.pfs.total_reads() <= lost.len() as u64 + 1,
+            "only lost files (plus the detection window) may be refetched: {} reads for {} lost",
+            r.pfs.total_reads(),
+            lost.len()
+        );
+
+        // Steady state: once recached, later epochs add zero PFS traffic.
+        r.pfs.reset_read_counters();
+        read_all(&c, 16);
+        read_all(&c, 16);
+        assert_eq!(
+            r.pfs.total_reads(),
+            0,
+            "post-recache epochs must be PFS-free"
+        );
+        // Ring no longer routes to the dead node.
+        assert!(!c.live_nodes().contains(&NodeId(1)));
+        for p in &lost {
+            assert_ne!(c.owner_of(p), Some(NodeId(1)));
+        }
+    }
+
+    #[test]
+    fn suspect_window_redirects_but_recovers() {
+        let r = rig(3, 6);
+        let c = client(&r, FtPolicy::RingRecache);
+        read_all(&c, 6);
+        // One transient drop: every message lost briefly.
+        r.net.set_drop_prob(1.0);
+        let p = "train/s0.bin";
+        let out = c.read_traced(p).unwrap();
+        assert_eq!(out.via, ReadVia::DirectPfs, "suspect window uses PFS");
+        r.net.set_drop_prob(0.0);
+        // Node must NOT have been declared failed by a single timeout
+        // (timeout_limit = 2).
+        assert!(c.failed_nodes().is_empty());
+        assert_eq!(c.live_nodes().len(), 3);
+        // And a healthy read resets the count.
+        let out = c.read_traced(p).unwrap();
+        assert!(matches!(out.via, ReadVia::ServerNvme(_) | ReadVia::ServerPfsFetch(_)));
+    }
+
+    #[test]
+    fn cascading_failures_leave_last_node_serving() {
+        let r = rig(4, 16);
+        let c = client(&r, FtPolicy::RingRecache);
+        read_all(&c, 16);
+        for dead in 0..3u32 {
+            r.net.kill(NodeId(dead));
+            r.servers[dead as usize].request_stop();
+            // Two passes: detection (timeout_limit = 2) needs at least two
+            // timed-out reads against the dead node.
+            read_all(&c, 16);
+            read_all(&c, 16);
+        }
+        assert_eq!(c.live_nodes(), vec![NodeId(3)]);
+        let m = c.metrics().snapshot();
+        assert_eq!(m.nodes_declared_failed, 3);
+    }
+
+    #[test]
+    fn all_nodes_dead_is_no_live_nodes() {
+        let r = rig(2, 4);
+        let c = client(&r, FtPolicy::RingRecache);
+        read_all(&c, 4);
+        for dead in 0..2u32 {
+            r.net.kill(NodeId(dead));
+            r.servers[dead as usize].request_stop();
+        }
+        // Reads keep succeeding (via retries/failover) until the ring is
+        // empty, then report NoLiveNodes.
+        let mut err = None;
+        for _ in 0..16 {
+            if let Err(e) = c.read("train/s0.bin") {
+                err = Some(e);
+                break;
+            }
+        }
+        assert_eq!(err, Some(ReadError::NoLiveNodes));
+    }
+
+    #[test]
+    fn missing_file_not_found() {
+        let r = rig(2, 2);
+        let c = client(&r, FtPolicy::RingRecache);
+        assert_eq!(
+            c.read("ghost.bin").unwrap_err(),
+            ReadError::NotFound("ghost.bin".into())
+        );
+    }
+
+    #[test]
+    fn mark_failed_and_readmit_roundtrip() {
+        let r = rig(4, 8);
+        let c = client(&r, FtPolicy::RingRecache);
+        let owners_before: Vec<_> = (0..8)
+            .map(|i| c.owner_of(&format!("train/s{i}.bin")))
+            .collect();
+        c.mark_failed(NodeId(2));
+        assert!(!c.live_nodes().contains(&NodeId(2)));
+        c.readmit(NodeId(2));
+        let owners_after: Vec<_> = (0..8)
+            .map(|i| c.owner_of(&format!("train/s{i}.bin")))
+            .collect();
+        assert_eq!(owners_before, owners_after, "rejoin restores placement");
+        read_all(&c, 8);
+    }
+
+    #[test]
+    fn replication_eliminates_post_failure_pfs_traffic() {
+        let r = rig(4, 16);
+        let mut cfg = fast_config(FtPolicy::RingRecache);
+        cfg.replication = 2;
+        let c = HvacClient::new(
+            NodeId(100),
+            &r.net,
+            Arc::clone(&r.pfs),
+            r.servers.len() as u32,
+            cfg,
+        );
+        read_all(&c, 16); // warm epoch: fetch + replicate to successors
+        std::thread::sleep(Duration::from_millis(60));
+        let m = c.metrics().snapshot();
+        assert_eq!(m.replicas_written, 16, "each file pushed to one successor");
+
+        r.net.kill(NodeId(1));
+        r.servers[1].request_stop();
+        // Detection passes (suspect windows may redirect a couple of reads).
+        read_all(&c, 16);
+        read_all(&c, 16);
+        r.pfs.reset_read_counters();
+        // Steady state: the successors already hold every lost file, so
+        // unlike plain RingRecache there is no recache burst at all.
+        read_all(&c, 16);
+        read_all(&c, 16);
+        assert_eq!(
+            r.pfs.total_reads(),
+            0,
+            "replication means zero PFS fallback after failure"
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            ReadError::NodeFailed(NodeId(1)).to_string(),
+            "node n1 failed and policy is NoFT"
+        );
+        assert_eq!(
+            ReadError::NotFound("x".into()).to_string(),
+            "file not found: x"
+        );
+        assert_eq!(ReadError::NoLiveNodes.to_string(), "no live nodes remain");
+        assert_eq!(
+            ReadError::Exhausted("y".into()).to_string(),
+            "retries exhausted reading y"
+        );
+    }
+}

@@ -1,0 +1,344 @@
+//! The threaded "real mode" cluster: one HVAC server thread per node, a
+//! shared PFS, and per-rank FT-Cache clients — the whole Fig. 3 topology
+//! in one process.
+//!
+//! This is the mode the integration tests and examples drive: real
+//! threads, real timeouts, real byte verification. Node failure is
+//! injected as in the paper's experiments ("disabling one or more nodes
+//! during runtime"): the fabric silences the node and its server thread is
+//! reclaimed, so clients observe only timeouts.
+
+use crate::client::HvacClient;
+use crate::metrics::ClusterMetrics;
+use crate::policy::{FtConfig, FtPolicy};
+use crate::server::{CacheNet, ServerHandle};
+use ftc_hashring::NodeId;
+use ftc_net::{LatencyModel, Network};
+use ftc_storage::{synth_bytes, NvmeCache, Pfs};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of compute nodes (server instances).
+    pub nodes: u32,
+    /// Fault-tolerance configuration applied to every client.
+    pub ft: FtConfig,
+    /// Per-node NVMe capacity in bytes.
+    pub nvme_capacity: u64,
+    /// Link model for the fabric.
+    pub latency: LatencyModel,
+    /// RNG seed for jitter/drop decisions.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A small fast-failing test cluster for the given policy.
+    pub fn small(nodes: u32, policy: FtPolicy) -> Self {
+        let mut ft = FtConfig::for_policy(policy);
+        ft.detector.ttl = Duration::from_millis(30);
+        ft.detector.timeout_limit = 2;
+        ClusterConfig {
+            nodes,
+            ft,
+            nvme_capacity: u64::MAX,
+            latency: LatencyModel::instant(),
+            seed: 42,
+        }
+    }
+}
+
+/// A running in-process cluster.
+pub struct Cluster {
+    config: ClusterConfig,
+    net: CacheNet,
+    pfs: Arc<Pfs>,
+    servers: Mutex<Vec<Option<ServerHandle>>>,
+    caches: Mutex<Vec<Arc<NvmeCache>>>,
+    clients: Mutex<Vec<Arc<HvacClient>>>,
+    killed: Mutex<HashSet<NodeId>>,
+    recache_counts: Mutex<Vec<(u64, u64)>>,
+}
+
+impl Cluster {
+    /// Boot all server threads.
+    pub fn start(config: ClusterConfig) -> Self {
+        let net: CacheNet = Network::new(config.latency, config.seed);
+        let pfs = Arc::new(Pfs::in_memory());
+        let mut servers = Vec::with_capacity(config.nodes as usize);
+        let mut caches = Vec::with_capacity(config.nodes as usize);
+        for i in 0..config.nodes {
+            let h = ServerHandle::spawn(NodeId(i), &net, Arc::clone(&pfs), config.nvme_capacity);
+            caches.push(h.cache());
+            servers.push(Some(h));
+        }
+        Cluster {
+            recache_counts: Mutex::new(vec![(0, 0); config.nodes as usize]),
+            config,
+            net,
+            pfs,
+            servers: Mutex::new(servers),
+            caches: Mutex::new(caches),
+            clients: Mutex::new(Vec::new()),
+            killed: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The shared PFS.
+    pub fn pfs(&self) -> &Arc<Pfs> {
+        &self.pfs
+    }
+
+    /// The fabric (for additional fault injection in tests).
+    pub fn network(&self) -> &CacheNet {
+        &self.net
+    }
+
+    /// Stage `count` synthetic files of `size` bytes onto the PFS under
+    /// `prefix`, returning their paths. This is the dataset-download step
+    /// of the artifact workflow.
+    pub fn stage_dataset(&self, prefix: &str, count: usize, size: usize) -> Vec<String> {
+        let mut paths = Vec::with_capacity(count);
+        for i in 0..count {
+            let p = format!("{prefix}/sample_{i:06}.tfrecord");
+            self.pfs.stage(&p, synth_bytes(&p, size));
+            paths.push(p);
+        }
+        paths
+    }
+
+    /// Create a client for training rank `rank`. Client node ids live in a
+    /// disjoint id space above the servers (rank r → id nodes + r) purely
+    /// for trace readability; clients are not servers.
+    pub fn client(&self, rank: u32) -> Arc<HvacClient> {
+        let c = Arc::new(HvacClient::new(
+            NodeId(self.config.nodes + rank),
+            &self.net,
+            Arc::clone(&self.pfs),
+            self.config.nodes,
+            self.config.ft,
+        ));
+        self.clients.lock().push(Arc::clone(&c));
+        c
+    }
+
+    /// Kill a node the way the paper does: it stops responding with no
+    /// notification. Safe to call twice.
+    pub fn kill(&self, node: NodeId) {
+        let mut killed = self.killed.lock();
+        if !killed.insert(node) {
+            return;
+        }
+        self.net.kill(node);
+        // Reclaim the thread; record its mover totals first so cluster
+        // metrics stay complete after the handle is gone.
+        if let Some(h) = self
+            .servers
+            .lock()
+            .get_mut(node.index())
+            .and_then(Option::take)
+        {
+            if let Some(server) = h.shutdown() {
+                let mut rc = self.recache_counts.lock();
+                rc[node.index()] = (server.files_recached(), server.recached_bytes());
+            }
+        }
+    }
+
+    /// Repair and rejoin a previously killed node (elastic grow-back).
+    /// The node returns with a *cold* cache, as a re-provisioned node
+    /// would.
+    pub fn revive(&self, node: NodeId) {
+        let mut killed = self.killed.lock();
+        if !killed.remove(&node) {
+            return;
+        }
+        self.net.revive(node);
+        let h = ServerHandle::spawn(node, &self.net, Arc::clone(&self.pfs), self.config.nvme_capacity);
+        // The revived server has a fresh, cold cache; point metrics at it.
+        self.caches.lock()[node.index()] = h.cache();
+        self.servers.lock()[node.index()] = Some(h);
+        for c in self.clients.lock().iter() {
+            c.readmit(node);
+        }
+    }
+
+    /// Nodes currently killed.
+    pub fn killed_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.killed.lock().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whole-cluster metrics: client counters + per-node cache stats +
+    /// PFS totals + recache totals.
+    pub fn metrics(&self) -> ClusterMetrics {
+        let clients = self
+            .clients
+            .lock()
+            .iter()
+            .map(|c| c.metrics().snapshot())
+            .fold(Default::default(), |acc: crate::metrics::ClientMetricsSnapshot, s| {
+                acc.merge(&s)
+            });
+        let nvme_per_node = self.caches.lock().iter().map(|c| c.stats()).collect();
+        let (mut files_recached, mut recached_bytes) = (0u64, 0u64);
+        {
+            let servers = self.servers.lock();
+            let rc = self.recache_counts.lock();
+            for (i, slot) in servers.iter().enumerate() {
+                match slot {
+                    Some(h) => {
+                        files_recached += h.files_recached();
+                        recached_bytes += h.recached_bytes();
+                    }
+                    None => {
+                        files_recached += rc[i].0;
+                        recached_bytes += rc[i].1;
+                    }
+                }
+            }
+        }
+        ClusterMetrics {
+            clients,
+            nvme_per_node,
+            pfs_total_reads: self.pfs.total_reads(),
+            files_recached,
+            recached_bytes,
+        }
+    }
+
+    /// Per-node count of cached objects — the load-distribution
+    /// observable (who absorbed the failed node's keys).
+    pub fn cached_objects_per_node(&self) -> Vec<u64> {
+        self.caches
+            .lock()
+            .iter()
+            .map(|c| c.stats().resident_objects)
+            .collect()
+    }
+
+    /// Stop every server and release resources.
+    pub fn shutdown(self) {
+        let mut servers = self.servers.lock();
+        for h in servers.iter_mut().filter_map(Option::take) {
+            let _ = h.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_stage_read_shutdown() {
+        let cluster = Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache));
+        let paths = cluster.stage_dataset("train", 24, 32);
+        assert_eq!(cluster.pfs().file_count(), 24);
+        let c = cluster.client(0);
+        for p in &paths {
+            assert_eq!(c.read(p).unwrap(), synth_bytes(p, 32));
+        }
+        let m = cluster.metrics();
+        assert_eq!(m.clients.reads_ok, 24);
+        assert_eq!(m.pfs_total_reads, 24, "first epoch misses everywhere");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn kill_is_idempotent_and_observable() {
+        let cluster = Cluster::start(ClusterConfig::small(3, FtPolicy::RingRecache));
+        cluster.kill(NodeId(1));
+        cluster.kill(NodeId(1));
+        assert_eq!(cluster.killed_nodes(), vec![NodeId(1)]);
+        assert!(cluster.network().is_down(NodeId(1)));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn failure_and_recache_shifts_cached_objects() {
+        let cluster = Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache));
+        let paths = cluster.stage_dataset("train", 40, 16);
+        let c = cluster.client(0);
+        for p in &paths {
+            c.read(p).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(80));
+        let before = cluster.cached_objects_per_node();
+        assert_eq!(before.iter().sum::<u64>(), 40);
+
+        cluster.kill(NodeId(2));
+        for _pass in 0..2 {
+            for p in &paths {
+                c.read(p).unwrap();
+            }
+        }
+        std::thread::sleep(Duration::from_millis(80));
+        let after = cluster.cached_objects_per_node();
+        // Survivors absorbed the dead node's keys.
+        let survivor_total: u64 = after
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 2)
+            .map(|(_, &v)| v)
+            .sum();
+        assert_eq!(survivor_total, 40, "all files re-owned by survivors: {after:?}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn revive_rejoins_with_cold_cache() {
+        let cluster = Cluster::start(ClusterConfig::small(3, FtPolicy::RingRecache));
+        let paths = cluster.stage_dataset("train", 12, 16);
+        let c = cluster.client(0);
+        for p in &paths {
+            c.read(p).unwrap();
+        }
+        cluster.kill(NodeId(0));
+        for _ in 0..2 {
+            for p in &paths {
+                c.read(p).unwrap();
+            }
+        }
+        assert!(!c.live_nodes().contains(&NodeId(0)));
+        cluster.revive(NodeId(0));
+        assert!(c.live_nodes().contains(&NodeId(0)));
+        // Reads still verify after rejoin (node 0 refills through misses).
+        for p in &paths {
+            assert_eq!(c.read(p).unwrap(), synth_bytes(p, 16));
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn multiple_clients_share_the_cluster() {
+        let cluster = Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache));
+        let paths = cluster.stage_dataset("train", 16, 8);
+        let clients: Vec<_> = (0..4).map(|r| cluster.client(r)).collect();
+        let mut joins = Vec::new();
+        for c in clients {
+            let paths = paths.clone();
+            joins.push(std::thread::spawn(move || {
+                for p in &paths {
+                    assert_eq!(c.read(p).unwrap(), synth_bytes(p, 8));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let m = cluster.metrics();
+        assert_eq!(m.clients.reads_ok, 64);
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,208 @@
+//! Timeout-based failure detection (§IV-A).
+//!
+//! Each client autonomously tracks per-server consecutive timeouts. "The
+//! timeout counter is implemented to mitigate the risk of false positives,
+//! ensuring that transient network delays do not prematurely trigger error
+//! handling"; once the count for a node reaches `timeout_limit`, the node
+//! is flagged failed. A success resets the node's counter (it was a blip,
+//! not a death). There is deliberately **no inter-node communication**:
+//! every client converges on its own, as in the paper.
+
+use ftc_hashring::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+/// Detector tuning, mirroring the original artifact's `TIMEOUT_SECONDS`
+/// (the per-RPC TTL) and `TIMEOUT_LIMIT` (consecutive timeouts before a
+/// node is declared failed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Per-RPC deadline. "The TTL parameter only needs to be greater than
+    /// the longest observed latency" (§IV-A).
+    pub ttl: Duration,
+    /// Consecutive timeouts before declaring the node failed.
+    pub timeout_limit: u32,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            ttl: Duration::from_millis(100),
+            timeout_limit: 3,
+        }
+    }
+}
+
+/// Verdict after recording one more timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Still under the limit; the caller should treat the node as slow,
+    /// not dead (and may redirect just this request).
+    Suspect {
+        /// Consecutive timeouts so far.
+        count: u32,
+    },
+    /// The limit was reached by this timeout: the node is now failed.
+    /// Returned exactly once per failure — the transition edge.
+    JustFailed,
+    /// The node had already been declared failed earlier.
+    AlreadyFailed,
+}
+
+/// Per-client failure detector state.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    config: DetectorConfig,
+    counts: HashMap<NodeId, u32>,
+    failed: HashSet<NodeId>,
+}
+
+impl FailureDetector {
+    /// Fresh detector.
+    pub fn new(config: DetectorConfig) -> Self {
+        FailureDetector {
+            config,
+            counts: HashMap::new(),
+            failed: HashSet::new(),
+        }
+    }
+
+    /// The configured per-RPC TTL.
+    pub fn ttl(&self) -> Duration {
+        self.config.ttl
+    }
+
+    /// Record a timeout against `node`.
+    pub fn record_timeout(&mut self, node: NodeId) -> Verdict {
+        if self.failed.contains(&node) {
+            return Verdict::AlreadyFailed;
+        }
+        let count = self.counts.entry(node).or_insert(0);
+        *count += 1;
+        if *count >= self.config.timeout_limit {
+            self.failed.insert(node);
+            self.counts.remove(&node);
+            Verdict::JustFailed
+        } else {
+            Verdict::Suspect { count: *count }
+        }
+    }
+
+    /// Record a successful response from `node`: clears its consecutive
+    /// count (false-positive damping). Succeeding after having been
+    /// declared failed does *not* resurrect it — resurrection is an
+    /// explicit membership decision ([`Self::clear_failed`]).
+    pub fn record_success(&mut self, node: NodeId) {
+        self.counts.remove(&node);
+    }
+
+    /// Whether `node` has been declared failed.
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        self.failed.contains(&node)
+    }
+
+    /// All nodes declared failed, ascending.
+    pub fn failed_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.failed.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Current consecutive-timeout count for `node` (0 if none or failed).
+    pub fn suspect_count(&self, node: NodeId) -> u32 {
+        self.counts.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Administratively declare `node` failed (e.g. out-of-band notice).
+    pub fn mark_failed(&mut self, node: NodeId) {
+        self.failed.insert(node);
+        self.counts.remove(&node);
+    }
+
+    /// Forget that `node` failed (elastic rejoin after repair).
+    pub fn clear_failed(&mut self, node: NodeId) -> bool {
+        self.failed.remove(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(limit: u32) -> FailureDetector {
+        FailureDetector::new(DetectorConfig {
+            ttl: Duration::from_millis(10),
+            timeout_limit: limit,
+        })
+    }
+
+    #[test]
+    fn fails_exactly_at_limit() {
+        let mut d = det(3);
+        let n = NodeId(1);
+        assert_eq!(d.record_timeout(n), Verdict::Suspect { count: 1 });
+        assert_eq!(d.record_timeout(n), Verdict::Suspect { count: 2 });
+        assert_eq!(d.record_timeout(n), Verdict::JustFailed);
+        assert!(d.is_failed(n));
+        assert_eq!(d.record_timeout(n), Verdict::AlreadyFailed);
+    }
+
+    #[test]
+    fn success_resets_consecutive_count() {
+        let mut d = det(3);
+        let n = NodeId(2);
+        d.record_timeout(n);
+        d.record_timeout(n);
+        d.record_success(n);
+        assert_eq!(d.suspect_count(n), 0);
+        // Needs the full limit again.
+        assert_eq!(d.record_timeout(n), Verdict::Suspect { count: 1 });
+        assert!(!d.is_failed(n));
+    }
+
+    #[test]
+    fn limit_one_is_immediate() {
+        let mut d = det(1);
+        assert_eq!(d.record_timeout(NodeId(0)), Verdict::JustFailed);
+    }
+
+    #[test]
+    fn nodes_tracked_independently() {
+        let mut d = det(2);
+        d.record_timeout(NodeId(0));
+        d.record_timeout(NodeId(1));
+        assert_eq!(d.record_timeout(NodeId(0)), Verdict::JustFailed);
+        assert!(!d.is_failed(NodeId(1)));
+        assert_eq!(d.failed_nodes(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn success_after_failure_does_not_resurrect() {
+        let mut d = det(1);
+        d.record_timeout(NodeId(3));
+        d.record_success(NodeId(3));
+        assert!(d.is_failed(NodeId(3)));
+    }
+
+    #[test]
+    fn mark_and_clear() {
+        let mut d = det(5);
+        d.mark_failed(NodeId(7));
+        assert!(d.is_failed(NodeId(7)));
+        assert!(d.clear_failed(NodeId(7)));
+        assert!(!d.is_failed(NodeId(7)));
+        assert!(!d.clear_failed(NodeId(7)));
+        // After clearing, failure detection restarts from zero.
+        assert_eq!(d.record_timeout(NodeId(7)), Verdict::Suspect { count: 1 });
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = DetectorConfig::default();
+        assert!(c.timeout_limit >= 1);
+        assert!(c.ttl > Duration::ZERO);
+        let d = FailureDetector::new(c);
+        assert_eq!(d.ttl(), c.ttl);
+    }
+}

@@ -1,0 +1,181 @@
+//! Counters for clients and cluster-wide aggregation.
+//!
+//! The evaluation leans on these: "one extra PFS access per lost file"
+//! (RingRecache), "PFS access per epoch per lost file" (PfsRedirect) and
+//! the hit/miss composition of every figure come straight from snapshots
+//! of these counters.
+
+use ftc_storage::NvmeStats;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free per-client counters (shared across threads via `Arc`).
+#[derive(Debug, Default)]
+pub struct ClientMetrics {
+    /// Successful reads returned to the application.
+    pub reads_ok: AtomicU64,
+    /// Reads served from some node's NVMe (local or remote).
+    pub nvme_hits: AtomicU64,
+    /// Reads a server satisfied by fetching from the PFS (miss + recache
+    /// path).
+    pub pfs_fetches_via_server: AtomicU64,
+    /// Reads the client satisfied by going to the PFS directly (the
+    /// PFS-redirection policy, or the pre-declaration suspect window).
+    pub pfs_direct_reads: AtomicU64,
+    /// RPC timeouts observed.
+    pub rpc_timeouts: AtomicU64,
+    /// Requests retried after a timeout.
+    pub retries: AtomicU64,
+    /// Nodes this client has declared failed.
+    pub nodes_declared_failed: AtomicU64,
+    /// Bytes delivered to the application.
+    pub bytes_read: AtomicU64,
+    /// Replicas pushed to ring successors (replication extension).
+    pub replicas_written: AtomicU64,
+}
+
+/// Plain-value snapshot of [`ClientMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientMetricsSnapshot {
+    /// See [`ClientMetrics::reads_ok`].
+    pub reads_ok: u64,
+    /// See [`ClientMetrics::nvme_hits`].
+    pub nvme_hits: u64,
+    /// See [`ClientMetrics::pfs_fetches_via_server`].
+    pub pfs_fetches_via_server: u64,
+    /// See [`ClientMetrics::pfs_direct_reads`].
+    pub pfs_direct_reads: u64,
+    /// See [`ClientMetrics::rpc_timeouts`].
+    pub rpc_timeouts: u64,
+    /// See [`ClientMetrics::retries`].
+    pub retries: u64,
+    /// See [`ClientMetrics::nodes_declared_failed`].
+    pub nodes_declared_failed: u64,
+    /// See [`ClientMetrics::bytes_read`].
+    pub bytes_read: u64,
+    /// See [`ClientMetrics::replicas_written`].
+    pub replicas_written: u64,
+}
+
+impl ClientMetrics {
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> ClientMetricsSnapshot {
+        ClientMetricsSnapshot {
+            reads_ok: self.reads_ok.load(Ordering::Relaxed),
+            nvme_hits: self.nvme_hits.load(Ordering::Relaxed),
+            pfs_fetches_via_server: self.pfs_fetches_via_server.load(Ordering::Relaxed),
+            pfs_direct_reads: self.pfs_direct_reads.load(Ordering::Relaxed),
+            rpc_timeouts: self.rpc_timeouts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            nodes_declared_failed: self.nodes_declared_failed.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            replicas_written: self.replicas_written.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn inc(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add(c: &AtomicU64, v: u64) {
+        c.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+impl ClientMetricsSnapshot {
+    /// Element-wise sum (aggregation across ranks).
+    pub fn merge(&self, other: &Self) -> Self {
+        ClientMetricsSnapshot {
+            reads_ok: self.reads_ok + other.reads_ok,
+            nvme_hits: self.nvme_hits + other.nvme_hits,
+            pfs_fetches_via_server: self.pfs_fetches_via_server + other.pfs_fetches_via_server,
+            pfs_direct_reads: self.pfs_direct_reads + other.pfs_direct_reads,
+            rpc_timeouts: self.rpc_timeouts + other.rpc_timeouts,
+            retries: self.retries + other.retries,
+            nodes_declared_failed: self.nodes_declared_failed + other.nodes_declared_failed,
+            bytes_read: self.bytes_read + other.bytes_read,
+            replicas_written: self.replicas_written + other.replicas_written,
+        }
+    }
+}
+
+/// Whole-cluster view assembled by [`crate::cluster::Cluster::metrics`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ClusterMetrics {
+    /// Sum over all clients.
+    pub clients: ClientMetricsSnapshot,
+    /// Per-node NVMe cache stats, indexed by node id.
+    pub nvme_per_node: Vec<NvmeStats>,
+    /// Total PFS reads (all sources: server misses + client redirects).
+    pub pfs_total_reads: u64,
+    /// Files recached by data movers after fetches.
+    pub files_recached: u64,
+    /// Bytes moved by data movers.
+    pub recached_bytes: u64,
+}
+
+impl ClusterMetrics {
+    /// Sum of NVMe hits across nodes.
+    pub fn total_nvme_hits(&self) -> u64 {
+        self.nvme_per_node.iter().map(|s| s.hits).sum()
+    }
+
+    /// Sum of NVMe resident bytes across nodes.
+    pub fn total_resident_bytes(&self) -> u64 {
+        self.nvme_per_node.iter().map(|s| s.resident_bytes).sum()
+    }
+
+    /// Per-node resident object counts — the observable for load-balance
+    /// assertions.
+    pub fn resident_objects_per_node(&self) -> Vec<u64> {
+        self.nvme_per_node.iter().map(|s| s.resident_objects).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_merge() {
+        let m = ClientMetrics::default();
+        ClientMetrics::inc(&m.reads_ok);
+        ClientMetrics::add(&m.bytes_read, 100);
+        let a = m.snapshot();
+        let b = ClientMetricsSnapshot {
+            reads_ok: 2,
+            bytes_read: 50,
+            ..Default::default()
+        };
+        let s = a.merge(&b);
+        assert_eq!(s.reads_ok, 3);
+        assert_eq!(s.bytes_read, 150);
+        assert_eq!(s.rpc_timeouts, 0);
+    }
+
+    #[test]
+    fn cluster_rollups() {
+        let cm = ClusterMetrics {
+            nvme_per_node: vec![
+                NvmeStats {
+                    hits: 5,
+                    resident_bytes: 10,
+                    resident_objects: 2,
+                    ..Default::default()
+                },
+                NvmeStats {
+                    hits: 7,
+                    resident_bytes: 30,
+                    resident_objects: 4,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(cm.total_nvme_hits(), 12);
+        assert_eq!(cm.total_resident_bytes(), 40);
+        assert_eq!(cm.resident_objects_per_node(), vec![2, 4]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Fault-tolerance policies — the three systems compared in §V.
+
+use crate::detector::DetectorConfig;
+use ftc_hashring::{
+    HashRing, ModuloPlacement, Placement, RendezvousPlacement, DEFAULT_VNODES,
+};
+use serde::{Deserialize, Serialize};
+
+/// What a client does when the failure detector declares a server dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FtPolicy {
+    /// Baseline HVAC: no fault tolerance. The first declared failure
+    /// aborts the job (the dashed line of Fig. 5(b)).
+    NoFt,
+    /// §IV-A: keep the static placement; route every read whose owner is
+    /// dead to the PFS, forever. One PFS access per lost file *per epoch*.
+    PfsRedirect,
+    /// §IV-B: remove the dead node from the hash ring; the clockwise
+    /// successors own its keys and recache each lost file from the PFS on
+    /// first access. One PFS access per lost file *total*.
+    RingRecache,
+}
+
+impl FtPolicy {
+    /// Display name matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            FtPolicy::NoFt => "NoFT",
+            FtPolicy::PfsRedirect => "FT w/ PFS",
+            FtPolicy::RingRecache => "FT w/ NVMe",
+        }
+    }
+}
+
+/// Which placement structure the client builds at init.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementKind {
+    /// Original HVAC static `hash % N` (used by NoFT / PFS-redirect).
+    Modulo,
+    /// Consistent hash ring with this many virtual nodes per physical
+    /// node (used by RingRecache; paper default 100).
+    Ring {
+        /// Virtual nodes per physical node.
+        vnodes: u32,
+    },
+    /// Rendezvous hashing (ablation only).
+    Rendezvous,
+}
+
+impl PlacementKind {
+    /// Build the placement over nodes `0..n`.
+    pub fn build(self, n: u32) -> Box<dyn Placement + Send> {
+        match self {
+            PlacementKind::Modulo => Box::new(ModuloPlacement::with_nodes(n)),
+            PlacementKind::Ring { vnodes } => Box::new(HashRing::with_nodes(n, vnodes)),
+            PlacementKind::Rendezvous => Box::new(RendezvousPlacement::with_nodes(n)),
+        }
+    }
+
+    /// The placement the paper pairs with each policy: the FT w/ NVMe
+    /// system builds the ring; the baseline and PFS-redirect systems keep
+    /// HVAC's original static hash.
+    pub fn default_for(policy: FtPolicy) -> Self {
+        match policy {
+            FtPolicy::NoFt | FtPolicy::PfsRedirect => PlacementKind::Modulo,
+            FtPolicy::RingRecache => PlacementKind::Ring {
+                vnodes: DEFAULT_VNODES,
+            },
+        }
+    }
+}
+
+/// Full client-side fault-tolerance configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FtConfig {
+    /// The failure-handling policy.
+    pub policy: FtPolicy,
+    /// Placement structure (defaults paired per policy).
+    pub placement: PlacementKind,
+    /// Timeout detection tuning.
+    pub detector: DetectorConfig,
+    /// Cache copies per file (1 = the paper's design: a single copy plus
+    /// the PFS as the fallback). With `replication = k > 1` under
+    /// RingRecache, clients write PFS-fetched files through to the next
+    /// `k-1` ring successors, so a failure needs no PFS traffic at all —
+    /// the "no-fallback" extension, traded against k x NVMe footprint.
+    pub replication: u32,
+}
+
+impl FtConfig {
+    /// Paper-faithful configuration for a policy.
+    pub fn for_policy(policy: FtPolicy) -> Self {
+        FtConfig {
+            policy,
+            placement: PlacementKind::default_for(policy),
+            detector: DetectorConfig::default(),
+            replication: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(FtPolicy::NoFt.label(), "NoFT");
+        assert_eq!(FtPolicy::PfsRedirect.label(), "FT w/ PFS");
+        assert_eq!(FtPolicy::RingRecache.label(), "FT w/ NVMe");
+    }
+
+    #[test]
+    fn default_placements() {
+        assert_eq!(
+            PlacementKind::default_for(FtPolicy::NoFt),
+            PlacementKind::Modulo
+        );
+        assert_eq!(
+            PlacementKind::default_for(FtPolicy::PfsRedirect),
+            PlacementKind::Modulo
+        );
+        assert_eq!(
+            PlacementKind::default_for(FtPolicy::RingRecache),
+            PlacementKind::Ring { vnodes: 100 }
+        );
+    }
+
+    #[test]
+    fn build_produces_working_placements() {
+        for kind in [
+            PlacementKind::Modulo,
+            PlacementKind::Ring { vnodes: 8 },
+            PlacementKind::Rendezvous,
+        ] {
+            let p = kind.build(4);
+            assert_eq!(p.len(), 4);
+            assert!(p.owner("some/file").is_some());
+        }
+    }
+
+    #[test]
+    fn for_policy_bundles_defaults() {
+        let c = FtConfig::for_policy(FtPolicy::RingRecache);
+        assert_eq!(c.policy, FtPolicy::RingRecache);
+        assert_eq!(c.placement, PlacementKind::Ring { vnodes: 100 });
+        assert!(c.detector.timeout_limit >= 1);
+        assert_eq!(c.replication, 1, "paper default: single copy");
+    }
+}

@@ -1,0 +1,121 @@
+//! The FT-Cache wire protocol.
+//!
+//! HVAC's client intercepts `open/read/close` via `LD_PRELOAD` and turns
+//! them into RPCs; the substrate here starts at the RPC boundary. One
+//! request kind matters — `Read` — plus a `Ping` used by liveness probes
+//! in tests.
+
+use bytes::Bytes;
+use ftc_net::Payload;
+use serde::{Deserialize, Serialize};
+
+/// Where the server found the bytes it served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServeSource {
+    /// Served from the server's node-local NVMe cache.
+    NvmeHit,
+    /// Missed NVMe; fetched from the PFS (and handed to the data mover to
+    /// recache). After a failure this is the "first epoch after the
+    /// failure where the lost files are not yet cached" path of §IV-B.
+    PfsFetch,
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheRequest {
+    /// Read a whole file by dataset-relative path.
+    Read {
+        /// The file path (also the placement key).
+        path: String,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Store a replica of a file (the optional write-through replication
+    /// extension: clients push PFS-fetched files to the next ring
+    /// successors so a failure needs no PFS fallback at all).
+    Put {
+        /// The file path.
+        path: String,
+        /// The file bytes.
+        bytes: Bytes,
+    },
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheResponse {
+    /// File contents.
+    Data {
+        /// Echoed path.
+        path: String,
+        /// The file bytes.
+        bytes: Bytes,
+        /// Which tier produced them.
+        source: ServeSource,
+    },
+    /// The file exists nowhere (not cached, not on the PFS).
+    NotFound {
+        /// Echoed path.
+        path: String,
+    },
+    /// Liveness reply.
+    Pong,
+    /// Replica stored.
+    PutAck {
+        /// Echoed path.
+        path: String,
+    },
+}
+
+impl Payload for CacheRequest {
+    fn wire_size(&self) -> usize {
+        match self {
+            CacheRequest::Read { path } => 32 + path.len(),
+            CacheRequest::Ping => 16,
+            CacheRequest::Put { path, bytes } => 48 + path.len() + bytes.len(),
+        }
+    }
+}
+
+impl Payload for CacheResponse {
+    fn wire_size(&self) -> usize {
+        match self {
+            CacheResponse::Data { path, bytes, .. } => 48 + path.len() + bytes.len(),
+            CacheResponse::NotFound { path } => 32 + path.len(),
+            CacheResponse::Pong => 16,
+            CacheResponse::PutAck { path } => 32 + path.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_track_payloads() {
+        let r = CacheRequest::Read {
+            path: "abc".into(),
+        };
+        assert_eq!(r.wire_size(), 35);
+        assert_eq!(CacheRequest::Ping.wire_size(), 16);
+
+        let d = CacheResponse::Data {
+            path: "abc".into(),
+            bytes: Bytes::from_static(&[0u8; 100]),
+            source: ServeSource::NvmeHit,
+        };
+        assert_eq!(d.wire_size(), 48 + 3 + 100);
+        assert_eq!(
+            CacheResponse::NotFound { path: "abcd".into() }.wire_size(),
+            36
+        );
+        assert_eq!(CacheResponse::Pong.wire_size(), 16);
+        let put = CacheRequest::Put {
+            path: "ab".into(),
+            bytes: Bytes::from_static(&[0u8; 10]),
+        };
+        assert_eq!(put.wire_size(), 60);
+        assert_eq!(CacheResponse::PutAck { path: "ab".into() }.wire_size(), 34);
+    }
+}

@@ -1,0 +1,386 @@
+//! The HVAC server — one per compute node, running as a daemon separate
+//! from the training process (§II-B).
+//!
+//! Serves `Read` RPCs: NVMe hit → serve from cache; miss → fetch from the
+//! PFS, serve, and hand the bytes to the data mover for recaching. After a
+//! node failure, surviving servers run exactly this code to absorb the
+//! failed node's keys — the recache path *is* the miss path.
+
+use crate::proto::{CacheRequest, CacheResponse, ServeSource};
+use ftc_hashring::NodeId;
+use ftc_net::{Incoming, Network};
+use ftc_storage::{DataMover, NvmeCache, Pfs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Shorthand for the cache-protocol network.
+pub type CacheNet = Network<CacheRequest, CacheResponse>;
+
+/// The request-serving half of a node.
+pub struct HvacServer {
+    node: NodeId,
+    cache: Arc<NvmeCache>,
+    pfs: Arc<Pfs>,
+    mover: DataMover,
+}
+
+impl HvacServer {
+    /// Server for `node`, caching onto an NVMe of `nvme_capacity` bytes.
+    pub fn new(node: NodeId, pfs: Arc<Pfs>, nvme_capacity: u64) -> Self {
+        let cache = Arc::new(NvmeCache::new(nvme_capacity));
+        let mover = DataMover::spawn(Arc::clone(&cache));
+        HvacServer {
+            node,
+            cache,
+            pfs,
+            mover,
+        }
+    }
+
+    /// This server's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's NVMe cache (shared handle).
+    pub fn cache(&self) -> Arc<NvmeCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Files recached by the data mover so far.
+    pub fn files_recached(&self) -> u64 {
+        self.mover.moved()
+    }
+
+    /// Bytes recached by the data mover so far.
+    pub fn recached_bytes(&self) -> u64 {
+        self.mover.moved_bytes()
+    }
+
+    /// Shared handles to the mover's (files, bytes) counters.
+    pub fn mover_counters(
+        &self,
+    ) -> (
+        Arc<std::sync::atomic::AtomicU64>,
+        Arc<std::sync::atomic::AtomicU64>,
+    ) {
+        self.mover.counter_handles()
+    }
+
+    /// Synchronously process one incoming request.
+    pub fn handle(&self, inc: Incoming<CacheRequest, CacheResponse>) {
+        match &inc.req {
+            CacheRequest::Ping => inc.reply(CacheResponse::Pong),
+            CacheRequest::Put { path, bytes } => {
+                let path = path.clone();
+                self.cache.insert(&path, bytes.clone());
+                inc.reply(CacheResponse::PutAck { path });
+            }
+            CacheRequest::Read { path } => {
+                let path = path.clone();
+                if let Some(bytes) = self.cache.get(&path) {
+                    inc.reply_sized(CacheResponse::Data {
+                        path,
+                        bytes,
+                        source: ServeSource::NvmeHit,
+                    });
+                } else if let Some(bytes) = self.pfs.read(&path) {
+                    // Serve first, persist in the background (HVAC's
+                    // data-mover pattern keeps the PFS fetch off the next
+                    // reader's critical path only; this one pays it).
+                    self.mover.enqueue(&path, bytes.clone());
+                    inc.reply_sized(CacheResponse::Data {
+                        path,
+                        bytes,
+                        source: ServeSource::PfsFetch,
+                    });
+                } else {
+                    inc.reply(CacheResponse::NotFound { path });
+                }
+            }
+        }
+    }
+
+    /// Wait until the mover has persisted `expected` files (test hook).
+    pub fn drain_mover(&self, expected: u64, timeout: Duration) -> bool {
+        self.mover.drain(expected, timeout)
+    }
+}
+
+/// Handle to a server's event-loop thread.
+pub struct ServerHandle {
+    node: NodeId,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<HvacServer>>,
+    cache: Arc<NvmeCache>,
+    moved: Arc<std::sync::atomic::AtomicU64>,
+    moved_bytes: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl ServerHandle {
+    /// Spawn a server thread for `node` on `net`.
+    pub fn spawn(node: NodeId, net: &CacheNet, pfs: Arc<Pfs>, nvme_capacity: u64) -> Self {
+        let server = HvacServer::new(node, pfs, nvme_capacity);
+        let cache = server.cache();
+        let (moved, moved_bytes) = server.mover_counters();
+        let mbox = net.register(node);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name(format!("hvac-server-{node}"))
+            .spawn(move || {
+                // Poll with a short tick so a stop request is honored even
+                // when no traffic arrives.
+                while !stop2.load(Ordering::Relaxed) {
+                    if let Some(inc) = mbox.recv_timeout(Duration::from_millis(5)) {
+                        server.handle(inc);
+                    }
+                }
+                server
+            })
+            .expect("spawn hvac server");
+        ServerHandle {
+            node,
+            stop,
+            join: Some(join),
+            cache,
+            moved,
+            moved_bytes,
+        }
+    }
+
+    /// The served node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's cache (for inspection and warm-up).
+    pub fn cache(&self) -> Arc<NvmeCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Files the data mover has recached so far.
+    pub fn files_recached(&self) -> u64 {
+        self.moved.load(Ordering::Relaxed)
+    }
+
+    /// Bytes the data mover has recached so far.
+    pub fn recached_bytes(&self) -> u64 {
+        self.moved_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Ask the loop to exit without waiting (used by abrupt kill: the
+    /// network is silenced separately, this only reclaims the thread).
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Stop the loop and reclaim the server (drains the data mover).
+    pub fn shutdown(mut self) -> Option<HvacServer> {
+        self.request_stop();
+        self.join.take().and_then(|j| j.join().ok())
+    }
+
+    /// Whether the thread has been reclaimed already.
+    pub fn is_shutdown(&self) -> bool {
+        self.join.is_none()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.request_stop();
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftc_net::RpcError;
+    use ftc_storage::synth_bytes;
+
+    const TTL: Duration = Duration::from_millis(200);
+
+    fn setup() -> (CacheNet, Arc<Pfs>) {
+        let net: CacheNet = Network::instant(7);
+        let pfs = Arc::new(Pfs::in_memory());
+        for i in 0..20 {
+            let path = format!("train/s{i}.bin");
+            pfs.stage(&path, synth_bytes(&path, 64));
+        }
+        (net, pfs)
+    }
+
+    #[test]
+    fn first_read_fetches_then_caches() {
+        let (net, pfs) = setup();
+        let h = ServerHandle::spawn(NodeId(0), &net, Arc::clone(&pfs), u64::MAX);
+        let ep = net.endpoint(NodeId(1));
+
+        let r1 = ep
+            .call(
+                NodeId(0),
+                CacheRequest::Read {
+                    path: "train/s3.bin".into(),
+                },
+                TTL,
+            )
+            .unwrap();
+        match r1 {
+            CacheResponse::Data { source, bytes, .. } => {
+                assert_eq!(source, ServeSource::PfsFetch);
+                assert_eq!(bytes, synth_bytes("train/s3.bin", 64));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(pfs.reads_of("train/s3.bin"), 1);
+
+        // Wait for the mover, then the second read must be an NVMe hit
+        // with no further PFS traffic.
+        let t0 = std::time::Instant::now();
+        while !h.cache().peek("train/s3.bin") && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::yield_now();
+        }
+        let r2 = ep
+            .call(
+                NodeId(0),
+                CacheRequest::Read {
+                    path: "train/s3.bin".into(),
+                },
+                TTL,
+            )
+            .unwrap();
+        match r2 {
+            CacheResponse::Data { source, .. } => assert_eq!(source, ServeSource::NvmeHit),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(pfs.reads_of("train/s3.bin"), 1, "second read must not hit PFS");
+        drop(h);
+    }
+
+    #[test]
+    fn unknown_file_is_not_found() {
+        let (net, pfs) = setup();
+        let _h = ServerHandle::spawn(NodeId(0), &net, pfs, u64::MAX);
+        let ep = net.endpoint(NodeId(1));
+        let r = ep
+            .call(
+                NodeId(0),
+                CacheRequest::Read {
+                    path: "nope.bin".into(),
+                },
+                TTL,
+            )
+            .unwrap();
+        assert_eq!(
+            r,
+            CacheResponse::NotFound {
+                path: "nope.bin".into()
+            }
+        );
+    }
+
+    #[test]
+    fn ping_pong() {
+        let (net, pfs) = setup();
+        let _h = ServerHandle::spawn(NodeId(0), &net, pfs, u64::MAX);
+        let ep = net.endpoint(NodeId(1));
+        assert_eq!(
+            ep.call(NodeId(0), CacheRequest::Ping, TTL).unwrap(),
+            CacheResponse::Pong
+        );
+    }
+
+    #[test]
+    fn killed_server_goes_silent() {
+        let (net, pfs) = setup();
+        let h = ServerHandle::spawn(NodeId(0), &net, pfs, u64::MAX);
+        net.kill(NodeId(0));
+        h.request_stop();
+        let ep = net.endpoint(NodeId(1));
+        let err = ep
+            .call(NodeId(0), CacheRequest::Ping, Duration::from_millis(50))
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout { to: NodeId(0) });
+    }
+
+    #[test]
+    fn shutdown_returns_server_with_stats() {
+        let (net, pfs) = setup();
+        let h = ServerHandle::spawn(NodeId(0), &net, pfs, u64::MAX);
+        let ep = net.endpoint(NodeId(1));
+        ep.call(
+            NodeId(0),
+            CacheRequest::Read {
+                path: "train/s0.bin".into(),
+            },
+            TTL,
+        )
+        .unwrap();
+        let server = h.shutdown().expect("join");
+        assert!(server.drain_mover(1, Duration::from_secs(2)));
+        assert_eq!(server.files_recached(), 1);
+        assert_eq!(server.recached_bytes(), 64);
+        assert_eq!(server.node(), NodeId(0));
+    }
+
+    #[test]
+    fn tiny_nvme_still_serves_with_evictions() {
+        let (net, pfs) = setup();
+        // Capacity for exactly 2 x 64-byte files.
+        let h = ServerHandle::spawn(NodeId(0), &net, pfs, 128);
+        let ep = net.endpoint(NodeId(1));
+        for i in 0..20 {
+            let r = ep
+                .call(
+                    NodeId(0),
+                    CacheRequest::Read {
+                        path: format!("train/s{i}.bin"),
+                    },
+                    TTL,
+                )
+                .unwrap();
+            assert!(matches!(r, CacheResponse::Data { .. }));
+        }
+        let cache = h.cache();
+        assert!(cache.resident_bytes() <= 128);
+        drop(h);
+    }
+
+    #[test]
+    fn handle_direct_without_thread() {
+        // HvacServer::handle is usable synchronously (DES-mode parity).
+        let (net, pfs) = setup();
+        let server = HvacServer::new(NodeId(0), Arc::clone(&pfs), u64::MAX);
+        let mbox = net.register(NodeId(0));
+        let ep = net.endpoint(NodeId(2));
+        let t = std::thread::spawn(move || {
+            ep.call(
+                NodeId(0),
+                CacheRequest::Read {
+                    path: "train/s1.bin".into(),
+                },
+                TTL,
+            )
+        });
+        let inc = mbox.recv().unwrap();
+        server.handle(inc);
+        let r = t.join().unwrap().unwrap();
+        assert!(matches!(
+            r,
+            CacheResponse::Data {
+                source: ServeSource::PfsFetch,
+                ..
+            }
+        ));
+        let d = synth_bytes("train/s1.bin", 64);
+        if let CacheResponse::Data { bytes, .. } = r {
+            assert_eq!(bytes, d);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the failure detector and policy plumbing.
+
+use ftc_core::{DetectorConfig, FailureDetector, FtPolicy, PlacementKind, Verdict};
+use ftc_hashring::NodeId;
+use proptest::prelude::*;
+use std::time::Duration;
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Timeout(u8),
+    Success(u8),
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0u8..8).prop_map(Ev::Timeout),
+        (0u8..8).prop_map(Ev::Success),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A node is declared failed iff some run of consecutive timeouts
+    /// (uninterrupted by a success on that node) reaches the limit —
+    /// checked against a reference interpreter of the event stream.
+    #[test]
+    fn detector_matches_reference(
+        limit in 1u32..6,
+        events in prop::collection::vec(ev_strategy(), 0..120),
+    ) {
+        let mut det = FailureDetector::new(DetectorConfig {
+            ttl: Duration::from_millis(1),
+            timeout_limit: limit,
+        });
+        let mut ref_counts = [0u32; 8];
+        let mut ref_failed = [false; 8];
+        for ev in &events {
+            match *ev {
+                Ev::Timeout(n) => {
+                    let verdict = det.record_timeout(NodeId(n.into()));
+                    if ref_failed[n as usize] {
+                        prop_assert_eq!(verdict, Verdict::AlreadyFailed);
+                    } else {
+                        ref_counts[n as usize] += 1;
+                        if ref_counts[n as usize] >= limit {
+                            ref_failed[n as usize] = true;
+                            prop_assert_eq!(verdict, Verdict::JustFailed);
+                        } else {
+                            prop_assert_eq!(
+                                verdict,
+                                Verdict::Suspect { count: ref_counts[n as usize] }
+                            );
+                        }
+                    }
+                }
+                Ev::Success(n) => {
+                    det.record_success(NodeId(n.into()));
+                    if !ref_failed[n as usize] {
+                        ref_counts[n as usize] = 0;
+                    }
+                }
+            }
+        }
+        for n in 0..8u32 {
+            prop_assert_eq!(det.is_failed(NodeId(n)), ref_failed[n as usize]);
+        }
+    }
+
+    /// JustFailed is emitted exactly once per node per failure episode.
+    #[test]
+    fn just_failed_is_an_edge(
+        limit in 1u32..5,
+        timeouts in 1usize..40,
+    ) {
+        let mut det = FailureDetector::new(DetectorConfig {
+            ttl: Duration::from_millis(1),
+            timeout_limit: limit,
+        });
+        let mut edges = 0;
+        for _ in 0..timeouts {
+            if det.record_timeout(NodeId(0)) == Verdict::JustFailed {
+                edges += 1;
+            }
+        }
+        prop_assert_eq!(edges, u32::from(timeouts as u32 >= limit) as usize);
+    }
+
+    /// Every placement kind built for any policy produces a live owner for
+    /// any key until all nodes are removed.
+    #[test]
+    fn placements_stay_total(
+        nodes in 1u32..32,
+        kills in prop::collection::vec(0u32..32, 0..16),
+        key in "[a-z0-9/._-]{1,48}",
+    ) {
+        for policy in [FtPolicy::NoFt, FtPolicy::PfsRedirect, FtPolicy::RingRecache] {
+            let mut p = PlacementKind::default_for(policy).build(nodes);
+            let mut live = nodes as i64;
+            for &k in &kills {
+                let victim = NodeId(k % nodes);
+                if p.contains(victim) && live > 1 {
+                    p.remove_node(victim).unwrap();
+                    live -= 1;
+                }
+            }
+            let owner = p.owner(&key);
+            prop_assert!(owner.is_some());
+            prop_assert!(p.contains(owner.unwrap()));
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # ftc-hashring — data-placement substrate for FT-Cache
+//!
+//! Implements every placement strategy discussed in §IV of *"Fault-Tolerant
+//! Deep Learning Cache with Hash Ring for Load Balancing in HPC Systems"*
+//! (SC'24), unified behind the [`Placement`] trait:
+//!
+//! | Strategy | Movement on failure | Balance | Lookup |
+//! |---|---|---|---|
+//! | [`HashRing`] (the paper's design) | minimal (failed keys only) | tunable via virtual nodes | `O(log T)` |
+//! | [`ModuloPlacement`] (original HVAC) | ~all keys | perfect | `O(1)` |
+//! | [`MultiHashPlacement`] | minimal | uncoordinated fallback | degrades with failures |
+//! | [`RangePartition`] | minimal or heavy (mode) | poor or rebuilt | `O(log N)` |
+//! | [`RendezvousPlacement`] (ablation) | minimal | tight, no vnodes | `O(N)` |
+//!
+//! The ring is the core data structure behind the paper's *elastic
+//! recaching*: on node failure the FT-Cache client removes the node from
+//! the ring, and only the failed node's keys are re-owned — by the next
+//! clockwise virtual node — which the surviving owners then recache from
+//! the PFS exactly once.
+//!
+//! ```
+//! use ftc_hashring::{HashRing, Placement, DEFAULT_VNODES};
+//!
+//! let mut ring = HashRing::with_nodes(4, DEFAULT_VNODES);
+//! let owner = ring.owner("train/sample_0001.tfrecord").unwrap();
+//! ring.remove_node(owner).unwrap();
+//! let new_owner = ring.owner("train/sample_0001.tfrecord").unwrap();
+//! assert_ne!(owner, new_owner); // only failed keys move
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hash;
+pub mod modulo;
+pub mod multihash;
+pub mod rangepart;
+pub mod rendezvous;
+pub mod ring;
+pub mod stats;
+mod types;
+
+pub use modulo::ModuloPlacement;
+pub use multihash::MultiHashPlacement;
+pub use rangepart::{RangePartition, RebalanceMode};
+pub use rendezvous::RendezvousPlacement;
+pub use ring::{HashRing, DEFAULT_VNODES};
+pub use types::{NodeId, Placement, PlacementError};

@@ -1,0 +1,152 @@
+//! Static modulo placement — the *original* HVAC scheme (§IV-B).
+//!
+//! A key goes to `live[hash(key) % live.len()]`. Simple and perfectly
+//! balanced, but on any membership change nearly every key changes owner:
+//! the expected surviving fraction after one of `N` nodes fails is only
+//! `1/(N-1)`, i.e. almost the entire cache would have to migrate or be
+//! refetched. This is exactly the weakness that motivates the hash ring.
+
+use crate::hash::key_hash;
+use crate::types::{NodeId, Placement, PlacementError};
+
+/// HVAC's original `hash(path) % N` placement over the live node list.
+#[derive(Debug, Clone)]
+pub struct ModuloPlacement {
+    /// Live nodes, ascending. The modulo indexes into this vector, which is
+    /// why removal shifts almost every assignment.
+    live: Vec<NodeId>,
+}
+
+impl ModuloPlacement {
+    /// Placement over nodes `0..n`.
+    pub fn with_nodes(n: u32) -> Self {
+        ModuloPlacement {
+            live: (0..n).map(NodeId).collect(),
+        }
+    }
+
+    /// Placement over an explicit membership.
+    pub fn from_members(mut members: Vec<NodeId>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        ModuloPlacement { live: members }
+    }
+}
+
+impl Placement for ModuloPlacement {
+    #[inline]
+    fn owner(&self, key: &str) -> Option<NodeId> {
+        if self.live.is_empty() {
+            return None;
+        }
+        let idx = (key_hash(key) % self.live.len() as u64) as usize;
+        Some(self.live[idx])
+    }
+
+    fn remove_node(&mut self, node: NodeId) -> Result<(), PlacementError> {
+        match self.live.iter().position(|&n| n == node) {
+            Some(pos) => {
+                self.live.remove(pos);
+                Ok(())
+            }
+            None => Err(PlacementError::UnknownNode(node)),
+        }
+    }
+
+    fn add_node(&mut self, node: NodeId) -> Result<(), PlacementError> {
+        match self.live.binary_search(&node) {
+            Ok(_) => Err(PlacementError::AlreadyMember(node)),
+            Err(pos) => {
+                self.live.insert(pos, node);
+                Ok(())
+            }
+        }
+    }
+
+    fn live_nodes(&self) -> Vec<NodeId> {
+        self.live.clone()
+    }
+
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        self.live.binary_search(&node).is_ok()
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "modulo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("f{i}")).collect()
+    }
+
+    #[test]
+    fn balanced_distribution() {
+        let p = ModuloPlacement::with_nodes(8);
+        let mut counts = [0u32; 8];
+        for k in keys(16_000) {
+            counts[p.owner(&k).unwrap().index()] += 1;
+        }
+        let mean = 16_000.0 / 8.0;
+        for c in counts {
+            assert!((f64::from(c) - mean).abs() / mean < 0.1, "count {c} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn removal_remaps_most_keys() {
+        let mut p = ModuloPlacement::with_nodes(8);
+        let ks = keys(8000);
+        let before: Vec<_> = ks.iter().map(|k| p.owner(k)).collect();
+        p.remove_node(NodeId(3)).unwrap();
+        let moved = ks
+            .iter()
+            .zip(&before)
+            .filter(|(k, &b)| p.owner(k) != b)
+            .count();
+        // Expected stay fraction is 1/(N-1) = 1/7, so ~85%+ of keys move.
+        assert!(
+            moved as f64 / ks.len() as f64 > 0.75,
+            "modulo should remap most keys, moved {moved}/{}",
+            ks.len()
+        );
+    }
+
+    #[test]
+    fn dedups_and_sorts_members() {
+        let p = ModuloPlacement::from_members(vec![NodeId(3), NodeId(1), NodeId(3)]);
+        assert_eq!(p.live_nodes(), vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn membership_errors_and_empty() {
+        let mut p = ModuloPlacement::with_nodes(1);
+        assert_eq!(
+            p.add_node(NodeId(0)),
+            Err(PlacementError::AlreadyMember(NodeId(0)))
+        );
+        assert_eq!(
+            p.remove_node(NodeId(5)),
+            Err(PlacementError::UnknownNode(NodeId(5)))
+        );
+        p.remove_node(NodeId(0)).unwrap();
+        assert_eq!(p.owner("k"), None);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn contains_and_name() {
+        let p = ModuloPlacement::with_nodes(3);
+        assert!(p.contains(NodeId(2)));
+        assert!(!p.contains(NodeId(7)));
+        assert_eq!(p.strategy_name(), "modulo");
+    }
+}

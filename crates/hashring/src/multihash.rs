@@ -1,0 +1,198 @@
+//! Multi-hash fallback placement — the "employing multiple hash functions"
+//! alternative §IV-B discusses.
+//!
+//! Placement is computed against the *initial* membership so surviving
+//! keys never move: `candidate(k, 0) = all[h_0(k) % |all|]`. When that node
+//! is dead, the client retries with the next salted hash, `h_1`, `h_2`, …
+//! until a live node is hit. Only the failed node's keys move (good), but
+//! lookups degrade with the number of accumulated failures and the fallback
+//! choice is uncoordinated with load — which is why the paper prefers the
+//! ring.
+
+use crate::hash::salted_key_hash;
+use crate::types::{NodeId, Placement, PlacementError};
+use std::collections::BTreeSet;
+
+/// Fallback-hash-chain placement over a fixed initial membership.
+#[derive(Debug, Clone)]
+pub struct MultiHashPlacement {
+    /// Membership at construction; indexing base for every hash in the
+    /// chain. Never shrinks — failures only mark nodes dead.
+    all: Vec<NodeId>,
+    dead: BTreeSet<NodeId>,
+    /// Safety valve: give up after this many salts (then fall back to the
+    /// first live node) so lookup stays bounded even under adversarial
+    /// hashing.
+    max_probes: u32,
+}
+
+impl MultiHashPlacement {
+    /// Placement over nodes `0..n`.
+    pub fn with_nodes(n: u32) -> Self {
+        MultiHashPlacement {
+            all: (0..n).map(NodeId).collect(),
+            dead: BTreeSet::new(),
+            max_probes: 64,
+        }
+    }
+
+    /// Number of nodes marked dead so far.
+    pub fn dead_count(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// How many probes a lookup for `key` currently needs (1 = primary
+    /// owner is alive). Exposed for the ablation bench that shows lookup
+    /// degradation under repeated failures.
+    pub fn probes_for(&self, key: &str) -> u32 {
+        if self.all.len() == self.dead.len() {
+            return 0;
+        }
+        for salt in 0..self.max_probes {
+            let idx = (salted_key_hash(key, u64::from(salt)) % self.all.len() as u64) as usize;
+            if !self.dead.contains(&self.all[idx]) {
+                return salt + 1;
+            }
+        }
+        self.max_probes
+    }
+}
+
+impl Placement for MultiHashPlacement {
+    fn owner(&self, key: &str) -> Option<NodeId> {
+        if self.all.len() == self.dead.len() || self.all.is_empty() {
+            return None;
+        }
+        for salt in 0..self.max_probes {
+            let idx = (salted_key_hash(key, u64::from(salt)) % self.all.len() as u64) as usize;
+            let n = self.all[idx];
+            if !self.dead.contains(&n) {
+                return Some(n);
+            }
+        }
+        // Extremely unlikely with max_probes=64 unless almost all nodes are
+        // dead; deterministic last resort keeps the contract total.
+        self.all.iter().find(|n| !self.dead.contains(n)).copied()
+    }
+
+    fn remove_node(&mut self, node: NodeId) -> Result<(), PlacementError> {
+        if !self.all.contains(&node) || self.dead.contains(&node) {
+            return Err(PlacementError::UnknownNode(node));
+        }
+        self.dead.insert(node);
+        Ok(())
+    }
+
+    fn add_node(&mut self, node: NodeId) -> Result<(), PlacementError> {
+        if self.dead.remove(&node) {
+            return Ok(()); // revive
+        }
+        if self.all.contains(&node) {
+            return Err(PlacementError::AlreadyMember(node));
+        }
+        self.all.push(node);
+        Ok(())
+    }
+
+    fn live_nodes(&self) -> Vec<NodeId> {
+        let mut live: Vec<NodeId> = self
+            .all
+            .iter()
+            .filter(|n| !self.dead.contains(n))
+            .copied()
+            .collect();
+        live.sort_unstable();
+        live
+    }
+
+    fn len(&self) -> usize {
+        self.all.len() - self.dead.len()
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        self.all.contains(&node) && !self.dead.contains(&node)
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "multi-hash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("f{i}")).collect()
+    }
+
+    #[test]
+    fn survivor_keys_never_move() {
+        let mut p = MultiHashPlacement::with_nodes(8);
+        let ks = keys(4000);
+        let before: Vec<_> = ks.iter().map(|k| p.owner(k)).collect();
+        p.remove_node(NodeId(2)).unwrap();
+        for (k, b) in ks.iter().zip(before) {
+            if b != Some(NodeId(2)) {
+                assert_eq!(p.owner(k), b);
+            } else {
+                let o = p.owner(k).unwrap();
+                assert_ne!(o, NodeId(2));
+            }
+        }
+    }
+
+    #[test]
+    fn probe_count_grows_with_failures() {
+        let mut p = MultiHashPlacement::with_nodes(16);
+        let ks = keys(4000);
+        let avg = |p: &MultiHashPlacement| {
+            ks.iter().map(|k| f64::from(p.probes_for(k))).sum::<f64>() / ks.len() as f64
+        };
+        let a0 = avg(&p);
+        assert!((a0 - 1.0).abs() < 1e-9);
+        for i in 0..8 {
+            p.remove_node(NodeId(i)).unwrap();
+        }
+        let a8 = avg(&p);
+        // Half the nodes dead -> expected probes ~2.
+        assert!(a8 > 1.5, "probes should grow with failures: {a8}");
+    }
+
+    #[test]
+    fn revive_restores_original_owner() {
+        let mut p = MultiHashPlacement::with_nodes(8);
+        let ks = keys(1000);
+        let before: Vec<_> = ks.iter().map(|k| p.owner(k)).collect();
+        p.remove_node(NodeId(4)).unwrap();
+        p.add_node(NodeId(4)).unwrap();
+        let after: Vec<_> = ks.iter().map(|k| p.owner(k)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn all_dead_owns_nothing() {
+        let mut p = MultiHashPlacement::with_nodes(2);
+        p.remove_node(NodeId(0)).unwrap();
+        p.remove_node(NodeId(1)).unwrap();
+        assert_eq!(p.owner("k"), None);
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.probes_for("k"), 0);
+    }
+
+    #[test]
+    fn membership_errors() {
+        let mut p = MultiHashPlacement::with_nodes(2);
+        assert_eq!(
+            p.add_node(NodeId(1)),
+            Err(PlacementError::AlreadyMember(NodeId(1)))
+        );
+        p.remove_node(NodeId(1)).unwrap();
+        assert_eq!(
+            p.remove_node(NodeId(1)),
+            Err(PlacementError::UnknownNode(NodeId(1)))
+        );
+        assert_eq!(p.dead_count(), 1);
+        assert_eq!(p.strategy_name(), "multi-hash");
+    }
+}

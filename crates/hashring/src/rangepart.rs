@@ -1,0 +1,285 @@
+//! Range partitioning — the alternative from Özsu & Valduriez that §IV-B
+//! discusses and rejects.
+//!
+//! The `u64` key-hash space is cut into contiguous ranges, one per live
+//! node. Two failure-handling modes are modeled:
+//!
+//! * [`RebalanceMode::MergeNeighbor`] — the failed node's range is absorbed
+//!   by its successor. Minimal movement but the successor's load doubles
+//!   (the imbalance problem the paper notes).
+//! * [`RebalanceMode::EvenSplit`] — ranges are recomputed evenly over the
+//!   survivors. Balanced but "leading to more extensive redistribution"
+//!   (§IV-B): most keys change owner.
+
+use crate::hash::key_hash;
+use crate::types::{NodeId, Placement, PlacementError};
+use serde::{Deserialize, Serialize};
+
+/// What to do with a failed node's key range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RebalanceMode {
+    /// Successor absorbs the range (minimal movement, imbalanced).
+    MergeNeighbor,
+    /// Recompute equal ranges over survivors (balanced, heavy movement).
+    EvenSplit,
+}
+
+/// One contiguous half-open slice of the hash space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Range {
+    /// Inclusive start.
+    start: u64,
+    owner: NodeId,
+}
+
+/// Contiguous-range placement over the `u64` hash space.
+#[derive(Debug, Clone)]
+pub struct RangePartition {
+    /// Ranges sorted by `start`; range `i` covers `[start_i, start_{i+1})`,
+    /// the last wraps to `u64::MAX`.
+    ranges: Vec<Range>,
+    mode: RebalanceMode,
+}
+
+impl RangePartition {
+    /// Even partition over nodes `0..n`.
+    pub fn with_nodes(n: u32, mode: RebalanceMode) -> Self {
+        let mut p = RangePartition {
+            ranges: Vec::new(),
+            mode,
+        };
+        p.assign_even((0..n).map(NodeId).collect());
+        p
+    }
+
+    fn assign_even(&mut self, nodes: Vec<NodeId>) {
+        self.ranges.clear();
+        let n = nodes.len() as u64;
+        if n == 0 {
+            return;
+        }
+        let width = u64::MAX / n;
+        for (i, owner) in nodes.into_iter().enumerate() {
+            self.ranges.push(Range {
+                start: i as u64 * width,
+                owner,
+            });
+        }
+    }
+
+    /// The rebalance mode in effect.
+    pub fn mode(&self) -> RebalanceMode {
+        self.mode
+    }
+
+    /// Total hash-space fraction owned per node — the load-imbalance
+    /// measure for the MergeNeighbor mode. A node may own several ranges
+    /// after absorbing a failed neighbor; fractions are aggregated.
+    pub fn range_fractions(&self) -> std::collections::BTreeMap<NodeId, f64> {
+        let total = u128::from(u64::MAX) + 1;
+        let mut out = std::collections::BTreeMap::new();
+        for (i, r) in self.ranges.iter().enumerate() {
+            let end = self
+                .ranges
+                .get(i + 1)
+                .map_or(u128::from(u64::MAX) + 1, |next| u128::from(next.start));
+            *out.entry(r.owner).or_insert(0.0) +=
+                (end - u128::from(r.start)) as f64 / total as f64;
+        }
+        out
+    }
+}
+
+impl Placement for RangePartition {
+    fn owner(&self, key: &str) -> Option<NodeId> {
+        if self.ranges.is_empty() {
+            return None;
+        }
+        let h = key_hash(key);
+        // partition_point: first range with start > h, minus one.
+        let idx = self.ranges.partition_point(|r| r.start <= h);
+        Some(self.ranges[idx.saturating_sub(1)].owner)
+    }
+
+    fn remove_node(&mut self, node: NodeId) -> Result<(), PlacementError> {
+        if !self.ranges.iter().any(|r| r.owner == node) {
+            return Err(PlacementError::UnknownNode(node));
+        }
+        match self.mode {
+            RebalanceMode::MergeNeighbor => {
+                if self.ranges.iter().all(|r| r.owner == node) {
+                    self.ranges.clear();
+                    return Ok(());
+                }
+                // A node can own several ranges (after earlier absorptions);
+                // each one is handed to its clockwise successor.
+                while let Some(pos) = self.ranges.iter().position(|r| r.owner == node) {
+                    let removed = self.ranges.remove(pos);
+                    if pos < self.ranges.len() {
+                        // Successor slid into `pos`; extend it backwards.
+                        self.ranges[pos].start = removed.start;
+                    } else {
+                        // Removed the final range: the clockwise successor
+                        // wraps to range 0, which takes over the tail arc as
+                        // an additional range entry.
+                        let heir = self.ranges[0].owner;
+                        self.ranges.push(Range {
+                            start: removed.start,
+                            owner: heir,
+                        });
+                    }
+                }
+                Ok(())
+            }
+            RebalanceMode::EvenSplit => {
+                let mut survivors: Vec<NodeId> = self
+                    .ranges
+                    .iter()
+                    .filter(|r| r.owner != node)
+                    .map(|r| r.owner)
+                    .collect();
+                survivors.sort_unstable();
+                survivors.dedup();
+                self.assign_even(survivors);
+                Ok(())
+            }
+        }
+    }
+
+    fn add_node(&mut self, node: NodeId) -> Result<(), PlacementError> {
+        if self.ranges.iter().any(|r| r.owner == node) {
+            return Err(PlacementError::AlreadyMember(node));
+        }
+        let mut nodes: Vec<NodeId> = self.ranges.iter().map(|r| r.owner).collect();
+        nodes.push(node);
+        nodes.sort_unstable();
+        nodes.dedup();
+        self.assign_even(nodes);
+        Ok(())
+    }
+
+    fn live_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.ranges.iter().map(|r| r.owner).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    fn len(&self) -> usize {
+        self.live_nodes().len()
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        match self.mode {
+            RebalanceMode::MergeNeighbor => "range-merge",
+            RebalanceMode::EvenSplit => "range-even",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("f{i}")).collect()
+    }
+
+    #[test]
+    fn even_partition_is_balanced() {
+        let p = RangePartition::with_nodes(8, RebalanceMode::EvenSplit);
+        let mut counts = [0u32; 8];
+        for k in keys(16_000) {
+            counts[p.owner(&k).unwrap().index()] += 1;
+        }
+        let mean = 16_000.0 / 8.0;
+        for c in counts {
+            assert!((f64::from(c) - mean).abs() / mean < 0.15, "count {c}");
+        }
+    }
+
+    #[test]
+    fn merge_neighbor_moves_only_failed_keys() {
+        let mut p = RangePartition::with_nodes(8, RebalanceMode::MergeNeighbor);
+        let ks = keys(8000);
+        let before: Vec<_> = ks.iter().map(|k| p.owner(k)).collect();
+        p.remove_node(NodeId(3)).unwrap();
+        for (k, b) in ks.iter().zip(before) {
+            if b != Some(NodeId(3)) {
+                assert_eq!(p.owner(k), b, "survivor key moved: {k}");
+            } else {
+                assert_ne!(p.owner(k), Some(NodeId(3)));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_neighbor_doubles_successor_load() {
+        let mut p = RangePartition::with_nodes(8, RebalanceMode::MergeNeighbor);
+        p.remove_node(NodeId(3)).unwrap();
+        let fracs = p.range_fractions();
+        let max = fracs.values().copied().fold(0.0, f64::max);
+        // Successor now owns ~2/8 of the space.
+        assert!(max > 0.22, "successor should absorb the range, max={max:.3}");
+    }
+
+    #[test]
+    fn even_split_remaps_many_keys() {
+        let mut p = RangePartition::with_nodes(8, RebalanceMode::EvenSplit);
+        let ks = keys(8000);
+        let before: Vec<_> = ks.iter().map(|k| p.owner(k)).collect();
+        p.remove_node(NodeId(3)).unwrap();
+        let moved = ks
+            .iter()
+            .zip(&before)
+            .filter(|(k, &b)| p.owner(k) != b)
+            .count();
+        // Minimal movement would be ~1/8 (12.5%) of keys; even-split moves
+        // roughly 30% here because every boundary after the removed node
+        // shifts.
+        assert!(
+            moved as f64 / ks.len() as f64 > 0.2,
+            "even split should move many keys, moved {moved}"
+        );
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        for mode in [RebalanceMode::MergeNeighbor, RebalanceMode::EvenSplit] {
+            let mut p = RangePartition::with_nodes(5, mode);
+            let sum: f64 = p.range_fractions().values().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            p.remove_node(NodeId(2)).unwrap();
+            let sum: f64 = p.range_fractions().values().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "after removal: {sum}");
+        }
+    }
+
+    #[test]
+    fn membership_errors_and_add() {
+        let mut p = RangePartition::with_nodes(2, RebalanceMode::EvenSplit);
+        assert_eq!(
+            p.remove_node(NodeId(7)),
+            Err(PlacementError::UnknownNode(NodeId(7)))
+        );
+        assert_eq!(
+            p.add_node(NodeId(1)),
+            Err(PlacementError::AlreadyMember(NodeId(1)))
+        );
+        p.add_node(NodeId(2)).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.live_nodes(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(
+            RangePartition::with_nodes(1, RebalanceMode::MergeNeighbor).strategy_name(),
+            "range-merge"
+        );
+        assert_eq!(
+            RangePartition::with_nodes(1, RebalanceMode::EvenSplit).strategy_name(),
+            "range-even"
+        );
+    }
+}

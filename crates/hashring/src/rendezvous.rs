@@ -1,0 +1,145 @@
+//! Rendezvous (highest-random-weight) hashing — an ablation comparator.
+//!
+//! Not evaluated in the paper, but the natural alternative to a token ring:
+//! each key goes to the live node with the highest `hash(key, node)`
+//! weight. Like the ring it has the minimal-movement property (a failure
+//! moves only the failed node's keys) and near-perfect balance *without*
+//! virtual nodes — at the cost of `O(N)` weight evaluations per lookup
+//! instead of `O(log T)`. The `placement` bench quantifies the trade-off.
+
+use crate::hash::{splitmix64, xxh64};
+use crate::types::{NodeId, Placement, PlacementError};
+
+/// Highest-random-weight placement.
+#[derive(Debug, Clone)]
+pub struct RendezvousPlacement {
+    live: Vec<NodeId>,
+}
+
+impl RendezvousPlacement {
+    /// Placement over nodes `0..n`.
+    pub fn with_nodes(n: u32) -> Self {
+        RendezvousPlacement {
+            live: (0..n).map(NodeId).collect(),
+        }
+    }
+
+    #[inline]
+    fn weight(key_h: u64, node: NodeId) -> u64 {
+        splitmix64(key_h ^ splitmix64(u64::from(node.0).wrapping_add(0x5851_F42D_4C95_7F2D)))
+    }
+}
+
+impl Placement for RendezvousPlacement {
+    fn owner(&self, key: &str) -> Option<NodeId> {
+        let kh = xxh64(key.as_bytes(), 0);
+        self.live
+            .iter()
+            .copied()
+            .max_by_key(|&n| (Self::weight(kh, n), n))
+            // The `n` tiebreak makes the result total even if two weights
+            // collide (2^-64 per pair).
+    }
+
+    fn remove_node(&mut self, node: NodeId) -> Result<(), PlacementError> {
+        match self.live.iter().position(|&n| n == node) {
+            Some(pos) => {
+                self.live.swap_remove(pos);
+                Ok(())
+            }
+            None => Err(PlacementError::UnknownNode(node)),
+        }
+    }
+
+    fn add_node(&mut self, node: NodeId) -> Result<(), PlacementError> {
+        if self.live.contains(&node) {
+            return Err(PlacementError::AlreadyMember(node));
+        }
+        self.live.push(node);
+        Ok(())
+    }
+
+    fn live_nodes(&self) -> Vec<NodeId> {
+        let mut v = self.live.clone();
+        v.sort_unstable();
+        v
+    }
+
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        self.live.contains(&node)
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "rendezvous"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("f{i}")).collect()
+    }
+
+    #[test]
+    fn owner_is_order_independent() {
+        let a = RendezvousPlacement::with_nodes(8);
+        let mut b = RendezvousPlacement::with_nodes(8);
+        // Shuffle b's internal order via remove/add cycles.
+        b.remove_node(NodeId(0)).unwrap();
+        b.remove_node(NodeId(5)).unwrap();
+        b.add_node(NodeId(5)).unwrap();
+        b.add_node(NodeId(0)).unwrap();
+        for k in keys(500) {
+            assert_eq!(a.owner(&k), b.owner(&k));
+        }
+    }
+
+    #[test]
+    fn minimal_movement_on_failure() {
+        let mut p = RendezvousPlacement::with_nodes(8);
+        let ks = keys(4000);
+        let before: Vec<_> = ks.iter().map(|k| p.owner(k)).collect();
+        p.remove_node(NodeId(6)).unwrap();
+        for (k, b) in ks.iter().zip(before) {
+            if b != Some(NodeId(6)) {
+                assert_eq!(p.owner(k), b);
+            } else {
+                assert_ne!(p.owner(k), Some(NodeId(6)));
+            }
+        }
+    }
+
+    #[test]
+    fn balance_without_vnodes() {
+        let p = RendezvousPlacement::with_nodes(16);
+        let mut counts = [0u32; 16];
+        for k in keys(32_000) {
+            counts[p.owner(&k).unwrap().index()] += 1;
+        }
+        let mean = 32_000.0 / 16.0;
+        let max = f64::from(*counts.iter().max().unwrap());
+        assert!(max / mean < 1.2, "HRW balance should be tight, max/mean={}", max / mean);
+    }
+
+    #[test]
+    fn empty_and_errors() {
+        let mut p = RendezvousPlacement::with_nodes(1);
+        assert_eq!(
+            p.add_node(NodeId(0)),
+            Err(PlacementError::AlreadyMember(NodeId(0)))
+        );
+        p.remove_node(NodeId(0)).unwrap();
+        assert_eq!(
+            p.remove_node(NodeId(0)),
+            Err(PlacementError::UnknownNode(NodeId(0)))
+        );
+        assert_eq!(p.owner("k"), None);
+        assert_eq!(p.strategy_name(), "rendezvous");
+    }
+}

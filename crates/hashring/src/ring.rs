@@ -1,0 +1,433 @@
+//! Consistent hash ring with virtual nodes — the paper's chosen placement
+//! (§IV-B, Fig. 4).
+//!
+//! Both nodes and keys are hashed onto a logical circle (the full `u64`
+//! space). A key is owned by the first node token at or clockwise after the
+//! key's hash. Each physical node contributes `vnodes` tokens so that its
+//! responsibility is spread around the circle; the paper found `vnodes =
+//! 100` optimal on Frontier (Fig. 6(b)).
+//!
+//! On node failure only the failed node's arcs are re-assigned — to the
+//! next clockwise token — which is the theoretical minimum amount of data
+//! movement. The original implementation uses C++ `std::map`; this one uses
+//! `BTreeMap`, giving the same `O(log T)` lookup/update where `T` is the
+//! total token count.
+
+use crate::hash::{key_hash, splitmix64};
+use crate::types::{NodeId, Placement, PlacementError};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Consistent hash ring with virtual nodes.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// token -> owning physical node. The BTreeMap order *is* the ring
+    /// order; wrap-around is handled at lookup.
+    tokens: BTreeMap<u64, NodeId>,
+    /// Live membership.
+    members: BTreeSet<NodeId>,
+    /// Virtual nodes per physical node.
+    vnodes: u32,
+    /// Seed mixed into token derivation, so independent rings (e.g. test
+    /// trials) can be decorrelated while staying deterministic.
+    seed: u64,
+}
+
+/// Paper's virtual-node count per physical node ("The virtual node count is
+/// set to 100 per physical node", §V-A).
+pub const DEFAULT_VNODES: u32 = 100;
+
+impl HashRing {
+    /// Empty ring with the given virtual-node multiplicity.
+    pub fn new(vnodes: u32) -> Self {
+        Self::with_seed(vnodes, 0)
+    }
+
+    /// Empty ring with an explicit token-derivation seed.
+    pub fn with_seed(vnodes: u32, seed: u64) -> Self {
+        assert!(vnodes >= 1, "a node must map to at least one token");
+        HashRing {
+            tokens: BTreeMap::new(),
+            members: BTreeSet::new(),
+            vnodes,
+            seed,
+        }
+    }
+
+    /// Ring pre-populated with nodes `0..n`.
+    pub fn with_nodes(n: u32, vnodes: u32) -> Self {
+        let mut ring = Self::new(vnodes);
+        for i in 0..n {
+            ring.add_node(NodeId(i)).expect("fresh ids are unique");
+        }
+        ring
+    }
+
+    /// The token for a given (node, replica) pair.
+    ///
+    /// Derived via splitmix64 over a value that encodes node id, replica
+    /// index and the ring seed — stable, collision-resistant in practice,
+    /// and far cheaper than hashing formatted strings.
+    #[inline]
+    fn token(&self, node: NodeId, replica: u32) -> u64 {
+        splitmix64(
+            (u64::from(node.0) << 32 | u64::from(replica)).wrapping_add(self.seed.rotate_left(17)),
+        )
+    }
+
+    /// Virtual-node multiplicity.
+    pub fn vnodes(&self) -> u32 {
+        self.vnodes
+    }
+
+    /// Total number of tokens currently on the ring.
+    pub fn token_count(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Owner of a raw 64-bit key hash: first token clockwise from `h`
+    /// (wrapping to the ring start).
+    #[inline]
+    pub fn owner_of_hash(&self, h: u64) -> Option<NodeId> {
+        self.tokens
+            .range(h..)
+            .next()
+            .or_else(|| self.tokens.iter().next())
+            .map(|(_, &node)| node)
+    }
+
+    /// Owner of `h` if `excluded` were absent, without mutating the ring.
+    ///
+    /// Used by the load-redistribution simulation (Fig. 6(b)) and by the
+    /// replication option (successor distinct from the primary).
+    pub fn owner_of_hash_excluding(&self, h: u64, excluded: NodeId) -> Option<NodeId> {
+        if self.members.len() <= 1 && self.members.contains(&excluded) {
+            return None;
+        }
+        let found = self
+            .tokens
+            .range(h..)
+            .find(|(_, &n)| n != excluded)
+            .map(|(_, &n)| n);
+        found.or_else(|| {
+            self.tokens
+                .iter()
+                .find(|(_, &n)| n != excluded)
+                .map(|(_, &n)| n)
+        })
+    }
+
+    /// The first `k` *distinct* nodes clockwise from the key's hash.
+    ///
+    /// `replicas("f", 2)` yields the primary owner and the node that would
+    /// take over if the primary failed — the basis of the optional
+    /// replicated-caching extension.
+    pub fn replicas(&self, key: &str, k: usize) -> Vec<NodeId> {
+        let h = key_hash(key);
+        let mut out = Vec::with_capacity(k);
+        for (_, &n) in self.tokens.range(h..).chain(self.tokens.range(..h)) {
+            if !out.contains(&n) {
+                out.push(n);
+                if out.len() == k {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of the ring circumference owned by `node` (0.0..=1.0).
+    ///
+    /// With enough virtual nodes this approaches `1/len()`, which is the
+    /// load-balance argument of §IV-B.
+    pub fn arc_fraction(&self, node: NodeId) -> f64 {
+        if self.tokens.is_empty() {
+            return 0.0;
+        }
+        if self.tokens.values().all(|&n| n == node) {
+            return 1.0;
+        }
+        let mut owned: u128 = 0;
+        let mut prev_token: Option<u64> = None;
+        let first = *self.tokens.keys().next().unwrap();
+        let last = *self.tokens.keys().next_back().unwrap();
+        for (&t, &n) in &self.tokens {
+            if let Some(p) = prev_token {
+                if n == node {
+                    owned += u128::from(t - p);
+                }
+            }
+            prev_token = Some(t);
+        }
+        // Wrap-around arc (last..MAX, MIN..first) belongs to the first token.
+        if self.tokens[&first] == node {
+            owned += u128::from(u64::MAX - last) + u128::from(first) + 1;
+        }
+        owned as f64 / (u128::from(u64::MAX) + 1) as f64
+    }
+
+    /// Count how many of `keys` each live node owns.
+    pub fn load_of_keys<'a>(
+        &self,
+        keys: impl IntoIterator<Item = &'a str>,
+    ) -> BTreeMap<NodeId, u64> {
+        let mut counts: BTreeMap<NodeId, u64> = self.members.iter().map(|&n| (n, 0)).collect();
+        for k in keys {
+            if let Some(owner) = self.owner_of_hash(key_hash(k)) {
+                *counts.entry(owner).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Simulate the failure of `failed`: for every key hash in `hashes`
+    /// owned by `failed`, report which surviving node inherits it.
+    ///
+    /// Returns `(receiver -> inherited key count)`. This is the inner loop
+    /// of the Fig. 6(b) load-redistribution experiment and does not mutate
+    /// the ring.
+    pub fn failover_distribution(
+        &self,
+        failed: NodeId,
+        hashes: impl IntoIterator<Item = u64>,
+    ) -> BTreeMap<NodeId, u64> {
+        let mut received: BTreeMap<NodeId, u64> = BTreeMap::new();
+        for h in hashes {
+            if self.owner_of_hash(h) == Some(failed) {
+                if let Some(r) = self.owner_of_hash_excluding(h, failed) {
+                    *received.entry(r).or_insert(0) += 1;
+                }
+            }
+        }
+        received
+    }
+}
+
+impl Placement for HashRing {
+    #[inline]
+    fn owner(&self, key: &str) -> Option<NodeId> {
+        self.owner_of_hash(key_hash(key))
+    }
+
+    fn remove_node(&mut self, node: NodeId) -> Result<(), PlacementError> {
+        if !self.members.remove(&node) {
+            return Err(PlacementError::UnknownNode(node));
+        }
+        for r in 0..self.vnodes {
+            let t = self.token(node, r);
+            // Another node's token may collide (astronomically unlikely);
+            // only remove tokens that are actually ours.
+            if self.tokens.get(&t) == Some(&node) {
+                self.tokens.remove(&t);
+            }
+        }
+        Ok(())
+    }
+
+    fn add_node(&mut self, node: NodeId) -> Result<(), PlacementError> {
+        if !self.members.insert(node) {
+            return Err(PlacementError::AlreadyMember(node));
+        }
+        for r in 0..self.vnodes {
+            let t = self.token(node, r);
+            if let Entry::Vacant(e) = self.tokens.entry(t) {
+                e.insert(node);
+            }
+            // On collision the earlier owner keeps the token: deterministic
+            // and harmless (the node simply has one fewer vnode).
+        }
+        Ok(())
+    }
+
+    fn live_nodes(&self) -> Vec<NodeId> {
+        self.members.iter().copied().collect()
+    }
+
+    fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        self.members.contains(&node)
+    }
+
+    fn successors(&self, key: &str, k: usize) -> Vec<NodeId> {
+        self.replicas(key, k)
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "hash-ring"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("train/sample_{i:07}.tfrecord")).collect()
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::new(4);
+        assert_eq!(ring.owner("anything"), None);
+        assert!(ring.is_empty());
+        assert_eq!(ring.token_count(), 0);
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let ring = HashRing::with_nodes(1, 8);
+        for k in keys(100) {
+            assert_eq!(ring.owner(&k), Some(NodeId(0)));
+        }
+        assert!((ring.arc_fraction(NodeId(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_is_deterministic() {
+        let a = HashRing::with_nodes(16, 100);
+        let b = HashRing::with_nodes(16, 100);
+        for k in keys(500) {
+            assert_eq!(a.owner(&k), b.owner(&k));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_layouts() {
+        let mut a = HashRing::with_seed(100, 1);
+        let mut b = HashRing::with_seed(100, 2);
+        for i in 0..16 {
+            a.add_node(NodeId(i)).unwrap();
+            b.add_node(NodeId(i)).unwrap();
+        }
+        let ks = keys(500);
+        let moved = ks.iter().filter(|k| a.owner(k) != b.owner(k)).count();
+        assert!(moved > 250, "seeds should decorrelate layouts, moved={moved}");
+    }
+
+    #[test]
+    fn removal_moves_only_failed_nodes_keys() {
+        let mut ring = HashRing::with_nodes(8, 100);
+        let ks = keys(2000);
+        let before: Vec<Option<NodeId>> = ks.iter().map(|k| ring.owner(k)).collect();
+        ring.remove_node(NodeId(3)).unwrap();
+        for (k, owner_before) in ks.iter().zip(before) {
+            let owner_after = ring.owner(k);
+            if owner_before != Some(NodeId(3)) {
+                assert_eq!(owner_after, owner_before, "survivor key must not move: {k}");
+            } else {
+                assert_ne!(owner_after, Some(NodeId(3)));
+                assert!(owner_after.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn removal_matches_excluding_preview() {
+        let mut ring = HashRing::with_nodes(8, 50);
+        let ks = keys(1000);
+        let preview: Vec<Option<NodeId>> = ks
+            .iter()
+            .map(|k| ring.owner_of_hash_excluding(key_hash(k), NodeId(5)))
+            .collect();
+        ring.remove_node(NodeId(5)).unwrap();
+        for (k, p) in ks.iter().zip(preview) {
+            assert_eq!(ring.owner(k), p);
+        }
+    }
+
+    #[test]
+    fn add_back_restores_original_assignment() {
+        let mut ring = HashRing::with_nodes(8, 100);
+        let ks = keys(1000);
+        let before: Vec<Option<NodeId>> = ks.iter().map(|k| ring.owner(k)).collect();
+        ring.remove_node(NodeId(2)).unwrap();
+        ring.add_node(NodeId(2)).unwrap();
+        let after: Vec<Option<NodeId>> = ks.iter().map(|k| ring.owner(k)).collect();
+        assert_eq!(before, after, "rejoin under same id must restore placement");
+    }
+
+    #[test]
+    fn vnodes_improve_balance() {
+        let ks = keys(20_000);
+        let imbalance = |vnodes: u32| {
+            let ring = HashRing::with_nodes(16, vnodes);
+            let loads = ring.load_of_keys(ks.iter().map(String::as_str));
+            let max = *loads.values().max().unwrap() as f64;
+            let mean = 20_000.0 / 16.0;
+            max / mean
+        };
+        let few = imbalance(1);
+        let many = imbalance(200);
+        assert!(
+            many < few,
+            "200 vnodes should balance better than 1: {many:.3} vs {few:.3}"
+        );
+        assert!(many < 1.5, "with 200 vnodes max/mean load should be <1.5, got {many:.3}");
+    }
+
+    #[test]
+    fn arc_fractions_sum_to_one() {
+        let ring = HashRing::with_nodes(10, 64);
+        let total: f64 = (0..10).map(|i| ring.arc_fraction(NodeId(i))).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total arc = {total}");
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_start_with_owner() {
+        let ring = HashRing::with_nodes(8, 100);
+        for k in keys(200) {
+            let reps = ring.replicas(&k, 3);
+            assert_eq!(reps.len(), 3);
+            assert_eq!(Some(reps[0]), ring.owner(&k));
+            assert_ne!(reps[0], reps[1]);
+            assert_ne!(reps[1], reps[2]);
+            assert_ne!(reps[0], reps[2]);
+        }
+    }
+
+    #[test]
+    fn replicas_capped_by_membership() {
+        let ring = HashRing::with_nodes(2, 10);
+        assert_eq!(ring.replicas("k", 5).len(), 2);
+    }
+
+    #[test]
+    fn failover_distribution_counts_only_failed_keys() {
+        let ring = HashRing::with_nodes(8, 100);
+        let ks = keys(4000);
+        let hashes: Vec<u64> = ks.iter().map(|k| key_hash(k)).collect();
+        let failed = NodeId(1);
+        let lost = hashes
+            .iter()
+            .filter(|&&h| ring.owner_of_hash(h) == Some(failed))
+            .count() as u64;
+        let dist = ring.failover_distribution(failed, hashes.iter().copied());
+        assert_eq!(dist.values().sum::<u64>(), lost);
+        assert!(!dist.contains_key(&failed));
+    }
+
+    #[test]
+    fn membership_errors() {
+        let mut ring = HashRing::with_nodes(2, 4);
+        assert_eq!(
+            ring.add_node(NodeId(0)),
+            Err(PlacementError::AlreadyMember(NodeId(0)))
+        );
+        assert_eq!(
+            ring.remove_node(NodeId(9)),
+            Err(PlacementError::UnknownNode(NodeId(9)))
+        );
+        ring.remove_node(NodeId(0)).unwrap();
+        ring.remove_node(NodeId(1)).unwrap();
+        assert!(ring.is_empty());
+        assert_eq!(ring.owner("k"), None);
+    }
+
+    #[test]
+    fn strategy_name() {
+        assert_eq!(HashRing::new(1).strategy_name(), "hash-ring");
+    }
+}

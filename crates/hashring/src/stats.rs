@@ -1,0 +1,109 @@
+//! Small statistics helpers used by placement analyses and the Fig. 6(b)
+//! load-redistribution experiment (mean, population standard deviation,
+//! load-imbalance factors).
+
+/// Mean of a sample; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; 0.0 for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// `max / mean` of per-node loads — 1.0 is perfect balance.
+pub fn imbalance_factor(loads: &[u64]) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let max = *loads.iter().max().unwrap() as f64;
+    let m = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    max / m
+}
+
+/// Coefficient of variation (`std/mean`) of per-node loads.
+pub fn coefficient_of_variation(loads: &[u64]) -> f64 {
+    let xs: Vec<f64> = loads.iter().map(|&l| l as f64).collect();
+    let m = mean(&xs);
+    if m == 0.0 {
+        return 0.0;
+    }
+    std_dev(&xs) / m
+}
+
+/// Aggregate of repeated trials: mean ± std.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TrialStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest sample (`+inf` when empty).
+    pub min: f64,
+    /// Largest sample (`-inf` when empty).
+    pub max: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl TrialStats {
+    /// Summarize a set of trial outcomes.
+    pub fn from_samples(xs: &[f64]) -> Self {
+        TrialStats {
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            n: xs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        // Population std of {2,4,4,4,5,5,7,9} is exactly 2.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance() {
+        assert_eq!(imbalance_factor(&[]), 0.0);
+        assert_eq!(imbalance_factor(&[0, 0]), 0.0);
+        assert!((imbalance_factor(&[10, 10, 10]) - 1.0).abs() < 1e-12);
+        assert!((imbalance_factor(&[30, 0, 0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv() {
+        assert_eq!(coefficient_of_variation(&[5, 5, 5, 5]), 0.0);
+        assert!(coefficient_of_variation(&[1, 9]) > 0.5);
+    }
+
+    #[test]
+    fn trial_stats() {
+        let s = TrialStats::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.n, 3);
+    }
+}

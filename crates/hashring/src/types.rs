@@ -1,0 +1,145 @@
+//! Common identifier and trait definitions shared by all placement
+//! strategies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a physical compute node (an HVAC server instance).
+///
+/// Node ids are small dense integers assigned at cluster construction; they
+/// are *stable for the lifetime of a job*, which is what lets a failed node
+/// rejoin under its original identity (elastic grow-back).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index, usable directly as a `Vec` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Why a placement mutation was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The node was not a (live) member of the placement.
+    UnknownNode(NodeId),
+    /// The node is already a live member.
+    AlreadyMember(NodeId),
+    /// The operation would leave zero live nodes.
+    WouldEmpty,
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            PlacementError::AlreadyMember(n) => write!(f, "node {n} is already a member"),
+            PlacementError::WouldEmpty => write!(f, "operation would leave no live nodes"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// A data-placement strategy: maps file paths (cache keys) to owner nodes
+/// and supports membership changes on node failure / rejoin.
+///
+/// The FT-Cache client holds one of these; `owner` runs on every read, and
+/// `remove_node` runs when the failure detector declares a node dead.
+/// All five strategies discussed in §IV of the paper implement this trait
+/// so the cache core and the ablation benches are generic over them:
+///
+/// * [`crate::HashRing`] — consistent hashing with virtual nodes (the
+///   paper's chosen design);
+/// * [`crate::ModuloPlacement`] — original HVAC `hash % N`;
+/// * [`crate::MultiHashPlacement`] — fallback hash chain on failure;
+/// * [`crate::RangePartition`] — contiguous key ranges;
+/// * [`crate::RendezvousPlacement`] — highest-random-weight hashing
+///   (not in the paper; included as an ablation comparator with the same
+///   minimal-movement property as the ring).
+pub trait Placement {
+    /// The node currently responsible for `key`, or `None` if no live
+    /// node remains.
+    fn owner(&self, key: &str) -> Option<NodeId>;
+
+    /// Remove a node (it failed). Keys it owned are re-mapped according to
+    /// the strategy; how *many* keys move is the strategy's defining
+    /// property.
+    fn remove_node(&mut self, node: NodeId) -> Result<(), PlacementError>;
+
+    /// Add a node (initial membership or elastic rejoin).
+    fn add_node(&mut self, node: NodeId) -> Result<(), PlacementError>;
+
+    /// Live membership, ascending by id.
+    fn live_nodes(&self) -> Vec<NodeId>;
+
+    /// Number of live nodes.
+    fn len(&self) -> usize;
+
+    /// True when no live node remains.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if `node` is currently a live member.
+    fn contains(&self, node: NodeId) -> bool {
+        self.live_nodes().contains(&node)
+    }
+
+    /// The first `k` distinct nodes that would own `key` in failover
+    /// order: the owner first, then the nodes that inherit it as owners
+    /// fail. Strategies without a natural successor order return just the
+    /// owner; the hash ring returns its clockwise successor chain — the
+    /// basis of the optional replication extension.
+    fn successors(&self, key: &str, k: usize) -> Vec<NodeId> {
+        self.owner(key).into_iter().take(k).collect()
+    }
+
+    /// Short human-readable name used in bench output.
+    fn strategy_name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_index() {
+        let n = NodeId(17);
+        assert_eq!(n.to_string(), "n17");
+        assert_eq!(n.index(), 17);
+        assert_eq!(NodeId::from(3u32), NodeId(3));
+    }
+
+    #[test]
+    fn placement_error_messages() {
+        assert_eq!(
+            PlacementError::UnknownNode(NodeId(2)).to_string(),
+            "unknown node n2"
+        );
+        assert_eq!(
+            PlacementError::AlreadyMember(NodeId(1)).to_string(),
+            "node n1 is already a member"
+        );
+        assert_eq!(
+            PlacementError::WouldEmpty.to_string(),
+            "operation would leave no live nodes"
+        );
+    }
+}

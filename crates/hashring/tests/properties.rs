@@ -1,0 +1,202 @@
+//! Property-based tests for the placement substrate.
+//!
+//! The central invariant of the paper's design — *consistent hashing moves
+//! only the failed node's keys* — is checked here against arbitrary
+//! cluster sizes, vnode counts, key sets and failure choices, alongside the
+//! contrasting property that modulo placement moves almost everything.
+
+use ftc_hashring::{
+    hash, HashRing, ModuloPlacement, MultiHashPlacement, NodeId, Placement, RangePartition,
+    RebalanceMode, RendezvousPlacement,
+};
+use proptest::prelude::*;
+
+fn keyset(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("train/s{i:06}.tfrecord")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ring lookups are a pure function of (membership, vnodes, seed, key).
+    #[test]
+    fn ring_lookup_deterministic(
+        nodes in 1u32..64,
+        vnodes in 1u32..64,
+        seed in any::<u64>(),
+        key in "[a-z0-9/_.]{1,64}",
+    ) {
+        let mut a = HashRing::with_seed(vnodes, seed);
+        let mut b = HashRing::with_seed(vnodes, seed);
+        for i in 0..nodes {
+            a.add_node(NodeId(i)).unwrap();
+            b.add_node(NodeId(i)).unwrap();
+        }
+        prop_assert_eq!(a.owner(&key), b.owner(&key));
+        prop_assert!(a.owner(&key).is_some());
+    }
+
+    /// Minimal disruption: removing one node never changes ownership of a
+    /// key the failed node did not own.
+    #[test]
+    fn ring_minimal_disruption(
+        nodes in 2u32..32,
+        vnodes in 1u32..128,
+        failed in 0u32..32,
+        nkeys in 1usize..400,
+    ) {
+        let failed = NodeId(failed % nodes);
+        let mut ring = HashRing::with_nodes(nodes, vnodes);
+        let keys = keyset(nkeys);
+        let before: Vec<_> = keys.iter().map(|k| ring.owner(k).unwrap()).collect();
+        ring.remove_node(failed).unwrap();
+        for (k, b) in keys.iter().zip(before) {
+            let after = ring.owner(k).unwrap();
+            if b == failed {
+                prop_assert_ne!(after, failed);
+            } else {
+                prop_assert_eq!(after, b);
+            }
+        }
+    }
+
+    /// Failure + rejoin under the same id is an exact no-op on placement.
+    #[test]
+    fn ring_rejoin_roundtrip(
+        nodes in 2u32..24,
+        vnodes in 1u32..64,
+        failed in 0u32..24,
+        nkeys in 1usize..300,
+    ) {
+        let failed = NodeId(failed % nodes);
+        let mut ring = HashRing::with_nodes(nodes, vnodes);
+        let keys = keyset(nkeys);
+        let before: Vec<_> = keys.iter().map(|k| ring.owner(k)).collect();
+        ring.remove_node(failed).unwrap();
+        ring.add_node(failed).unwrap();
+        let after: Vec<_> = keys.iter().map(|k| ring.owner(k)).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Cascading failures: after removing any subset of nodes (short of
+    /// all), every key is owned by a surviving node.
+    #[test]
+    fn ring_total_under_cascading_failures(
+        nodes in 2u32..24,
+        vnodes in 1u32..32,
+        kill_mask in any::<u32>(),
+        nkeys in 1usize..200,
+    ) {
+        let mut ring = HashRing::with_nodes(nodes, vnodes);
+        let mut survivors: Vec<NodeId> = (0..nodes).map(NodeId).collect();
+        for i in 0..nodes {
+            if kill_mask & (1 << i) != 0 && survivors.len() > 1 {
+                ring.remove_node(NodeId(i)).unwrap();
+                survivors.retain(|&n| n != NodeId(i));
+            }
+        }
+        for k in keyset(nkeys) {
+            let owner = ring.owner(&k);
+            prop_assert!(owner.is_some());
+            prop_assert!(survivors.contains(&owner.unwrap()));
+        }
+    }
+
+    /// The arc fractions of all live nodes always sum to 1.
+    #[test]
+    fn ring_arcs_partition_the_circle(
+        nodes in 1u32..32,
+        vnodes in 1u32..64,
+        seed in any::<u64>(),
+    ) {
+        let mut ring = HashRing::with_seed(vnodes, seed);
+        for i in 0..nodes {
+            ring.add_node(NodeId(i)).unwrap();
+        }
+        let total: f64 = (0..nodes).map(|i| ring.arc_fraction(NodeId(i))).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total={}", total);
+    }
+
+    /// Contrast property: modulo placement moves at least half the keys on
+    /// a failure in any cluster of ≥4 nodes (expected stay rate 1/(N-1)).
+    #[test]
+    fn modulo_massive_remap(nodes in 4u32..64, failed in 0u32..64) {
+        let failed = NodeId(failed % nodes);
+        let mut p = ModuloPlacement::with_nodes(nodes);
+        let keys = keyset(2000);
+        let before: Vec<_> = keys.iter().map(|k| p.owner(k)).collect();
+        p.remove_node(failed).unwrap();
+        let moved = keys.iter().zip(&before).filter(|(k, &b)| p.owner(k) != b).count();
+        prop_assert!(
+            moved * 2 > keys.len(),
+            "modulo moved only {}/{} keys on failure of {} among {}",
+            moved, keys.len(), failed, nodes
+        );
+    }
+
+    /// Every strategy keeps `owner` total (Some) while ≥1 node is live, and
+    /// never returns a dead node.
+    #[test]
+    fn strategies_never_route_to_dead_nodes(
+        nodes in 2u32..16,
+        kills in prop::collection::vec(0u32..16, 0..8),
+        nkeys in 1usize..100,
+    ) {
+        let strategies: Vec<Box<dyn Placement>> = vec![
+            Box::new(HashRing::with_nodes(nodes, 16)),
+            Box::new(ModuloPlacement::with_nodes(nodes)),
+            Box::new(MultiHashPlacement::with_nodes(nodes)),
+            Box::new(RangePartition::with_nodes(nodes, RebalanceMode::MergeNeighbor)),
+            Box::new(RangePartition::with_nodes(nodes, RebalanceMode::EvenSplit)),
+            Box::new(RendezvousPlacement::with_nodes(nodes)),
+        ];
+        for mut s in strategies {
+            let mut dead = Vec::new();
+            for &k in &kills {
+                let victim = NodeId(k % nodes);
+                if !dead.contains(&victim) && s.len() > 1 {
+                    s.remove_node(victim).unwrap();
+                    dead.push(victim);
+                }
+            }
+            for key in keyset(nkeys) {
+                let owner = s.owner(&key);
+                prop_assert!(owner.is_some(), "{} returned None", s.strategy_name());
+                prop_assert!(
+                    !dead.contains(&owner.unwrap()),
+                    "{} routed {} to dead node {}",
+                    s.strategy_name(), key, owner.unwrap()
+                );
+            }
+        }
+    }
+
+    /// xxh64 equals itself and differs for different inputs (sanity over
+    /// arbitrary byte strings, exercising every tail-length code path).
+    #[test]
+    fn xxh64_behaves(data in prop::collection::vec(any::<u8>(), 0..80), seed in any::<u64>()) {
+        let h = hash::xxh64(&data, seed);
+        prop_assert_eq!(h, hash::xxh64(&data, seed));
+        let mut tweaked = data.clone();
+        tweaked.push(0xA7);
+        prop_assert_ne!(h, hash::xxh64(&tweaked, seed));
+    }
+
+    /// failover_distribution conserves the failed node's keys: received
+    /// counts sum to exactly the number of keys the failed node owned.
+    #[test]
+    fn failover_conserves_keys(
+        nodes in 2u32..32,
+        vnodes in 1u32..64,
+        failed in 0u32..32,
+        nkeys in 1usize..500,
+    ) {
+        let failed = NodeId(failed % nodes);
+        let ring = HashRing::with_nodes(nodes, vnodes);
+        let hashes: Vec<u64> = keyset(nkeys).iter().map(|k| hash::key_hash(k)).collect();
+        let lost = hashes.iter().filter(|&&h| ring.owner_of_hash(h) == Some(failed)).count() as u64;
+        let dist = ring.failover_distribution(failed, hashes.iter().copied());
+        prop_assert_eq!(dist.values().sum::<u64>(), lost);
+        prop_assert!(!dist.contains_key(&failed));
+    }
+}

@@ -1,0 +1,66 @@
+//! RPC error taxonomy.
+//!
+//! The failure detector in `ftc-core` keys off exactly these variants: a
+//! [`RpcError::Timeout`] increments the per-node timeout counter (the
+//! paper's `TIMEOUT_LIMIT` logic), while the other variants are immediate
+//! local errors that do not consume a timeout interval.
+
+use ftc_hashring::NodeId;
+use std::fmt;
+
+/// Why an RPC did not produce a response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// No response within the deadline — the only signal a client gets
+    /// from a crashed or partitioned server (the paper's TTL expiry).
+    Timeout {
+        /// The server that did not answer.
+        to: NodeId,
+    },
+    /// The destination was never registered on this network.
+    UnknownNode(NodeId),
+    /// The server dropped its mailbox (clean shutdown) before replying.
+    Disconnected(NodeId),
+    /// The caller's own endpoint was shut down.
+    LocalShutdown,
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Timeout { to } => write!(f, "rpc to {to} timed out"),
+            RpcError::UnknownNode(n) => write!(f, "unknown destination node {n}"),
+            RpcError::Disconnected(n) => write!(f, "node {n} disconnected"),
+            RpcError::LocalShutdown => write!(f, "local endpoint shut down"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl RpcError {
+    /// True when the error is the kind that should feed the failure
+    /// detector (i.e. consistent with a dead or unreachable server).
+    pub fn indicates_failure(&self) -> bool {
+        matches!(self, RpcError::Timeout { .. } | RpcError::Disconnected(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_classification() {
+        let t = RpcError::Timeout { to: NodeId(3) };
+        assert_eq!(t.to_string(), "rpc to n3 timed out");
+        assert!(t.indicates_failure());
+        assert!(RpcError::Disconnected(NodeId(1)).indicates_failure());
+        assert!(!RpcError::UnknownNode(NodeId(1)).indicates_failure());
+        assert!(!RpcError::LocalShutdown.indicates_failure());
+        assert_eq!(
+            RpcError::UnknownNode(NodeId(9)).to_string(),
+            "unknown destination node n9"
+        );
+    }
+}

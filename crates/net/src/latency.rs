@@ -1,0 +1,137 @@
+//! Link-cost model shared by the threaded transport and the discrete-event
+//! simulator.
+//!
+//! A message of `b` bytes takes `base + b / bandwidth` seconds one way,
+//! optionally with multiplicative jitter. The threaded transport *sleeps*
+//! this long; the DES *advances the clock* by it — both modes are thus
+//! calibrated by the same numbers.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// One-way link cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Fixed per-message latency in seconds (propagation + RPC overhead).
+    pub base_s: f64,
+    /// Link bandwidth in bytes/second; `f64::INFINITY` disables the
+    /// serialization term.
+    pub bandwidth_bps: f64,
+    /// Jitter amplitude as a fraction of the deterministic cost: the
+    /// sampled cost is uniform in `[cost*(1-j), cost*(1+j)]`.
+    pub jitter_frac: f64,
+}
+
+impl LatencyModel {
+    /// Zero-cost link (unit tests that only exercise protocol logic).
+    pub fn instant() -> Self {
+        LatencyModel {
+            base_s: 0.0,
+            bandwidth_bps: f64::INFINITY,
+            jitter_frac: 0.0,
+        }
+    }
+
+    /// A model with fixed latency and no bandwidth term.
+    pub fn fixed(base: Duration) -> Self {
+        LatencyModel {
+            base_s: base.as_secs_f64(),
+            bandwidth_bps: f64::INFINITY,
+            jitter_frac: 0.0,
+        }
+    }
+
+    /// Frontier-like Slingshot link: ~10 µs latency, 25 GB/s per-node
+    /// injection bandwidth (HPE Slingshot-11 NIC, 200 Gbit/s).
+    pub fn slingshot() -> Self {
+        LatencyModel {
+            base_s: 10e-6,
+            bandwidth_bps: 25e9,
+            jitter_frac: 0.05,
+        }
+    }
+
+    /// Deterministic one-way cost in seconds for a message of `bytes`.
+    #[inline]
+    pub fn cost_s(&self, bytes: usize) -> f64 {
+        if self.bandwidth_bps.is_finite() && self.bandwidth_bps > 0.0 {
+            self.base_s + bytes as f64 / self.bandwidth_bps
+        } else {
+            self.base_s
+        }
+    }
+
+    /// Cost with jitter applied; `u` must be uniform in `[0, 1)`.
+    #[inline]
+    pub fn cost_with_jitter_s(&self, bytes: usize, u: f64) -> f64 {
+        let c = self.cost_s(bytes);
+        if self.jitter_frac == 0.0 {
+            c
+        } else {
+            c * (1.0 + self.jitter_frac * (2.0 * u - 1.0))
+        }
+    }
+
+    /// Cost as a `Duration` (jittered), for the threaded transport.
+    #[inline]
+    pub fn delay(&self, bytes: usize, u: f64) -> Duration {
+        Duration::from_secs_f64(self.cost_with_jitter_s(bytes, u).max(0.0))
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::instant()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_costs_nothing() {
+        let m = LatencyModel::instant();
+        assert_eq!(m.cost_s(0), 0.0);
+        assert_eq!(m.cost_s(1 << 30), 0.0);
+        assert_eq!(m.delay(100, 0.9), Duration::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_term() {
+        let m = LatencyModel {
+            base_s: 0.001,
+            bandwidth_bps: 1e6,
+            jitter_frac: 0.0,
+        };
+        // 1 MB at 1 MB/s = 1 s + 1 ms base.
+        assert!((m.cost_s(1_000_000) - 1.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let m = LatencyModel {
+            base_s: 1.0,
+            bandwidth_bps: f64::INFINITY,
+            jitter_frac: 0.1,
+        };
+        assert!((m.cost_with_jitter_s(0, 0.0) - 0.9).abs() < 1e-9);
+        assert!((m.cost_with_jitter_s(0, 0.5) - 1.0).abs() < 1e-9);
+        let hi = m.cost_with_jitter_s(0, 0.999_999);
+        assert!(hi < 1.1 + 1e-6 && hi > 1.09);
+    }
+
+    #[test]
+    fn slingshot_preset_is_sane() {
+        let m = LatencyModel::slingshot();
+        // A 2.6 MB CosmoFlow sample crosses one link in ~114 µs.
+        let c = m.cost_s(2_600_000);
+        assert!(c > 100e-6 && c < 130e-6, "cost={c}");
+    }
+
+    #[test]
+    fn fixed_preset() {
+        let m = LatencyModel::fixed(Duration::from_millis(5));
+        assert!((m.cost_s(usize::MAX) - 0.005).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,76 @@
+//! Lock-free network counters.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters maintained by the transport; cheap enough to update on every
+/// RPC (relaxed atomics — they are statistics, not synchronization).
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// RPCs initiated by any endpoint.
+    pub rpcs_sent: AtomicU64,
+    /// RPCs that received a response before their deadline.
+    pub rpcs_ok: AtomicU64,
+    /// RPCs that expired (including those to killed nodes).
+    pub timeouts: AtomicU64,
+    /// Messages discarded by fault injection (kill or drop probability).
+    pub dropped: AtomicU64,
+    /// Payload bytes carried by delivered requests and replies.
+    pub bytes_sent: AtomicU64,
+}
+
+/// Plain-value copy of [`NetStats`] at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStatsSnapshot {
+    /// See [`NetStats::rpcs_sent`].
+    pub rpcs_sent: u64,
+    /// See [`NetStats::rpcs_ok`].
+    pub rpcs_ok: u64,
+    /// See [`NetStats::timeouts`].
+    pub timeouts: u64,
+    /// See [`NetStats::dropped`].
+    pub dropped: u64,
+    /// See [`NetStats::bytes_sent`].
+    pub bytes_sent: u64,
+}
+
+impl NetStats {
+    /// Take a consistent-enough snapshot (each counter individually
+    /// atomic; cross-counter skew is possible and acceptable).
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            rpcs_sent: self.rpcs_sent.load(Ordering::Relaxed),
+            rpcs_ok: self.rpcs_ok.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let s = NetStats::default();
+        NetStats::inc(&s.rpcs_sent);
+        NetStats::inc(&s.rpcs_sent);
+        NetStats::add(&s.bytes_sent, 1024);
+        let snap = s.snapshot();
+        assert_eq!(snap.rpcs_sent, 2);
+        assert_eq!(snap.bytes_sent, 1024);
+        assert_eq!(snap.timeouts, 0);
+    }
+}

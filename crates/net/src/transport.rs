@@ -1,0 +1,526 @@
+//! The in-process message transport — this reproduction's stand-in for
+//! Mercury RPC over Slingshot.
+//!
+//! Every node owns a [`Mailbox`] (server side) and any number of
+//! [`Endpoint`]s (client side). An RPC is a request message plus a one-shot
+//! reply channel; the caller blocks on the reply with a deadline, exactly
+//! like Mercury's `HG_Trigger` loop with a TTL in the original FT-Cache
+//! client.
+//!
+//! ## Fault injection
+//!
+//! * [`Network::kill`] — the node vanishes: deliveries to it are silently
+//!   discarded, so callers observe *timeouts*, never errors. This mirrors
+//!   `sacct update State=DRAIN` in the paper's experiments: the victim
+//!   stops responding mid-run with no goodbye.
+//! * [`Network::set_drop_prob`] — i.i.d. message loss (transient network
+//!   faults; exercises the detector's false-positive damping).
+//! * [`Network::delay_node`] — adds a latency spike for deliveries to one
+//!   node (a slow-but-alive node; must *not* be declared dead if the spike
+//!   stays under TTL × threshold).
+
+use crate::error::RpcError;
+use crate::latency::LatencyModel;
+use crate::stats::{NetStats, NetStatsSnapshot};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use ftc_hashring::NodeId;
+use parking_lot::{Mutex, RwLock};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Anything that can cross the transport. `wire_size` feeds the latency
+/// model's bandwidth term; the default suits small control messages.
+pub trait Payload: Send + 'static {
+    /// Approximate serialized size in bytes.
+    fn wire_size(&self) -> usize {
+        64
+    }
+}
+
+impl Payload for () {}
+impl Payload for u64 {}
+impl Payload for String {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+impl Payload for Vec<u8> {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+impl Payload for bytes::Bytes {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+
+/// A request delivered to a server, carrying its reply path.
+pub struct Incoming<Req, Resp> {
+    /// Sender node.
+    pub from: NodeId,
+    /// The request payload.
+    pub req: Req,
+    reply_to: Sender<Resp>,
+    net: Arc<Inner<Req, Resp>>,
+}
+
+impl<Req: Payload, Resp: Payload> Incoming<Req, Resp> {
+    /// Reply immediately (zero response-serialization cost).
+    pub fn reply(self, resp: Resp) {
+        NetStats::add(&self.net.stats.bytes_sent, resp.wire_size() as u64);
+        // The caller may have timed out and dropped the receiver; a late
+        // reply is then discarded, as on a real network.
+        let _ = self.reply_to.send(resp);
+    }
+
+    /// Reply after blocking for the response's network-serialization time.
+    ///
+    /// The *server* thread bears the cost, modeling NIC send occupancy —
+    /// back-to-back large responses from one node serialize, which is what
+    /// makes an overloaded recache target a straggler.
+    pub fn reply_sized(self, resp: Resp) {
+        let bytes = resp.wire_size();
+        let delay = {
+            let mut rng = self.net.rng.lock();
+            self.net.latency.delay(bytes, rng.random::<f64>())
+        };
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        self.reply(resp);
+    }
+
+    /// Drop the request without answering (used to emulate a hung server).
+    pub fn ignore(self) {}
+}
+
+/// Server-side receive handle for one node.
+pub struct Mailbox<Req, Resp> {
+    node: NodeId,
+    rx: Receiver<Incoming<Req, Resp>>,
+}
+
+impl<Req: Payload, Resp: Payload> Mailbox<Req, Resp> {
+    /// The owning node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Block until a request arrives or every endpoint is gone.
+    pub fn recv(&self) -> Option<Incoming<Req, Resp>> {
+        self.rx.recv().ok()
+    }
+
+    /// Block with a deadline; `None` on timeout or disconnect.
+    pub fn recv_timeout(&self, d: Duration) -> Option<Incoming<Req, Resp>> {
+        self.rx.recv_timeout(d).ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_recv(&self) -> Option<Incoming<Req, Resp>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Number of queued requests (server load introspection).
+    pub fn backlog(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+struct Inner<Req, Resp> {
+    mailboxes: RwLock<HashMap<NodeId, Sender<Incoming<Req, Resp>>>>,
+    down: RwLock<HashSet<NodeId>>,
+    extra_delay: RwLock<HashMap<NodeId, Duration>>,
+    drop_prob: RwLock<f64>,
+    rng: Mutex<StdRng>,
+    latency: LatencyModel,
+    stats: NetStats,
+}
+
+/// The shared in-process network fabric.
+pub struct Network<Req, Resp> {
+    inner: Arc<Inner<Req, Resp>>,
+}
+
+impl<Req, Resp> Clone for Network<Req, Resp> {
+    fn clone(&self) -> Self {
+        Network {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<Req: Payload, Resp: Payload> Network<Req, Resp> {
+    /// A network with the given link model; `seed` makes jitter and drop
+    /// decisions reproducible.
+    pub fn new(latency: LatencyModel, seed: u64) -> Self {
+        Network {
+            inner: Arc::new(Inner {
+                mailboxes: RwLock::new(HashMap::new()),
+                down: RwLock::new(HashSet::new()),
+                extra_delay: RwLock::new(HashMap::new()),
+                drop_prob: RwLock::new(0.0),
+                rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                latency,
+                stats: NetStats::default(),
+            }),
+        }
+    }
+
+    /// Zero-latency network (protocol-logic tests).
+    pub fn instant(seed: u64) -> Self {
+        Self::new(LatencyModel::instant(), seed)
+    }
+
+    /// Register a node and obtain its server mailbox. Re-registering an id
+    /// replaces the previous mailbox (elastic rejoin).
+    pub fn register(&self, node: NodeId) -> Mailbox<Req, Resp> {
+        let (tx, rx) = unbounded();
+        self.inner.mailboxes.write().insert(node, tx);
+        self.inner.down.write().remove(&node);
+        Mailbox { node, rx }
+    }
+
+    /// Client-side handle bound to a source node id.
+    pub fn endpoint(&self, me: NodeId) -> Endpoint<Req, Resp> {
+        Endpoint {
+            net: Arc::clone(&self.inner),
+            me,
+        }
+    }
+
+    /// Make `node` unresponsive: all future deliveries to it are dropped,
+    /// so every caller sees a timeout. The mailbox stays registered — a
+    /// dead node is *silent*, not absent.
+    pub fn kill(&self, node: NodeId) {
+        self.inner.down.write().insert(node);
+    }
+
+    /// Undo [`kill`](Self::kill) (node repaired and rejoined).
+    pub fn revive(&self, node: NodeId) {
+        self.inner.down.write().remove(&node);
+    }
+
+    /// True if `node` is currently marked down.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.inner.down.read().contains(&node)
+    }
+
+    /// Set i.i.d. per-message drop probability (both legs).
+    pub fn set_drop_prob(&self, p: f64) {
+        *self.inner.drop_prob.write() = p.clamp(0.0, 1.0);
+    }
+
+    /// Add `extra` one-way delay for deliveries *to* `node`
+    /// (`Duration::ZERO` clears it).
+    pub fn delay_node(&self, node: NodeId, extra: Duration) {
+        if extra.is_zero() {
+            self.inner.extra_delay.write().remove(&node);
+        } else {
+            self.inner.extra_delay.write().insert(node, extra);
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// The link-cost model in force.
+    pub fn latency_model(&self) -> LatencyModel {
+        self.inner.latency
+    }
+}
+
+/// Client-side RPC handle.
+pub struct Endpoint<Req, Resp> {
+    net: Arc<Inner<Req, Resp>>,
+    me: NodeId,
+}
+
+impl<Req, Resp> Clone for Endpoint<Req, Resp> {
+    fn clone(&self) -> Self {
+        Endpoint {
+            net: Arc::clone(&self.net),
+            me: self.me,
+        }
+    }
+}
+
+impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
+    /// The node this endpoint sends as.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// Issue an RPC with a deadline.
+    ///
+    /// Returns [`RpcError::Timeout`] when no reply arrives in time — which
+    /// is also what calls to killed or drop-unlucky nodes degrade to; the
+    /// caller *cannot distinguish* a dead node from a slow one except by
+    /// the TTL expiring, exactly the observability model of §IV-A.
+    pub fn call(&self, to: NodeId, req: Req, timeout: Duration) -> Result<Resp, RpcError> {
+        let start = Instant::now();
+        NetStats::inc(&self.net.stats.rpcs_sent);
+
+        let mbox = match self.net.mailboxes.read().get(&to) {
+            Some(tx) => tx.clone(),
+            None => return Err(RpcError::UnknownNode(to)),
+        };
+
+        let req_bytes = req.wire_size();
+        let (delay, dropped) = {
+            let mut rng = self.net.rng.lock();
+            let u: f64 = rng.random();
+            let p = *self.net.drop_prob.read();
+            let dropped = p > 0.0 && rng.random::<f64>() < p;
+            (self.net.latency.delay(req_bytes, u), dropped)
+        };
+        let extra = self.net.extra_delay.read().get(&to).copied();
+        let flight = delay + extra.unwrap_or(Duration::ZERO);
+        if !flight.is_zero() {
+            std::thread::sleep(flight.min(timeout));
+        }
+
+        let (reply_tx, reply_rx) = bounded::<Resp>(1);
+        let down = self.net.down.read().contains(&to);
+        let delivered = if down || dropped {
+            NetStats::inc(&self.net.stats.dropped);
+            false
+        } else {
+            NetStats::add(&self.net.stats.bytes_sent, req_bytes as u64);
+            mbox.send(Incoming {
+                from: self.me,
+                req,
+                reply_to: reply_tx.clone(),
+                net: Arc::clone(&self.net),
+            })
+            .is_ok()
+        };
+        // Hold our clone of the reply sender so an undelivered request
+        // waits out the full deadline instead of erroring fast — a silent
+        // peer and a lossy link must look identical to the caller.
+        let _keep_alive = reply_tx;
+
+        let remaining = timeout.saturating_sub(start.elapsed());
+        if remaining.is_zero() {
+            // The request's flight time alone consumed the deadline: the
+            // message may still arrive and be served, but the caller has
+            // already given up. Deterministic timeout, no reply race.
+            NetStats::inc(&self.net.stats.timeouts);
+            return Err(RpcError::Timeout { to });
+        }
+        match reply_rx.recv_timeout(remaining) {
+            Ok(resp) => {
+                NetStats::inc(&self.net.stats.rpcs_ok);
+                Ok(resp)
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                NetStats::inc(&self.net.stats.timeouts);
+                Err(RpcError::Timeout { to })
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // Only reachable if the server dropped the message without
+                // replying after delivery; semantically identical to a
+                // crash mid-service, so present it as a timeout after the
+                // full deadline.
+                let _ = delivered;
+                std::thread::sleep(timeout.saturating_sub(start.elapsed()));
+                NetStats::inc(&self.net.stats.timeouts);
+                Err(RpcError::Timeout { to })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    const TTL: Duration = Duration::from_millis(50);
+
+    fn echo_server(net: &Network<String, String>, node: NodeId) -> thread::JoinHandle<()> {
+        let mbox = net.register(node);
+        thread::spawn(move || {
+            while let Some(inc) = mbox.recv() {
+                let reply = format!("{}:{}", inc.from, inc.req);
+                inc.reply(reply);
+            }
+        })
+    }
+
+    #[test]
+    fn basic_request_response() {
+        let net: Network<String, String> = Network::instant(1);
+        let _h = echo_server(&net, NodeId(0));
+        let ep = net.endpoint(NodeId(9));
+        let resp = ep.call(NodeId(0), "ping".into(), TTL).unwrap();
+        assert_eq!(resp, "n9:ping");
+        let s = net.stats();
+        assert_eq!(s.rpcs_sent, 1);
+        assert_eq!(s.rpcs_ok, 1);
+        assert_eq!(s.timeouts, 0);
+    }
+
+    #[test]
+    fn unknown_node_is_immediate_error() {
+        let net: Network<String, String> = Network::instant(2);
+        let ep = net.endpoint(NodeId(0));
+        let t0 = Instant::now();
+        let err = ep.call(NodeId(42), "x".into(), TTL).unwrap_err();
+        assert_eq!(err, RpcError::UnknownNode(NodeId(42)));
+        assert!(t0.elapsed() < TTL, "unknown node must fail fast");
+    }
+
+    #[test]
+    fn killed_node_times_out_silently() {
+        let net: Network<String, String> = Network::instant(3);
+        let _h = echo_server(&net, NodeId(0));
+        net.kill(NodeId(0));
+        let ep = net.endpoint(NodeId(1));
+        let t0 = Instant::now();
+        let err = ep.call(NodeId(0), "ping".into(), TTL).unwrap_err();
+        assert_eq!(err, RpcError::Timeout { to: NodeId(0) });
+        assert!(t0.elapsed() >= TTL, "timeout must wait out the TTL");
+        assert_eq!(net.stats().dropped, 1);
+    }
+
+    #[test]
+    fn revive_restores_service() {
+        let net: Network<String, String> = Network::instant(4);
+        let _h = echo_server(&net, NodeId(0));
+        net.kill(NodeId(0));
+        let ep = net.endpoint(NodeId(1));
+        assert!(ep.call(NodeId(0), "a".into(), TTL).is_err());
+        net.revive(NodeId(0));
+        assert_eq!(ep.call(NodeId(0), "b".into(), TTL).unwrap(), "n1:b");
+    }
+
+    #[test]
+    fn full_drop_prob_loses_everything() {
+        let net: Network<String, String> = Network::instant(5);
+        let _h = echo_server(&net, NodeId(0));
+        net.set_drop_prob(1.0);
+        let ep = net.endpoint(NodeId(1));
+        assert!(matches!(
+            ep.call(NodeId(0), "x".into(), TTL),
+            Err(RpcError::Timeout { .. })
+        ));
+        net.set_drop_prob(0.0);
+        assert!(ep.call(NodeId(0), "y".into(), TTL).is_ok());
+    }
+
+    #[test]
+    fn delay_spike_slows_but_succeeds_within_ttl() {
+        let net: Network<String, String> = Network::instant(6);
+        let _h = echo_server(&net, NodeId(0));
+        net.delay_node(NodeId(0), Duration::from_millis(15));
+        let ep = net.endpoint(NodeId(1));
+        let t0 = Instant::now();
+        let resp = ep.call(NodeId(0), "slow".into(), TTL).unwrap();
+        assert_eq!(resp, "n1:slow");
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        net.delay_node(NodeId(0), Duration::ZERO);
+        let t1 = Instant::now();
+        ep.call(NodeId(0), "fast".into(), TTL).unwrap();
+        assert!(t1.elapsed() < Duration::from_millis(15));
+    }
+
+    #[test]
+    fn spike_beyond_ttl_times_out() {
+        let net: Network<String, String> = Network::instant(7);
+        let _h = echo_server(&net, NodeId(0));
+        net.delay_node(NodeId(0), Duration::from_millis(200));
+        let ep = net.endpoint(NodeId(1));
+        assert!(matches!(
+            ep.call(NodeId(0), "x".into(), TTL),
+            Err(RpcError::Timeout { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_clients_one_server() {
+        let net: Network<String, String> = Network::instant(8);
+        let _h = echo_server(&net, NodeId(0));
+        let mut joins = Vec::new();
+        for c in 1..=8u32 {
+            let ep = net.endpoint(NodeId(c));
+            joins.push(thread::spawn(move || {
+                for i in 0..50 {
+                    let r = ep
+                        .call(NodeId(0), format!("m{i}"), Duration::from_secs(2))
+                        .unwrap();
+                    assert_eq!(r, format!("n{c}:m{i}"));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(net.stats().rpcs_ok, 8 * 50);
+    }
+
+    #[test]
+    fn reregister_replaces_mailbox() {
+        let net: Network<String, String> = Network::instant(9);
+        {
+            let _old = net.register(NodeId(0));
+            // old mailbox dropped here — node silently gone
+        }
+        let _h = echo_server(&net, NodeId(0)); // rejoin
+        let ep = net.endpoint(NodeId(1));
+        assert_eq!(ep.call(NodeId(0), "hi".into(), TTL).unwrap(), "n1:hi");
+    }
+
+    #[test]
+    fn dropped_mailbox_presents_as_timeout() {
+        let net: Network<String, String> = Network::instant(10);
+        let mbox = net.register(NodeId(0));
+        drop(mbox);
+        let ep = net.endpoint(NodeId(1));
+        let t0 = Instant::now();
+        let err = ep.call(NodeId(0), "x".into(), TTL).unwrap_err();
+        assert_eq!(err, RpcError::Timeout { to: NodeId(0) });
+        assert!(t0.elapsed() >= TTL);
+    }
+
+    #[test]
+    fn backlog_counts_queued_requests() {
+        let net: Network<String, String> = Network::instant(11);
+        let mbox = net.register(NodeId(0));
+        let ep = net.endpoint(NodeId(1));
+        let h: Vec<_> = (0..3)
+            .map(|_| {
+                let ep = ep.clone();
+                thread::spawn(move || {
+                    let _ = ep.call(NodeId(0), "q".into(), Duration::from_millis(100));
+                })
+            })
+            .collect();
+        // Wait for all three to be enqueued.
+        let t0 = Instant::now();
+        while mbox.backlog() < 3 && t0.elapsed() < Duration::from_secs(1) {
+            thread::yield_now();
+        }
+        assert_eq!(mbox.backlog(), 3);
+        while let Some(inc) = mbox.try_recv() {
+            inc.reply("ok".into());
+        }
+        for j in h {
+            j.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn payload_wire_sizes() {
+        assert_eq!(().wire_size(), 64);
+        assert_eq!("abcd".to_string().wire_size(), 4);
+        assert_eq!(vec![0u8; 10].wire_size(), 10);
+        assert_eq!(bytes::Bytes::from_static(b"xyz").wire_size(), 3);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests for the interconnect substrate's cost model and the
+//! transport's timeout discipline.
+
+use ftc_hashring::NodeId;
+use ftc_net::{LatencyModel, Network, RpcError};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Link cost is monotone in message size and bounded by the jitter
+    /// envelope.
+    #[test]
+    fn latency_cost_monotone_and_bounded(
+        base in 0.0f64..0.01,
+        bw in 1e6f64..1e12,
+        jitter in 0.0f64..0.5,
+        a in 0usize..1_000_000,
+        b in 0usize..1_000_000,
+        u in 0.0f64..1.0,
+    ) {
+        let m = LatencyModel { base_s: base, bandwidth_bps: bw, jitter_frac: jitter };
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(m.cost_s(small) <= m.cost_s(large));
+        let c = m.cost_s(a);
+        let j = m.cost_with_jitter_s(a, u);
+        prop_assert!(j >= c * (1.0 - jitter) - 1e-12);
+        prop_assert!(j <= c * (1.0 + jitter) + 1e-12);
+        prop_assert!(m.delay(a, u) >= Duration::ZERO);
+    }
+
+    /// Calls to unregistered nodes always fail fast with UnknownNode,
+    /// regardless of id.
+    #[test]
+    fn unknown_nodes_fail_fast(node in 0u32..10_000) {
+        let net: Network<String, String> = Network::instant(0);
+        let ep = net.endpoint(NodeId(99_999));
+        let err = ep
+            .call(NodeId(node), "x".into(), Duration::from_millis(5))
+            .unwrap_err();
+        prop_assert_eq!(err, RpcError::UnknownNode(NodeId(node)));
+    }
+
+    /// Kill/revive is idempotent and `is_down` always reflects the last
+    /// operation.
+    #[test]
+    fn kill_revive_state_machine(ops in prop::collection::vec(any::<bool>(), 1..40)) {
+        let net: Network<String, String> = Network::instant(1);
+        let _mbox = net.register(NodeId(0));
+        for kill in ops {
+            if kill {
+                net.kill(NodeId(0));
+            } else {
+                net.revive(NodeId(0));
+            }
+            prop_assert_eq!(net.is_down(NodeId(0)), kill);
+        }
+    }
+}

@@ -1,0 +1,687 @@
+//! The simulated FT-Cache cluster: the same placement, detection and
+//! policy logic as the threaded mode, driven by the discrete-event engine
+//! over the calibrated cost models — which is what lets the harness run
+//! 64–1024-node CosmoFlow trainings (Figures 5 and 6(a)) on one machine.
+//!
+//! Granularity: one event per (rank, step). Within a step each rank's I/O
+//! time is assembled from per-sample reads (local NVMe / remote NVMe /
+//! PFS under processor sharing / timeout windows); the barrier takes the
+//! max across ranks and adds compute + allreduce — so stragglers emerge
+//! exactly as §IV-A1 describes: one PFS-bound rank stalls the step.
+
+use crate::calibration::SimCalibration;
+use crate::engine::{secs, to_secs, EventQueue};
+use ftc_core::FtPolicy;
+use ftc_hashring::{HashRing, NodeId, Placement};
+use ftc_train::ShuffleSampler;
+use serde::{Deserialize, Serialize};
+
+/// One injected failure: `node` dies at the start of `step` in `epoch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Epoch of the failure (0-based; the paper injects after epoch 0 so
+    /// the cache is fully populated).
+    pub epoch: u32,
+    /// Step within the epoch.
+    pub step: u32,
+    /// The victim.
+    pub node: NodeId,
+}
+
+/// Workload parameters for a simulated training run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimWorkload {
+    /// Training samples (files).
+    pub samples: u32,
+    /// Bytes per sample.
+    pub sample_bytes: u64,
+    /// Epochs to run (the paper runs 5).
+    pub epochs: u32,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Down-scaling factor relative to the full paper workload. Per-sample
+    /// costs scale with the sample count automatically; *fixed* wall-clock
+    /// costs (elastic resume, detection TTL) are divided by this factor so
+    /// a 1/k-scale run keeps the full run's cost *ratios*. 1 = full scale.
+    pub time_compression: u32,
+}
+
+impl SimWorkload {
+    /// The paper's CosmoFlow workload, optionally scaled down by `factor`
+    /// (sample count only; per-file size is preserved).
+    pub fn cosmoflow(factor: u32) -> Self {
+        let ds = ftc_train::Dataset::cosmoflow().scaled_down(factor.max(1));
+        SimWorkload {
+            samples: ds.train_samples,
+            sample_bytes: ds.sample_bytes,
+            epochs: 5,
+            seed: 0xC05_30F10,
+            time_compression: factor.max(1),
+        }
+    }
+}
+
+/// Result of one simulated training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Policy simulated.
+    pub policy: FtPolicy,
+    /// Initial node count.
+    pub nodes: u32,
+    /// Wall-clock per epoch (seconds), including rollbacks and resume
+    /// overheads charged to the epoch they interrupted.
+    pub epoch_times_s: Vec<f64>,
+    /// End-to-end time.
+    pub total_s: f64,
+    /// Total PFS read operations (owner fetches + client redirects).
+    pub pfs_reads: u64,
+    /// RPC timeout windows paid.
+    pub timeouts: u64,
+    /// Epoch rollbacks (elastic restarts).
+    pub rollbacks: u32,
+    /// True when the job died (NoFT under failure).
+    pub aborted: bool,
+    /// Wall time of the first epoch in which a failure occurred (the
+    /// "victim epoch"), if any failure was injected.
+    pub victim_epoch_s: Option<f64>,
+    /// Index of the first epoch in which a failure occurred.
+    pub first_failure_epoch: Option<u32>,
+    /// Discrete events processed (simulator introspection).
+    pub events: u64,
+}
+
+impl SimReport {
+    /// Mean wall time of the epochs at or after the first failure — the
+    /// "time per epoch in the event of a failure" series of Fig. 6(a).
+    /// `None` when no failure occurred.
+    pub fn mean_post_failure_epoch_s(&self) -> Option<f64> {
+        let first = self.first_failure_epoch? as usize;
+        let tail = &self.epoch_times_s[first..];
+        (!tail.is_empty()).then(|| tail.iter().sum::<f64>() / tail.len() as f64)
+    }
+}
+
+enum OwnerView {
+    /// Static `hash % N0` placement over the original membership.
+    Static { n0: u32 },
+    /// Hash ring: `current` excludes declared-dead nodes; `previous` is
+    /// the view before the latest failure (what unconverged clients use).
+    Ring {
+        current: HashRing,
+        previous: HashRing,
+    },
+}
+
+/// The simulated cluster.
+pub struct SimCluster {
+    cal: SimCalibration,
+    policy: FtPolicy,
+    nodes: u32,
+    view: OwnerView,
+    /// Which node currently holds each file in its NVMe (HVAC caches one
+    /// copy); `u32::MAX` = not cached anywhere.
+    cached_by: Vec<u32>,
+    /// Precomputed placement hash per file (the hash of its canonical
+    /// path, identical to what real clients compute per read).
+    file_hashes: Vec<u64>,
+    dead: Vec<bool>,
+    /// Per-client consecutive-timeout counters against the latest victim.
+    suspect: Vec<u32>,
+    latest_victim: Option<u32>,
+    pfs_reads: u64,
+    timeouts: u64,
+    /// TTL after time compression (set at `run`).
+    ttl_eff_s: f64,
+}
+
+const NOT_CACHED: u32 = u32::MAX;
+
+impl SimCluster {
+    /// Fresh cluster of `nodes` nodes under `policy`.
+    pub fn new(nodes: u32, policy: FtPolicy, samples: u32, cal: SimCalibration) -> Self {
+        let cal2 = cal.clone();
+        let view = match policy {
+            FtPolicy::RingRecache => OwnerView::Ring {
+                current: HashRing::with_nodes(nodes, cal.vnodes),
+                previous: HashRing::with_nodes(nodes, cal.vnodes),
+            },
+            FtPolicy::NoFt | FtPolicy::PfsRedirect => OwnerView::Static { n0: nodes },
+        };
+        let file_hashes = (0..samples)
+            .map(|f| ftc_hashring::hash::key_hash(&format!("train/sample_{f:07}.tfrecord")))
+            .collect();
+        SimCluster {
+            cal,
+            policy,
+            nodes,
+            view,
+            cached_by: vec![NOT_CACHED; samples as usize],
+            file_hashes,
+            dead: vec![false; nodes as usize],
+            suspect: vec![0; nodes as usize],
+            latest_victim: None,
+            pfs_reads: 0,
+            timeouts: 0,
+            ttl_eff_s: cal2.ttl_s,
+        }
+    }
+
+    fn owner_current(&self, file: u32) -> u32 {
+        let h = self.file_hashes[file as usize];
+        match &self.view {
+            OwnerView::Static { n0 } => (h % u64::from(*n0)) as u32,
+            OwnerView::Ring { current, .. } => {
+                current.owner_of_hash(h).map(|n| n.0).unwrap_or(NOT_CACHED)
+            }
+        }
+    }
+
+    fn owner_previous(&self, file: u32) -> u32 {
+        let h = self.file_hashes[file as usize];
+        match &self.view {
+            OwnerView::Static { n0 } => (h % u64::from(*n0)) as u32,
+            OwnerView::Ring { previous, .. } => {
+                previous.owner_of_hash(h).map(|n| n.0).unwrap_or(NOT_CACHED)
+            }
+        }
+    }
+
+    fn mark_dead(&mut self, node: NodeId) {
+        self.dead[node.index()] = true;
+        self.latest_victim = Some(node.0);
+        self.suspect.iter_mut().for_each(|c| *c = 0);
+        // Cached copies on the dead NVMe are lost.
+        for c in self.cached_by.iter_mut() {
+            if *c == node.0 {
+                *c = NOT_CACHED;
+            }
+        }
+        if let OwnerView::Ring { current, previous } = &mut self.view {
+            *previous = current.clone();
+            let _ = current.remove_node(node);
+        }
+    }
+
+    /// Simulate the full training run.
+    pub fn run(mut self, workload: SimWorkload, faults: &[FaultEvent]) -> SimReport {
+        let k = f64::from(workload.time_compression.max(1));
+        self.ttl_eff_s = self.cal.ttl_s / k;
+        let resume_eff_s = self.cal.resume_overhead_s / k;
+        let sampler = ShuffleSampler::new(workload.samples, workload.seed);
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut pending: Vec<FaultEvent> = faults.to_vec();
+        let mut live: Vec<u32> = (0..self.nodes).collect();
+        let mut epoch_times = Vec::with_capacity(workload.epochs as usize);
+        let mut rollbacks = 0u32;
+        let mut victim_epoch_s: Option<f64> = None;
+        let mut first_failure_epoch: Option<u32> = None;
+        let mut aborted = false;
+
+        'epochs: for epoch in 0..workload.epochs {
+            let order = sampler.epoch_order(epoch);
+            let epoch_start = q.now();
+            let mut epoch_had_failure = false;
+            loop {
+                let fault = pending
+                    .iter()
+                    .copied()
+                    .find(|f| f.epoch == epoch && !self.dead[f.node.index()]);
+                match self.run_attempt(&mut q, &order, workload.sample_bytes, epoch, &live, fault)
+                {
+                    AttemptOutcome::Completed => break,
+                    AttemptOutcome::Failed { victim } => {
+                        epoch_had_failure = true;
+                        if self.policy == FtPolicy::NoFt {
+                            // Baseline HVAC: job terminates on failure.
+                            aborted = true;
+                            epoch_times.push(to_secs(q.now() - epoch_start));
+                            break 'epochs;
+                        }
+                        rollbacks += 1;
+                        pending.retain(|f| !(f.epoch == epoch && f.node == victim));
+                        live.retain(|&n| n != victim.0);
+                        if live.is_empty() {
+                            aborted = true;
+                            epoch_times.push(to_secs(q.now() - epoch_start));
+                            break 'epochs;
+                        }
+                        // Elastic resume pause. The re-rendezvous also
+                        // broadcasts the surviving membership, so every
+                        // client restarts already knowing the victim is
+                        // gone — detection windows are confined to the
+                        // aborted attempt (without this, per-client
+                        // timeout discovery would dwarf the overheads the
+                        // paper reports; see EXPERIMENTS.md).
+                        self.suspect
+                            .iter_mut()
+                            .for_each(|c| *c = self.cal.timeout_limit);
+                        let resume = secs(resume_eff_s);
+                        q.advance_to(q.now() + resume);
+                    }
+                }
+            }
+            let wall = to_secs(q.now() - epoch_start);
+            epoch_times.push(wall);
+            if epoch_had_failure && victim_epoch_s.is_none() {
+                victim_epoch_s = Some(wall);
+                first_failure_epoch = Some(epoch);
+            }
+        }
+
+        SimReport {
+            policy: self.policy,
+            nodes: self.nodes,
+            total_s: to_secs(q.now()),
+            epoch_times_s: epoch_times,
+            pfs_reads: self.pfs_reads,
+            timeouts: self.timeouts,
+            rollbacks,
+            aborted,
+            victim_epoch_s,
+            first_failure_epoch,
+            events: q.processed(),
+        }
+    }
+
+
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_attempt(
+        &mut self,
+        q: &mut EventQueue<u32>,
+        order: &[u32],
+        sample_bytes: u64,
+        _epoch: u32,
+        live: &[u32],
+        fault: Option<FaultEvent>,
+    ) -> AttemptOutcome {
+        let world = live.len() as u32;
+        let n = order.len();
+        let w = world as usize;
+        let base = n / w;
+        let extra = n % w;
+        // Shard boundaries over the shared epoch order (identical math to
+        // ShuffleSampler::shard, without re-deriving the permutation).
+        let shard_bounds: Vec<(usize, usize)> = (0..w)
+            .map(|r| {
+                let start = r * base + r.min(extra);
+                let len = base + usize::from(r < extra);
+                (start, start + len)
+            })
+            .collect();
+        let max_shard = shard_bounds.iter().map(|&(s, e)| e - s).max().unwrap_or(0) as u32;
+        let steps = max_shard.div_ceil(self.cal.per_rank_batch).max(1);
+        let per = self.cal.per_rank_batch as usize;
+
+        for step in 0..steps {
+            // Failure fires at the start of its step: the victim's NVMe
+            // contents vanish and its server goes silent mid-step.
+            let mut victim: Option<NodeId> = None;
+            if let Some(f) = fault {
+                if step == f.step.min(steps - 1) {
+                    self.mark_dead(f.node);
+                    victim = Some(f.node);
+                }
+            }
+
+            // Pass 1: per-rank read composition for this step.
+            let mut rank_costs: Vec<RankStepCost> = Vec::with_capacity(w);
+            for (ri, &rank) in live.iter().enumerate() {
+                if Some(NodeId(rank)) == victim {
+                    // The dying rank does no useful work this step.
+                    rank_costs.push(RankStepCost::default());
+                    continue;
+                }
+                let (s0, s1) = shard_bounds[ri];
+                let shard_len = s1 - s0;
+                let lo = (step as usize * per).min(shard_len);
+                let hi = ((step as usize + 1) * per).min(shard_len);
+                let mut cost = RankStepCost::default();
+                for &file in &order[s0 + lo..s0 + hi] {
+                    self.account_read(rank, file, &mut cost);
+                }
+                rank_costs.push(cost);
+            }
+
+            // Pass 2: PFS contention across the step.
+            let readers = rank_costs
+                .iter()
+                .filter(|c| c.pfs_ops + c.pfs_direct_ops > 0)
+                .count() as u32;
+            let pfs = crate::resource::SharedBandwidth {
+                agg_bps: self.cal.pfs.agg_bandwidth_bps,
+                metadata_lat_s: self.cal.pfs_meta_lat_s(world),
+            };
+            let step_start = q.now();
+            for (ri, cost) in rank_costs.iter().enumerate() {
+                let io = cost.nvme_local as f64 * self.cal.local_read_s(sample_bytes)
+                    + cost.nvme_remote as f64 * self.cal.remote_read_s(sample_bytes)
+                    + pfs.reader_time_s(cost.pfs_ops, sample_bytes, readers)
+                    + self.cal.pfs_direct_read_penalty
+                        * pfs.reader_time_s(cost.pfs_direct_ops, sample_bytes, readers)
+                    + cost.ttl_windows as f64 * self.ttl_eff_s
+                    + cost.reads as f64 * self.ft_bookkeeping_s();
+                // The input pipeline prefetches: loading overlaps the
+                // previous step's compute, so I/O only surfaces when it
+                // exceeds the compute time — which is exactly how HVAC
+                // turns DL from I/O-bound (PFS) to compute-bound (NVMe),
+                // and why a single slow PFS reader stalls the whole step.
+                let step_time = io.max(self.cal.compute_per_step_s);
+                q.schedule_at(step_start + secs(step_time), ri as u32);
+            }
+            // Barrier: wait for every rank's step completion, then the
+            // collective.
+            let mut last = step_start;
+            for _ in 0..w {
+                let (t, _) = q.pop().expect("every rank scheduled");
+                last = t;
+            }
+            q.advance_to(last + secs(self.cal.allreduce_s(world)));
+
+            if let Some(v) = victim {
+                // The allreduce discovers the lost rank; the attempt ends.
+                return AttemptOutcome::Failed { victim: v };
+            }
+        }
+        AttemptOutcome::Completed
+    }
+
+    /// FT bookkeeping cost per read: the "additional conditional checks,
+    /// timeout monitoring, and mutex locks" that make NoFT consistently
+    /// (slightly) fastest in Fig. 5(a).
+    fn ft_bookkeeping_s(&self) -> f64 {
+        match self.policy {
+            FtPolicy::NoFt => 0.0,
+            _ => 100e-6,
+        }
+    }
+
+    fn account_read(&mut self, client: u32, file: u32, cost: &mut RankStepCost) {
+        cost.reads += 1;
+        let f = file as usize;
+
+        // Does this client still believe the latest victim is alive?
+        let converged = match self.latest_victim {
+            None => true,
+            Some(_) => self.suspect[client as usize] >= self.cal.timeout_limit,
+        };
+
+        let owner = if converged {
+            self.owner_current(file)
+        } else {
+            self.owner_previous(file)
+        };
+
+        if owner != NOT_CACHED && !self.dead[owner as usize] {
+            if self.cached_by[f] == owner {
+                if owner == client {
+                    cost.nvme_local += 1;
+                } else {
+                    cost.nvme_remote += 1;
+                }
+            } else {
+                // Owner miss: it fetches from the PFS, serves, recaches.
+                cost.pfs_ops += 1;
+                self.pfs_reads += 1;
+                self.cached_by[f] = owner;
+            }
+            return;
+        }
+
+        // Owner is dead (or the placement is empty): this read times out
+        // against the silent node unless the client has already converged.
+        if !converged {
+            cost.ttl_windows += 1;
+            self.timeouts += 1;
+            self.suspect[client as usize] += 1;
+            // The affected request is redirected to the PFS (both §IV-A
+            // and the artifact's ring client do this during detection) —
+            // a client-direct read.
+            cost.pfs_direct_ops += 1;
+            self.pfs_reads += 1;
+            return;
+        }
+
+        match self.policy {
+            FtPolicy::PfsRedirect | FtPolicy::NoFt => {
+                // Static placement: the dead owner's keys divert to the
+                // PFS on every access, every epoch — client-direct reads.
+                cost.pfs_direct_ops += 1;
+                self.pfs_reads += 1;
+            }
+            FtPolicy::RingRecache => {
+                // Converged ring clients can only reach here if every node
+                // is dead; nothing to charge beyond the redirect.
+                cost.pfs_direct_ops += 1;
+                self.pfs_reads += 1;
+            }
+        }
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct RankStepCost {
+    reads: u64,
+    nvme_local: u64,
+    nvme_remote: u64,
+    /// Server-mediated PFS fetches (miss/recache path).
+    pfs_ops: u64,
+    /// Client-direct PFS reads (redirect path; carries the direct-read
+    /// penalty).
+    pfs_direct_ops: u64,
+    ttl_windows: u64,
+}
+
+enum AttemptOutcome {
+    Completed,
+    Failed { victim: NodeId },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cal() -> SimCalibration {
+        let mut c = SimCalibration::frontier();
+        c.resume_overhead_s = 1.0;
+        c.ttl_s = 0.2;
+        c
+    }
+
+    fn workload(samples: u32) -> SimWorkload {
+        SimWorkload {
+            samples,
+            sample_bytes: 2_200_000,
+            epochs: 3,
+            seed: 7,
+            time_compression: 1,
+        }
+    }
+
+    fn run(nodes: u32, policy: FtPolicy, faults: &[FaultEvent]) -> SimReport {
+        SimCluster::new(nodes, policy, 1024, small_cal()).run(workload(1024), faults)
+    }
+
+    #[test]
+    fn first_epoch_is_slowest_cold() {
+        let r = run(16, FtPolicy::RingRecache, &[]);
+        assert!(!r.aborted);
+        assert_eq!(r.epoch_times_s.len(), 3);
+        assert!(
+            r.epoch_times_s[0] > 1.2 * r.epoch_times_s[1],
+            "cold epoch {:.2}s vs warm {:.2}s",
+            r.epoch_times_s[0],
+            r.epoch_times_s[1]
+        );
+        // Cold epoch fetched every file exactly once.
+        assert_eq!(r.pfs_reads, 1024);
+        assert_eq!(r.timeouts, 0);
+    }
+
+    #[test]
+    fn more_nodes_is_faster() {
+        let r16 = run(16, FtPolicy::RingRecache, &[]);
+        let r64 = run(64, FtPolicy::RingRecache, &[]);
+        assert!(
+            r64.total_s < r16.total_s,
+            "64 nodes {:.1}s vs 16 nodes {:.1}s",
+            r64.total_s,
+            r16.total_s
+        );
+    }
+
+    #[test]
+    fn noft_without_failure_is_fastest() {
+        let noft = run(16, FtPolicy::NoFt, &[]);
+        let pfs = run(16, FtPolicy::PfsRedirect, &[]);
+        let ring = run(16, FtPolicy::RingRecache, &[]);
+        assert!(noft.total_s <= pfs.total_s);
+        assert!(noft.total_s <= ring.total_s);
+        // …but the FT overhead is small (within a few percent).
+        assert!(ring.total_s / noft.total_s < 1.1);
+    }
+
+    #[test]
+    fn noft_aborts_on_failure() {
+        let r = run(
+            16,
+            FtPolicy::NoFt,
+            &[FaultEvent {
+                epoch: 1,
+                step: 2,
+                node: NodeId(3),
+            }],
+        );
+        assert!(r.aborted);
+        assert!(r.epoch_times_s.len() < 3, "job dies in epoch 1");
+    }
+
+    #[test]
+    fn ring_beats_pfs_redirect_under_failure() {
+        let fault = [FaultEvent {
+            epoch: 1,
+            step: 0,
+            node: NodeId(5),
+        }];
+        // Five epochs so the ring's one-time recache can amortize against
+        // redirect's every-epoch PFS traffic, as in the paper's runs.
+        let w = SimWorkload {
+            samples: 1024,
+            sample_bytes: 2_200_000,
+            epochs: 5,
+            seed: 7,
+            time_compression: 1,
+        };
+        let ring = SimCluster::new(16, FtPolicy::RingRecache, w.samples, small_cal()).run(w, &fault);
+        let pfs = SimCluster::new(16, FtPolicy::PfsRedirect, w.samples, small_cal()).run(w, &fault);
+        assert!(!ring.aborted && !pfs.aborted);
+        assert_eq!(ring.rollbacks, 1);
+        assert_eq!(pfs.rollbacks, 1);
+        assert!(
+            ring.total_s < pfs.total_s,
+            "ring {:.1}s must beat pfs-redirect {:.1}s",
+            ring.total_s,
+            pfs.total_s
+        );
+        // Redirect keeps paying the PFS every epoch; ring pays ~once.
+        assert!(
+            pfs.pfs_reads > ring.pfs_reads,
+            "pfs_reads: redirect {} vs ring {}",
+            pfs.pfs_reads,
+            ring.pfs_reads
+        );
+    }
+
+    #[test]
+    fn ring_recache_pfs_traffic_is_bounded() {
+        let fault = [FaultEvent {
+            epoch: 1,
+            step: 0,
+            node: NodeId(2),
+        }];
+        let r = run(16, FtPolicy::RingRecache, &fault);
+        // Cold epoch = 1024 reads; post-failure recaching may refetch at
+        // most the lost files (~1024/16 ≈ 64) plus detection redirects.
+        let post_failure = r.pfs_reads - 1024;
+        assert!(
+            post_failure < 200,
+            "recache traffic should be ~lost-file count, got {post_failure}"
+        );
+        assert!(r.victim_epoch_s.is_some());
+    }
+
+    #[test]
+    fn failure_epoch_is_the_victim_epoch() {
+        let fault = [FaultEvent {
+            epoch: 2,
+            step: 1,
+            node: NodeId(0),
+        }];
+        let r = run(8, FtPolicy::RingRecache, &fault);
+        assert_eq!(r.victim_epoch_s, Some(r.epoch_times_s[2]));
+        // The victim epoch includes the rollback + resume, so it is the
+        // slowest warm epoch.
+        assert!(r.epoch_times_s[2] > r.epoch_times_s[1]);
+    }
+
+    #[test]
+    fn timeouts_only_after_failure() {
+        let fault = [FaultEvent {
+            epoch: 1,
+            step: 0,
+            node: NodeId(1),
+        }];
+        let healthy = run(8, FtPolicy::RingRecache, &[]);
+        let faulty = run(8, FtPolicy::RingRecache, &fault);
+        assert_eq!(healthy.timeouts, 0);
+        assert!(faulty.timeouts > 0);
+        // Each surviving client converges after timeout_limit windows.
+        let cal = small_cal();
+        assert!(
+            faulty.timeouts <= u64::from(7 * cal.timeout_limit) + 7,
+            "timeouts {} should be ≈ survivors × limit",
+            faulty.timeouts
+        );
+    }
+
+    #[test]
+    fn multiple_failures_accumulate_rollbacks() {
+        let faults = [
+            FaultEvent {
+                epoch: 1,
+                step: 0,
+                node: NodeId(1),
+            },
+            FaultEvent {
+                epoch: 2,
+                step: 3,
+                node: NodeId(4),
+            },
+        ];
+        let r = run(16, FtPolicy::RingRecache, &faults);
+        assert!(!r.aborted);
+        assert_eq!(r.rollbacks, 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let fault = [FaultEvent {
+            epoch: 1,
+            step: 2,
+            node: NodeId(3),
+        }];
+        let a = run(16, FtPolicy::RingRecache, &fault);
+        let b = run(16, FtPolicy::RingRecache, &fault);
+        assert_eq!(a.total_s, b.total_s);
+        assert_eq!(a.pfs_reads, b.pfs_reads);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn cosmoflow_workload_scaling() {
+        let w = SimWorkload::cosmoflow(512);
+        assert_eq!(w.samples, 1024);
+        assert_eq!(w.epochs, 5);
+        assert!(w.sample_bytes > 2_000_000);
+    }
+}

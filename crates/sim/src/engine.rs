@@ -1,0 +1,237 @@
+//! The discrete-event core: a virtual clock and a deterministic event
+//! queue.
+//!
+//! Determinism matters more than raw speed here: two events at the same
+//! timestamp pop in scheduling order (FIFO tie-break via a sequence
+//! number), so simulation results are bit-identical across runs and
+//! platforms — a requirement for the reproduction harness, whose outputs
+//! are compared against recorded expectations.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time in nanoseconds.
+pub type SimTime = u64;
+
+/// One second of simulated time.
+pub const SEC: SimTime = 1_000_000_000;
+
+/// Convert (non-negative) seconds to [`SimTime`], saturating.
+#[inline]
+pub fn secs(s: f64) -> SimTime {
+    if s <= 0.0 {
+        0
+    } else {
+        (s * SEC as f64).round().min(u64::MAX as f64) as SimTime
+    }
+}
+
+/// Convert [`SimTime`] back to floating seconds.
+#[inline]
+pub fn to_secs(t: SimTime) -> f64 {
+    t as f64 / SEC as f64
+}
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Deterministic future-event list with a monotone clock.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0,
+            next_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Pending event count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// If `at` is in the simulated past — causality violations are always
+    /// bugs in the model, never tolerable.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "causality violation: scheduling at {at} but now is {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedule `event` after `delay` from now (saturating).
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Pop the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "heap yielded a past event");
+        self.now = s.at;
+        self.processed += 1;
+        Some((s.at, s.event))
+    }
+
+    /// Discard all pending events without touching the clock (epoch
+    /// rollback: the in-flight step completions of a failed attempt are
+    /// moot).
+    pub fn clear_pending(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Advance the clock directly (idle gaps like elastic-resume pauses).
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "cannot rewind the clock");
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversions() {
+        assert_eq!(secs(1.0), SEC);
+        assert_eq!(secs(0.0), 0);
+        assert_eq!(secs(-5.0), 0);
+        assert!((to_secs(secs(2.5)) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(42, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, ());
+        q.pop();
+        assert_eq!(q.now(), 5);
+        q.schedule_in(10, ());
+        q.pop();
+        assert_eq!(q.now(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, ());
+        q.pop();
+        q.schedule_at(5, ());
+    }
+
+    #[test]
+    fn clear_pending_keeps_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, 1);
+        q.pop();
+        q.schedule_at(50, 2);
+        q.schedule_at(60, 3);
+        q.clear_pending();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), 10);
+        q.advance_to(100);
+        assert_eq!(q.now(), 100);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, "first");
+        let (t, _) = q.pop().unwrap();
+        q.schedule_at(t + 5, "second");
+        q.schedule_at(t + 2, "between");
+        assert_eq!(q.pop().unwrap().1, "between");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn saturating_schedule_in() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule_at(u64::MAX - 1, ());
+        q.pop();
+        q.schedule_in(u64::MAX, ()); // must not overflow
+        assert_eq!(q.pop().unwrap().0, u64::MAX);
+    }
+}

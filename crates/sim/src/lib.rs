@@ -1,0 +1,47 @@
+//! # ftc-sim — the discrete-event cluster simulator
+//!
+//! The paper's evaluation ran CosmoFlow on 64–1024 Frontier nodes; this
+//! crate reruns those experiments on one machine by driving the *same*
+//! placement/detection/policy logic as the threaded cluster over
+//! calibrated cost models with a virtual clock:
+//!
+//! * [`engine`] — deterministic event queue + simulated time;
+//! * [`resource`] — FIFO devices and the processor-shared PFS pipe;
+//! * [`calibration`] — every constant an experiment depends on, pinned to
+//!   Table II / §V-A where the paper specifies it;
+//! * [`cluster`] — batch-synchronous training over the simulated cache,
+//!   with fault injection, timeout-window detection, elastic rollback;
+//! * [`experiment`] — the Figure 5 / 6(a) / 6(b) sweeps and the placement
+//!   disruption ablation.
+//!
+//! ```
+//! use ftc_sim::{SimCluster, SimWorkload, SimCalibration, FaultEvent};
+//! use ftc_core::FtPolicy;
+//! use ftc_hashring::NodeId;
+//!
+//! let workload = SimWorkload {
+//!     samples: 1024, sample_bytes: 2_200_000, epochs: 3, seed: 1, time_compression: 1,
+//! };
+//! let report = SimCluster::new(16, FtPolicy::RingRecache, workload.samples,
+//!                              SimCalibration::frontier())
+//!     .run(workload, &[FaultEvent { epoch: 1, step: 0, node: NodeId(3) }]);
+//! assert!(!report.aborted);
+//! assert_eq!(report.rollbacks, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod cluster;
+pub mod engine;
+pub mod experiment;
+pub mod resource;
+
+pub use calibration::SimCalibration;
+pub use cluster::{FaultEvent, SimCluster, SimReport, SimWorkload};
+pub use engine::{secs, to_secs, EventQueue, SimTime, SEC};
+pub use experiment::{
+    fig5, fig6a, fig6b, placement_disruption, random_faults, DisruptionRow, Fig5Cell, Fig6aRow,
+    Fig6bRow, PAPER_NODE_COUNTS, PAPER_VNODE_COUNTS,
+};
+pub use resource::{FifoResource, SharedBandwidth};

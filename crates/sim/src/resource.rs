@@ -1,0 +1,151 @@
+//! Contended-resource models for the simulator.
+//!
+//! [`FifoResource`] serializes work at a fixed rate (an NVMe device or a
+//! NIC send path); [`SharedBandwidth`] divides an aggregate pipe equally
+//! among concurrent readers (the PFS under §II-A's metadata + bandwidth
+//! contention).
+
+use crate::engine::SimTime;
+
+/// A single-server FIFO resource: requests queue and are served at
+/// `rate_bps`, with `op_lat_s` fixed overhead each.
+#[derive(Debug, Clone)]
+pub struct FifoResource {
+    rate_bps: f64,
+    op_lat_s: f64,
+    next_free: SimTime,
+    busy: SimTime,
+    served: u64,
+}
+
+impl FifoResource {
+    /// Resource serving at `rate_bps` with `op_lat_s` per-op latency.
+    pub fn new(rate_bps: f64, op_lat_s: f64) -> Self {
+        assert!(rate_bps > 0.0);
+        FifoResource {
+            rate_bps,
+            op_lat_s,
+            next_free: 0,
+            busy: 0,
+            served: 0,
+        }
+    }
+
+    /// Enqueue a `bytes`-sized request arriving at `now`; returns its
+    /// completion time (after any queueing).
+    pub fn submit(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let service = crate::engine::secs(self.op_lat_s + bytes as f64 / self.rate_bps);
+        let start = now.max(self.next_free);
+        let done = start.saturating_add(service);
+        self.next_free = done;
+        self.busy = self.busy.saturating_add(service);
+        self.served += 1;
+        done
+    }
+
+    /// When the resource next becomes idle.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Total busy time accumulated.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy
+    }
+
+    /// Requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Utilization over `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == 0 {
+            0.0
+        } else {
+            (self.busy.min(horizon)) as f64 / horizon as f64
+        }
+    }
+}
+
+/// Equal-share aggregate pipe: `r` concurrent readers each see
+/// `agg_bps / r`, and each open pays `metadata_lat_s`.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedBandwidth {
+    /// Aggregate deliverable bandwidth, bytes/second.
+    pub agg_bps: f64,
+    /// Per-open metadata latency, seconds.
+    pub metadata_lat_s: f64,
+}
+
+impl SharedBandwidth {
+    /// Time for one reader to pull `reads` files of `bytes` each, while
+    /// `concurrent` readers (including itself) share the pipe.
+    ///
+    /// Processor-sharing approximation at batch granularity: each of this
+    /// reader's files transfers at `agg/concurrent`, plus metadata per
+    /// open.
+    pub fn reader_time_s(&self, reads: u64, bytes: u64, concurrent: u32) -> f64 {
+        if reads == 0 {
+            return 0.0;
+        }
+        let share = self.agg_bps / f64::from(concurrent.max(1));
+        reads as f64 * (self.metadata_lat_s + bytes as f64 / share)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{secs, SEC};
+
+    #[test]
+    fn fifo_serializes_back_to_back() {
+        let mut r = FifoResource::new(1e9, 0.0); // 1 GB/s
+        let d1 = r.submit(0, 500_000_000); // 0.5 s
+        let d2 = r.submit(0, 500_000_000); // queued behind
+        assert_eq!(d1, SEC / 2);
+        assert_eq!(d2, SEC);
+        assert_eq!(r.served(), 2);
+        assert_eq!(r.busy_time(), SEC);
+    }
+
+    #[test]
+    fn fifo_idle_gap_not_counted_busy() {
+        let mut r = FifoResource::new(1e9, 0.0);
+        r.submit(0, 1_000_000_000); // done at 1 s
+        let d = r.submit(5 * SEC, 1_000_000_000); // arrives later
+        assert_eq!(d, 6 * SEC);
+        assert_eq!(r.busy_time(), 2 * SEC);
+        assert!((r.utilization(10 * SEC) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fifo_op_latency_applies_per_request() {
+        let mut r = FifoResource::new(1e12, 0.001);
+        let d = r.submit(0, 0);
+        assert_eq!(d, secs(0.001));
+    }
+
+    #[test]
+    fn shared_bandwidth_divides_evenly() {
+        let p = SharedBandwidth {
+            agg_bps: 100e9,
+            metadata_lat_s: 0.0,
+        };
+        let alone = p.reader_time_s(10, 1_000_000, 1);
+        let crowded = p.reader_time_s(10, 1_000_000, 100);
+        assert!((crowded / alone - 100.0).abs() < 1e-9);
+        assert_eq!(p.reader_time_s(0, 1_000_000, 50), 0.0);
+    }
+
+    #[test]
+    fn shared_bandwidth_metadata_floor() {
+        let p = SharedBandwidth {
+            agg_bps: 1e12,
+            metadata_lat_s: 0.002,
+        };
+        let t = p.reader_time_s(5, 1, 1);
+        assert!(t >= 0.01, "5 opens pay 5 metadata latencies: {t}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the discrete-event engine and the simulated
+//! cluster's conservation laws.
+
+use ftc_core::FtPolicy;
+use ftc_hashring::NodeId;
+use ftc_sim::{EventQueue, FaultEvent, SimCalibration, SimCluster, SimWorkload};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The event queue pops every scheduled event, in non-decreasing time
+    /// order, with FIFO tie-breaks.
+    #[test]
+    fn queue_orders_any_schedule(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(t, i);
+        }
+        let mut popped = Vec::new();
+        let mut last = (0u64, 0usize);
+        while let Some((t, i)) = q.pop() {
+            prop_assert!(t >= last.0, "time order");
+            if t == last.0 {
+                prop_assert!(i > last.1 || popped.is_empty(), "FIFO tie-break");
+            }
+            prop_assert_eq!(t, times[i], "event carries its scheduled time");
+            last = (t, i);
+            popped.push(i);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        prop_assert_eq!(q.processed(), times.len() as u64);
+    }
+
+    /// Simulated training conserves reads: a clean run issues exactly
+    /// samples x epochs reads, of which exactly `samples` hit the PFS
+    /// (the cold epoch), and the clock only moves forward.
+    #[test]
+    fn clean_run_conservation(
+        nodes in 1u32..24,
+        samples in 1u32..600,
+        epochs in 1u32..5,
+        policy_ix in 0usize..3,
+    ) {
+        let policy = [FtPolicy::NoFt, FtPolicy::PfsRedirect, FtPolicy::RingRecache][policy_ix];
+        let w = SimWorkload {
+            samples,
+            sample_bytes: 1_000_000,
+            epochs,
+            seed: 11,
+            time_compression: 1,
+        };
+        let r = SimCluster::new(nodes, policy, samples, SimCalibration::frontier()).run(w, &[]);
+        prop_assert!(!r.aborted);
+        prop_assert_eq!(r.pfs_reads, u64::from(samples), "cold epoch fetches each file once");
+        prop_assert_eq!(r.timeouts, 0);
+        prop_assert_eq!(r.rollbacks, 0);
+        prop_assert_eq!(r.epoch_times_s.len(), epochs as usize);
+        prop_assert!(r.epoch_times_s.iter().all(|&t| t > 0.0));
+        let sum: f64 = r.epoch_times_s.iter().sum();
+        prop_assert!((sum - r.total_s).abs() < 1e-6 * r.total_s.max(1.0));
+    }
+
+    /// Under a single injected failure, FT policies never abort, produce
+    /// exactly one rollback, and bound PFS traffic by dataset + lost +
+    /// detection.
+    #[test]
+    fn single_failure_bounds(
+        nodes in 2u32..24,
+        samples in 32u32..400,
+        victim in 0u32..24,
+        policy_ix in 0usize..2,
+    ) {
+        let policy = [FtPolicy::PfsRedirect, FtPolicy::RingRecache][policy_ix];
+        let victim = NodeId(victim % nodes);
+        let w = SimWorkload {
+            samples,
+            sample_bytes: 1_000_000,
+            epochs: 3,
+            seed: 17,
+            time_compression: 1,
+        };
+        let r = SimCluster::new(nodes, policy, samples, SimCalibration::frontier()).run(
+            w,
+            &[FaultEvent { epoch: 1, step: 0, node: victim }],
+        );
+        prop_assert!(!r.aborted || nodes == 1);
+        prop_assert_eq!(r.rollbacks, 1);
+        prop_assert_eq!(r.first_failure_epoch, Some(1));
+        prop_assert!(r.victim_epoch_s.is_some());
+        // PFS traffic ceiling: cold epoch + (2 post-failure epochs x lost
+        // keys, which are at most all keys) + detection windows.
+        let ceiling = u64::from(samples) * 3 + u64::from(nodes) * 4;
+        prop_assert!(
+            r.pfs_reads <= ceiling,
+            "pfs reads {} exceed ceiling {}", r.pfs_reads, ceiling
+        );
+        // And the run is strictly slower than its clean twin.
+        let clean = SimCluster::new(nodes, policy, samples, SimCalibration::frontier()).run(w, &[]);
+        prop_assert!(r.total_s > clean.total_s);
+    }
+}

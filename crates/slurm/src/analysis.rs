@@ -1,0 +1,319 @@
+//! The failure-analysis pipeline: Table I, Figure 1 and Figure 2 of the
+//! paper, as functions over job records.
+
+use crate::generator::{ELAPSED_BUCKETS, NODE_BUCKETS};
+use crate::model::{JobRecord, JobState};
+use serde::{Deserialize, Serialize};
+
+/// Table I: the failure census.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureCensus {
+    /// Analyzable jobs (cancelled excluded).
+    pub total_jobs: u64,
+    /// All failures.
+    pub total_failures: u64,
+    /// `NODE_FAIL` count.
+    pub node_fail: u64,
+    /// `TIMEOUT` count.
+    pub timeout: u64,
+    /// `JOB_FAIL` count.
+    pub job_fail: u64,
+}
+
+impl FailureCensus {
+    /// Failure share of all jobs (paper: 25.04 %).
+    pub fn overall_failure_ratio(&self) -> f64 {
+        self.total_failures as f64 / self.total_jobs as f64
+    }
+
+    /// A state's share of failures.
+    pub fn failure_ratio(&self, state: JobState) -> f64 {
+        let n = match state {
+            JobState::NodeFail => self.node_fail,
+            JobState::Timeout => self.timeout,
+            JobState::JobFail => self.job_fail,
+            _ => 0,
+        };
+        n as f64 / self.total_failures as f64
+    }
+
+    /// Node Fail + Timeout share of failures — what the paper treats as
+    /// node failures ("together account for about half of all failures").
+    pub fn node_failure_share(&self) -> f64 {
+        (self.node_fail + self.timeout) as f64 / self.total_failures as f64
+    }
+}
+
+/// Build Table I from records (cancellations excluded, as in §III).
+pub fn census(records: &[JobRecord]) -> FailureCensus {
+    let mut c = FailureCensus {
+        total_jobs: 0,
+        total_failures: 0,
+        node_fail: 0,
+        timeout: 0,
+        job_fail: 0,
+    };
+    for r in records {
+        match r.state {
+            JobState::Cancelled => continue,
+            JobState::Completed => c.total_jobs += 1,
+            JobState::NodeFail => {
+                c.total_jobs += 1;
+                c.total_failures += 1;
+                c.node_fail += 1;
+            }
+            JobState::Timeout => {
+                c.total_jobs += 1;
+                c.total_failures += 1;
+                c.timeout += 1;
+            }
+            JobState::JobFail => {
+                c.total_jobs += 1;
+                c.total_failures += 1;
+                c.job_fail += 1;
+            }
+        }
+    }
+    c
+}
+
+/// One week's mean elapsed-before-failure, per type (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeeklyElapsed {
+    /// Week index.
+    pub week: u32,
+    /// Mean elapsed minutes of `JOB_FAIL` jobs (None if none that week).
+    pub job_fail: Option<f64>,
+    /// Mean elapsed minutes of `TIMEOUT` jobs.
+    pub timeout: Option<f64>,
+    /// Mean elapsed minutes of `NODE_FAIL` jobs.
+    pub node_fail: Option<f64>,
+    /// Mean over all failed jobs that week.
+    pub overall: Option<f64>,
+}
+
+/// Fig. 1: weekly mean elapsed time of failed jobs over the window.
+pub fn weekly_elapsed(records: &[JobRecord], weeks: u32) -> Vec<WeeklyElapsed> {
+    let mut acc = vec![[(0f64, 0u64); 3]; weeks as usize];
+    for r in records {
+        let slot = match r.state {
+            JobState::JobFail => 0usize,
+            JobState::Timeout => 1,
+            JobState::NodeFail => 2,
+            _ => continue,
+        };
+        if (r.week as usize) < acc.len() {
+            acc[r.week as usize][slot].0 += r.elapsed_min;
+            acc[r.week as usize][slot].1 += 1;
+        }
+    }
+    acc.iter()
+        .enumerate()
+        .map(|(w, rows)| {
+            let mean = |i: usize| {
+                let (s, n) = rows[i];
+                (n > 0).then(|| s / n as f64)
+            };
+            let total_s: f64 = rows.iter().map(|&(s, _)| s).sum();
+            let total_n: u64 = rows.iter().map(|&(_, n)| n).sum();
+            WeeklyElapsed {
+                week: w as u32,
+                job_fail: mean(0),
+                timeout: mean(1),
+                node_fail: mean(2),
+                overall: (total_n > 0).then(|| total_s / total_n as f64),
+            }
+        })
+        .collect()
+}
+
+/// Mean elapsed of all failures in the window — the red dashed line of
+/// Fig. 1 (~75 minutes).
+pub fn overall_mean_elapsed(records: &[JobRecord]) -> Option<f64> {
+    let failures: Vec<f64> = records
+        .iter()
+        .filter(|r| r.state.is_failure())
+        .map(|r| r.elapsed_min)
+        .collect();
+    (!failures.is_empty()).then(|| failures.iter().sum::<f64>() / failures.len() as f64)
+}
+
+/// Failure-type shares within one bucket (Fig. 2 rows).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketShares {
+    /// Bucket label, e.g. `"7750-9408"`.
+    pub label: String,
+    /// Failures in the bucket.
+    pub failures: u64,
+    /// `JOB_FAIL` share of the bucket's failures.
+    pub job_fail: f64,
+    /// `TIMEOUT` share.
+    pub timeout: f64,
+    /// `NODE_FAIL` share.
+    pub node_fail: f64,
+}
+
+fn shares_over<F: Fn(&JobRecord) -> Option<usize>>(
+    records: &[JobRecord],
+    buckets: &[(u32, u32)],
+    index_of: F,
+) -> Vec<BucketShares> {
+    let mut counts = vec![[0u64; 3]; buckets.len()];
+    for r in records {
+        if !r.state.is_failure() {
+            continue;
+        }
+        let Some(b) = index_of(r) else { continue };
+        let slot = match r.state {
+            JobState::JobFail => 0usize,
+            JobState::Timeout => 1,
+            JobState::NodeFail => 2,
+            _ => unreachable!("is_failure filtered"),
+        };
+        counts[b][slot] += 1;
+    }
+    buckets
+        .iter()
+        .zip(counts)
+        .map(|(&(lo, hi), row)| {
+            let total: u64 = row.iter().sum();
+            let f = |i: usize| {
+                if total == 0 {
+                    0.0
+                } else {
+                    row[i] as f64 / total as f64
+                }
+            };
+            BucketShares {
+                label: format!("{lo}-{hi}"),
+                failures: total,
+                job_fail: f(0),
+                timeout: f(1),
+                node_fail: f(2),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 2(a): failure-type distribution by node-count bucket.
+pub fn by_node_count(records: &[JobRecord]) -> Vec<BucketShares> {
+    shares_over(records, &NODE_BUCKETS, |r| {
+        NODE_BUCKETS
+            .iter()
+            .position(|&(lo, hi)| r.node_count >= lo && r.node_count <= hi)
+            .or(Some(NODE_BUCKETS.len() - 1))
+    })
+}
+
+/// Fig. 2(b): failure-type distribution by elapsed-time bucket.
+pub fn by_elapsed(records: &[JobRecord]) -> Vec<BucketShares> {
+    shares_over(records, &ELAPSED_BUCKETS, |r| {
+        let m = r.elapsed_min as u32;
+        ELAPSED_BUCKETS
+            .iter()
+            .position(|&(lo, hi)| m >= lo && m <= hi)
+            .or(Some(ELAPSED_BUCKETS.len() - 1))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(state: JobState, week: u32, nodes: u32, elapsed: f64) -> JobRecord {
+        JobRecord {
+            id: 0,
+            week,
+            node_count: nodes,
+            elapsed_min: elapsed,
+            state,
+        }
+    }
+
+    #[test]
+    fn census_excludes_cancelled() {
+        let records = vec![
+            rec(JobState::Completed, 0, 1, 10.0),
+            rec(JobState::JobFail, 0, 1, 10.0),
+            rec(JobState::Timeout, 0, 1, 10.0),
+            rec(JobState::NodeFail, 0, 1, 10.0),
+            rec(JobState::Cancelled, 0, 1, 10.0),
+        ];
+        let c = census(&records);
+        assert_eq!(c.total_jobs, 4);
+        assert_eq!(c.total_failures, 3);
+        assert_eq!(c.node_fail, 1);
+        assert!((c.overall_failure_ratio() - 0.75).abs() < 1e-12);
+        assert!((c.failure_ratio(JobState::JobFail) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.node_failure_share() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weekly_means() {
+        let records = vec![
+            rec(JobState::JobFail, 0, 1, 10.0),
+            rec(JobState::JobFail, 0, 1, 30.0),
+            rec(JobState::Timeout, 1, 1, 100.0),
+            rec(JobState::Completed, 0, 1, 999.0),
+        ];
+        let rows = weekly_elapsed(&records, 2);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].job_fail, Some(20.0));
+        assert_eq!(rows[0].timeout, None);
+        assert_eq!(rows[0].overall, Some(20.0));
+        assert_eq!(rows[1].timeout, Some(100.0));
+        assert_eq!(rows[1].overall, Some(100.0));
+    }
+
+    #[test]
+    fn overall_mean_ignores_non_failures() {
+        let records = vec![
+            rec(JobState::Completed, 0, 1, 1000.0),
+            rec(JobState::JobFail, 0, 1, 50.0),
+            rec(JobState::NodeFail, 0, 1, 150.0),
+        ];
+        assert_eq!(overall_mean_elapsed(&records), Some(100.0));
+        assert_eq!(overall_mean_elapsed(&[]), None);
+    }
+
+    #[test]
+    fn node_bucket_shares_sum_to_one() {
+        let records = vec![
+            rec(JobState::JobFail, 0, 10, 5.0),
+            rec(JobState::Timeout, 0, 10, 5.0),
+            rec(JobState::NodeFail, 0, 8000, 5.0),
+            rec(JobState::Timeout, 0, 8000, 5.0),
+        ];
+        let rows = by_node_count(&records);
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].failures, 2);
+        assert!((rows[0].job_fail + rows[0].timeout + rows[0].node_fail - 1.0).abs() < 1e-12);
+        let top = &rows[5];
+        assert_eq!(top.failures, 2);
+        assert_eq!(top.node_fail, 0.5);
+        assert_eq!(top.timeout, 0.5);
+        assert_eq!(top.label, "7750-9408");
+    }
+
+    #[test]
+    fn elapsed_bucket_indexing() {
+        let records = vec![
+            rec(JobState::JobFail, 0, 1, 10.0),
+            rec(JobState::JobFail, 0, 1, 100.0),
+            rec(JobState::JobFail, 0, 1, 5000.0),
+        ];
+        let rows = by_elapsed(&records);
+        assert_eq!(rows[0].failures, 1);
+        assert_eq!(rows[3].failures, 1);
+        assert_eq!(rows[5].failures, 1);
+    }
+
+    #[test]
+    fn empty_buckets_are_zero_not_nan() {
+        let rows = by_node_count(&[]);
+        for r in rows {
+            assert_eq!(r.failures, 0);
+            assert_eq!(r.job_fail, 0.0);
+        }
+    }
+}

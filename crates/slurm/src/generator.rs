@@ -1,0 +1,298 @@
+//! Synthetic Frontier job-trace generator.
+//!
+//! The real six-month `sacct` dump is proprietary; the paper publishes its
+//! *aggregates* (Table I, Figures 1–2). This generator inverts them: it
+//! samples job records whose marginal distributions match the published
+//! numbers, so the analysis pipeline in [`crate::analysis`] can run end to
+//! end and be validated against the paper:
+//!
+//! * 181,933 jobs over 27 weeks, 25.04 % failing;
+//! * failures split Job Fail 52.50 % / Timeout 44.92 % / Node Fail 2.58 %;
+//! * Node Fail share of failures grows with node count, reaching 46.04 %
+//!   (78.60 % together with Timeout) in the 7,750–9,300-node bucket;
+//! * failed jobs run ~75 minutes on average before dying, with weekly
+//!   spikes to 2–3 hours for Node Fail / Timeout.
+
+use crate::model::{JobRecord, JobState};
+use ftc_hashring::hash::splitmix64;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Node-count bucket boundaries used for both generation and the Fig. 2(a)
+/// analysis — roughly log-spaced, with the paper's headline 7,750–9,300+
+/// range as the top bucket.
+pub const NODE_BUCKETS: [(u32, u32); 6] = [
+    (1, 15),
+    (16, 77),
+    (78, 387),
+    (388, 1549),
+    (1550, 7749),
+    (7750, 9408),
+];
+
+/// Elapsed-time buckets (minutes) for the Fig. 2(b) analysis.
+pub const ELAPSED_BUCKETS: [(u32, u32); 6] = [
+    (0, 15),
+    (16, 45),
+    (46, 90),
+    (91, 180),
+    (181, 360),
+    (361, 100_000),
+];
+
+/// Generator calibration. Defaults reproduce the paper's aggregates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of analyzable (non-cancelled) jobs.
+    pub total_jobs: u64,
+    /// Additional cancelled jobs (excluded by the analysis).
+    pub cancelled_jobs: u64,
+    /// Weeks in the window.
+    pub weeks: u32,
+    /// Overall failure probability among analyzable jobs.
+    pub p_failure: f64,
+    /// P(Node Fail | failure) per node bucket.
+    pub p_nodefail_by_bucket: [f64; 6],
+    /// P(Timeout | failure) per node bucket.
+    pub p_timeout_by_bucket: [f64; 6],
+    /// Mean elapsed minutes for Job Fail / Timeout / Node Fail failures.
+    pub mean_elapsed_min: [f64; 3],
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            total_jobs: 181_933,
+            cancelled_jobs: 14_000,
+            weeks: 27,
+            p_failure: 0.2504,
+            // Tuned so the bucket-share-weighted averages land on the
+            // global splits (2.58 % / 44.92 %) while the top bucket shows
+            // the paper's 46.04 % / 78.60 %.
+            p_nodefail_by_bucket: [0.003, 0.004, 0.006, 0.015, 0.06, 0.4604],
+            p_timeout_by_bucket: [0.45, 0.45, 0.45, 0.45, 0.42, 0.3256],
+            // Weighted by the 52.5/44.9/2.6 mix — and by the weekly
+            // modulation, whose Node Fail / Timeout factors average ≈1.13
+            // — these yield ≈75 min overall.
+            mean_elapsed_min: [53.0, 69.0, 78.0],
+            seed: 20240301,
+        }
+    }
+}
+
+/// Synthetic `sacct` trace generator.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    config: TraceConfig,
+}
+
+impl TraceGenerator {
+    /// Generator with the given calibration.
+    pub fn new(config: TraceConfig) -> Self {
+        TraceGenerator { config }
+    }
+
+    /// Paper-calibrated generator.
+    pub fn frontier() -> Self {
+        Self::new(TraceConfig::default())
+    }
+
+    /// The calibration in force.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Which bucket a node count falls into.
+    pub fn bucket_of(nodes: u32) -> usize {
+        NODE_BUCKETS
+            .iter()
+            .position(|&(lo, hi)| nodes >= lo && nodes <= hi)
+            .unwrap_or(NODE_BUCKETS.len() - 1)
+    }
+
+    /// Deterministic weekly modulation of elapsed time per state, giving
+    /// Fig. 1 its week-to-week texture (Node Fail / Timeout spike harder).
+    fn weekly_factor(&self, week: u32, state: JobState) -> f64 {
+        let tag = match state {
+            JobState::JobFail => 1u64,
+            JobState::Timeout => 2,
+            JobState::NodeFail => 3,
+            _ => 4,
+        };
+        let u = splitmix64(self.config.seed ^ (u64::from(week) << 8) ^ tag) as f64
+            / u64::MAX as f64;
+        match state {
+            // Node failures / timeouts occasionally run 2-3 hours before
+            // dying; job fails are steadier.
+            JobState::NodeFail | JobState::Timeout => 0.5 + 1.9 * u * u,
+            _ => 0.7 + 0.6 * u,
+        }
+    }
+
+    /// Generate the full trace (analyzable + cancelled records, shuffled
+    /// week-wise deterministic).
+    pub fn generate(&self) -> Vec<JobRecord> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let c = &self.config;
+        let mut out = Vec::with_capacity((c.total_jobs + c.cancelled_jobs) as usize);
+        let max_log = (9408f64).log10();
+
+        for id in 0..c.total_jobs {
+            let week = rng.random_range(0..c.weeks);
+            // Log-uniform node counts: most jobs are small, a thin tail
+            // reaches nearly the full machine.
+            let nodes = 10f64.powf(rng.random::<f64>() * max_log).round().max(1.0) as u32;
+            let bucket = Self::bucket_of(nodes);
+
+            let state = if rng.random::<f64>() < c.p_failure {
+                let u: f64 = rng.random();
+                if u < c.p_nodefail_by_bucket[bucket] {
+                    JobState::NodeFail
+                } else if u < c.p_nodefail_by_bucket[bucket] + c.p_timeout_by_bucket[bucket] {
+                    JobState::Timeout
+                } else {
+                    JobState::JobFail
+                }
+            } else {
+                JobState::Completed
+            };
+
+            let mean = match state {
+                JobState::JobFail => c.mean_elapsed_min[0],
+                JobState::Timeout => c.mean_elapsed_min[1],
+                JobState::NodeFail => c.mean_elapsed_min[2],
+                _ => 110.0,
+            };
+            // Exponential around the weekly-modulated mean: long right
+            // tail like real job mixes, never negative.
+            let lambda = mean * self.weekly_factor(week, state);
+            let elapsed = -lambda * (1.0 - rng.random::<f64>()).ln();
+
+            out.push(JobRecord {
+                id,
+                week,
+                node_count: nodes,
+                elapsed_min: elapsed.max(0.1),
+                state,
+            });
+        }
+
+        for i in 0..c.cancelled_jobs {
+            let week = rng.random_range(0..c.weeks);
+            out.push(JobRecord {
+                id: c.total_jobs + i,
+                week,
+                node_count: rng.random_range(1..=512),
+                elapsed_min: rng.random_range(0.1..300.0),
+                state: JobState::Cancelled,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Vec<JobRecord> {
+        TraceGenerator::frontier().generate()
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let t = trace();
+        let c = TraceConfig::default();
+        assert_eq!(t.len() as u64, c.total_jobs + c.cancelled_jobs);
+        let cancelled = t.iter().filter(|r| r.state == JobState::Cancelled).count() as u64;
+        assert_eq!(cancelled, c.cancelled_jobs);
+    }
+
+    #[test]
+    fn failure_rate_near_paper() {
+        let t = trace();
+        let analyzable: Vec<_> = t.iter().filter(|r| r.state != JobState::Cancelled).collect();
+        let failures = analyzable.iter().filter(|r| r.state.is_failure()).count() as f64;
+        let rate = failures / analyzable.len() as f64;
+        assert!(
+            (rate - 0.2504).abs() < 0.01,
+            "failure rate {rate:.4} vs paper 0.2504"
+        );
+    }
+
+    #[test]
+    fn failure_mix_near_paper() {
+        let t = trace();
+        let failures: Vec<_> = t.iter().filter(|r| r.state.is_failure()).collect();
+        let share = |s: JobState| {
+            failures.iter().filter(|r| r.state == s).count() as f64 / failures.len() as f64
+        };
+        let jf = share(JobState::JobFail);
+        let to = share(JobState::Timeout);
+        let nf = share(JobState::NodeFail);
+        assert!((jf - 0.5250).abs() < 0.03, "JobFail {jf:.4} vs 0.5250");
+        assert!((to - 0.4492).abs() < 0.03, "Timeout {to:.4} vs 0.4492");
+        assert!((nf - 0.0258).abs() < 0.015, "NodeFail {nf:.4} vs 0.0258");
+    }
+
+    #[test]
+    fn top_bucket_mix_near_paper() {
+        let t = trace();
+        let top: Vec<_> = t
+            .iter()
+            .filter(|r| r.state.is_failure() && r.node_count >= 7750)
+            .collect();
+        assert!(top.len() > 100, "need a populated top bucket, got {}", top.len());
+        let nf = top.iter().filter(|r| r.state == JobState::NodeFail).count() as f64
+            / top.len() as f64;
+        let nf_to = top
+            .iter()
+            .filter(|r| r.state.counts_as_node_failure())
+            .count() as f64
+            / top.len() as f64;
+        assert!((nf - 0.4604).abs() < 0.06, "top NodeFail {nf:.4} vs 0.4604");
+        assert!((nf_to - 0.7860).abs() < 0.06, "top NF+TO {nf_to:.4} vs 0.7860");
+    }
+
+    #[test]
+    fn mean_failure_elapsed_near_75_minutes() {
+        let t = trace();
+        let failures: Vec<_> = t.iter().filter(|r| r.state.is_failure()).collect();
+        let mean =
+            failures.iter().map(|r| r.elapsed_min).sum::<f64>() / failures.len() as f64;
+        assert!((55.0..95.0).contains(&mean), "mean elapsed {mean:.1} min vs ~75");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = TraceGenerator::frontier().generate();
+        let b = TraceGenerator::frontier().generate();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0], b[0]);
+        assert_eq!(a[a.len() - 1], b[b.len() - 1]);
+        let mut cfg = TraceConfig::default();
+        cfg.seed ^= 1;
+        let c = TraceGenerator::new(cfg).generate();
+        assert_ne!(a[0], c[0]);
+    }
+
+    #[test]
+    fn bucket_of_is_total() {
+        assert_eq!(TraceGenerator::bucket_of(1), 0);
+        assert_eq!(TraceGenerator::bucket_of(15), 0);
+        assert_eq!(TraceGenerator::bucket_of(16), 1);
+        assert_eq!(TraceGenerator::bucket_of(9000), 5);
+        assert_eq!(TraceGenerator::bucket_of(99_999), 5, "beyond max clamps to top");
+    }
+
+    #[test]
+    fn weeks_cover_window() {
+        let t = trace();
+        let weeks: std::collections::HashSet<u32> = t.iter().map(|r| r.week).collect();
+        assert_eq!(weeks.len(), 27);
+        assert!(weeks.iter().all(|&w| w < 27));
+    }
+}

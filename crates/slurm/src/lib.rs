@@ -1,0 +1,28 @@
+//! # ftc-slurm — job-failure substrate (paper §III)
+//!
+//! The paper's first contribution is a six-month analysis of Frontier's
+//! SLURM logs: 181,933 jobs, 25.04 % failing, with Node Fail + Timeout —
+//! the classes that kill a distributed cache — making up about half of
+//! failures and dominating at high node counts. The raw logs are
+//! proprietary, so this crate provides:
+//!
+//! * [`TraceGenerator`] — a synthetic `sacct` trace whose marginals are
+//!   calibrated to the paper's published aggregates;
+//! * [`analysis`] — the census/series/distribution pipeline producing
+//!   Table I, Figure 1 and Figure 2;
+//! * [`render`] — aligned-text rendition of each, with the paper's
+//!   numbers alongside for comparison.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod generator;
+pub mod model;
+pub mod render;
+
+pub use analysis::{
+    by_elapsed, by_node_count, census, overall_mean_elapsed, weekly_elapsed, BucketShares,
+    FailureCensus, WeeklyElapsed,
+};
+pub use generator::{TraceConfig, TraceGenerator, ELAPSED_BUCKETS, NODE_BUCKETS};
+pub use model::{JobRecord, JobState};

@@ -1,0 +1,83 @@
+//! SLURM job-record model — the shape of `sacct` output the paper's
+//! six-month Frontier analysis (§III) consumed.
+
+use serde::{Deserialize, Serialize};
+
+/// Terminal state of a job, per the paper's taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobState {
+    /// Ran to completion.
+    Completed,
+    /// "Job Fail results from code errors, data issues, environment
+    /// problems, or external system malfunctions."
+    JobFail,
+    /// "Node Fail occurs when a specific node stops functioning due to
+    /// hardware issues, network problems, software bugs, or overload."
+    NodeFail,
+    /// "Timeout happens when a job does not complete within a set time
+    /// limit" — treated as a node failure in the paper's context (network
+    /// timeouts).
+    Timeout,
+    /// Cancelled by users/admins/maintenance — excluded from analysis.
+    Cancelled,
+}
+
+impl JobState {
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobState::Completed => "COMPLETED",
+            JobState::JobFail => "JOB_FAIL",
+            JobState::NodeFail => "NODE_FAIL",
+            JobState::Timeout => "TIMEOUT",
+            JobState::Cancelled => "CANCELLED",
+        }
+    }
+
+    /// True for the three failure states the analysis counts.
+    pub fn is_failure(self) -> bool {
+        matches!(
+            self,
+            JobState::JobFail | JobState::NodeFail | JobState::Timeout
+        )
+    }
+
+    /// True for states the paper folds into "node failures" for the
+    /// fault-tolerance argument (`Node Fail` + `Timeout`, §III).
+    pub fn counts_as_node_failure(self) -> bool {
+        matches!(self, JobState::NodeFail | JobState::Timeout)
+    }
+}
+
+/// One job record, as the analysis consumes it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Sequential job id.
+    pub id: u64,
+    /// Week since production start (0..27 for the paper's window).
+    pub week: u32,
+    /// Allocated node count.
+    pub node_count: u32,
+    /// Elapsed minutes before the terminal state.
+    pub elapsed_min: f64,
+    /// Terminal state.
+    pub state: JobState,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_classification() {
+        assert_eq!(JobState::NodeFail.label(), "NODE_FAIL");
+        assert!(JobState::JobFail.is_failure());
+        assert!(JobState::Timeout.is_failure());
+        assert!(JobState::NodeFail.is_failure());
+        assert!(!JobState::Completed.is_failure());
+        assert!(!JobState::Cancelled.is_failure());
+        assert!(JobState::Timeout.counts_as_node_failure());
+        assert!(JobState::NodeFail.counts_as_node_failure());
+        assert!(!JobState::JobFail.counts_as_node_failure());
+    }
+}

@@ -1,0 +1,167 @@
+//! Text rendering of the analysis results, in the layout of the paper's
+//! Table I and Figures 1–2, with the published values alongside for
+//! comparison.
+
+use crate::analysis::{BucketShares, FailureCensus, WeeklyElapsed};
+use crate::model::JobState;
+use std::fmt::Write as _;
+
+/// Render Table I next to the paper's published numbers.
+pub fn render_table1(c: &FailureCensus) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "TABLE I — job failures over six months (measured vs paper)"
+    );
+    let _ = writeln!(
+        s,
+        "{:<16} {:>10} {:>14} {:>14} {:>22}",
+        "Type", "Count", "Failure ratio", "Overall ratio", "Paper (fail/overall)"
+    );
+    let total = c.total_jobs as f64;
+    let _ = writeln!(
+        s,
+        "{:<16} {:>10} {:>14} {:>13.2}% {:>22}",
+        "Total Jobs",
+        c.total_jobs,
+        "N/A",
+        100.0,
+        "181,933 / 100%"
+    );
+    let _ = writeln!(
+        s,
+        "{:<16} {:>10} {:>13.2}% {:>13.2}% {:>22}",
+        "Total Failures",
+        c.total_failures,
+        100.0,
+        100.0 * c.total_failures as f64 / total,
+        "100% / 25.04%"
+    );
+    let mut row = |label: &str, count: u64, paper: &str| {
+        let _ = writeln!(
+            s,
+            "{:<16} {:>10} {:>13.2}% {:>13.2}% {:>22}",
+            label,
+            count,
+            100.0 * count as f64 / c.total_failures as f64,
+            100.0 * count as f64 / total,
+            paper
+        );
+    };
+    row("Node Fail", c.node_fail, "2.58% / 0.65%");
+    row("Timeout", c.timeout, "44.92% / 11.25%");
+    row("Job Fail", c.job_fail, "52.50% / 13.15%");
+    s
+}
+
+/// Render the Fig. 1 weekly series as an aligned table.
+pub fn render_fig1(rows: &[WeeklyElapsed], overall_mean: Option<f64>) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "FIG 1 — mean elapsed minutes of failed jobs per week (27 weeks)"
+    );
+    let _ = writeln!(
+        s,
+        "{:>4} {:>10} {:>10} {:>10} {:>10}",
+        "week",
+        JobState::JobFail.label(),
+        JobState::Timeout.label(),
+        JobState::NodeFail.label(),
+        "OVERALL"
+    );
+    let fmt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.1}"));
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:>4} {:>10} {:>10} {:>10} {:>10}",
+            r.week,
+            fmt(r.job_fail),
+            fmt(r.timeout),
+            fmt(r.node_fail),
+            fmt(r.overall)
+        );
+    }
+    if let Some(m) = overall_mean {
+        let _ = writeln!(
+            s,
+            "overall mean (red dashed line): {m:.1} min   [paper: ~75 min]"
+        );
+    }
+    s
+}
+
+/// Render a Fig. 2 panel (either axis) as an aligned table.
+pub fn render_fig2(rows: &[BucketShares], axis: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "FIG 2 — failure-type distribution by {axis}");
+    let _ = writeln!(
+        s,
+        "{:>14} {:>9} {:>10} {:>10} {:>10} {:>10}",
+        axis, "failures", "JOB_FAIL", "TIMEOUT", "NODE_FAIL", "NF+TO"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:>14} {:>9} {:>9.2}% {:>9.2}% {:>9.2}% {:>9.2}%",
+            r.label,
+            r.failures,
+            100.0 * r.job_fail,
+            100.0 * r.timeout,
+            100.0 * r.node_fail,
+            100.0 * (r.node_fail + r.timeout),
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_renders_all_rows() {
+        let c = FailureCensus {
+            total_jobs: 100,
+            total_failures: 25,
+            node_fail: 1,
+            timeout: 11,
+            job_fail: 13,
+        };
+        let out = render_table1(&c);
+        assert!(out.contains("Total Jobs"));
+        assert!(out.contains("Node Fail"));
+        assert!(out.contains("25.00%"));
+        assert!(out.contains("181,933"));
+    }
+
+    #[test]
+    fn fig1_handles_missing_weeks() {
+        let rows = vec![WeeklyElapsed {
+            week: 0,
+            job_fail: Some(10.0),
+            timeout: None,
+            node_fail: None,
+            overall: Some(10.0),
+        }];
+        let out = render_fig1(&rows, Some(10.0));
+        assert!(out.contains("10.0"));
+        assert!(out.contains(" - "));
+        assert!(out.contains("~75 min"));
+    }
+
+    #[test]
+    fn fig2_renders_percentages() {
+        let rows = vec![BucketShares {
+            label: "1-15".into(),
+            failures: 4,
+            job_fail: 0.5,
+            timeout: 0.25,
+            node_fail: 0.25,
+        }];
+        let out = render_fig2(&rows, "node count");
+        assert!(out.contains("50.00%"));
+        assert!(out.contains("1-15"));
+        assert!(out.contains("NF+TO"));
+    }
+}

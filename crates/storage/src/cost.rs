@@ -1,0 +1,126 @@
+//! Storage-tier cost models and the Frontier calibration (Table II).
+//!
+//! These constants parameterize both the threaded cluster's injected
+//! delays and the discrete-event simulator, so every experiment in
+//! `EXPERIMENTS.md` traces back to this single calibration point.
+
+use crate::pfs::PfsModel;
+use serde::{Deserialize, Serialize};
+
+/// Cost of one storage tier (an NVMe device here).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierCost {
+    /// Per-operation latency in seconds (submission + device latency).
+    pub op_lat_s: f64,
+    /// Sequential read bandwidth, bytes/second.
+    pub read_bps: f64,
+    /// Sequential write bandwidth, bytes/second.
+    pub write_bps: f64,
+}
+
+impl TierCost {
+    /// Read cost in seconds for `bytes`.
+    #[inline]
+    pub fn read_cost_s(&self, bytes: u64) -> f64 {
+        self.op_lat_s + bytes as f64 / self.read_bps
+    }
+
+    /// Write cost in seconds for `bytes`.
+    #[inline]
+    pub fn write_cost_s(&self, bytes: u64) -> f64 {
+        self.op_lat_s + bytes as f64 / self.write_bps
+    }
+}
+
+/// One Frontier compute node, per Table II of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Marketing name of the CPU.
+    pub cpu: &'static str,
+    /// GPU complement.
+    pub gpu: &'static str,
+    /// DDR4 capacity in GiB.
+    pub memory_gib: u64,
+    /// Node-local storage description.
+    pub node_local_storage: &'static str,
+    /// Usable NVMe capacity in bytes (two PM9A3 in RAID0, XFS).
+    pub nvme_capacity_bytes: u64,
+    /// NVMe tier cost.
+    pub nvme: TierCost,
+}
+
+/// The full cost calibration used by simulations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Node-local NVMe tier.
+    pub nvme: TierCost,
+    /// Shared PFS tier.
+    pub pfs: PfsModel,
+}
+
+/// Frontier node constants from Table II and §V-A:
+/// "each compute node provides 3.5 TB of usable capacity with roughly
+/// 4 GB/s of peak sequential write and 8 GB/s of peak sequential read
+/// bandwidth."
+pub fn frontier_node() -> NodeSpec {
+    NodeSpec {
+        cpu: "AMD Trento EPYC 7A53",
+        gpu: "8 x MI250X AMD with 64 GiB HBM",
+        memory_gib: 512,
+        node_local_storage: "2 x 1.9 TB Samsung PM9A3 M.2 NVMe (RAID0, XFS, 128 KiB stripe)",
+        nvme_capacity_bytes: 3_500_000_000_000,
+        nvme: TierCost {
+            op_lat_s: 100e-6,
+            read_bps: 8e9,
+            write_bps: 4e9,
+        },
+    }
+}
+
+/// Frontier-calibrated cost model (Table II NVMe + Orion PFS).
+pub fn frontier() -> CostModel {
+    CostModel {
+        nvme: frontier_node().nvme,
+        pfs: PfsModel::orion(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_costs() {
+        let t = TierCost {
+            op_lat_s: 0.001,
+            read_bps: 1e9,
+            write_bps: 5e8,
+        };
+        assert!((t.read_cost_s(1_000_000_000) - 1.001).abs() < 1e-9);
+        assert!((t.write_cost_s(500_000_000) - 1.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frontier_matches_table_ii() {
+        let n = frontier_node();
+        assert_eq!(n.memory_gib, 512);
+        assert_eq!(n.nvme_capacity_bytes, 3_500_000_000_000);
+        assert_eq!(n.nvme.read_bps, 8e9);
+        assert_eq!(n.nvme.write_bps, 4e9);
+        assert!(n.cpu.contains("7A53"));
+        assert!(n.gpu.contains("MI250X"));
+    }
+
+    #[test]
+    fn nvme_beats_pfs_for_small_files() {
+        let m = frontier();
+        // The whole premise of HVAC: a 2.6 MB sample is far cheaper from
+        // local NVMe than from the PFS under load.
+        let nvme = m.nvme.read_cost_s(2_600_000);
+        let pfs = m.pfs.read_cost_s(2_600_000, 512);
+        assert!(
+            pfs / nvme > 10.0,
+            "PFS ({pfs:.6}s) should be >>10x slower than NVMe ({nvme:.6}s) under load"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # ftc-storage — storage substrates for FT-Cache
+//!
+//! Reproduces the two storage tiers of the paper's environment:
+//!
+//! * **Node-local NVMe** ([`NvmeCache`]) — per-node, fast, capacity-bounded
+//!   with LRU eviction; fed off the critical path by the [`DataMover`],
+//!   mirroring HVAC's data-mover thread.
+//! * **Parallel file system** ([`Pfs`]) — shared, slow, with per-file read
+//!   accounting (so the "one extra PFS access per lost file" invariant of
+//!   the hash-ring recaching design is directly testable) and a
+//!   processor-sharing cost model ([`PfsModel`]) that produces stragglers
+//!   under concurrent post-failure traffic.
+//!
+//! [`cost::frontier`] pins the calibration to Table II of the paper; the
+//! discrete-event simulator and the threaded cluster both read it, so
+//! every reproduced figure traces to one set of constants.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod mover;
+pub mod nvme;
+pub mod object;
+pub mod pfs;
+pub mod synth;
+
+pub use cost::{frontier, frontier_node, CostModel, NodeSpec, TierCost};
+pub use mover::DataMover;
+pub use nvme::{NvmeCache, NvmeStats};
+pub use object::{FileStore, MemStore, ObjectStore};
+pub use pfs::{Pfs, PfsModel};
+pub use synth::{synth_bytes, verify_synth};

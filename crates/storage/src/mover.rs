@@ -1,0 +1,162 @@
+//! The data-mover — HVAC's background thread that copies PFS-fetched files
+//! onto the local NVMe for future epochs.
+//!
+//! When an HVAC server misses its NVMe it serves the client *first* (from
+//! the PFS) and enqueues the copy; the mover persists it off the critical
+//! path. After a failure, the new hash-ring owners recache lost files
+//! through exactly this path, which is why the recache cost shows up once
+//! and then disappears.
+
+use crate::nvme::NvmeCache;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Background PFS→NVMe copier for one node.
+pub struct DataMover {
+    tx: Option<Sender<CopyJob>>,
+    handle: Option<JoinHandle<()>>,
+    moved: Arc<AtomicU64>,
+    moved_bytes: Arc<AtomicU64>,
+}
+
+/// A queued copy: (key, contents).
+type CopyJob = (String, Bytes);
+
+impl DataMover {
+    /// Spawn a mover that inserts into `cache`.
+    pub fn spawn(cache: Arc<NvmeCache>) -> Self {
+        let (tx, rx): (Sender<CopyJob>, Receiver<CopyJob>) = unbounded();
+        let moved = Arc::new(AtomicU64::new(0));
+        let moved_bytes = Arc::new(AtomicU64::new(0));
+        let m = Arc::clone(&moved);
+        let mb = Arc::clone(&moved_bytes);
+        let handle = std::thread::Builder::new()
+            .name("ftc-data-mover".into())
+            .spawn(move || {
+                while let Ok((key, data)) = rx.recv() {
+                    let len = data.len() as u64;
+                    cache.insert(&key, data);
+                    m.fetch_add(1, Ordering::Relaxed);
+                    mb.fetch_add(len, Ordering::Relaxed);
+                }
+            })
+            .expect("spawn data mover");
+        DataMover {
+            tx: Some(tx),
+            handle: Some(handle),
+            moved,
+            moved_bytes,
+        }
+    }
+
+    /// Enqueue a copy; returns false if the mover has shut down.
+    pub fn enqueue(&self, key: &str, data: Bytes) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send((key.to_owned(), data)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Files copied so far.
+    pub fn moved(&self) -> u64 {
+        self.moved.load(Ordering::Relaxed)
+    }
+
+    /// Bytes copied so far.
+    pub fn moved_bytes(&self) -> u64 {
+        self.moved_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Shared handles to the (files, bytes) counters, so totals stay
+    /// observable after the mover (and its owner) are moved elsewhere.
+    pub fn counter_handles(&self) -> (Arc<AtomicU64>, Arc<AtomicU64>) {
+        (Arc::clone(&self.moved), Arc::clone(&self.moved_bytes))
+    }
+
+    /// Block until every enqueued copy has landed, then stop the thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            drop(tx); // closes the channel; worker drains then exits
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Wait (bounded) until the backlog drains without shutting down —
+    /// lets tests assert "eventually cached" deterministically.
+    pub fn drain(&self, expected_moved: u64, timeout: std::time::Duration) -> bool {
+        let t0 = std::time::Instant::now();
+        while self.moved() < expected_moved {
+            if t0.elapsed() > timeout {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
+}
+
+impl Drop for DataMover {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// A mover guarded for shared use by a server's request handlers.
+pub type SharedMover = Arc<Mutex<DataMover>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn copies_land_in_cache() {
+        let cache = Arc::new(NvmeCache::unbounded());
+        let mover = DataMover::spawn(Arc::clone(&cache));
+        for i in 0..50 {
+            assert!(mover.enqueue(&format!("k{i}"), Bytes::from(vec![1u8; 10])));
+        }
+        assert!(mover.drain(50, Duration::from_secs(5)));
+        assert_eq!(cache.len(), 50);
+        assert_eq!(mover.moved_bytes(), 500);
+        mover.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_backlog() {
+        let cache = Arc::new(NvmeCache::unbounded());
+        let mover = DataMover::spawn(Arc::clone(&cache));
+        for i in 0..200 {
+            mover.enqueue(&format!("k{i}"), Bytes::from(vec![0u8; 4]));
+        }
+        mover.shutdown(); // must not lose queued copies
+        assert_eq!(cache.len(), 200);
+    }
+
+    #[test]
+    fn enqueue_after_drop_is_safe() {
+        let cache = Arc::new(NvmeCache::unbounded());
+        let mut mover = DataMover::spawn(cache);
+        mover.shutdown_inner();
+        assert!(!mover.enqueue("x", Bytes::new()));
+    }
+
+    #[test]
+    fn drain_times_out_when_short() {
+        let cache = Arc::new(NvmeCache::unbounded());
+        let mover = DataMover::spawn(cache);
+        mover.enqueue("a", Bytes::new());
+        // Expecting 2 moves when only 1 was enqueued must time out.
+        assert!(!mover.drain(2, Duration::from_millis(50)));
+    }
+}

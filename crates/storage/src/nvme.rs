@@ -1,0 +1,291 @@
+//! Node-local NVMe cache — one per compute node (the paper's per-node
+//! 3.5 TB XFS volume over two PM9A3 SSDs).
+//!
+//! Capacity-bounded with LRU eviction. HVAC in practice sizes datasets to
+//! fit, but a fault-tolerant cache must survive the recached keys of a dead
+//! neighbor pushing a node past its capacity, so eviction is load-bearing
+//! here, not hypothetical.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Counters for one node's NVMe cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NvmeStats {
+    /// `get` calls that found the object.
+    pub hits: u64,
+    /// `get` calls that missed.
+    pub misses: u64,
+    /// Objects evicted to make room.
+    pub evictions: u64,
+    /// Objects inserted.
+    pub inserts: u64,
+    /// Current resident bytes.
+    pub resident_bytes: u64,
+    /// Current resident object count.
+    pub resident_objects: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    data: Bytes,
+    /// Monotone access stamp; smallest = least recently used.
+    stamp: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    /// stamp -> key, mirror of `map` ordered by recency.
+    lru: std::collections::BTreeMap<u64, String>,
+    bytes: u64,
+    next_stamp: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    inserts: u64,
+}
+
+/// Capacity-bounded LRU cache of objects on one node's NVMe.
+#[derive(Debug)]
+pub struct NvmeCache {
+    inner: Mutex<Inner>,
+    capacity: u64,
+}
+
+impl NvmeCache {
+    /// Cache bounded to `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        NvmeCache {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+        }
+    }
+
+    /// Effectively unbounded cache (tests and fits-in-memory datasets).
+    pub fn unbounded() -> Self {
+        Self::new(u64::MAX)
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Look up an object, refreshing its recency on hit.
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        let mut g = self.inner.lock();
+        g.next_stamp += 1;
+        let stamp = g.next_stamp;
+        match g.map.get_mut(key) {
+            Some(e) => {
+                let old = e.stamp;
+                e.stamp = stamp;
+                let data = e.data.clone();
+                g.lru.remove(&old);
+                g.lru.insert(stamp, key.to_owned());
+                g.hits += 1;
+                Some(data)
+            }
+            None => {
+                g.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Presence check without touching recency or hit/miss counters.
+    pub fn peek(&self, key: &str) -> bool {
+        self.inner.lock().map.contains_key(key)
+    }
+
+    /// Insert an object, evicting least-recently-used entries as needed.
+    ///
+    /// Returns the keys evicted. An object larger than the whole device is
+    /// rejected (returned count is empty and the object is not stored).
+    pub fn insert(&self, key: &str, data: Bytes) -> Vec<String> {
+        let size = data.len() as u64;
+        if size > self.capacity {
+            return Vec::new();
+        }
+        let mut g = self.inner.lock();
+        let mut evicted = Vec::new();
+
+        // Replacing an existing entry frees its bytes first.
+        if let Some(old) = g.map.remove(key) {
+            g.lru.remove(&old.stamp);
+            g.bytes -= old.data.len() as u64;
+        }
+
+        while g.bytes + size > self.capacity {
+            let (&stamp, _) = g.lru.iter().next().expect("bytes>0 implies entries");
+            let victim = g.lru.remove(&stamp).unwrap();
+            let e = g.map.remove(&victim).expect("lru mirrors map");
+            g.bytes -= e.data.len() as u64;
+            g.evictions += 1;
+            evicted.push(victim);
+        }
+
+        g.next_stamp += 1;
+        let stamp = g.next_stamp;
+        g.lru.insert(stamp, key.to_owned());
+        g.map.insert(key.to_owned(), Entry { data, stamp });
+        g.bytes += size;
+        g.inserts += 1;
+        evicted
+    }
+
+    /// Remove an object (e.g. invalidation); returns whether it existed.
+    pub fn remove(&self, key: &str) -> bool {
+        let mut g = self.inner.lock();
+        if let Some(e) = g.map.remove(key) {
+            g.lru.remove(&e.stamp);
+            g.bytes -= e.data.len() as u64;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop every object (node wipe).
+    pub fn clear(&self) {
+        let mut g = self.inner.lock();
+        g.map.clear();
+        g.lru.clear();
+        g.bytes = 0;
+    }
+
+    /// Resident object count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resident bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.lock().bytes
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> NvmeStats {
+        let g = self.inner.lock();
+        NvmeStats {
+            hits: g.hits,
+            misses: g.misses,
+            evictions: g.evictions,
+            inserts: g.inserts,
+            resident_bytes: g.bytes,
+            resident_objects: g.map.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(n: usize) -> Bytes {
+        Bytes::from(vec![0xAB; n])
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let c = NvmeCache::unbounded();
+        assert_eq!(c.get("x"), None);
+        c.insert("x", b(3));
+        assert_eq!(c.get("x").unwrap().len(), 3);
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.inserts, 1);
+        assert_eq!(s.resident_bytes, 3);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let c = NvmeCache::new(30);
+        c.insert("a", b(10));
+        c.insert("b", b(10));
+        c.insert("c", b(10));
+        // Touch "a" so "b" is now the LRU.
+        assert!(c.get("a").is_some());
+        let evicted = c.insert("d", b(10));
+        assert_eq!(evicted, vec!["b".to_string()]);
+        assert!(c.peek("a") && c.peek("c") && c.peek("d"));
+        assert!(!c.peek("b"));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn large_insert_evicts_many() {
+        let c = NvmeCache::new(30);
+        c.insert("a", b(10));
+        c.insert("b", b(10));
+        c.insert("c", b(10));
+        let evicted = c.insert("big", b(25));
+        assert_eq!(evicted.len(), 3);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.resident_bytes(), 25);
+    }
+
+    #[test]
+    fn oversized_object_rejected() {
+        let c = NvmeCache::new(10);
+        assert!(c.insert("huge", b(11)).is_empty());
+        assert!(!c.peek("huge"));
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn replace_frees_old_bytes() {
+        let c = NvmeCache::new(20);
+        c.insert("a", b(10));
+        c.insert("a", b(15));
+        assert_eq!(c.resident_bytes(), 15);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn capacity_invariant_under_churn() {
+        let c = NvmeCache::new(100);
+        for i in 0..1000 {
+            c.insert(&format!("k{i}"), b(7));
+            assert!(c.resident_bytes() <= 100, "over capacity at i={i}");
+        }
+        assert!(c.len() <= 100 / 7);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let c = NvmeCache::unbounded();
+        c.insert("a", b(5));
+        c.insert("z", b(5));
+        assert!(c.remove("a"));
+        assert!(!c.remove("a"));
+        assert_eq!(c.resident_bytes(), 5);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_affect_lru_or_stats() {
+        let c = NvmeCache::new(20);
+        c.insert("a", b(10));
+        c.insert("b", b(10));
+        // peek "a" (no recency bump), then inserting "c" must evict "a".
+        assert!(c.peek("a"));
+        let evicted = c.insert("c", b(10));
+        assert_eq!(evicted, vec!["a".to_string()]);
+        let s = c.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the storage substrates: LRU capacity/consistency
+//! invariants under arbitrary operation sequences and synthetic-content
+//! integrity.
+
+use bytes::Bytes;
+use ftc_storage::{synth_bytes, verify_synth, NvmeCache, Pfs};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, u16),
+    Get(u8),
+    Remove(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 1u16..512).prop_map(|(k, s)| Op::Insert(k, s)),
+        any::<u8>().prop_map(Op::Get),
+        any::<u8>().prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under any operation sequence the cache never exceeds capacity, and
+    /// resident accounting matches a reference model.
+    #[test]
+    fn nvme_capacity_and_consistency(
+        capacity in 64u64..4096,
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        let cache = NvmeCache::new(capacity);
+        let mut model: std::collections::HashMap<String, usize> = Default::default();
+        let mut order: Vec<String> = Vec::new(); // LRU order, front = oldest
+
+        for op in ops {
+            match op {
+                Op::Insert(k, size) => {
+                    let key = format!("k{k}");
+                    let size = size as usize;
+                    let evicted = cache.insert(&key, Bytes::from(vec![0; size]));
+                    if size as u64 > capacity {
+                        // Rejected insert: nothing evicted, and any
+                        // previously cached value under this key survives.
+                        prop_assert!(evicted.is_empty());
+                        prop_assert_eq!(cache.peek(&key), model.contains_key(&key));
+                        continue;
+                    }
+                    // Mirror in the model: drop old entry, evict LRU until fit.
+                    if model.remove(&key).is_some() {
+                        order.retain(|x| x != &key);
+                    }
+                    let mut resident: usize = model.values().sum();
+                    let mut expected_evicted = Vec::new();
+                    while resident + size > capacity as usize {
+                        let victim = order.remove(0);
+                        resident -= model.remove(&victim).unwrap();
+                        expected_evicted.push(victim);
+                    }
+                    model.insert(key.clone(), size);
+                    order.push(key);
+                    prop_assert_eq!(evicted, expected_evicted);
+                }
+                Op::Get(k) => {
+                    let key = format!("k{k}");
+                    let got = cache.get(&key);
+                    prop_assert_eq!(got.is_some(), model.contains_key(&key));
+                    if model.contains_key(&key) {
+                        prop_assert_eq!(got.unwrap().len(), model[&key]);
+                        order.retain(|x| x != &key);
+                        order.push(key);
+                    }
+                }
+                Op::Remove(k) => {
+                    let key = format!("k{k}");
+                    let removed = cache.remove(&key);
+                    prop_assert_eq!(removed, model.remove(&key).is_some());
+                    order.retain(|x| x != &key);
+                }
+            }
+            let resident: usize = model.values().sum();
+            prop_assert!(cache.resident_bytes() <= capacity);
+            prop_assert_eq!(cache.resident_bytes(), resident as u64);
+            prop_assert_eq!(cache.len(), model.len());
+        }
+    }
+
+    /// Synthetic content is verifiable, path-sensitive, and prefix-stable.
+    #[test]
+    fn synth_integrity(path in "[a-z0-9/_.]{1,40}", len in 0usize..2048) {
+        let data = synth_bytes(&path, len);
+        prop_assert_eq!(data.len(), len);
+        prop_assert!(verify_synth(&path, &data));
+        if len > 0 {
+            let mut corrupted = data.to_vec();
+            corrupted[len / 2] ^= 0x01;
+            prop_assert!(!verify_synth(&path, &corrupted));
+        }
+    }
+
+    /// PFS read accounting is exact under arbitrary access sequences.
+    #[test]
+    fn pfs_read_accounting(accesses in prop::collection::vec(0u8..20, 0..100)) {
+        let pfs = Pfs::in_memory();
+        for i in 0..10u8 {
+            pfs.stage(&format!("f{i}"), synth_bytes(&format!("f{i}"), 16));
+        }
+        let mut expected: std::collections::HashMap<u8, u64> = Default::default();
+        for a in &accesses {
+            let key = format!("f{a}");
+            let got = pfs.read(&key);
+            if *a < 10 {
+                prop_assert!(got.is_some());
+                *expected.entry(*a).or_insert(0) += 1;
+            } else {
+                prop_assert!(got.is_none());
+            }
+        }
+        let total: u64 = expected.values().sum();
+        prop_assert_eq!(pfs.total_reads(), total);
+        for (k, v) in expected {
+            prop_assert_eq!(pfs.reads_of(&format!("f{k}")), v);
+        }
+    }
+}

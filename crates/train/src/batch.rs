@@ -1,0 +1,91 @@
+//! Batch-synchronous step structure.
+//!
+//! Data-parallel DL advances in global batches: each rank reads and
+//! processes its micro-batch, then all ranks synchronize (the allreduce).
+//! "When a small number of nodes experience delays … the majority of
+//! nodes must wait for these slower nodes. This batch synchronization
+//! causes the straggler problem to occur with each batch" (§IV-A1) — the
+//! barrier in this module is where that waiting happens.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of one epoch's step loop for a given world size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchPlan {
+    /// Samples per rank per step (micro-batch).
+    pub per_rank: u32,
+    /// Live ranks.
+    pub world: u32,
+}
+
+impl BatchPlan {
+    /// Plan with a fixed micro-batch per rank (weak scaling — the MLPerf
+    /// HPC configuration CosmoFlow uses).
+    pub fn per_rank(per_rank: u32, world: u32) -> Self {
+        assert!(per_rank > 0 && world > 0);
+        BatchPlan { per_rank, world }
+    }
+
+    /// Plan derived from a global batch size (strong scaling): micro-batch
+    /// = ceil(global / world).
+    pub fn from_global(global: u32, world: u32) -> Self {
+        assert!(global > 0 && world > 0);
+        BatchPlan {
+            per_rank: global.div_ceil(world),
+            world,
+        }
+    }
+
+    /// Global samples consumed per step.
+    pub fn global_batch(&self) -> u32 {
+        self.per_rank * self.world
+    }
+
+    /// Steps needed for a rank-shard of `shard_len` samples (last step may
+    /// be short).
+    pub fn steps_for(&self, shard_len: u32) -> u32 {
+        shard_len.div_ceil(self.per_rank)
+    }
+
+    /// The sample-index range (within the shard) for `step`.
+    pub fn step_range(&self, shard_len: u32, step: u32) -> std::ops::Range<usize> {
+        let start = (step * self.per_rank).min(shard_len) as usize;
+        let end = ((step + 1) * self.per_rank).min(shard_len) as usize;
+        start..end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_and_per_rank() {
+        let p = BatchPlan::per_rank(4, 8);
+        assert_eq!(p.global_batch(), 32);
+        let q = BatchPlan::from_global(30, 8);
+        assert_eq!(q.per_rank, 4, "ceil(30/8)");
+    }
+
+    #[test]
+    fn steps_cover_shard_exactly() {
+        let p = BatchPlan::per_rank(4, 1);
+        assert_eq!(p.steps_for(10), 3);
+        assert_eq!(p.step_range(10, 0), 0..4);
+        assert_eq!(p.step_range(10, 1), 4..8);
+        assert_eq!(p.step_range(10, 2), 8..10, "short last step");
+        assert_eq!(p.step_range(10, 3), 10..10, "past-the-end is empty");
+    }
+
+    #[test]
+    fn zero_shard_means_zero_steps() {
+        let p = BatchPlan::per_rank(4, 2);
+        assert_eq!(p.steps_for(0), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_world_rejected() {
+        BatchPlan::per_rank(1, 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Dataset descriptors.
+//!
+//! The evaluation trains CosmoFlow on the cosmoUniverse dataset: "1.3TB
+//! TFRecord files … 524,288 samples for training and 65,536 samples for
+//! validation" (§V-A2), all staged on the PFS before any run. The cache
+//! only ever sees the dataset as a set of named, fixed-size files.
+
+use serde::{Deserialize, Serialize};
+
+/// A training dataset as the cache sees it: named files of a given size.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of training samples (one file each).
+    pub train_samples: u32,
+    /// Number of validation samples (one file each).
+    pub val_samples: u32,
+    /// Bytes per sample file.
+    pub sample_bytes: u64,
+}
+
+impl Dataset {
+    /// The cosmoUniverse TFRecord dataset from the paper: 524,288 train +
+    /// 65,536 validation samples, ~1.3 TB total → ≈2.2 MB per sample.
+    pub fn cosmoflow() -> Self {
+        Dataset {
+            name: "cosmoUniverse".into(),
+            train_samples: 524_288,
+            val_samples: 65_536,
+            // 1.3 TB / (524288 + 65536) samples ≈ 2.2 MB
+            sample_bytes: 2_204_000,
+        }
+    }
+
+    /// A linearly scaled-down replica (same shape, 1/`factor` the samples)
+    /// for laptop-scale runs; sample size is preserved so per-file costs
+    /// stay representative.
+    pub fn scaled_down(&self, factor: u32) -> Self {
+        assert!(factor >= 1);
+        Dataset {
+            name: format!("{}/÷{}", self.name, factor),
+            train_samples: (self.train_samples / factor).max(1),
+            val_samples: (self.val_samples / factor).max(1),
+            sample_bytes: self.sample_bytes,
+        }
+    }
+
+    /// A tiny synthetic dataset for tests.
+    pub fn tiny(train: u32, bytes: u64) -> Self {
+        Dataset {
+            name: "tiny".into(),
+            train_samples: train,
+            val_samples: 0,
+            sample_bytes: bytes,
+        }
+    }
+
+    /// Path of training sample `i` (also its placement key).
+    pub fn train_path(&self, i: u32) -> String {
+        format!("train/sample_{i:07}.tfrecord")
+    }
+
+    /// Path of validation sample `i`.
+    pub fn val_path(&self, i: u32) -> String {
+        format!("val/sample_{i:07}.tfrecord")
+    }
+
+    /// All training paths.
+    pub fn train_paths(&self) -> Vec<String> {
+        (0..self.train_samples).map(|i| self.train_path(i)).collect()
+    }
+
+    /// Total dataset footprint in bytes (train + val).
+    pub fn total_bytes(&self) -> u64 {
+        u64::from(self.train_samples + self.val_samples) * self.sample_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosmoflow_matches_paper() {
+        let d = Dataset::cosmoflow();
+        assert_eq!(d.train_samples, 524_288);
+        assert_eq!(d.val_samples, 65_536);
+        // ~1.3 TB total.
+        let tb = d.total_bytes() as f64 / 1e12;
+        assert!((1.25..1.35).contains(&tb), "total = {tb} TB");
+    }
+
+    #[test]
+    fn paths_are_stable_and_distinct() {
+        let d = Dataset::tiny(3, 10);
+        assert_eq!(d.train_path(0), "train/sample_0000000.tfrecord");
+        assert_ne!(d.train_path(1), d.train_path(2));
+        assert_ne!(d.val_path(1), d.train_path(1));
+        assert_eq!(d.train_paths().len(), 3);
+    }
+
+    #[test]
+    fn scaling() {
+        let d = Dataset::cosmoflow().scaled_down(512);
+        assert_eq!(d.train_samples, 1024);
+        assert_eq!(d.sample_bytes, Dataset::cosmoflow().sample_bytes);
+        let t = Dataset::tiny(1, 1).scaled_down(1000);
+        assert_eq!(t.train_samples, 1, "never scales to zero");
+    }
+}

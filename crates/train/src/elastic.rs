@@ -1,0 +1,187 @@
+//! Horovod-elastic-style membership and rollback tracking.
+//!
+//! "We run the application with Horovod elastic run … CosmoFlow can
+//! continue training even in the event of node failure by reverting to
+//! the start of the failed epoch" (§V-A2). This module is that state
+//! machine: a world of ranks, failure events that shrink it, rejoin
+//! events that grow it, and the rule that a failure mid-epoch rolls the
+//! epoch back and resumes with the survivors — paying a fixed resume
+//! overhead that the paper identifies as the dominant fixed cost at high
+//! node counts.
+
+use ftc_hashring::NodeId;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// What happened to the membership, in order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ElasticEvent {
+    /// A rank failed during `epoch`; the epoch restarts without it.
+    FailureRollback {
+        /// Epoch that was rolled back.
+        epoch: u32,
+        /// The failed rank.
+        rank: NodeId,
+        /// Survivor count after removal.
+        world_after: u32,
+    },
+    /// A rank (re)joined before `epoch` began.
+    Join {
+        /// First epoch the rank participates in.
+        epoch: u32,
+        /// The joining rank.
+        rank: NodeId,
+        /// World size after the join.
+        world_after: u32,
+    },
+}
+
+/// Elastic membership tracker for one training job.
+#[derive(Debug, Clone)]
+pub struct ElasticState {
+    live: Vec<NodeId>,
+    resume_overhead: Duration,
+    events: Vec<ElasticEvent>,
+    rollbacks: u32,
+}
+
+impl ElasticState {
+    /// Fresh state over ranks `0..world`.
+    pub fn new(world: u32, resume_overhead: Duration) -> Self {
+        ElasticState {
+            live: (0..world).map(NodeId).collect(),
+            resume_overhead,
+            events: Vec::new(),
+            rollbacks: 0,
+        }
+    }
+
+    /// Live ranks, ascending.
+    pub fn live_ranks(&self) -> &[NodeId] {
+        &self.live
+    }
+
+    /// Live world size.
+    pub fn world(&self) -> u32 {
+        self.live.len() as u32
+    }
+
+    /// Whether a rank is currently live.
+    pub fn is_live(&self, rank: NodeId) -> bool {
+        self.live.contains(&rank)
+    }
+
+    /// The configured per-rollback resume overhead (elastic
+    /// re-initialization, communicator rebuild, state broadcast).
+    pub fn resume_overhead(&self) -> Duration {
+        self.resume_overhead
+    }
+
+    /// A rank failed during `epoch`: remove it, record a rollback, return
+    /// the overhead the job pays before re-running the epoch. `None` if
+    /// the rank was already gone (duplicate detection) or unknown.
+    pub fn fail_rank(&mut self, epoch: u32, rank: NodeId) -> Option<Duration> {
+        let pos = self.live.iter().position(|&r| r == rank)?;
+        self.live.remove(pos);
+        self.rollbacks += 1;
+        self.events.push(ElasticEvent::FailureRollback {
+            epoch,
+            rank,
+            world_after: self.world(),
+        });
+        Some(self.resume_overhead)
+    }
+
+    /// A repaired rank rejoins before `epoch`.
+    pub fn join_rank(&mut self, epoch: u32, rank: NodeId) -> bool {
+        if self.live.contains(&rank) {
+            return false;
+        }
+        let pos = self.live.partition_point(|&r| r < rank);
+        self.live.insert(pos, rank);
+        self.events.push(ElasticEvent::Join {
+            epoch,
+            rank,
+            world_after: self.world(),
+        });
+        true
+    }
+
+    /// Number of epoch rollbacks so far.
+    pub fn rollbacks(&self) -> u32 {
+        self.rollbacks
+    }
+
+    /// The event log.
+    pub fn events(&self) -> &[ElasticEvent] {
+        &self.events
+    }
+
+    /// Position of `rank` within the live list — its data-parallel rank
+    /// index for sharding after membership churn.
+    pub fn shard_index(&self, rank: NodeId) -> Option<u32> {
+        self.live.iter().position(|&r| r == rank).map(|p| p as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_shrinks_world_and_counts_rollback() {
+        let mut e = ElasticState::new(4, Duration::from_secs(30));
+        assert_eq!(e.world(), 4);
+        let overhead = e.fail_rank(2, NodeId(1)).unwrap();
+        assert_eq!(overhead, Duration::from_secs(30));
+        assert_eq!(e.world(), 3);
+        assert!(!e.is_live(NodeId(1)));
+        assert_eq!(e.rollbacks(), 1);
+        assert_eq!(
+            e.events()[0],
+            ElasticEvent::FailureRollback {
+                epoch: 2,
+                rank: NodeId(1),
+                world_after: 3
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_failure_is_none() {
+        let mut e = ElasticState::new(2, Duration::ZERO);
+        assert!(e.fail_rank(0, NodeId(0)).is_some());
+        assert!(e.fail_rank(0, NodeId(0)).is_none());
+        assert!(e.fail_rank(0, NodeId(9)).is_none(), "unknown rank");
+        assert_eq!(e.rollbacks(), 1);
+    }
+
+    #[test]
+    fn shard_indices_compact_after_failure() {
+        let mut e = ElasticState::new(4, Duration::ZERO);
+        e.fail_rank(1, NodeId(1));
+        assert_eq!(e.shard_index(NodeId(0)), Some(0));
+        assert_eq!(e.shard_index(NodeId(1)), None);
+        assert_eq!(e.shard_index(NodeId(2)), Some(1));
+        assert_eq!(e.shard_index(NodeId(3)), Some(2));
+    }
+
+    #[test]
+    fn rejoin_restores_order() {
+        let mut e = ElasticState::new(3, Duration::ZERO);
+        e.fail_rank(0, NodeId(1));
+        assert!(e.join_rank(2, NodeId(1)));
+        assert!(!e.join_rank(2, NodeId(1)), "double join rejected");
+        assert_eq!(e.live_ranks(), &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(e.shard_index(NodeId(1)), Some(1));
+    }
+
+    #[test]
+    fn repeated_failures_to_empty() {
+        let mut e = ElasticState::new(2, Duration::ZERO);
+        e.fail_rank(0, NodeId(0));
+        e.fail_rank(0, NodeId(1));
+        assert_eq!(e.world(), 0);
+        assert_eq!(e.rollbacks(), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! # ftc-train — the deep-learning workload substrate
+//!
+//! The cache under test serves a very particular I/O pattern: CosmoFlow
+//! (MLPerf HPC) reading the 1.3 TB cosmoUniverse dataset for 5 epochs —
+//! every epoch a fresh global shuffle, sharded across data-parallel ranks,
+//! advancing in batch-synchronous steps, under Horovod elastic so a node
+//! failure rolls the epoch back and resumes with the survivors (§V-A2).
+//!
+//! This crate reproduces that pattern without the 3D CNN:
+//!
+//! * [`Dataset`] — file-set descriptors ([`Dataset::cosmoflow`] matches
+//!   the paper's sample counts and footprint);
+//! * [`ShuffleSampler`] — deterministic per-epoch shuffling + sharding;
+//! * [`BatchPlan`] — micro-batch/step structure (the straggler mechanism);
+//! * [`ElasticState`] — membership, rollbacks, rejoins;
+//! * [`TrainDriver`] — one thread per rank, a barrier per step, fault
+//!   injection at a named (epoch, step, node).
+//!
+//! The driver is backend-generic ([`ReadBackend`]); plugging in an
+//! [`ftc_core::HvacClient`] yields the full paper system end to end.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod dataset;
+pub mod driver;
+pub mod elastic;
+pub mod sampler;
+
+pub use batch::BatchPlan;
+pub use dataset::Dataset;
+pub use driver::{
+    BackendError, EpochReport, FaultSpec, ReadBackend, TrainConfig, TrainDriver, TrainOutcome,
+    TrainReport,
+};
+pub use elastic::{ElasticEvent, ElasticState};
+pub use sampler::ShuffleSampler;

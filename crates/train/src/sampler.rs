@@ -1,0 +1,144 @@
+//! Epoch shuffling and data-parallel sharding.
+//!
+//! "Data shuffling is crucial for improving model generalization …
+//! subsequent epochs involve shuffling, requiring random access to
+//! different data segments" (§II-A). The sampler produces a deterministic
+//! per-epoch permutation (seeded Fisher–Yates), partitioned contiguously
+//! across the live ranks — so every rank touches a different ~1/N of the
+//! dataset each epoch, and the *union* covers everything.
+
+use ftc_hashring::hash::splitmix64;
+
+/// Deterministic per-epoch shuffler/sharder.
+#[derive(Debug, Clone)]
+pub struct ShuffleSampler {
+    samples: u32,
+    seed: u64,
+}
+
+impl ShuffleSampler {
+    /// Sampler over `samples` items with a job-level seed.
+    pub fn new(samples: u32, seed: u64) -> Self {
+        ShuffleSampler { samples, seed }
+    }
+
+    /// Number of samples per epoch.
+    pub fn samples(&self) -> u32 {
+        self.samples
+    }
+
+    /// The full shuffled order for `epoch` (a permutation of
+    /// `0..samples`). Fisher–Yates driven by a splitmix64 stream, so it is
+    /// identical on every rank without communication — the property that
+    /// lets data-parallel workers agree on shards.
+    pub fn epoch_order(&self, epoch: u32) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.samples).collect();
+        let mut state = splitmix64(self.seed ^ (u64::from(epoch) << 32 | 0x5eed));
+        // Fisher–Yates: for i from n-1 down to 1, swap(i, uniform(0..=i)).
+        for i in (1..order.len()).rev() {
+            state = splitmix64(state);
+            let j = (state % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        order
+    }
+
+    /// The contiguous shard of `epoch`'s order belonging to `rank` among
+    /// `world` ranks. Shards differ in size by at most one sample and
+    /// partition the epoch exactly.
+    pub fn shard(&self, epoch: u32, rank: u32, world: u32) -> Vec<u32> {
+        assert!(world > 0, "world must be non-empty");
+        assert!(rank < world, "rank {rank} out of world {world}");
+        let order = self.epoch_order(epoch);
+        let n = order.len();
+        let w = world as usize;
+        let r = rank as usize;
+        let base = n / w;
+        let extra = n % w;
+        // First `extra` ranks get one additional sample.
+        let start = r * base + r.min(extra);
+        let len = base + usize::from(r < extra);
+        order[start..start + len].to_vec()
+    }
+
+    /// Size of `rank`'s shard without materializing the order.
+    pub fn shard_len(&self, rank: u32, world: u32) -> u32 {
+        let base = self.samples / world;
+        let extra = self.samples % world;
+        base + u32::from(rank < extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn order_is_permutation() {
+        let s = ShuffleSampler::new(100, 7);
+        let order = s.epoch_order(3);
+        assert_eq!(order.len(), 100);
+        let set: HashSet<u32> = order.iter().copied().collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn epochs_differ_and_repeat_deterministically() {
+        let s = ShuffleSampler::new(64, 1);
+        assert_eq!(s.epoch_order(0), s.epoch_order(0));
+        assert_ne!(s.epoch_order(0), s.epoch_order(1));
+        let other = ShuffleSampler::new(64, 2);
+        assert_ne!(s.epoch_order(0), other.epoch_order(0), "seed matters");
+    }
+
+    #[test]
+    fn shards_partition_the_epoch() {
+        let s = ShuffleSampler::new(103, 9);
+        for world in [1u32, 2, 3, 7] {
+            let mut all = Vec::new();
+            for rank in 0..world {
+                all.extend(s.shard(5, rank, world));
+            }
+            assert_eq!(all, s.epoch_order(5), "world={world}");
+        }
+    }
+
+    #[test]
+    fn shard_sizes_balanced() {
+        let s = ShuffleSampler::new(10, 0);
+        let sizes: Vec<usize> = (0..4).map(|r| s.shard(0, r, 4).len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        for r in 0..4u32 {
+            assert_eq!(s.shard_len(r, 4) as usize, s.shard(0, r, 4).len());
+        }
+    }
+
+    #[test]
+    fn world_shrink_still_covers_everything() {
+        // After a failure, the survivors re-shard: coverage must remain
+        // exact with the smaller world.
+        let s = ShuffleSampler::new(50, 3);
+        let mut all = Vec::new();
+        for rank in 0..3 {
+            all.extend(s.shard(2, rank, 3));
+        }
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 3 out of world 3")]
+    fn rank_bounds_checked() {
+        ShuffleSampler::new(10, 0).shard(0, 3, 3);
+    }
+
+    #[test]
+    fn first_epoch_is_shuffled_too() {
+        // Guard against an identity epoch 0 (would skew warm-up locality).
+        let s = ShuffleSampler::new(1000, 11);
+        let identity: Vec<u32> = (0..1000).collect();
+        assert_ne!(s.epoch_order(0), identity);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the training substrate: sharding exactness,
+//! batch-plan coverage, and the elastic membership state machine.
+
+use ftc_hashring::NodeId;
+use ftc_train::{BatchPlan, ElasticState, ShuffleSampler};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Shards partition every epoch exactly, for any world size, and
+    /// shard sizes differ by at most one.
+    #[test]
+    fn shards_partition_exactly(
+        samples in 1u32..2000,
+        world in 1u32..64,
+        epoch in 0u32..20,
+        seed in any::<u64>(),
+    ) {
+        let world = world.min(samples).max(1);
+        let s = ShuffleSampler::new(samples, seed);
+        let mut all = Vec::new();
+        let mut sizes = Vec::new();
+        for r in 0..world {
+            let shard = s.shard(epoch, r, world);
+            prop_assert_eq!(shard.len() as u32, s.shard_len(r, world));
+            sizes.push(shard.len());
+            all.extend(shard);
+        }
+        prop_assert_eq!(all.clone(), s.epoch_order(epoch));
+        let mut sorted = all;
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..samples).collect::<Vec<_>>());
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "shard sizes must be balanced");
+    }
+
+    /// The shuffle is a permutation and differs between epochs (for
+    /// non-trivial sizes).
+    #[test]
+    fn shuffle_is_permutation(samples in 2u32..1500, seed in any::<u64>()) {
+        let s = ShuffleSampler::new(samples, seed);
+        let e0 = s.epoch_order(0);
+        let e1 = s.epoch_order(1);
+        let mut sorted = e0.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..samples).collect::<Vec<_>>());
+        if samples > 16 {
+            prop_assert_ne!(e0, e1, "epochs must reshuffle");
+        }
+    }
+
+    /// Batch plans tile any shard exactly: ranges are contiguous,
+    /// disjoint, and cover 0..shard_len.
+    #[test]
+    fn batch_plan_tiles_shards(
+        per_rank in 1u32..64,
+        world in 1u32..64,
+        shard_len in 0u32..5000,
+    ) {
+        let plan = BatchPlan::per_rank(per_rank, world);
+        let steps = plan.steps_for(shard_len);
+        let mut covered = 0usize;
+        for step in 0..steps {
+            let r = plan.step_range(shard_len, step);
+            prop_assert_eq!(r.start, covered, "ranges must be contiguous");
+            prop_assert!(r.end <= shard_len as usize);
+            prop_assert!(!r.is_empty() || shard_len == 0);
+            covered = r.end;
+        }
+        prop_assert_eq!(covered, shard_len as usize);
+        prop_assert!(plan.step_range(shard_len, steps).is_empty());
+    }
+
+    /// Elastic membership: any fail/join sequence keeps the live list
+    /// sorted and duplicate-free, and rollback count equals successful
+    /// failures.
+    #[test]
+    fn elastic_membership_invariants(
+        world in 1u32..16,
+        ops in prop::collection::vec((any::<bool>(), 0u32..20), 0..40),
+    ) {
+        let mut e = ElasticState::new(world, Duration::ZERO);
+        let mut expected_rollbacks = 0;
+        for (is_fail, rank) in ops {
+            let rank = NodeId(rank);
+            if is_fail {
+                if e.fail_rank(0, rank).is_some() {
+                    expected_rollbacks += 1;
+                }
+            } else {
+                e.join_rank(0, rank);
+            }
+            let live = e.live_ranks();
+            let mut sorted = live.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(live.to_vec(), sorted, "live list sorted + unique");
+            // Shard indices are a bijection onto 0..world.
+            for (i, &r) in live.iter().enumerate() {
+                prop_assert_eq!(e.shard_index(r), Some(i as u32));
+            }
+        }
+        prop_assert_eq!(e.rollbacks(), expected_rollbacks);
+    }
+}

@@ -1,0 +1,79 @@
+//! Failure drill: cascading node failures, byte-level verification at
+//! every stage, then elastic grow-back of a repaired node.
+//!
+//! ```sh
+//! cargo run --release --example failure_drill
+//! ```
+
+use ft_cache::prelude::*;
+use ft_cache::storage::verify_synth;
+
+fn verify_all(client: &HvacClient, paths: &[String]) -> usize {
+    let mut ok = 0;
+    for p in paths {
+        let bytes = client.read(p).expect("read must survive failures");
+        assert!(verify_synth(p, &bytes), "corruption on {p}");
+        ok += 1;
+    }
+    ok
+}
+
+fn main() {
+    println!("== FT-Cache failure drill ==\n");
+    let cluster = Cluster::start(ClusterConfig::small(6, FtPolicy::RingRecache));
+    let paths = cluster.stage_dataset("train", 96, 1024);
+    let client = cluster.client(0);
+
+    // Warm epoch.
+    verify_all(&client, &paths);
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    println!(
+        "warm: {} files across nodes {:?}",
+        paths.len(),
+        cluster.cached_objects_per_node()
+    );
+
+    // Kill nodes one by one; verify everything after each loss.
+    for victim in [1u32, 3, 4] {
+        cluster.kill(NodeId(victim));
+        // Two passes: detection (timeout_limit) + recache completion.
+        verify_all(&client, &paths);
+        let ok = verify_all(&client, &paths);
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        println!(
+            "killed n{victim}: {ok}/{} verified; live={:?}; cached/node={:?}",
+            paths.len(),
+            client
+                .live_nodes()
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>(),
+            cluster.cached_objects_per_node()
+        );
+    }
+
+    // Repair and grow back: n3 returns with a cold cache and its original
+    // ring position, so its old keys route home and refill on miss.
+    println!("\nreviving n3 (elastic grow-back)…");
+    cluster.revive(NodeId(3));
+    let ok = verify_all(&client, &paths);
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    println!(
+        "after rejoin: {ok}/{} verified; live={:?}; cached/node={:?}",
+        paths.len(),
+        client
+            .live_nodes()
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>(),
+        cluster.cached_objects_per_node()
+    );
+
+    let m = cluster.metrics();
+    println!(
+        "\ntotals: {} reads ok, {} timeouts, {} declared failed, {} recached files",
+        m.clients.reads_ok, m.clients.rpc_timeouts, m.clients.nodes_declared_failed, m.files_recached
+    );
+    cluster.shutdown();
+    println!("drill complete: zero corrupt or lost reads across 3 failures + 1 rejoin.");
+}

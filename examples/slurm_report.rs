@@ -1,0 +1,34 @@
+//! Reproduce the paper's §III failure analysis end to end: generate the
+//! calibrated synthetic Frontier trace and print Table I, Figure 1 and
+//! Figure 2.
+//!
+//! ```sh
+//! cargo run --release --example slurm_report
+//! ```
+
+use ft_cache::slurm::{
+    by_elapsed, by_node_count, census, overall_mean_elapsed, render, weekly_elapsed,
+    TraceGenerator,
+};
+
+fn main() {
+    let gen = TraceGenerator::frontier();
+    let weeks = gen.config().weeks;
+    let trace = gen.generate();
+    println!(
+        "generated {} job records over {} weeks\n",
+        trace.len(),
+        weeks
+    );
+
+    print!("{}", render::render_table1(&census(&trace)));
+    println!();
+    print!(
+        "{}",
+        render::render_fig1(&weekly_elapsed(&trace, weeks), overall_mean_elapsed(&trace))
+    );
+    println!();
+    print!("{}", render::render_fig2(&by_node_count(&trace), "node count"));
+    println!();
+    print!("{}", render::render_fig2(&by_elapsed(&trace), "elapsed (min)"));
+}

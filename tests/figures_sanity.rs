@@ -1,0 +1,112 @@
+//! Integration: the figure-regeneration pipelines produce the paper's
+//! qualitative shapes at CI scale.
+
+use ft_cache::core::FtPolicy;
+use ft_cache::sim::{fig5, fig6a, fig6b, SimCalibration, SimWorkload};
+use ft_cache::slurm::{census, TraceConfig, TraceGenerator};
+
+fn ci_workload() -> SimWorkload {
+    SimWorkload {
+        samples: 4096,
+        sample_bytes: 2_200_000,
+        epochs: 5,
+        seed: 13,
+        time_compression: 128,
+    }
+}
+
+#[test]
+fn fig5_headline_orderings() {
+    let cal = SimCalibration::frontier();
+    let cells = fig5(&[16, 64], ci_workload(), &cal, 3, 99);
+    for n in [16u32, 64] {
+        let get = |p: FtPolicy| cells.iter().find(|c| c.nodes == n && c.policy == p).unwrap();
+        // Clean runs: NoFT ≤ FT variants; failure runs: ring < redirect.
+        assert!(get(FtPolicy::NoFt).no_failure_s <= get(FtPolicy::RingRecache).no_failure_s);
+        let ring = get(FtPolicy::RingRecache);
+        let pfs = get(FtPolicy::PfsRedirect);
+        assert!(
+            ring.with_failures_s.unwrap() < pfs.with_failures_s.unwrap(),
+            "n={n}: FT w/ NVMe must beat FT w/ PFS under failures"
+        );
+        assert!(ring.overhead_pct.unwrap() > 0.0);
+        assert!(pfs.overhead_pct.unwrap() > ring.overhead_pct.unwrap());
+    }
+    // Scaling: clean time falls with node count.
+    let t16 = cells
+        .iter()
+        .find(|c| c.nodes == 16 && c.policy == FtPolicy::NoFt)
+        .unwrap()
+        .no_failure_s;
+    let t64 = cells
+        .iter()
+        .find(|c| c.nodes == 64 && c.policy == FtPolicy::NoFt)
+        .unwrap()
+        .no_failure_s;
+    assert!(t64 < t16);
+}
+
+#[test]
+fn fig6a_recache_approaches_no_failure() {
+    let cal = SimCalibration::frontier();
+    let mut rows = Vec::new();
+    for seed in [1u64, 2, 3] {
+        rows.extend(fig6a(&[16, 64], ci_workload(), &cal, seed));
+    }
+    let mean = |n: u32, f: fn(&ft_cache::sim::Fig6aRow) -> f64| {
+        let xs: Vec<f64> = rows.iter().filter(|r| r.nodes == n).map(f).collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    for n in [16u32, 64] {
+        let clean = mean(n, |r| r.no_failure_epoch_s);
+        let ring = mean(n, |r| r.nvme_recache_epoch_s);
+        let pfs = mean(n, |r| r.pfs_redirect_epoch_s);
+        assert!(clean < ring, "n={n}: failure epochs cost more than clean");
+        assert!(ring < pfs, "n={n}: recache {ring:.2} must beat redirect {pfs:.2}");
+    }
+    // NVMe recaching approaches no-failure as nodes grow: the relative gap
+    // shrinks from 16 to 64 nodes.
+    let gap16 = mean(16, |r| r.nvme_recache_epoch_s) / mean(16, |r| r.no_failure_epoch_s);
+    let gap64 = mean(64, |r| r.nvme_recache_epoch_s) / mean(64, |r| r.no_failure_epoch_s);
+    assert!(
+        gap64 < gap16 * 1.05,
+        "relative victim-epoch cost should not grow with scale: {gap16:.3} -> {gap64:.3}"
+    );
+}
+
+#[test]
+fn fig6b_monotone_receivers_and_balance() {
+    let rows = fig6b(&[1, 10, 100, 1000], 512, 32_768, 40, 5);
+    for w in rows.windows(2) {
+        assert!(
+            w[1].receivers.mean > w[0].receivers.mean,
+            "receivers grow with vnodes: {} -> {}",
+            w[0].receivers.mean,
+            w[1].receivers.mean
+        );
+        assert!(
+            w[1].files_per_receiver.mean < w[0].files_per_receiver.mean,
+            "files per receiver shrink with vnodes"
+        );
+    }
+    // Diminishing returns: 10x vnodes from 100 to 1000 gains less than
+    // 10x receivers.
+    let r100 = rows[2].receivers.mean;
+    let r1000 = rows[3].receivers.mean;
+    assert!(r1000 / r100 < 5.0, "saturation expected: {r100} -> {r1000}");
+}
+
+#[test]
+fn table1_census_matches_paper_within_tolerance() {
+    let trace = TraceGenerator::frontier().generate();
+    let c = census(&trace);
+    assert_eq!(c.total_jobs, TraceConfig::default().total_jobs);
+    let overall = c.overall_failure_ratio();
+    assert!((overall - 0.2504).abs() < 0.01, "failure ratio {overall}");
+    let nf = c.node_fail as f64 / c.total_failures as f64;
+    let to = c.timeout as f64 / c.total_failures as f64;
+    let jf = c.job_fail as f64 / c.total_failures as f64;
+    assert!((nf - 0.0258).abs() < 0.015, "NodeFail share {nf}");
+    assert!((to - 0.4492).abs() < 0.03, "Timeout share {to}");
+    assert!((jf - 0.5250).abs() < 0.03, "JobFail share {jf}");
+}

@@ -1,0 +1,107 @@
+//! Integration: the Horovod-elastic training driver running over the real
+//! threaded FT-Cache cluster, with a mid-epoch failure — the full paper
+//! system end to end.
+
+use ft_cache::prelude::*;
+use ft_cache::train::{ReadBackend, TrainOutcome};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn rig(policy: FtPolicy, ranks: u32, samples: u32) -> (Arc<Cluster>, TrainDriver) {
+    let cluster = Arc::new(Cluster::start(ClusterConfig::small(ranks, policy)));
+    let dataset = Dataset::tiny(samples, 512);
+    for i in 0..dataset.train_samples {
+        let p = dataset.train_path(i);
+        cluster.pfs().stage(&p, synth_bytes(&p, 512));
+    }
+    let backends: Vec<Arc<dyn ReadBackend>> = (0..ranks)
+        .map(|r| cluster.client(r) as Arc<dyn ReadBackend>)
+        .collect();
+    let kc = Arc::clone(&cluster);
+    let kill: Arc<dyn Fn(NodeId) + Send + Sync> = Arc::new(move |n| kc.kill(n));
+    let config = TrainConfig {
+        epochs: 3,
+        per_rank_batch: 2,
+        resume_overhead: Duration::from_millis(10),
+        verify_content: true,
+    };
+    let driver = TrainDriver::new(dataset, 23, config, backends, kill);
+    (cluster, driver)
+}
+
+#[test]
+fn elastic_training_survives_mid_epoch_failure() {
+    let (cluster, mut driver) = rig(FtPolicy::RingRecache, 4, 32);
+    let report = driver.run(&[FaultSpec {
+        epoch: 1,
+        step: 1,
+        node: NodeId(2),
+    }]);
+    assert!(report.completed(), "outcome: {:?}", report.outcome);
+    assert_eq!(report.rollbacks, 1);
+    assert_eq!(report.epochs.len(), 3);
+    assert_eq!(report.epochs[0].world_at_completion, 4);
+    assert_eq!(report.epochs[1].attempts, 2);
+    assert_eq!(report.epochs[1].world_at_completion, 3);
+    // Every completed epoch read (and content-verified) the full dataset.
+    for e in &report.epochs {
+        assert_eq!(e.samples_read, 32);
+    }
+    assert!(cluster.killed_nodes().contains(&NodeId(2)));
+    let m = cluster.metrics();
+    assert!(m.clients.nodes_declared_failed >= 1);
+    if let Ok(c) = Arc::try_unwrap(cluster) { c.shutdown() }
+}
+
+#[test]
+fn elastic_training_with_pfs_redirect_also_survives() {
+    let (cluster, mut driver) = rig(FtPolicy::PfsRedirect, 4, 24);
+    let report = driver.run(&[FaultSpec {
+        epoch: 1,
+        step: 0,
+        node: NodeId(1),
+    }]);
+    assert!(report.completed());
+    assert_eq!(report.rollbacks, 1);
+    // Redirect keeps the PFS on the read path in epochs 1 and 2.
+    let post = cluster.pfs().total_reads();
+    assert!(post > 24, "lost keys must keep hitting the PFS: {post}");
+    if let Ok(c) = Arc::try_unwrap(cluster) { c.shutdown() }
+}
+
+#[test]
+fn noft_training_aborts_on_failure() {
+    let (cluster, mut driver) = rig(FtPolicy::NoFt, 3, 18);
+    let report = driver.run(&[FaultSpec {
+        epoch: 1,
+        step: 0,
+        node: NodeId(0),
+    }]);
+    match report.outcome {
+        TrainOutcome::Aborted { epoch, .. } => assert_eq!(epoch, 1),
+        TrainOutcome::Completed => panic!("NoFT must abort under failure"),
+    }
+    if let Ok(c) = Arc::try_unwrap(cluster) { c.shutdown() }
+}
+
+#[test]
+fn two_failures_two_rollbacks() {
+    let (cluster, mut driver) = rig(FtPolicy::RingRecache, 5, 30);
+    let report = driver.run(&[
+        FaultSpec {
+            epoch: 1,
+            step: 0,
+            node: NodeId(4),
+        },
+        FaultSpec {
+            epoch: 2,
+            step: 1,
+            node: NodeId(0),
+        },
+    ]);
+    assert!(report.completed());
+    assert_eq!(report.rollbacks, 2);
+    assert_eq!(report.epochs[2].world_at_completion, 3);
+    assert_eq!(driver.elastic().world(), 3);
+    if let Ok(c) = Arc::try_unwrap(cluster) { c.shutdown() }
+}
