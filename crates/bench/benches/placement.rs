@@ -16,9 +16,15 @@ fn lookup_all_strategies(c: &mut Criterion) {
         ("multi-hash", Box::new(MultiHashPlacement::with_nodes(1024))),
         (
             "range-merge",
-            Box::new(RangePartition::with_nodes(1024, RebalanceMode::MergeNeighbor)),
+            Box::new(RangePartition::with_nodes(
+                1024,
+                RebalanceMode::MergeNeighbor,
+            )),
         ),
-        ("rendezvous", Box::new(RendezvousPlacement::with_nodes(1024))),
+        (
+            "rendezvous",
+            Box::new(RendezvousPlacement::with_nodes(1024)),
+        ),
     ];
     let keys: Vec<String> = (0..1000)
         .map(|i| format!("train/sample_{i:07}.tfrecord"))

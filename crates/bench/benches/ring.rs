@@ -63,5 +63,11 @@ fn ring_membership(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, ring_lookup, ring_build, ring_failover, ring_membership);
+criterion_group!(
+    benches,
+    ring_lookup,
+    ring_build,
+    ring_failover,
+    ring_membership
+);
 criterion_main!(benches);

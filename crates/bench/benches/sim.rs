@@ -32,8 +32,7 @@ fn simulated_training(c: &mut Criterion) {
                 b.iter(|| {
                     let faults: &[FaultEvent] = if p == FtPolicy::NoFt { &[] } else { &fault };
                     black_box(
-                        SimCluster::new(64, p, workload.samples, cal.clone())
-                            .run(workload, faults),
+                        SimCluster::new(64, p, workload.samples, cal.clone()).run(workload, faults),
                     )
                 });
             },

@@ -26,7 +26,9 @@ fn analyze_trace(c: &mut Criterion) {
     g.bench_function("weekly_elapsed", |b| {
         b.iter(|| black_box(weekly_elapsed(&trace, 27)))
     });
-    g.bench_function("by_node_count", |b| b.iter(|| black_box(by_node_count(&trace))));
+    g.bench_function("by_node_count", |b| {
+        b.iter(|| black_box(by_node_count(&trace)))
+    });
     g.finish();
 }
 

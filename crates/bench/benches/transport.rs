@@ -20,7 +20,12 @@ fn rpc_round_trip(c: &mut Criterion) {
     });
     let ep = net.endpoint(NodeId(1));
     c.bench_function("rpc_round_trip", |b| {
-        b.iter(|| black_box(ep.call(NodeId(0), "ping".into(), Duration::from_secs(1)).unwrap()));
+        b.iter(|| {
+            black_box(
+                ep.call(NodeId(0), "ping".into(), Duration::from_secs(1))
+                    .unwrap(),
+            )
+        });
     });
 }
 

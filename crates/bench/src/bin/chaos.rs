@@ -1,0 +1,57 @@
+//! Chaos campaigns — seeded gray-failure schedules against the threaded
+//! cluster, with four invariants checked after every campaign (read
+//! integrity, recache economy, livelock freedom, no false failure
+//! declarations for degraded-but-alive nodes).
+//!
+//! `cargo run -p ftc-bench --release --bin chaos [--seed 1] [--campaigns 50] [--policy ring|pfs|noft]`
+//!
+//! The fault schedule and every printed line are pure functions of the
+//! seed: `chaos --seed N` replays byte-identically. Exits non-zero if any
+//! invariant is violated.
+
+use ft_cache::chaos::{run_campaign, ChaosPlan};
+use ftc_bench::{arg_or, header};
+use ftc_core::FtPolicy;
+
+fn main() {
+    let base_seed: u64 = arg_or("--seed", 1);
+    let campaigns: u64 = arg_or("--campaigns", 1);
+    let policy_filter = std::env::args()
+        .position(|a| a == "--policy")
+        .and_then(|i| std::env::args().nth(i + 1));
+    let policies: Vec<FtPolicy> = match policy_filter.as_deref() {
+        Some("noft") => vec![FtPolicy::NoFt],
+        Some("pfs") => vec![FtPolicy::PfsRedirect],
+        Some("ring") => vec![FtPolicy::RingRecache],
+        Some(other) => {
+            eprintln!("unknown --policy {other:?} (expected noft|pfs|ring)");
+            std::process::exit(2);
+        }
+        None => vec![FtPolicy::NoFt, FtPolicy::PfsRedirect, FtPolicy::RingRecache],
+    };
+
+    header(&format!(
+        "chaos — {campaigns} campaign(s) from seed {base_seed}, {} policies",
+        policies.len()
+    ));
+
+    let mut failures = 0u64;
+    for offset in 0..campaigns {
+        let seed = base_seed + offset;
+        let plan = ChaosPlan::generate(seed);
+        println!("seed={seed} plan: {}", plan.summary());
+        for &policy in &policies {
+            let report = run_campaign(policy, &plan);
+            println!("  {report}");
+            if !report.passed() {
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        println!("\nFAIL: {failures} campaign run(s) violated invariants");
+        std::process::exit(1);
+    }
+    println!("\nall campaigns passed");
+}

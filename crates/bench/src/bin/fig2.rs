@@ -9,9 +9,7 @@ fn main() {
     ftc_bench::header("Fig 2 — failure-type distribution (synthetic trace)");
     let trace = TraceGenerator::frontier().generate();
     print!("{}", render_fig2(&by_node_count(&trace), "node count"));
-    println!(
-        "[paper: in 7750-9300 nodes, NODE_FAIL = 46.04%, NODE_FAIL+TIMEOUT = 78.60%]\n"
-    );
+    println!("[paper: in 7750-9300 nodes, NODE_FAIL = 46.04%, NODE_FAIL+TIMEOUT = 78.60%]\n");
     print!("{}", render_fig2(&by_elapsed(&trace), "elapsed (min)"));
     println!("[paper: elapsed time does not significantly affect the failure-type mix]");
 }

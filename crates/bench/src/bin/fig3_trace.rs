@@ -23,7 +23,10 @@ fn trace_policy(policy: FtPolicy, label: &str, steps: &[&str]) {
         client.read(p).unwrap();
     }
     std::thread::sleep(std::time::Duration::from_millis(60));
-    println!("epoch 1 complete: caches warm, {} files staged", paths.len());
+    println!(
+        "epoch 1 complete: caches warm, {} files staged",
+        paths.len()
+    );
 
     // Kill whichever node owns the first file, so the narrated reads are
     // the ones the failure actually affects.

@@ -24,10 +24,7 @@ fn main() {
         .map(|f| {
             let h = key_hash(f);
             let owner = ring.owner(f).unwrap();
-            println!(
-                "  {f}  hash={:.6}  -> {owner}",
-                h as f64 / u64::MAX as f64
-            );
+            println!("  {f}  hash={:.6}  -> {owner}", h as f64 / u64::MAX as f64);
             owner
         })
         .collect();

@@ -53,7 +53,12 @@ fn main() {
         "nodes", "no-fail (ref)", "FT w/ PFS", "+%", "FT w/ NVMe", "+%", "NVMe win"
     );
     for &n in &PAPER_NODE_COUNTS {
-        let get = |p: FtPolicy| cells.iter().find(|c| c.nodes == n && c.policy == p).unwrap();
+        let get = |p: FtPolicy| {
+            cells
+                .iter()
+                .find(|c| c.nodes == n && c.policy == p)
+                .unwrap()
+        };
         let noft = get(FtPolicy::NoFt);
         let pfs = get(FtPolicy::PfsRedirect);
         let ring = get(FtPolicy::RingRecache);
@@ -77,7 +82,12 @@ fn main() {
     // Recache accounting, for the "one extra PFS access per lost file" claim.
     println!("\npost-failure PFS reads (owner fetches + client redirects):");
     for &n in &PAPER_NODE_COUNTS {
-        let get = |p: FtPolicy| cells.iter().find(|c| c.nodes == n && c.policy == p).unwrap();
+        let get = |p: FtPolicy| {
+            cells
+                .iter()
+                .find(|c| c.nodes == n && c.policy == p)
+                .unwrap()
+        };
         let pfs = get(FtPolicy::PfsRedirect).failure_report.as_ref().unwrap();
         let ring = get(FtPolicy::RingRecache).failure_report.as_ref().unwrap();
         let cold = u64::from(workload.samples);

@@ -17,6 +17,7 @@
 //! | `ablation_placement` | §IV-B alternatives, quantified |
 //! | `ablation_detector` | TTL / timeout-limit sensitivity |
 //! | `ablation_cascade` | repeated failures N−1, N−2, … |
+//! | `chaos` | seeded gray-failure campaigns, invariant-checked |
 //!
 //! Criterion micro/meso benchmarks live under `benches/` (`cargo bench`).
 

@@ -28,6 +28,7 @@ use ftc_storage::Pfs;
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Why a read could not be satisfied.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,6 +89,9 @@ pub struct HvacClient {
     config: FtConfig,
     pfs: Arc<Pfs>,
     metrics: Arc<ClientMetrics>,
+    /// SplitMix64 state for backoff jitter — client-local and seeded from
+    /// the rank, so a chaos campaign replays the exact sleep schedule.
+    jitter_rng: Mutex<u64>,
 }
 
 impl HvacClient {
@@ -107,7 +111,19 @@ impl HvacClient {
             config,
             pfs,
             metrics: Arc::new(ClientMetrics::default()),
+            jitter_rng: Mutex::new(0x9E37_79B9_7F4A_7C15 ^ u64::from(me.0)),
         }
+    }
+
+    /// Next uniform draw in `[0, 1)` from the client's jitter stream.
+    fn jitter_unit(&self) -> f64 {
+        let mut state = self.jitter_rng.lock();
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// This client's rank/node id.
@@ -146,14 +162,30 @@ impl HvacClient {
     }
 
     /// Read with provenance.
+    ///
+    /// Retries are governed by [`RetryPolicy`](crate::policy::RetryPolicy):
+    /// at most `max_attempts` tries, separated by decorrelated-jitter
+    /// backoff, all inside one `deadline_budget`. Whatever the fault
+    /// pattern — flapping nodes, moving partitions, total loss — the call
+    /// returns in bounded time.
     pub fn read_traced(&self, path: &str) -> Result<ReadOutcome, ReadError> {
         let ttl = self.config.detector.ttl;
-        // Each retry follows either a node removal or a suspect redirect,
-        // so this bound is generous; it exists to make livelock impossible.
-        let max_attempts =
-            (self.placement.lock().len() as u32 + 2) * self.config.detector.timeout_limit + 4;
+        let retry = self.config.retry;
+        let started = Instant::now();
+        let mut backoff = Duration::ZERO;
 
-        for _ in 0..max_attempts {
+        for attempt in 0..retry.max_attempts.max(1) {
+            if attempt > 0 {
+                let spent = started.elapsed();
+                if spent >= retry.deadline_budget {
+                    return Err(ReadError::Exhausted(path.to_owned()));
+                }
+                backoff = retry.next_backoff(backoff, self.jitter_unit());
+                let nap = backoff.min(retry.deadline_budget - spent);
+                if !nap.is_zero() {
+                    std::thread::sleep(nap);
+                }
+            }
             let owner = match self.placement.lock().owner(path) {
                 Some(n) => n,
                 None => return Err(ReadError::NoLiveNodes),
@@ -240,7 +272,12 @@ impl HvacClient {
                     }
                 }
                 Err(_) => {
-                    // UnknownNode / local shutdown: not a liveness signal.
+                    // UnknownNode / local shutdown: not a liveness signal,
+                    // but under NoFT there is no fallback either — the
+                    // error must surface, not silently divert to the PFS.
+                    if self.config.policy == FtPolicy::NoFt {
+                        return Err(ReadError::NodeFailed(owner));
+                    }
                     ClientMetrics::inc(&self.metrics.retries);
                     return self.read_pfs_direct(path);
                 }
@@ -320,7 +357,7 @@ impl HvacClient {
 mod tests {
     use super::*;
     use crate::detector::DetectorConfig;
-    use crate::policy::PlacementKind;
+    use crate::policy::{PlacementKind, RetryPolicy};
     use crate::server::ServerHandle;
     use ftc_net::Network;
     use ftc_storage::synth_bytes;
@@ -354,6 +391,12 @@ mod tests {
             detector: DetectorConfig {
                 ttl: Duration::from_millis(25),
                 timeout_limit: 2,
+                suspicion_window: Duration::from_secs(2),
+            },
+            retry: RetryPolicy {
+                base_backoff: Duration::from_micros(200),
+                max_backoff: Duration::from_millis(5),
+                ..RetryPolicy::default()
             },
             replication: 1,
         }
@@ -395,7 +438,7 @@ mod tests {
         let r = rig(4, 12);
         let c = client(&r, FtPolicy::RingRecache);
         read_all(&c, 12); // epoch 1: populates caches
-        // Wait for movers to land everything.
+                          // Wait for movers to land everything.
         std::thread::sleep(Duration::from_millis(50));
         let before = r.pfs.total_reads();
         read_all(&c, 12); // epoch 2
@@ -420,6 +463,55 @@ mod tests {
             c.read(&victim_file).unwrap_err(),
             ReadError::NodeFailed(NodeId(2))
         );
+    }
+
+    #[test]
+    fn noft_surfaces_unknown_node_instead_of_pfs_fallback() {
+        // Regression: the Err(_) catch-all used to divert even NoFT reads
+        // to the PFS, silently granting the baseline fault tolerance it is
+        // defined not to have.
+        let r = rig(3, 12);
+        // Client believes there are 4 servers; node 3 never registered, so
+        // calls to it fail with UnknownNode (not a timeout).
+        let c = HvacClient::new(
+            NodeId(100),
+            &r.net,
+            Arc::clone(&r.pfs),
+            4,
+            fast_config(FtPolicy::NoFt),
+        );
+        let phantom_file = (0..12)
+            .map(|i| format!("train/s{i}.bin"))
+            .find(|p| c.owner_of(p) == Some(NodeId(3)))
+            .expect("some file maps to the phantom node");
+        assert_eq!(
+            c.read(&phantom_file).unwrap_err(),
+            ReadError::NodeFailed(NodeId(3))
+        );
+        assert_eq!(
+            c.metrics().snapshot().pfs_direct_reads,
+            0,
+            "NoFT must never fall back to the PFS"
+        );
+    }
+
+    #[test]
+    fn retry_cap_bounds_total_loss() {
+        // Every message lost, forever, and every timeout an immediate
+        // declared failure (timeout_limit = 1): RingRecache keeps failing
+        // over to the next ring owner. The attempt cap must cut that off
+        // with Exhausted instead of grinding through the whole ring.
+        let r = rig(6, 2);
+        let mut cfg = fast_config(FtPolicy::RingRecache);
+        cfg.detector.timeout_limit = 1;
+        cfg.retry.max_attempts = 4;
+        let c = HvacClient::new(NodeId(100), &r.net, Arc::clone(&r.pfs), 6, cfg);
+        r.net.set_drop_prob(1.0);
+        let err = c.read("train/s0.bin").unwrap_err();
+        assert_eq!(err, ReadError::Exhausted("train/s0.bin".into()));
+        let m = c.metrics().snapshot();
+        assert_eq!(m.rpc_timeouts, 4, "exactly max_attempts RPCs issued");
+        assert!(c.live_nodes().len() >= 2, "two nodes never even tried");
     }
 
     #[test]
@@ -518,7 +610,10 @@ mod tests {
         assert_eq!(c.live_nodes().len(), 3);
         // And a healthy read resets the count.
         let out = c.read_traced(p).unwrap();
-        assert!(matches!(out.via, ReadVia::ServerNvme(_) | ReadVia::ServerPfsFetch(_)));
+        assert!(matches!(
+            out.via,
+            ReadVia::ServerNvme(_) | ReadVia::ServerPfsFetch(_)
+        ));
     }
 
     #[test]

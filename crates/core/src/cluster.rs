@@ -163,7 +163,12 @@ impl Cluster {
             return;
         }
         self.net.revive(node);
-        let h = ServerHandle::spawn(node, &self.net, Arc::clone(&self.pfs), self.config.nvme_capacity);
+        let h = ServerHandle::spawn(
+            node,
+            &self.net,
+            Arc::clone(&self.pfs),
+            self.config.nvme_capacity,
+        );
         // The revived server has a fresh, cold cache; point metrics at it.
         self.caches.lock()[node.index()] = h.cache();
         self.servers.lock()[node.index()] = Some(h);
@@ -187,9 +192,10 @@ impl Cluster {
             .lock()
             .iter()
             .map(|c| c.metrics().snapshot())
-            .fold(Default::default(), |acc: crate::metrics::ClientMetricsSnapshot, s| {
-                acc.merge(&s)
-            });
+            .fold(
+                Default::default(),
+                |acc: crate::metrics::ClientMetricsSnapshot, s| acc.merge(&s),
+            );
         let nvme_per_node = self.caches.lock().iter().map(|c| c.stats()).collect();
         let (mut files_recached, mut recached_bytes) = (0u64, 0u64);
         {
@@ -292,7 +298,10 @@ mod tests {
             .filter(|&(i, _)| i != 2)
             .map(|(_, &v)| v)
             .sum();
-        assert_eq!(survivor_total, 40, "all files re-owned by survivors: {after:?}");
+        assert_eq!(
+            survivor_total, 40,
+            "all files re-owned by survivors: {after:?}"
+        );
         cluster.shutdown();
     }
 

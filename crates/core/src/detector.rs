@@ -1,28 +1,40 @@
 //! Timeout-based failure detection (§IV-A).
 //!
-//! Each client autonomously tracks per-server consecutive timeouts. "The
-//! timeout counter is implemented to mitigate the risk of false positives,
+//! Each client autonomously tracks per-server timeouts. "The timeout
+//! counter is implemented to mitigate the risk of false positives,
 //! ensuring that transient network delays do not prematurely trigger error
 //! handling"; once the count for a node reaches `timeout_limit`, the node
 //! is flagged failed. A success resets the node's counter (it was a blip,
 //! not a death). There is deliberately **no inter-node communication**:
 //! every client converges on its own, as in the paper.
+//!
+//! Beyond the artifact's plain consecutive counter, timeouts here age out
+//! of a **sliding suspicion window**: only timeouts within
+//! `suspicion_window` of the latest one count toward `timeout_limit`.
+//! Sporadic timeouts spread over a long run therefore decay instead of
+//! accumulating into a false positive — a degraded-but-alive node that
+//! answers most requests is never declared dead.
 
 use ftc_hashring::NodeId;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
-use std::time::Duration;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
 
 /// Detector tuning, mirroring the original artifact's `TIMEOUT_SECONDS`
-/// (the per-RPC TTL) and `TIMEOUT_LIMIT` (consecutive timeouts before a
-/// node is declared failed).
+/// (the per-RPC TTL) and `TIMEOUT_LIMIT` (timeouts before a node is
+/// declared failed), plus the sliding window that makes the count decay.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DetectorConfig {
     /// Per-RPC deadline. "The TTL parameter only needs to be greater than
     /// the longest observed latency" (§IV-A).
     pub ttl: Duration,
-    /// Consecutive timeouts before declaring the node failed.
+    /// Timeouts within the suspicion window before declaring the node
+    /// failed.
     pub timeout_limit: u32,
+    /// Only timeouts at most this much older than the newest one count.
+    /// A very large value recovers the artifact's pure consecutive-count
+    /// behavior (timeouts then only reset on success).
+    pub suspicion_window: Duration,
 }
 
 impl Default for DetectorConfig {
@@ -30,6 +42,7 @@ impl Default for DetectorConfig {
         DetectorConfig {
             ttl: Duration::from_millis(100),
             timeout_limit: 3,
+            suspicion_window: Duration::from_secs(2),
         }
     }
 }
@@ -54,7 +67,7 @@ pub enum Verdict {
 #[derive(Debug, Clone)]
 pub struct FailureDetector {
     config: DetectorConfig,
-    counts: HashMap<NodeId, u32>,
+    timeouts: HashMap<NodeId, VecDeque<Instant>>,
     failed: HashSet<NodeId>,
 }
 
@@ -63,7 +76,7 @@ impl FailureDetector {
     pub fn new(config: DetectorConfig) -> Self {
         FailureDetector {
             config,
-            counts: HashMap::new(),
+            timeouts: HashMap::new(),
             failed: HashSet::new(),
         }
     }
@@ -73,28 +86,42 @@ impl FailureDetector {
         self.config.ttl
     }
 
-    /// Record a timeout against `node`.
+    /// Record a timeout against `node`, stamped now.
     pub fn record_timeout(&mut self, node: NodeId) -> Verdict {
+        self.record_timeout_at(node, Instant::now())
+    }
+
+    /// Record a timeout against `node` with an explicit clock reading
+    /// (tests and the simulator drive this directly). Timeouts older than
+    /// `suspicion_window` relative to `at` are purged before counting.
+    pub fn record_timeout_at(&mut self, node: NodeId, at: Instant) -> Verdict {
         if self.failed.contains(&node) {
             return Verdict::AlreadyFailed;
         }
-        let count = self.counts.entry(node).or_insert(0);
-        *count += 1;
-        if *count >= self.config.timeout_limit {
+        let window = self.timeouts.entry(node).or_default();
+        if let Some(cutoff) = at.checked_sub(self.config.suspicion_window) {
+            while window.front().is_some_and(|&t| t < cutoff) {
+                window.pop_front();
+            }
+        }
+        window.push_back(at);
+        let count = window.len() as u32;
+        if count >= self.config.timeout_limit {
             self.failed.insert(node);
-            self.counts.remove(&node);
+            self.timeouts.remove(&node);
             Verdict::JustFailed
         } else {
-            Verdict::Suspect { count: *count }
+            Verdict::Suspect { count }
         }
     }
 
-    /// Record a successful response from `node`: clears its consecutive
-    /// count (false-positive damping). Succeeding after having been
-    /// declared failed does *not* resurrect it — resurrection is an
-    /// explicit membership decision ([`Self::clear_failed`]).
+    /// Record a successful response from `node`: clears its suspicion
+    /// window entirely, even mid-decay (false-positive damping). Succeeding
+    /// after having been declared failed does *not* resurrect it —
+    /// resurrection is an explicit membership decision
+    /// ([`Self::clear_failed`]).
     pub fn record_success(&mut self, node: NodeId) {
-        self.counts.remove(&node);
+        self.timeouts.remove(&node);
     }
 
     /// Whether `node` has been declared failed.
@@ -109,15 +136,16 @@ impl FailureDetector {
         v
     }
 
-    /// Current consecutive-timeout count for `node` (0 if none or failed).
+    /// Timeouts currently remembered against `node` (0 if none or failed).
+    /// Expired entries are dropped lazily, at the next recorded timeout.
     pub fn suspect_count(&self, node: NodeId) -> u32 {
-        self.counts.get(&node).copied().unwrap_or(0)
+        self.timeouts.get(&node).map_or(0, |w| w.len() as u32)
     }
 
     /// Administratively declare `node` failed (e.g. out-of-band notice).
     pub fn mark_failed(&mut self, node: NodeId) {
         self.failed.insert(node);
-        self.counts.remove(&node);
+        self.timeouts.remove(&node);
     }
 
     /// Forget that `node` failed (elastic rejoin after repair).
@@ -134,6 +162,15 @@ mod tests {
         FailureDetector::new(DetectorConfig {
             ttl: Duration::from_millis(10),
             timeout_limit: limit,
+            suspicion_window: Duration::from_secs(3600),
+        })
+    }
+
+    fn windowed(limit: u32, window: Duration) -> FailureDetector {
+        FailureDetector::new(DetectorConfig {
+            ttl: Duration::from_millis(10),
+            timeout_limit: limit,
+            suspicion_window: window,
         })
     }
 
@@ -195,6 +232,78 @@ mod tests {
         assert!(!d.clear_failed(NodeId(7)));
         // After clearing, failure detection restarts from zero.
         assert_eq!(d.record_timeout(NodeId(7)), Verdict::Suspect { count: 1 });
+    }
+
+    #[test]
+    fn sporadic_timeouts_decay_out_of_the_window() {
+        // Pins the decay semantics: a timeout only counts while it is at
+        // most `suspicion_window` older than the newest one.
+        let mut d = windowed(3, Duration::from_millis(100));
+        let n = NodeId(1);
+        let base = Instant::now();
+        assert_eq!(d.record_timeout_at(n, base), Verdict::Suspect { count: 1 });
+        assert_eq!(
+            d.record_timeout_at(n, base + Duration::from_millis(60)),
+            Verdict::Suspect { count: 2 }
+        );
+        // 170ms: both earlier timeouts are now older than the window, so
+        // this third timeout does NOT reach the limit of 3.
+        assert_eq!(
+            d.record_timeout_at(n, base + Duration::from_millis(170)),
+            Verdict::Suspect { count: 1 }
+        );
+        assert!(!d.is_failed(n));
+    }
+
+    #[test]
+    fn dense_timeouts_within_window_still_fail() {
+        let mut d = windowed(3, Duration::from_millis(100));
+        let n = NodeId(1);
+        let base = Instant::now();
+        d.record_timeout_at(n, base);
+        d.record_timeout_at(n, base + Duration::from_millis(20));
+        assert_eq!(
+            d.record_timeout_at(n, base + Duration::from_millis(40)),
+            Verdict::JustFailed
+        );
+        assert!(d.is_failed(n));
+    }
+
+    #[test]
+    fn partial_decay_keeps_recent_entries() {
+        // Only the entries beyond the window age out, not the whole count.
+        let mut d = windowed(3, Duration::from_millis(100));
+        let n = NodeId(2);
+        let base = Instant::now();
+        d.record_timeout_at(n, base);
+        d.record_timeout_at(n, base + Duration::from_millis(90));
+        // 150ms: the base entry expired (cutoff 50ms) but 90ms survives,
+        // so this lands at count 2 — and a further timeout at 170ms makes
+        // three within the window: failure.
+        assert_eq!(
+            d.record_timeout_at(n, base + Duration::from_millis(150)),
+            Verdict::Suspect { count: 2 }
+        );
+        assert_eq!(
+            d.record_timeout_at(n, base + Duration::from_millis(170)),
+            Verdict::JustFailed
+        );
+    }
+
+    #[test]
+    fn success_clears_partially_elapsed_window() {
+        let mut d = windowed(2, Duration::from_millis(100));
+        let n = NodeId(3);
+        let base = Instant::now();
+        d.record_timeout_at(n, base + Duration::from_millis(50));
+        d.record_success(n);
+        assert_eq!(d.suspect_count(n), 0);
+        // The cleared entry must not combine with a new one.
+        assert_eq!(
+            d.record_timeout_at(n, base + Duration::from_millis(60)),
+            Verdict::Suspect { count: 1 }
+        );
+        assert!(!d.is_failed(n));
     }
 
     #[test]

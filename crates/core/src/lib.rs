@@ -44,6 +44,6 @@ pub use client::{HvacClient, ReadError, ReadOutcome, ReadVia};
 pub use cluster::{Cluster, ClusterConfig};
 pub use detector::{DetectorConfig, FailureDetector, Verdict};
 pub use metrics::{ClientMetrics, ClientMetricsSnapshot, ClusterMetrics};
-pub use policy::{FtConfig, FtPolicy, PlacementKind};
+pub use policy::{FtConfig, FtPolicy, PlacementKind, RetryPolicy};
 pub use proto::{CacheRequest, CacheResponse, ServeSource};
 pub use server::{CacheNet, HvacServer, ServerHandle};

@@ -130,7 +130,10 @@ impl ClusterMetrics {
     /// Per-node resident object counts — the observable for load-balance
     /// assertions.
     pub fn resident_objects_per_node(&self) -> Vec<u64> {
-        self.nvme_per_node.iter().map(|s| s.resident_objects).collect()
+        self.nvme_per_node
+            .iter()
+            .map(|s| s.resident_objects)
+            .collect()
     }
 }
 

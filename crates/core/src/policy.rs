@@ -1,10 +1,9 @@
 //! Fault-tolerance policies — the three systems compared in §V.
 
 use crate::detector::DetectorConfig;
-use ftc_hashring::{
-    HashRing, ModuloPlacement, Placement, RendezvousPlacement, DEFAULT_VNODES,
-};
+use ftc_hashring::{HashRing, ModuloPlacement, Placement, RendezvousPlacement, DEFAULT_VNODES};
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 
 /// What a client does when the failure detector declares a server dead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -70,6 +69,50 @@ impl PlacementKind {
     }
 }
 
+/// Client-side retry discipline for reads: capped attempts, exponential
+/// backoff with decorrelated jitter, and an overall deadline budget.
+///
+/// Replaces an unbounded retry-on-`continue` loop: under pathological
+/// churn (every node flapping, partitions moving around) the client must
+/// neither livelock nor hammer suspects back-to-back.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Hard cap on read attempts (RPC issues plus failover retries).
+    pub max_attempts: u32,
+    /// First backoff, and the floor of every later one.
+    pub base_backoff: Duration,
+    /// Ceiling on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Total wall-clock budget for one read, backoffs and TTLs included;
+    /// once spent, the read reports `Exhausted` instead of retrying.
+    pub deadline_budget: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 24,
+            base_backoff: Duration::from_micros(500),
+            max_backoff: Duration::from_millis(50),
+            deadline_budget: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Next sleep after a retry, from the previous sleep `prev` and a
+    /// uniform draw `unit` in `[0, 1)`: decorrelated jitter,
+    /// `min(max_backoff, uniform(base_backoff, prev * 3))`. Successive
+    /// sleeps grow roughly exponentially but never synchronize across
+    /// clients, so a recovering node is not met by a retry stampede.
+    pub fn next_backoff(&self, prev: Duration, unit: f64) -> Duration {
+        let lo = self.base_backoff.min(self.max_backoff);
+        let hi = prev.saturating_mul(3).clamp(lo, self.max_backoff);
+        let span = hi.saturating_sub(lo);
+        (lo + span.mul_f64(unit.clamp(0.0, 1.0))).min(self.max_backoff)
+    }
+}
+
 /// Full client-side fault-tolerance configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FtConfig {
@@ -79,6 +122,8 @@ pub struct FtConfig {
     pub placement: PlacementKind,
     /// Timeout detection tuning.
     pub detector: DetectorConfig,
+    /// Retry/backoff discipline for reads.
+    pub retry: RetryPolicy,
     /// Cache copies per file (1 = the paper's design: a single copy plus
     /// the PFS as the fallback). With `replication = k > 1` under
     /// RingRecache, clients write PFS-fetched files through to the next
@@ -94,6 +139,7 @@ impl FtConfig {
             policy,
             placement: PlacementKind::default_for(policy),
             detector: DetectorConfig::default(),
+            retry: RetryPolicy::default(),
             replication: 1,
         }
     }
@@ -146,5 +192,36 @@ mod tests {
         assert_eq!(c.placement, PlacementKind::Ring { vnodes: 100 });
         assert!(c.detector.timeout_limit >= 1);
         assert_eq!(c.replication, 1, "paper default: single copy");
+        assert!(c.retry.max_attempts >= 1);
+        assert!(c.retry.base_backoff <= c.retry.max_backoff);
+    }
+
+    #[test]
+    fn backoff_stays_within_bounds() {
+        let r = RetryPolicy::default();
+        let mut prev = Duration::ZERO;
+        for i in 0..64 {
+            let unit = (i as f64 * 0.173) % 1.0;
+            let next = r.next_backoff(prev, unit);
+            assert!(next >= r.base_backoff, "floor violated at step {i}");
+            assert!(next <= r.max_backoff, "cap violated at step {i}");
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn backoff_grows_from_base_toward_cap() {
+        let r = RetryPolicy::default();
+        // unit = 1.0 → deterministic upper envelope: base, 3*base, 9*base…
+        // until the cap flattens it.
+        let a = r.next_backoff(Duration::ZERO, 1.0);
+        assert_eq!(a, r.base_backoff);
+        let b = r.next_backoff(a, 1.0);
+        assert_eq!(b, r.base_backoff * 3);
+        let mut cur = b;
+        for _ in 0..16 {
+            cur = r.next_backoff(cur, 1.0);
+        }
+        assert_eq!(cur, r.max_backoff, "envelope must saturate at the cap");
     }
 }

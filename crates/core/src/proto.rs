@@ -94,9 +94,7 @@ mod tests {
 
     #[test]
     fn wire_sizes_track_payloads() {
-        let r = CacheRequest::Read {
-            path: "abc".into(),
-        };
+        let r = CacheRequest::Read { path: "abc".into() };
         assert_eq!(r.wire_size(), 35);
         assert_eq!(CacheRequest::Ping.wire_size(), 16);
 
@@ -107,7 +105,10 @@ mod tests {
         };
         assert_eq!(d.wire_size(), 48 + 3 + 100);
         assert_eq!(
-            CacheResponse::NotFound { path: "abcd".into() }.wire_size(),
+            CacheResponse::NotFound {
+                path: "abcd".into()
+            }
+            .wire_size(),
             36
         );
         assert_eq!(CacheResponse::Pong.wire_size(), 16);

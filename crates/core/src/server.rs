@@ -259,7 +259,11 @@ mod tests {
             CacheResponse::Data { source, .. } => assert_eq!(source, ServeSource::NvmeHit),
             other => panic!("unexpected: {other:?}"),
         }
-        assert_eq!(pfs.reads_of("train/s3.bin"), 1, "second read must not hit PFS");
+        assert_eq!(
+            pfs.reads_of("train/s3.bin"),
+            1,
+            "second read must not hit PFS"
+        );
         drop(h);
     }
 

@@ -50,9 +50,7 @@ pub fn xxh64(data: &[u8], seed: u64) -> u64 {
     let mut rest = data;
 
     if len >= 32 {
-        let mut v1 = seed
-            .wrapping_add(XXH_PRIME_1)
-            .wrapping_add(XXH_PRIME_2);
+        let mut v1 = seed.wrapping_add(XXH_PRIME_1).wrapping_add(XXH_PRIME_2);
         let mut v2 = seed.wrapping_add(XXH_PRIME_2);
         let mut v3 = seed;
         let mut v4 = seed.wrapping_sub(XXH_PRIME_1);
@@ -82,12 +80,18 @@ pub fn xxh64(data: &[u8], seed: u64) -> u64 {
 
     while rest.len() >= 8 {
         h ^= xxh_round(0, read_u64(rest));
-        h = h.rotate_left(27).wrapping_mul(XXH_PRIME_1).wrapping_add(XXH_PRIME_4);
+        h = h
+            .rotate_left(27)
+            .wrapping_mul(XXH_PRIME_1)
+            .wrapping_add(XXH_PRIME_4);
         rest = &rest[8..];
     }
     if rest.len() >= 4 {
         h ^= u64::from(read_u32(rest)).wrapping_mul(XXH_PRIME_1);
-        h = h.rotate_left(23).wrapping_mul(XXH_PRIME_2).wrapping_add(XXH_PRIME_3);
+        h = h
+            .rotate_left(23)
+            .wrapping_mul(XXH_PRIME_2)
+            .wrapping_add(XXH_PRIME_3);
         rest = &rest[4..];
     }
     for &byte in rest {

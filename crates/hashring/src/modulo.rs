@@ -97,7 +97,10 @@ mod tests {
         }
         let mean = 16_000.0 / 8.0;
         for c in counts {
-            assert!((f64::from(c) - mean).abs() / mean < 0.1, "count {c} vs mean {mean}");
+            assert!(
+                (f64::from(c) - mean).abs() / mean < 0.1,
+                "count {c} vs mean {mean}"
+            );
         }
     }
 

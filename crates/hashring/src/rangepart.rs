@@ -83,8 +83,7 @@ impl RangePartition {
                 .ranges
                 .get(i + 1)
                 .map_or(u128::from(u64::MAX) + 1, |next| u128::from(next.start));
-            *out.entry(r.owner).or_insert(0.0) +=
-                (end - u128::from(r.start)) as f64 / total as f64;
+            *out.entry(r.owner).or_insert(0.0) += (end - u128::from(r.start)) as f64 / total as f64;
         }
         out
     }
@@ -220,7 +219,10 @@ mod tests {
         let fracs = p.range_fractions();
         let max = fracs.values().copied().fold(0.0, f64::max);
         // Successor now owns ~2/8 of the space.
-        assert!(max > 0.22, "successor should absorb the range, max={max:.3}");
+        assert!(
+            max > 0.22,
+            "successor should absorb the range, max={max:.3}"
+        );
     }
 
     #[test]

@@ -37,8 +37,8 @@ impl Placement for RendezvousPlacement {
             .iter()
             .copied()
             .max_by_key(|&n| (Self::weight(kh, n), n))
-            // The `n` tiebreak makes the result total even if two weights
-            // collide (2^-64 per pair).
+        // The `n` tiebreak makes the result total even if two weights
+        // collide (2^-64 per pair).
     }
 
     fn remove_node(&mut self, node: NodeId) -> Result<(), PlacementError> {
@@ -124,7 +124,11 @@ mod tests {
         }
         let mean = 32_000.0 / 16.0;
         let max = f64::from(*counts.iter().max().unwrap());
-        assert!(max / mean < 1.2, "HRW balance should be tight, max/mean={}", max / mean);
+        assert!(
+            max / mean < 1.2,
+            "HRW balance should be tight, max/mean={}",
+            max / mean
+        );
     }
 
     #[test]

@@ -265,7 +265,9 @@ mod tests {
     use super::*;
 
     fn keys(n: usize) -> Vec<String> {
-        (0..n).map(|i| format!("train/sample_{i:07}.tfrecord")).collect()
+        (0..n)
+            .map(|i| format!("train/sample_{i:07}.tfrecord"))
+            .collect()
     }
 
     #[test]
@@ -304,7 +306,10 @@ mod tests {
         }
         let ks = keys(500);
         let moved = ks.iter().filter(|k| a.owner(k) != b.owner(k)).count();
-        assert!(moved > 250, "seeds should decorrelate layouts, moved={moved}");
+        assert!(
+            moved > 250,
+            "seeds should decorrelate layouts, moved={moved}"
+        );
     }
 
     #[test]
@@ -365,7 +370,10 @@ mod tests {
             many < few,
             "200 vnodes should balance better than 1: {many:.3} vs {few:.3}"
         );
-        assert!(many < 1.5, "with 200 vnodes max/mean load should be <1.5, got {many:.3}");
+        assert!(
+            many < 1.5,
+            "with 200 vnodes max/mean load should be <1.5, got {many:.3}"
+        );
     }
 
     #[test]

@@ -13,8 +13,16 @@ pub struct NetStats {
     pub rpcs_ok: AtomicU64,
     /// RPCs that expired (including those to killed nodes).
     pub timeouts: AtomicU64,
-    /// Messages discarded by fault injection (kill or drop probability).
+    /// Messages discarded by fault injection, all causes. Always equals
+    /// `dropped_killed + dropped_link + dropped_partition`.
     pub dropped: AtomicU64,
+    /// Messages discarded because the destination node was killed.
+    pub dropped_killed: AtomicU64,
+    /// Messages lost to link faults: i.i.d. drop probability or a flaky
+    /// link in its down phase.
+    pub dropped_link: AtomicU64,
+    /// Messages blocked by a (possibly one-way) partition rule.
+    pub dropped_partition: AtomicU64,
     /// Payload bytes carried by delivered requests and replies.
     pub bytes_sent: AtomicU64,
 }
@@ -30,6 +38,12 @@ pub struct NetStatsSnapshot {
     pub timeouts: u64,
     /// See [`NetStats::dropped`].
     pub dropped: u64,
+    /// See [`NetStats::dropped_killed`].
+    pub dropped_killed: u64,
+    /// See [`NetStats::dropped_link`].
+    pub dropped_link: u64,
+    /// See [`NetStats::dropped_partition`].
+    pub dropped_partition: u64,
     /// See [`NetStats::bytes_sent`].
     pub bytes_sent: u64,
 }
@@ -43,6 +57,9 @@ impl NetStats {
             rpcs_ok: self.rpcs_ok.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
+            dropped_killed: self.dropped_killed.load(Ordering::Relaxed),
+            dropped_link: self.dropped_link.load(Ordering::Relaxed),
+            dropped_partition: self.dropped_partition.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
         }
     }

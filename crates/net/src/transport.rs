@@ -12,12 +12,26 @@
 //! * [`Network::kill`] — the node vanishes: deliveries to it are silently
 //!   discarded, so callers observe *timeouts*, never errors. This mirrors
 //!   `sacct update State=DRAIN` in the paper's experiments: the victim
-//!   stops responding mid-run with no goodbye.
+//!   stops responding mid-run with no goodbye. [`Network::revive`] undoes
+//!   it (crash-restart; the respawned server starts with a cold mailbox).
 //! * [`Network::set_drop_prob`] — i.i.d. message loss (transient network
 //!   faults; exercises the detector's false-positive damping).
 //! * [`Network::delay_node`] — adds a latency spike for deliveries to one
-//!   node (a slow-but-alive node; must *not* be declared dead if the spike
-//!   stays under TTL × threshold).
+//!   node: the *degraded-node* mode. The node still serves every request,
+//!   just slowly; as long as the spike stays under the TTL it must *not*
+//!   be declared dead.
+//! * [`Network::partition_oneway`] / [`Network::partition`] — per-link
+//!   blackholes, optionally asymmetric. A one-way partition from server to
+//!   client lets the request through but swallows the reply (gray
+//!   failure: the server did the work, the caller still times out).
+//! * [`Network::set_flaky`] — deterministic duty-cycle loss on one node's
+//!   ingress link: `up` deliveries succeed, then `down` deliveries drop,
+//!   repeating. Intermittent connectivity without randomness, so seeded
+//!   campaigns replay exactly.
+//!
+//! When several fault rules match one delivery, exactly one cause is
+//! charged, in priority order: partition > killed > flaky > i.i.d. drop.
+//! [`NetStats`] splits the `dropped` total by cause.
 
 use crate::error::RpcError;
 use crate::latency::LatencyModel;
@@ -64,13 +78,30 @@ pub struct Incoming<Req, Resp> {
     pub from: NodeId,
     /// The request payload.
     pub req: Req,
+    /// The node this request was addressed to (the one now serving it).
+    served_by: NodeId,
     reply_to: Sender<Resp>,
     net: Arc<Inner<Req, Resp>>,
 }
 
 impl<Req: Payload, Resp: Payload> Incoming<Req, Resp> {
     /// Reply immediately (zero response-serialization cost).
+    ///
+    /// The reply leg honors partitions independently of the request leg:
+    /// under a one-way partition server→client the work is done but the
+    /// answer never arrives, so the caller times out. That asymmetry is
+    /// the canonical gray failure the chaos harness exercises.
     pub fn reply(self, resp: Resp) {
+        if self
+            .net
+            .partitions
+            .read()
+            .contains(&(self.served_by, self.from))
+        {
+            NetStats::inc(&self.net.stats.dropped);
+            NetStats::inc(&self.net.stats.dropped_partition);
+            return;
+        }
         NetStats::add(&self.net.stats.bytes_sent, resp.wire_size() as u64);
         // The caller may have timed out and dropped the receiver; a late
         // reply is then discarded, as on a real network.
@@ -131,14 +162,77 @@ impl<Req: Payload, Resp: Payload> Mailbox<Req, Resp> {
     }
 }
 
+/// Deterministic duty-cycle loss on one node's ingress link: `up`
+/// consecutive deliveries succeed, then `down` consecutive deliveries are
+/// dropped, repeating. Counter-based so a seeded campaign replays exactly.
+struct FlakyLink {
+    up: u32,
+    down: u32,
+    pos: u32,
+}
+
+impl FlakyLink {
+    /// Advance the duty cycle one delivery; `true` means drop this one.
+    fn advance(&mut self) -> bool {
+        let in_down = self.pos >= self.up;
+        self.pos = (self.pos + 1) % (self.up + self.down);
+        in_down
+    }
+}
+
+/// Why a delivery was discarded (priority order when rules overlap).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum DropCause {
+    Partition,
+    Killed,
+    Flaky,
+    Link,
+}
+
 struct Inner<Req, Resp> {
     mailboxes: RwLock<HashMap<NodeId, Sender<Incoming<Req, Resp>>>>,
     down: RwLock<HashSet<NodeId>>,
     extra_delay: RwLock<HashMap<NodeId, Duration>>,
+    partitions: RwLock<HashSet<(NodeId, NodeId)>>,
+    flaky: Mutex<HashMap<NodeId, FlakyLink>>,
     drop_prob: RwLock<f64>,
     rng: Mutex<StdRng>,
     latency: LatencyModel,
     stats: NetStats,
+}
+
+impl<Req, Resp> Inner<Req, Resp> {
+    /// Decide the fate of one request-leg delivery from `from` to `to`.
+    /// Exactly one cause is charged; later rules are not consulted (and
+    /// the flaky duty cycle does not advance) once an earlier one matches.
+    fn request_drop_cause(&self, from: NodeId, to: NodeId) -> Option<DropCause> {
+        if self.partitions.read().contains(&(from, to)) {
+            return Some(DropCause::Partition);
+        }
+        if self.down.read().contains(&to) {
+            return Some(DropCause::Killed);
+        }
+        if let Some(link) = self.flaky.lock().get_mut(&to) {
+            if link.advance() {
+                return Some(DropCause::Flaky);
+            }
+        }
+        let p = *self.drop_prob.read();
+        if p > 0.0 && self.rng.lock().random::<f64>() < p {
+            return Some(DropCause::Link);
+        }
+        None
+    }
+
+    fn record_drop(&self, cause: DropCause) {
+        NetStats::inc(&self.stats.dropped);
+        let by_cause = match cause {
+            DropCause::Partition => &self.stats.dropped_partition,
+            DropCause::Killed => &self.stats.dropped_killed,
+            DropCause::Flaky | DropCause::Link => &self.stats.dropped_link,
+        };
+        NetStats::inc(by_cause);
+    }
 }
 
 /// The shared in-process network fabric.
@@ -163,6 +257,8 @@ impl<Req: Payload, Resp: Payload> Network<Req, Resp> {
                 mailboxes: RwLock::new(HashMap::new()),
                 down: RwLock::new(HashSet::new()),
                 extra_delay: RwLock::new(HashMap::new()),
+                partitions: RwLock::new(HashSet::new()),
+                flaky: Mutex::new(HashMap::new()),
                 drop_prob: RwLock::new(0.0),
                 rng: Mutex::new(StdRng::seed_from_u64(seed)),
                 latency,
@@ -216,13 +312,67 @@ impl<Req: Payload, Resp: Payload> Network<Req, Resp> {
     }
 
     /// Add `extra` one-way delay for deliveries *to* `node`
-    /// (`Duration::ZERO` clears it).
+    /// (`Duration::ZERO` clears it). This is the *degraded-node* mode:
+    /// the node serves everything, just slowly.
     pub fn delay_node(&self, node: NodeId, extra: Duration) {
         if extra.is_zero() {
             self.inner.extra_delay.write().remove(&node);
         } else {
             self.inner.extra_delay.write().insert(node, extra);
         }
+    }
+
+    /// Block deliveries in the single direction `from` → `to`. Traffic
+    /// the other way is unaffected, which is what makes gray failures:
+    /// a request can be served whose reply never comes home.
+    pub fn partition_oneway(&self, from: NodeId, to: NodeId) {
+        self.inner.partitions.write().insert((from, to));
+    }
+
+    /// Block deliveries in both directions between `a` and `b`.
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        let mut parts = self.inner.partitions.write();
+        parts.insert((a, b));
+        parts.insert((b, a));
+    }
+
+    /// Remove any partition rules between `a` and `b` (both directions).
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        let mut parts = self.inner.partitions.write();
+        parts.remove(&(a, b));
+        parts.remove(&(b, a));
+    }
+
+    /// Remove every partition rule.
+    pub fn heal_all_partitions(&self) {
+        self.inner.partitions.write().clear();
+    }
+
+    /// True if deliveries `from` → `to` are currently blocked by a
+    /// partition rule.
+    pub fn is_partitioned(&self, from: NodeId, to: NodeId) -> bool {
+        self.inner.partitions.read().contains(&(from, to))
+    }
+
+    /// Make `node`'s ingress link intermittently lossy: `up` consecutive
+    /// deliveries succeed, then `down` consecutive deliveries drop,
+    /// repeating from the next delivery. Deterministic (no randomness),
+    /// so seeded chaos campaigns replay byte-identically. `down == 0`
+    /// clears the rule.
+    pub fn set_flaky(&self, node: NodeId, up: u32, down: u32) {
+        if down == 0 {
+            self.inner.flaky.lock().remove(&node);
+        } else {
+            self.inner
+                .flaky
+                .lock()
+                .insert(node, FlakyLink { up, down, pos: 0 });
+        }
+    }
+
+    /// Remove the flaky-link rule on `node`, if any.
+    pub fn clear_flaky(&self, node: NodeId) {
+        self.inner.flaky.lock().remove(&node);
     }
 
     /// Counter snapshot.
@@ -273,12 +423,10 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
         };
 
         let req_bytes = req.wire_size();
-        let (delay, dropped) = {
+        let delay = {
             let mut rng = self.net.rng.lock();
             let u: f64 = rng.random();
-            let p = *self.net.drop_prob.read();
-            let dropped = p > 0.0 && rng.random::<f64>() < p;
-            (self.net.latency.delay(req_bytes, u), dropped)
+            self.net.latency.delay(req_bytes, u)
         };
         let extra = self.net.extra_delay.read().get(&to).copied();
         let flight = delay + extra.unwrap_or(Duration::ZERO);
@@ -287,15 +435,15 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
         }
 
         let (reply_tx, reply_rx) = bounded::<Resp>(1);
-        let down = self.net.down.read().contains(&to);
-        let delivered = if down || dropped {
-            NetStats::inc(&self.net.stats.dropped);
+        let delivered = if let Some(cause) = self.net.request_drop_cause(self.me, to) {
+            self.net.record_drop(cause);
             false
         } else {
             NetStats::add(&self.net.stats.bytes_sent, req_bytes as u64);
             mbox.send(Incoming {
                 from: self.me,
                 req,
+                served_by: to,
                 reply_to: reply_tx.clone(),
                 net: Arc::clone(&self.net),
             })
@@ -388,6 +536,7 @@ mod tests {
         assert_eq!(err, RpcError::Timeout { to: NodeId(0) });
         assert!(t0.elapsed() >= TTL, "timeout must wait out the TTL");
         assert_eq!(net.stats().dropped, 1);
+        assert_eq!(net.stats().dropped_killed, 1);
     }
 
     #[test]
@@ -514,6 +663,105 @@ mod tests {
         for j in h {
             j.join().unwrap();
         }
+    }
+
+    #[test]
+    fn oneway_partition_blocks_request_leg_only_for_that_pair() {
+        let net: Network<String, String> = Network::instant(20);
+        let _h = echo_server(&net, NodeId(0));
+        net.partition_oneway(NodeId(1), NodeId(0));
+        let cut = net.endpoint(NodeId(1));
+        let fine = net.endpoint(NodeId(2));
+        assert!(matches!(
+            cut.call(NodeId(0), "x".into(), TTL),
+            Err(RpcError::Timeout { .. })
+        ));
+        assert_eq!(fine.call(NodeId(0), "y".into(), TTL).unwrap(), "n2:y");
+        let s = net.stats();
+        assert_eq!(s.dropped_partition, 1);
+        assert_eq!(s.dropped, 1);
+        net.heal(NodeId(1), NodeId(0));
+        assert_eq!(cut.call(NodeId(0), "z".into(), TTL).unwrap(), "n1:z");
+    }
+
+    #[test]
+    fn oneway_partition_on_reply_leg_is_gray_failure() {
+        // Request gets through and is served; the reply is swallowed.
+        let net: Network<String, String> = Network::instant(21);
+        let _h = echo_server(&net, NodeId(0));
+        net.partition_oneway(NodeId(0), NodeId(1));
+        let ep = net.endpoint(NodeId(1));
+        let t0 = Instant::now();
+        assert!(matches!(
+            ep.call(NodeId(0), "x".into(), TTL),
+            Err(RpcError::Timeout { .. })
+        ));
+        assert!(t0.elapsed() >= TTL);
+        let s = net.stats();
+        assert_eq!(s.dropped_partition, 1, "reply leg must be charged");
+        assert_eq!(s.rpcs_ok, 0);
+        net.heal_all_partitions();
+        assert_eq!(ep.call(NodeId(0), "y".into(), TTL).unwrap(), "n1:y");
+    }
+
+    #[test]
+    fn symmetric_partition_blocks_both_directions() {
+        let net: Network<String, String> = Network::instant(22);
+        let _h0 = echo_server(&net, NodeId(0));
+        let _h1 = echo_server(&net, NodeId(1));
+        net.partition(NodeId(0), NodeId(1));
+        assert!(net.is_partitioned(NodeId(0), NodeId(1)));
+        assert!(net.is_partitioned(NodeId(1), NodeId(0)));
+        let ep0 = net.endpoint(NodeId(0));
+        let ep1 = net.endpoint(NodeId(1));
+        assert!(ep0.call(NodeId(1), "a".into(), TTL).is_err());
+        assert!(ep1.call(NodeId(0), "b".into(), TTL).is_err());
+        // A third party still reaches both sides.
+        let ep9 = net.endpoint(NodeId(9));
+        assert!(ep9.call(NodeId(0), "c".into(), TTL).is_ok());
+        assert!(ep9.call(NodeId(1), "d".into(), TTL).is_ok());
+    }
+
+    #[test]
+    fn flaky_duty_cycle_is_deterministic() {
+        let net: Network<String, String> = Network::instant(23);
+        let _h = echo_server(&net, NodeId(0));
+        net.set_flaky(NodeId(0), 2, 1); // ok, ok, drop, repeating
+        let ep = net.endpoint(NodeId(1));
+        let mut outcomes = Vec::new();
+        for i in 0..6 {
+            outcomes.push(ep.call(NodeId(0), format!("m{i}"), TTL).is_ok());
+        }
+        assert_eq!(outcomes, [true, true, false, true, true, false]);
+        assert_eq!(net.stats().dropped_link, 2);
+        net.clear_flaky(NodeId(0));
+        for i in 0..4 {
+            assert!(ep.call(NodeId(0), format!("c{i}"), TTL).is_ok());
+        }
+    }
+
+    #[test]
+    fn dropped_total_equals_sum_of_causes() {
+        let net: Network<String, String> = Network::instant(24);
+        let _h = echo_server(&net, NodeId(0));
+        let ep = net.endpoint(NodeId(1));
+        net.kill(NodeId(0));
+        let _ = ep.call(NodeId(0), "k".into(), TTL);
+        net.revive(NodeId(0));
+        net.partition_oneway(NodeId(1), NodeId(0));
+        let _ = ep.call(NodeId(0), "p".into(), TTL);
+        net.heal_all_partitions();
+        net.set_flaky(NodeId(0), 0, 1); // drop everything, deterministically
+        let _ = ep.call(NodeId(0), "f".into(), TTL);
+        net.clear_flaky(NodeId(0));
+        let s = net.stats();
+        assert_eq!(s.dropped_killed, 1);
+        assert_eq!(s.dropped_partition, 1);
+        assert_eq!(s.dropped_link, 1);
+        assert_eq!(
+            s.dropped,
+            s.dropped_killed + s.dropped_link + s.dropped_partition
+        );
     }
 
     #[test]

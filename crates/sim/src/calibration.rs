@@ -138,7 +138,11 @@ mod tests {
         assert!(c.remote_read_s(b) > c.local_read_s(b));
         // …but both are far below a contended PFS read.
         let pfs = c.pfs.read_cost_s(b, 512);
-        assert!(pfs > 5.0 * c.remote_read_s(b), "pfs {pfs} vs remote {}", c.remote_read_s(b));
+        assert!(
+            pfs > 5.0 * c.remote_read_s(b),
+            "pfs {pfs} vs remote {}",
+            c.remote_read_s(b)
+        );
     }
 
     #[test]

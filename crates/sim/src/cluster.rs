@@ -28,6 +28,58 @@ pub struct FaultEvent {
     pub node: NodeId,
 }
 
+/// An ordered schedule of [`FaultEvent`]s — the simulator-side mirror of
+/// a chaos campaign's kill schedule, so a randomized threaded campaign
+/// can be cross-checked against the DES at no wall-clock cost.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Plan from arbitrary events; stored sorted by (epoch, step).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| (e.epoch, e.step));
+        FaultPlan { events }
+    }
+
+    /// Node kills at step 0 of each epoch — the shape a threaded chaos
+    /// campaign mirrors (its events fire between read passes).
+    pub fn from_kills(kills: &[(u32, NodeId)]) -> Self {
+        Self::new(
+            kills
+                .iter()
+                .map(|&(epoch, node)| FaultEvent {
+                    epoch,
+                    step: 0,
+                    node,
+                })
+                .collect(),
+        )
+    }
+
+    /// Append one event, keeping the schedule sorted.
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+        self.events.sort_by_key(|e| (e.epoch, e.step));
+    }
+
+    /// The schedule, sorted by (epoch, step).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
 /// Workload parameters for a simulated training run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimWorkload {
@@ -202,6 +254,11 @@ impl SimCluster {
         }
     }
 
+    /// Simulate the full training run under a [`FaultPlan`].
+    pub fn run_plan(self, workload: SimWorkload, plan: &FaultPlan) -> SimReport {
+        self.run(workload, plan.events())
+    }
+
     /// Simulate the full training run.
     pub fn run(mut self, workload: SimWorkload, faults: &[FaultEvent]) -> SimReport {
         let k = f64::from(workload.time_compression.max(1));
@@ -226,8 +283,7 @@ impl SimCluster {
                     .iter()
                     .copied()
                     .find(|f| f.epoch == epoch && !self.dead[f.node.index()]);
-                match self.run_attempt(&mut q, &order, workload.sample_bytes, epoch, &live, fault)
-                {
+                match self.run_attempt(&mut q, &order, workload.sample_bytes, epoch, &live, fault) {
                     AttemptOutcome::Completed => break,
                     AttemptOutcome::Failed { victim } => {
                         epoch_had_failure = true;
@@ -282,8 +338,6 @@ impl SimCluster {
             events: q.processed(),
         }
     }
-
-
 
     #[allow(clippy::too_many_arguments)]
     fn run_attempt(
@@ -572,7 +626,8 @@ mod tests {
             seed: 7,
             time_compression: 1,
         };
-        let ring = SimCluster::new(16, FtPolicy::RingRecache, w.samples, small_cal()).run(w, &fault);
+        let ring =
+            SimCluster::new(16, FtPolicy::RingRecache, w.samples, small_cal()).run(w, &fault);
         let pfs = SimCluster::new(16, FtPolicy::PfsRedirect, w.samples, small_cal()).run(w, &fault);
         assert!(!ring.aborted && !pfs.aborted);
         assert_eq!(ring.rollbacks, 1);
@@ -675,6 +730,30 @@ mod tests {
         assert_eq!(a.total_s, b.total_s);
         assert_eq!(a.pfs_reads, b.pfs_reads);
         assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn fault_plan_sorts_and_drives_run() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                epoch: 2,
+                step: 1,
+                node: NodeId(4),
+            },
+            FaultEvent {
+                epoch: 1,
+                step: 0,
+                node: NodeId(1),
+            },
+        ]);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.events()[0].epoch, 1, "plan must be sorted");
+        assert!(!plan.is_empty());
+        let r = SimCluster::new(16, FtPolicy::RingRecache, 1024, small_cal())
+            .run_plan(workload(1024), &plan);
+        assert!(!r.aborted);
+        assert_eq!(r.rollbacks, 2);
+        assert_eq!(FaultPlan::from_kills(&[(1, NodeId(1))]).events()[0].step, 0);
     }
 
     #[test]

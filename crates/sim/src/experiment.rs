@@ -85,15 +85,20 @@ pub fn fig5(
     for &n in node_counts {
         let steps_hint = (workload.samples / (cal.per_rank_batch * n)).max(1);
         for policy in [FtPolicy::NoFt, FtPolicy::PfsRedirect, FtPolicy::RingRecache] {
-            let clean = SimCluster::new(n, policy, workload.samples, cal.clone())
-                .run(workload, &[]);
+            let clean =
+                SimCluster::new(n, policy, workload.samples, cal.clone()).run(workload, &[]);
             let (with_failures_s, overhead_pct, failure_report) = if policy == FtPolicy::NoFt {
                 // Baseline HVAC dies at the first failure: Fig. 5(b) draws
                 // it as the dashed no-failure reference instead.
                 (None, None, None)
             } else {
-                let faults =
-                    random_faults(failures, n, workload.epochs, steps_hint, seed ^ u64::from(n));
+                let faults = random_faults(
+                    failures,
+                    n,
+                    workload.epochs,
+                    steps_hint,
+                    seed ^ u64::from(n),
+                );
                 let r = SimCluster::new(n, policy, workload.samples, cal.clone())
                     .run(workload, &faults);
                 let pct = 100.0 * (r.total_s - clean.total_s) / clean.total_s;
@@ -253,7 +258,10 @@ pub fn placement_disruption(nodes: u32, keys: u32, seed: u64) -> Vec<DisruptionR
         Box::new(HashRing::with_nodes(nodes, 100)),
         Box::new(ModuloPlacement::with_nodes(nodes)),
         Box::new(MultiHashPlacement::with_nodes(nodes)),
-        Box::new(RangePartition::with_nodes(nodes, RebalanceMode::MergeNeighbor)),
+        Box::new(RangePartition::with_nodes(
+            nodes,
+            RebalanceMode::MergeNeighbor,
+        )),
         Box::new(RangePartition::with_nodes(nodes, RebalanceMode::EvenSplit)),
         Box::new(RendezvousPlacement::with_nodes(nodes)),
     ];
@@ -316,14 +324,20 @@ mod tests {
             let cells = fig5(&[8, 16], small_workload(), &fast_cal(), 2, seed);
             assert_eq!(cells.len(), 6);
             for c in &cells {
-                let e = sums.entry((c.nodes, c.policy)).or_insert((0.0f64, 0.0f64, 0usize));
+                let e = sums
+                    .entry((c.nodes, c.policy))
+                    .or_insert((0.0f64, 0.0f64, 0usize));
                 e.0 += c.no_failure_s;
                 e.1 += c.with_failures_s.unwrap_or(0.0);
                 e.2 += 1;
             }
             for n in [8u32, 16] {
-                let get =
-                    |p: FtPolicy| cells.iter().find(|c| c.nodes == n && c.policy == p).unwrap();
+                let get = |p: FtPolicy| {
+                    cells
+                        .iter()
+                        .find(|c| c.nodes == n && c.policy == p)
+                        .unwrap()
+                };
                 let noft = get(FtPolicy::NoFt);
                 // 5(a): NoFT fastest clean; FT overhead small (clean runs
                 // are deterministic, so these hold per seed).

@@ -38,7 +38,7 @@ pub mod experiment;
 pub mod resource;
 
 pub use calibration::SimCalibration;
-pub use cluster::{FaultEvent, SimCluster, SimReport, SimWorkload};
+pub use cluster::{FaultEvent, FaultPlan, SimCluster, SimReport, SimWorkload};
 pub use engine::{secs, to_secs, EventQueue, SimTime, SEC};
 pub use experiment::{
     fig5, fig6a, fig6b, placement_disruption, random_faults, DisruptionRow, Fig5Cell, Fig6aRow,

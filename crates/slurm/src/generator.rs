@@ -122,8 +122,8 @@ impl TraceGenerator {
             JobState::NodeFail => 3,
             _ => 4,
         };
-        let u = splitmix64(self.config.seed ^ (u64::from(week) << 8) ^ tag) as f64
-            / u64::MAX as f64;
+        let u =
+            splitmix64(self.config.seed ^ (u64::from(week) << 8) ^ tag) as f64 / u64::MAX as f64;
         match state {
             // Node failures / timeouts occasionally run 2-3 hours before
             // dying; job fails are steadier.
@@ -214,7 +214,10 @@ mod tests {
     #[test]
     fn failure_rate_near_paper() {
         let t = trace();
-        let analyzable: Vec<_> = t.iter().filter(|r| r.state != JobState::Cancelled).collect();
+        let analyzable: Vec<_> = t
+            .iter()
+            .filter(|r| r.state != JobState::Cancelled)
+            .collect();
         let failures = analyzable.iter().filter(|r| r.state.is_failure()).count() as f64;
         let rate = failures / analyzable.len() as f64;
         assert!(
@@ -245,25 +248,34 @@ mod tests {
             .iter()
             .filter(|r| r.state.is_failure() && r.node_count >= 7750)
             .collect();
-        assert!(top.len() > 100, "need a populated top bucket, got {}", top.len());
-        let nf = top.iter().filter(|r| r.state == JobState::NodeFail).count() as f64
-            / top.len() as f64;
+        assert!(
+            top.len() > 100,
+            "need a populated top bucket, got {}",
+            top.len()
+        );
+        let nf =
+            top.iter().filter(|r| r.state == JobState::NodeFail).count() as f64 / top.len() as f64;
         let nf_to = top
             .iter()
             .filter(|r| r.state.counts_as_node_failure())
             .count() as f64
             / top.len() as f64;
         assert!((nf - 0.4604).abs() < 0.06, "top NodeFail {nf:.4} vs 0.4604");
-        assert!((nf_to - 0.7860).abs() < 0.06, "top NF+TO {nf_to:.4} vs 0.7860");
+        assert!(
+            (nf_to - 0.7860).abs() < 0.06,
+            "top NF+TO {nf_to:.4} vs 0.7860"
+        );
     }
 
     #[test]
     fn mean_failure_elapsed_near_75_minutes() {
         let t = trace();
         let failures: Vec<_> = t.iter().filter(|r| r.state.is_failure()).collect();
-        let mean =
-            failures.iter().map(|r| r.elapsed_min).sum::<f64>() / failures.len() as f64;
-        assert!((55.0..95.0).contains(&mean), "mean elapsed {mean:.1} min vs ~75");
+        let mean = failures.iter().map(|r| r.elapsed_min).sum::<f64>() / failures.len() as f64;
+        assert!(
+            (55.0..95.0).contains(&mean),
+            "mean elapsed {mean:.1} min vs ~75"
+        );
     }
 
     #[test]
@@ -285,7 +297,11 @@ mod tests {
         assert_eq!(TraceGenerator::bucket_of(15), 0);
         assert_eq!(TraceGenerator::bucket_of(16), 1);
         assert_eq!(TraceGenerator::bucket_of(9000), 5);
-        assert_eq!(TraceGenerator::bucket_of(99_999), 5, "beyond max clamps to top");
+        assert_eq!(
+            TraceGenerator::bucket_of(99_999),
+            5,
+            "beyond max clamps to top"
+        );
     }
 
     #[test]

@@ -22,11 +22,7 @@ pub fn render_table1(c: &FailureCensus) -> String {
     let _ = writeln!(
         s,
         "{:<16} {:>10} {:>14} {:>13.2}% {:>22}",
-        "Total Jobs",
-        c.total_jobs,
-        "N/A",
-        100.0,
-        "181,933 / 100%"
+        "Total Jobs", c.total_jobs, "N/A", 100.0, "181,933 / 100%"
     );
     let _ = writeln!(
         s,

@@ -73,6 +73,10 @@ mod tests {
         // (all zeros / constant) that would mask corruption.
         let d = synth_bytes("entropy-check", 4096);
         let distinct: std::collections::HashSet<u8> = d.iter().copied().collect();
-        assert!(distinct.len() > 200, "only {} distinct bytes", distinct.len());
+        assert!(
+            distinct.len() > 200,
+            "only {} distinct bytes",
+            distinct.len()
+        );
     }
 }

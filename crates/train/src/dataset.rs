@@ -68,7 +68,9 @@ impl Dataset {
 
     /// All training paths.
     pub fn train_paths(&self) -> Vec<String> {
-        (0..self.train_samples).map(|i| self.train_path(i)).collect()
+        (0..self.train_samples)
+            .map(|i| self.train_path(i))
+            .collect()
     }
 
     /// Total dataset footprint in bytes (train + val).

@@ -216,9 +216,10 @@ impl TrainDriver {
                 }
                 // The first still-pending fault for this epoch (one victim
                 // per attempt, like the paper's single-node failures).
-                let fault = pending.iter().copied().find(|f| {
-                    f.epoch == epoch && self.elastic.is_live(f.node)
-                });
+                let fault = pending
+                    .iter()
+                    .copied()
+                    .find(|f| f.epoch == epoch && self.elastic.is_live(f.node));
                 match self.run_epoch_attempt(epoch, fault) {
                     EpochResult::Completed { samples } => {
                         epochs.push(EpochReport {
@@ -310,8 +311,7 @@ impl TrainDriver {
                             match backend.read(path) {
                                 Ok(bytes) => {
                                     if verify && !ftc_storage::verify_synth(path, &bytes) {
-                                        *fatal.lock() =
-                                            Some(format!("corrupt content for {path}"));
+                                        *fatal.lock() = Some(format!("corrupt content for {path}"));
                                         abort.store(true, Ordering::SeqCst);
                                         break;
                                     }

@@ -29,8 +29,7 @@ fn threaded_run() {
         .collect();
     let cluster = Arc::new(cluster);
     let kill_cluster = Arc::clone(&cluster);
-    let kill: Arc<dyn Fn(NodeId) + Send + Sync> =
-        Arc::new(move |n| kill_cluster.kill(n));
+    let kill: Arc<dyn Fn(NodeId) + Send + Sync> = Arc::new(move |n| kill_cluster.kill(n));
 
     let config = TrainConfig {
         epochs: 3,

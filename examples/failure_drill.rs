@@ -72,7 +72,10 @@ fn main() {
     let m = cluster.metrics();
     println!(
         "\ntotals: {} reads ok, {} timeouts, {} declared failed, {} recached files",
-        m.clients.reads_ok, m.clients.rpc_timeouts, m.clients.nodes_declared_failed, m.files_recached
+        m.clients.reads_ok,
+        m.clients.rpc_timeouts,
+        m.clients.nodes_declared_failed,
+        m.files_recached
     );
     cluster.shutdown();
     println!("drill complete: zero corrupt or lost reads across 3 failures + 1 rejoin.");

@@ -38,7 +38,10 @@ fn main() {
     for p in &paths {
         client.read(p).unwrap();
     }
-    println!("epoch 2: {} PFS reads (all NVMe hits)", cluster.pfs().total_reads());
+    println!(
+        "epoch 2: {} PFS reads (all NVMe hits)",
+        cluster.pfs().total_reads()
+    );
 
     // 4. Kill a node the way SLURM drains one: it just goes silent.
     println!("\n-- killing n2 --");
@@ -60,7 +63,10 @@ fn main() {
     let m = cluster.metrics();
     println!(
         "\nmetrics: {} reads ok, {} timeouts, {} nodes declared failed, {} files recached",
-        m.clients.reads_ok, m.clients.rpc_timeouts, m.clients.nodes_declared_failed, m.files_recached
+        m.clients.reads_ok,
+        m.clients.rpc_timeouts,
+        m.clients.nodes_declared_failed,
+        m.files_recached
     );
     println!(
         "cache distribution after failover: {:?} objects/node (n2 is dead)",

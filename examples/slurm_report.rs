@@ -7,8 +7,7 @@
 //! ```
 
 use ft_cache::slurm::{
-    by_elapsed, by_node_count, census, overall_mean_elapsed, render, weekly_elapsed,
-    TraceGenerator,
+    by_elapsed, by_node_count, census, overall_mean_elapsed, render, weekly_elapsed, TraceGenerator,
 };
 
 fn main() {
@@ -28,7 +27,13 @@ fn main() {
         render::render_fig1(&weekly_elapsed(&trace, weeks), overall_mean_elapsed(&trace))
     );
     println!();
-    print!("{}", render::render_fig2(&by_node_count(&trace), "node count"));
+    print!(
+        "{}",
+        render::render_fig2(&by_node_count(&trace), "node count")
+    );
     println!();
-    print!("{}", render::render_fig2(&by_elapsed(&trace), "elapsed (min)"));
+    print!(
+        "{}",
+        render::render_fig2(&by_elapsed(&trace), "elapsed (min)")
+    );
 }

@@ -1,0 +1,188 @@
+//! API-compatible subset of the `bytes` crate: an immutable, cheaply
+//! cloneable byte buffer backed by `Arc<[u8]>`. The workspace builds
+//! hermetically (no registry access), so the real crate is replaced by
+//! this shim.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable contiguous slice of memory.
+#[derive(Clone)]
+pub struct Bytes(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub const fn new() -> Self {
+        Bytes(Repr::Static(&[]))
+    }
+
+    /// Wrap a `'static` slice with zero copying.
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes(Repr::Static(bytes))
+    }
+
+    /// Copy `data` into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Repr::Shared(Arc::from(data)))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Copy out to an owned `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => a,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Repr::Shared(Arc::from(v)))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Self {
+        Bytes::from(v.into_bytes())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(64) {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        if self.len() > 64 {
+            write!(f, "…({} bytes)", self.len())?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(&a[..], &[1, 2, 3]);
+        assert_eq!(Bytes::from_static(b"xyz").len(), 3);
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = Bytes::from(vec![0u8; 1024]);
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,236 @@
+//! Hermetic mini `criterion`: enough of the API for this workspace's
+//! benches to compile and produce useful ns/iter numbers, with no
+//! registry access. No statistics, plots, or baselines — a calibrated
+//! timing loop and one output line per benchmark.
+//!
+//! When invoked with `--test` (as `cargo test` does for harness=false
+//! bench targets) each benchmark body runs exactly once as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run `f` as a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.test_mode, self.sample_size);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A parameterized benchmark label.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Label from a function name plus parameter.
+    pub fn new(name: &str, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Label from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Cap the measurement iterations for slow benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run `f` as `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher::new(self.criterion.test_mode, samples);
+        f(&mut b);
+        b.report(&label);
+        self
+    }
+
+    /// Run `f` with a borrowed input as `group_name/id`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Conversion into a [`BenchmarkId`] (allows `&str` or `BenchmarkId`).
+pub trait IntoBenchmarkId {
+    /// Convert.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Times closures handed to it by the benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new(test_mode: bool, sample_size: usize) -> Self {
+        Bencher {
+            test_mode,
+            sample_size,
+            result: None,
+        }
+    }
+
+    /// Measure `f`, called repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.result = Some((Duration::ZERO, 0));
+            return;
+        }
+        // Warmup + calibration: find an iteration count that runs for
+        // roughly the time budget, bounded by sample_size.
+        black_box(f());
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let budget = Duration::from_millis(40);
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, self.sample_size as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+
+    fn report(&self, label: &str) {
+        match self.result {
+            Some((_, 0)) => println!("bench {label}: ok (test mode)"),
+            Some((elapsed, iters)) => {
+                let per = elapsed.as_nanos() as f64 / iters as f64;
+                println!("bench {label}: {per:.0} ns/iter ({iters} iters)");
+            }
+            None => println!("bench {label}: no measurement recorded"),
+        }
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 10,
+        };
+        let mut ran = false;
+        c.bench_function("x", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 10,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &v| {
+            b.iter(|| v * 2)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,261 @@
+//! API-compatible subset of `crossbeam` (the `channel` module only),
+//! backed by `Mutex<VecDeque>` + `Condvar`. The workspace builds
+//! hermetically (no registry access), so the real crate is replaced by
+//! this shim.
+//!
+//! Semantic notes relative to real crossbeam:
+//! * `bounded(n)` does not apply backpressure — sends never block. The
+//!   only bounded channels in this workspace are one-shot reply channels,
+//!   so capacity is irrelevant to correctness.
+//! * Disconnect semantics match: `send` fails once the receiver is gone,
+//!   `recv` fails once every sender is gone and the queue is drained.
+
+/// Multi-producer single-consumer channels with timeouts and disconnect
+/// detection.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        cond: Condvar,
+        senders: AtomicUsize,
+        receiver_alive: AtomicBool,
+    }
+
+    /// Sending half; cheap to clone.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiver disconnected before the message was sent.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Every sender disconnected and the queue is empty.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline expired with no message.
+        Timeout,
+        /// Every sender disconnected and the queue is empty.
+        Disconnected,
+    }
+
+    /// Outcome of [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message queued right now.
+        Empty,
+        /// Every sender disconnected and the queue is empty.
+        Disconnected,
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receiver_alive: AtomicBool::new(true),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// A channel with a capacity hint. This shim does not apply
+    /// backpressure; see the module docs.
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::Relaxed);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: wake a blocked receiver so it can
+                // observe the disconnect.
+                self.shared.cond.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receiver_alive.store(false, Ordering::Release);
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`; fails iff the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if !self.shared.receiver_alive.load(Ordering::Acquire) {
+                return Err(SendError(value));
+            }
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push_back(value);
+            self.shared.cond.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Queued message count.
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            match q.pop_front() {
+                Some(v) => Ok(v),
+                None if self.shared.senders.load(Ordering::Acquire) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Block until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.shared.cond.wait(q).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Block with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self
+                    .shared
+                    .cond
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_on_sender_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn disconnect_on_receiver_drop() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn timeout_elapses() {
+        let (_tx, rx) = unbounded::<u32>();
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn cross_thread() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        t.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,14 @@
+//! Hermetic stand-in for `serde`: marker traits with blanket impls plus
+//! no-op derive macros. The workspace builds without registry access and
+//! never invokes a serializer, so this is all the surface the code needs;
+//! swapping the real serde back in is a Cargo.toml change only.
+
+/// Marker for types that would be serializable under real serde.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that would be deserializable under real serde.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace builds hermetically (no registry access) and never
+//! actually serializes anything — the derives exist so config structs can
+//! keep their serde annotations for when a real serializer is wired in.
+//! The companion `serde` shim provides blanket trait impls, so emitting
+//! no code here is sufficient.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `Serialize` derive (including `#[serde(...)]`
+/// attributes).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `Deserialize` derive (including `#[serde(...)]`
+/// attributes).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

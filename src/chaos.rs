@@ -1,0 +1,577 @@
+//! Chaos harness: seeded gray-failure campaigns with invariant checking.
+//!
+//! A campaign boots a real threaded [`Cluster`], samples a randomized
+//! fault schedule from a seed ([`ChaosPlan::generate`]) — kills, revives,
+//! flaky links, asymmetric partitions, degraded-but-alive nodes — applies
+//! it between read passes, and checks four invariants:
+//!
+//! 1. **Integrity** — every completed read returns bytes byte-identical
+//!    to the PFS ground truth (the synthetic content is self-describing).
+//!    Under `NoFt`, aborting on a lossy fault is the *correct* outcome;
+//!    any other failure is a violation.
+//! 2. **Recache economy** — under `RingRecache`, server-mediated PFS
+//!    fetches after the warm pass stay within the loss budget: at most
+//!    one fetch per file whose owner was hit by a lossy or membership
+//!    event (kill, revive, flaky link, partition).
+//! 3. **Liveness** — no read ever exceeds the retry deadline budget by
+//!    more than bounded slack: the client cannot livelock, whatever the
+//!    fault pattern.
+//! 4. **No false positives** — a node that is only *degraded* (served
+//!    every request, with extra latency below the TTL) is never declared
+//!    failed.
+//!
+//! The plan — and therefore the whole campaign and its one-line result —
+//! is a pure function of the seed, so `chaos --seed N` replays
+//! byte-identically. The kill schedule is additionally mirrored into a
+//! discrete-event [`FaultPlan`] and cross-checked against [`SimCluster`]:
+//! the simulator must agree on whether the job survives.
+
+use bytes::Bytes;
+use ftc_core::{Cluster, ClusterConfig, FtPolicy, ReadError};
+use ftc_hashring::NodeId;
+use ftc_sim::{FaultEvent, FaultPlan, SimCalibration, SimCluster, SimWorkload};
+use ftc_storage::synth_bytes;
+use std::collections::HashSet;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// One fault action in a campaign schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Crash the node (silent; its cache contents are lost).
+    Kill(NodeId),
+    /// Repair and rejoin a crashed node with a cold cache.
+    Revive(NodeId),
+    /// Duty-cycle loss on the node's ingress link: `up` deliveries ok,
+    /// then `down` dropped, repeating.
+    Flaky {
+        /// Target node.
+        node: NodeId,
+        /// Deliveries that succeed per cycle.
+        up: u32,
+        /// Deliveries that drop per cycle.
+        down: u32,
+    },
+    /// Remove the flaky rule from the node.
+    ClearFlaky(NodeId),
+    /// One-way partition: the client's requests never reach the node.
+    PartitionToNode(NodeId),
+    /// One-way partition: the node's replies never reach the client —
+    /// the gray-failure direction (work done, answer lost).
+    PartitionFromNode(NodeId),
+    /// Remove every partition rule.
+    HealAll,
+    /// Serve everything, slowly: extra per-delivery latency strictly
+    /// below the TTL. Must never lead to a failure declaration.
+    Degrade {
+        /// Target node.
+        node: NodeId,
+        /// Added one-way latency (below the detector TTL).
+        extra: Duration,
+    },
+}
+
+/// A fault action scheduled before a given read pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// The action fires before this pass (0-based, after the warm pass).
+    pub before_pass: u32,
+    /// What happens.
+    pub action: ChaosAction,
+}
+
+/// A complete seeded campaign schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The seed this plan (and everything downstream) derives from.
+    pub seed: u64,
+    /// Server nodes in the cluster.
+    pub nodes: u32,
+    /// Files staged on the PFS.
+    pub files: usize,
+    /// Bytes per file.
+    pub file_size: usize,
+    /// Read passes after the warm pass.
+    pub passes: u32,
+    /// The fault schedule, sorted by `before_pass`.
+    pub events: Vec<ChaosEvent>,
+    /// Nodes targeted exclusively by `Degrade` — invariant 4's subjects.
+    pub degraded_only: Vec<NodeId>,
+    /// A node no lossy event ever targets, so the ring never empties and
+    /// fault-tolerant reads always have somewhere to land.
+    pub clean_node: NodeId,
+}
+
+/// Deterministic SplitMix64 stream (no external RNG: the plan must be a
+/// pure function of the seed).
+struct Prng(u64);
+
+impl Prng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+/// Detector TTL used by every campaign (degrade latencies are sampled
+/// strictly below this).
+pub const CAMPAIGN_TTL: Duration = Duration::from_millis(15);
+
+impl ChaosPlan {
+    /// Sample a campaign schedule from `seed`.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = Prng(seed ^ 0xC0A5_F0F1_E5C4_A0E5);
+        let nodes = 3 + rng.below(3) as u32; // 3..=5
+        let files = 12 + rng.below(13) as usize; // 12..=24
+        let passes = 2 + rng.below(2) as u32; // 2..=3
+
+        // Reserve one clean node (never hit by anything lossy) and,
+        // half the time, one degrade-only node.
+        let clean_node = NodeId(rng.below(u64::from(nodes)) as u32);
+        let degrade_node = if rng.below(2) == 0 {
+            let candidates: Vec<u32> = (0..nodes).filter(|&n| NodeId(n) != clean_node).collect();
+            Some(NodeId(
+                candidates[rng.below(candidates.len() as u64) as usize],
+            ))
+        } else {
+            None
+        };
+        let lossy_targets: Vec<NodeId> = (0..nodes)
+            .map(NodeId)
+            .filter(|&n| n != clean_node && Some(n) != degrade_node)
+            .collect();
+
+        let mut events = Vec::new();
+        if let Some(d) = degrade_node {
+            // Degradation from the very first faulted pass: 30–70% of TTL.
+            let frac = 30 + rng.below(41);
+            events.push(ChaosEvent {
+                before_pass: 0,
+                action: ChaosAction::Degrade {
+                    node: d,
+                    extra: CAMPAIGN_TTL.mul_f64(frac as f64 / 100.0),
+                },
+            });
+        }
+
+        // Generate lossy events in chronological order so kill/revive
+        // pairing stays consistent.
+        let mut killed: HashSet<NodeId> = HashSet::new();
+        for pass in 0..passes {
+            let burst = rng.below(3); // 0..=2 events before this pass
+            for _ in 0..burst {
+                let target = lossy_targets[rng.below(lossy_targets.len() as u64) as usize];
+                let action = match rng.below(6) {
+                    0 | 1 => {
+                        if killed.contains(&target) {
+                            killed.remove(&target);
+                            ChaosAction::Revive(target)
+                        } else if killed.len() + 1 < lossy_targets.len().max(2) {
+                            killed.insert(target);
+                            ChaosAction::Kill(target)
+                        } else {
+                            ChaosAction::HealAll
+                        }
+                    }
+                    2 => ChaosAction::Flaky {
+                        node: target,
+                        up: 1 + rng.below(3) as u32,
+                        down: 1 + rng.below(2) as u32,
+                    },
+                    3 => ChaosAction::ClearFlaky(target),
+                    4 => {
+                        if rng.below(2) == 0 {
+                            ChaosAction::PartitionToNode(target)
+                        } else {
+                            ChaosAction::PartitionFromNode(target)
+                        }
+                    }
+                    _ => ChaosAction::HealAll,
+                };
+                events.push(ChaosEvent {
+                    before_pass: pass,
+                    action,
+                });
+            }
+        }
+
+        ChaosPlan {
+            seed,
+            nodes,
+            files,
+            file_size: 48,
+            passes,
+            events,
+            degraded_only: degrade_node.into_iter().collect(),
+            clean_node,
+        }
+    }
+
+    /// True if the plan contains any event that can lose messages (and
+    /// may therefore legitimately abort a `NoFt` job).
+    pub fn has_lossy_events(&self) -> bool {
+        self.events.iter().any(|e| {
+            !matches!(
+                e.action,
+                ChaosAction::Degrade { .. } | ChaosAction::HealAll | ChaosAction::ClearFlaky(_)
+            )
+        })
+    }
+
+    /// The kill schedule mirrored into a DES [`FaultPlan`]: each node
+    /// killed and never revived becomes a `FaultEvent` in the epoch after
+    /// its pass (epoch 0 is the warm pass).
+    pub fn mirror_fault_plan(&self) -> FaultPlan {
+        let revived: HashSet<NodeId> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.action {
+                ChaosAction::Revive(n) => Some(n),
+                _ => None,
+            })
+            .collect();
+        FaultPlan::new(
+            self.events
+                .iter()
+                .filter_map(|e| match e.action {
+                    ChaosAction::Kill(n) if !revived.contains(&n) => Some(FaultEvent {
+                        epoch: e.before_pass + 1,
+                        step: 0,
+                        node: n,
+                    }),
+                    _ => None,
+                })
+                .collect(),
+        )
+    }
+
+    /// One-line plan summary (stable across replays of the same seed).
+    pub fn summary(&self) -> String {
+        format!(
+            "nodes={} files={} passes={} events={} degraded={} clean={}",
+            self.nodes,
+            self.files,
+            self.passes,
+            self.events.len(),
+            self.degraded_only.len(),
+            self.clean_node
+        )
+    }
+}
+
+/// Result of running one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The plan's seed.
+    pub seed: u64,
+    /// Policy exercised.
+    pub policy: FtPolicy,
+    /// Reads attempted (warm pass included).
+    pub reads_attempted: u64,
+    /// True when a `NoFt` campaign aborted on a lossy fault (expected).
+    pub aborted: bool,
+    /// Invariant violations; empty means the campaign passed.
+    pub violations: Vec<String>,
+}
+
+impl CampaignReport {
+    /// Did every invariant hold?
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={} policy={:?} -> {}",
+            self.seed,
+            self.policy,
+            if self.passed() { "PASS" } else { "FAIL" }
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  violation: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Wall-clock slack allowed on top of the retry deadline budget before a
+/// read counts as livelocked (scheduler noise, final TTL, PFS read).
+const LIVELOCK_SLACK: Duration = Duration::from_secs(2);
+
+/// Run one campaign of `plan` under `policy` on a real threaded cluster,
+/// checking all four invariants.
+pub fn run_campaign(policy: FtPolicy, plan: &ChaosPlan) -> CampaignReport {
+    let mut cfg = ClusterConfig::small(plan.nodes, policy);
+    cfg.ft.detector.ttl = CAMPAIGN_TTL;
+    cfg.ft.detector.timeout_limit = 2;
+    cfg.ft.detector.suspicion_window = Duration::from_secs(2);
+    cfg.ft.retry.max_attempts = 16;
+    cfg.ft.retry.base_backoff = Duration::from_micros(200);
+    cfg.ft.retry.max_backoff = Duration::from_millis(3);
+    cfg.ft.retry.deadline_budget = Duration::from_secs(2);
+    cfg.seed = plan.seed;
+
+    let cluster = Cluster::start(cfg.clone());
+    let paths = cluster.stage_dataset("train", plan.files, plan.file_size);
+    let truth: Vec<Bytes> = paths
+        .iter()
+        .map(|p| synth_bytes(p, plan.file_size))
+        .collect();
+    let client = cluster.client(0);
+
+    let mut violations = Vec::new();
+    let mut reads_attempted = 0u64;
+    let mut aborted = false;
+
+    // Warm pass: healthy cluster, every read must verify.
+    for (i, p) in paths.iter().enumerate() {
+        reads_attempted += 1;
+        match client.read(p) {
+            Ok(bytes) if bytes == truth[i] => {}
+            Ok(_) => violations.push(format!("integrity: warm read of {p} corrupted")),
+            Err(e) => violations.push(format!("integrity: warm read of {p} failed: {e}")),
+        }
+    }
+    // Let the movers land everything before accounting starts.
+    std::thread::sleep(Duration::from_millis(60));
+    let warm = client.metrics().snapshot();
+
+    // Recache budget for invariant 2: one fetch per file whose owner was
+    // hit by a membership-affecting event, counted at event time.
+    let mut budget = 0u64;
+    let mut lossy_applied = false;
+    let owned_by = |n: NodeId| -> u64 {
+        paths
+            .iter()
+            .filter(|p| client.owner_of(p) == Some(n))
+            .count() as u64
+    };
+
+    'passes: for pass in 0..plan.passes {
+        for ev in plan.events.iter().filter(|e| e.before_pass == pass) {
+            match ev.action {
+                ChaosAction::Kill(n) => {
+                    budget += owned_by(n);
+                    lossy_applied = true;
+                    cluster.kill(n);
+                }
+                ChaosAction::Revive(n) => {
+                    cluster.revive(n);
+                    // The rejoined node is cold: its re-owned keys refetch.
+                    budget += owned_by(n);
+                }
+                ChaosAction::Flaky { node, up, down } => {
+                    budget += owned_by(node);
+                    lossy_applied = true;
+                    cluster.network().set_flaky(node, up, down);
+                }
+                ChaosAction::ClearFlaky(n) => cluster.network().clear_flaky(n),
+                ChaosAction::PartitionToNode(n) => {
+                    budget += owned_by(n);
+                    lossy_applied = true;
+                    cluster.network().partition_oneway(client.node(), n);
+                }
+                ChaosAction::PartitionFromNode(n) => {
+                    budget += owned_by(n);
+                    lossy_applied = true;
+                    cluster.network().partition_oneway(n, client.node());
+                }
+                ChaosAction::HealAll => cluster.network().heal_all_partitions(),
+                ChaosAction::Degrade { node, extra } => {
+                    debug_assert!(extra < CAMPAIGN_TTL);
+                    cluster.network().delay_node(node, extra);
+                }
+            }
+        }
+
+        // Deterministic per-pass read order.
+        let mut order: Vec<usize> = (0..paths.len()).collect();
+        let mut rng = Prng(plan.seed.wrapping_add(u64::from(pass) + 1));
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+
+        for idx in order {
+            let p = &paths[idx];
+            reads_attempted += 1;
+            let t0 = Instant::now();
+            let result = client.read(p);
+            let took = t0.elapsed();
+            if took > cfg.ft.retry.deadline_budget + LIVELOCK_SLACK {
+                violations.push(format!(
+                    "liveness: read of {p} took {took:?}, budget {:?}",
+                    cfg.ft.retry.deadline_budget
+                ));
+            }
+            match result {
+                Ok(bytes) if bytes == truth[idx] => {}
+                Ok(_) => violations.push(format!("integrity: read of {p} corrupted")),
+                Err(ReadError::NodeFailed(_)) if policy == FtPolicy::NoFt && lossy_applied => {
+                    // Baseline semantics: the job dies on the first
+                    // detected failure. Correct — end the campaign.
+                    aborted = true;
+                    break 'passes;
+                }
+                Err(e) => violations.push(format!(
+                    "integrity: read of {p} failed under {policy:?}: {e}"
+                )),
+            }
+        }
+        // Give movers a beat so recache fetches are attributed to the
+        // pass that caused them.
+        std::thread::sleep(Duration::from_millis(40));
+    }
+
+    // Invariant 2: recache economy (RingRecache only; NoFt abort ends
+    // accounting early by construction).
+    if policy == FtPolicy::RingRecache {
+        let after = client.metrics().snapshot();
+        let fetched = after.pfs_fetches_via_server - warm.pfs_fetches_via_server;
+        if fetched > budget {
+            violations.push(format!(
+                "recache economy: {fetched} server PFS fetches after warm pass, budget {budget}"
+            ));
+        }
+    }
+
+    // Invariant 4: degraded-but-alive nodes must never be declared failed.
+    let failed = client.failed_nodes();
+    for &n in &plan.degraded_only {
+        if failed.contains(&n) {
+            violations.push(format!(
+                "false positive: degraded-but-alive node {n} declared failed"
+            ));
+        }
+    }
+
+    // DES cross-check: mirror the kill schedule and ask the simulator
+    // whether the job survives; the verdicts must agree.
+    let mirror = plan.mirror_fault_plan();
+    let workload = SimWorkload {
+        samples: plan.files as u32,
+        sample_bytes: plan.file_size as u64,
+        epochs: plan.passes + 1,
+        seed: plan.seed,
+        time_compression: 1,
+    };
+    let sim = SimCluster::new(
+        plan.nodes,
+        policy,
+        workload.samples,
+        SimCalibration::frontier(),
+    )
+    .run_plan(workload, &mirror);
+    let sim_should_abort = policy == FtPolicy::NoFt && !mirror.is_empty();
+    if sim.aborted != sim_should_abort {
+        violations.push(format!(
+            "sim mirror: DES aborted={} but expected {} ({} mirrored kills)",
+            sim.aborted,
+            sim_should_abort,
+            mirror.len()
+        ));
+    }
+
+    cluster.shutdown();
+    CampaignReport {
+        seed: plan.seed,
+        policy,
+        reads_attempted,
+        aborted,
+        violations,
+    }
+}
+
+/// Run the same seeded plan under every policy; returns one report per
+/// policy in `[NoFt, PfsRedirect, RingRecache]` order.
+pub fn run_campaign_all_policies(seed: u64) -> Vec<CampaignReport> {
+    let plan = ChaosPlan::generate(seed);
+    [FtPolicy::NoFt, FtPolicy::PfsRedirect, FtPolicy::RingRecache]
+        .into_iter()
+        .map(|policy| run_campaign(policy, &plan))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_functions_of_the_seed() {
+        for seed in [0, 1, 7, 42, 0xDEAD_BEEF] {
+            assert_eq!(ChaosPlan::generate(seed), ChaosPlan::generate(seed));
+        }
+        assert_ne!(ChaosPlan::generate(1), ChaosPlan::generate(2));
+    }
+
+    #[test]
+    fn plans_respect_structural_constraints() {
+        for seed in 0..200u64 {
+            let plan = ChaosPlan::generate(seed);
+            assert!((3..=5).contains(&plan.nodes), "seed {seed}");
+            assert!((12..=24).contains(&plan.files), "seed {seed}");
+            assert!((2..=3).contains(&plan.passes), "seed {seed}");
+            for ev in &plan.events {
+                assert!(ev.before_pass < plan.passes, "seed {seed}");
+                // The clean node is never targeted by anything lossy.
+                match ev.action {
+                    ChaosAction::Kill(n)
+                    | ChaosAction::Revive(n)
+                    | ChaosAction::Flaky { node: n, .. }
+                    | ChaosAction::PartitionToNode(n)
+                    | ChaosAction::PartitionFromNode(n) => {
+                        assert_ne!(n, plan.clean_node, "seed {seed}");
+                        assert!(!plan.degraded_only.contains(&n), "seed {seed}");
+                    }
+                    ChaosAction::Degrade { node, extra } => {
+                        assert!(extra < CAMPAIGN_TTL, "seed {seed}");
+                        assert!(plan.degraded_only.contains(&node), "seed {seed}");
+                    }
+                    ChaosAction::ClearFlaky(_) | ChaosAction::HealAll => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_excludes_revived_nodes() {
+        // Construct a plan with a kill+revive pair and a permanent kill.
+        let mut plan = ChaosPlan::generate(3);
+        plan.events = vec![
+            ChaosEvent {
+                before_pass: 0,
+                action: ChaosAction::Kill(NodeId(1)),
+            },
+            ChaosEvent {
+                before_pass: 1,
+                action: ChaosAction::Revive(NodeId(1)),
+            },
+            ChaosEvent {
+                before_pass: 1,
+                action: ChaosAction::Kill(NodeId(2)),
+            },
+        ];
+        let mirror = plan.mirror_fault_plan();
+        assert_eq!(mirror.len(), 1);
+        assert_eq!(mirror.events()[0].node, NodeId(2));
+        assert_eq!(mirror.events()[0].epoch, 2);
+    }
+
+    #[test]
+    fn campaign_passes_for_every_policy_on_a_few_seeds() {
+        for seed in [11u64, 12] {
+            for report in run_campaign_all_policies(seed) {
+                assert!(report.passed(), "campaign failed: {report}");
+            }
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`train`] | CosmoFlow-shaped workload + Horovod-elastic driver |
 //! | [`sim`] | discrete-event simulator: Figures 5/6 at 64–1024 nodes |
 //! | [`slurm`] | Frontier job-failure trace + Table I / Fig 1–2 analysis |
+//! | [`chaos`] | seeded gray-failure campaigns with invariant checking |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,8 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+
 pub use ftc_core as core;
 pub use ftc_hashring as hashring;
 pub use ftc_net as net;
@@ -51,6 +54,7 @@ pub use ftc_train as train;
 
 /// The names most programs need.
 pub mod prelude {
+    pub use crate::chaos::{run_campaign, run_campaign_all_policies, CampaignReport, ChaosPlan};
     pub use ftc_core::{
         Cluster, ClusterConfig, FtConfig, FtPolicy, HvacClient, PlacementKind, ReadError, ReadVia,
     };

@@ -1,0 +1,52 @@
+//! Workspace-level chaos campaigns: seeded fault schedules against the
+//! threaded cluster, all four invariants checked for every policy.
+//!
+//! These are the same campaigns `cargo run -p ftc-bench --bin chaos`
+//! drives; a handful of fixed seeds run in CI so regressions in the
+//! retry/detector/recache machinery surface as invariant violations, not
+//! just as flaky integration tests.
+
+use ft_cache::chaos::{run_campaign, run_campaign_all_policies, ChaosPlan};
+use ft_cache::core::FtPolicy;
+
+#[test]
+fn seeded_campaigns_pass_all_invariants_for_every_policy() {
+    for seed in [1u64, 2, 3] {
+        for report in run_campaign_all_policies(seed) {
+            assert!(report.passed(), "campaign failed: {report}");
+        }
+    }
+}
+
+#[test]
+fn replaying_a_seed_yields_the_identical_plan_and_verdict() {
+    let a = ChaosPlan::generate(7);
+    let b = ChaosPlan::generate(7);
+    assert_eq!(a, b, "plan must be a pure function of the seed");
+
+    let r1 = run_campaign(FtPolicy::RingRecache, &a);
+    let r2 = run_campaign(FtPolicy::RingRecache, &b);
+    assert_eq!(r1.passed(), r2.passed());
+    assert_eq!(r1.aborted, r2.aborted);
+    assert_eq!(r1.reads_attempted, r2.reads_attempted);
+}
+
+#[test]
+fn degraded_but_alive_node_is_never_declared_failed() {
+    // Hunt a few seeds for plans that actually contain a degrade-only
+    // node, and check invariant 4 holds under the most aggressive policy.
+    let mut checked = 0;
+    for seed in 0..64u64 {
+        let plan = ChaosPlan::generate(seed);
+        if plan.degraded_only.is_empty() {
+            continue;
+        }
+        let report = run_campaign(FtPolicy::RingRecache, &plan);
+        assert!(report.passed(), "campaign failed: {report}");
+        checked += 1;
+        if checked == 3 {
+            return;
+        }
+    }
+    panic!("no plan with a degrade-only node in 64 seeds");
+}

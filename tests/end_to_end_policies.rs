@@ -28,7 +28,11 @@ fn ring_recache_full_lifecycle() {
 
     epoch(&client, &paths); // warm
     settle();
-    assert_eq!(cluster.pfs().total_reads(), FILES as u64, "one fetch per file");
+    assert_eq!(
+        cluster.pfs().total_reads(),
+        FILES as u64,
+        "one fetch per file"
+    );
 
     // Steady state: zero PFS traffic.
     cluster.pfs().reset_read_counters();

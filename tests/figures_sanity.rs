@@ -20,7 +20,12 @@ fn fig5_headline_orderings() {
     let cal = SimCalibration::frontier();
     let cells = fig5(&[16, 64], ci_workload(), &cal, 3, 99);
     for n in [16u32, 64] {
-        let get = |p: FtPolicy| cells.iter().find(|c| c.nodes == n && c.policy == p).unwrap();
+        let get = |p: FtPolicy| {
+            cells
+                .iter()
+                .find(|c| c.nodes == n && c.policy == p)
+                .unwrap()
+        };
         // Clean runs: NoFT ≤ FT variants; failure runs: ring < redirect.
         assert!(get(FtPolicy::NoFt).no_failure_s <= get(FtPolicy::RingRecache).no_failure_s);
         let ring = get(FtPolicy::RingRecache);
@@ -62,7 +67,10 @@ fn fig6a_recache_approaches_no_failure() {
         let ring = mean(n, |r| r.nvme_recache_epoch_s);
         let pfs = mean(n, |r| r.pfs_redirect_epoch_s);
         assert!(clean < ring, "n={n}: failure epochs cost more than clean");
-        assert!(ring < pfs, "n={n}: recache {ring:.2} must beat redirect {pfs:.2}");
+        assert!(
+            ring < pfs,
+            "n={n}: recache {ring:.2} must beat redirect {pfs:.2}"
+        );
     }
     // NVMe recaching approaches no-failure as nodes grow: the relative gap
     // shrinks from 16 to 64 nodes.

@@ -68,9 +68,7 @@ fn ring_recache_traffic_is_bounded_in_both_modes() {
     // lost-file count is identical; allow the detection-window slack.
     let ring = HashRing::with_nodes(NODES, DEFAULT_VNODES);
     let lost = (0..FILES)
-        .filter(|&i| {
-            ring.owner(&Dataset::tiny(FILES, 64).train_path(i)) == Some(victim)
-        })
+        .filter(|&i| ring.owner(&Dataset::tiny(FILES, 64).train_path(i)) == Some(victim))
         .count() as u64;
     assert!(lost > 0);
     for (label, reads) in [("threaded", threaded), ("simulated", simulated)] {

@@ -50,7 +50,9 @@ fn elastic_training_survives_mid_epoch_failure() {
     assert!(cluster.killed_nodes().contains(&NodeId(2)));
     let m = cluster.metrics();
     assert!(m.clients.nodes_declared_failed >= 1);
-    if let Ok(c) = Arc::try_unwrap(cluster) { c.shutdown() }
+    if let Ok(c) = Arc::try_unwrap(cluster) {
+        c.shutdown()
+    }
 }
 
 #[test]
@@ -66,7 +68,9 @@ fn elastic_training_with_pfs_redirect_also_survives() {
     // Redirect keeps the PFS on the read path in epochs 1 and 2.
     let post = cluster.pfs().total_reads();
     assert!(post > 24, "lost keys must keep hitting the PFS: {post}");
-    if let Ok(c) = Arc::try_unwrap(cluster) { c.shutdown() }
+    if let Ok(c) = Arc::try_unwrap(cluster) {
+        c.shutdown()
+    }
 }
 
 #[test]
@@ -81,7 +85,9 @@ fn noft_training_aborts_on_failure() {
         TrainOutcome::Aborted { epoch, .. } => assert_eq!(epoch, 1),
         TrainOutcome::Completed => panic!("NoFT must abort under failure"),
     }
-    if let Ok(c) = Arc::try_unwrap(cluster) { c.shutdown() }
+    if let Ok(c) = Arc::try_unwrap(cluster) {
+        c.shutdown()
+    }
 }
 
 #[test]
@@ -103,5 +109,7 @@ fn two_failures_two_rollbacks() {
     assert_eq!(report.rollbacks, 2);
     assert_eq!(report.epochs[2].world_at_completion, 3);
     assert_eq!(driver.elastic().world(), 3);
-    if let Ok(c) = Arc::try_unwrap(cluster) { c.shutdown() }
+    if let Ok(c) = Arc::try_unwrap(cluster) {
+        c.shutdown()
+    }
 }
