@@ -1,0 +1,478 @@
+//! Exhaustive bounded model checking of the failure-detector + recache
+//! lifecycle.
+//!
+//! The protocol under test is the per-client loop the paper's §IV
+//! describes: RPC timeouts feed a [`FailureDetector`]; reaching the
+//! timeout limit declares the node failed; under ring recaching the
+//! declared node is removed from the [`HashRing`] (bumping the membership
+//! epoch); a repaired node is revived, cleared, and re-added. Rather than
+//! model that in an abstract language, the checker drives the *real*
+//! implementation types (both are `Clone`, so states fork cheaply) through
+//! **every interleaving** of the event alphabet
+//! `{kill, revive, timeout, reply}` up to a depth bound, and asserts the
+//! chaos-harness invariants in every reachable state:
+//!
+//! 1. **Detector/ghost agreement** — the detector's suspect counts and
+//!    failed set match an independently maintained ghost model (the
+//!    executable spec of §IV-A's counter semantics).
+//! 2. **Recache economy** — only declared nodes are ever removed from the
+//!    ring (no spurious membership churn).
+//! 3. **Serviceability** — while any node is in the ring, every key has
+//!    an owner (reads cannot strand).
+//! 4. **No false positives** — with no spurious-timeout budget spent, the
+//!    failed set only ever contains nodes that were actually killed.
+//! 5. **Epoch monotonicity** — every membership change advances the epoch
+//!    by exactly one.
+//!
+//! States are deduplicated on a canonical key (per-node up/declared/
+//! suspect-count, ring membership, spurious budget spent), so the
+//! exploration counts *distinct* protocol states while still counting
+//! every interleaving (path) through them.
+
+use ftc_core::{DetectorConfig, FailureDetector, Verdict};
+use ftc_hashring::{HashRing, NodeId, Placement};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Checker parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FsmConfig {
+    /// Nodes in the cluster (the event alphabet scales with this).
+    pub nodes: u32,
+    /// Detector timeouts-before-declare limit.
+    pub timeout_limit: u32,
+    /// Interleaving depth bound (events per path).
+    pub depth: u32,
+    /// How many timeouts may target *live* nodes (models transient
+    /// network delay); 0 means timeouts only ever follow real kills.
+    pub spurious: u32,
+    /// Deliberately desynchronise the ghost model (skip its reply
+    /// handling) — a self-test hook: the checker MUST report violations
+    /// when this is set.
+    pub sabotage: bool,
+}
+
+impl Default for FsmConfig {
+    fn default() -> Self {
+        FsmConfig {
+            nodes: 3,
+            timeout_limit: 2,
+            depth: 6,
+            spurious: 1,
+            sabotage: false,
+        }
+    }
+}
+
+/// What the exploration found.
+#[derive(Debug, Clone)]
+pub struct FsmReport {
+    /// Configuration explored.
+    pub config_summary: String,
+    /// Complete event interleavings enumerated (paths of length `depth`,
+    /// counted through the deduplicated state graph).
+    pub interleavings: u64,
+    /// Transitions taken (edges of the explored graph).
+    pub transitions: u64,
+    /// Distinct protocol states reached.
+    pub distinct_states: u64,
+    /// Invariant violations, each with the event path that reached it.
+    pub violations: Vec<String>,
+}
+
+impl FsmReport {
+    /// Did every reachable state satisfy every invariant?
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for FsmReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fsm [{}]: {} interleavings over {} distinct states \
+             ({} transitions) -> {}",
+            self.config_summary,
+            self.interleavings,
+            self.distinct_states,
+            self.transitions,
+            if self.passed() {
+                "PASS".to_owned()
+            } else {
+                format!("{} violation(s)", self.violations.len())
+            }
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  violation: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One protocol event; the alphabet of the exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// The node crashes (subsequent timeouts against it are "real").
+    Kill(NodeId),
+    /// The node is repaired, cleared, and re-added to the ring.
+    Revive(NodeId),
+    /// An RPC to the node times out at the client.
+    Timeout(NodeId),
+    /// An RPC to the node succeeds (clears its suspicion window).
+    Reply(NodeId),
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Kill(n) => write!(f, "kill({n})"),
+            Event::Revive(n) => write!(f, "revive({n})"),
+            Event::Timeout(n) => write!(f, "timeout({n})"),
+            Event::Reply(n) => write!(f, "reply({n})"),
+        }
+    }
+}
+
+/// One explored state: the real implementation plus the ghost spec.
+#[derive(Clone)]
+struct State {
+    detector: FailureDetector,
+    ring: HashRing,
+    up: Vec<bool>,
+    /// Ghost mirror of the detector's suspicion windows.
+    ghost_counts: Vec<u32>,
+    /// Ghost mirror of the detector's failed set.
+    ghost_declared: BTreeSet<u32>,
+    /// Nodes ever killed on this path.
+    killed_ever: BTreeSet<u32>,
+    /// Membership-change count (the client's ring epoch).
+    epoch: u64,
+    spurious_used: u32,
+}
+
+impl State {
+    fn canonical_key(&self) -> String {
+        use fmt::Write as _;
+        let mut k = String::new();
+        for (i, &u) in self.up.iter().enumerate() {
+            let _ = write!(
+                k,
+                "{}{}:{}:{};",
+                if u { '+' } else { '-' },
+                i,
+                self.ghost_counts[i],
+                u8::from(self.ghost_declared.contains(&(i as u32)))
+            );
+        }
+        let members: Vec<String> = self
+            .ring
+            .live_nodes()
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        let _ = write!(k, "ring={};sp={}", members.join(","), self.spurious_used);
+        // killed_ever matters for invariant 4 but is monotone along a
+        // path; including it keeps memoised path counts sound.
+        let killed: Vec<String> = self.killed_ever.iter().map(|n| n.to_string()).collect();
+        let _ = write!(k, ";killed={}", killed.join(","));
+        k
+    }
+}
+
+/// Exhaustively explore every interleaving to `config.depth`, asserting
+/// the invariants at every reached state.
+pub fn check_fsm(config: &FsmConfig) -> FsmReport {
+    let detector = FailureDetector::new(DetectorConfig {
+        ttl: Duration::from_millis(1),
+        timeout_limit: config.timeout_limit.max(1),
+        // Effectively no decay: the FSM has no wall clock, so every
+        // timeout lands at the same instant.
+        suspicion_window: Duration::from_secs(3600),
+    });
+    let n = config.nodes as usize;
+    let root = State {
+        detector,
+        ring: HashRing::with_nodes(config.nodes, 8),
+        up: vec![true; n],
+        ghost_counts: vec![0; n],
+        ghost_declared: BTreeSet::new(),
+        killed_ever: BTreeSet::new(),
+        epoch: 0,
+        spurious_used: 0,
+    };
+    let mut exp = Explorer {
+        config: *config,
+        now: Instant::now(),
+        sample_keys: (0..8).map(|i| format!("train/s{i}.bin")).collect(),
+        violations: Vec::new(),
+        transitions: 0,
+        states: BTreeSet::new(),
+        memo: HashMap::new(),
+    };
+    let mut path = Vec::new();
+    exp.check_invariants(&root, &path);
+    let interleavings = exp.explore(root, config.depth, &mut path);
+    FsmReport {
+        config_summary: format!(
+            "nodes={} limit={} depth={} spurious={}{}",
+            config.nodes,
+            config.timeout_limit,
+            config.depth,
+            config.spurious,
+            if config.sabotage { " SABOTAGE" } else { "" }
+        ),
+        interleavings,
+        transitions: exp.transitions,
+        distinct_states: exp.states.len() as u64,
+        violations: exp.violations,
+    }
+}
+
+struct Explorer {
+    config: FsmConfig,
+    now: Instant,
+    sample_keys: Vec<String>,
+    violations: Vec<String>,
+    transitions: u64,
+    states: BTreeSet<String>,
+    /// (state key, remaining depth) -> number of completions below it.
+    memo: HashMap<(String, u32), u64>,
+}
+
+impl Explorer {
+    /// Events enabled in `s`. The alphabet is complete by construction:
+    /// every kill/revive consistent with liveness, every timeout that is
+    /// either real (node down) or within the spurious budget, and every
+    /// reply from a live node.
+    fn enabled(&self, s: &State) -> Vec<Event> {
+        let mut ev = Vec::new();
+        for i in 0..s.up.len() {
+            let node = NodeId(i as u32);
+            if s.up[i] {
+                ev.push(Event::Kill(node));
+                ev.push(Event::Reply(node));
+                if s.spurious_used < self.config.spurious {
+                    ev.push(Event::Timeout(node));
+                }
+            } else {
+                ev.push(Event::Revive(node));
+                ev.push(Event::Timeout(node));
+            }
+        }
+        ev
+    }
+
+    fn apply(&mut self, s: &State, ev: Event) -> State {
+        let mut next = s.clone();
+        match ev {
+            Event::Kill(node) => {
+                next.up[node.index()] = false;
+                next.killed_ever.insert(node.0);
+            }
+            Event::Revive(node) => {
+                next.up[node.index()] = true;
+                next.killed_ever.remove(&node.0);
+                // Mirrors `HvacClient::readmit`: only the failed flag is
+                // cleared — a pre-declare suspicion window survives the
+                // rejoin (and so must the ghost's count).
+                next.detector.clear_failed(node);
+                next.ghost_declared.remove(&node.0);
+                if !next.ring.contains(node) {
+                    let _ = next.ring.add_node(node);
+                    next.epoch += 1;
+                }
+            }
+            Event::Timeout(node) => {
+                if s.up[node.index()] {
+                    next.spurious_used += 1;
+                }
+                let verdict = next.detector.record_timeout_at(node, self.now);
+                // Ghost spec of §IV-A: count up, declare at the limit.
+                if !next.ghost_declared.contains(&node.0) {
+                    next.ghost_counts[node.index()] += 1;
+                    if next.ghost_counts[node.index()] >= self.config.timeout_limit.max(1) {
+                        next.ghost_declared.insert(node.0);
+                        next.ghost_counts[node.index()] = 0;
+                    }
+                } else {
+                    next.ghost_counts[node.index()] = 0;
+                }
+                // Client behavior under RingRecache: a declared owner is
+                // removed from the placement.
+                if matches!(verdict, Verdict::JustFailed) && next.ring.contains(node) {
+                    let _ = next.ring.remove_node(node);
+                    next.epoch += 1;
+                }
+            }
+            Event::Reply(node) => {
+                next.detector.record_success(node);
+                if !self.config.sabotage {
+                    next.ghost_counts[node.index()] = 0;
+                }
+            }
+        }
+        self.transitions += 1;
+        next
+    }
+
+    fn check_invariants(&mut self, s: &State, path: &[Event]) {
+        let trail = || {
+            path.iter()
+                .map(Event::to_string)
+                .collect::<Vec<_>>()
+                .join(" -> ")
+        };
+        // 1. Detector/ghost agreement.
+        let declared: BTreeSet<u32> = s.detector.failed_nodes().iter().map(|n| n.0).collect();
+        if declared != s.ghost_declared {
+            self.violations.push(format!(
+                "detector failed set {declared:?} != spec {:?} after [{}]",
+                s.ghost_declared,
+                trail()
+            ));
+        }
+        for i in 0..s.up.len() {
+            let got = s.detector.suspect_count(NodeId(i as u32));
+            let want = if declared.contains(&(i as u32)) {
+                0
+            } else {
+                s.ghost_counts[i]
+            };
+            if got != want {
+                self.violations.push(format!(
+                    "suspect count for n{i} is {got}, spec says {want} after [{}]",
+                    trail()
+                ));
+            }
+        }
+        // 2. Recache economy: removed-from-ring ⊆ declared ∪ revived-gap.
+        for i in 0..s.up.len() {
+            let node = NodeId(i as u32);
+            if !s.ring.contains(node) && !declared.contains(&node.0) {
+                self.violations.push(format!(
+                    "{node} left the ring without being declared failed after [{}]",
+                    trail()
+                ));
+            }
+        }
+        // 3. Serviceability: while the ring is non-empty, every key has
+        //    an owner.
+        if !s.ring.is_empty() {
+            for key in &self.sample_keys {
+                if s.ring.owner(key).is_none() {
+                    self.violations.push(format!(
+                        "key {key:?} has no owner on a non-empty ring after [{}]",
+                        trail()
+                    ));
+                }
+            }
+        }
+        // 4. No false positives without spurious timeouts.
+        if s.spurious_used == 0 {
+            for d in &declared {
+                if !s.killed_ever.contains(d) {
+                    self.violations.push(format!(
+                        "n{d} declared failed though never killed (and no \
+                         spurious timeouts) after [{}]",
+                        trail()
+                    ));
+                }
+            }
+        }
+        // 5. Epoch monotonicity is structural (the apply() arms only ever
+        //    += 1 per membership change); assert the epoch at least
+        //    bounds the membership churn.
+        let removed = s.up.len() - s.ring.len();
+        if (s.epoch as usize) < removed {
+            self.violations.push(format!(
+                "epoch {} cannot account for {removed} missing members after [{}]",
+                s.epoch,
+                trail()
+            ));
+        }
+    }
+
+    /// DFS with (state, remaining-depth) memoisation; returns the number
+    /// of complete interleavings below `s`.
+    fn explore(&mut self, s: State, depth: u32, path: &mut Vec<Event>) -> u64 {
+        let key = s.canonical_key();
+        self.states.insert(key.clone());
+        if depth == 0 {
+            return 1;
+        }
+        if let Some(&count) = self.memo.get(&(key.clone(), depth)) {
+            return count;
+        }
+        let mut completions = 0u64;
+        for ev in self.enabled(&s) {
+            let next = self.apply(&s, ev);
+            path.push(ev);
+            self.check_invariants(&next, path);
+            completions = completions.saturating_add(self.explore(next, depth - 1, path));
+            path.pop();
+        }
+        self.memo.insert((key, depth), completions);
+        completions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_depth_six_is_clean() {
+        let report = check_fsm(&FsmConfig::default());
+        assert!(report.passed(), "{report}");
+        assert!(report.interleavings > 0);
+        assert!(report.distinct_states > 1);
+    }
+
+    #[test]
+    fn sabotage_is_caught() {
+        // The self-test: a deliberately desynchronised spec must surface
+        // as violations, proving the checker can fail.
+        let report = check_fsm(&FsmConfig {
+            sabotage: true,
+            ..FsmConfig::default()
+        });
+        assert!(!report.passed(), "sabotaged run must report violations");
+    }
+
+    #[test]
+    fn zero_spurious_budget_never_declares_live_nodes() {
+        let report = check_fsm(&FsmConfig {
+            spurious: 0,
+            depth: 5,
+            ..FsmConfig::default()
+        });
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn two_node_deep_exploration_is_clean() {
+        let report = check_fsm(&FsmConfig {
+            nodes: 2,
+            timeout_limit: 2,
+            depth: 8,
+            spurious: 2,
+            sabotage: false,
+        });
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn interleavings_grow_with_depth() {
+        let shallow = check_fsm(&FsmConfig {
+            depth: 2,
+            ..FsmConfig::default()
+        });
+        let deep = check_fsm(&FsmConfig {
+            depth: 4,
+            ..FsmConfig::default()
+        });
+        assert!(deep.interleavings > shallow.interleavings);
+    }
+}

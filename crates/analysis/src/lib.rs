@@ -1,0 +1,36 @@
+//! # ftc-analysis — static and dynamic analyses for the FT-Cache repo
+//!
+//! Three layers, all offline (nothing here runs on the request path):
+//!
+//! * [`hb`] — a happens-before race detector. The transport piggybacks a
+//!   vector clock on every message leg (see `ftc_net::trace`); upper
+//!   layers record shared-state transitions (ring-epoch changes,
+//!   detector suspicion/declare/revive, cache-map mutations). The
+//!   checker replays the log, reconstructs the happens-before relation,
+//!   and flags conflicting event pairs that are causally *unordered* —
+//!   e.g. a read served under ring epoch `e` concurrent with the
+//!   membership update that retired epoch `e`.
+//! * [`fsm`] — an exhaustive bounded model checker for the failure-
+//!   detector + recache lifecycle. It drives the *real*
+//!   `ftc_core::FailureDetector` and `ftc_hashring::HashRing` through
+//!   every interleaving of {timeout, reply, kill, revive} to a depth
+//!   bound, asserting the chaos-harness invariants on every reachable
+//!   state.
+//! * [`lint`] — repo-specific source lints enforced in CI: no
+//!   `unwrap`/`expect` outside test code, no `Err(_)` catch-alls in
+//!   fallback logic without an explicit waiver, and a justification
+//!   comment on every atomic-ordering choice.
+//!
+//! The `ftc-analysis` binary exposes `lint` and `fsm` subcommands for CI;
+//! the `races` binary in `ftc-bench` feeds chaos-campaign traces through
+//! [`hb::check_trace`].
+
+#![warn(missing_docs)]
+
+pub mod fsm;
+pub mod hb;
+pub mod lint;
+
+pub use fsm::{check_fsm, FsmConfig, FsmReport};
+pub use hb::{check_trace, forge_stale_epoch_read, RaceFinding, RaceKind};
+pub use lint::{lint_source, lint_workspace, LintFinding};

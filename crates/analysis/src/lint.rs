@@ -1,0 +1,556 @@
+//! Repo-specific source lints, enforced in CI alongside clippy.
+//!
+//! Three rules, each encoding a convention this codebase adopted after
+//! real incidents (panicking boot paths mid-campaign, a catch-all arm
+//! that silently diverted NoFT reads to the PFS, and an unjustified
+//! `Relaxed` snapshot that could report more completions than
+//! initiations):
+//!
+//! * **unwrap** — no `.unwrap()` / `.expect(` in non-test library code.
+//!   Typed errors or destructuring `let-else` are required; a deliberate
+//!   exception carries a `lint:allow(unwrap)` comment on the same or one
+//!   of the three preceding lines.
+//! * **err-catchall** — no `Err(_) =>` / `Err(..) =>` arms: fallback
+//!   logic must name the failure it handles, or carry a
+//!   `lint:allow(err-catchall)` waiver comment.
+//! * **ordering** — every atomic-ordering choice (`Ordering::Relaxed`,
+//!   `::Acquire`, …) needs a justification comment containing
+//!   `ordering:` within the ten preceding lines.
+//!
+//! There is no `syn` in this build environment, so the scanner is a
+//! hand-rolled lexer: it strips line/block comments (keeping their text
+//! for waiver and justification lookup), string/char literals (raw
+//! strings included), and whole `#[cfg(test)]` items (brace-balanced), and
+//! then pattern-matches on what remains. That is conservative enough for
+//! this repo's idiom and has no false positives on the current tree —
+//! which the `workspace_is_lint_clean` test pins.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired (`"unwrap"`, `"err-catchall"`, `"ordering"`).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Lines a waiver comment may precede its waived code by.
+const WAIVER_LOOKBACK: usize = 3;
+/// Lines a justification comment may precede an atomic ordering by.
+const ORDERING_LOOKBACK: usize = 10;
+
+/// Lint every library source file under `root` (the workspace root).
+///
+/// Scope: `crates/*/src/**.rs` — excluding `crates/bench` (experiment
+/// binaries exit on broken preconditions by design) — plus the root
+/// `src/`. Shims are stand-ins for external crates and are not held to
+/// repo conventions.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<LintFinding>> {
+    let mut findings = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "bench"))
+        .collect();
+    crate_dirs.sort();
+    let mut src_dirs: Vec<PathBuf> = crate_dirs.iter().map(|c| c.join("src")).collect();
+    src_dirs.push(root.join("src"));
+
+    for dir in src_dirs {
+        let mut files = Vec::new();
+        collect_rs_files(&dir, &mut files)?;
+        files.sort();
+        for file in files {
+            let source = fs::read_to_string(&file)?;
+            let label = file.strip_prefix(root).unwrap_or(&file);
+            findings.extend(lint_source(label, &source));
+        }
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint one source file. `label` is used in findings (typically the
+/// repo-relative path).
+pub fn lint_source(label: &Path, source: &str) -> Vec<LintFinding> {
+    let lexed = lex(source);
+    let mut findings = Vec::new();
+
+    let waived = |rule: &str, line_idx: usize| -> bool {
+        let marker = format!("lint:allow({rule})");
+        let lo = line_idx.saturating_sub(WAIVER_LOOKBACK);
+        lexed.comments[lo..=line_idx]
+            .iter()
+            .any(|c| c.contains(&marker))
+    };
+
+    for (i, code) in lexed.code.iter().enumerate() {
+        if lexed.in_test[i] {
+            continue;
+        }
+        let line_no = i + 1;
+
+        if (code.contains(".unwrap()") || code.contains(".expect(")) && !waived("unwrap", i) {
+            findings.push(LintFinding {
+                file: label.to_path_buf(),
+                line: line_no,
+                rule: "unwrap",
+                message: "unwrap()/expect() in non-test code; return a typed \
+                          error or destructure, or waive with lint:allow(unwrap)"
+                    .into(),
+            });
+        }
+
+        if has_err_catchall(code) && !waived("err-catchall", i) {
+            findings.push(LintFinding {
+                file: label.to_path_buf(),
+                line: line_no,
+                rule: "err-catchall",
+                message: "catch-all Err arm; name the failure being handled, \
+                          or waive with lint:allow(err-catchall)"
+                    .into(),
+            });
+        }
+
+        if mentions_atomic_ordering(code) {
+            let lo = i.saturating_sub(ORDERING_LOOKBACK);
+            let justified = lexed.comments[lo..=i]
+                .iter()
+                .any(|c| c.contains("ordering:"));
+            if !justified {
+                findings.push(LintFinding {
+                    file: label.to_path_buf(),
+                    line: line_no,
+                    rule: "ordering",
+                    message: "atomic Ordering choice without a nearby \
+                              `ordering:` justification comment"
+                        .into(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// `Err(_) =>` or `Err(..) =>`, tolerating interior whitespace.
+fn has_err_catchall(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut search = 0;
+    while let Some(pos) = code[search..].find("Err") {
+        let start = search + pos;
+        search = start + 3;
+        let rest = code[start + 3..].trim_start();
+        let Some(inner) = rest.strip_prefix('(') else {
+            continue;
+        };
+        let inner = inner.trim_start();
+        let after = if let Some(r) = inner.strip_prefix("..") {
+            r
+        } else if let Some(r) = inner.strip_prefix('_') {
+            // `_x` is a named-but-unused binding; only a bare `_` is a
+            // catch-all.
+            if r.starts_with(|c: char| c.is_alphanumeric() || c == '_') {
+                continue;
+            }
+            r
+        } else {
+            continue;
+        };
+        // Word-boundary on the left: `MyErr(_)` must not match.
+        if start > 0 {
+            let prev = bytes[start - 1] as char;
+            if prev.is_alphanumeric() || prev == '_' || prev == ':' {
+                continue;
+            }
+        }
+        if after.trim_start().starts_with(')') {
+            return true;
+        }
+    }
+    false
+}
+
+/// `Ordering::<atomic variant>` — `cmp::Ordering::Less` etc. stay exempt.
+fn mentions_atomic_ordering(code: &str) -> bool {
+    let mut search = 0;
+    while let Some(pos) = code[search..].find("Ordering::") {
+        let start = search + pos + "Ordering::".len();
+        search = start;
+        let rest = &code[start..];
+        if ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"]
+            .iter()
+            .any(|v| rest.starts_with(v))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Per-line lexing result.
+struct Lexed {
+    /// Source lines with comments, strings, and char literals blanked.
+    code: Vec<String>,
+    /// Comment text per line (line + block, concatenated).
+    comments: Vec<String>,
+    /// Whether the line belongs to a `#[cfg(test)]` item.
+    in_test: Vec<bool>,
+}
+
+fn lex(source: &str) -> Lexed {
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut code = vec![String::new()];
+    let mut comments = vec![String::new()];
+    let mut mode = Mode::Code;
+    let mut chars = source.chars().peekable();
+
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            code.push(String::new());
+            comments.push(String::new());
+            continue;
+        }
+        let line_code = code.last_mut().expect("lines start non-empty"); // lint:allow(unwrap) in own source: invariant-true by construction
+        let line_comment = comments.last_mut().expect("lines start non-empty"); // lint:allow(unwrap)
+        match mode {
+            Mode::Code => match c {
+                '/' if chars.peek() == Some(&'/') => {
+                    chars.next();
+                    mode = Mode::LineComment;
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    mode = Mode::BlockComment(1);
+                }
+                '"' => {
+                    line_code.push(' ');
+                    mode = Mode::Str;
+                }
+                'r' | 'b' => {
+                    // Possible raw-string head: r", r#", br", rb#"…
+                    let mut lookahead = chars.clone();
+                    let mut hashes = 0u32;
+                    let mut saw_quote = false;
+                    // Allow one more prefix letter (br / rb).
+                    if matches!(lookahead.peek(), Some('r' | 'b')) {
+                        lookahead.next();
+                    }
+                    while lookahead.peek() == Some(&'#') {
+                        hashes += 1;
+                        lookahead.next();
+                    }
+                    if lookahead.peek() == Some(&'"') {
+                        saw_quote = true;
+                    }
+                    if saw_quote {
+                        // Consume up to and including the opening quote.
+                        while let Some(&n) = chars.peek() {
+                            chars.next();
+                            if n == '"' {
+                                break;
+                            }
+                        }
+                        line_code.push(' ');
+                        mode = Mode::RawStr(hashes);
+                    } else {
+                        line_code.push(c);
+                    }
+                }
+                '\'' => {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    let mut lookahead = chars.clone();
+                    match lookahead.next() {
+                        Some('\\') => {
+                            line_code.push(' ');
+                            mode = Mode::Char;
+                        }
+                        Some(_) if lookahead.next() == Some('\'') => {
+                            line_code.push(' ');
+                            mode = Mode::Char;
+                        }
+                        _ => line_code.push(c), // lifetime: keep as code
+                    }
+                }
+                _ => line_code.push(c),
+            },
+            Mode::LineComment => line_comment.push(c),
+            Mode::BlockComment(depth) => match c {
+                '*' if chars.peek() == Some(&'/') => {
+                    chars.next();
+                    if depth == 1 {
+                        mode = Mode::Code;
+                    } else {
+                        mode = Mode::BlockComment(depth - 1);
+                    }
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    mode = Mode::BlockComment(depth + 1);
+                }
+                _ => line_comment.push(c),
+            },
+            Mode::Str => match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => mode = Mode::Code,
+                _ => {}
+            },
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut lookahead = chars.clone();
+                    let mut n = 0;
+                    while n < hashes && lookahead.peek() == Some(&'#') {
+                        lookahead.next();
+                        n += 1;
+                    }
+                    if n == hashes {
+                        for _ in 0..hashes {
+                            chars.next();
+                        }
+                        mode = Mode::Code;
+                    }
+                }
+            }
+            Mode::Char => match c {
+                '\\' => {
+                    chars.next();
+                }
+                '\'' => mode = Mode::Code,
+                _ => {}
+            },
+        }
+    }
+
+    let in_test = mark_test_items(&code);
+    Lexed {
+        code,
+        comments,
+        in_test,
+    }
+}
+
+/// Mark every line belonging to a `#[cfg(test)]`-gated item, by
+/// brace-balancing from the attribute to the end of the item it gates.
+fn mark_test_items(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].replace(' ', "").contains("#[cfg(test)]") {
+            // From here, skip until the gated item's braces balance out.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < code.len() {
+                in_test[j] = true;
+                for ch in code[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(src: &str) -> Vec<LintFinding> {
+        lint_source(Path::new("test.rs"), src)
+    }
+
+    fn rules(findings: &[LintFinding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_in_plain_code() {
+        let f = lint_str("fn f() { let x = g().unwrap(); }\n");
+        assert_eq!(rules(&f), vec!["unwrap"]);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn expect_is_flagged_too() {
+        let f = lint_str("fn f() { g().expect(\"boom\"); }\n");
+        assert_eq!(rules(&f), vec!["unwrap"]);
+    }
+
+    #[test]
+    fn unwrap_inside_cfg_test_is_fine() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { g().unwrap(); }\n}\n";
+        assert!(lint_str(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_string_or_comment_is_fine() {
+        let src = "fn f() { let s = \".unwrap()\"; } // .unwrap() here too\n";
+        assert!(lint_str(src).is_empty());
+    }
+
+    #[test]
+    fn waiver_comment_suppresses_unwrap() {
+        let src = "// lint:allow(unwrap): established invariant\nfn f() { g().unwrap(); }\n";
+        assert!(lint_str(src).is_empty());
+    }
+
+    #[test]
+    fn waiver_must_be_near() {
+        let mut src = String::from("// lint:allow(unwrap)\n");
+        src.push_str(&"\n".repeat(WAIVER_LOOKBACK + 1));
+        src.push_str("fn f() { g().unwrap(); }\n");
+        assert_eq!(rules(&lint_str(&src)), vec!["unwrap"]);
+    }
+
+    #[test]
+    fn err_catchall_variants_are_flagged() {
+        assert_eq!(
+            rules(&lint_str("match r { Ok(_) => {} Err(_) => {} }\n")),
+            vec!["err-catchall"]
+        );
+        assert_eq!(
+            rules(&lint_str("match r { Ok(_) => {} Err(..) => {} }\n")),
+            vec!["err-catchall"]
+        );
+        assert_eq!(
+            rules(&lint_str("match r { Ok(_) => {} Err( _ ) => {} }\n")),
+            vec!["err-catchall"]
+        );
+    }
+
+    #[test]
+    fn named_err_bindings_are_fine() {
+        assert!(lint_str("match r { Ok(_) => {} Err(e) => handle(e) }\n").is_empty());
+        assert!(lint_str("match r { Ok(_) => {} Err(_ignored) => {} }\n").is_empty());
+        // Enum variants that merely end in Err must not match.
+        assert!(lint_str("match r { MyErr(_) => {} other => {} }\n").is_empty());
+    }
+
+    #[test]
+    fn ordering_without_justification_is_flagged() {
+        let f = lint_str("fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n");
+        assert_eq!(rules(&f), vec!["ordering"]);
+    }
+
+    #[test]
+    fn ordering_with_nearby_justification_is_fine() {
+        let src =
+            "// ordering: Relaxed - monotone statistic\nfn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n";
+        assert!(lint_str(src).is_empty());
+    }
+
+    #[test]
+    fn cmp_ordering_is_exempt() {
+        assert!(lint_str("fn f() -> Ordering { Ordering::Less }\n").is_empty());
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "fn f() { let s = r#\"x.unwrap() \"quoted\" \"#; }\n";
+        assert!(lint_str(src).is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_derail_the_lexer() {
+        // If 'a opened a char literal the following unwrap would be
+        // swallowed as literal content and missed.
+        let src = "fn f<'a>(x: &'a T) { x.get().unwrap(); }\n";
+        assert_eq!(rules(&lint_str(src)), vec!["unwrap"]);
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let src = "fn f() { let c = '\"'; let s = \".unwrap()\"; }\n";
+        assert!(lint_str(src).is_empty());
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let src = "/* outer /* inner */ still comment .unwrap() */ fn f() {}\n";
+        assert!(lint_str(src).is_empty());
+    }
+
+    #[test]
+    fn workspace_is_lint_clean() {
+        // The repo enforces its own conventions: the full library tree
+        // must produce zero findings (CI runs the same check via the
+        // ftc-analysis binary).
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("crates/analysis has a workspace root two levels up");
+        let findings = lint_workspace(root).expect("lint walk");
+        assert!(
+            findings.is_empty(),
+            "workspace has lint findings:\n{}",
+            findings
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -36,7 +36,7 @@ fn cached_read_path(c: &mut Criterion) {
         let p = format!("train/s{i}.bin");
         pfs.stage(&p, synth_bytes(&p, 4096));
     }
-    let _h = ServerHandle::spawn(NodeId(0), &net, pfs, u64::MAX);
+    let _h = ServerHandle::spawn(NodeId(0), &net, pfs, u64::MAX).expect("spawn server");
     let ep = net.endpoint(NodeId(1));
     // Warm the cache.
     for i in 0..100 {

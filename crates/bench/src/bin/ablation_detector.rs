@@ -15,7 +15,7 @@ fn run_case(ttl_ms: u64, limit: u32, spike_ms: u64) -> (bool, Duration) {
     let mut cfg = ClusterConfig::small(4, FtPolicy::RingRecache);
     cfg.ft.detector.ttl = Duration::from_millis(ttl_ms);
     cfg.ft.detector.timeout_limit = limit;
-    let cluster = Cluster::start(cfg);
+    let cluster = Cluster::start(cfg).expect("boot cluster");
     let paths = cluster.stage_dataset("train", 24, 32);
     let client = cluster.client(0);
     for p in &paths {

@@ -10,7 +10,7 @@ use ftc_hashring::NodeId;
 fn run_factor(replication: u32) -> (u64, u64, u64) {
     let mut cfg = ClusterConfig::small(5, FtPolicy::RingRecache);
     cfg.ft.replication = replication;
-    let cluster = Cluster::start(cfg);
+    let cluster = Cluster::start(cfg).expect("boot cluster");
     let paths = cluster.stage_dataset("train", 60, 1024);
     let client = cluster.client(0);
     for p in &paths {

@@ -14,7 +14,7 @@ fn trace_policy(policy: FtPolicy, label: &str, steps: &[&str]) {
     }
     println!();
 
-    let cluster = Cluster::start(ClusterConfig::small(4, policy));
+    let cluster = Cluster::start(ClusterConfig::small(4, policy)).expect("boot cluster");
     let paths = cluster.stage_dataset("train", 12, 64);
     let client = cluster.client(0);
 

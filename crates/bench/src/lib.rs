@@ -18,6 +18,7 @@
 //! | `ablation_detector` | TTL / timeout-limit sensitivity |
 //! | `ablation_cascade` | repeated failures N−1, N−2, … |
 //! | `chaos` | seeded gray-failure campaigns, invariant-checked |
+//! | `races` | vector-clock race detection over traced campaigns |
 //!
 //! Criterion micro/meso benchmarks live under `benches/` (`cargo bench`).
 

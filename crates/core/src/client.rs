@@ -23,10 +23,11 @@ use crate::proto::{CacheRequest, CacheResponse, ServeSource};
 use crate::server::CacheNet;
 use bytes::Bytes;
 use ftc_hashring::{NodeId, Placement};
-use ftc_net::Endpoint;
+use ftc_net::{Endpoint, TraceEventKind};
 use ftc_storage::Pfs;
 use parking_lot::Mutex;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -92,6 +93,10 @@ pub struct HvacClient {
     /// SplitMix64 state for backoff jitter — client-local and seeded from
     /// the rank, so a chaos campaign replays the exact sleep schedule.
     jitter_rng: Mutex<u64>,
+    /// This client's placement-view epoch: bumped (under the placement
+    /// lock) on every membership change, stamped onto `ReadServed` trace
+    /// events so the race detector can relate reads to ring updates.
+    epoch: AtomicU64,
 }
 
 impl HvacClient {
@@ -112,7 +117,38 @@ impl HvacClient {
             pfs,
             metrics: Arc::new(ClientMetrics::default()),
             jitter_rng: Mutex::new(0x9E37_79B9_7F4A_7C15 ^ u64::from(me.0)),
+            epoch: AtomicU64::new(0),
         }
+    }
+
+    /// Record a state event under this client's actor when tracing is on.
+    /// The closure defers payload construction to the traced-only path.
+    fn trace_with(&self, make: impl FnOnce() -> TraceEventKind) {
+        if let Some(t) = self.endpoint.tracer() {
+            t.record(self.me, make());
+        }
+    }
+
+    /// Bump the placement epoch and record the membership change. Must be
+    /// called with the placement lock held.
+    fn bump_epoch(&self, node: NodeId, joined: bool) {
+        // ordering: Relaxed — the epoch is only written under the
+        // placement lock; the counter itself carries no data, readers
+        // pairing it with an owner lookup hold the same lock.
+        let old = self.epoch.fetch_add(1, Ordering::Relaxed);
+        self.trace_with(|| TraceEventKind::RingUpdate {
+            node,
+            old_epoch: old,
+            new_epoch: old + 1,
+            joined,
+        });
+    }
+
+    /// The placement-view epoch: number of membership changes this client
+    /// has applied so far.
+    pub fn ring_epoch(&self) -> u64 {
+        // ordering: Relaxed — monotone counter, observational only.
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// Next uniform draw in `[0, 1)` from the client's jitter stream.
@@ -186,9 +222,15 @@ impl HvacClient {
                     std::thread::sleep(nap);
                 }
             }
-            let owner = match self.placement.lock().owner(path) {
-                Some(n) => n,
-                None => return Err(ReadError::NoLiveNodes),
+            // Capture the owner and the placement epoch under one lock
+            // acquisition: the pair is what the race detector checks a
+            // served read against.
+            let (owner, view_epoch) = {
+                let p = self.placement.lock();
+                match p.owner(path) {
+                    Some(n) => (n, self.ring_epoch()),
+                    None => return Err(ReadError::NoLiveNodes),
+                }
             };
 
             // PFS-redirect keeps its static placement: keys of dead owners
@@ -207,6 +249,11 @@ impl HvacClient {
             ) {
                 Ok(CacheResponse::Data { bytes, source, .. }) => {
                     self.detector.lock().record_success(owner);
+                    self.trace_with(|| TraceEventKind::ReadServed {
+                        key: path.to_owned(),
+                        owner,
+                        epoch: view_epoch,
+                    });
                     ClientMetrics::inc(&self.metrics.reads_ok);
                     ClientMetrics::add(&self.metrics.bytes_read, bytes.len() as u64);
                     let via = match source {
@@ -240,6 +287,15 @@ impl HvacClient {
                 Err(e) if e.indicates_failure() => {
                     ClientMetrics::inc(&self.metrics.rpc_timeouts);
                     let verdict = self.detector.lock().record_timeout(owner);
+                    match verdict {
+                        Verdict::Suspect { count } => {
+                            self.trace_with(|| TraceEventKind::Suspect { node: owner, count })
+                        }
+                        Verdict::JustFailed => {
+                            self.trace_with(|| TraceEventKind::Declare { node: owner })
+                        }
+                        Verdict::AlreadyFailed => {}
+                    }
                     match self.config.policy {
                         FtPolicy::NoFt => return Err(ReadError::NodeFailed(owner)),
                         FtPolicy::PfsRedirect => {
@@ -252,9 +308,12 @@ impl HvacClient {
                         }
                         FtPolicy::RingRecache => match verdict {
                             Verdict::JustFailed | Verdict::AlreadyFailed => {
-                                let mut p = self.placement.lock();
-                                if p.contains(owner) {
-                                    let _ = p.remove_node(owner);
+                                {
+                                    let mut p = self.placement.lock();
+                                    if p.contains(owner) {
+                                        let _ = p.remove_node(owner);
+                                        self.bump_epoch(owner, false);
+                                    }
                                 }
                                 if verdict == Verdict::JustFailed {
                                     ClientMetrics::inc(&self.metrics.nodes_declared_failed);
@@ -271,6 +330,8 @@ impl HvacClient {
                         },
                     }
                 }
+                // lint:allow(err-catchall): deliberately exhaustive —
+                // every non-failure error shares one fallback.
                 Err(_) => {
                     // UnknownNode / local shutdown: not a liveness signal,
                     // but under NoFT there is no fallback either — the
@@ -290,10 +351,12 @@ impl HvacClient {
     /// apply the policy's membership consequence immediately.
     pub fn mark_failed(&self, node: NodeId) {
         self.detector.lock().mark_failed(node);
+        self.trace_with(|| TraceEventKind::Declare { node });
         if self.config.policy == FtPolicy::RingRecache {
             let mut p = self.placement.lock();
             if p.contains(node) {
                 let _ = p.remove_node(node);
+                self.bump_epoch(node, false);
             }
         }
     }
@@ -304,9 +367,11 @@ impl HvacClient {
     /// cold cache refills through the ordinary miss path).
     pub fn readmit(&self, node: NodeId) {
         self.detector.lock().clear_failed(node);
+        self.trace_with(|| TraceEventKind::Readmit { node });
         let mut p = self.placement.lock();
         if !p.contains(node) {
             let _ = p.add_node(node);
+            self.bump_epoch(node, true);
         }
     }
 
@@ -379,7 +444,10 @@ mod tests {
             pfs.stage(&p, synth_bytes(&p, FILE_SIZE));
         }
         let servers = (0..nodes)
-            .map(|i| ServerHandle::spawn(NodeId(i), &net, Arc::clone(&pfs), u64::MAX))
+            .map(|i| {
+                ServerHandle::spawn(NodeId(i), &net, Arc::clone(&pfs), u64::MAX)
+                    .expect("spawn server")
+            })
             .collect();
         Rig { net, pfs, servers }
     }

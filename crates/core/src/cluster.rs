@@ -9,6 +9,7 @@
 //! reclaimed, so clients observe only timeouts.
 
 use crate::client::HvacClient;
+use crate::error::CoreError;
 use crate::metrics::ClusterMetrics;
 use crate::policy::{FtConfig, FtPolicy};
 use crate::server::{CacheNet, ServerHandle};
@@ -65,18 +66,19 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Boot all server threads.
-    pub fn start(config: ClusterConfig) -> Self {
+    /// Boot all server threads. Errors if any server (or its data mover)
+    /// cannot be spawned; already-started servers shut down via `Drop`.
+    pub fn start(config: ClusterConfig) -> Result<Self, CoreError> {
         let net: CacheNet = Network::new(config.latency, config.seed);
         let pfs = Arc::new(Pfs::in_memory());
         let mut servers = Vec::with_capacity(config.nodes as usize);
         let mut caches = Vec::with_capacity(config.nodes as usize);
         for i in 0..config.nodes {
-            let h = ServerHandle::spawn(NodeId(i), &net, Arc::clone(&pfs), config.nvme_capacity);
+            let h = ServerHandle::spawn(NodeId(i), &net, Arc::clone(&pfs), config.nvme_capacity)?;
             caches.push(h.cache());
             servers.push(Some(h));
         }
-        Cluster {
+        Ok(Cluster {
             recache_counts: Mutex::new(vec![(0, 0); config.nodes as usize]),
             config,
             net,
@@ -85,7 +87,7 @@ impl Cluster {
             caches: Mutex::new(caches),
             clients: Mutex::new(Vec::new()),
             killed: Mutex::new(HashSet::new()),
-        }
+        })
     }
 
     /// The cluster configuration.
@@ -156,25 +158,36 @@ impl Cluster {
 
     /// Repair and rejoin a previously killed node (elastic grow-back).
     /// The node returns with a *cold* cache, as a re-provisioned node
-    /// would.
-    pub fn revive(&self, node: NodeId) {
+    /// would. On spawn failure the node stays killed (state unchanged)
+    /// and the error is returned.
+    pub fn revive(&self, node: NodeId) -> Result<(), CoreError> {
         let mut killed = self.killed.lock();
         if !killed.remove(&node) {
-            return;
+            return Ok(());
         }
         self.net.revive(node);
-        let h = ServerHandle::spawn(
+        let h = match ServerHandle::spawn(
             node,
             &self.net,
             Arc::clone(&self.pfs),
             self.config.nvme_capacity,
-        );
+        ) {
+            Ok(h) => h,
+            Err(e) => {
+                // Roll back: the node is still dead as far as anyone can
+                // observe.
+                self.net.kill(node);
+                killed.insert(node);
+                return Err(e);
+            }
+        };
         // The revived server has a fresh, cold cache; point metrics at it.
         self.caches.lock()[node.index()] = h.cache();
         self.servers.lock()[node.index()] = Some(h);
         for c in self.clients.lock().iter() {
             c.readmit(node);
         }
+        Ok(())
     }
 
     /// Nodes currently killed.
@@ -248,7 +261,7 @@ mod tests {
 
     #[test]
     fn boot_stage_read_shutdown() {
-        let cluster = Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache));
+        let cluster = Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache)).expect("boot");
         let paths = cluster.stage_dataset("train", 24, 32);
         assert_eq!(cluster.pfs().file_count(), 24);
         let c = cluster.client(0);
@@ -263,7 +276,7 @@ mod tests {
 
     #[test]
     fn kill_is_idempotent_and_observable() {
-        let cluster = Cluster::start(ClusterConfig::small(3, FtPolicy::RingRecache));
+        let cluster = Cluster::start(ClusterConfig::small(3, FtPolicy::RingRecache)).expect("boot");
         cluster.kill(NodeId(1));
         cluster.kill(NodeId(1));
         assert_eq!(cluster.killed_nodes(), vec![NodeId(1)]);
@@ -273,7 +286,7 @@ mod tests {
 
     #[test]
     fn failure_and_recache_shifts_cached_objects() {
-        let cluster = Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache));
+        let cluster = Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache)).expect("boot");
         let paths = cluster.stage_dataset("train", 40, 16);
         let c = cluster.client(0);
         for p in &paths {
@@ -307,7 +320,7 @@ mod tests {
 
     #[test]
     fn revive_rejoins_with_cold_cache() {
-        let cluster = Cluster::start(ClusterConfig::small(3, FtPolicy::RingRecache));
+        let cluster = Cluster::start(ClusterConfig::small(3, FtPolicy::RingRecache)).expect("boot");
         let paths = cluster.stage_dataset("train", 12, 16);
         let c = cluster.client(0);
         for p in &paths {
@@ -320,7 +333,7 @@ mod tests {
             }
         }
         assert!(!c.live_nodes().contains(&NodeId(0)));
-        cluster.revive(NodeId(0));
+        cluster.revive(NodeId(0)).expect("revive");
         assert!(c.live_nodes().contains(&NodeId(0)));
         // Reads still verify after rejoin (node 0 refills through misses).
         for p in &paths {
@@ -331,7 +344,7 @@ mod tests {
 
     #[test]
     fn multiple_clients_share_the_cluster() {
-        let cluster = Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache));
+        let cluster = Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache)).expect("boot");
         let paths = cluster.stage_dataset("train", 16, 8);
         let clients: Vec<_> = (0..4).map(|r| cluster.client(r)).collect();
         let mut joins = Vec::new();

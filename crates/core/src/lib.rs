@@ -21,7 +21,7 @@
 //! use ftc_core::{Cluster, ClusterConfig, FtPolicy};
 //! use ftc_hashring::NodeId;
 //!
-//! let cluster = Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache));
+//! let cluster = Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache)).unwrap();
 //! let paths = cluster.stage_dataset("train", 16, 64);
 //! let client = cluster.client(0);
 //! for p in &paths { client.read(p).unwrap(); }    // epoch 1: cache fills
@@ -35,6 +35,7 @@
 pub mod client;
 pub mod cluster;
 pub mod detector;
+pub mod error;
 pub mod metrics;
 pub mod policy;
 pub mod proto;
@@ -43,6 +44,7 @@ pub mod server;
 pub use client::{HvacClient, ReadError, ReadOutcome, ReadVia};
 pub use cluster::{Cluster, ClusterConfig};
 pub use detector::{DetectorConfig, FailureDetector, Verdict};
+pub use error::CoreError;
 pub use metrics::{ClientMetrics, ClientMetricsSnapshot, ClusterMetrics};
 pub use policy::{FtConfig, FtPolicy, PlacementKind, RetryPolicy};
 pub use proto::{CacheRequest, CacheResponse, ServeSource};

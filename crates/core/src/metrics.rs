@@ -60,11 +60,16 @@ pub struct ClientMetricsSnapshot {
 impl ClientMetrics {
     /// Snapshot the counters.
     pub fn snapshot(&self) -> ClientMetricsSnapshot {
+        // ordering: Relaxed on every load — these are independent
+        // monotone tallies with no cross-counter invariant (unlike
+        // ftc-net's NetStats): reports tolerate a torn view, and each
+        // counter is exact once its writer threads are joined.
         ClientMetricsSnapshot {
             reads_ok: self.reads_ok.load(Ordering::Relaxed),
             nvme_hits: self.nvme_hits.load(Ordering::Relaxed),
             pfs_fetches_via_server: self.pfs_fetches_via_server.load(Ordering::Relaxed),
             pfs_direct_reads: self.pfs_direct_reads.load(Ordering::Relaxed),
+            // ordering: Relaxed — same independent-tally argument as above.
             rpc_timeouts: self.rpc_timeouts.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             nodes_declared_failed: self.nodes_declared_failed.load(Ordering::Relaxed),
@@ -75,11 +80,13 @@ impl ClientMetrics {
 
     #[inline]
     pub(crate) fn inc(c: &AtomicU64) {
+        // ordering: Relaxed — pure statistic, publishes no data.
         c.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn add(c: &AtomicU64, v: u64) {
+        // ordering: Relaxed — pure statistic, publishes no data.
         c.fetch_add(v, Ordering::Relaxed);
     }
 }

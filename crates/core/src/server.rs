@@ -6,9 +6,10 @@
 //! node failure, surviving servers run exactly this code to absorb the
 //! failed node's keys — the recache path *is* the miss path.
 
+use crate::error::CoreError;
 use crate::proto::{CacheRequest, CacheResponse, ServeSource};
 use ftc_hashring::NodeId;
-use ftc_net::{Incoming, Network};
+use ftc_net::{Incoming, Network, TraceEventKind};
 use ftc_storage::{DataMover, NvmeCache, Pfs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -28,15 +29,20 @@ pub struct HvacServer {
 
 impl HvacServer {
     /// Server for `node`, caching onto an NVMe of `nvme_capacity` bytes.
-    pub fn new(node: NodeId, pfs: Arc<Pfs>, nvme_capacity: u64) -> Self {
+    /// Errors if the data-mover thread cannot be spawned.
+    pub fn new(node: NodeId, pfs: Arc<Pfs>, nvme_capacity: u64) -> Result<Self, CoreError> {
         let cache = Arc::new(NvmeCache::new(nvme_capacity));
-        let mover = DataMover::spawn(Arc::clone(&cache));
-        HvacServer {
+        let mover = DataMover::spawn(Arc::clone(&cache)).map_err(|source| CoreError::Spawn {
+            what: "data mover",
+            node,
+            source,
+        })?;
+        Ok(HvacServer {
             node,
             cache,
             pfs,
             mover,
-        }
+        })
     }
 
     /// This server's node id.
@@ -70,12 +76,19 @@ impl HvacServer {
     }
 
     /// Synchronously process one incoming request.
-    pub fn handle(&self, inc: Incoming<CacheRequest, CacheResponse>) {
+    pub fn handle(&self, mut inc: Incoming<CacheRequest, CacheResponse>) {
+        // Absorb the request's clock stamp up front so cache-map events
+        // recorded below are causally after the client's send.
+        inc.absorb();
         match &inc.req {
             CacheRequest::Ping => inc.reply(CacheResponse::Pong),
             CacheRequest::Put { path, bytes } => {
                 let path = path.clone();
-                self.cache.insert(&path, bytes.clone());
+                let evicted = self.cache.insert(&path, bytes.clone());
+                inc.trace_state(TraceEventKind::CacheInsert { key: path.clone() });
+                for key in evicted {
+                    inc.trace_state(TraceEventKind::CacheEvict { key });
+                }
                 inc.reply(CacheResponse::PutAck { path });
             }
             CacheRequest::Read { path } => {
@@ -91,6 +104,7 @@ impl HvacServer {
                     // data-mover pattern keeps the PFS fetch off the next
                     // reader's critical path only; this one pays it).
                     self.mover.enqueue(&path, bytes.clone());
+                    inc.trace_state(TraceEventKind::CacheInsert { key: path.clone() });
                     inc.reply_sized(CacheResponse::Data {
                         path,
                         bytes,
@@ -120,9 +134,15 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
-    /// Spawn a server thread for `node` on `net`.
-    pub fn spawn(node: NodeId, net: &CacheNet, pfs: Arc<Pfs>, nvme_capacity: u64) -> Self {
-        let server = HvacServer::new(node, pfs, nvme_capacity);
+    /// Spawn a server thread for `node` on `net`. Errors if either the
+    /// data-mover or the event-loop thread cannot be created.
+    pub fn spawn(
+        node: NodeId,
+        net: &CacheNet,
+        pfs: Arc<Pfs>,
+        nvme_capacity: u64,
+    ) -> Result<Self, CoreError> {
+        let server = HvacServer::new(node, pfs, nvme_capacity)?;
         let cache = server.cache();
         let (moved, moved_bytes) = server.mover_counters();
         let mbox = net.register(node);
@@ -133,6 +153,10 @@ impl ServerHandle {
             .spawn(move || {
                 // Poll with a short tick so a stop request is honored even
                 // when no traffic arrives.
+                //
+                // ordering: Relaxed — stop is a plain flag; the 5 ms poll
+                // bounds how late a store is observed, and no other state
+                // rides on it.
                 while !stop2.load(Ordering::Relaxed) {
                     if let Some(inc) = mbox.recv_timeout(Duration::from_millis(5)) {
                         server.handle(inc);
@@ -140,15 +164,19 @@ impl ServerHandle {
                 }
                 server
             })
-            .expect("spawn hvac server");
-        ServerHandle {
+            .map_err(|source| CoreError::Spawn {
+                what: "hvac server",
+                node,
+                source,
+            })?;
+        Ok(ServerHandle {
             node,
             stop,
             join: Some(join),
             cache,
             moved,
             moved_bytes,
-        }
+        })
     }
 
     /// The served node id.
@@ -163,17 +191,21 @@ impl ServerHandle {
 
     /// Files the data mover has recached so far.
     pub fn files_recached(&self) -> u64 {
+        // ordering: Relaxed — monotone statistic, metrics tolerate lag.
         self.moved.load(Ordering::Relaxed)
     }
 
     /// Bytes the data mover has recached so far.
     pub fn recached_bytes(&self) -> u64 {
+        // ordering: Relaxed — monotone statistic, metrics tolerate lag.
         self.moved_bytes.load(Ordering::Relaxed)
     }
 
     /// Ask the loop to exit without waiting (used by abrupt kill: the
     /// network is silenced separately, this only reclaims the thread).
     pub fn request_stop(&self) {
+        // ordering: Relaxed — plain flag paired with the Relaxed load in
+        // the poll loop; the join in `shutdown` is the synchronization.
         self.stop.store(true, Ordering::Relaxed);
     }
 
@@ -219,7 +251,8 @@ mod tests {
     #[test]
     fn first_read_fetches_then_caches() {
         let (net, pfs) = setup();
-        let h = ServerHandle::spawn(NodeId(0), &net, Arc::clone(&pfs), u64::MAX);
+        let h =
+            ServerHandle::spawn(NodeId(0), &net, Arc::clone(&pfs), u64::MAX).expect("spawn server");
         let ep = net.endpoint(NodeId(1));
 
         let r1 = ep
@@ -270,7 +303,7 @@ mod tests {
     #[test]
     fn unknown_file_is_not_found() {
         let (net, pfs) = setup();
-        let _h = ServerHandle::spawn(NodeId(0), &net, pfs, u64::MAX);
+        let _h = ServerHandle::spawn(NodeId(0), &net, pfs, u64::MAX).expect("spawn server");
         let ep = net.endpoint(NodeId(1));
         let r = ep
             .call(
@@ -292,7 +325,7 @@ mod tests {
     #[test]
     fn ping_pong() {
         let (net, pfs) = setup();
-        let _h = ServerHandle::spawn(NodeId(0), &net, pfs, u64::MAX);
+        let _h = ServerHandle::spawn(NodeId(0), &net, pfs, u64::MAX).expect("spawn server");
         let ep = net.endpoint(NodeId(1));
         assert_eq!(
             ep.call(NodeId(0), CacheRequest::Ping, TTL).unwrap(),
@@ -303,7 +336,7 @@ mod tests {
     #[test]
     fn killed_server_goes_silent() {
         let (net, pfs) = setup();
-        let h = ServerHandle::spawn(NodeId(0), &net, pfs, u64::MAX);
+        let h = ServerHandle::spawn(NodeId(0), &net, pfs, u64::MAX).expect("spawn server");
         net.kill(NodeId(0));
         h.request_stop();
         let ep = net.endpoint(NodeId(1));
@@ -316,7 +349,7 @@ mod tests {
     #[test]
     fn shutdown_returns_server_with_stats() {
         let (net, pfs) = setup();
-        let h = ServerHandle::spawn(NodeId(0), &net, pfs, u64::MAX);
+        let h = ServerHandle::spawn(NodeId(0), &net, pfs, u64::MAX).expect("spawn server");
         let ep = net.endpoint(NodeId(1));
         ep.call(
             NodeId(0),
@@ -337,7 +370,7 @@ mod tests {
     fn tiny_nvme_still_serves_with_evictions() {
         let (net, pfs) = setup();
         // Capacity for exactly 2 x 64-byte files.
-        let h = ServerHandle::spawn(NodeId(0), &net, pfs, 128);
+        let h = ServerHandle::spawn(NodeId(0), &net, pfs, 128).expect("spawn server");
         let ep = net.endpoint(NodeId(1));
         for i in 0..20 {
             let r = ep
@@ -360,7 +393,7 @@ mod tests {
     fn handle_direct_without_thread() {
         // HvacServer::handle is usable synchronously (DES-mode parity).
         let (net, pfs) = setup();
-        let server = HvacServer::new(NodeId(0), Arc::clone(&pfs), u64::MAX);
+        let server = HvacServer::new(NodeId(0), Arc::clone(&pfs), u64::MAX).expect("build server");
         let mbox = net.register(NodeId(0));
         let ep = net.endpoint(NodeId(2));
         let t = std::thread::spawn(move || {

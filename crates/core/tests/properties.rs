@@ -195,7 +195,10 @@ proptest! {
             pfs.stage(p, synth_bytes(p, 32));
         }
         let _servers: Vec<ServerHandle> = (0..3)
-            .map(|i| ServerHandle::spawn(NodeId(i), &net, Arc::clone(&pfs), u64::MAX))
+            .map(|i| {
+                ServerHandle::spawn(NodeId(i), &net, Arc::clone(&pfs), u64::MAX)
+                    .expect("spawn server")
+            })
             .collect();
         let mut cfg = FtConfig::for_policy(policy);
         cfg.detector.ttl = Duration::from_millis(5);

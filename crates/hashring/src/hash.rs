@@ -33,12 +33,16 @@ fn xxh_merge_round(acc: u64, val: u64) -> u64 {
 
 #[inline]
 fn read_u64(b: &[u8]) -> u64 {
-    u64::from_le_bytes(b[..8].try_into().unwrap())
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(w)
 }
 
 #[inline]
 fn read_u32(b: &[u8]) -> u32 {
-    u32::from_le_bytes(b[..4].try_into().unwrap())
+    let mut w = [0u8; 4];
+    w.copy_from_slice(&b[..4]);
+    u32::from_le_bytes(w)
 }
 
 /// xxHash64 of `data` with the given `seed`.

@@ -58,7 +58,8 @@ impl HashRing {
     pub fn with_nodes(n: u32, vnodes: u32) -> Self {
         let mut ring = Self::new(vnodes);
         for i in 0..n {
-            ring.add_node(NodeId(i)).expect("fresh ids are unique");
+            let fresh = ring.add_node(NodeId(i)).is_ok();
+            debug_assert!(fresh, "fresh ids are unique");
         }
         ring
     }
@@ -149,8 +150,12 @@ impl HashRing {
         }
         let mut owned: u128 = 0;
         let mut prev_token: Option<u64> = None;
-        let first = *self.tokens.keys().next().unwrap();
-        let last = *self.tokens.keys().next_back().unwrap();
+        // Non-empty was checked above; destructure instead of unwrapping.
+        let (Some(&first), Some(&last)) =
+            (self.tokens.keys().next(), self.tokens.keys().next_back())
+        else {
+            return 0.0;
+        };
         for (&t, &n) in &self.tokens {
             if let Some(p) = prev_token {
                 if n == node {

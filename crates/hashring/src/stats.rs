@@ -21,10 +21,10 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 
 /// `max / mean` of per-node loads — 1.0 is perfect balance.
 pub fn imbalance_factor(loads: &[u64]) -> f64 {
-    if loads.is_empty() {
+    let Some(&max) = loads.iter().max() else {
         return 0.0;
-    }
-    let max = *loads.iter().max().unwrap() as f64;
+    };
+    let max = max as f64;
     let m = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
     if m == 0.0 {
         return 0.0;

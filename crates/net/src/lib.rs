@@ -34,9 +34,11 @@
 pub mod error;
 pub mod latency;
 pub mod stats;
+pub mod trace;
 pub mod transport;
 
 pub use error::RpcError;
 pub use latency::LatencyModel;
 pub use stats::{NetStats, NetStatsSnapshot};
+pub use trace::{TraceEventKind, TraceRecord, Tracer, VClock};
 pub use transport::{Endpoint, Incoming, Mailbox, Network, Payload};

@@ -1,10 +1,39 @@
 //! Lock-free network counters.
+//!
+//! ## Snapshot consistency
+//!
+//! Counters are incremented on the RPC fast path, so they must stay cheap;
+//! but a snapshot taken mid-campaign feeds invariant checks (the chaos
+//! harness asserts `dropped == dropped_killed + dropped_link +
+//! dropped_partition`, and reports compute `rpcs_ok / rpcs_sent`). With
+//! all-`Relaxed` counters a reader could observe a *completion* (an
+//! `rpcs_ok` or a per-cause drop) without the *initiation* that
+//! program-order preceded it (`rpcs_sent`, `dropped`), yielding nonsense
+//! like `rpcs_ok > rpcs_sent` or a cause-sum exceeding `dropped`.
+//!
+//! The fix is one-directional publication: completion counters are
+//! incremented with `Release`, and [`NetStats::snapshot`] loads every
+//! completion with `Acquire` *before* loading the initiations. `Release`
+//! read-modify-writes on one counter form a release sequence, so an
+//! `Acquire` load that observes a completion value synchronizes with all
+//! the increments it sums — making each writer's earlier
+//! initiation-increment visible to the snapshot's later loads. Hence a
+//! snapshot always satisfies:
+//!
+//! * `rpcs_ok + timeouts ≤ rpcs_sent`
+//! * `dropped ≤ rpcs_sent` and `dropped_killed + dropped_link +
+//!   dropped_partition ≤ dropped`
+//!
+//! Residual skew is still allowed in the *safe* direction (an initiation
+//! with its completion not yet visible — an RPC that looks in-flight),
+//! which consumers tolerate by construction.
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters maintained by the transport; cheap enough to update on every
-/// RPC (relaxed atomics — they are statistics, not synchronization).
+/// RPC. See the module docs for the publication protocol that keeps
+/// snapshots free of completion-before-initiation anomalies.
 #[derive(Debug, Default)]
 pub struct NetStats {
     /// RPCs initiated by any endpoint.
@@ -49,28 +78,59 @@ pub struct NetStatsSnapshot {
 }
 
 impl NetStats {
-    /// Take a consistent-enough snapshot (each counter individually
-    /// atomic; cross-counter skew is possible and acceptable).
+    /// Snapshot with one-directional consistency: a completion visible
+    /// here implies its initiation is too (never `rpcs_ok > rpcs_sent`).
     pub fn snapshot(&self) -> NetStatsSnapshot {
+        // ordering: Acquire-load every completion counter FIRST; each
+        // pairs with the Release increments in `inc_completion`, so the
+        // initiation increments that preceded them (program order in the
+        // transport: sent before ok/timeout, dropped before its cause)
+        // happen-before the Relaxed initiation loads below.
+        let dropped_killed = self.dropped_killed.load(Ordering::Acquire);
+        let dropped_link = self.dropped_link.load(Ordering::Acquire);
+        let dropped_partition = self.dropped_partition.load(Ordering::Acquire);
+        let dropped = self.dropped.load(Ordering::Acquire);
+        let rpcs_ok = self.rpcs_ok.load(Ordering::Acquire);
+        let timeouts = self.timeouts.load(Ordering::Acquire);
+        // ordering: Relaxed is enough for initiations — they are loaded
+        // after the Acquire fence-points above and may only err toward
+        // over-counting in-flight RPCs, which consumers tolerate.
+        let rpcs_sent = self.rpcs_sent.load(Ordering::Relaxed);
+        let bytes_sent = self.bytes_sent.load(Ordering::Relaxed);
         NetStatsSnapshot {
-            rpcs_sent: self.rpcs_sent.load(Ordering::Relaxed),
-            rpcs_ok: self.rpcs_ok.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            dropped: self.dropped.load(Ordering::Relaxed),
-            dropped_killed: self.dropped_killed.load(Ordering::Relaxed),
-            dropped_link: self.dropped_link.load(Ordering::Relaxed),
-            dropped_partition: self.dropped_partition.load(Ordering::Relaxed),
-            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            rpcs_sent,
+            rpcs_ok,
+            timeouts,
+            dropped,
+            dropped_killed,
+            dropped_link,
+            dropped_partition,
+            bytes_sent,
         }
     }
 
+    /// Count an *initiation* (`rpcs_sent`) — something later completions
+    /// refer back to.
     #[inline]
     pub(crate) fn inc(counter: &AtomicU64) {
+        // ordering: Relaxed — initiations need no publication of their
+        // own; visibility is carried by the completion that follows.
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count a *completion* (`rpcs_ok`, `timeouts`, `dropped` and its
+    /// per-cause splits) — publishes the initiation that preceded it.
+    #[inline]
+    pub(crate) fn inc_completion(counter: &AtomicU64) {
+        // ordering: Release pairs with the Acquire loads in `snapshot`;
+        // RMWs keep the release sequence alive across threads.
+        counter.fetch_add(1, Ordering::Release);
+    }
+
+    /// Add to a byte/volume counter.
     #[inline]
     pub(crate) fn add(counter: &AtomicU64, v: u64) {
+        // ordering: Relaxed — pure statistic, no cross-counter invariant.
         counter.fetch_add(v, Ordering::Relaxed);
     }
 }
@@ -78,6 +138,8 @@ impl NetStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
 
     #[test]
     fn snapshot_reflects_counters() {
@@ -89,5 +151,56 @@ mod tests {
         assert_eq!(snap.rpcs_sent, 2);
         assert_eq!(snap.bytes_sent, 1024);
         assert_eq!(snap.timeouts, 0);
+    }
+
+    #[test]
+    fn concurrent_snapshots_never_see_completion_before_initiation() {
+        // Writers do initiation-then-completion pairs exactly like the
+        // transport; a reader snapshotting mid-flight must never observe
+        // ok+timeouts > sent or a cause-sum > dropped.
+        let stats = Arc::new(NetStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut writers = Vec::new();
+        for w in 0..4u64 {
+            let s = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            writers.push(std::thread::spawn(move || {
+                let mut i = 0u64;
+                // ordering: Relaxed — plain stop flag, no data published.
+                while !stop.load(Ordering::Relaxed) {
+                    NetStats::inc(&s.rpcs_sent);
+                    match (i + w) % 3 {
+                        0 => NetStats::inc_completion(&s.rpcs_ok),
+                        1 => NetStats::inc_completion(&s.timeouts),
+                        _ => {
+                            NetStats::inc_completion(&s.dropped);
+                            NetStats::inc_completion(&s.dropped_link);
+                            NetStats::inc_completion(&s.timeouts);
+                        }
+                    }
+                    i += 1;
+                }
+            }));
+        }
+        for _ in 0..20_000 {
+            let snap = stats.snapshot();
+            assert!(
+                snap.rpcs_ok + snap.timeouts <= snap.rpcs_sent,
+                "completion without initiation: ok={} timeouts={} sent={}",
+                snap.rpcs_ok,
+                snap.timeouts,
+                snap.rpcs_sent
+            );
+            assert!(
+                snap.dropped_killed + snap.dropped_link + snap.dropped_partition <= snap.dropped,
+                "cause-sum exceeds dropped total"
+            );
+            assert!(snap.dropped <= snap.rpcs_sent);
+        }
+        // ordering: Relaxed — plain stop flag, no data published.
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().expect("writer thread");
+        }
     }
 }

@@ -36,6 +36,7 @@
 use crate::error::RpcError;
 use crate::latency::LatencyModel;
 use crate::stats::{NetStats, NetStatsSnapshot};
+use crate::trace::{TraceEventKind, Tracer, VClock};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use ftc_hashring::NodeId;
 use parking_lot::{Mutex, RwLock};
@@ -72,6 +73,13 @@ impl Payload for bytes::Bytes {
     }
 }
 
+/// A reply payload plus the server's piggybacked clock stamp (present only
+/// while tracing is enabled).
+struct Traced<T> {
+    value: T,
+    stamp: Option<VClock>,
+}
+
 /// A request delivered to a server, carrying its reply path.
 pub struct Incoming<Req, Resp> {
     /// Sender node.
@@ -80,32 +88,74 @@ pub struct Incoming<Req, Resp> {
     pub req: Req,
     /// The node this request was addressed to (the one now serving it).
     served_by: NodeId,
-    reply_to: Sender<Resp>,
+    /// The sender's vector-clock stamp, if tracing was on at send time.
+    stamp: Option<VClock>,
+    reply_to: Sender<Traced<Resp>>,
     net: Arc<Inner<Req, Resp>>,
 }
 
 impl<Req: Payload, Resp: Payload> Incoming<Req, Resp> {
+    /// The node this request was addressed to (the one now serving it).
+    pub fn served_by(&self) -> NodeId {
+        self.served_by
+    }
+
+    /// Merge the request's piggybacked clock stamp into the serving node's
+    /// clock and record the receive event. Runs automatically on
+    /// [`reply`](Self::reply) / [`ignore`](Self::ignore); call it (or
+    /// [`trace_state`](Self::trace_state)) earlier if the server records
+    /// state events while the request is in hand, so those events are
+    /// causally after the send. Idempotent.
+    pub fn absorb(&mut self) {
+        if let Some(stamp) = self.stamp.take() {
+            if let Some(t) = self.net.tracer.read().clone() {
+                t.record_recv(
+                    self.served_by,
+                    &stamp,
+                    TraceEventKind::MsgRecv { from: self.from },
+                );
+            }
+        }
+    }
+
+    /// Record a state event under the serving node's actor, first
+    /// absorbing the request stamp so the event is causally after the
+    /// send. No-op while tracing is disabled.
+    pub fn trace_state(&mut self, kind: TraceEventKind) {
+        self.absorb();
+        if let Some(t) = self.net.tracer.read().clone() {
+            t.record(self.served_by, kind);
+        }
+    }
+
     /// Reply immediately (zero response-serialization cost).
     ///
     /// The reply leg honors partitions independently of the request leg:
     /// under a one-way partition server→client the work is done but the
     /// answer never arrives, so the caller times out. That asymmetry is
     /// the canonical gray failure the chaos harness exercises.
-    pub fn reply(self, resp: Resp) {
+    pub fn reply(mut self, resp: Resp) {
+        self.absorb();
+        // Stamp before the partition check: the server *did* send the
+        // reply; a swallowed reply is a lost message, not a non-event.
+        let stamp =
+            self.net.tracer.read().as_ref().map(|t| {
+                t.record_send(self.served_by, TraceEventKind::ReplySend { to: self.from })
+            });
         if self
             .net
             .partitions
             .read()
             .contains(&(self.served_by, self.from))
         {
-            NetStats::inc(&self.net.stats.dropped);
-            NetStats::inc(&self.net.stats.dropped_partition);
+            NetStats::inc_completion(&self.net.stats.dropped);
+            NetStats::inc_completion(&self.net.stats.dropped_partition);
             return;
         }
         NetStats::add(&self.net.stats.bytes_sent, resp.wire_size() as u64);
         // The caller may have timed out and dropped the receiver; a late
         // reply is then discarded, as on a real network.
-        let _ = self.reply_to.send(resp);
+        let _ = self.reply_to.send(Traced { value: resp, stamp });
     }
 
     /// Reply after blocking for the response's network-serialization time.
@@ -126,7 +176,9 @@ impl<Req: Payload, Resp: Payload> Incoming<Req, Resp> {
     }
 
     /// Drop the request without answering (used to emulate a hung server).
-    pub fn ignore(self) {}
+    pub fn ignore(mut self) {
+        self.absorb();
+    }
 }
 
 /// Server-side receive handle for one node.
@@ -199,6 +251,7 @@ struct Inner<Req, Resp> {
     rng: Mutex<StdRng>,
     latency: LatencyModel,
     stats: NetStats,
+    tracer: RwLock<Option<Arc<Tracer>>>,
 }
 
 impl<Req, Resp> Inner<Req, Resp> {
@@ -225,13 +278,13 @@ impl<Req, Resp> Inner<Req, Resp> {
     }
 
     fn record_drop(&self, cause: DropCause) {
-        NetStats::inc(&self.stats.dropped);
+        NetStats::inc_completion(&self.stats.dropped);
         let by_cause = match cause {
             DropCause::Partition => &self.stats.dropped_partition,
             DropCause::Killed => &self.stats.dropped_killed,
             DropCause::Flaky | DropCause::Link => &self.stats.dropped_link,
         };
-        NetStats::inc(by_cause);
+        NetStats::inc_completion(by_cause);
     }
 }
 
@@ -263,6 +316,7 @@ impl<Req: Payload, Resp: Payload> Network<Req, Resp> {
                 rng: Mutex::new(StdRng::seed_from_u64(seed)),
                 latency,
                 stats: NetStats::default(),
+                tracer: RwLock::new(None),
             }),
         }
     }
@@ -375,6 +429,26 @@ impl<Req: Payload, Resp: Payload> Network<Req, Resp> {
         self.inner.flaky.lock().remove(&node);
     }
 
+    /// Turn on vector-clock tracing and return the shared collector.
+    /// Idempotent: a second call returns the existing tracer. Already
+    /// in-flight messages (stamped before the switch) are unaffected.
+    pub fn enable_tracing(&self) -> Arc<Tracer> {
+        let mut slot = self.inner.tracer.write();
+        match slot.as_ref() {
+            Some(t) => Arc::clone(t),
+            None => {
+                let t = Arc::new(Tracer::new());
+                *slot = Some(Arc::clone(&t));
+                t
+            }
+        }
+    }
+
+    /// The active tracer, if tracing has been enabled.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.inner.tracer.read().clone()
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> NetStatsSnapshot {
         self.inner.stats.snapshot()
@@ -407,6 +481,13 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
         self.me
     }
 
+    /// The network's active tracer, if tracing has been enabled. Upper
+    /// layers use this to record state events (ring updates, detector
+    /// transitions) under this endpoint's actor.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.net.tracer.read().clone()
+    }
+
     /// Issue an RPC with a deadline.
     ///
     /// Returns [`RpcError::Timeout`] when no reply arrives in time — which
@@ -434,7 +515,13 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
             std::thread::sleep(flight.min(timeout));
         }
 
-        let (reply_tx, reply_rx) = bounded::<Resp>(1);
+        let (reply_tx, reply_rx) = bounded::<Traced<Resp>>(1);
+        let tracer = self.net.tracer.read().clone();
+        // Stamp before the drop decision: the send happens either way,
+        // the message just may be lost in flight (no matching receive).
+        let stamp = tracer
+            .as_ref()
+            .map(|t| t.record_send(self.me, TraceEventKind::MsgSend { to }));
         let delivered = if let Some(cause) = self.net.request_drop_cause(self.me, to) {
             self.net.record_drop(cause);
             false
@@ -444,6 +531,7 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
                 from: self.me,
                 req,
                 served_by: to,
+                stamp,
                 reply_to: reply_tx.clone(),
                 net: Arc::clone(&self.net),
             })
@@ -459,16 +547,19 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
             // The request's flight time alone consumed the deadline: the
             // message may still arrive and be served, but the caller has
             // already given up. Deterministic timeout, no reply race.
-            NetStats::inc(&self.net.stats.timeouts);
+            NetStats::inc_completion(&self.net.stats.timeouts);
             return Err(RpcError::Timeout { to });
         }
         match reply_rx.recv_timeout(remaining) {
-            Ok(resp) => {
-                NetStats::inc(&self.net.stats.rpcs_ok);
-                Ok(resp)
+            Ok(traced) => {
+                NetStats::inc_completion(&self.net.stats.rpcs_ok);
+                if let (Some(t), Some(s)) = (tracer.as_ref(), traced.stamp.as_ref()) {
+                    t.record_recv(self.me, s, TraceEventKind::ReplyRecv { from: to });
+                }
+                Ok(traced.value)
             }
             Err(RecvTimeoutError::Timeout) => {
-                NetStats::inc(&self.net.stats.timeouts);
+                NetStats::inc_completion(&self.net.stats.timeouts);
                 Err(RpcError::Timeout { to })
             }
             Err(RecvTimeoutError::Disconnected) => {
@@ -478,7 +569,7 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
                 // full deadline.
                 let _ = delivered;
                 std::thread::sleep(timeout.saturating_sub(start.elapsed()));
-                NetStats::inc(&self.net.stats.timeouts);
+                NetStats::inc_completion(&self.net.stats.timeouts);
                 Err(RpcError::Timeout { to })
             }
         }
@@ -762,6 +853,48 @@ mod tests {
             s.dropped,
             s.dropped_killed + s.dropped_link + s.dropped_partition
         );
+    }
+
+    #[test]
+    fn tracing_stamps_all_four_rpc_legs() {
+        use crate::trace::TraceEventKind as K;
+        let net: Network<String, String> = Network::instant(30);
+        let tracer = net.enable_tracing();
+        let _h = echo_server(&net, NodeId(0));
+        let ep = net.endpoint(NodeId(1));
+        ep.call(NodeId(0), "hi".into(), TTL).unwrap();
+        let log = tracer.take();
+        let clock_of = |want: fn(&K) -> bool| {
+            log.iter()
+                .find(|r| want(&r.kind))
+                .expect("leg recorded")
+                .clock
+                .clone()
+        };
+        let send = clock_of(|k| matches!(k, K::MsgSend { .. }));
+        let recv = clock_of(|k| matches!(k, K::MsgRecv { .. }));
+        let rsend = clock_of(|k| matches!(k, K::ReplySend { .. }));
+        let rrecv = clock_of(|k| matches!(k, K::ReplyRecv { .. }));
+        assert!(send.happens_before(&recv));
+        assert!(recv.happens_before(&rsend));
+        assert!(rsend.happens_before(&rrecv));
+        assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    fn tracing_is_off_by_default_and_lost_sends_have_no_recv() {
+        use crate::trace::TraceEventKind as K;
+        let net: Network<String, String> = Network::instant(31);
+        let _h = echo_server(&net, NodeId(0));
+        let ep = net.endpoint(NodeId(1));
+        assert!(net.tracer().is_none());
+        ep.call(NodeId(0), "a".into(), TTL).unwrap();
+        let tracer = net.enable_tracing();
+        net.kill(NodeId(0));
+        let _ = ep.call(NodeId(0), "b".into(), TTL);
+        let log = tracer.take();
+        assert_eq!(log.len(), 1, "only the send leg exists for a lost message");
+        assert!(matches!(log[0].kind, K::MsgSend { to: NodeId(0) }));
     }
 
     #[test]

@@ -27,8 +27,10 @@ pub struct DataMover {
 type CopyJob = (String, Bytes);
 
 impl DataMover {
-    /// Spawn a mover that inserts into `cache`.
-    pub fn spawn(cache: Arc<NvmeCache>) -> Self {
+    /// Spawn a mover that inserts into `cache`. Errors if the OS refuses
+    /// the worker thread (resource exhaustion) — callers surface this as a
+    /// typed boot failure instead of panicking mid-cluster-start.
+    pub fn spawn(cache: Arc<NvmeCache>) -> std::io::Result<Self> {
         let (tx, rx): (Sender<CopyJob>, Receiver<CopyJob>) = unbounded();
         let moved = Arc::new(AtomicU64::new(0));
         let moved_bytes = Arc::new(AtomicU64::new(0));
@@ -40,17 +42,18 @@ impl DataMover {
                 while let Ok((key, data)) = rx.recv() {
                     let len = data.len() as u64;
                     cache.insert(&key, data);
+                    // ordering: Relaxed — pure statistics; readers poll
+                    // (`drain`) and tolerate lag, no data is published.
                     m.fetch_add(1, Ordering::Relaxed);
                     mb.fetch_add(len, Ordering::Relaxed);
                 }
-            })
-            .expect("spawn data mover");
-        DataMover {
+            })?;
+        Ok(DataMover {
             tx: Some(tx),
             handle: Some(handle),
             moved,
             moved_bytes,
-        }
+        })
     }
 
     /// Enqueue a copy; returns false if the mover has shut down.
@@ -63,11 +66,14 @@ impl DataMover {
 
     /// Files copied so far.
     pub fn moved(&self) -> u64 {
+        // ordering: Relaxed — monotone statistic; `drain` polls until the
+        // target count appears, so staleness only delays, never corrupts.
         self.moved.load(Ordering::Relaxed)
     }
 
     /// Bytes copied so far.
     pub fn moved_bytes(&self) -> u64 {
+        // ordering: Relaxed — monotone statistic, see `moved`.
         self.moved_bytes.load(Ordering::Relaxed)
     }
 
@@ -122,7 +128,7 @@ mod tests {
     #[test]
     fn copies_land_in_cache() {
         let cache = Arc::new(NvmeCache::unbounded());
-        let mover = DataMover::spawn(Arc::clone(&cache));
+        let mover = DataMover::spawn(Arc::clone(&cache)).expect("spawn mover");
         for i in 0..50 {
             assert!(mover.enqueue(&format!("k{i}"), Bytes::from(vec![1u8; 10])));
         }
@@ -135,7 +141,7 @@ mod tests {
     #[test]
     fn shutdown_drains_backlog() {
         let cache = Arc::new(NvmeCache::unbounded());
-        let mover = DataMover::spawn(Arc::clone(&cache));
+        let mover = DataMover::spawn(Arc::clone(&cache)).expect("spawn mover");
         for i in 0..200 {
             mover.enqueue(&format!("k{i}"), Bytes::from(vec![0u8; 4]));
         }
@@ -146,7 +152,7 @@ mod tests {
     #[test]
     fn enqueue_after_drop_is_safe() {
         let cache = Arc::new(NvmeCache::unbounded());
-        let mut mover = DataMover::spawn(cache);
+        let mut mover = DataMover::spawn(cache).expect("spawn mover");
         mover.shutdown_inner();
         assert!(!mover.enqueue("x", Bytes::new()));
     }
@@ -154,7 +160,7 @@ mod tests {
     #[test]
     fn drain_times_out_when_short() {
         let cache = Arc::new(NvmeCache::unbounded());
-        let mover = DataMover::spawn(cache);
+        let mover = DataMover::spawn(cache).expect("spawn mover");
         mover.enqueue("a", Bytes::new());
         // Expecting 2 moves when only 1 was enqueued must time out.
         assert!(!mover.drain(2, Duration::from_millis(50)));

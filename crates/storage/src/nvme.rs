@@ -120,10 +120,19 @@ impl NvmeCache {
         }
 
         while g.bytes + size > self.capacity {
-            let (&stamp, _) = g.lru.iter().next().expect("bytes>0 implies entries");
-            let victim = g.lru.remove(&stamp).unwrap();
-            let e = g.map.remove(&victim).expect("lru mirrors map");
-            g.bytes -= e.data.len() as u64;
+            // `bytes > 0` implies the LRU mirror is non-empty; if the
+            // mirrors ever disagree, stop evicting instead of spinning.
+            let stamp = match g.lru.iter().next() {
+                Some((&stamp, _)) => stamp,
+                None => break,
+            };
+            let Some(victim) = g.lru.remove(&stamp) else {
+                break;
+            };
+            match g.map.remove(&victim) {
+                Some(e) => g.bytes -= e.data.len() as u64,
+                None => break,
+            }
             g.evictions += 1;
             evicted.push(victim);
         }

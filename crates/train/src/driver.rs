@@ -296,6 +296,11 @@ impl TrainDriver {
 
             joins.push(std::thread::spawn(move || {
                 let shard_len = shard.len() as u32;
+                // ordering: SeqCst on every `abort` access — the flag is a
+                // cross-rank consensus bit read/written around barriers and
+                // paired with mutex-guarded verdicts (`fatal`,
+                // `rolled_back`); SeqCst keeps one total order so no rank
+                // can observe the verdict without the flag.
                 for step in 0..steps {
                     if let Some(f) = my_fault {
                         if step == f.step.min(steps - 1) && !abort.load(Ordering::SeqCst) {
@@ -303,27 +308,35 @@ impl TrainDriver {
                             // the collective discover the loss.
                             kill_fn(f.node);
                             *rolled_back.lock() = Some(f.node);
+                            // ordering: SeqCst — abort consensus, see above.
                             abort.store(true, Ordering::SeqCst);
                         }
                     }
+                    // ordering: SeqCst — abort consensus, see above.
                     if !abort.load(Ordering::SeqCst) {
                         for path in &shard[plan.step_range(shard_len, step)] {
                             match backend.read(path) {
                                 Ok(bytes) => {
                                     if verify && !ftc_storage::verify_synth(path, &bytes) {
                                         *fatal.lock() = Some(format!("corrupt content for {path}"));
+                                        // ordering: SeqCst — abort consensus.
                                         abort.store(true, Ordering::SeqCst);
                                         break;
                                     }
+                                    // ordering: Relaxed — pure tally, read
+                                    // only after the worker threads join.
                                     samples.fetch_add(1, Ordering::Relaxed);
                                 }
                                 Err(BackendError::Missing(p)) => {
                                     *fatal.lock() = Some(format!("missing file: {p}"));
+                                    // ordering: SeqCst — abort consensus,
+                                    // see the note at the top of the loop.
                                     abort.store(true, Ordering::SeqCst);
                                     break;
                                 }
                                 Err(BackendError::Fatal(e)) => {
                                     *fatal.lock() = Some(e);
+                                    // ordering: SeqCst — abort consensus.
                                     abort.store(true, Ordering::SeqCst);
                                     break;
                                 }
@@ -337,6 +350,7 @@ impl TrainDriver {
                     // while a slow rank has not yet checked step s's flag —
                     // without the second barrier the ranks would disagree on
                     // which step to break at and deadlock the next barrier.
+                    // ordering: SeqCst — see the note at the top of the loop.
                     let stop = abort.load(Ordering::SeqCst);
                     barrier.wait();
                     if stop {
@@ -356,6 +370,7 @@ impl TrainDriver {
             return EpochResult::RolledBack { rank };
         }
         EpochResult::Completed {
+            // ordering: Relaxed — workers joined above; the count is final.
             samples: samples.load(Ordering::Relaxed),
         }
     }

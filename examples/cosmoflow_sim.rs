@@ -17,7 +17,8 @@ use std::time::Duration;
 
 fn threaded_run() {
     println!("== threaded mode: 4 ranks, failure in epoch 1 ==");
-    let cluster = Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache));
+    let cluster =
+        Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache)).expect("boot cluster");
     let dataset = Dataset::tiny(48, 2048);
     for i in 0..dataset.train_samples {
         let p = dataset.train_path(i);

@@ -20,7 +20,8 @@ fn verify_all(client: &HvacClient, paths: &[String]) -> usize {
 
 fn main() {
     println!("== FT-Cache failure drill ==\n");
-    let cluster = Cluster::start(ClusterConfig::small(6, FtPolicy::RingRecache));
+    let cluster =
+        Cluster::start(ClusterConfig::small(6, FtPolicy::RingRecache)).expect("boot cluster");
     let paths = cluster.stage_dataset("train", 96, 1024);
     let client = cluster.client(0);
 
@@ -55,7 +56,7 @@ fn main() {
     // Repair and grow back: n3 returns with a cold cache and its original
     // ring position, so its old keys route home and refill on miss.
     println!("\nreviving n3 (elastic grow-back)…");
-    cluster.revive(NodeId(3));
+    cluster.revive(NodeId(3)).expect("revive");
     let ok = verify_all(&client, &paths);
     std::thread::sleep(std::time::Duration::from_millis(100));
     println!(

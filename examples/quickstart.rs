@@ -12,7 +12,8 @@ fn main() {
     println!("== FT-Cache quickstart ==\n");
 
     // 1. A 4-node cluster running the paper's hash-ring recaching design.
-    let cluster = Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache));
+    let cluster =
+        Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache)).expect("boot cluster");
     let paths = cluster.stage_dataset("train", 64, 4096);
     println!(
         "staged {} files ({} KiB each) on the PFS",

@@ -29,6 +29,7 @@
 use bytes::Bytes;
 use ftc_core::{Cluster, ClusterConfig, FtPolicy, ReadError};
 use ftc_hashring::NodeId;
+use ftc_net::TraceRecord;
 use ftc_sim::{FaultEvent, FaultPlan, SimCalibration, SimCluster, SimWorkload};
 use ftc_storage::synth_bytes;
 use std::collections::HashSet;
@@ -311,6 +312,18 @@ const LIVELOCK_SLACK: Duration = Duration::from_secs(2);
 /// Run one campaign of `plan` under `policy` on a real threaded cluster,
 /// checking all four invariants.
 pub fn run_campaign(policy: FtPolicy, plan: &ChaosPlan) -> CampaignReport {
+    run_campaign_traced(policy, plan, false).0
+}
+
+/// Like [`run_campaign`], optionally with vector-clock tracing enabled on
+/// the cluster fabric. When `trace` is true the returned log carries every
+/// message leg and shared-state transition of the campaign, ready for
+/// offline happens-before analysis (`ftc-analysis`).
+pub fn run_campaign_traced(
+    policy: FtPolicy,
+    plan: &ChaosPlan,
+    trace: bool,
+) -> (CampaignReport, Option<Vec<TraceRecord>>) {
     let mut cfg = ClusterConfig::small(plan.nodes, policy);
     cfg.ft.detector.ttl = CAMPAIGN_TTL;
     cfg.ft.detector.timeout_limit = 2;
@@ -321,7 +334,26 @@ pub fn run_campaign(policy: FtPolicy, plan: &ChaosPlan) -> CampaignReport {
     cfg.ft.retry.deadline_budget = Duration::from_secs(2);
     cfg.seed = plan.seed;
 
-    let cluster = Cluster::start(cfg.clone());
+    let cluster = match Cluster::start(cfg.clone()) {
+        Ok(c) => c,
+        Err(e) => {
+            // A cluster that cannot boot is a failed campaign, not a
+            // panic: record it so sweeps keep their exit-code contract.
+            return (
+                CampaignReport {
+                    seed: plan.seed,
+                    policy,
+                    reads_attempted: 0,
+                    aborted: false,
+                    violations: vec![format!("boot: cluster failed to start: {e}")],
+                },
+                None,
+            );
+        }
+    };
+    if trace {
+        cluster.network().enable_tracing();
+    }
     let paths = cluster.stage_dataset("train", plan.files, plan.file_size);
     let truth: Vec<Bytes> = paths
         .iter()
@@ -366,7 +398,9 @@ pub fn run_campaign(policy: FtPolicy, plan: &ChaosPlan) -> CampaignReport {
                     cluster.kill(n);
                 }
                 ChaosAction::Revive(n) => {
-                    cluster.revive(n);
+                    if let Err(e) = cluster.revive(n) {
+                        violations.push(format!("revive: node {n} failed to rejoin: {e}"));
+                    }
                     // The rejoined node is cold: its re-owned keys refetch.
                     budget += owned_by(n);
                 }
@@ -481,14 +515,18 @@ pub fn run_campaign(policy: FtPolicy, plan: &ChaosPlan) -> CampaignReport {
         ));
     }
 
+    let trace_log = cluster.network().tracer().map(|t| t.take());
     cluster.shutdown();
-    CampaignReport {
-        seed: plan.seed,
-        policy,
-        reads_attempted,
-        aborted,
-        violations,
-    }
+    (
+        CampaignReport {
+            seed: plan.seed,
+            policy,
+            reads_attempted,
+            aborted,
+            violations,
+        },
+        trace_log,
+    )
 }
 
 /// Run the same seeded plan under every policy; returns one report per

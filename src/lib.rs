@@ -27,7 +27,7 @@
 //! use ft_cache::prelude::*;
 //!
 //! // A 4-node cluster running the paper's FT w/ NVMe design.
-//! let cluster = Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache));
+//! let cluster = Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache)).unwrap();
 //! let paths = cluster.stage_dataset("train", 32, 128);
 //! let client = cluster.client(0);
 //!
@@ -54,7 +54,9 @@ pub use ftc_train as train;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use crate::chaos::{run_campaign, run_campaign_all_policies, CampaignReport, ChaosPlan};
+    pub use crate::chaos::{
+        run_campaign, run_campaign_all_policies, run_campaign_traced, CampaignReport, ChaosPlan,
+    };
     pub use ftc_core::{
         Cluster, ClusterConfig, FtConfig, FtPolicy, HvacClient, PlacementKind, ReadError, ReadVia,
     };

@@ -22,7 +22,8 @@ fn settle() {
 
 #[test]
 fn ring_recache_full_lifecycle() {
-    let cluster = Cluster::start(ClusterConfig::small(5, FtPolicy::RingRecache));
+    let cluster =
+        Cluster::start(ClusterConfig::small(5, FtPolicy::RingRecache)).expect("boot cluster");
     let paths = cluster.stage_dataset("train", FILES, SIZE);
     let client = cluster.client(0);
 
@@ -69,7 +70,8 @@ fn ring_recache_full_lifecycle() {
 
 #[test]
 fn pfs_redirect_pays_every_epoch() {
-    let cluster = Cluster::start(ClusterConfig::small(4, FtPolicy::PfsRedirect));
+    let cluster =
+        Cluster::start(ClusterConfig::small(4, FtPolicy::PfsRedirect)).expect("boot cluster");
     let paths = cluster.stage_dataset("train", FILES, SIZE);
     let client = cluster.client(0);
 
@@ -101,7 +103,7 @@ fn pfs_redirect_pays_every_epoch() {
 
 #[test]
 fn noft_dies_with_the_node() {
-    let cluster = Cluster::start(ClusterConfig::small(3, FtPolicy::NoFt));
+    let cluster = Cluster::start(ClusterConfig::small(3, FtPolicy::NoFt)).expect("boot cluster");
     let paths = cluster.stage_dataset("train", FILES, SIZE);
     let client = cluster.client(0);
     epoch(&client, &paths);
@@ -124,7 +126,7 @@ fn all_policies_agree_on_healthy_bytes() {
     // The three systems must be byte-identical when nothing fails.
     let mut contents: Vec<Vec<u8>> = Vec::new();
     for policy in [FtPolicy::NoFt, FtPolicy::PfsRedirect, FtPolicy::RingRecache] {
-        let cluster = Cluster::start(ClusterConfig::small(4, policy));
+        let cluster = Cluster::start(ClusterConfig::small(4, policy)).expect("boot cluster");
         let paths = cluster.stage_dataset("train", 16, 256);
         let client = cluster.client(0);
         let mut cat = Vec::new();
@@ -140,10 +142,9 @@ fn all_policies_agree_on_healthy_bytes() {
 
 #[test]
 fn concurrent_ranks_under_failure() {
-    let cluster = std::sync::Arc::new(Cluster::start(ClusterConfig::small(
-        4,
-        FtPolicy::RingRecache,
-    )));
+    let cluster = std::sync::Arc::new(
+        Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache)).expect("boot cluster"),
+    );
     let paths = cluster.stage_dataset("train", 40, 256);
     let clients: Vec<_> = (0..4).map(|r| cluster.client(r)).collect();
 

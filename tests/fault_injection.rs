@@ -20,7 +20,7 @@ fn lossy_network_does_not_false_positive() {
     // successes keep resetting the consecutive-timeout counters.
     let mut cfg = ClusterConfig::small(4, FtPolicy::RingRecache);
     cfg.ft.detector.timeout_limit = 3; // a bit more damping for the noise
-    let cluster = Cluster::start(cfg);
+    let cluster = Cluster::start(cfg).expect("boot cluster");
     let paths = cluster.stage_dataset("train", 30, 128);
     let client = cluster.client(0);
     epoch(&client, &paths); // warm cleanly
@@ -47,7 +47,8 @@ fn lossy_network_does_not_false_positive() {
 
 #[test]
 fn slow_node_is_not_dead() {
-    let cluster = Cluster::start(ClusterConfig::small(3, FtPolicy::RingRecache));
+    let cluster =
+        Cluster::start(ClusterConfig::small(3, FtPolicy::RingRecache)).expect("boot cluster");
     let paths = cluster.stage_dataset("train", 18, 64);
     let client = cluster.client(0);
     epoch(&client, &paths);
@@ -66,7 +67,7 @@ fn slow_node_is_not_dead() {
 fn replicated_cluster_survives_failure_without_recache_burst() {
     let mut cfg = ClusterConfig::small(5, FtPolicy::RingRecache);
     cfg.ft.replication = 2;
-    let cluster = Cluster::start(cfg);
+    let cluster = Cluster::start(cfg).expect("boot cluster");
     let paths = cluster.stage_dataset("train", 40, 256);
     let client = cluster.client(0);
 
@@ -94,7 +95,8 @@ fn replicated_cluster_survives_failure_without_recache_burst() {
 fn revive_under_pfs_redirect_restores_cache_service() {
     // Even the redirect policy benefits from elastic grow-back: once the
     // node returns, its keys stop hitting the PFS.
-    let cluster = Cluster::start(ClusterConfig::small(3, FtPolicy::PfsRedirect));
+    let cluster =
+        Cluster::start(ClusterConfig::small(3, FtPolicy::PfsRedirect)).expect("boot cluster");
     let paths = cluster.stage_dataset("train", 24, 128);
     let client = cluster.client(0);
     epoch(&client, &paths);
@@ -104,7 +106,7 @@ fn revive_under_pfs_redirect_restores_cache_service() {
     epoch(&client, &paths);
     assert!(client.failed_nodes().contains(&NodeId(0)));
 
-    cluster.revive(NodeId(0));
+    cluster.revive(NodeId(0)).expect("revive");
     assert!(!client.failed_nodes().contains(&NodeId(0)));
     // One epoch to refill the revived node's cold cache…
     epoch(&client, &paths);
@@ -125,7 +127,8 @@ fn kill_during_first_epoch_cold_cache() {
     // The paper injects failures after epoch 1 so the cache is full; the
     // protocol must also survive the harder case of a failure while the
     // cache is still cold.
-    let cluster = Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache));
+    let cluster =
+        Cluster::start(ClusterConfig::small(4, FtPolicy::RingRecache)).expect("boot cluster");
     let paths = cluster.stage_dataset("train", 32, 64);
     let client = cluster.client(0);
 

@@ -12,7 +12,7 @@ const FILES: u32 = 60;
 /// Run the threaded cluster: warm epoch, kill node, two more epochs;
 /// return post-failure PFS reads.
 fn threaded_post_failure_reads(policy: FtPolicy, victim: NodeId) -> u64 {
-    let cluster = Cluster::start(ClusterConfig::small(NODES, policy));
+    let cluster = Cluster::start(ClusterConfig::small(NODES, policy)).expect("boot cluster");
     // Identical paths to the simulator's canonical naming.
     let dataset = Dataset::tiny(FILES, 64);
     let paths: Vec<String> = (0..FILES).map(|i| dataset.train_path(i)).collect();

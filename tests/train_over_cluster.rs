@@ -8,7 +8,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn rig(policy: FtPolicy, ranks: u32, samples: u32) -> (Arc<Cluster>, TrainDriver) {
-    let cluster = Arc::new(Cluster::start(ClusterConfig::small(ranks, policy)));
+    let cluster =
+        Arc::new(Cluster::start(ClusterConfig::small(ranks, policy)).expect("boot cluster"));
     let dataset = Dataset::tiny(samples, 512);
     for i in 0..dataset.train_samples {
         let p = dataset.train_path(i);
