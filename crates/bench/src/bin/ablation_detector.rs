@@ -9,9 +9,10 @@ use ftc_hashring::NodeId;
 use std::time::{Duration, Instant};
 
 /// Run one configuration: a transient spike shorter than death, then a
-/// real kill; report whether the spike caused a false positive and how
-/// long real detection took.
-fn run_case(ttl_ms: u64, limit: u32, spike_ms: u64) -> (bool, Duration) {
+/// real kill; report whether the spike caused a false positive, how long
+/// real detection took (client-poll measurement), and the kill→declare
+/// latency the observability timeline recorded for the same incident.
+fn run_case(ttl_ms: u64, limit: u32, spike_ms: u64) -> (bool, Duration, Option<Duration>) {
     let mut cfg = ClusterConfig::small(4, FtPolicy::RingRecache);
     cfg.ft.detector.ttl = Duration::from_millis(ttl_ms);
     cfg.ft.detector.timeout_limit = limit;
@@ -48,25 +49,35 @@ fn run_case(ttl_ms: u64, limit: u32, spike_ms: u64) -> (bool, Duration) {
             }
         }
     }
+    let obs_detect = cluster
+        .obs()
+        .timeline
+        .detection_latencies()
+        .first()
+        .copied();
     cluster.shutdown();
-    (false_positive, detect)
+    (false_positive, detect, obs_detect)
 }
 
 fn main() {
     ftc_bench::header("Ablation — detector TTL / TIMEOUT_LIMIT sensitivity");
     println!(
-        "{:>8} {:>7} {:>10} {:>16} {:>16}",
-        "TTL(ms)", "limit", "spike(ms)", "false positive?", "detect latency"
+        "{:>8} {:>7} {:>10} {:>16} {:>16} {:>16}",
+        "TTL(ms)", "limit", "spike(ms)", "false positive?", "detect latency", "obs kill→declare"
     );
     for (ttl, limit) in [(20u64, 1u32), (20, 3), (60, 1), (60, 3)] {
-        let (fp, detect) = run_case(ttl, limit, 30);
+        let (fp, detect, obs_detect) = run_case(ttl, limit, 30);
         println!(
-            "{:>8} {:>7} {:>10} {:>16} {:>14.0}ms",
+            "{:>8} {:>7} {:>10} {:>16} {:>14.0}ms {:>16}",
             ttl,
             limit,
             30,
             if fp { "YES (bad)" } else { "no" },
             detect.as_secs_f64() * 1e3,
+            match obs_detect {
+                Some(d) => format!("{:.1}ms", d.as_secs_f64() * 1e3),
+                None => "-".to_string(),
+            },
         );
     }
     println!(

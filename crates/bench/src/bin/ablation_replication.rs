@@ -7,7 +7,7 @@
 use ftc_core::{Cluster, ClusterConfig, FtPolicy};
 use ftc_hashring::NodeId;
 
-fn run_factor(replication: u32) -> (u64, u64, u64) {
+fn run_factor(replication: u32) -> (u64, u64, u64, u64) {
     let mut cfg = ClusterConfig::small(5, FtPolicy::RingRecache);
     cfg.ft.replication = replication;
     let cluster = Cluster::start(cfg).expect("boot cluster");
@@ -29,19 +29,23 @@ fn run_factor(replication: u32) -> (u64, u64, u64) {
     std::thread::sleep(std::time::Duration::from_millis(120));
     let post_failure_pfs = cluster.pfs().total_reads();
     let replicas = cluster.metrics().clients.replicas_written;
+    let read_p99 = ftc_bench::read_latency_snapshot(&cluster).quantile(0.99);
     cluster.shutdown();
-    (post_failure_pfs, footprint, replicas)
+    (post_failure_pfs, footprint, replicas, read_p99)
 }
 
 fn main() {
     ftc_bench::header("Ablation — replication factor vs post-failure PFS traffic");
     println!(
-        "{:>12} {:>20} {:>18} {:>16}",
-        "replication", "post-failure PFS", "NVMe bytes (warm)", "replicas pushed"
+        "{:>12} {:>20} {:>18} {:>16} {:>14}",
+        "replication", "post-failure PFS", "NVMe bytes (warm)", "replicas pushed", "read p99 (us)"
     );
     for k in [1u32, 2, 3] {
-        let (pfs, bytes, replicas) = run_factor(k);
-        println!("{:>12} {:>20} {:>18} {:>16}", k, pfs, bytes, replicas);
+        let (pfs, bytes, replicas, read_p99) = run_factor(k);
+        println!(
+            "{:>12} {:>20} {:>18} {:>16} {:>14}",
+            k, pfs, bytes, replicas, read_p99
+        );
     }
     println!(
         "\n[k=1 is the paper's design: one cache copy, PFS as fallback (recache burst on\n failure). k>=2 removes the burst entirely at the cost of k x NVMe footprint —\n the trade-off the paper's conclusion hints at for future work]"

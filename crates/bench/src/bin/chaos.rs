@@ -3,19 +3,91 @@
 //! integrity, recache economy, livelock freedom, no false failure
 //! declarations for degraded-but-alive nodes).
 //!
-//! `cargo run -p ftc-bench --release --bin chaos [--seed 1] [--campaigns 50] [--policy ring|pfs|noft]`
+//! `cargo run -p ftc-bench --release --bin chaos [--seed 1] [--campaigns 50] [--policy ring|pfs|noft] [--sabotage]`
 //!
-//! The fault schedule and every printed line are pure functions of the
-//! seed: `chaos --seed N` replays byte-identically. Exits non-zero if any
-//! invariant is violated.
+//! The fault schedule and every verdict are pure functions of the seed:
+//! `chaos --seed N` replays the same PASS/FAIL outcome byte-identically.
+//! Measured degraded-window latencies (printed per kill, and aggregated
+//! as p50/p99 across all campaigns at the end) are wall-clock and vary
+//! run to run. Exits non-zero if any invariant is violated.
+//!
+//! `--sabotage` runs the flight-recorder self-test instead: one campaign
+//! with the recache budget forced to zero, which must FAIL and must emit
+//! a flight dump — proving the postmortem path works before anyone needs
+//! it in anger. The forced violation does not affect the exit code; a
+//! *missing* dump does.
 
-use ft_cache::chaos::{run_campaign, ChaosPlan};
-use ftc_bench::{arg_or, header};
+use ft_cache::chaos::{run_campaign, run_campaign_sabotaged, ChaosAction, ChaosPlan};
+use ftc_bench::{arg_or, has_flag, header};
 use ftc_core::FtPolicy;
+use ftc_obs::percentile;
+use std::time::Duration;
+
+fn fmt_ms(d: Option<Duration>) -> String {
+    match d {
+        Some(d) => format!("{:.1}ms", d.as_secs_f64() * 1e3),
+        None => "-".to_owned(),
+    }
+}
+
+/// Print nearest-rank p50/p99 of a latency list, or note its absence.
+fn print_percentiles(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("  {label}: no kill-anchored incidents");
+        return;
+    }
+    println!(
+        "  {label}: n={} p50={} p99={} max={}",
+        samples.len(),
+        fmt_ms(percentile(samples, 0.50)),
+        fmt_ms(percentile(samples, 0.99)),
+        fmt_ms(samples.iter().max().copied()),
+    );
+}
+
+/// `--sabotage` self-test: force a recache-economy violation on a plan
+/// with a guaranteed kill and require the flight dump to materialize.
+fn sabotage_selftest(base_seed: u64) -> ! {
+    header("chaos --sabotage — forced-violation flight-recorder self-test");
+    // Find the first seed whose plan already schedules a kill, so the
+    // sabotaged run exercises the same path as a real failing campaign.
+    let plan = (base_seed..base_seed + 1000)
+        .map(ChaosPlan::generate)
+        .find(|p| {
+            p.events
+                .iter()
+                .any(|e| matches!(e.action, ChaosAction::Kill(_)))
+        })
+        .unwrap_or_else(|| {
+            eprintln!("no plan with a kill in 1000 seeds from {base_seed}");
+            std::process::exit(2);
+        });
+    println!("seed={} plan: {}", plan.seed, plan.summary());
+    let report = run_campaign_sabotaged(FtPolicy::RingRecache, &plan);
+    println!("  {report}");
+    match report.flight_dump.as_deref() {
+        Some(dump) if !report.passed() => {
+            println!("\n{dump}");
+            println!("\nsabotage self-test OK: violation fired and flight dump emitted");
+            std::process::exit(0);
+        }
+        Some(_) => {
+            println!("\nFAIL: dump emitted but no invariant fired");
+            std::process::exit(1);
+        }
+        None => {
+            println!("\nFAIL: sabotaged campaign produced no flight dump");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let base_seed: u64 = arg_or("--seed", 1);
     let campaigns: u64 = arg_or("--campaigns", 1);
+    if has_flag("--sabotage") {
+        sabotage_selftest(base_seed);
+    }
     let policy_filter = std::env::args()
         .position(|a| a == "--policy")
         .and_then(|i| std::env::args().nth(i + 1));
@@ -36,6 +108,8 @@ fn main() {
     ));
 
     let mut failures = 0u64;
+    let mut detection: Vec<Duration> = Vec::new();
+    let mut recovery: Vec<Duration> = Vec::new();
     for offset in 0..campaigns {
         let seed = base_seed + offset;
         let plan = ChaosPlan::generate(seed);
@@ -43,11 +117,28 @@ fn main() {
         for &policy in &policies {
             let report = run_campaign(policy, &plan);
             println!("  {report}");
+            for line in report.latency_summary() {
+                println!("    window: {line}");
+            }
             if !report.passed() {
                 failures += 1;
+                if let Some(dump) = &report.flight_dump {
+                    println!("{dump}");
+                }
+            }
+            // Aggregate degraded-window latencies only for the policies
+            // that recover (NoFt aborts by design, so a kill never
+            // completes an incident there).
+            if policy != FtPolicy::NoFt {
+                detection.extend(report.detection_latencies());
+                recovery.extend(report.recovery_latencies());
             }
         }
     }
+
+    println!("\ndegraded-window latency across all campaigns:");
+    print_percentiles("detection (kill -> declare)", &detection);
+    print_percentiles("recovery  (kill -> first recached hit)", &recovery);
 
     if failures > 0 {
         println!("\nFAIL: {failures} campaign run(s) violated invariants");

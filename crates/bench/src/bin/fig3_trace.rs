@@ -61,6 +61,8 @@ fn trace_policy(policy: FtPolicy, label: &str, steps: &[&str]) {
         m.clients.pfs_fetches_via_server,
         m.clients.nvme_hits,
     );
+    ftc_bench::print_latency_percentiles(&cluster);
+    println!();
     cluster.shutdown();
 }
 

@@ -1,0 +1,211 @@
+//! `ftc-top` — a live per-node dashboard over a real threaded cluster.
+//!
+//! Boots a real-mode [`Cluster`], drives read passes against it (killing
+//! one node mid-run so the degraded window is visible), and renders the
+//! cluster's observability hub: per-node hit ratio and residency, ring
+//! imbalance, inflight RPCs, read-latency p50/p99/p999 with histogram
+//! sparklines, and the degraded-window timeline of every incident.
+//!
+//! `cargo run -p ftc-bench --release --bin ftc-top -- [--once] [--prom]
+//!   [--nodes 4] [--files 48] [--passes 3] [--kill 1] [--kill-at 1]
+//!   [--no-kill] [--seed 7]`
+//!
+//! `--once` renders a single frame after the workload finishes (CI
+//! mode); the default renders a frame after every pass, clearing the
+//! screen between frames. `--prom` additionally dumps the Prometheus
+//! text exposition after the final frame.
+
+use ftc_bench::{arg_or, has_flag};
+use ftc_core::{Cluster, ClusterConfig, FtPolicy};
+use ftc_hashring::NodeId;
+use ftc_obs::{HistogramSnapshot, Sample, Value};
+
+/// Value of the first counter sample matching `name` + `label`.
+fn counter(samples: &[Sample], name: &str, label: Option<(&str, &str)>) -> u64 {
+    samples
+        .iter()
+        .find(|s| {
+            s.name == name
+                && match label {
+                    Some((k, v)) => s.labels.iter().any(|(lk, lv)| lk == k && lv == v),
+                    None => s.labels.is_empty(),
+                }
+        })
+        .and_then(|s| match s.value {
+            Value::Counter(c) => Some(c),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+/// Value of the first gauge sample matching `name` + `label`.
+fn gauge(samples: &[Sample], name: &str, label: Option<(&str, &str)>) -> f64 {
+    samples
+        .iter()
+        .find(|s| {
+            s.name == name
+                && match label {
+                    Some((k, v)) => s.labels.iter().any(|(lk, lv)| lk == k && lv == v),
+                    None => s.labels.is_empty(),
+                }
+        })
+        .and_then(|s| match s.value {
+            Value::Gauge(g) => Some(g),
+            _ => None,
+        })
+        .unwrap_or(0.0)
+}
+
+/// The first histogram sample named `name`.
+fn hist<'a>(samples: &'a [Sample], name: &str) -> Option<&'a HistogramSnapshot> {
+    samples
+        .iter()
+        .find(|s| s.name == name)
+        .and_then(|s| match &s.value {
+            Value::Histogram(h) => Some(h),
+            _ => None,
+        })
+}
+
+fn hist_line(samples: &[Sample], label: &str, name: &str) -> String {
+    match hist(samples, name) {
+        Some(h) if !h.is_empty() => format!(
+            "  {label:<12} n={:<6} p50={:<6} p99={:<6} p999={:<6} {}",
+            h.count,
+            format!("{}us", h.quantile(0.50)),
+            format!("{}us", h.quantile(0.99)),
+            format!("{}us", h.quantile(0.999)),
+            h.sparkline(24),
+        ),
+        _ => format!("  {label:<12} (no samples)"),
+    }
+}
+
+/// Render one dashboard frame from a sample sweep.
+fn render(cluster: &Cluster, nodes: u32, pass_label: &str) {
+    let samples = cluster.obs_samples();
+    let killed = cluster.killed_nodes();
+
+    println!("ftc-top — {pass_label}");
+    println!(
+        "ring: nodes={:.0} epoch={:.0} imbalance={:.3}   inflight reads={:.0}",
+        gauge(&samples, "ftc_ring_nodes", None),
+        gauge(&samples, "ftc_ring_epoch", None),
+        gauge(&samples, "ftc_ring_imbalance", None),
+        gauge(&samples, "ftc_client_inflight_reads", None),
+    );
+    println!(
+        "client: reads_ok={} timeouts={} retries={} declared_failed={}",
+        counter(&samples, "ftc_client_reads_ok_total", None),
+        counter(&samples, "ftc_client_rpc_timeouts_total", None),
+        counter(&samples, "ftc_client_retries_total", None),
+        counter(&samples, "ftc_client_nodes_declared_failed_total", None),
+    );
+    println!();
+    println!("  node   state  hits     misses   hit%    objects  bytes");
+    for i in 0..nodes {
+        let id = i.to_string();
+        let lbl = Some(("node", id.as_str()));
+        let hits = counter(&samples, "ftc_nvme_hits_total", lbl);
+        let misses = counter(&samples, "ftc_nvme_misses_total", lbl);
+        let ratio = if hits + misses == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / (hits + misses) as f64
+        };
+        let state = if killed.contains(&NodeId(i)) {
+            "DOWN"
+        } else {
+            "up"
+        };
+        println!(
+            "  n{i:<5} {state:<6} {hits:<8} {misses:<8} {ratio:<7.1} {:<8.0} {:.0}",
+            gauge(&samples, "ftc_nvme_resident_objects", lbl),
+            gauge(&samples, "ftc_nvme_resident_bytes", lbl),
+        );
+    }
+    println!();
+    println!("read latency by tier:");
+    println!("{}", hist_line(&samples, "nvme", "ftc_client_read_nvme_us"));
+    println!(
+        "{}",
+        hist_line(&samples, "server->pfs", "ftc_client_read_server_pfs_us")
+    );
+    println!(
+        "{}",
+        hist_line(&samples, "direct pfs", "ftc_client_read_direct_pfs_us")
+    );
+    println!("net rpc:");
+    println!("{}", hist_line(&samples, "ok", "ftc_net_rpc_ok_us"));
+    println!(
+        "{}",
+        hist_line(&samples, "timeout", "ftc_net_rpc_timeout_us")
+    );
+
+    let incidents = cluster.obs().timeline.incidents();
+    if !incidents.is_empty() {
+        println!();
+        println!("degraded-window timeline:");
+        for inc in incidents {
+            println!("  {inc}");
+        }
+    }
+}
+
+fn main() {
+    let nodes: u32 = arg_or("--nodes", 4);
+    let files: usize = arg_or("--files", 48);
+    let passes: u32 = arg_or("--passes", 3);
+    let kill: u32 = arg_or("--kill", 1);
+    let kill_at: u32 = arg_or("--kill-at", 1);
+    let seed: u64 = arg_or("--seed", 7);
+    let once = has_flag("--once");
+    let no_kill = has_flag("--no-kill") || kill >= nodes;
+
+    let mut cfg = ClusterConfig::small(nodes, FtPolicy::RingRecache);
+    cfg.seed = seed;
+    let cluster = match Cluster::start(cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cluster failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let paths = cluster.stage_dataset("top", files, 64);
+    let client = cluster.client(0);
+
+    for pass in 0..=passes {
+        if !no_kill && pass == kill_at {
+            cluster.kill(NodeId(kill));
+        }
+        for p in &paths {
+            if let Err(e) = client.read(p) {
+                eprintln!("read {p} failed: {e}");
+            }
+        }
+        if !once {
+            // ANSI clear + home so successive frames overwrite in place.
+            print!("\x1b[2J\x1b[H");
+            render(
+                &cluster,
+                nodes,
+                &format!("pass {pass}/{passes} (live, seed {seed})"),
+            );
+            std::thread::sleep(std::time::Duration::from_millis(arg_or(
+                "--refresh-ms",
+                250,
+            )));
+        }
+    }
+    // Let movers settle so the final residency/recache numbers are stable.
+    std::thread::sleep(std::time::Duration::from_millis(80));
+
+    if once {
+        render(&cluster, nodes, &format!("final snapshot (seed {seed})"));
+    }
+    if has_flag("--prom") {
+        println!();
+        print!("{}", ftc_obs::render_prometheus(&cluster.obs_samples()));
+    }
+    cluster.shutdown();
+}

@@ -52,6 +52,56 @@ pub fn fmt_mmss(s: f64) -> String {
     format!("{m:02}:{:04.1}", s - m as f64 * 60.0)
 }
 
+/// The client-side read-latency histograms of a live cluster, merged
+/// across serving tiers (NVMe, server-mediated PFS, direct PFS) into one
+/// distribution — the "how long did reads take" number for experiment
+/// tables.
+pub fn read_latency_snapshot(cluster: &ftc_core::Cluster) -> ftc_obs::HistogramSnapshot {
+    let mut merged = ftc_obs::HistogramSnapshot::empty();
+    for s in cluster.obs_samples() {
+        if let ftc_obs::Value::Histogram(h) = &s.value {
+            if s.name.starts_with("ftc_client_read_") && s.name.ends_with("_us") {
+                merged = merged.merge(h);
+            }
+        }
+    }
+    merged
+}
+
+/// Print per-tier read and RPC latency percentiles harvested from a live
+/// cluster's observability hub — the shared tail for every bin that
+/// drives a threaded cluster, so experiments report latency
+/// distributions, not just event counts.
+pub fn print_latency_percentiles(cluster: &ftc_core::Cluster) {
+    let samples = cluster.obs_samples();
+    println!("latency percentiles (us):");
+    for (label, name) in [
+        ("read nvme", "ftc_client_read_nvme_us"),
+        ("read server->pfs", "ftc_client_read_server_pfs_us"),
+        ("read direct pfs", "ftc_client_read_direct_pfs_us"),
+        ("net rpc ok", "ftc_net_rpc_ok_us"),
+        ("net rpc timeout", "ftc_net_rpc_timeout_us"),
+    ] {
+        let hist = samples.iter().find(|s| s.name == name).and_then(|s| {
+            if let ftc_obs::Value::Histogram(h) = &s.value {
+                Some(h)
+            } else {
+                None
+            }
+        });
+        match hist {
+            Some(h) if !h.is_empty() => println!(
+                "  {label:<17} n={:<7} p50={:<8} p99={:<8} p999={}",
+                h.count,
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.quantile(0.999),
+            ),
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,7 +28,7 @@ use ftc_storage::Pfs;
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Why a read could not be satisfied.
@@ -81,6 +81,19 @@ pub enum ReadVia {
     DirectPfs,
 }
 
+/// Observability handles cached at attach time (one registry lookup per
+/// metric, then lock-free recording on the read path).
+struct ClientObs {
+    hub: Arc<ftc_obs::ObsHub>,
+    /// Flight-recorder actor string, e.g. `"client:n100"`.
+    actor: String,
+    read_nvme_us: Arc<ftc_obs::Histogram>,
+    read_server_pfs_us: Arc<ftc_obs::Histogram>,
+    read_direct_pfs_us: Arc<ftc_obs::Histogram>,
+    read_errors: Arc<ftc_obs::Counter>,
+    inflight_reads: Arc<ftc_obs::Gauge>,
+}
+
 /// The FT-Cache client for one training process.
 pub struct HvacClient {
     me: NodeId,
@@ -97,6 +110,9 @@ pub struct HvacClient {
     /// lock) on every membership change, stamped onto `ReadServed` trace
     /// events so the race detector can relate reads to ring updates.
     epoch: AtomicU64,
+    /// Observability plane, attached after construction (the cluster owns
+    /// the hub; `FtConfig` stays `Copy`). Never re-attached.
+    obs: OnceLock<ClientObs>,
 }
 
 impl HvacClient {
@@ -118,6 +134,32 @@ impl HvacClient {
             metrics: Arc::new(ClientMetrics::default()),
             jitter_rng: Mutex::new(0x9E37_79B9_7F4A_7C15 ^ u64::from(me.0)),
             epoch: AtomicU64::new(0),
+            obs: OnceLock::new(),
+        }
+    }
+
+    /// Attach the observability hub: read latencies by provenance feed
+    /// per-client histograms, and detector / ring transitions stamp the
+    /// degraded-window timeline and the flight recorder. First attach
+    /// wins; later calls are ignored (a client observes one system).
+    pub fn attach_obs(&self, hub: &Arc<ftc_obs::ObsHub>) {
+        let _ = self.obs.set(ClientObs {
+            hub: Arc::clone(hub),
+            actor: format!("client:{}", self.me),
+            read_nvme_us: hub.registry.histogram("ftc_client_read_nvme_us"),
+            read_server_pfs_us: hub.registry.histogram("ftc_client_read_server_pfs_us"),
+            read_direct_pfs_us: hub.registry.histogram("ftc_client_read_direct_pfs_us"),
+            read_errors: hub.registry.counter("ftc_client_read_errors_total"),
+            inflight_reads: hub.registry.gauge("ftc_client_inflight_reads"),
+        });
+    }
+
+    /// Stamp `phase` for `node` on the degraded-window timeline and leave
+    /// a matching flight-recorder event. No-op until `attach_obs`.
+    fn obs_phase(&self, node: NodeId, phase: ftc_obs::Phase, detail: impl FnOnce() -> String) {
+        if let Some(obs) = self.obs.get() {
+            obs.hub.timeline.mark(node.0, phase);
+            obs.hub.flight.record(&obs.actor, phase.label(), detail());
         }
     }
 
@@ -142,6 +184,17 @@ impl HvacClient {
             new_epoch: old + 1,
             joined,
         });
+        if joined {
+            if let Some(obs) = self.obs.get() {
+                obs.hub
+                    .flight
+                    .record(&obs.actor, "readmit", format!("{node} epoch {}", old + 1));
+            }
+        } else {
+            self.obs_phase(node, ftc_obs::Phase::RingUpdate, || {
+                format!("{node} removed, epoch {} -> {}", old, old + 1)
+            });
+        }
     }
 
     /// The placement-view epoch: number of membership changes this client
@@ -205,10 +258,40 @@ impl HvacClient {
     /// pattern — flapping nodes, moving partitions, total loss — the call
     /// returns in bounded time.
     pub fn read_traced(&self, path: &str) -> Result<ReadOutcome, ReadError> {
+        let Some(obs) = self.obs.get() else {
+            return self.read_attempts(path);
+        };
+        obs.inflight_reads.add(1);
+        let started = Instant::now();
+        let result = self.read_attempts(path);
+        let elapsed = started.elapsed();
+        obs.inflight_reads.add(-1);
+        match &result {
+            Ok(out) => match out.via {
+                ReadVia::ServerNvme(_) => obs.read_nvme_us.record_micros(elapsed),
+                ReadVia::ServerPfsFetch(_) => obs.read_server_pfs_us.record_micros(elapsed),
+                ReadVia::DirectPfs => obs.read_direct_pfs_us.record_micros(elapsed),
+            },
+            Err(e) => {
+                obs.read_errors.inc();
+                obs.hub
+                    .flight
+                    .record(&obs.actor, "read_error", format!("{path}: {e}"));
+            }
+        }
+        result
+    }
+
+    /// The retry loop behind [`read_traced`](Self::read_traced).
+    fn read_attempts(&self, path: &str) -> Result<ReadOutcome, ReadError> {
         let ttl = self.config.detector.ttl;
         let retry = self.config.retry;
         let started = Instant::now();
         let mut backoff = Duration::ZERO;
+        // Set when this read fails over from a removed ring owner; a
+        // subsequent server-served success is then that node's first
+        // recached hit — the end of its degraded window.
+        let mut failed_over_from: Option<NodeId> = None;
 
         for attempt in 0..retry.max_attempts.max(1) {
             if attempt > 0 {
@@ -254,6 +337,14 @@ impl HvacClient {
                         owner,
                         epoch: view_epoch,
                     });
+                    if let Some(dead) = failed_over_from.take() {
+                        // The dead node's keys are serving from a survivor
+                        // again: its degraded window (for this client) is
+                        // over.
+                        self.obs_phase(dead, ftc_obs::Phase::FirstRecachedHit, || {
+                            format!("{path} now served by {owner} (was {dead})")
+                        });
+                    }
                     ClientMetrics::inc(&self.metrics.reads_ok);
                     ClientMetrics::add(&self.metrics.bytes_read, bytes.len() as u64);
                     let via = match source {
@@ -286,13 +377,24 @@ impl HvacClient {
                 }
                 Err(e) if e.indicates_failure() => {
                     ClientMetrics::inc(&self.metrics.rpc_timeouts);
+                    if let Some(obs) = self.obs.get() {
+                        // First timeout per incident; later ones are
+                        // no-ops inside the recorder.
+                        obs.hub.timeline.mark(owner.0, ftc_obs::Phase::FirstTimeout);
+                    }
                     let verdict = self.detector.lock().record_timeout(owner);
                     match verdict {
                         Verdict::Suspect { count } => {
-                            self.trace_with(|| TraceEventKind::Suspect { node: owner, count })
+                            self.trace_with(|| TraceEventKind::Suspect { node: owner, count });
+                            self.obs_phase(owner, ftc_obs::Phase::Suspect, || {
+                                format!("{owner} timeout #{count}")
+                            });
                         }
                         Verdict::JustFailed => {
-                            self.trace_with(|| TraceEventKind::Declare { node: owner })
+                            self.trace_with(|| TraceEventKind::Declare { node: owner });
+                            self.obs_phase(owner, ftc_obs::Phase::Declare, || {
+                                format!("{owner} declared failed")
+                            });
                         }
                         Verdict::AlreadyFailed => {}
                     }
@@ -318,6 +420,7 @@ impl HvacClient {
                                 if verdict == Verdict::JustFailed {
                                     ClientMetrics::inc(&self.metrics.nodes_declared_failed);
                                 }
+                                failed_over_from = Some(owner);
                                 ClientMetrics::inc(&self.metrics.retries);
                                 continue; // new clockwise owner serves it
                             }
@@ -352,6 +455,9 @@ impl HvacClient {
     pub fn mark_failed(&self, node: NodeId) {
         self.detector.lock().mark_failed(node);
         self.trace_with(|| TraceEventKind::Declare { node });
+        self.obs_phase(node, ftc_obs::Phase::Declare, || {
+            format!("{node} declared failed out-of-band")
+        });
         if self.config.policy == FtPolicy::RingRecache {
             let mut p = self.placement.lock();
             if p.contains(node) {
@@ -782,6 +888,51 @@ mod tests {
             0,
             "replication means zero PFS fallback after failure"
         );
+    }
+
+    #[test]
+    fn failure_stamps_full_degraded_window_timeline() {
+        use ftc_obs::Phase;
+        let r = rig(4, 16);
+        let c = client(&r, FtPolicy::RingRecache);
+        let hub = ftc_obs::ObsHub::shared();
+        c.attach_obs(&hub);
+        read_all(&c, 16); // warm epoch
+        std::thread::sleep(Duration::from_millis(50));
+
+        hub.timeline.mark(1, Phase::Kill); // what the injector would stamp
+        r.net.kill(NodeId(1));
+        r.servers[1].request_stop();
+        read_all(&c, 16); // detection pass
+        read_all(&c, 16); // failover pass: first recached hits
+
+        let incidents = hub.timeline.incidents();
+        let inc = incidents
+            .iter()
+            .find(|i| i.node == 1)
+            .expect("incident for n1");
+        for phase in Phase::ALL {
+            assert!(
+                inc.stamp(phase).is_some(),
+                "phase {} never stamped: {inc}",
+                phase.label()
+            );
+        }
+        let det = inc.detection_latency().expect("detection latency");
+        let rec = inc.recovery_latency().expect("recovery latency");
+        assert!(det <= rec);
+        // Detection needs timeout_limit = 2 TTLs of 25 ms; recovery adds
+        // the failover read. Both must be sane wall-clock values.
+        assert!(det >= Duration::from_millis(25), "det = {det:?}");
+        assert!(rec < Duration::from_secs(30), "rec = {rec:?}");
+        // Read-path histograms saw the traffic, split by provenance.
+        let nvme = hub.registry.histogram("ftc_client_read_nvme_us").snapshot();
+        assert!(nvme.count >= 16, "warm epoch must land as NVMe hits");
+        // The flight recorder holds the whole story.
+        let dump = hub.flight.dump();
+        for needle in ["suspect", "declare", "ring_update", "first_recached_hit"] {
+            assert!(dump.contains(needle), "missing {needle} in dump:\n{dump}");
+        }
     }
 
     #[test]

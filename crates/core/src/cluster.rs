@@ -63,6 +63,9 @@ pub struct Cluster {
     clients: Mutex<Vec<Arc<HvacClient>>>,
     killed: Mutex<HashSet<NodeId>>,
     recache_counts: Mutex<Vec<(u64, u64)>>,
+    /// The cluster's observability plane: attached to the fabric at boot
+    /// and to every client at creation; kills stamp the timeline here.
+    hub: Arc<ftc_obs::ObsHub>,
 }
 
 impl Cluster {
@@ -70,6 +73,8 @@ impl Cluster {
     /// cannot be spawned; already-started servers shut down via `Drop`.
     pub fn start(config: ClusterConfig) -> Result<Self, CoreError> {
         let net: CacheNet = Network::new(config.latency, config.seed);
+        let hub = ftc_obs::ObsHub::shared();
+        net.attach_obs(&hub);
         let pfs = Arc::new(Pfs::in_memory());
         let mut servers = Vec::with_capacity(config.nodes as usize);
         let mut caches = Vec::with_capacity(config.nodes as usize);
@@ -87,6 +92,7 @@ impl Cluster {
             caches: Mutex::new(caches),
             clients: Mutex::new(Vec::new()),
             killed: Mutex::new(HashSet::new()),
+            hub,
         })
     }
 
@@ -129,8 +135,16 @@ impl Cluster {
             self.config.nodes,
             self.config.ft,
         ));
+        c.attach_obs(&self.hub);
         self.clients.lock().push(Arc::clone(&c));
         c
+    }
+
+    /// The cluster's observability hub (registry + timeline + flight
+    /// recorder). The chaos harness stamps kills and embeds snapshots
+    /// through this handle.
+    pub fn obs(&self) -> &Arc<ftc_obs::ObsHub> {
+        &self.hub
     }
 
     /// Kill a node the way the paper does: it stops responding with no
@@ -140,6 +154,10 @@ impl Cluster {
         if !killed.insert(node) {
             return;
         }
+        // Stamp the incident's anchor phase before silencing the fabric,
+        // so every downstream stamp measures from the true kill instant.
+        self.hub.timeline.mark(node.0, ftc_obs::Phase::Kill);
+        self.hub.flight.record("cluster", "kill", node.to_string());
         self.net.kill(node);
         // Reclaim the thread; record its mover totals first so cluster
         // metrics stay complete after the handle is gone.
@@ -187,6 +205,9 @@ impl Cluster {
         for c in self.clients.lock().iter() {
             c.readmit(node);
         }
+        self.hub
+            .flight
+            .record("cluster", "revive", node.to_string());
         Ok(())
     }
 
@@ -234,6 +255,58 @@ impl Cluster {
             files_recached,
             recached_bytes,
         }
+    }
+
+    /// Flatten every observable in the cluster into exposition samples:
+    /// the obs registry (latency histograms, gauges), the legacy flat
+    /// snapshots (client counters, net stats, per-node NVMe stats, each
+    /// node labelled), and the ring health gauges. One call renders to
+    /// Prometheus text or JSON via `ftc_obs::render_*`.
+    pub fn obs_samples(&self) -> Vec<ftc_obs::Sample> {
+        use ftc_obs::Export;
+        let mut out = self.hub.registry.export();
+        let metrics = self.metrics();
+        metrics.clients.export_into(&mut out);
+        out.push(ftc_obs::Sample::counter(
+            "ftc_pfs_reads_total",
+            metrics.pfs_total_reads,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_mover_files_recached_total",
+            metrics.files_recached,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_mover_recached_bytes_total",
+            metrics.recached_bytes,
+        ));
+        self.net.stats().export_into(&mut out);
+        for (i, cache) in self.caches.lock().iter().enumerate() {
+            let mut per_node = Vec::new();
+            cache.stats().export_into(&mut per_node);
+            for mut s in per_node {
+                s.labels.push(("node".to_owned(), i.to_string()));
+                out.push(s);
+            }
+        }
+        let epoch = self
+            .clients
+            .lock()
+            .iter()
+            .map(|c| c.ring_epoch())
+            .max()
+            .unwrap_or(0);
+        let survivors: Vec<u64> = {
+            let killed = self.killed.lock();
+            self.caches
+                .lock()
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| !killed.contains(&NodeId(i as u32)))
+                .map(|(_, c)| c.stats().resident_objects)
+                .collect()
+        };
+        ftc_hashring::stats::RingStats::from_loads(epoch, &survivors).export_into(&mut out);
+        out
     }
 
     /// Per-node count of cached objects — the load-distribution
@@ -339,6 +412,53 @@ mod tests {
         for p in &paths {
             assert_eq!(c.read(p).unwrap(), synth_bytes(p, 16));
         }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn obs_samples_cover_every_layer() {
+        let cluster = Cluster::start(ClusterConfig::small(3, FtPolicy::RingRecache)).expect("boot");
+        let paths = cluster.stage_dataset("train", 9, 16);
+        let c = cluster.client(0);
+        for p in &paths {
+            c.read(p).unwrap();
+        }
+        let samples = cluster.obs_samples();
+        let has = |n: &str| samples.iter().any(|s| s.name == n);
+        // Registry histograms (net + client), legacy flat counters, ring.
+        for name in [
+            "ftc_net_rpc_ok_us",
+            "ftc_client_read_nvme_us",
+            "ftc_client_reads_ok_total",
+            "ftc_net_rpcs_sent_total",
+            "ftc_nvme_hits_total",
+            "ftc_ring_imbalance",
+        ] {
+            assert!(has(name), "missing {name} in cluster exposition");
+        }
+        // Per-node NVMe samples carry node labels.
+        let labelled = samples
+            .iter()
+            .filter(|s| s.name == "ftc_nvme_resident_objects")
+            .count();
+        assert_eq!(labelled, 3, "one resident-objects gauge per node");
+        // The whole set renders without panicking in both formats.
+        let text = ftc_obs::render_prometheus(&samples);
+        assert!(text.contains("# TYPE ftc_ring_imbalance gauge"));
+        let json = ftc_obs::render_json(&samples);
+        assert!(json.contains("\"ftc_client_read_nvme_us\""));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn kill_stamps_the_timeline() {
+        let cluster = Cluster::start(ClusterConfig::small(3, FtPolicy::RingRecache)).expect("boot");
+        cluster.kill(NodeId(1));
+        let incidents = cluster.obs().timeline.incidents();
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].node, 1);
+        assert!(incidents[0].stamp(ftc_obs::Phase::Kill).is_some());
+        assert!(cluster.obs().flight.dump().contains("kill"));
         cluster.shutdown();
     }
 

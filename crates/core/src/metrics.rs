@@ -92,19 +92,67 @@ impl ClientMetrics {
 }
 
 impl ClientMetricsSnapshot {
-    /// Element-wise sum (aggregation across ranks).
+    /// Element-wise sum (aggregation across ranks). Saturating: a
+    /// long-running campaign or a fuzzed snapshot near `u64::MAX` must
+    /// aggregate to a pinned ceiling, not panic in debug or wrap in
+    /// release.
     pub fn merge(&self, other: &Self) -> Self {
         ClientMetricsSnapshot {
-            reads_ok: self.reads_ok + other.reads_ok,
-            nvme_hits: self.nvme_hits + other.nvme_hits,
-            pfs_fetches_via_server: self.pfs_fetches_via_server + other.pfs_fetches_via_server,
-            pfs_direct_reads: self.pfs_direct_reads + other.pfs_direct_reads,
-            rpc_timeouts: self.rpc_timeouts + other.rpc_timeouts,
-            retries: self.retries + other.retries,
-            nodes_declared_failed: self.nodes_declared_failed + other.nodes_declared_failed,
-            bytes_read: self.bytes_read + other.bytes_read,
-            replicas_written: self.replicas_written + other.replicas_written,
+            reads_ok: self.reads_ok.saturating_add(other.reads_ok),
+            nvme_hits: self.nvme_hits.saturating_add(other.nvme_hits),
+            pfs_fetches_via_server: self
+                .pfs_fetches_via_server
+                .saturating_add(other.pfs_fetches_via_server),
+            pfs_direct_reads: self.pfs_direct_reads.saturating_add(other.pfs_direct_reads),
+            rpc_timeouts: self.rpc_timeouts.saturating_add(other.rpc_timeouts),
+            retries: self.retries.saturating_add(other.retries),
+            nodes_declared_failed: self
+                .nodes_declared_failed
+                .saturating_add(other.nodes_declared_failed),
+            bytes_read: self.bytes_read.saturating_add(other.bytes_read),
+            replicas_written: self.replicas_written.saturating_add(other.replicas_written),
         }
+    }
+}
+
+impl ftc_obs::Export for ClientMetricsSnapshot {
+    fn export_into(&self, out: &mut Vec<ftc_obs::Sample>) {
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_reads_ok_total",
+            self.reads_ok,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_nvme_hits_total",
+            self.nvme_hits,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_pfs_fetches_via_server_total",
+            self.pfs_fetches_via_server,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_pfs_direct_reads_total",
+            self.pfs_direct_reads,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_rpc_timeouts_total",
+            self.rpc_timeouts,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_retries_total",
+            self.retries,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_nodes_declared_failed_total",
+            self.nodes_declared_failed,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_bytes_read_total",
+            self.bytes_read,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_replicas_written_total",
+            self.replicas_written,
+        ));
     }
 }
 
@@ -163,6 +211,47 @@ mod tests {
         assert_eq!(s.reads_ok, 3);
         assert_eq!(s.bytes_read, 150);
         assert_eq!(s.rpc_timeouts, 0);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let a = ClientMetricsSnapshot {
+            bytes_read: u64::MAX - 10,
+            reads_ok: u64::MAX,
+            ..Default::default()
+        };
+        let b = ClientMetricsSnapshot {
+            bytes_read: 100,
+            reads_ok: 1,
+            ..Default::default()
+        };
+        let s = a.merge(&b);
+        assert_eq!(s.bytes_read, u64::MAX);
+        assert_eq!(s.reads_ok, u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_exports_every_counter() {
+        use ftc_obs::{Export, Value};
+        let snap = ClientMetricsSnapshot {
+            reads_ok: 3,
+            bytes_read: 4096,
+            ..Default::default()
+        };
+        let samples = snap.export();
+        // One sample per public field — nothing reachable only privately.
+        assert_eq!(samples.len(), 9);
+        let find = |n: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == n)
+                .unwrap_or_else(|| panic!("missing sample {n}"))
+        };
+        assert_eq!(find("ftc_client_reads_ok_total").value, Value::Counter(3));
+        assert_eq!(
+            find("ftc_client_bytes_read_total").value,
+            Value::Counter(4096)
+        );
     }
 
     #[test]

@@ -70,9 +70,54 @@ impl TrialStats {
     }
 }
 
+/// Point-in-time placement health for exposition: node count, epoch, and
+/// the load-imbalance factor of a sampled key distribution. Built by
+/// whoever holds both the placement and a load vector (the cluster, the
+/// dashboard); kept here so the gauge names live next to the math.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RingStats {
+    /// Live nodes in the placement.
+    pub nodes: u64,
+    /// Current placement epoch (bumped on every membership change).
+    pub epoch: u64,
+    /// `max/mean` of per-node loads — 1.0 is perfect balance.
+    pub imbalance: f64,
+}
+
+impl RingStats {
+    /// Derive from an epoch and a per-node load sample.
+    pub fn from_loads(epoch: u64, loads: &[u64]) -> Self {
+        RingStats {
+            nodes: loads.len() as u64,
+            epoch,
+            imbalance: imbalance_factor(loads),
+        }
+    }
+}
+
+impl ftc_obs::Export for RingStats {
+    fn export_into(&self, out: &mut Vec<ftc_obs::Sample>) {
+        out.push(ftc_obs::Sample::gauge("ftc_ring_nodes", self.nodes as f64));
+        out.push(ftc_obs::Sample::gauge("ftc_ring_epoch", self.epoch as f64));
+        out.push(ftc_obs::Sample::gauge("ftc_ring_imbalance", self.imbalance));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ring_stats_export() {
+        use ftc_obs::{Export, Value};
+        let rs = RingStats::from_loads(4, &[10, 10, 10, 30]);
+        assert_eq!(rs.nodes, 4);
+        assert_eq!(rs.epoch, 4);
+        assert!((rs.imbalance - 2.0).abs() < 1e-12);
+        let samples = rs.export();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[1].value, Value::Gauge(4.0));
+    }
 
     #[test]
     fn mean_and_std() {

@@ -135,11 +135,71 @@ impl NetStats {
     }
 }
 
+impl ftc_obs::Export for NetStatsSnapshot {
+    fn export_into(&self, out: &mut Vec<ftc_obs::Sample>) {
+        out.push(ftc_obs::Sample::counter(
+            "ftc_net_rpcs_sent_total",
+            self.rpcs_sent,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_net_rpcs_ok_total",
+            self.rpcs_ok,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_net_timeouts_total",
+            self.timeouts,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_net_dropped_total",
+            self.dropped,
+        ));
+        out.push(
+            ftc_obs::Sample::counter("ftc_net_dropped_cause_total", self.dropped_killed)
+                .with_label("cause", "killed"),
+        );
+        out.push(
+            ftc_obs::Sample::counter("ftc_net_dropped_cause_total", self.dropped_link)
+                .with_label("cause", "link"),
+        );
+        out.push(
+            ftc_obs::Sample::counter("ftc_net_dropped_cause_total", self.dropped_partition)
+                .with_label("cause", "partition"),
+        );
+        out.push(ftc_obs::Sample::counter(
+            "ftc_net_bytes_sent_total",
+            self.bytes_sent,
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
+
+    #[test]
+    fn snapshot_exports_with_cause_labels() {
+        use ftc_obs::Export;
+        let snap = NetStatsSnapshot {
+            rpcs_sent: 10,
+            dropped: 3,
+            dropped_killed: 2,
+            dropped_link: 1,
+            ..Default::default()
+        };
+        let samples = snap.export();
+        assert_eq!(samples.len(), 8);
+        let causes: Vec<_> = samples
+            .iter()
+            .filter(|s| s.name == "ftc_net_dropped_cause_total")
+            .collect();
+        assert_eq!(causes.len(), 3);
+        assert_eq!(
+            causes[0].labels,
+            vec![("cause".to_owned(), "killed".to_owned())]
+        );
+    }
 
     #[test]
     fn snapshot_reflects_counters() {

@@ -148,8 +148,8 @@ impl<Req: Payload, Resp: Payload> Incoming<Req, Resp> {
             .read()
             .contains(&(self.served_by, self.from))
         {
-            NetStats::inc_completion(&self.net.stats.dropped);
-            NetStats::inc_completion(&self.net.stats.dropped_partition);
+            self.net
+                .record_drop(DropCause::Partition, self.served_by, self.from);
             return;
         }
         NetStats::add(&self.net.stats.bytes_sent, resp.wire_size() as u64);
@@ -241,6 +241,14 @@ enum DropCause {
     Link,
 }
 
+/// Observability handles cached at attach time so the RPC fast path pays
+/// one `RwLock` read + one histogram `fetch_add`, never a registry lookup.
+struct NetObs {
+    hub: Arc<ftc_obs::ObsHub>,
+    rpc_ok_us: Arc<ftc_obs::Histogram>,
+    rpc_timeout_us: Arc<ftc_obs::Histogram>,
+}
+
 struct Inner<Req, Resp> {
     mailboxes: RwLock<HashMap<NodeId, Sender<Incoming<Req, Resp>>>>,
     down: RwLock<HashSet<NodeId>>,
@@ -252,6 +260,7 @@ struct Inner<Req, Resp> {
     latency: LatencyModel,
     stats: NetStats,
     tracer: RwLock<Option<Arc<Tracer>>>,
+    obs: RwLock<Option<NetObs>>,
 }
 
 impl<Req, Resp> Inner<Req, Resp> {
@@ -277,7 +286,7 @@ impl<Req, Resp> Inner<Req, Resp> {
         None
     }
 
-    fn record_drop(&self, cause: DropCause) {
+    fn record_drop(&self, cause: DropCause, from: NodeId, to: NodeId) {
         NetStats::inc_completion(&self.stats.dropped);
         let by_cause = match cause {
             DropCause::Partition => &self.stats.dropped_partition,
@@ -285,6 +294,27 @@ impl<Req, Resp> Inner<Req, Resp> {
             DropCause::Flaky | DropCause::Link => &self.stats.dropped_link,
         };
         NetStats::inc_completion(by_cause);
+        if let Some(obs) = self.obs.read().as_ref() {
+            obs.hub
+                .flight
+                .record("net", "drop", format!("{from}->{to} {cause:?}"));
+        }
+    }
+
+    /// Feed an RPC outcome to the attached observability plane, if any.
+    fn observe_rpc(&self, to: NodeId, elapsed: Duration, ok: bool) {
+        if let Some(obs) = self.obs.read().as_ref() {
+            if ok {
+                obs.rpc_ok_us.record_micros(elapsed);
+            } else {
+                obs.rpc_timeout_us.record_micros(elapsed);
+                obs.hub.flight.record(
+                    "net",
+                    "rpc_timeout",
+                    format!("{to} after {:.1}ms", elapsed.as_secs_f64() * 1e3),
+                );
+            }
+        }
     }
 }
 
@@ -317,6 +347,7 @@ impl<Req: Payload, Resp: Payload> Network<Req, Resp> {
                 latency,
                 stats: NetStats::default(),
                 tracer: RwLock::new(None),
+                obs: RwLock::new(None),
             }),
         }
     }
@@ -449,6 +480,20 @@ impl<Req: Payload, Resp: Payload> Network<Req, Resp> {
         self.inner.tracer.read().clone()
     }
 
+    /// Attach an observability hub: RPC outcomes feed the
+    /// `ftc_net_rpc_ok_us` / `ftc_net_rpc_timeout_us` histograms and
+    /// drops/timeouts leave flight-recorder events. Histogram handles are
+    /// resolved once here, so the per-RPC cost is one lock-free record.
+    /// Idempotent; the last attached hub wins.
+    pub fn attach_obs(&self, hub: &Arc<ftc_obs::ObsHub>) {
+        let obs = NetObs {
+            hub: Arc::clone(hub),
+            rpc_ok_us: hub.registry.histogram("ftc_net_rpc_ok_us"),
+            rpc_timeout_us: hub.registry.histogram("ftc_net_rpc_timeout_us"),
+        };
+        *self.inner.obs.write() = Some(obs);
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> NetStatsSnapshot {
         self.inner.stats.snapshot()
@@ -523,7 +568,7 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
             .as_ref()
             .map(|t| t.record_send(self.me, TraceEventKind::MsgSend { to }));
         let delivered = if let Some(cause) = self.net.request_drop_cause(self.me, to) {
-            self.net.record_drop(cause);
+            self.net.record_drop(cause, self.me, to);
             false
         } else {
             NetStats::add(&self.net.stats.bytes_sent, req_bytes as u64);
@@ -548,11 +593,13 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
             // message may still arrive and be served, but the caller has
             // already given up. Deterministic timeout, no reply race.
             NetStats::inc_completion(&self.net.stats.timeouts);
+            self.net.observe_rpc(to, start.elapsed(), false);
             return Err(RpcError::Timeout { to });
         }
         match reply_rx.recv_timeout(remaining) {
             Ok(traced) => {
                 NetStats::inc_completion(&self.net.stats.rpcs_ok);
+                self.net.observe_rpc(to, start.elapsed(), true);
                 if let (Some(t), Some(s)) = (tracer.as_ref(), traced.stamp.as_ref()) {
                     t.record_recv(self.me, s, TraceEventKind::ReplyRecv { from: to });
                 }
@@ -560,6 +607,7 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
             }
             Err(RecvTimeoutError::Timeout) => {
                 NetStats::inc_completion(&self.net.stats.timeouts);
+                self.net.observe_rpc(to, start.elapsed(), false);
                 Err(RpcError::Timeout { to })
             }
             Err(RecvTimeoutError::Disconnected) => {
@@ -570,6 +618,7 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
                 let _ = delivered;
                 std::thread::sleep(timeout.saturating_sub(start.elapsed()));
                 NetStats::inc_completion(&self.net.stats.timeouts);
+                self.net.observe_rpc(to, start.elapsed(), false);
                 Err(RpcError::Timeout { to })
             }
         }
@@ -895,6 +944,35 @@ mod tests {
         let log = tracer.take();
         assert_eq!(log.len(), 1, "only the send leg exists for a lost message");
         assert!(matches!(log[0].kind, K::MsgSend { to: NodeId(0) }));
+    }
+
+    #[test]
+    fn attached_obs_sees_latencies_and_drops() {
+        let net: Network<String, String> = Network::instant(40);
+        let hub = ftc_obs::ObsHub::shared();
+        net.attach_obs(&hub);
+        let _h = echo_server(&net, NodeId(0));
+        let ep = net.endpoint(NodeId(1));
+        ep.call(NodeId(0), "a".into(), TTL).unwrap();
+        ep.call(NodeId(0), "b".into(), TTL).unwrap();
+        net.kill(NodeId(0));
+        let _ = ep.call(NodeId(0), "c".into(), TTL);
+        let ok = hub.registry.histogram("ftc_net_rpc_ok_us").snapshot();
+        let to = hub.registry.histogram("ftc_net_rpc_timeout_us").snapshot();
+        assert_eq!(ok.count, 2);
+        assert_eq!(to.count, 1);
+        assert!(
+            to.min >= TTL.as_micros() as u64,
+            "timeout latency must be at least the TTL"
+        );
+        // The drop and the timeout both left flight events.
+        let dump = hub.flight.dump();
+        assert!(dump.contains("drop"), "missing drop event: {dump}");
+        assert!(
+            dump.contains("rpc_timeout"),
+            "missing timeout event: {dump}"
+        );
+        assert!(dump.contains("Killed"), "drop cause missing: {dump}");
     }
 
     #[test]

@@ -1,0 +1,431 @@
+//! Log-bucketed HDR-style histograms with mergeable snapshots.
+//!
+//! The recording side is a flat array of atomic bucket counters, so
+//! `record` is wait-free (one `fetch_add` on the bucket plus tallies) and
+//! safe to call from every RPC and read path in the system. The bucket
+//! layout is the HdrHistogram idea reduced to its core: values `0..64`
+//! map to exact unit buckets; above that, each power-of-two octave is
+//! split into 32 sub-buckets, giving a worst-case relative error of
+//! `1/32` (~3.1 %) across the full `u64` range — ample for latency
+//! percentiles where the interesting ratios are 2x, not 3 %.
+//!
+//! Snapshots are plain structs: they merge element-wise (associative and
+//! commutative, so per-rank histograms aggregate in any order) and answer
+//! quantile queries by a cumulative walk.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each octave above the linear range is split
+/// into `2^SUB_BITS` buckets.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Values below `2 * SUB` land in exact unit buckets.
+const LINEAR_MAX: u64 = 2 * SUB;
+/// Total bucket count: the linear range plus 32 sub-buckets for each of
+/// the 57 octaves a `u64` can reach above it.
+pub(crate) const BUCKETS: usize = (LINEAR_MAX + (63 - SUB_BITS as u64) * SUB) as usize;
+
+/// Bucket index for a value. Exact below [`LINEAR_MAX`]; logarithmic with
+/// 32 sub-buckets per octave above.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        v as usize
+    } else {
+        // Highest set bit; v >= 64 here so b >= 6.
+        let b = 63 - v.leading_zeros() as u64;
+        let shift = b - u64::from(SUB_BITS);
+        let sub = (v >> shift) - SUB;
+        (LINEAR_MAX + (b - u64::from(SUB_BITS) - 1) * SUB + sub) as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket (the value reported for quantiles
+/// that land in it).
+fn bucket_upper_bound(i: usize) -> u64 {
+    let i = i as u64;
+    if i < LINEAR_MAX {
+        i
+    } else {
+        let oct = (i - LINEAR_MAX) / SUB;
+        let sub = (i - LINEAR_MAX) % SUB;
+        let shift = oct + 1;
+        let lower = (SUB + sub) << shift;
+        // Parenthesised so the top bucket (upper bound u64::MAX) does not
+        // overflow in `lower + 2^shift` before the subtraction.
+        lower + ((1u64 << shift) - 1)
+    }
+}
+
+/// Inclusive lower bound of a bucket.
+fn bucket_lower_bound(i: usize) -> u64 {
+    let i = i as u64;
+    if i < LINEAR_MAX {
+        i
+    } else {
+        let oct = (i - LINEAR_MAX) / SUB;
+        let sub = (i - LINEAR_MAX) % SUB;
+        (SUB + sub) << (oct + 1)
+    }
+}
+
+/// A lock-free log-bucketed histogram of `u64` values (latencies in
+/// microseconds, sizes in bytes, …).
+pub struct Histogram {
+    /// Always exactly [`BUCKETS`] long.
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &s.count)
+            .field("sum", &s.sum)
+            .field("p50", &s.quantile(0.5))
+            .field("p99", &s.quantile(0.99))
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value. Wait-free; safe on any hot path.
+    pub fn record(&self, v: u64) {
+        // ordering: Relaxed on all five — each counter is an independent
+        // monotone tally with no cross-counter invariant a reader relies
+        // on (a snapshot may be torn between buckets and `count`;
+        // quantile consumers tolerate that by clamping to the walked
+        // total, and exact totals exist once writers are quiesced).
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a `Duration` as whole microseconds (the repo-wide latency
+    /// unit).
+    pub fn record_micros(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Plain-value snapshot, mergeable and queryable.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; BUCKETS];
+        // ordering: Relaxed — see `record`; snapshots tolerate tearing
+        // and only ever under- or over-count values still in flight.
+        for (i, b) in self.buckets.iter().enumerate() {
+            counts[i] = b.load(Ordering::Relaxed);
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: merge across ranks/nodes,
+/// then query quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (fixed layout shared by every histogram).
+    counts: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with nothing recorded.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded values; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding the `ceil(q * count)`-th smallest recording,
+    /// clamped to the observed `max`. 0 when empty. Monotone in `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum = cum.saturating_add(c);
+            if cum >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Element-wise sum with `other` (aggregation across ranks/nodes).
+    /// Associative and commutative; counts saturate instead of wrapping.
+    pub fn merge(&self, other: &Self) -> Self {
+        let counts = self
+            .counts
+            .iter()
+            .zip(&other.counts)
+            .map(|(&a, &b)| a.saturating_add(b))
+            .collect();
+        HistogramSnapshot {
+            counts,
+            count: self.count.saturating_add(other.count),
+            sum: self.sum.saturating_add(other.sum),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Non-empty buckets as `(lower_bound, upper_bound, count)` triples,
+    /// ascending — the exposition layer turns these into cumulative
+    /// `le`-labelled Prometheus buckets.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lower_bound(i), bucket_upper_bound(i), c))
+            .collect()
+    }
+
+    /// A fixed-width unicode sparkline of the value distribution over
+    /// `width` log-spaced columns (dashboard rendering).
+    pub fn sparkline(&self, width: usize) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        if width == 0 {
+            return String::new();
+        }
+        if self.count == 0 {
+            return " ".repeat(width);
+        }
+        // Collapse the occupied bucket range into `width` columns.
+        let occupied: Vec<usize> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| i)
+            .collect();
+        let (Some(&lo), Some(&hi)) = (occupied.first(), occupied.last()) else {
+            return " ".repeat(width);
+        };
+        let span = (hi - lo + 1).max(width);
+        let mut cols = vec![0u64; width];
+        for (i, &c) in self.counts.iter().enumerate().skip(lo).take(hi - lo + 1) {
+            let col = (i - lo) * width / span;
+            cols[col] = cols[col].saturating_add(c);
+        }
+        let peak = cols.iter().copied().max().unwrap_or(1).max(1);
+        cols.iter()
+            .map(|&c| {
+                if c == 0 {
+                    ' '
+                } else {
+                    BARS[(c.saturating_mul(7).div_ceil(peak)).min(7) as usize]
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_contiguous_and_monotone() {
+        // Every bucket's bounds nest: lower(i) <= upper(i) and
+        // upper(i) + 1 == lower(i + 1).
+        for i in 0..BUCKETS - 1 {
+            assert!(bucket_lower_bound(i) <= bucket_upper_bound(i), "bucket {i}");
+            assert_eq!(
+                bucket_upper_bound(i) + 1,
+                bucket_lower_bound(i + 1),
+                "gap between buckets {i} and {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn values_land_in_their_bucket() {
+        for v in (0..2000u64).chain([1 << 20, u64::MAX / 2, u64::MAX]) {
+            let i = bucket_index(v);
+            assert!(
+                bucket_lower_bound(i) <= v && v <= bucket_upper_bound(i),
+                "value {v} outside bucket {i}: [{}, {}]",
+                bucket_lower_bound(i),
+                bucket_upper_bound(i)
+            );
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 7, 42, 63] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), 63);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 63);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 113);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let h = Histogram::new();
+        for v in [100u64, 1_000, 10_000, 123_456, 9_999_999] {
+            h.record(v);
+            let s = h.snapshot();
+            let q = s.quantile(1.0);
+            assert!(q >= v, "quantile must not under-report: {q} < {v}");
+            assert!(
+                (q - v) as f64 / v as f64 <= 1.0 / 32.0 + 1e-9,
+                "error too large for {v}: reported {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_the_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.50);
+        let p99 = s.quantile(0.99);
+        let p999 = s.quantile(0.999);
+        assert!((480..=540).contains(&p50), "p50 = {p50}");
+        assert!((960..=1000).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99 && p99 <= p999);
+        assert_eq!(s.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in [3u64, 77, 1024, 5000] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [10u64, 2048, 999_999] {
+            b.record(v);
+            all.record(v);
+        }
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+        // Commutativity.
+        assert_eq!(merged, b.snapshot().merge(&a.snapshot()));
+    }
+
+    #[test]
+    fn empty_snapshot_answers_zero() {
+        let s = HistogramSnapshot::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sparkline(8), "        ");
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        let line = h.snapshot().sparkline(12);
+        assert_eq!(line.chars().count(), 12);
+        assert!(line.contains('█'), "peak column must be full height");
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing_once_joined() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let h = std::sync::Arc::clone(&h);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    h.record(t * 1000 + i % 977);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("recorder thread");
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 40_000);
+        assert_eq!(s.counts.iter().sum::<u64>(), 40_000);
+    }
+}

@@ -1,0 +1,344 @@
+//! The degraded-window timeline — the paper's headline observable.
+//!
+//! FT-Cache's 24.9 % training-time claim is about how *short* the window
+//! between a node's death and steady-state recached serving can be made.
+//! This recorder stamps the phase transitions of each failure incident:
+//!
+//! ```text
+//! kill ──▶ first timeout ──▶ suspect ──▶ declare ──▶ ring update ──▶ first recached hit
+//!      └────────── detection latency ──────────┘
+//!      └──────────────────────── recovery latency ─────────────────────────────────┘
+//! ```
+//!
+//! The injector (chaos harness, test, operator) stamps `Kill`; the client
+//! stamps everything downstream as its detector and placement react. Each
+//! phase is recorded at its *first* occurrence per incident, and a new
+//! `Kill` for a node whose previous incident completed opens a fresh
+//! incident, so revive → re-kill sequences yield one measurement each.
+//!
+//! Derived outputs: per-incident phase offsets, and detection / recovery
+//! latency lists ready for percentile treatment across campaigns.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Phases of one failure incident, in causal order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// The node was killed (stamped by the fault injector).
+    Kill,
+    /// First RPC timeout observed against the node.
+    FirstTimeout,
+    /// Detector moved the node into the suspect window.
+    Suspect,
+    /// Detector declared the node failed.
+    Declare,
+    /// The placement dropped the node (ring epoch bump).
+    RingUpdate,
+    /// First read of a key the node owned served from a survivor's cache
+    /// tier — steady-state recached serving has begun.
+    FirstRecachedHit,
+}
+
+impl Phase {
+    /// All phases, causal order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Kill,
+        Phase::FirstTimeout,
+        Phase::Suspect,
+        Phase::Declare,
+        Phase::RingUpdate,
+        Phase::FirstRecachedHit,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            Phase::Kill => 0,
+            Phase::FirstTimeout => 1,
+            Phase::Suspect => 2,
+            Phase::Declare => 3,
+            Phase::RingUpdate => 4,
+            Phase::FirstRecachedHit => 5,
+        }
+    }
+
+    /// Short label used in dumps and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Kill => "kill",
+            Phase::FirstTimeout => "first_timeout",
+            Phase::Suspect => "suspect",
+            Phase::Declare => "declare",
+            Phase::RingUpdate => "ring_update",
+            Phase::FirstRecachedHit => "first_recached_hit",
+        }
+    }
+}
+
+/// One failure incident: a node id plus first-occurrence stamps (offsets
+/// from the recorder's origin) for each phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incident {
+    /// The failed node (raw id — the recorder does not depend on
+    /// `ftc-hashring`).
+    pub node: u32,
+    /// Phase offsets from the recorder origin; `None` = never reached.
+    stamps: [Option<Duration>; 6],
+}
+
+impl Incident {
+    fn new(node: u32) -> Self {
+        Incident {
+            node,
+            stamps: [None; 6],
+        }
+    }
+
+    /// Offset of `phase` from the recorder origin, if reached.
+    pub fn stamp(&self, phase: Phase) -> Option<Duration> {
+        self.stamps[phase.idx()]
+    }
+
+    /// Time from `Kill` to `Declare` — how long the failure went
+    /// undetected.
+    pub fn detection_latency(&self) -> Option<Duration> {
+        Some(
+            self.stamp(Phase::Declare)?
+                .saturating_sub(self.stamp(Phase::Kill)?),
+        )
+    }
+
+    /// Time from `Kill` to `FirstRecachedHit` — the full degraded window.
+    pub fn recovery_latency(&self) -> Option<Duration> {
+        Some(
+            self.stamp(Phase::FirstRecachedHit)?
+                .saturating_sub(self.stamp(Phase::Kill)?),
+        )
+    }
+
+    /// An incident is complete once recached serving resumed.
+    pub fn is_complete(&self) -> bool {
+        self.stamp(Phase::FirstRecachedHit).is_some()
+    }
+}
+
+impl fmt::Display for Incident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}:", self.node)?;
+        for p in Phase::ALL {
+            match self.stamp(p) {
+                Some(d) => write!(f, " {}@{:.1}ms", p.label(), d.as_secs_f64() * 1e3)?,
+                None => write!(f, " {}@-", p.label())?,
+            }
+        }
+        Ok(())
+    }
+}
+
+struct TimelineInner {
+    incidents: Vec<Incident>,
+    /// node → index into `incidents` of its open (incomplete) incident.
+    open: HashMap<u32, usize>,
+}
+
+/// Thread-safe recorder of failure incidents. One per cluster/campaign;
+/// all stamps share its origin instant.
+pub struct TimelineRecorder {
+    origin: Instant,
+    inner: Mutex<TimelineInner>,
+}
+
+impl Default for TimelineRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for TimelineRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimelineRecorder")
+            .field("incidents", &self.incidents().len())
+            .finish()
+    }
+}
+
+impl TimelineRecorder {
+    /// A recorder whose origin is now.
+    pub fn new() -> Self {
+        TimelineRecorder {
+            origin: Instant::now(),
+            inner: Mutex::new(TimelineInner {
+                incidents: Vec::new(),
+                open: HashMap::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TimelineInner> {
+        // Poisoning only signals a panic elsewhere; stamps are
+        // independent writes, so the state is still usable.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Stamp `phase` for `node` at "now". First occurrence per incident
+    /// wins; later repeats are ignored. A `Kill` for a node whose
+    /// previous incident completed (or that has none) opens a new
+    /// incident; any other phase joins the open incident, creating one
+    /// implicitly when a client observes a failure the injector never
+    /// announced (e.g. a flaky link).
+    pub fn mark(&self, node: u32, phase: Phase) {
+        let at = self.origin.elapsed();
+        let mut g = self.lock();
+        let idx = match g.open.get(&node) {
+            Some(&i) if !(phase == Phase::Kill && g.incidents[i].is_complete()) => i,
+            _ => {
+                if phase == Phase::Kill {
+                    // Re-kill of a recovered node: a fresh incident.
+                    g.incidents.push(Incident::new(node));
+                } else if g.open.contains_key(&node) {
+                    // Open incident exists (matched above unless re-kill);
+                    // unreachable, but stay total.
+                    g.incidents.push(Incident::new(node));
+                } else {
+                    g.incidents.push(Incident::new(node));
+                }
+                let i = g.incidents.len() - 1;
+                g.open.insert(node, i);
+                i
+            }
+        };
+        let slot = &mut g.incidents[idx].stamps[phase.idx()];
+        if slot.is_none() {
+            *slot = Some(at);
+        }
+    }
+
+    /// All incidents recorded so far (clone; ordering = creation order).
+    pub fn incidents(&self) -> Vec<Incident> {
+        self.lock().incidents.clone()
+    }
+
+    /// Detection latencies (kill → declare) of every incident that has
+    /// both stamps.
+    pub fn detection_latencies(&self) -> Vec<Duration> {
+        self.lock()
+            .incidents
+            .iter()
+            .filter_map(Incident::detection_latency)
+            .collect()
+    }
+
+    /// Recovery latencies (kill → first recached hit) of every incident
+    /// that has both stamps.
+    pub fn recovery_latencies(&self) -> Vec<Duration> {
+        self.lock()
+            .incidents
+            .iter()
+            .filter_map(Incident::recovery_latency)
+            .collect()
+    }
+}
+
+/// Percentile of a latency list (nearest-rank), `None` when empty.
+/// Shared by campaign reports and dashboards so both quote the same
+/// definition.
+pub fn percentile(samples: &[Duration], q: f64) -> Option<Duration> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    Some(sorted[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_incident_derives_latencies() {
+        let t = TimelineRecorder::new();
+        t.mark(2, Phase::Kill);
+        t.mark(2, Phase::FirstTimeout);
+        t.mark(2, Phase::Suspect);
+        t.mark(2, Phase::Declare);
+        t.mark(2, Phase::RingUpdate);
+        t.mark(2, Phase::FirstRecachedHit);
+        let incidents = t.incidents();
+        assert_eq!(incidents.len(), 1);
+        let inc = &incidents[0];
+        assert!(inc.is_complete());
+        let det = inc.detection_latency().expect("detection");
+        let rec = inc.recovery_latency().expect("recovery");
+        assert!(det <= rec, "declare precedes recached hit");
+        // Stamps are monotone in causal order.
+        let mut prev = Duration::ZERO;
+        for p in Phase::ALL {
+            let s = inc.stamp(p).expect("all phases stamped");
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn first_occurrence_wins() {
+        let t = TimelineRecorder::new();
+        t.mark(1, Phase::Kill);
+        t.mark(1, Phase::FirstTimeout);
+        let first = t.incidents()[0].stamp(Phase::FirstTimeout);
+        std::thread::sleep(Duration::from_millis(2));
+        t.mark(1, Phase::FirstTimeout);
+        assert_eq!(t.incidents()[0].stamp(Phase::FirstTimeout), first);
+    }
+
+    #[test]
+    fn rekill_after_recovery_opens_new_incident() {
+        let t = TimelineRecorder::new();
+        t.mark(3, Phase::Kill);
+        t.mark(3, Phase::Declare);
+        t.mark(3, Phase::FirstRecachedHit);
+        t.mark(3, Phase::Kill); // revived, killed again
+        t.mark(3, Phase::Declare);
+        let incidents = t.incidents();
+        assert_eq!(incidents.len(), 2);
+        assert!(incidents[0].is_complete());
+        assert!(!incidents[1].is_complete());
+        assert_eq!(t.detection_latencies().len(), 2);
+        assert_eq!(t.recovery_latencies().len(), 1);
+    }
+
+    #[test]
+    fn client_observed_failure_without_kill_has_no_latency() {
+        // A flaky link can drive suspect/declare without any injected
+        // kill; those incidents exist but contribute no kill-anchored
+        // latency.
+        let t = TimelineRecorder::new();
+        t.mark(4, Phase::Suspect);
+        t.mark(4, Phase::Declare);
+        assert_eq!(t.incidents().len(), 1);
+        assert!(t.detection_latencies().is_empty());
+        assert!(t.recovery_latencies().is_empty());
+    }
+
+    #[test]
+    fn incident_display_is_readable() {
+        let t = TimelineRecorder::new();
+        t.mark(7, Phase::Kill);
+        let s = t.incidents()[0].to_string();
+        assert!(s.starts_with("n7:"));
+        assert!(s.contains("kill@"));
+        assert!(s.contains("declare@-"));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 0.5), Some(Duration::from_millis(50)));
+        assert_eq!(percentile(&ms, 0.99), Some(Duration::from_millis(99)));
+        assert_eq!(percentile(&ms, 1.0), Some(Duration::from_millis(100)));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the histogram core.
+//!
+//! The histogram is the one piece of `ftc-obs` with real math in it, and
+//! every latency number the repo reports flows through it, so its three
+//! contracts get adversarial treatment: recorded values land in buckets
+//! that contain them (with the advertised 1/32 relative error), quantile
+//! queries are monotone and bounded against a sorted-vec oracle, and
+//! snapshot merging is associative/commutative and indistinguishable
+//! from having recorded everything into one histogram.
+
+use ftc_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Record a value list into a fresh histogram and snapshot it.
+fn snap(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Latency-shaped values: unit-exact range, mid-range, and large enough
+/// to cross many octaves — but bounded so sums cannot overflow `u64`
+/// within a test-sized list (merge saturates, live recording wraps; the
+/// oracle comparison needs neither to trigger).
+fn value() -> impl Strategy<Value = u64> {
+    prop_oneof![0u64..64, 64u64..100_000, 100_000u64..(1u64 << 40)]
+}
+
+/// Nearest-rank quantile of a sorted copy — the oracle the histogram's
+/// bucketed answer is checked against.
+fn oracle_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Tallies are exact and every recorded value is contained in some
+    /// non-empty bucket whose bounds bracket it.
+    #[test]
+    fn recorded_values_are_contained_and_tallied(
+        values in prop::collection::vec(value(), 1..120),
+    ) {
+        let s = snap(&values);
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(s.min, *values.iter().min().expect("non-empty"));
+        prop_assert_eq!(s.max, *values.iter().max().expect("non-empty"));
+        let buckets = s.nonzero_buckets();
+        let total: u64 = buckets.iter().map(|&(_, _, c)| c).sum();
+        prop_assert_eq!(total, s.count, "bucket counts must sum to count");
+        for &v in &values {
+            prop_assert!(
+                buckets.iter().any(|&(lo, hi, _)| lo <= v && v <= hi),
+                "value {} not contained in any non-empty bucket", v
+            );
+        }
+    }
+
+    /// The bucketed quantile never under-reports the oracle and
+    /// over-reports by at most the advertised 1/32 relative error.
+    #[test]
+    fn quantile_tracks_sorted_oracle_within_error(
+        values in prop::collection::vec(value(), 1..120),
+        q in 0.0f64..1.0,
+    ) {
+        let s = snap(&values);
+        let got = s.quantile(q);
+        let want = oracle_quantile(&values, q);
+        prop_assert!(got >= want, "quantile under-reported: {} < {}", got, want);
+        prop_assert!(
+            got - want <= want / 32 + 1,
+            "quantile error too large: got {}, oracle {}", got, want
+        );
+    }
+
+    /// Quantile queries are monotone in `q`.
+    #[test]
+    fn quantile_is_monotone(
+        values in prop::collection::vec(value(), 1..120),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let s = snap(&values);
+        prop_assert!(s.quantile(lo) <= s.quantile(hi));
+    }
+
+    /// Merging is commutative, associative, and equal to recording the
+    /// concatenated value list into one histogram — so per-rank
+    /// histograms aggregate in any order without drift.
+    #[test]
+    fn merge_is_assoc_comm_and_matches_combined_recording(
+        xs in prop::collection::vec(value(), 0..60),
+        ys in prop::collection::vec(value(), 0..60),
+        zs in prop::collection::vec(value(), 0..60),
+    ) {
+        let (a, b, c) = (snap(&xs), snap(&ys), snap(&zs));
+        prop_assert_eq!(a.merge(&b), b.merge(&a), "merge must commute");
+        prop_assert_eq!(
+            a.merge(&b).merge(&c),
+            a.merge(&b.merge(&c)),
+            "merge must associate"
+        );
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        all.extend_from_slice(&zs);
+        prop_assert_eq!(
+            a.merge(&b).merge(&c),
+            snap(&all),
+            "merged snapshots must equal one combined recording"
+        );
+        // The empty snapshot is the identity element.
+        prop_assert_eq!(a.merge(&HistogramSnapshot::empty()), a);
+    }
+}

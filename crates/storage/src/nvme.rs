@@ -28,6 +28,32 @@ pub struct NvmeStats {
     pub resident_objects: u64,
 }
 
+impl ftc_obs::Export for NvmeStats {
+    fn export_into(&self, out: &mut Vec<ftc_obs::Sample>) {
+        out.push(ftc_obs::Sample::counter("ftc_nvme_hits_total", self.hits));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_nvme_misses_total",
+            self.misses,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_nvme_evictions_total",
+            self.evictions,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_nvme_inserts_total",
+            self.inserts,
+        ));
+        out.push(ftc_obs::Sample::gauge(
+            "ftc_nvme_resident_bytes",
+            self.resident_bytes as f64,
+        ));
+        out.push(ftc_obs::Sample::gauge(
+            "ftc_nvme_resident_objects",
+            self.resident_objects as f64,
+        ));
+    }
+}
+
 #[derive(Debug)]
 struct Entry {
     data: Bytes,
@@ -201,6 +227,24 @@ mod tests {
 
     fn b(n: usize) -> Bytes {
         Bytes::from(vec![0xAB; n])
+    }
+
+    #[test]
+    fn stats_export_counters_and_gauges() {
+        use ftc_obs::{Export, Value};
+        let stats = NvmeStats {
+            hits: 5,
+            resident_bytes: 4096,
+            ..Default::default()
+        };
+        let samples = stats.export();
+        assert_eq!(samples.len(), 6);
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "ftc_nvme_hits_total" && s.value == Value::Counter(5)));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "ftc_nvme_resident_bytes" && s.value == Value::Gauge(4096.0)));
     }
 
     #[test]

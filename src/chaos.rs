@@ -20,11 +20,19 @@
 //!    every request, with extra latency below the TTL) is never declared
 //!    failed.
 //!
-//! The plan — and therefore the whole campaign and its one-line result —
-//! is a pure function of the seed, so `chaos --seed N` replays
-//! byte-identically. The kill schedule is additionally mirrored into a
-//! discrete-event [`FaultPlan`] and cross-checked against [`SimCluster`]:
-//! the simulator must agree on whether the job survives.
+//! The plan — and therefore the whole campaign and its verdict — is a
+//! pure function of the seed, so `chaos --seed N` replays
+//! byte-identically (measured latencies are wall-clock and vary). The
+//! kill schedule is additionally mirrored into a discrete-event
+//! [`FaultPlan`] and cross-checked against [`SimCluster`]: the simulator
+//! must agree on whether the job survives.
+//!
+//! Every campaign also harvests the cluster's observability hub
+//! (`ftc-obs`): the degraded-window timeline yields per-kill detection
+//! and recovery latencies in the report, and when any invariant fires
+//! the report embeds a flight-recorder dump of the last fabric/client
+//! events. [`run_campaign_sabotaged`] forces a violation on demand to
+//! prove the dump path works.
 
 use bytes::Bytes;
 use ftc_core::{Cluster, ClusterConfig, FtPolicy, ReadError};
@@ -280,12 +288,62 @@ pub struct CampaignReport {
     pub aborted: bool,
     /// Invariant violations; empty means the campaign passed.
     pub violations: Vec<String>,
+    /// Degraded-window incidents stamped during the campaign, one per
+    /// kill (plus any client-observed failures the injector never
+    /// announced). Each carries kill → declare → first-recached-hit
+    /// offsets, so per-kill detection and recovery latencies fall out.
+    pub incidents: Vec<ftc_obs::Incident>,
+    /// Flight-recorder dump captured at campaign end when any invariant
+    /// fired — the last ~1k fabric/client events leading up to the
+    /// violation. `None` for passing campaigns.
+    pub flight_dump: Option<String>,
 }
 
 impl CampaignReport {
     /// Did every invariant hold?
     pub fn passed(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Per-kill detection latencies (kill → declare) observed this
+    /// campaign, in incident order.
+    pub fn detection_latencies(&self) -> Vec<Duration> {
+        self.incidents
+            .iter()
+            .filter_map(ftc_obs::Incident::detection_latency)
+            .collect()
+    }
+
+    /// Per-kill recovery latencies (kill → first recached hit) observed
+    /// this campaign, in incident order.
+    pub fn recovery_latencies(&self) -> Vec<Duration> {
+        self.incidents
+            .iter()
+            .filter_map(ftc_obs::Incident::recovery_latency)
+            .collect()
+    }
+
+    /// Per-kill latency lines (`n3 det=12.4ms rec=31.0ms`), one per
+    /// incident anchored by an injected kill. Empty when no kill fired.
+    /// Kept out of [`fmt::Display`] so the verdict line stays a pure
+    /// function of the seed; latencies are wall-clock measurements.
+    pub fn latency_summary(&self) -> Vec<String> {
+        self.incidents
+            .iter()
+            .filter(|i| i.stamp(ftc_obs::Phase::Kill).is_some())
+            .map(|i| {
+                let ms = |d: Option<Duration>| match d {
+                    Some(d) => format!("{:.1}ms", d.as_secs_f64() * 1e3),
+                    None => "-".to_owned(),
+                };
+                format!(
+                    "n{} det={} rec={}",
+                    i.node,
+                    ms(i.detection_latency()),
+                    ms(i.recovery_latency())
+                )
+            })
+            .collect()
     }
 }
 
@@ -315,6 +373,16 @@ pub fn run_campaign(policy: FtPolicy, plan: &ChaosPlan) -> CampaignReport {
     run_campaign_traced(policy, plan, false).0
 }
 
+/// Like [`run_campaign`], but with the recache-economy budget forced to
+/// zero: any post-warm server-mediated PFS fetch then counts as a
+/// violation. Under `RingRecache` with at least one kill in the plan the
+/// violation is certain (the dead node's keys must refetch), so this is
+/// the deterministic self-test that the flight-recorder dump path works
+/// end to end — the returned report carries `flight_dump`.
+pub fn run_campaign_sabotaged(policy: FtPolicy, plan: &ChaosPlan) -> CampaignReport {
+    run_campaign_inner(policy, plan, false, true).0
+}
+
 /// Like [`run_campaign`], optionally with vector-clock tracing enabled on
 /// the cluster fabric. When `trace` is true the returned log carries every
 /// message leg and shared-state transition of the campaign, ready for
@@ -323,6 +391,15 @@ pub fn run_campaign_traced(
     policy: FtPolicy,
     plan: &ChaosPlan,
     trace: bool,
+) -> (CampaignReport, Option<Vec<TraceRecord>>) {
+    run_campaign_inner(policy, plan, trace, false)
+}
+
+fn run_campaign_inner(
+    policy: FtPolicy,
+    plan: &ChaosPlan,
+    trace: bool,
+    sabotage: bool,
 ) -> (CampaignReport, Option<Vec<TraceRecord>>) {
     let mut cfg = ClusterConfig::small(plan.nodes, policy);
     cfg.ft.detector.ttl = CAMPAIGN_TTL;
@@ -346,6 +423,8 @@ pub fn run_campaign_traced(
                     reads_attempted: 0,
                     aborted: false,
                     violations: vec![format!("boot: cluster failed to start: {e}")],
+                    incidents: Vec::new(),
+                    flight_dump: None,
                 },
                 None,
             );
@@ -467,7 +546,10 @@ pub fn run_campaign_traced(
     }
 
     // Invariant 2: recache economy (RingRecache only; NoFt abort ends
-    // accounting early by construction).
+    // accounting early by construction). Sabotage zeroes the budget so
+    // the violation path (and its flight-recorder dump) is exercisable
+    // on demand.
+    let budget = if sabotage { 0 } else { budget };
     if policy == FtPolicy::RingRecache {
         let after = client.metrics().snapshot();
         let fetched = after.pfs_fetches_via_server - warm.pfs_fetches_via_server;
@@ -515,6 +597,21 @@ pub fn run_campaign_traced(
         ));
     }
 
+    // Harvest observability before teardown: the degraded-window
+    // incidents, and — only when an invariant fired — the flight
+    // recorder's last-events dump for postmortem context.
+    let incidents = cluster.obs().timeline.incidents();
+    let flight_dump = if violations.is_empty() {
+        None
+    } else {
+        cluster.obs().flight.record(
+            "chaos",
+            "violation",
+            format!("{} invariant(s) fired, dumping", violations.len()),
+        );
+        Some(cluster.obs().flight.dump())
+    };
+
     let trace_log = cluster.network().tracer().map(|t| t.take());
     cluster.shutdown();
     (
@@ -524,6 +621,8 @@ pub fn run_campaign_traced(
             reads_attempted,
             aborted,
             violations,
+            incidents,
+            flight_dump,
         },
         trace_log,
     )
@@ -611,5 +710,53 @@ mod tests {
                 assert!(report.passed(), "campaign failed: {report}");
             }
         }
+    }
+
+    /// A plan whose only fault is a guaranteed kill of node 1 before the
+    /// first post-warm pass (node 0 stays clean so the ring never
+    /// empties). Enough files that node 1 owns some with near-certainty.
+    fn plan_with_one_kill() -> ChaosPlan {
+        let mut plan = ChaosPlan::generate(3);
+        plan.nodes = 3;
+        plan.files = 24;
+        plan.passes = 2;
+        plan.clean_node = NodeId(0);
+        plan.degraded_only.clear();
+        plan.events = vec![ChaosEvent {
+            before_pass: 0,
+            action: ChaosAction::Kill(NodeId(1)),
+        }];
+        plan
+    }
+
+    #[test]
+    fn report_carries_per_kill_latencies() {
+        let report = run_campaign(FtPolicy::RingRecache, &plan_with_one_kill());
+        assert!(report.passed(), "campaign failed: {report}");
+        assert!(report.flight_dump.is_none(), "no dump on a passing run");
+        let det = report.detection_latencies();
+        let rec = report.recovery_latencies();
+        assert_eq!(det.len(), 1, "one kill -> one detection latency");
+        assert_eq!(rec.len(), 1, "one kill -> one recovery latency");
+        assert!(det[0] <= rec[0], "declare precedes recached serving");
+        let summary = report.latency_summary();
+        assert_eq!(summary.len(), 1);
+        assert!(summary[0].starts_with("n1 det="), "got {:?}", summary[0]);
+    }
+
+    #[test]
+    fn sabotaged_campaign_emits_flight_dump() {
+        let report = run_campaign_sabotaged(FtPolicy::RingRecache, &plan_with_one_kill());
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("recache economy")),
+            "sabotage must fire the economy invariant: {report}"
+        );
+        let dump = report.flight_dump.as_deref().expect("dump on violation");
+        assert!(dump.contains("flight recorder"), "dump header present");
+        assert!(dump.contains("violation"), "dump records the trigger");
+        assert!(dump.contains("kill"), "dump retains the kill event");
     }
 }

@@ -47,6 +47,7 @@ pub mod chaos;
 pub use ftc_core as core;
 pub use ftc_hashring as hashring;
 pub use ftc_net as net;
+pub use ftc_obs as obs;
 pub use ftc_sim as sim;
 pub use ftc_slurm as slurm;
 pub use ftc_storage as storage;
@@ -55,12 +56,14 @@ pub use ftc_train as train;
 /// The names most programs need.
 pub mod prelude {
     pub use crate::chaos::{
-        run_campaign, run_campaign_all_policies, run_campaign_traced, CampaignReport, ChaosPlan,
+        run_campaign, run_campaign_all_policies, run_campaign_sabotaged, run_campaign_traced,
+        CampaignReport, ChaosPlan,
     };
     pub use ftc_core::{
         Cluster, ClusterConfig, FtConfig, FtPolicy, HvacClient, PlacementKind, ReadError, ReadVia,
     };
     pub use ftc_hashring::{HashRing, NodeId, Placement, DEFAULT_VNODES};
+    pub use ftc_obs::{ObsHub, Phase as ObsPhase};
     pub use ftc_sim::{FaultEvent, SimCalibration, SimCluster, SimReport, SimWorkload};
     pub use ftc_storage::{synth_bytes, verify_synth};
     pub use ftc_train::{Dataset, FaultSpec, TrainConfig, TrainDriver, TrainReport};

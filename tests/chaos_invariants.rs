@@ -6,7 +6,9 @@
 //! retry/detector/recache machinery surface as invariant violations, not
 //! just as flaky integration tests.
 
-use ft_cache::chaos::{run_campaign, run_campaign_all_policies, ChaosPlan};
+use ft_cache::chaos::{
+    run_campaign, run_campaign_all_policies, run_campaign_sabotaged, ChaosAction, ChaosPlan,
+};
 use ft_cache::core::FtPolicy;
 
 #[test]
@@ -29,6 +31,57 @@ fn replaying_a_seed_yields_the_identical_plan_and_verdict() {
     assert_eq!(r1.passed(), r2.passed());
     assert_eq!(r1.aborted, r2.aborted);
     assert_eq!(r1.reads_attempted, r2.reads_attempted);
+}
+
+#[test]
+fn passing_campaigns_report_latencies_but_no_flight_dump() {
+    // Hunt a seed whose plan contains a kill; under RingRecache the
+    // report must carry kill-anchored detection/recovery latencies and,
+    // since every invariant holds, no flight dump.
+    for seed in 1..64u64 {
+        let plan = ChaosPlan::generate(seed);
+        if !plan
+            .events
+            .iter()
+            .any(|e| matches!(e.action, ChaosAction::Kill(_)))
+        {
+            continue;
+        }
+        let report = run_campaign(FtPolicy::RingRecache, &plan);
+        assert!(report.passed(), "campaign failed: {report}");
+        assert!(report.flight_dump.is_none(), "dump only on violations");
+        assert!(
+            !report.detection_latencies().is_empty(),
+            "a killed node must yield a detection latency"
+        );
+        return;
+    }
+    panic!("no plan with a kill in 64 seeds");
+}
+
+#[test]
+fn forced_invariant_violation_emits_flight_recorder_dump() {
+    // Sabotage zeroes the recache budget, so the economy invariant must
+    // fire — and a failing campaign must come with the flight recorder's
+    // event dump for postmortem context (acceptance criterion for the
+    // observability subsystem).
+    for seed in 1..64u64 {
+        let plan = ChaosPlan::generate(seed);
+        if !plan
+            .events
+            .iter()
+            .any(|e| matches!(e.action, ChaosAction::Kill(_)))
+        {
+            continue;
+        }
+        let report = run_campaign_sabotaged(FtPolicy::RingRecache, &plan);
+        assert!(!report.passed(), "sabotaged campaign must fail: {report}");
+        let dump = report.flight_dump.as_deref().expect("flight dump");
+        assert!(dump.contains("flight recorder"));
+        assert!(dump.contains("violation"));
+        return;
+    }
+    panic!("no plan with a kill in 64 seeds");
 }
 
 #[test]
