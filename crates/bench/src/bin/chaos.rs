@@ -1,9 +1,10 @@
 //! Chaos campaigns — seeded gray-failure schedules against the threaded
-//! cluster, with four invariants checked after every campaign (read
-//! integrity, recache economy, livelock freedom, no false failure
-//! declarations for degraded-but-alive nodes).
+//! cluster, with invariants checked after every campaign (read integrity,
+//! recache economy, livelock freedom, no false failure declarations for
+//! degraded-but-alive nodes; and under `--recovery proactive`: no stale
+//! serving, recovery quiescence, no foreground starvation).
 //!
-//! `cargo run -p ftc-bench --release --bin chaos [--seed 1] [--campaigns 50] [--policy ring|pfs|noft] [--sabotage]`
+//! `cargo run -p ftc-bench --release --bin chaos [--seed 1] [--campaigns 50] [--policy ring|pfs|noft] [--recovery lazy|proactive] [--scenarios] [--compare] [--sabotage] [--sabotage-recovery]`
 //!
 //! The fault schedule and every verdict are pure functions of the seed:
 //! `chaos --seed N` replays the same PASS/FAIL outcome byte-identically.
@@ -11,13 +12,27 @@
 //! as p50/p99 across all campaigns at the end) are wall-clock and vary
 //! run to run. Exits non-zero if any invariant is violated.
 //!
+//! `--scenarios` runs the three named recovery scenarios (independent
+//! failure during recache, double failure of node + successor, revive
+//! during recache) under proactive recovery instead of generated plans.
+//!
+//! `--compare` runs each seed under RingRecache twice — lazy then
+//! proactive — and prints a degraded-window comparison table (the
+//! EXPERIMENTS.md "lazy vs proactive" numbers).
+//!
 //! `--sabotage` runs the flight-recorder self-test instead: one campaign
 //! with the recache budget forced to zero, which must FAIL and must emit
 //! a flight dump — proving the postmortem path works before anyone needs
-//! it in anger. The forced violation does not affect the exit code; a
-//! *missing* dump does.
+//! it in anger. `--sabotage-recovery` does the same for the new
+//! quiescence invariant by starving the recovery engine's token bucket.
+//! The forced violation does not affect the exit code; a *missing* dump
+//! or violation does.
 
-use ft_cache::chaos::{run_campaign, run_campaign_sabotaged, ChaosAction, ChaosPlan};
+use ft_cache::chaos::{
+    run_campaign_recovery_sabotaged, run_campaign_sabotaged, run_campaign_with,
+    run_degraded_window_probe, CampaignOptions, CampaignReport, ChaosAction, ChaosPlan,
+    DegradedWindowReport, RecoveryMode,
+};
 use ftc_bench::{arg_or, has_flag, header};
 use ftc_core::FtPolicy;
 use ftc_obs::percentile;
@@ -45,13 +60,10 @@ fn print_percentiles(label: &str, samples: &[Duration]) {
     );
 }
 
-/// `--sabotage` self-test: force a recache-economy violation on a plan
-/// with a guaranteed kill and require the flight dump to materialize.
-fn sabotage_selftest(base_seed: u64) -> ! {
-    header("chaos --sabotage — forced-violation flight-recorder self-test");
-    // Find the first seed whose plan already schedules a kill, so the
-    // sabotaged run exercises the same path as a real failing campaign.
-    let plan = (base_seed..base_seed + 1000)
+/// The first seed at or after `base_seed` whose generated plan schedules
+/// a kill — both sabotage self-tests need one to force their violation.
+fn plan_with_kill(base_seed: u64) -> ChaosPlan {
+    (base_seed..base_seed + 1000)
         .map(ChaosPlan::generate)
         .find(|p| {
             p.events
@@ -61,10 +73,12 @@ fn sabotage_selftest(base_seed: u64) -> ! {
         .unwrap_or_else(|| {
             eprintln!("no plan with a kill in 1000 seeds from {base_seed}");
             std::process::exit(2);
-        });
-    println!("seed={} plan: {}", plan.seed, plan.summary());
-    let report = run_campaign_sabotaged(FtPolicy::RingRecache, &plan);
-    println!("  {report}");
+        })
+}
+
+/// Shared self-test verdict: the forced violation must fire AND carry a
+/// flight dump; anything else is a failure of the harness itself.
+fn selftest_verdict(report: &CampaignReport) -> ! {
     match report.flight_dump.as_deref() {
         Some(dump) if !report.passed() => {
             println!("\n{dump}");
@@ -82,11 +96,229 @@ fn sabotage_selftest(base_seed: u64) -> ! {
     }
 }
 
+/// `--sabotage` self-test: force a recache-economy violation on a plan
+/// with a guaranteed kill and require the flight dump to materialize.
+fn sabotage_selftest(base_seed: u64) -> ! {
+    header("chaos --sabotage — forced-violation flight-recorder self-test");
+    let plan = plan_with_kill(base_seed);
+    println!("seed={} plan: {}", plan.seed, plan.summary());
+    let report = run_campaign_sabotaged(FtPolicy::RingRecache, &plan);
+    println!("  {report}");
+    selftest_verdict(&report)
+}
+
+/// `--sabotage-recovery` self-test: starve the recovery engine's token
+/// bucket so the quiescence invariant must fire.
+fn sabotage_recovery_selftest(base_seed: u64) -> ! {
+    header("chaos --sabotage-recovery — forced quiescence-violation self-test");
+    let plan = plan_with_kill(base_seed);
+    println!("seed={} plan: {}", plan.seed, plan.summary());
+    let report = run_campaign_recovery_sabotaged(FtPolicy::RingRecache, &plan);
+    println!("  {report}");
+    if !report
+        .violations
+        .iter()
+        .any(|v| v.contains("recovery quiescence"))
+    {
+        println!("\nFAIL: starved engine did not trip the quiescence invariant");
+        std::process::exit(1);
+    }
+    selftest_verdict(&report)
+}
+
+/// `--scenarios`: the three named recovery scenarios under proactive
+/// recovery. Exits non-zero on any violation.
+fn run_scenarios(base_seed: u64) -> ! {
+    header("chaos --scenarios — named recovery scenarios (proactive)");
+    let mut failures = 0u64;
+    for (name, plan) in [
+        (
+            "failure-during-recache",
+            ChaosPlan::scenario_failure_during_recache(base_seed),
+        ),
+        (
+            "double-failure-node+successor",
+            ChaosPlan::scenario_double_failure(base_seed),
+        ),
+        (
+            "revive-during-recache",
+            ChaosPlan::scenario_revive_during_recache(base_seed),
+        ),
+    ] {
+        let (report, _) = run_campaign_with(
+            FtPolicy::RingRecache,
+            &plan,
+            CampaignOptions {
+                recovery: RecoveryMode::Proactive,
+                ..Default::default()
+            },
+        );
+        println!("{name}: {report}");
+        if let Some(stats) = &report.recovery {
+            println!(
+                "  recache pushed={} skipped={} failed={} stale_rejected={} hints drained={}",
+                stats.recache_pushed,
+                stats.recache_skipped,
+                stats.recache_failed,
+                stats.stale_epoch_rejected,
+                stats.hints_drained
+            );
+        }
+        if !report.passed() {
+            failures += 1;
+            if let Some(dump) = &report.flight_dump {
+                println!("{dump}");
+            }
+        }
+    }
+    if failures > 0 {
+        println!("\nFAIL: {failures} scenario(s) violated invariants");
+        std::process::exit(1);
+    }
+    println!("\nall scenarios passed");
+    std::process::exit(0);
+}
+
+/// Accumulated degraded-window samples for one recovery mode.
+#[derive(Default)]
+struct ModeAgg {
+    detection: Vec<Duration>,
+    recovery: Vec<Duration>,
+    quiesce: Vec<Duration>,
+    warm_p99: Vec<Duration>,
+    fault_p99: Vec<Duration>,
+    failures: u64,
+}
+
+impl ModeAgg {
+    fn absorb(&mut self, report: &CampaignReport) {
+        self.detection.extend(report.detection_latencies());
+        self.recovery.extend(report.recovery_latencies());
+        self.quiesce.extend(report.quiesce_latencies());
+        self.warm_p99.extend(report.warm_read_p99);
+        self.fault_p99.extend(report.faulted_read_p99);
+        if !report.passed() {
+            self.failures += 1;
+        }
+    }
+
+    fn row(&self, mode: &str) -> String {
+        format!(
+            "{mode:<10} {:>5} {:>10} {:>10} {:>10} {:>12} {:>12}",
+            self.recovery.len(),
+            fmt_ms(percentile(&self.recovery, 0.50)),
+            fmt_ms(percentile(&self.recovery, 0.99)),
+            fmt_ms(percentile(&self.quiesce, 0.50)),
+            fmt_ms(percentile(&self.warm_p99, 0.50)),
+            fmt_ms(percentile(&self.fault_p99, 0.50)),
+        )
+    }
+}
+
+/// `--compare`: the same seeds under RingRecache, lazy vs proactive —
+/// the degraded-window table EXPERIMENTS.md quotes.
+fn run_compare(base_seed: u64, campaigns: u64) -> ! {
+    header(&format!(
+        "chaos --compare — lazy vs proactive recovery, {campaigns} campaign(s) from seed {base_seed}"
+    ));
+    let mut lazy = ModeAgg::default();
+    let mut proactive = ModeAgg::default();
+    for offset in 0..campaigns {
+        let plan = ChaosPlan::generate(base_seed + offset);
+        for (mode, agg) in [
+            (RecoveryMode::Lazy, &mut lazy),
+            (RecoveryMode::Proactive, &mut proactive),
+        ] {
+            let (report, _) = run_campaign_with(
+                FtPolicy::RingRecache,
+                &plan,
+                CampaignOptions {
+                    recovery: mode,
+                    ..Default::default()
+                },
+            );
+            println!("  {report}");
+            if !report.passed() {
+                if let Some(dump) = &report.flight_dump {
+                    println!("{dump}");
+                }
+            }
+            agg.absorb(&report);
+        }
+    }
+    println!(
+        "\n{:<10} {:>5} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "mode", "kills", "rec p50", "rec p99", "quiesce", "warm rd p99", "fault rd p99"
+    );
+    println!("{}", lazy.row("lazy"));
+    println!("{}", proactive.row("proactive"));
+    println!("\n(rec = kill -> first recached hit; quiesce = kill -> engine drained)");
+
+    // The first-hit latency is detection-bound for both modes (the read
+    // that trips the declaration fails over inline), so also measure the
+    // demand-visible window: kill -> detect -> compute gap -> next epoch,
+    // counting the reads that stall on a cold PFS fetch.
+    println!("\ndegraded-window probe (kill -> detect -> compute gap -> next epoch sweep):");
+    println!(
+        "{:<10} {:>9} {:>10} {:>10} {:>11} {:>11} {:>10}",
+        "mode", "lost keys", "cold reads", "detect p50", "quiesce p50", "epoch p99", "warm p99"
+    );
+    let mut probe_failures = 0u64;
+    for mode in [RecoveryMode::Lazy, RecoveryMode::Proactive] {
+        let probes: Vec<DegradedWindowReport> = (0..campaigns.min(5))
+            .map(|o| run_degraded_window_probe(mode, base_seed + o))
+            .collect();
+        for p in &probes {
+            for v in &p.violations {
+                println!("  probe violation (seed {}, {mode}): {v}", p.seed);
+                probe_failures += 1;
+            }
+        }
+        let lost: u64 = probes.iter().map(|p| p.lost_keys).sum();
+        let cold: u64 = probes.iter().map(|p| p.cold_reads).sum();
+        let detect: Vec<Duration> = probes.iter().map(|p| p.detect).collect();
+        let quiesce: Vec<Duration> = probes.iter().filter_map(|p| p.quiesce).collect();
+        let epoch: Vec<Duration> = probes.iter().filter_map(|p| p.epoch_p99).collect();
+        let warm: Vec<Duration> = probes.iter().filter_map(|p| p.warm_p99).collect();
+        println!(
+            "{:<10} {:>9} {:>10} {:>10} {:>11} {:>11} {:>10}",
+            mode.to_string(),
+            lost,
+            cold,
+            fmt_ms(percentile(&detect, 0.50)),
+            fmt_ms(percentile(&quiesce, 0.50)),
+            fmt_ms(percentile(&epoch, 0.50)),
+            fmt_ms(percentile(&warm, 0.50)),
+        );
+    }
+    println!("\n(cold reads = epoch reads that stalled on a PFS fetch; lazy pays one per");
+    println!(" un-demanded lost key, proactive re-homed the range during the compute gap)");
+
+    if lazy.failures + proactive.failures + probe_failures > 0 {
+        println!(
+            "\nFAIL: {} campaign/probe run(s) violated invariants",
+            lazy.failures + proactive.failures + probe_failures
+        );
+        std::process::exit(1);
+    }
+    println!("\nall campaigns passed");
+    std::process::exit(0);
+}
+
 fn main() {
     let base_seed: u64 = arg_or("--seed", 1);
     let campaigns: u64 = arg_or("--campaigns", 1);
     if has_flag("--sabotage") {
         sabotage_selftest(base_seed);
+    }
+    if has_flag("--sabotage-recovery") {
+        sabotage_recovery_selftest(base_seed);
+    }
+    if has_flag("--scenarios") {
+        run_scenarios(base_seed);
+    }
+    if has_flag("--compare") {
+        run_compare(base_seed, campaigns);
     }
     let policy_filter = std::env::args()
         .position(|a| a == "--policy")
@@ -101,21 +333,41 @@ fn main() {
         }
         None => vec![FtPolicy::NoFt, FtPolicy::PfsRedirect, FtPolicy::RingRecache],
     };
+    let recovery = match std::env::args()
+        .position(|a| a == "--recovery")
+        .and_then(|i| std::env::args().nth(i + 1))
+        .as_deref()
+    {
+        Some("proactive") => RecoveryMode::Proactive,
+        Some("lazy") | None => RecoveryMode::Lazy,
+        Some(other) => {
+            eprintln!("unknown --recovery {other:?} (expected lazy|proactive)");
+            std::process::exit(2);
+        }
+    };
 
     header(&format!(
-        "chaos — {campaigns} campaign(s) from seed {base_seed}, {} policies",
+        "chaos — {campaigns} campaign(s) from seed {base_seed}, {} policies, {recovery} recovery",
         policies.len()
     ));
 
     let mut failures = 0u64;
     let mut detection: Vec<Duration> = Vec::new();
-    let mut recovery: Vec<Duration> = Vec::new();
+    let mut recovery_lats: Vec<Duration> = Vec::new();
+    let mut quiesce: Vec<Duration> = Vec::new();
     for offset in 0..campaigns {
         let seed = base_seed + offset;
         let plan = ChaosPlan::generate(seed);
         println!("seed={seed} plan: {}", plan.summary());
         for &policy in &policies {
-            let report = run_campaign(policy, &plan);
+            let (report, _) = run_campaign_with(
+                policy,
+                &plan,
+                CampaignOptions {
+                    recovery,
+                    ..Default::default()
+                },
+            );
             println!("  {report}");
             for line in report.latency_summary() {
                 println!("    window: {line}");
@@ -131,14 +383,18 @@ fn main() {
             // completes an incident there).
             if policy != FtPolicy::NoFt {
                 detection.extend(report.detection_latencies());
-                recovery.extend(report.recovery_latencies());
+                recovery_lats.extend(report.recovery_latencies());
+                quiesce.extend(report.quiesce_latencies());
             }
         }
     }
 
     println!("\ndegraded-window latency across all campaigns:");
     print_percentiles("detection (kill -> declare)", &detection);
-    print_percentiles("recovery  (kill -> first recached hit)", &recovery);
+    print_percentiles("recovery  (kill -> first recached hit)", &recovery_lats);
+    if recovery == RecoveryMode::Proactive {
+        print_percentiles("quiesce   (kill -> engine drained)", &quiesce);
+    }
 
     if failures > 0 {
         println!("\nFAIL: {failures} campaign run(s) violated invariants");

@@ -20,11 +20,12 @@ use crate::detector::{FailureDetector, Verdict};
 use crate::metrics::ClientMetrics;
 use crate::policy::{FtConfig, FtPolicy};
 use crate::proto::{CacheRequest, CacheResponse, ServeSource};
+use crate::recovery::{RecoveryConfig, RecoveryEngine};
 use crate::server::CacheNet;
 use bytes::Bytes;
 use ftc_hashring::{NodeId, Placement};
 use ftc_net::{Endpoint, TraceEventKind};
-use ftc_storage::Pfs;
+use ftc_storage::{KeyIndex, Pfs};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -113,6 +114,12 @@ pub struct HvacClient {
     /// Observability plane, attached after construction (the cluster owns
     /// the hub; `FtConfig` stays `Copy`). Never re-attached.
     obs: OnceLock<ClientObs>,
+    /// Observed key→owner assignments, maintained on every served read —
+    /// the recovery engine walks this to find a dead node's key range.
+    key_index: KeyIndex,
+    /// Background recovery engine (proactive recache, hinted handoff,
+    /// warm rejoin). Started once via [`Self::enable_recovery`].
+    recovery: OnceLock<Arc<RecoveryEngine>>,
 }
 
 impl HvacClient {
@@ -135,7 +142,40 @@ impl HvacClient {
             jitter_rng: Mutex::new(0x9E37_79B9_7F4A_7C15 ^ u64::from(me.0)),
             epoch: AtomicU64::new(0),
             obs: OnceLock::new(),
+            key_index: KeyIndex::new(),
+            recovery: OnceLock::new(),
         }
+    }
+
+    /// Start the background [`RecoveryEngine`] for this client. Call
+    /// after [`attach_obs`](Self::attach_obs) so the engine inherits the
+    /// hub. First call wins; later calls return the existing engine.
+    /// Errors only if the worker thread cannot be spawned.
+    pub fn enable_recovery(
+        self: &Arc<Self>,
+        config: RecoveryConfig,
+    ) -> Result<Arc<RecoveryEngine>, crate::error::CoreError> {
+        if let Some(e) = self.recovery.get() {
+            return Ok(Arc::clone(e));
+        }
+        let engine = RecoveryEngine::start(self, config)?;
+        match self.recovery.set(Arc::clone(&engine)) {
+            Ok(()) => Ok(engine),
+            // A racing enable won; ours drops (its worker exits via the
+            // closed channel) and the winner is returned. The Err payload
+            // is just our rejected Arc back. lint:allow(err-catchall)
+            Err(_) => Ok(Arc::clone(self.recovery.get().unwrap_or(&engine))),
+        }
+    }
+
+    /// The recovery engine, if enabled.
+    pub fn recovery(&self) -> Option<&Arc<RecoveryEngine>> {
+        self.recovery.get()
+    }
+
+    /// The client's observed key→owner index.
+    pub fn key_index(&self) -> &KeyIndex {
+        &self.key_index
     }
 
     /// Attach the observability hub: read latencies by provenance feed
@@ -332,6 +372,12 @@ impl HvacClient {
             ) {
                 Ok(CacheResponse::Data { bytes, source, .. }) => {
                     self.detector.lock().record_success(owner);
+                    self.key_index.record(owner.0, path);
+                    if let Some(engine) = self.recovery.get() {
+                        // A formerly-suspect node answered: any replica
+                        // hints parked against it can flush now.
+                        engine.notify_reachable(owner);
+                    }
                     self.trace_with(|| TraceEventKind::ReadServed {
                         key: path.to_owned(),
                         owner,
@@ -370,7 +416,10 @@ impl HvacClient {
                     self.detector.lock().record_success(owner);
                     return Err(ReadError::NotFound(path.to_owned()));
                 }
-                Ok(CacheResponse::Pong) | Ok(CacheResponse::PutAck { .. }) => {
+                Ok(CacheResponse::Pong)
+                | Ok(CacheResponse::PutAck { .. })
+                | Ok(CacheResponse::DigestReply { .. })
+                | Ok(CacheResponse::EvictAck { .. }) => {
                     // Protocol confusion; count as a retry and try again.
                     ClientMetrics::inc(&self.metrics.retries);
                     continue;
@@ -410,12 +459,18 @@ impl HvacClient {
                         }
                         FtPolicy::RingRecache => match verdict {
                             Verdict::JustFailed | Verdict::AlreadyFailed => {
-                                {
+                                let removed = {
                                     let mut p = self.placement.lock();
                                     if p.contains(owner) {
                                         let _ = p.remove_node(owner);
                                         self.bump_epoch(owner, false);
+                                        true
+                                    } else {
+                                        false
                                     }
+                                };
+                                if removed {
+                                    self.notify_recovery_failed(owner);
                                 }
                                 if verdict == Verdict::JustFailed {
                                     ClientMetrics::inc(&self.metrics.nodes_declared_failed);
@@ -459,52 +514,190 @@ impl HvacClient {
             format!("{node} declared failed out-of-band")
         });
         if self.config.policy == FtPolicy::RingRecache {
-            let mut p = self.placement.lock();
-            if p.contains(node) {
-                let _ = p.remove_node(node);
-                self.bump_epoch(node, false);
+            let removed = {
+                let mut p = self.placement.lock();
+                if p.contains(node) {
+                    let _ = p.remove_node(node);
+                    self.bump_epoch(node, false);
+                    true
+                } else {
+                    false
+                }
+            };
+            if removed {
+                self.notify_recovery_failed(node);
             }
         }
     }
 
     /// Elastic grow-back: re-admit a repaired node to the placement and
     /// clear its failed flag. Under RingRecache the ring re-add restores
-    /// the node's original arcs, so its keys route back to it (and its
-    /// cold cache refills through the ordinary miss path).
+    /// the node's original arcs, so its keys route back to it. With the
+    /// recovery engine enabled the rejoin is *warm*: the engine
+    /// reconciles the node's surviving NVMe contents against the current
+    /// ring and drains any hints parked for it; otherwise the cache
+    /// refills through the ordinary miss path.
     pub fn readmit(&self, node: NodeId) {
         self.detector.lock().clear_failed(node);
         self.trace_with(|| TraceEventKind::Readmit { node });
-        let mut p = self.placement.lock();
-        if !p.contains(node) {
-            let _ = p.add_node(node);
-            self.bump_epoch(node, true);
+        let rejoined = {
+            let mut p = self.placement.lock();
+            if !p.contains(node) {
+                let _ = p.add_node(node);
+                self.bump_epoch(node, true);
+                true
+            } else {
+                false
+            }
+        };
+        if rejoined {
+            if let Some(engine) = self.recovery.get() {
+                engine.notify_rejoined(node);
+            }
         }
     }
 
+    /// Hand a failure verdict to the recovery engine (no-op when the
+    /// engine is not enabled). Called after the membership change, so the
+    /// stamped epoch is the post-removal one.
+    fn notify_recovery_failed(&self, node: NodeId) {
+        if let Some(engine) = self.recovery.get() {
+            engine.notify_failed(node, self.ring_epoch());
+        }
+    }
+
+    // ---- narrow RPC surface for the recovery engine ----------------
+
+    /// The attached observability hub, if any.
+    pub(crate) fn obs_hub(&self) -> Option<Arc<ftc_obs::ObsHub>> {
+        self.obs.get().map(|o| Arc::clone(&o.hub))
+    }
+
+    /// Read a file straight from the PFS without touching read metrics
+    /// (recovery traffic is not a foreground read).
+    pub(crate) fn pfs_read(&self, path: &str) -> Option<Bytes> {
+        self.pfs.read(path)
+    }
+
+    /// Push an object to a node's cache; true on acknowledged store.
+    pub(crate) fn push_object(&self, node: NodeId, path: &str, bytes: &Bytes) -> bool {
+        matches!(
+            self.endpoint.call(
+                node,
+                CacheRequest::Put {
+                    path: path.to_owned(),
+                    bytes: bytes.clone(),
+                },
+                self.config.detector.ttl,
+            ),
+            Ok(CacheResponse::PutAck { .. })
+        )
+    }
+
+    /// Ask a node for its NVMe key digest; `None` when unreachable.
+    pub(crate) fn send_digest(&self, node: NodeId) -> Option<Vec<String>> {
+        match self
+            .endpoint
+            .call(node, CacheRequest::Digest, self.config.detector.ttl)
+        {
+            Ok(CacheResponse::DigestReply { keys }) => Some(keys),
+            _ => None,
+        }
+    }
+
+    /// Tell a node to drop a key it no longer owns; true when acked.
+    pub(crate) fn send_evict(&self, node: NodeId, path: &str) -> bool {
+        matches!(
+            self.endpoint.call(
+                node,
+                CacheRequest::Evict {
+                    path: path.to_owned(),
+                },
+                self.config.detector.ttl,
+            ),
+            Ok(CacheResponse::EvictAck { .. })
+        )
+    }
+
+    /// Liveness probe; true when the node answered.
+    pub(crate) fn probe_ping(&self, node: NodeId) -> bool {
+        matches!(
+            self.endpoint
+                .call(node, CacheRequest::Ping, self.config.detector.ttl),
+            Ok(CacheResponse::Pong)
+        )
+    }
+
     /// Push `bytes` to the next `replication - 1` ring successors of
-    /// `path` (best effort: a failed put costs nothing but the attempt —
-    /// the PFS remains the fallback of last resort).
+    /// `path`.
+    ///
+    /// A failed put is no longer silent: it is counted
+    /// ([`ClientMetrics::replica_write_failures`]), retried once under
+    /// the client's [`RetryPolicy`](crate::policy::RetryPolicy) backoff,
+    /// and — when the recovery engine is enabled — parked as a hint so
+    /// the replica lands when the target rejoins. A target the detector
+    /// already declared dead is not even attempted; its replica goes
+    /// straight to the hint store. A merely *suspect* target is parked
+    /// too — no point burning a TTL on a node that just timed out; the
+    /// hint flushes as soon as the node answers anything
+    /// ([`RecoveryEngine::notify_reachable`]) or rejoins.
     fn replicate(&self, path: &str, bytes: &Bytes, owner: NodeId) {
-        let ttl = self.config.detector.ttl;
-        let successors = self
-            .placement
-            .lock()
-            .successors(path, self.config.replication as usize);
-        for node in successors.into_iter().filter(|&n| n != owner) {
-            let ok = self
-                .endpoint
-                .call(
-                    node,
-                    CacheRequest::Put {
-                        path: path.to_owned(),
-                        bytes: bytes.clone(),
-                    },
-                    ttl,
-                )
-                .is_ok();
-            if ok {
-                ClientMetrics::inc(&self.metrics.replicas_written);
+        for node in self
+            .replica_targets(path)
+            .into_iter()
+            .filter(|&n| n != owner)
+        {
+            let (dead, suspect) = {
+                let d = self.detector.lock();
+                (d.is_failed(node), d.is_suspect(node))
+            };
+            if dead {
+                ClientMetrics::inc(&self.metrics.replica_write_failures);
+                self.park_replica_hint(node, path, bytes);
+                continue;
             }
+            if suspect && self.recovery.get().is_some() {
+                // Not a failure — a deliberate detour around a node the
+                // detector distrusts right now.
+                self.park_replica_hint(node, path, bytes);
+                continue;
+            }
+            if self.push_object(node, path, bytes) {
+                ClientMetrics::inc(&self.metrics.replicas_written);
+                continue;
+            }
+            ClientMetrics::inc(&self.metrics.replica_write_failures);
+            let nap = self
+                .config
+                .retry
+                .next_backoff(Duration::ZERO, self.jitter_unit());
+            if !nap.is_zero() {
+                std::thread::sleep(nap);
+            }
+            if self.push_object(node, path, bytes) {
+                ClientMetrics::inc(&self.metrics.replicas_written);
+            } else {
+                ClientMetrics::inc(&self.metrics.replica_write_failures);
+                self.park_replica_hint(node, path, bytes);
+            }
+        }
+    }
+
+    /// Every node the current ring routes `path` to (primary first, then
+    /// the replica successors). The recovery engine re-fences parked
+    /// hints against this set at drain time.
+    pub(crate) fn replica_targets(&self, path: &str) -> Vec<NodeId> {
+        self.placement
+            .lock()
+            .successors(path, (self.config.replication as usize).max(1))
+    }
+
+    /// Park a replica that could not be delivered; counted only when the
+    /// recovery engine is there to eventually drain it.
+    fn park_replica_hint(&self, node: NodeId, path: &str, bytes: &Bytes) {
+        if let Some(engine) = self.recovery.get() {
+            engine.park_hint(node, path, bytes, self.ring_epoch());
+            ClientMetrics::inc(&self.metrics.replicas_hinted);
         }
     }
 
@@ -894,9 +1087,15 @@ mod tests {
     fn failure_stamps_full_degraded_window_timeline() {
         use ftc_obs::Phase;
         let r = rig(4, 16);
-        let c = client(&r, FtPolicy::RingRecache);
+        let c = Arc::new(client(&r, FtPolicy::RingRecache));
         let hub = ftc_obs::ObsHub::shared();
         c.attach_obs(&hub);
+        let engine = c
+            .enable_recovery(crate::recovery::RecoveryConfig {
+                probe: false,
+                ..Default::default()
+            })
+            .expect("start engine");
         read_all(&c, 16); // warm epoch
         std::thread::sleep(Duration::from_millis(50));
 
@@ -905,6 +1104,10 @@ mod tests {
         r.servers[1].request_stop();
         read_all(&c, 16); // detection pass
         read_all(&c, 16); // failover pass: first recached hits
+        assert!(
+            engine.wait_quiesced(Duration::from_secs(10)),
+            "recovery engine must quiesce"
+        );
 
         let incidents = hub.timeline.incidents();
         let inc = incidents
@@ -920,19 +1123,181 @@ mod tests {
         }
         let det = inc.detection_latency().expect("detection latency");
         let rec = inc.recovery_latency().expect("recovery latency");
+        let qui = inc.quiesce_latency().expect("quiesce latency");
         assert!(det <= rec);
         // Detection needs timeout_limit = 2 TTLs of 25 ms; recovery adds
-        // the failover read. Both must be sane wall-clock values.
+        // the failover read. All must be sane wall-clock values.
         assert!(det >= Duration::from_millis(25), "det = {det:?}");
         assert!(rec < Duration::from_secs(30), "rec = {rec:?}");
+        assert!(qui < Duration::from_secs(30), "qui = {qui:?}");
         // Read-path histograms saw the traffic, split by provenance.
         let nvme = hub.registry.histogram("ftc_client_read_nvme_us").snapshot();
         assert!(nvme.count >= 16, "warm epoch must land as NVMe hits");
         // The flight recorder holds the whole story.
         let dump = hub.flight.dump();
-        for needle in ["suspect", "declare", "ring_update", "first_recached_hit"] {
+        for needle in [
+            "suspect",
+            "declare",
+            "ring_update",
+            "first_recached_hit",
+            "recovery_start",
+            "recovery_quiesced",
+        ] {
             assert!(dump.contains(needle), "missing {needle} in dump:\n{dump}");
         }
+    }
+
+    #[test]
+    fn proactive_recache_pushes_lost_keys_ahead_of_demand() {
+        let r = rig(4, 24);
+        let c = Arc::new(client(&r, FtPolicy::RingRecache));
+        let engine = c
+            .enable_recovery(crate::recovery::RecoveryConfig {
+                probe: false,
+                ..Default::default()
+            })
+            .expect("start engine");
+        read_all(&c, 24); // warm epoch: index learns every assignment
+        std::thread::sleep(Duration::from_millis(50));
+        let lost: Vec<String> = (0..24)
+            .map(|i| format!("train/s{i}.bin"))
+            .filter(|p| c.owner_of(p) == Some(NodeId(1)))
+            .collect();
+        assert!(!lost.is_empty());
+        assert_eq!(c.key_index().count_of(1), lost.len());
+
+        r.net.kill(NodeId(1));
+        r.servers[1].request_stop();
+        // Drive detection with ONE key only — the engine must recache the
+        // rest without any foreground read touching them.
+        let probe_key = &lost[0];
+        for _ in 0..3 {
+            let _ = c.read(probe_key);
+        }
+        assert!(!c.live_nodes().contains(&NodeId(1)), "declared + removed");
+        assert!(
+            engine.wait_quiesced(Duration::from_secs(10)),
+            "engine must finish the recache job"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.recoveries_started, 1);
+        assert_eq!(stats.recoveries_quiesced, 1);
+        // Every lost key now lives on its new owner: reading them all must
+        // produce zero further PFS traffic.
+        r.pfs.reset_read_counters();
+        read_all(&c, 24);
+        assert_eq!(
+            r.pfs.total_reads(),
+            0,
+            "proactive recache must pre-position every lost key \
+             (pushed {}, skipped {}, failed {})",
+            stats.recache_pushed,
+            stats.recache_skipped,
+            stats.recache_failed
+        );
+    }
+
+    #[test]
+    fn failed_replica_write_is_counted_retried_and_hinted() {
+        let r = rig(4, 64);
+        let mut cfg = fast_config(FtPolicy::RingRecache);
+        cfg.replication = 2;
+        let c = Arc::new(HvacClient::new(
+            NodeId(100),
+            &r.net,
+            Arc::clone(&r.pfs),
+            r.servers.len() as u32,
+            cfg,
+        ));
+        let engine = c
+            .enable_recovery(crate::recovery::RecoveryConfig {
+                probe: false,
+                ..Default::default()
+            })
+            .expect("start engine");
+        // Files whose replica target (successor, not owner) is node 2 —
+        // only these exercise the failure path when node 2 goes silent.
+        let to_n2: Vec<String> = (0..64)
+            .map(|i| format!("train/s{i}.bin"))
+            .filter(|p| {
+                let owner = c.owner_of(p);
+                owner != Some(NodeId(2))
+                    && c.placement
+                        .lock()
+                        .successors(p, 2)
+                        .into_iter()
+                        .any(|n| Some(n) != owner && n == NodeId(2))
+            })
+            .collect();
+        assert!(!to_n2.is_empty(), "need files replicating to node 2");
+        r.net.kill(NodeId(2));
+        r.servers[2].request_stop();
+        for p in &to_n2 {
+            c.read(p).unwrap();
+        }
+        let m = c.metrics().snapshot();
+        let k = to_n2.len() as u64;
+        // Regression: these puts used to vanish without a trace. Now each
+        // failed target costs two counted attempts (first try + the one
+        // retry) and ends as a parked hint.
+        assert_eq!(m.replica_write_failures, 2 * k, "try + retry per target");
+        assert_eq!(m.replicas_hinted, k, "every failed replica parked");
+        assert_eq!(engine.hints_pending() as u64, k);
+        assert_eq!(m.replicas_written, 0, "node 2 never acked anything");
+    }
+
+    #[test]
+    fn suspect_target_hint_flushes_when_node_answers() {
+        let r = rig(4, 64);
+        let mut cfg = fast_config(FtPolicy::RingRecache);
+        cfg.replication = 2;
+        // Wide window: the node must still be suspect when the replica
+        // write detours, even on a machine saturated by parallel tests.
+        cfg.detector.suspicion_window = Duration::from_secs(60);
+        let c = Arc::new(HvacClient::new(
+            NodeId(100),
+            &r.net,
+            Arc::clone(&r.pfs),
+            r.servers.len() as u32,
+            cfg,
+        ));
+        let engine = c
+            .enable_recovery(crate::recovery::RecoveryConfig {
+                probe: false,
+                ..Default::default()
+            })
+            .expect("start engine");
+        let name = |i: usize| format!("train/s{i}.bin");
+        // A file whose replica successor is node 2 but whose owner isn't.
+        let p = (0..64)
+            .map(name)
+            .find(|p| c.owner_of(p) != Some(NodeId(2)) && c.replica_targets(p).contains(&NodeId(2)))
+            .expect("a file replicating to node 2");
+        // One recent timeout: node 2 is suspect, not dead — the replica
+        // write detours to the hint store without burning a TTL.
+        c.detector.lock().record_timeout(NodeId(2));
+        c.read(&p).unwrap();
+        assert_eq!(engine.hints_pending_for(NodeId(2)), 1);
+        assert_eq!(
+            c.metrics().snapshot().replica_write_failures,
+            0,
+            "a suspicion detour is not a write failure"
+        );
+        // Node 2 answers a foreground read: reachable again, hint flushes.
+        let owned = (0..64)
+            .map(name)
+            .find(|q| c.owner_of(q) == Some(NodeId(2)))
+            .expect("a file owned by node 2");
+        c.read(&owned).unwrap();
+        let t0 = std::time::Instant::now();
+        while engine.hints_pending() != 0 {
+            assert!(t0.elapsed() < Duration::from_secs(10), "hint must drain");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let s = engine.stats();
+        assert_eq!(s.hints_parked, 1);
+        assert_eq!(s.hints_drained, 1);
+        assert_eq!(s.stale_epoch_rejected, 0, "replica hint is not stale");
     }
 
     #[test]

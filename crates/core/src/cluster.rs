@@ -140,6 +140,19 @@ impl Cluster {
         c
     }
 
+    /// Create a client with a running [`RecoveryEngine`] — proactive
+    /// recache, hinted handoff and (when configured) autonomous
+    /// readmission probing. Errors if the engine thread cannot spawn.
+    pub fn client_with_recovery(
+        &self,
+        rank: u32,
+        recovery: crate::recovery::RecoveryConfig,
+    ) -> Result<Arc<HvacClient>, CoreError> {
+        let c = self.client(rank);
+        let _ = c.enable_recovery(recovery)?;
+        Ok(c)
+    }
+
     /// The cluster's observability hub (registry + timeline + flight
     /// recorder). The chaos harness stamps kills and embeds snapshots
     /// through this handle.
@@ -175,21 +188,70 @@ impl Cluster {
     }
 
     /// Repair and rejoin a previously killed node (elastic grow-back).
-    /// The node returns with a *cold* cache, as a re-provisioned node
-    /// would. On spawn failure the node stays killed (state unchanged)
-    /// and the error is returned.
+    ///
+    /// The rejoin is **warm**: the node kept its NVMe across the crash
+    /// (the paper's node-local volume survives a process or fabric
+    /// failure), so the respawned server adopts the surviving contents.
+    /// Clients are readmitted immediately; a client with a recovery
+    /// engine then reconciles the survivors against the current ring and
+    /// drains any parked hints. On spawn failure the node stays killed
+    /// (state unchanged) and the error is returned.
     pub fn revive(&self, node: NodeId) -> Result<(), CoreError> {
+        self.respawn(node, true)?;
+        for c in self.clients.lock().iter() {
+            c.readmit(node);
+        }
+        self.hub
+            .flight
+            .record("cluster", "revive", node.to_string());
+        Ok(())
+    }
+
+    /// Repair a node with a **cold** cache (re-provisioned hardware: the
+    /// old NVMe contents are gone). Baseline for warm-rejoin comparisons.
+    pub fn revive_cold(&self, node: NodeId) -> Result<(), CoreError> {
+        self.respawn(node, false)?;
+        for c in self.clients.lock().iter() {
+            c.readmit(node);
+        }
+        self.hub
+            .flight
+            .record("cluster", "revive_cold", node.to_string());
+        Ok(())
+    }
+
+    /// Repair a node **without telling any client** — the node is back on
+    /// the fabric (warm), but membership is unchanged. Clients running a
+    /// recovery engine with probing discover the rejoin autonomously;
+    /// everyone else keeps routing around it.
+    pub fn revive_silent(&self, node: NodeId) -> Result<(), CoreError> {
+        self.respawn(node, true)?;
+        self.hub
+            .flight
+            .record("cluster", "revive_silent", node.to_string());
+        Ok(())
+    }
+
+    /// Shared revive plumbing: bring the node back on the fabric with a
+    /// warm (surviving) or cold (fresh) cache. No-op if not killed.
+    fn respawn(&self, node: NodeId, warm: bool) -> Result<(), CoreError> {
         let mut killed = self.killed.lock();
         if !killed.remove(&node) {
             return Ok(());
         }
         self.net.revive(node);
-        let h = match ServerHandle::spawn(
-            node,
-            &self.net,
-            Arc::clone(&self.pfs),
-            self.config.nvme_capacity,
-        ) {
+        let spawned = if warm {
+            let cache = Arc::clone(&self.caches.lock()[node.index()]);
+            ServerHandle::spawn_with_cache(node, &self.net, Arc::clone(&self.pfs), cache)
+        } else {
+            ServerHandle::spawn(
+                node,
+                &self.net,
+                Arc::clone(&self.pfs),
+                self.config.nvme_capacity,
+            )
+        };
+        let h = match spawned {
             Ok(h) => h,
             Err(e) => {
                 // Roll back: the node is still dead as far as anyone can
@@ -199,15 +261,8 @@ impl Cluster {
                 return Err(e);
             }
         };
-        // The revived server has a fresh, cold cache; point metrics at it.
         self.caches.lock()[node.index()] = h.cache();
         self.servers.lock()[node.index()] = Some(h);
-        for c in self.clients.lock().iter() {
-            c.readmit(node);
-        }
-        self.hub
-            .flight
-            .record("cluster", "revive", node.to_string());
         Ok(())
     }
 
@@ -288,6 +343,33 @@ impl Cluster {
                 out.push(s);
             }
         }
+        // Per-node mover backpressure: queue depth (live gauge) and
+        // rejected enqueues (the observable cost of the bounded queue).
+        for (i, slot) in self.servers.lock().iter().enumerate() {
+            let Some(h) = slot else { continue };
+            let mut depth =
+                ftc_obs::Sample::gauge("ftc_mover_queue_depth", h.mover_queue_depth() as f64);
+            depth.labels.push(("node".to_owned(), i.to_string()));
+            out.push(depth);
+            let mut rejected = ftc_obs::Sample::counter(
+                "ftc_mover_enqueue_rejected_total",
+                h.mover_enqueue_rejected(),
+            );
+            rejected.labels.push(("node".to_owned(), i.to_string()));
+            out.push(rejected);
+        }
+        // Recovery-engine counters, aggregated across every client that
+        // runs one (zero-valued when none does, so dashboards are stable).
+        let recovery = self
+            .clients
+            .lock()
+            .iter()
+            .filter_map(|c| c.recovery().map(|e| e.stats()))
+            .fold(
+                crate::recovery::RecoveryStatsSnapshot::default(),
+                |acc, s| acc.merge(&s),
+            );
+        recovery.export_into(&mut out);
         let epoch = self
             .clients
             .lock()
@@ -391,24 +473,108 @@ mod tests {
         cluster.shutdown();
     }
 
-    #[test]
-    fn revive_rejoins_with_cold_cache() {
-        let cluster = Cluster::start(ClusterConfig::small(3, FtPolicy::RingRecache)).expect("boot");
-        let paths = cluster.stage_dataset("train", 12, 16);
-        let c = cluster.client(0);
-        for p in &paths {
+    /// Shared setup for the revive tests: warm the cluster, kill node 0,
+    /// run enough passes that the survivors absorb its keys. Returns the
+    /// paths node 0 originally owned.
+    fn kill_node0_and_absorb(
+        cluster: &Cluster,
+        c: &Arc<HvacClient>,
+        paths: &[String],
+    ) -> Vec<String> {
+        for p in paths {
             c.read(p).unwrap();
         }
+        let lost: Vec<String> = paths
+            .iter()
+            .filter(|p| c.owner_of(p) == Some(NodeId(0)))
+            .cloned()
+            .collect();
+        assert!(!lost.is_empty(), "node 0 must own something");
         cluster.kill(NodeId(0));
         for _ in 0..2 {
-            for p in &paths {
+            for p in paths {
                 c.read(p).unwrap();
             }
         }
         assert!(!c.live_nodes().contains(&NodeId(0)));
+        lost
+    }
+
+    #[test]
+    fn revive_rejoins_warm_with_surviving_nvme() {
+        let cluster = Cluster::start(ClusterConfig::small(3, FtPolicy::RingRecache)).expect("boot");
+        let paths = cluster.stage_dataset("train", 12, 16);
+        let c = cluster.client(0);
+        kill_node0_and_absorb(&cluster, &c, &paths);
         cluster.revive(NodeId(0)).expect("revive");
         assert!(c.live_nodes().contains(&NodeId(0)));
-        // Reads still verify after rejoin (node 0 refills through misses).
+        // Warm rejoin: node 0 kept its NVMe, so its restored arcs serve
+        // from cache — no PFS traffic at all after the rejoin.
+        std::thread::sleep(Duration::from_millis(50));
+        cluster.pfs().reset_read_counters();
+        for p in &paths {
+            assert_eq!(c.read(p).unwrap(), synth_bytes(p, 16));
+        }
+        assert_eq!(
+            cluster.pfs().total_reads(),
+            0,
+            "warm rejoin must not refetch anything"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn revive_cold_refills_through_misses() {
+        let cluster = Cluster::start(ClusterConfig::small(3, FtPolicy::RingRecache)).expect("boot");
+        let paths = cluster.stage_dataset("train", 12, 16);
+        let c = cluster.client(0);
+        let lost = kill_node0_and_absorb(&cluster, &c, &paths);
+        cluster.revive_cold(NodeId(0)).expect("revive");
+        assert!(c.live_nodes().contains(&NodeId(0)));
+        // Cold rejoin: the re-provisioned node refills through the miss
+        // path — exactly one PFS fetch per key it owns.
+        std::thread::sleep(Duration::from_millis(50));
+        cluster.pfs().reset_read_counters();
+        for p in &paths {
+            assert_eq!(c.read(p).unwrap(), synth_bytes(p, 16));
+        }
+        assert_eq!(
+            cluster.pfs().total_reads(),
+            lost.len() as u64,
+            "cold rejoin refetches the node's keys once each"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn silent_revive_is_discovered_by_probing() {
+        let cluster = Cluster::start(ClusterConfig::small(3, FtPolicy::RingRecache)).expect("boot");
+        let paths = cluster.stage_dataset("train", 12, 16);
+        let c = cluster
+            .client_with_recovery(
+                0,
+                crate::recovery::RecoveryConfig {
+                    probe_base: Duration::from_millis(10),
+                    probe_max: Duration::from_millis(40),
+                    ..Default::default()
+                },
+            )
+            .expect("client with engine");
+        kill_node0_and_absorb(&cluster, &c, &paths);
+        // The node comes back on the fabric, but nobody tells the client.
+        cluster.revive_silent(NodeId(0)).expect("revive");
+        let t0 = std::time::Instant::now();
+        while !c.live_nodes().contains(&NodeId(0)) {
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "probing must readmit the node autonomously"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = c.recovery().expect("engine").stats();
+        assert!(stats.probes_sent >= 1, "rejoin found by a probe");
+        assert_eq!(stats.rejoins_detected, 1);
+        // Reads verify after the autonomous rejoin.
         for p in &paths {
             assert_eq!(c.read(p).unwrap(), synth_bytes(p, 16));
         }

@@ -142,6 +142,31 @@ impl FailureDetector {
         self.timeouts.get(&node).map_or(0, |w| w.len() as u32)
     }
 
+    /// Whether `node` is currently under suspicion: at least one timeout
+    /// inside the sliding window, but not (yet) declared failed. Unlike
+    /// [`Self::suspect_count`] this ignores entries that have already
+    /// aged past the window, so a long-quiet node reads as healthy even
+    /// before the lazy purge runs. Callers use this to stop sending
+    /// best-effort traffic (replica writes) to a node that is probably
+    /// about to be declared dead.
+    pub fn is_suspect(&self, node: NodeId) -> bool {
+        self.is_suspect_at(node, Instant::now())
+    }
+
+    /// [`Self::is_suspect`] with an explicit clock reading.
+    pub fn is_suspect_at(&self, node: NodeId, at: Instant) -> bool {
+        if self.failed.contains(&node) {
+            return false;
+        }
+        let Some(window) = self.timeouts.get(&node) else {
+            return false;
+        };
+        match at.checked_sub(self.config.suspicion_window) {
+            Some(cutoff) => window.iter().any(|&t| t >= cutoff),
+            None => !window.is_empty(),
+        }
+    }
+
     /// Administratively declare `node` failed (e.g. out-of-band notice).
     pub fn mark_failed(&mut self, node: NodeId) {
         self.failed.insert(node);
@@ -304,6 +329,22 @@ mod tests {
             Verdict::Suspect { count: 1 }
         );
         assert!(!d.is_failed(n));
+    }
+
+    #[test]
+    fn suspicion_tracks_the_window_and_clears_on_failure() {
+        let mut d = windowed(3, Duration::from_millis(100));
+        let n = NodeId(4);
+        let base = Instant::now();
+        assert!(!d.is_suspect_at(n, base), "clean node is not suspect");
+        d.record_timeout_at(n, base);
+        assert!(d.is_suspect_at(n, base + Duration::from_millis(50)));
+        // The lone timeout ages out of the window without any purge.
+        assert!(!d.is_suspect_at(n, base + Duration::from_millis(150)));
+        // A declared-failed node is failed, not suspect.
+        d.mark_failed(n);
+        assert!(!d.is_suspect_at(n, base + Duration::from_millis(50)));
+        assert!(d.is_failed(n));
     }
 
     #[test]

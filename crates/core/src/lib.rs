@@ -39,6 +39,7 @@ pub mod error;
 pub mod metrics;
 pub mod policy;
 pub mod proto;
+pub mod recovery;
 pub mod server;
 
 pub use client::{HvacClient, ReadError, ReadOutcome, ReadVia};
@@ -48,4 +49,5 @@ pub use error::CoreError;
 pub use metrics::{ClientMetrics, ClientMetricsSnapshot, ClusterMetrics};
 pub use policy::{FtConfig, FtPolicy, PlacementKind, RetryPolicy};
 pub use proto::{CacheRequest, CacheResponse, ServeSource};
+pub use recovery::{RecoveryConfig, RecoveryEngine, RecoveryStatsSnapshot};
 pub use server::{CacheNet, HvacServer, ServerHandle};

@@ -32,6 +32,12 @@ pub struct ClientMetrics {
     pub bytes_read: AtomicU64,
     /// Replicas pushed to ring successors (replication extension).
     pub replicas_written: AtomicU64,
+    /// Replica puts that failed (counted per failed attempt, including
+    /// the retry — a silent replica loss is a durability lie).
+    pub replica_write_failures: AtomicU64,
+    /// Replicas parked as hints for an unreachable target, to be drained
+    /// by the recovery engine when the node rejoins.
+    pub replicas_hinted: AtomicU64,
 }
 
 /// Plain-value snapshot of [`ClientMetrics`].
@@ -55,6 +61,10 @@ pub struct ClientMetricsSnapshot {
     pub bytes_read: u64,
     /// See [`ClientMetrics::replicas_written`].
     pub replicas_written: u64,
+    /// See [`ClientMetrics::replica_write_failures`].
+    pub replica_write_failures: u64,
+    /// See [`ClientMetrics::replicas_hinted`].
+    pub replicas_hinted: u64,
 }
 
 impl ClientMetrics {
@@ -75,6 +85,8 @@ impl ClientMetrics {
             nodes_declared_failed: self.nodes_declared_failed.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             replicas_written: self.replicas_written.load(Ordering::Relaxed),
+            replica_write_failures: self.replica_write_failures.load(Ordering::Relaxed),
+            replicas_hinted: self.replicas_hinted.load(Ordering::Relaxed),
         }
     }
 
@@ -111,6 +123,10 @@ impl ClientMetricsSnapshot {
                 .saturating_add(other.nodes_declared_failed),
             bytes_read: self.bytes_read.saturating_add(other.bytes_read),
             replicas_written: self.replicas_written.saturating_add(other.replicas_written),
+            replica_write_failures: self
+                .replica_write_failures
+                .saturating_add(other.replica_write_failures),
+            replicas_hinted: self.replicas_hinted.saturating_add(other.replicas_hinted),
         }
     }
 }
@@ -152,6 +168,14 @@ impl ftc_obs::Export for ClientMetricsSnapshot {
         out.push(ftc_obs::Sample::counter(
             "ftc_client_replicas_written_total",
             self.replicas_written,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_replica_write_failures_total",
+            self.replica_write_failures,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_replicas_hinted_total",
+            self.replicas_hinted,
         ));
     }
 }
@@ -240,7 +264,7 @@ mod tests {
         };
         let samples = snap.export();
         // One sample per public field — nothing reachable only privately.
-        assert_eq!(samples.len(), 9);
+        assert_eq!(samples.len(), 11);
         let find = |n: &str| {
             samples
                 .iter()

@@ -39,6 +39,18 @@ pub enum CacheRequest {
         /// The file bytes.
         bytes: Bytes,
     },
+    /// Ask the node for a digest of its NVMe contents — the warm-rejoin
+    /// anti-entropy exchange: a revived node that kept its disk announces
+    /// what survived, and the recovery engine reconciles it against the
+    /// current ring epoch.
+    Digest,
+    /// Drop one cached object (anti-entropy: the key is no longer owned
+    /// by this node under the current ring, so holding it would waste
+    /// NVMe and risk serving a key the placement routed elsewhere).
+    Evict {
+        /// The file path.
+        path: String,
+    },
 }
 
 /// Server → client messages.
@@ -65,6 +77,18 @@ pub enum CacheResponse {
         /// Echoed path.
         path: String,
     },
+    /// The node's surviving NVMe contents (warm-rejoin digest).
+    DigestReply {
+        /// Cached keys, sorted ascending.
+        keys: Vec<String>,
+    },
+    /// Eviction outcome.
+    EvictAck {
+        /// Echoed path.
+        path: String,
+        /// Whether the object was resident.
+        existed: bool,
+    },
 }
 
 impl Payload for CacheRequest {
@@ -73,6 +97,8 @@ impl Payload for CacheRequest {
             CacheRequest::Read { path } => 32 + path.len(),
             CacheRequest::Ping => 16,
             CacheRequest::Put { path, bytes } => 48 + path.len() + bytes.len(),
+            CacheRequest::Digest => 16,
+            CacheRequest::Evict { path } => 32 + path.len(),
         }
     }
 }
@@ -84,6 +110,10 @@ impl Payload for CacheResponse {
             CacheResponse::NotFound { path } => 32 + path.len(),
             CacheResponse::Pong => 16,
             CacheResponse::PutAck { path } => 32 + path.len(),
+            CacheResponse::DigestReply { keys } => {
+                32 + keys.iter().map(|k| 8 + k.len()).sum::<usize>()
+            }
+            CacheResponse::EvictAck { path, .. } => 33 + path.len(),
         }
     }
 }
@@ -118,5 +148,22 @@ mod tests {
         };
         assert_eq!(put.wire_size(), 60);
         assert_eq!(CacheResponse::PutAck { path: "ab".into() }.wire_size(), 34);
+        assert_eq!(CacheRequest::Digest.wire_size(), 16);
+        assert_eq!(CacheRequest::Evict { path: "abc".into() }.wire_size(), 35);
+        assert_eq!(
+            CacheResponse::DigestReply {
+                keys: vec!["ab".into(), "cdef".into()]
+            }
+            .wire_size(),
+            32 + (8 + 2) + (8 + 4)
+        );
+        assert_eq!(
+            CacheResponse::EvictAck {
+                path: "ab".into(),
+                existed: true
+            }
+            .wire_size(),
+            35
+        );
     }
 }

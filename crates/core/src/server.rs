@@ -31,7 +31,18 @@ impl HvacServer {
     /// Server for `node`, caching onto an NVMe of `nvme_capacity` bytes.
     /// Errors if the data-mover thread cannot be spawned.
     pub fn new(node: NodeId, pfs: Arc<Pfs>, nvme_capacity: u64) -> Result<Self, CoreError> {
-        let cache = Arc::new(NvmeCache::new(nvme_capacity));
+        Self::with_cache(node, pfs, Arc::new(NvmeCache::new(nvme_capacity)))
+    }
+
+    /// Server for `node` over an existing NVMe cache — the warm-rejoin
+    /// path: a revived node kept its disk (the paper's node-local model),
+    /// so the new server process adopts the surviving contents instead of
+    /// restarting cold.
+    pub fn with_cache(
+        node: NodeId,
+        pfs: Arc<Pfs>,
+        cache: Arc<NvmeCache>,
+    ) -> Result<Self, CoreError> {
         let mover = DataMover::spawn(Arc::clone(&cache)).map_err(|source| CoreError::Spawn {
             what: "data mover",
             node,
@@ -75,6 +86,16 @@ impl HvacServer {
         self.mover.counter_handles()
     }
 
+    /// Shared handles to the mover's (queue depth, rejected) counters.
+    pub fn mover_pressure(
+        &self,
+    ) -> (
+        Arc<std::sync::atomic::AtomicU64>,
+        Arc<std::sync::atomic::AtomicU64>,
+    ) {
+        self.mover.pressure_handles()
+    }
+
     /// Synchronously process one incoming request.
     pub fn handle(&self, mut inc: Incoming<CacheRequest, CacheResponse>) {
         // Absorb the request's clock stamp up front so cache-map events
@@ -102,9 +123,13 @@ impl HvacServer {
                 } else if let Some(bytes) = self.pfs.read(&path) {
                     // Serve first, persist in the background (HVAC's
                     // data-mover pattern keeps the PFS fetch off the next
-                    // reader's critical path only; this one pays it).
-                    self.mover.enqueue(&path, bytes.clone());
-                    inc.trace_state(TraceEventKind::CacheInsert { key: path.clone() });
+                    // reader's critical path only; this one pays it). A
+                    // full mover queue drops the recache — the read still
+                    // succeeds, only the insert trace is withheld so the
+                    // model never records an insert that didn't happen.
+                    if self.mover.enqueue(&path, bytes.clone()) {
+                        inc.trace_state(TraceEventKind::CacheInsert { key: path.clone() });
+                    }
                     inc.reply_sized(CacheResponse::Data {
                         path,
                         bytes,
@@ -113,6 +138,19 @@ impl HvacServer {
                 } else {
                     inc.reply(CacheResponse::NotFound { path });
                 }
+            }
+            CacheRequest::Digest => {
+                inc.reply_sized(CacheResponse::DigestReply {
+                    keys: self.cache.keys(),
+                });
+            }
+            CacheRequest::Evict { path } => {
+                let path = path.clone();
+                let existed = self.cache.remove(&path);
+                if existed {
+                    inc.trace_state(TraceEventKind::CacheEvict { key: path.clone() });
+                }
+                inc.reply(CacheResponse::EvictAck { path, existed });
             }
         }
     }
@@ -131,6 +169,8 @@ pub struct ServerHandle {
     cache: Arc<NvmeCache>,
     moved: Arc<std::sync::atomic::AtomicU64>,
     moved_bytes: Arc<std::sync::atomic::AtomicU64>,
+    queue_depth: Arc<std::sync::atomic::AtomicU64>,
+    enqueue_rejected: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl ServerHandle {
@@ -142,9 +182,25 @@ impl ServerHandle {
         pfs: Arc<Pfs>,
         nvme_capacity: u64,
     ) -> Result<Self, CoreError> {
-        let server = HvacServer::new(node, pfs, nvme_capacity)?;
+        Self::spawn_inner(HvacServer::new(node, pfs, nvme_capacity)?, net)
+    }
+
+    /// Spawn a server thread over an existing NVMe cache — the warm-rejoin
+    /// path (the revived node kept its disk).
+    pub fn spawn_with_cache(
+        node: NodeId,
+        net: &CacheNet,
+        pfs: Arc<Pfs>,
+        cache: Arc<NvmeCache>,
+    ) -> Result<Self, CoreError> {
+        Self::spawn_inner(HvacServer::with_cache(node, pfs, cache)?, net)
+    }
+
+    fn spawn_inner(server: HvacServer, net: &CacheNet) -> Result<Self, CoreError> {
+        let node = server.node();
         let cache = server.cache();
         let (moved, moved_bytes) = server.mover_counters();
+        let (queue_depth, enqueue_rejected) = server.mover_pressure();
         let mbox = net.register(node);
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
@@ -176,6 +232,8 @@ impl ServerHandle {
             cache,
             moved,
             moved_bytes,
+            queue_depth,
+            enqueue_rejected,
         })
     }
 
@@ -199,6 +257,18 @@ impl ServerHandle {
     pub fn recached_bytes(&self) -> u64 {
         // ordering: Relaxed — monotone statistic, metrics tolerate lag.
         self.moved_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Current mover queue depth (pending recache inserts).
+    pub fn mover_queue_depth(&self) -> u64 {
+        // ordering: Relaxed — observability read of a live gauge.
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Recache enqueues rejected because the mover queue was full.
+    pub fn mover_enqueue_rejected(&self) -> u64 {
+        // ordering: Relaxed — monotone statistic, metrics tolerate lag.
+        self.enqueue_rejected.load(Ordering::Relaxed)
     }
 
     /// Ask the loop to exit without waiting (used by abrupt kill: the
@@ -387,6 +457,94 @@ mod tests {
         let cache = h.cache();
         assert!(cache.resident_bytes() <= 128);
         drop(h);
+    }
+
+    #[test]
+    fn digest_lists_and_evict_drops_cached_keys() {
+        let (net, pfs) = setup();
+        let h = ServerHandle::spawn(NodeId(0), &net, pfs, u64::MAX).expect("spawn server");
+        h.cache().insert("b.bin", synth_bytes("b.bin", 8));
+        h.cache().insert("a.bin", synth_bytes("a.bin", 8));
+        let ep = net.endpoint(NodeId(1));
+
+        let r = ep.call(NodeId(0), CacheRequest::Digest, TTL).unwrap();
+        assert_eq!(
+            r,
+            CacheResponse::DigestReply {
+                keys: vec!["a.bin".into(), "b.bin".into()]
+            }
+        );
+
+        let r = ep
+            .call(
+                NodeId(0),
+                CacheRequest::Evict {
+                    path: "a.bin".into(),
+                },
+                TTL,
+            )
+            .unwrap();
+        assert_eq!(
+            r,
+            CacheResponse::EvictAck {
+                path: "a.bin".into(),
+                existed: true
+            }
+        );
+        assert!(!h.cache().peek("a.bin"));
+
+        // Evicting a missing key reports existed=false and is harmless.
+        let r = ep
+            .call(
+                NodeId(0),
+                CacheRequest::Evict {
+                    path: "a.bin".into(),
+                },
+                TTL,
+            )
+            .unwrap();
+        assert_eq!(
+            r,
+            CacheResponse::EvictAck {
+                path: "a.bin".into(),
+                existed: false
+            }
+        );
+        drop(h);
+    }
+
+    #[test]
+    fn warm_respawn_adopts_surviving_cache() {
+        let (net, pfs) = setup();
+        let h =
+            ServerHandle::spawn(NodeId(0), &net, Arc::clone(&pfs), u64::MAX).expect("spawn server");
+        h.cache().insert("warm.bin", synth_bytes("warm.bin", 16));
+        let cache = h.cache();
+        net.kill(NodeId(0));
+        drop(h);
+
+        // Respawn over the surviving NVMe: contents must be served as
+        // hits, not refetched from the PFS.
+        net.revive(NodeId(0));
+        let h2 = ServerHandle::spawn_with_cache(NodeId(0), &net, pfs, cache).expect("respawn");
+        let ep = net.endpoint(NodeId(1));
+        let r = ep
+            .call(
+                NodeId(0),
+                CacheRequest::Read {
+                    path: "warm.bin".into(),
+                },
+                TTL,
+            )
+            .unwrap();
+        assert!(matches!(
+            r,
+            CacheResponse::Data {
+                source: ServeSource::NvmeHit,
+                ..
+            }
+        ));
+        drop(h2);
     }
 
     #[test]

@@ -37,14 +37,34 @@ pub enum Phase {
     Declare,
     /// The placement dropped the node (ring epoch bump).
     RingUpdate,
+    /// The recovery engine began proactively recaching the node's lost
+    /// keys onto their new owners (absent under lazy recaching).
+    RecoveryStart,
     /// First read of a key the node owned served from a survivor's cache
     /// tier — steady-state recached serving has begun.
     FirstRecachedHit,
+    /// The recovery engine drained every recache/hint job for this
+    /// incident — recovery traffic has quiesced (absent under lazy
+    /// recaching).
+    RecoveryQuiesced,
 }
 
 impl Phase {
     /// All phases, causal order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 8] = [
+        Phase::Kill,
+        Phase::FirstTimeout,
+        Phase::Suspect,
+        Phase::Declare,
+        Phase::RingUpdate,
+        Phase::RecoveryStart,
+        Phase::FirstRecachedHit,
+        Phase::RecoveryQuiesced,
+    ];
+
+    /// The phases every fault-tolerant path stamps, proactive recovery
+    /// engine or not — the lazy degraded-window skeleton.
+    pub const LAZY: [Phase; 6] = [
         Phase::Kill,
         Phase::FirstTimeout,
         Phase::Suspect,
@@ -60,7 +80,9 @@ impl Phase {
             Phase::Suspect => 2,
             Phase::Declare => 3,
             Phase::RingUpdate => 4,
-            Phase::FirstRecachedHit => 5,
+            Phase::RecoveryStart => 5,
+            Phase::FirstRecachedHit => 6,
+            Phase::RecoveryQuiesced => 7,
         }
     }
 
@@ -72,7 +94,9 @@ impl Phase {
             Phase::Suspect => "suspect",
             Phase::Declare => "declare",
             Phase::RingUpdate => "ring_update",
+            Phase::RecoveryStart => "recovery_start",
             Phase::FirstRecachedHit => "first_recached_hit",
+            Phase::RecoveryQuiesced => "recovery_quiesced",
         }
     }
 }
@@ -85,14 +109,14 @@ pub struct Incident {
     /// `ftc-hashring`).
     pub node: u32,
     /// Phase offsets from the recorder origin; `None` = never reached.
-    stamps: [Option<Duration>; 6],
+    stamps: [Option<Duration>; 8],
 }
 
 impl Incident {
     fn new(node: u32) -> Self {
         Incident {
             node,
-            stamps: [None; 6],
+            stamps: [None; 8],
         }
     }
 
@@ -114,6 +138,15 @@ impl Incident {
     pub fn recovery_latency(&self) -> Option<Duration> {
         Some(
             self.stamp(Phase::FirstRecachedHit)?
+                .saturating_sub(self.stamp(Phase::Kill)?),
+        )
+    }
+
+    /// Time from `Kill` to `RecoveryQuiesced` — how long recovery traffic
+    /// kept flowing. Only proactive-recovery incidents have this.
+    pub fn quiesce_latency(&self) -> Option<Duration> {
+        Some(
+            self.stamp(Phase::RecoveryQuiesced)?
                 .saturating_sub(self.stamp(Phase::Kill)?),
         )
     }
@@ -261,19 +294,18 @@ mod tests {
     #[test]
     fn full_incident_derives_latencies() {
         let t = TimelineRecorder::new();
-        t.mark(2, Phase::Kill);
-        t.mark(2, Phase::FirstTimeout);
-        t.mark(2, Phase::Suspect);
-        t.mark(2, Phase::Declare);
-        t.mark(2, Phase::RingUpdate);
-        t.mark(2, Phase::FirstRecachedHit);
+        for p in Phase::ALL {
+            t.mark(2, p);
+        }
         let incidents = t.incidents();
         assert_eq!(incidents.len(), 1);
         let inc = &incidents[0];
         assert!(inc.is_complete());
         let det = inc.detection_latency().expect("detection");
         let rec = inc.recovery_latency().expect("recovery");
+        let qui = inc.quiesce_latency().expect("quiesce");
         assert!(det <= rec, "declare precedes recached hit");
+        assert!(rec <= qui, "recached hit precedes quiescence here");
         // Stamps are monotone in causal order.
         let mut prev = Duration::ZERO;
         for p in Phase::ALL {
@@ -281,6 +313,19 @@ mod tests {
             assert!(s >= prev);
             prev = s;
         }
+    }
+
+    #[test]
+    fn lazy_incident_has_no_recovery_phases() {
+        let t = TimelineRecorder::new();
+        for p in Phase::LAZY {
+            t.mark(5, p);
+        }
+        let inc = &t.incidents()[0];
+        assert!(inc.is_complete(), "lazy path still completes");
+        assert!(inc.recovery_latency().is_some());
+        assert_eq!(inc.quiesce_latency(), None);
+        assert_eq!(inc.stamp(Phase::RecoveryStart), None);
     }
 
     #[test]

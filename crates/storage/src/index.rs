@@ -1,0 +1,172 @@
+//! Per-node key index — the recovery engine's map of what a node held.
+//!
+//! The paper's recaching story is lazy: a lost key is refetched from the
+//! PFS on its first post-failure miss. Proactive recache needs to know
+//! *which* keys a dead node owned without waiting for demand, so the
+//! client maintains this index as a side effect of serving reads: every
+//! successful read records `(owner, key)` here, and a membership change
+//! hands the departed node's key set to the recovery engine in one call.
+//!
+//! The index is an *observed* assignment, not ground truth: it can lag
+//! the placement (keys read before a ring change stay filed under the old
+//! owner until re-read or reassigned). The recovery engine compensates by
+//! re-resolving each key's owner against the live placement at push time
+//! — the index only needs to be a superset-ish hint of what was lost.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+
+/// Which node was last observed owning each key, with a per-node mirror
+/// for O(1) "everything node X held" drains.
+#[derive(Debug, Default)]
+pub struct KeyIndex {
+    inner: Mutex<IndexInner>,
+}
+
+#[derive(Debug, Default)]
+struct IndexInner {
+    /// key -> owner node (raw id; this crate does not depend on
+    /// `ftc-hashring`).
+    owner_of: HashMap<String, u32>,
+    /// node -> keys, mirror of `owner_of`.
+    keys_of: HashMap<u32, HashSet<String>>,
+}
+
+impl KeyIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        KeyIndex::default()
+    }
+
+    /// Record that `node` owns `key` (moving it from any previous owner).
+    pub fn record(&self, node: u32, key: &str) {
+        let mut g = self.inner.lock();
+        match g.owner_of.insert(key.to_owned(), node) {
+            Some(prev) if prev == node => return,
+            Some(prev) => {
+                if let Some(set) = g.keys_of.get_mut(&prev) {
+                    set.remove(key);
+                }
+            }
+            None => {}
+        }
+        g.keys_of.entry(node).or_default().insert(key.to_owned());
+    }
+
+    /// The node last observed owning `key`.
+    pub fn owner(&self, key: &str) -> Option<u32> {
+        self.inner.lock().owner_of.get(key).copied()
+    }
+
+    /// The keys filed under `node`, sorted for deterministic walks.
+    pub fn keys_of(&self, node: u32) -> Vec<String> {
+        let g = self.inner.lock();
+        let mut v: Vec<String> = g
+            .keys_of
+            .get(&node)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Remove and return `node`'s keys (sorted) — the recovery engine's
+    /// drain on a failure declaration. The keys become unowned until
+    /// re-recorded under their new owners.
+    pub fn drain_node(&self, node: u32) -> Vec<String> {
+        let mut g = self.inner.lock();
+        let keys = g.keys_of.remove(&node).unwrap_or_default();
+        for k in &keys {
+            g.owner_of.remove(k);
+        }
+        let mut v: Vec<String> = keys.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Forget one key entirely (e.g. it vanished from the PFS).
+    pub fn forget(&self, key: &str) {
+        let mut g = self.inner.lock();
+        if let Some(node) = g.owner_of.remove(key) {
+            if let Some(set) = g.keys_of.get_mut(&node) {
+                set.remove(key);
+            }
+        }
+    }
+
+    /// Number of keys tracked under `node`.
+    pub fn count_of(&self, node: u32) -> usize {
+        self.inner.lock().keys_of.get(&node).map_or(0, HashSet::len)
+    }
+
+    /// Total keys tracked.
+    pub fn len(&self) -> usize {
+        self.inner.lock().owner_of.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_drain_roundtrip() {
+        let idx = KeyIndex::new();
+        idx.record(1, "a");
+        idx.record(1, "b");
+        idx.record(2, "c");
+        assert_eq!(idx.count_of(1), 2);
+        assert_eq!(idx.owner("c"), Some(2));
+        let drained = idx.drain_node(1);
+        assert_eq!(drained, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(idx.count_of(1), 0);
+        assert_eq!(idx.owner("a"), None);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn record_moves_between_owners() {
+        let idx = KeyIndex::new();
+        idx.record(1, "k");
+        idx.record(2, "k");
+        assert_eq!(idx.owner("k"), Some(2));
+        assert_eq!(idx.count_of(1), 0);
+        assert_eq!(idx.keys_of(2), vec!["k".to_string()]);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn re_record_same_owner_is_idempotent() {
+        let idx = KeyIndex::new();
+        idx.record(3, "k");
+        idx.record(3, "k");
+        assert_eq!(idx.count_of(3), 1);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn forget_removes_both_directions() {
+        let idx = KeyIndex::new();
+        idx.record(1, "x");
+        idx.forget("x");
+        assert!(idx.is_empty());
+        assert_eq!(idx.keys_of(1), Vec::<String>::new());
+        // Forgetting an unknown key is a no-op.
+        idx.forget("ghost");
+    }
+
+    #[test]
+    fn keys_of_is_sorted_and_nonconsuming() {
+        let idx = KeyIndex::new();
+        for k in ["z", "m", "a"] {
+            idx.record(7, k);
+        }
+        assert_eq!(idx.keys_of(7), vec!["a", "m", "z"]);
+        assert_eq!(idx.count_of(7), 3, "keys_of must not drain");
+    }
+}

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod index;
 pub mod mover;
 pub mod nvme;
 pub mod object;
@@ -25,7 +26,8 @@ pub mod pfs;
 pub mod synth;
 
 pub use cost::{frontier, frontier_node, CostModel, NodeSpec, TierCost};
-pub use mover::DataMover;
+pub use index::KeyIndex;
+pub use mover::{DataMover, DEFAULT_MOVER_QUEUE_CAP};
 pub use nvme::{NvmeCache, NvmeStats};
 pub use object::{FileStore, MemStore, ObjectStore};
 pub use pfs::{Pfs, PfsModel};

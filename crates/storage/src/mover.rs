@@ -6,6 +6,12 @@
 //! path. After a failure, the new hash-ring owners recache lost files
 //! through exactly this path, which is why the recache cost shows up once
 //! and then disappears.
+//!
+//! The queue is **bounded**: a recache burst (or a mover wedged behind a
+//! slow device) must exert backpressure instead of ballooning memory with
+//! parked copies. A full queue rejects the enqueue — the file is already
+//! served, only its persistence is skipped, and the next miss retries —
+//! and the rejection is counted so the pressure is observable.
 
 use crate::nvme::NvmeCache;
 use bytes::Bytes;
@@ -15,27 +21,44 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Default bound on queued-but-unpersisted copies. Sized for a whole
+/// node's key range recaching at once (the worst organic burst) while
+/// still bounding memory to capacity × file size.
+pub const DEFAULT_MOVER_QUEUE_CAP: u64 = 4096;
+
 /// Background PFS→NVMe copier for one node.
 pub struct DataMover {
     tx: Option<Sender<CopyJob>>,
     handle: Option<JoinHandle<()>>,
     moved: Arc<AtomicU64>,
     moved_bytes: Arc<AtomicU64>,
+    /// Jobs accepted but not yet persisted (queue depth).
+    depth: Arc<AtomicU64>,
+    /// Enqueues rejected because the queue was full.
+    rejected: Arc<AtomicU64>,
+    capacity: u64,
 }
 
 /// A queued copy: (key, contents).
 type CopyJob = (String, Bytes);
 
 impl DataMover {
-    /// Spawn a mover that inserts into `cache`. Errors if the OS refuses
-    /// the worker thread (resource exhaustion) — callers surface this as a
-    /// typed boot failure instead of panicking mid-cluster-start.
+    /// Spawn a mover with the default queue bound. Errors if the OS
+    /// refuses the worker thread (resource exhaustion) — callers surface
+    /// this as a typed boot failure instead of panicking mid-cluster-start.
     pub fn spawn(cache: Arc<NvmeCache>) -> std::io::Result<Self> {
+        Self::spawn_bounded(cache, DEFAULT_MOVER_QUEUE_CAP)
+    }
+
+    /// Spawn a mover whose queue holds at most `capacity` pending copies.
+    pub fn spawn_bounded(cache: Arc<NvmeCache>, capacity: u64) -> std::io::Result<Self> {
         let (tx, rx): (Sender<CopyJob>, Receiver<CopyJob>) = unbounded();
         let moved = Arc::new(AtomicU64::new(0));
         let moved_bytes = Arc::new(AtomicU64::new(0));
+        let depth = Arc::new(AtomicU64::new(0));
         let m = Arc::clone(&moved);
         let mb = Arc::clone(&moved_bytes);
+        let d = Arc::clone(&depth);
         let handle = std::thread::Builder::new()
             .name("ftc-data-mover".into())
             .spawn(move || {
@@ -46,6 +69,10 @@ impl DataMover {
                     // (`drain`) and tolerate lag, no data is published.
                     m.fetch_add(1, Ordering::Relaxed);
                     mb.fetch_add(len, Ordering::Relaxed);
+                    // ordering: Relaxed — depth is an admission-control
+                    // heuristic; a momentarily stale view only lets one
+                    // extra job through or rejects one early, both fine.
+                    d.fetch_sub(1, Ordering::Relaxed);
                 }
             })?;
         Ok(DataMover {
@@ -53,14 +80,37 @@ impl DataMover {
             handle: Some(handle),
             moved,
             moved_bytes,
+            depth,
+            rejected: Arc::new(AtomicU64::new(0)),
+            capacity,
         })
     }
 
-    /// Enqueue a copy; returns false if the mover has shut down.
+    /// Enqueue a copy; returns false (and counts the rejection) if the
+    /// queue is at capacity or the mover has shut down. Callers must not
+    /// assume the copy will land — the serve already happened, only the
+    /// recache is skipped.
     pub fn enqueue(&self, key: &str, data: Bytes) -> bool {
-        match &self.tx {
-            Some(tx) => tx.send((key.to_owned(), data)).is_ok(),
-            None => false,
+        let Some(tx) = &self.tx else {
+            // ordering: Relaxed — monotone statistic, publishes no data.
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        // ordering: Relaxed — admission heuristic; see the worker's note.
+        if self.depth.load(Ordering::Relaxed) >= self.capacity {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        // ordering: Relaxed — paired with the worker-side decrement; the
+        // count is advisory, the channel owns the data.
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        if tx.send((key.to_owned(), data)).is_ok() {
+            true
+        } else {
+            // ordering: Relaxed — rollback of the advisory count.
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            false
         }
     }
 
@@ -77,10 +127,33 @@ impl DataMover {
         self.moved_bytes.load(Ordering::Relaxed)
     }
 
+    /// Copies accepted but not yet persisted.
+    pub fn queue_depth(&self) -> u64 {
+        // ordering: Relaxed — advisory gauge.
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues rejected (full queue or shut-down mover) so far.
+    pub fn rejected(&self) -> u64 {
+        // ordering: Relaxed — monotone statistic.
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The queue bound this mover was spawned with.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
     /// Shared handles to the (files, bytes) counters, so totals stay
     /// observable after the mover (and its owner) are moved elsewhere.
     pub fn counter_handles(&self) -> (Arc<AtomicU64>, Arc<AtomicU64>) {
         (Arc::clone(&self.moved), Arc::clone(&self.moved_bytes))
+    }
+
+    /// Shared handles to the (queue depth, rejected) pressure counters,
+    /// for per-node exposition that outlives the mover.
+    pub fn pressure_handles(&self) -> (Arc<AtomicU64>, Arc<AtomicU64>) {
+        (Arc::clone(&self.depth), Arc::clone(&self.rejected))
     }
 
     /// Block until every enqueued copy has landed, then stop the thread.
@@ -135,6 +208,8 @@ mod tests {
         assert!(mover.drain(50, Duration::from_secs(5)));
         assert_eq!(cache.len(), 50);
         assert_eq!(mover.moved_bytes(), 500);
+        assert_eq!(mover.rejected(), 0);
+        assert_eq!(mover.queue_depth(), 0);
         mover.shutdown();
     }
 
@@ -150,11 +225,12 @@ mod tests {
     }
 
     #[test]
-    fn enqueue_after_drop_is_safe() {
+    fn enqueue_after_drop_is_safe_and_counted() {
         let cache = Arc::new(NvmeCache::unbounded());
         let mut mover = DataMover::spawn(cache).expect("spawn mover");
         mover.shutdown_inner();
         assert!(!mover.enqueue("x", Bytes::new()));
+        assert_eq!(mover.rejected(), 1);
     }
 
     #[test]
@@ -164,5 +240,48 @@ mod tests {
         mover.enqueue("a", Bytes::new());
         // Expecting 2 moves when only 1 was enqueued must time out.
         assert!(!mover.drain(2, Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn full_queue_rejects_and_counts() {
+        let cache = Arc::new(NvmeCache::unbounded());
+        // Capacity zero: every enqueue must bounce, deterministically —
+        // no race with the worker draining.
+        let mover = DataMover::spawn_bounded(Arc::clone(&cache), 0).expect("spawn mover");
+        assert!(!mover.enqueue("a", Bytes::from(vec![1u8; 8])));
+        assert!(!mover.enqueue("b", Bytes::from(vec![1u8; 8])));
+        assert_eq!(mover.rejected(), 2);
+        assert_eq!(mover.moved(), 0);
+        assert_eq!(cache.len(), 0);
+        mover.shutdown();
+    }
+
+    #[test]
+    fn bounded_queue_still_accepts_up_to_capacity() {
+        let cache = Arc::new(NvmeCache::unbounded());
+        let mover = DataMover::spawn_bounded(Arc::clone(&cache), 1000).expect("spawn mover");
+        let mut accepted = 0u64;
+        for i in 0..1000 {
+            if mover.enqueue(&format!("k{i}"), Bytes::from(vec![0u8; 2])) {
+                accepted += 1;
+            }
+        }
+        // The worker drains concurrently, so everything accepted lands.
+        assert!(mover.drain(accepted, Duration::from_secs(5)));
+        assert_eq!(cache.len(), accepted as usize);
+        assert_eq!(accepted + mover.rejected(), 1000, "every enqueue accounted");
+        mover.shutdown();
+    }
+
+    #[test]
+    fn pressure_handles_outlive_mover() {
+        let cache = Arc::new(NvmeCache::unbounded());
+        let mover = DataMover::spawn_bounded(cache, 0).expect("spawn mover");
+        let (depth, rejected) = mover.pressure_handles();
+        mover.enqueue("x", Bytes::new());
+        mover.shutdown();
+        // ordering: Relaxed — test-side observation of the statistic.
+        assert_eq!(rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(depth.load(Ordering::Relaxed), 0);
     }
 }

@@ -192,6 +192,16 @@ impl NvmeCache {
         g.bytes = 0;
     }
 
+    /// Sorted list of resident keys — the warm-rejoin digest source: a
+    /// revived node announces these so the recovery engine can reconcile
+    /// the surviving contents against the current ring.
+    pub fn keys(&self) -> Vec<String> {
+        let g = self.inner.lock();
+        let mut v: Vec<String> = g.map.keys().cloned().collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Resident object count.
     pub fn len(&self) -> usize {
         self.inner.lock().map.len()
@@ -313,6 +323,15 @@ mod tests {
             assert!(c.resident_bytes() <= 100, "over capacity at i={i}");
         }
         assert!(c.len() <= 100 / 7);
+    }
+
+    #[test]
+    fn keys_digest_is_sorted() {
+        let c = NvmeCache::unbounded();
+        c.insert("b", b(1));
+        c.insert("a", b(1));
+        c.insert("z", b(1));
+        assert_eq!(c.keys(), vec!["a", "b", "z"]);
     }
 
     #[test]

@@ -49,7 +49,12 @@ use std::time::{Duration, Instant};
 pub enum ChaosAction {
     /// Crash the node (silent; its cache contents are lost).
     Kill(NodeId),
-    /// Repair and rejoin a crashed node with a cold cache.
+    /// Crash whichever node currently owns the given (dead) node's key
+    /// range — the recache push target. Resolved at apply time, after the
+    /// ring has re-routed; a no-op until the named node has actually been
+    /// declared failed by the observing client.
+    KillSuccessorOf(NodeId),
+    /// Repair and rejoin a crashed node (warm: its NVMe survived).
     Revive(NodeId),
     /// Duty-cycle loss on the node's ingress link: `up` deliveries ok,
     /// then `down` dropped, repeating.
@@ -261,6 +266,75 @@ impl ChaosPlan {
         )
     }
 
+    /// Deterministic scenario: a node dies, and before its proactive
+    /// recache can settle a *second, independent* node dies too. The
+    /// engine must keep both jobs converging on the shrunken ring.
+    pub fn scenario_failure_during_recache(seed: u64) -> Self {
+        let mut plan = ChaosPlan::generate(seed);
+        plan.nodes = 4;
+        plan.files = 32;
+        plan.passes = 3;
+        plan.clean_node = NodeId(0);
+        plan.degraded_only.clear();
+        plan.events = vec![
+            ChaosEvent {
+                before_pass: 0,
+                action: ChaosAction::Kill(NodeId(1)),
+            },
+            ChaosEvent {
+                before_pass: 1,
+                action: ChaosAction::Kill(NodeId(2)),
+            },
+        ];
+        plan
+    }
+
+    /// Deterministic scenario: a node dies, then the node that inherited
+    /// its key range (the recache push target) dies as well — the
+    /// double-failure case where every in-flight push must re-route.
+    pub fn scenario_double_failure(seed: u64) -> Self {
+        let mut plan = ChaosPlan::generate(seed);
+        plan.nodes = 4;
+        plan.files = 32;
+        plan.passes = 3;
+        plan.clean_node = NodeId(0);
+        plan.degraded_only.clear();
+        plan.events = vec![
+            ChaosEvent {
+                before_pass: 0,
+                action: ChaosAction::Kill(NodeId(1)),
+            },
+            ChaosEvent {
+                before_pass: 1,
+                action: ChaosAction::KillSuccessorOf(NodeId(1)),
+            },
+        ];
+        plan
+    }
+
+    /// Deterministic scenario: a node dies and rejoins (warm) while its
+    /// recache may still be in flight — every stale push must be fenced
+    /// by epoch, never double-served.
+    pub fn scenario_revive_during_recache(seed: u64) -> Self {
+        let mut plan = ChaosPlan::generate(seed);
+        plan.nodes = 4;
+        plan.files = 32;
+        plan.passes = 3;
+        plan.clean_node = NodeId(0);
+        plan.degraded_only.clear();
+        plan.events = vec![
+            ChaosEvent {
+                before_pass: 0,
+                action: ChaosAction::Kill(NodeId(1)),
+            },
+            ChaosEvent {
+                before_pass: 1,
+                action: ChaosAction::Revive(NodeId(1)),
+            },
+        ];
+        plan
+    }
+
     /// One-line plan summary (stable across replays of the same seed).
     pub fn summary(&self) -> String {
         format!(
@@ -273,6 +347,43 @@ impl ChaosPlan {
             self.clean_node
         )
     }
+}
+
+/// How lost keys get back into the cache tier during a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryMode {
+    /// Seed behavior: a lost key re-homes only when a foreground read
+    /// touches it (demand recache).
+    #[default]
+    Lazy,
+    /// A [`ftc_core::RecoveryEngine`] on the client pushes the dead
+    /// node's keys to their new owners ahead of demand, parks hints for
+    /// unreachable replicas, and reconciles warm rejoins.
+    Proactive,
+}
+
+impl fmt::Display for RecoveryMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryMode::Lazy => write!(f, "lazy"),
+            RecoveryMode::Proactive => write!(f, "proactive"),
+        }
+    }
+}
+
+/// Knobs for one campaign run beyond policy and plan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CampaignOptions {
+    /// Lazy (seed) or proactive (recovery engine) recaching.
+    pub recovery: RecoveryMode,
+    /// Enable vector-clock tracing on the fabric.
+    pub trace: bool,
+    /// Zero the recache-economy budget so invariant 2 must fire
+    /// (self-test of the violation/dump path).
+    pub sabotage_economy: bool,
+    /// Starve the recovery engine's token bucket (rate 0, burst 0) so the
+    /// quiescence invariant must fire. Implies `Proactive`.
+    pub sabotage_recovery: bool,
 }
 
 /// Result of running one campaign.
@@ -297,6 +408,14 @@ pub struct CampaignReport {
     /// fired — the last ~1k fabric/client events leading up to the
     /// violation. `None` for passing campaigns.
     pub flight_dump: Option<String>,
+    /// How the campaign recovered lost keys.
+    pub recovery_mode: RecoveryMode,
+    /// Recovery-engine counters at campaign end (`Proactive` only).
+    pub recovery: Option<ftc_core::RecoveryStatsSnapshot>,
+    /// Nearest-rank p99 of warm-pass (pre-fault) read latency.
+    pub warm_read_p99: Option<Duration>,
+    /// Nearest-rank p99 of read latency across the faulted passes.
+    pub faulted_read_p99: Option<Duration>,
 }
 
 impl CampaignReport {
@@ -320,6 +439,15 @@ impl CampaignReport {
         self.incidents
             .iter()
             .filter_map(ftc_obs::Incident::recovery_latency)
+            .collect()
+    }
+
+    /// Per-kill quiesce latencies (kill → recovery engine finished the
+    /// node's recache job), in incident order. Empty under `Lazy`.
+    pub fn quiesce_latencies(&self) -> Vec<Duration> {
+        self.incidents
+            .iter()
+            .filter_map(ftc_obs::Incident::quiesce_latency)
             .collect()
     }
 
@@ -351,9 +479,10 @@ impl fmt::Display for CampaignReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "seed={} policy={:?} -> {}",
+            "seed={} policy={:?} recovery={} -> {}",
             self.seed,
             self.policy,
+            self.recovery_mode,
             if self.passed() { "PASS" } else { "FAIL" }
         )?;
         for v in &self.violations {
@@ -367,10 +496,30 @@ impl fmt::Display for CampaignReport {
 /// read counts as livelocked (scheduler noise, final TTL, PFS read).
 const LIVELOCK_SLACK: Duration = Duration::from_secs(2);
 
+/// Floor for the foreground-starvation bound (invariant 7): recovery-era
+/// read p99 may not exceed `max(10 × warm p99, this)`. The floor absorbs
+/// detection stalls (a couple of TTLs plus retry backoff) that dominate
+/// when the warm p99 is microseconds.
+const STARVATION_FLOOR: Duration = Duration::from_millis(300);
+
+/// How long a proactive campaign waits for the engine to quiesce before
+/// declaring the quiescence invariant violated.
+const QUIESCE_DEADLINE: Duration = Duration::from_secs(3);
+
+/// Nearest-rank p99 of a latency sample; `None` on an empty sample.
+fn percentile_99(lats: &[Duration]) -> Option<Duration> {
+    if lats.is_empty() {
+        return None;
+    }
+    let mut v = lats.to_vec();
+    v.sort_unstable();
+    Some(v[(v.len() * 99 / 100).min(v.len() - 1)])
+}
+
 /// Run one campaign of `plan` under `policy` on a real threaded cluster,
-/// checking all four invariants.
+/// checking all four invariants (lazy recovery, no tracing).
 pub fn run_campaign(policy: FtPolicy, plan: &ChaosPlan) -> CampaignReport {
-    run_campaign_traced(policy, plan, false).0
+    run_campaign_with(policy, plan, CampaignOptions::default()).0
 }
 
 /// Like [`run_campaign`], but with the recache-economy budget forced to
@@ -380,7 +529,33 @@ pub fn run_campaign(policy: FtPolicy, plan: &ChaosPlan) -> CampaignReport {
 /// the deterministic self-test that the flight-recorder dump path works
 /// end to end — the returned report carries `flight_dump`.
 pub fn run_campaign_sabotaged(policy: FtPolicy, plan: &ChaosPlan) -> CampaignReport {
-    run_campaign_inner(policy, plan, false, true).0
+    run_campaign_with(
+        policy,
+        plan,
+        CampaignOptions {
+            sabotage_economy: true,
+            ..Default::default()
+        },
+    )
+    .0
+}
+
+/// Self-test of the quiescence invariant: the recovery engine runs with a
+/// starved token bucket (rate 0, burst 0), so a plan with at least one
+/// kill leaves its recache job queued forever and the "recovery
+/// eventually quiesces" invariant must fire — proving the new invariants
+/// can actually fail.
+pub fn run_campaign_recovery_sabotaged(policy: FtPolicy, plan: &ChaosPlan) -> CampaignReport {
+    run_campaign_with(
+        policy,
+        plan,
+        CampaignOptions {
+            recovery: RecoveryMode::Proactive,
+            sabotage_recovery: true,
+            ..Default::default()
+        },
+    )
+    .0
 }
 
 /// Like [`run_campaign`], optionally with vector-clock tracing enabled on
@@ -392,14 +567,32 @@ pub fn run_campaign_traced(
     plan: &ChaosPlan,
     trace: bool,
 ) -> (CampaignReport, Option<Vec<TraceRecord>>) {
-    run_campaign_inner(policy, plan, trace, false)
+    run_campaign_with(
+        policy,
+        plan,
+        CampaignOptions {
+            trace,
+            ..Default::default()
+        },
+    )
 }
 
-fn run_campaign_inner(
+/// Run one campaign with full control over recovery mode, tracing and
+/// sabotage. Under [`RecoveryMode::Proactive`] three further invariants
+/// join the four documented on the module:
+///
+/// 5. **No lost key served stale** — after the engine quiesces, a
+///    verification sweep over every staged key must return ground-truth
+///    bytes (stale recovery traffic must have been fenced, not served).
+/// 6. **Recovery eventually quiesces** — the engine drains its recache
+///    and rejoin queues within [`QUIESCE_DEADLINE`] of the last pass.
+/// 7. **Foreground reads never starve** — read p99 across the faulted
+///    passes stays within `max(10 × warm p99, STARVATION_FLOOR)`; the
+///    background recache must not crowd out the training job.
+pub fn run_campaign_with(
     policy: FtPolicy,
     plan: &ChaosPlan,
-    trace: bool,
-    sabotage: bool,
+    opts: CampaignOptions,
 ) -> (CampaignReport, Option<Vec<TraceRecord>>) {
     let mut cfg = ClusterConfig::small(plan.nodes, policy);
     cfg.ft.detector.ttl = CAMPAIGN_TTL;
@@ -425,12 +618,16 @@ fn run_campaign_inner(
                     violations: vec![format!("boot: cluster failed to start: {e}")],
                     incidents: Vec::new(),
                     flight_dump: None,
+                    recovery_mode: opts.recovery,
+                    recovery: None,
+                    warm_read_p99: None,
+                    faulted_read_p99: None,
                 },
                 None,
             );
         }
     };
-    if trace {
+    if opts.trace {
         cluster.network().enable_tracing();
     }
     let paths = cluster.stage_dataset("train", plan.files, plan.file_size);
@@ -438,16 +635,67 @@ fn run_campaign_inner(
         .iter()
         .map(|p| synth_bytes(p, plan.file_size))
         .collect();
-    let client = cluster.client(0);
+    let recovery_mode = if opts.sabotage_recovery {
+        RecoveryMode::Proactive
+    } else {
+        opts.recovery
+    };
+    let client = match recovery_mode {
+        RecoveryMode::Lazy => cluster.client(0),
+        RecoveryMode::Proactive => {
+            let rc = if opts.sabotage_recovery {
+                // A bucket that never refills: the recache job can only
+                // starve, so quiescence must time out.
+                ftc_core::RecoveryConfig {
+                    recache_rate: 0.0,
+                    recache_burst: 0,
+                    probe: false,
+                    ..Default::default()
+                }
+            } else {
+                ftc_core::RecoveryConfig {
+                    probe: false,
+                    ..Default::default()
+                }
+            };
+            match cluster.client_with_recovery(0, rc) {
+                Ok(c) => c,
+                Err(e) => {
+                    cluster.shutdown();
+                    return (
+                        CampaignReport {
+                            seed: plan.seed,
+                            policy,
+                            reads_attempted: 0,
+                            aborted: false,
+                            violations: vec![format!("boot: recovery engine failed: {e}")],
+                            incidents: Vec::new(),
+                            flight_dump: None,
+                            recovery_mode,
+                            recovery: None,
+                            warm_read_p99: None,
+                            faulted_read_p99: None,
+                        },
+                        None,
+                    );
+                }
+            }
+        }
+    };
 
     let mut violations = Vec::new();
     let mut reads_attempted = 0u64;
     let mut aborted = false;
 
     // Warm pass: healthy cluster, every read must verify.
+    let mut warm_lats: Vec<Duration> = Vec::with_capacity(paths.len());
+    let mut fault_lats: Vec<Duration> = Vec::new();
     for (i, p) in paths.iter().enumerate() {
         reads_attempted += 1;
-        match client.read(p) {
+        let t0 = Instant::now();
+        let result = client.read(p);
+        warm_lats.push(t0.elapsed());
+        match result {
             Ok(bytes) if bytes == truth[i] => {}
             Ok(_) => violations.push(format!("integrity: warm read of {p} corrupted")),
             Err(e) => violations.push(format!("integrity: warm read of {p} failed: {e}")),
@@ -456,6 +704,9 @@ fn run_campaign_inner(
     // Let the movers land everything before accounting starts.
     std::thread::sleep(Duration::from_millis(60));
     let warm = client.metrics().snapshot();
+    // Ownership at the healthy-ring baseline: `KillSuccessorOf` resolves
+    // against this snapshot to find who inherited a dead node's range.
+    let start_owners: Vec<Option<NodeId>> = paths.iter().map(|p| client.owner_of(p)).collect();
 
     // Recache budget for invariant 2: one fetch per file whose owner was
     // hit by a membership-affecting event, counted at event time.
@@ -476,11 +727,29 @@ fn run_campaign_inner(
                     lossy_applied = true;
                     cluster.kill(n);
                 }
+                ChaosAction::KillSuccessorOf(n) => {
+                    // Whoever the ring routes n's first baseline key to
+                    // now inherited its range. Until the client actually
+                    // declares n dead, that is still n itself — a no-op,
+                    // since killing n twice is meaningless.
+                    let target = paths
+                        .iter()
+                        .zip(&start_owners)
+                        .find(|(_, o)| **o == Some(n))
+                        .and_then(|(p, _)| client.owner_of(p));
+                    if let Some(t) = target.filter(|&t| t != n) {
+                        budget += owned_by(t);
+                        lossy_applied = true;
+                        cluster.kill(t);
+                    }
+                }
                 ChaosAction::Revive(n) => {
                     if let Err(e) = cluster.revive(n) {
                         violations.push(format!("revive: node {n} failed to rejoin: {e}"));
                     }
-                    // The rejoined node is cold: its re-owned keys refetch.
+                    // The rejoin is warm, but budget one fetch per
+                    // re-owned key anyway: a mover may not have landed a
+                    // key before the crash took the node out.
                     budget += owned_by(n);
                 }
                 ChaosAction::Flaky { node, up, down } => {
@@ -520,6 +789,7 @@ fn run_campaign_inner(
             let t0 = Instant::now();
             let result = client.read(p);
             let took = t0.elapsed();
+            fault_lats.push(took);
             if took > cfg.ft.retry.deadline_budget + LIVELOCK_SLACK {
                 violations.push(format!(
                     "liveness: read of {p} took {took:?}, budget {:?}",
@@ -545,11 +815,51 @@ fn run_campaign_inner(
         std::thread::sleep(Duration::from_millis(40));
     }
 
+    // Invariants 5–7 (proactive recovery only, and moot after a NoFt
+    // abort): quiescence, no-stale-serving, no foreground starvation.
+    let recovery_stats = client.recovery().map(|engine| {
+        if !aborted {
+            if !engine.wait_quiesced(QUIESCE_DEADLINE) {
+                violations.push(format!(
+                    "recovery quiescence: engine still busy {QUIESCE_DEADLINE:?} after the \
+                     last pass ({} keys queued)",
+                    engine.recache_queue_depth()
+                ));
+            }
+            // Invariant 5: post-quiesce verification sweep — every key
+            // serves ground truth; anything stale was fenced, not served.
+            for (i, p) in paths.iter().enumerate() {
+                reads_attempted += 1;
+                match client.read(p) {
+                    Ok(bytes) if bytes == truth[i] => {}
+                    Ok(_) => violations.push(format!(
+                        "stale serve: post-recovery read of {p} not ground truth"
+                    )),
+                    Err(e) => violations.push(format!(
+                        "stale serve: post-recovery read of {p} failed: {e}"
+                    )),
+                }
+            }
+            // Invariant 7: the training job's reads kept flowing while
+            // the engine recached in the background.
+            if let (Some(w), Some(f)) = (percentile_99(&warm_lats), percentile_99(&fault_lats)) {
+                let bound = (w * 10).max(STARVATION_FLOOR);
+                if f > bound {
+                    violations.push(format!(
+                        "starvation: foreground read p99 {f:?} during recovery exceeds \
+                         {bound:?} (warm p99 {w:?})"
+                    ));
+                }
+            }
+        }
+        engine.stats()
+    });
+
     // Invariant 2: recache economy (RingRecache only; NoFt abort ends
     // accounting early by construction). Sabotage zeroes the budget so
     // the violation path (and its flight-recorder dump) is exercisable
     // on demand.
-    let budget = if sabotage { 0 } else { budget };
+    let budget = if opts.sabotage_economy { 0 } else { budget };
     if policy == FtPolicy::RingRecache {
         let after = client.metrics().snapshot();
         let fetched = after.pfs_fetches_via_server - warm.pfs_fetches_via_server;
@@ -623,6 +933,10 @@ fn run_campaign_inner(
             violations,
             incidents,
             flight_dump,
+            recovery_mode,
+            recovery: recovery_stats,
+            warm_read_p99: percentile_99(&warm_lats),
+            faulted_read_p99: percentile_99(&fault_lats),
         },
         trace_log,
     )
@@ -636,6 +950,184 @@ pub fn run_campaign_all_policies(seed: u64) -> Vec<CampaignReport> {
         .into_iter()
         .map(|policy| run_campaign(policy, &plan))
         .collect()
+}
+
+/// Compute-phase gap used by [`run_degraded_window_probe`]: the window
+/// between failure detection and the next epoch's reads, during which a
+/// proactive engine can re-home lost keys while a lazy cluster does
+/// nothing.
+const PROBE_COMPUTE_GAP: Duration = Duration::from_millis(150);
+
+/// One measured epoch-after-failure experiment (see
+/// [`run_degraded_window_probe`]).
+#[derive(Debug, Clone)]
+pub struct DegradedWindowReport {
+    /// Seed the probe cluster booted with.
+    pub seed: u64,
+    /// Recovery mode the probe measured.
+    pub mode: RecoveryMode,
+    /// Keys owned by the killed node at the healthy-ring baseline.
+    pub lost_keys: u64,
+    /// Demand-visible PFS fetches during the post-gap epoch: the reads
+    /// that stalled on a cold miss because the lost key had not been
+    /// re-homed yet.
+    pub cold_reads: u64,
+    /// Kill → declared-failed, as seen by the probing client.
+    pub detect: Duration,
+    /// Kill → recovery engine drained (proactive only).
+    pub quiesce: Option<Duration>,
+    /// Read p99 of the post-gap epoch (the first full sweep after the
+    /// compute phase).
+    pub epoch_p99: Option<Duration>,
+    /// Read p99 of the healthy warm pass, for scale.
+    pub warm_p99: Option<Duration>,
+    /// Integrity or liveness failures observed during the probe.
+    pub violations: Vec<String>,
+}
+
+/// Measure the *demand-visible* degraded window the way a training job
+/// sees it: kill a node, let the detector declare it, then idle through a
+/// compute phase ([`PROBE_COMPUTE_GAP`]) before the next epoch sweeps
+/// every key.
+///
+/// The kill→first-recached-hit latency cannot distinguish the two modes —
+/// the read that trips the declaration fails over inline, so both modes
+/// stamp the first hit at detection time. What differs is the rest of the
+/// window: a lazy cluster re-homes a lost key only when demand asks for
+/// it, so the post-gap epoch pays one cold PFS fetch per lost key, while
+/// the proactive engine re-homes the whole range during the gap and the
+/// epoch runs warm. `cold_reads` and `epoch_p99` capture exactly that.
+pub fn run_degraded_window_probe(mode: RecoveryMode, seed: u64) -> DegradedWindowReport {
+    let nodes = 4;
+    let files = 64;
+    let file_size = 48;
+    let mut cfg = ClusterConfig::small(nodes, FtPolicy::RingRecache);
+    cfg.ft.detector.ttl = CAMPAIGN_TTL;
+    cfg.ft.detector.timeout_limit = 2;
+    cfg.ft.retry.max_attempts = 16;
+    cfg.ft.retry.base_backoff = Duration::from_micros(200);
+    cfg.ft.retry.max_backoff = Duration::from_millis(3);
+    cfg.ft.retry.deadline_budget = Duration::from_secs(2);
+    cfg.seed = seed;
+
+    let mut report = DegradedWindowReport {
+        seed,
+        mode,
+        lost_keys: 0,
+        cold_reads: 0,
+        detect: Duration::ZERO,
+        quiesce: None,
+        epoch_p99: None,
+        warm_p99: None,
+        violations: Vec::new(),
+    };
+    let cluster = match Cluster::start(cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            report
+                .violations
+                .push(format!("boot: cluster failed to start: {e}"));
+            return report;
+        }
+    };
+    let paths = cluster.stage_dataset("probe", files, file_size);
+    let truth: Vec<Bytes> = paths.iter().map(|p| synth_bytes(p, file_size)).collect();
+    let client = match mode {
+        RecoveryMode::Lazy => cluster.client(0),
+        RecoveryMode::Proactive => {
+            let rc = ftc_core::RecoveryConfig {
+                probe: false,
+                ..Default::default()
+            };
+            match cluster.client_with_recovery(0, rc) {
+                Ok(c) => c,
+                Err(e) => {
+                    cluster.shutdown();
+                    report
+                        .violations
+                        .push(format!("boot: recovery engine failed: {e}"));
+                    return report;
+                }
+            }
+        }
+    };
+
+    // Warm pass: every read verified, latencies kept for scale.
+    let mut warm_lats = Vec::with_capacity(paths.len());
+    for (i, p) in paths.iter().enumerate() {
+        let t0 = Instant::now();
+        let result = client.read(p);
+        warm_lats.push(t0.elapsed());
+        match result {
+            Ok(bytes) if bytes == truth[i] => {}
+            _ => report.violations.push(format!("warm read of {p} wrong")),
+        }
+    }
+    report.warm_p99 = percentile_99(&warm_lats);
+    std::thread::sleep(Duration::from_millis(60));
+
+    let victim = NodeId(1);
+    let lost: Vec<&String> = paths
+        .iter()
+        .filter(|p| client.owner_of(p) == Some(victim))
+        .collect();
+    report.lost_keys = lost.len() as u64;
+    let Some(probe_key) = lost.first() else {
+        cluster.shutdown();
+        report
+            .violations
+            .push("victim owned no keys at baseline".into());
+        return report;
+    };
+
+    // Kill, then drive detection with a single probe key so at most one
+    // lost key is re-homed by demand before the compute gap.
+    let killed_at = Instant::now();
+    cluster.kill(victim);
+    while client.live_nodes().contains(&victim) {
+        if killed_at.elapsed() > Duration::from_secs(10) {
+            cluster.shutdown();
+            report.violations.push("victim was never declared".into());
+            return report;
+        }
+        let _ = client.read(probe_key);
+    }
+    report.detect = killed_at.elapsed();
+
+    // Compute phase: the job crunches, the cluster idles. A proactive
+    // engine re-homes the dead range now; a lazy one waits for demand.
+    if let Some(engine) = client.recovery() {
+        if engine.wait_quiesced(QUIESCE_DEADLINE) {
+            report.quiesce = Some(killed_at.elapsed());
+        } else {
+            report.violations.push(format!(
+                "engine failed to quiesce within {QUIESCE_DEADLINE:?}"
+            ));
+        }
+    }
+    let elapsed = killed_at.elapsed();
+    if elapsed < PROBE_COMPUTE_GAP {
+        std::thread::sleep(PROBE_COMPUTE_GAP - elapsed);
+    }
+
+    // Next epoch: sweep everything; count the reads that stalled on PFS.
+    cluster.pfs().reset_read_counters();
+    let mut epoch_lats = Vec::with_capacity(paths.len());
+    for (i, p) in paths.iter().enumerate() {
+        let t0 = Instant::now();
+        let result = client.read(p);
+        epoch_lats.push(t0.elapsed());
+        match result {
+            Ok(bytes) if bytes == truth[i] => {}
+            _ => report
+                .violations
+                .push(format!("post-gap read of {p} wrong")),
+        }
+    }
+    report.epoch_p99 = percentile_99(&epoch_lats);
+    report.cold_reads = cluster.pfs().total_reads();
+    cluster.shutdown();
+    report
 }
 
 #[cfg(test)]
@@ -674,6 +1166,11 @@ mod tests {
                         assert!(plan.degraded_only.contains(&node), "seed {seed}");
                     }
                     ChaosAction::ClearFlaky(_) | ChaosAction::HealAll => {}
+                    // The generator never emits apply-time-resolved kills;
+                    // only the named scenarios do.
+                    ChaosAction::KillSuccessorOf(_) => {
+                        panic!("seed {seed}: generator emitted KillSuccessorOf")
+                    }
                 }
             }
         }
@@ -742,6 +1239,104 @@ mod tests {
         let summary = report.latency_summary();
         assert_eq!(summary.len(), 1);
         assert!(summary[0].starts_with("n1 det="), "got {:?}", summary[0]);
+    }
+
+    #[test]
+    fn recovery_scenarios_are_deterministic_and_well_formed() {
+        for make in [
+            ChaosPlan::scenario_failure_during_recache,
+            ChaosPlan::scenario_double_failure,
+            ChaosPlan::scenario_revive_during_recache,
+        ] {
+            let plan = make(7);
+            assert_eq!(
+                plan,
+                make(7),
+                "scenario must be a pure function of the seed"
+            );
+            assert_eq!(plan.nodes, 4);
+            assert!(plan.has_lossy_events());
+            assert!(plan.events.iter().all(|e| e.before_pass < plan.passes));
+        }
+    }
+
+    #[test]
+    fn proactive_recovery_passes_the_new_scenarios() {
+        for (name, plan) in [
+            (
+                "failure_during_recache",
+                ChaosPlan::scenario_failure_during_recache(21),
+            ),
+            ("double_failure", ChaosPlan::scenario_double_failure(22)),
+            (
+                "revive_during_recache",
+                ChaosPlan::scenario_revive_during_recache(23),
+            ),
+        ] {
+            let (report, _) = run_campaign_with(
+                FtPolicy::RingRecache,
+                &plan,
+                CampaignOptions {
+                    recovery: RecoveryMode::Proactive,
+                    ..Default::default()
+                },
+            );
+            assert!(report.passed(), "{name} failed: {report}");
+            let stats = report.recovery.as_ref().expect("proactive stats");
+            assert!(
+                stats.recoveries_started >= 1,
+                "{name}: engine never started a recache job"
+            );
+            assert_eq!(
+                stats.recoveries_started, stats.recoveries_quiesced,
+                "{name}: every started recovery must quiesce"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_sabotage_fires_the_quiescence_invariant() {
+        let report = run_campaign_recovery_sabotaged(FtPolicy::RingRecache, &plan_with_one_kill());
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("recovery quiescence")),
+            "starved bucket must fail quiescence: {report}"
+        );
+        assert!(
+            report.flight_dump.is_some(),
+            "violation must carry a flight dump"
+        );
+        let stats = report.recovery.as_ref().expect("proactive stats");
+        // The bucket clamps burst to one initial token, so at most one
+        // key sneaks through before starvation takes hold.
+        assert!(
+            stats.recache_pushed <= 1,
+            "a rate-0 bucket pushes at most its single clamped-burst token"
+        );
+        assert!(stats.recache_throttled >= 1, "the bucket did the starving");
+    }
+
+    #[test]
+    fn degraded_window_probe_differentiates_the_modes() {
+        let lazy = run_degraded_window_probe(RecoveryMode::Lazy, 7);
+        let pro = run_degraded_window_probe(RecoveryMode::Proactive, 7);
+        assert!(lazy.violations.is_empty(), "{:?}", lazy.violations);
+        assert!(pro.violations.is_empty(), "{:?}", pro.violations);
+        assert!(lazy.lost_keys > 0, "victim must own keys");
+        assert_eq!(lazy.lost_keys, pro.lost_keys, "same seed, same ring");
+        // Lazy pays a demand-visible cold fetch for every lost key except
+        // the detection probe key (re-homed by its own failover)...
+        assert_eq!(
+            lazy.cold_reads,
+            lazy.lost_keys - 1,
+            "lazy re-homes only on demand"
+        );
+        // ...while the proactive engine re-homed the range during the
+        // compute gap, so the next epoch runs warm.
+        assert_eq!(pro.cold_reads, 0, "proactive pre-positions every key");
+        assert!(pro.quiesce.is_some(), "engine quiesced inside the gap");
     }
 
     #[test]
