@@ -1,10 +1,11 @@
 //! Repo-specific source lints, enforced in CI alongside clippy.
 //!
-//! Three rules, each encoding a convention this codebase adopted after
+//! Four rules, each encoding a convention this codebase adopted after
 //! real incidents (panicking boot paths mid-campaign, a catch-all arm
-//! that silently diverted NoFT reads to the PFS, and an unjustified
+//! that silently diverted NoFT reads to the PFS, an unjustified
 //! `Relaxed` snapshot that could report more completions than
-//! initiations):
+//! initiations, and bare wall-clock calls that made whole subsystems
+//! impossible to run deterministically in virtual time):
 //!
 //! * **unwrap** — no `.unwrap()` / `.expect(` in non-test library code.
 //!   Typed errors or destructuring `let-else` are required; a deliberate
@@ -16,6 +17,14 @@
 //! * **ordering** — every atomic-ordering choice (`Ordering::Relaxed`,
 //!   `::Acquire`, …) needs a justification comment containing
 //!   `ordering:` within the ten preceding lines.
+//! * **wall-clock** — in the protocol crates (`crates/net`, `crates/core`,
+//!   `crates/storage`, `crates/obs`) and the umbrella `src/`, no direct
+//!   `Instant::now(` / `SystemTime::now(` / `thread::sleep(` /
+//!   `.elapsed(`: time must flow through the injected
+//!   `ftc_time::ClockHandle`, so the entire stack stays runnable on a
+//!   `VirtualClock`. The clock crate itself and the non-protocol crates
+//!   (DES simulator, training driver, slurm shim, this crate) are exempt;
+//!   a deliberate exception carries `lint:allow(wall-clock)`.
 //!
 //! There is no `syn` in this build environment, so the scanner is a
 //! hand-rolled lexer: it strips line/block comments (keeping their text
@@ -37,7 +46,8 @@ pub struct LintFinding {
     pub file: PathBuf,
     /// 1-based line number.
     pub line: usize,
-    /// Which rule fired (`"unwrap"`, `"err-catchall"`, `"ordering"`).
+    /// Which rule fired (`"unwrap"`, `"err-catchall"`, `"ordering"`,
+    /// `"wall-clock"`).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -60,6 +70,33 @@ impl fmt::Display for LintFinding {
 const WAIVER_LOOKBACK: usize = 3;
 /// Lines a justification comment may precede an atomic ordering by.
 const ORDERING_LOOKBACK: usize = 10;
+
+/// Path prefixes (repo-relative) where the `wall-clock` rule applies:
+/// the protocol layers that must run identically on wall and virtual
+/// clocks. `crates/time` (the clock layer itself) and the non-protocol
+/// crates are deliberately absent.
+const WALL_CLOCK_SCOPE: &[&str] = &[
+    "crates/core/",
+    "crates/net/",
+    "crates/obs/",
+    "crates/storage/",
+    "src/",
+];
+
+/// Calls the `wall-clock` rule bans inside [`WALL_CLOCK_SCOPE`].
+const WALL_CLOCK_CALLS: &[&str] = &[
+    "Instant::now(",
+    "SystemTime::now(",
+    "thread::sleep(",
+    ".elapsed(",
+];
+
+/// True when `label` (a repo-relative path) falls under the wall-clock
+/// rule's scope.
+fn wall_clock_scoped(label: &Path) -> bool {
+    let l = label.to_string_lossy().replace('\\', "/");
+    WALL_CLOCK_SCOPE.iter().any(|p| l.starts_with(p))
+}
 
 /// Lint every library source file under `root` (the workspace root).
 ///
@@ -112,6 +149,7 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 pub fn lint_source(label: &Path, source: &str) -> Vec<LintFinding> {
     let lexed = lex(source);
     let mut findings = Vec::new();
+    let wall_scoped = wall_clock_scoped(label);
 
     let waived = |rule: &str, line_idx: usize| -> bool {
         let marker = format!("lint:allow({rule})");
@@ -147,6 +185,23 @@ pub fn lint_source(label: &Path, source: &str) -> Vec<LintFinding> {
                           or waive with lint:allow(err-catchall)"
                     .into(),
             });
+        }
+
+        if wall_scoped {
+            if let Some(call) = WALL_CLOCK_CALLS.iter().find(|c| code.contains(*c)) {
+                if !waived("wall-clock", i) {
+                    findings.push(LintFinding {
+                        file: label.to_path_buf(),
+                        line: line_no,
+                        rule: "wall-clock",
+                        message: format!(
+                            "direct wall-clock call `{call}..)` in a protocol layer; \
+                             go through the injected ftc_time::ClockHandle, or waive \
+                             with lint:allow(wall-clock)"
+                        ),
+                    });
+                }
+            }
         }
 
         if mentions_atomic_ordering(code) {
@@ -531,6 +586,57 @@ mod tests {
     fn block_comments_nest() {
         let src = "/* outer /* inner */ still comment .unwrap() */ fn f() {}\n";
         assert!(lint_str(src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_calls_are_flagged_in_protocol_crates() {
+        for call in [
+            "Instant::now()",
+            "SystemTime::now()",
+            "std::thread::sleep(d)",
+            "t0.elapsed()",
+        ] {
+            let src = format!("fn f() {{ let _ = {call}; }}\n");
+            let f = lint_source(Path::new("crates/core/src/client.rs"), &src);
+            assert_eq!(rules(&f), vec!["wall-clock"], "call {call}");
+        }
+    }
+
+    #[test]
+    fn wall_clock_rule_is_scoped_to_protocol_layers() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        // The clock layer and the non-protocol crates own their use of
+        // wall time.
+        for exempt in [
+            "crates/time/src/lib.rs",
+            "crates/sim/src/lib.rs",
+            "crates/train/src/lib.rs",
+            "test.rs",
+        ] {
+            assert!(
+                lint_source(Path::new(exempt), src).is_empty(),
+                "{exempt} must be exempt"
+            );
+        }
+        assert_eq!(
+            rules(&lint_source(Path::new("src/chaos.rs"), src)),
+            vec!["wall-clock"]
+        );
+    }
+
+    #[test]
+    fn wall_clock_in_tests_or_comments_is_fine() {
+        let test_gated = "#[cfg(test)]\nmod tests {\n    fn f() { let t = Instant::now(); }\n}\n";
+        assert!(lint_source(Path::new("crates/net/src/transport.rs"), test_gated).is_empty());
+        let comment = "fn f() {} // Instant::now() would be wrong here\n";
+        assert!(lint_source(Path::new("crates/net/src/transport.rs"), comment).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_waiver_suppresses() {
+        let src =
+            "// lint:allow(wall-clock): process boot stamp, never virtualized\nfn f() { let t = Instant::now(); }\n";
+        assert!(lint_source(Path::new("crates/core/src/server.rs"), src).is_empty());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! degraded-but-alive nodes; and under `--recovery proactive`: no stale
 //! serving, recovery quiescence, no foreground starvation).
 //!
-//! `cargo run -p ftc-bench --release --bin chaos [--seed 1] [--campaigns 50] [--policy ring|pfs|noft] [--recovery lazy|proactive] [--scenarios] [--compare] [--sabotage] [--sabotage-recovery]`
+//! `cargo run -p ftc-bench --release --bin chaos [--seed 1] [--campaigns 50] [--policy ring|pfs|noft] [--recovery lazy|proactive] [--scenarios] [--compare] [--sabotage] [--sabotage-recovery] [--virtual [--nodes 128] [--files 256]]`
 //!
 //! The fault schedule and every verdict are pure functions of the seed:
 //! `chaos --seed N` replays the same PASS/FAIL outcome byte-identically.
@@ -27,11 +27,18 @@
 //! quiescence invariant by starving the recovery engine's token bucket.
 //! The forced violation does not affect the exit code; a *missing* dump
 //! or violation does.
+//!
+//! `--virtual` runs one large-ring kill sweep (`--nodes`, default 128;
+//! `--files`, default 256) with the whole real stack on a virtual clock
+//! under proactive recovery, and prints the fully deterministic report
+//! rendering to stdout — every latency included. Same seed ⇒
+//! byte-identical output; CI runs it twice and diffs. Exits non-zero on
+//! any invariant violation.
 
 use ft_cache::chaos::{
-    run_campaign_recovery_sabotaged, run_campaign_sabotaged, run_campaign_with,
-    run_degraded_window_probe, CampaignOptions, CampaignReport, ChaosAction, ChaosPlan,
-    DegradedWindowReport, RecoveryMode,
+    run_campaign_recovery_sabotaged, run_campaign_sabotaged, run_campaign_virtual,
+    run_campaign_with, run_degraded_window_probe, CampaignOptions, CampaignReport, ChaosAction,
+    ChaosPlan, DegradedWindowReport, RecoveryMode,
 };
 use ftc_bench::{arg_or, has_flag, header};
 use ftc_core::FtPolicy;
@@ -124,6 +131,30 @@ fn sabotage_recovery_selftest(base_seed: u64) -> ! {
         std::process::exit(1);
     }
     selftest_verdict(&report)
+}
+
+/// `--virtual`: one large-ring kill sweep on the virtual clock. Stdout is
+/// exactly the plan summary plus the deterministic report rendering, so
+/// CI can diff two runs of the same seed byte-for-byte.
+fn run_virtual_sweep(seed: u64, nodes: u32, files: usize) -> ! {
+    let plan = ChaosPlan::scenario_scale_sweep(seed, nodes, files);
+    println!("seed={} plan: {}", plan.seed, plan.summary());
+    let report = run_campaign_virtual(
+        FtPolicy::RingRecache,
+        &plan,
+        CampaignOptions {
+            recovery: RecoveryMode::Proactive,
+            ..Default::default()
+        },
+    );
+    print!("{}", report.render());
+    if !report.passed() {
+        if let Some(dump) = &report.flight_dump {
+            eprintln!("{dump}");
+        }
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 /// `--scenarios`: the three named recovery scenarios under proactive
@@ -308,6 +339,9 @@ fn run_compare(base_seed: u64, campaigns: u64) -> ! {
 fn main() {
     let base_seed: u64 = arg_or("--seed", 1);
     let campaigns: u64 = arg_or("--campaigns", 1);
+    if has_flag("--virtual") {
+        run_virtual_sweep(base_seed, arg_or("--nodes", 128), arg_or("--files", 256));
+    }
     if has_flag("--sabotage") {
         sabotage_selftest(base_seed);
     }

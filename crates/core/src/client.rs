@@ -26,11 +26,12 @@ use bytes::Bytes;
 use ftc_hashring::{NodeId, Placement};
 use ftc_net::{Endpoint, TraceEventKind};
 use ftc_storage::{KeyIndex, Pfs};
+use ftc_time::ClockHandle;
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Why a read could not be satisfied.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +99,10 @@ struct ClientObs {
 /// The FT-Cache client for one training process.
 pub struct HvacClient {
     me: NodeId,
+    /// Inherited from the network at construction: every sleep, backoff
+    /// and detector stamp goes through this handle, so a cluster built on
+    /// a virtual clock runs the identical code path in virtual time.
+    clock: ClockHandle,
     endpoint: Endpoint<CacheRequest, CacheResponse>,
     placement: Mutex<Box<dyn Placement + Send>>,
     detector: Mutex<FailureDetector>,
@@ -133,6 +138,7 @@ impl HvacClient {
     ) -> Self {
         HvacClient {
             me,
+            clock: net.clock(),
             endpoint: net.endpoint(me),
             placement: Mutex::new(config.placement.build(server_count)),
             detector: Mutex::new(FailureDetector::new(config.detector)),
@@ -302,9 +308,9 @@ impl HvacClient {
             return self.read_attempts(path);
         };
         obs.inflight_reads.add(1);
-        let started = Instant::now();
+        let started = self.clock.now();
         let result = self.read_attempts(path);
-        let elapsed = started.elapsed();
+        let elapsed = self.clock.since(started);
         obs.inflight_reads.add(-1);
         match &result {
             Ok(out) => match out.via {
@@ -326,7 +332,7 @@ impl HvacClient {
     fn read_attempts(&self, path: &str) -> Result<ReadOutcome, ReadError> {
         let ttl = self.config.detector.ttl;
         let retry = self.config.retry;
-        let started = Instant::now();
+        let started = self.clock.now();
         let mut backoff = Duration::ZERO;
         // Set when this read fails over from a removed ring owner; a
         // subsequent server-served success is then that node's first
@@ -335,14 +341,14 @@ impl HvacClient {
 
         for attempt in 0..retry.max_attempts.max(1) {
             if attempt > 0 {
-                let spent = started.elapsed();
+                let spent = self.clock.since(started);
                 if spent >= retry.deadline_budget {
                     return Err(ReadError::Exhausted(path.to_owned()));
                 }
                 backoff = retry.next_backoff(backoff, self.jitter_unit());
                 let nap = backoff.min(retry.deadline_budget - spent);
                 if !nap.is_zero() {
-                    std::thread::sleep(nap);
+                    self.clock.sleep(nap);
                 }
             }
             // Capture the owner and the placement epoch under one lock
@@ -431,7 +437,10 @@ impl HvacClient {
                         // no-ops inside the recorder.
                         obs.hub.timeline.mark(owner.0, ftc_obs::Phase::FirstTimeout);
                     }
-                    let verdict = self.detector.lock().record_timeout(owner);
+                    let verdict = self
+                        .detector
+                        .lock()
+                        .record_timeout_at(owner, self.clock.now());
                     match verdict {
                         Verdict::Suspect { count } => {
                             self.trace_with(|| TraceEventKind::Suspect { node: owner, count });
@@ -568,6 +577,11 @@ impl HvacClient {
 
     // ---- narrow RPC surface for the recovery engine ----------------
 
+    /// The clock every timed operation of this client goes through.
+    pub(crate) fn clock(&self) -> &ClockHandle {
+        &self.clock
+    }
+
     /// The attached observability hub, if any.
     pub(crate) fn obs_hub(&self) -> Option<Arc<ftc_obs::ObsHub>> {
         self.obs.get().map(|o| Arc::clone(&o.hub))
@@ -649,7 +663,7 @@ impl HvacClient {
         {
             let (dead, suspect) = {
                 let d = self.detector.lock();
-                (d.is_failed(node), d.is_suspect(node))
+                (d.is_failed(node), d.is_suspect_at(node, self.clock.now()))
             };
             if dead {
                 ClientMetrics::inc(&self.metrics.replica_write_failures);
@@ -672,7 +686,7 @@ impl HvacClient {
                 .retry
                 .next_backoff(Duration::ZERO, self.jitter_unit());
             if !nap.is_zero() {
-                std::thread::sleep(nap);
+                self.clock.sleep(nap);
             }
             if self.push_object(node, path, bytes) {
                 ClientMetrics::inc(&self.metrics.replicas_written);
@@ -787,6 +801,22 @@ mod tests {
         }
     }
 
+    /// Condition-wait until every server's mover queue has drained —
+    /// each enqueue happens before its read's reply, so once the reads
+    /// return, depth 0 means every copy landed. Replaces the bare settle
+    /// sleeps that made these tests flaky on loaded machines.
+    fn settle(r: &Rig) {
+        assert!(
+            r.net
+                .clock()
+                .wait_until(Duration::from_secs(5), Duration::from_micros(200), || r
+                    .servers
+                    .iter()
+                    .all(|s| s.mover_queue_depth() == 0),),
+            "movers failed to drain"
+        );
+    }
+
     #[test]
     fn healthy_reads_verify_for_all_policies() {
         for policy in [FtPolicy::NoFt, FtPolicy::PfsRedirect, FtPolicy::RingRecache] {
@@ -805,8 +835,7 @@ mod tests {
         let r = rig(4, 12);
         let c = client(&r, FtPolicy::RingRecache);
         read_all(&c, 12); // epoch 1: populates caches
-                          // Wait for movers to land everything.
-        std::thread::sleep(Duration::from_millis(50));
+        settle(&r); // movers land everything
         let before = r.pfs.total_reads();
         read_all(&c, 12); // epoch 2
         assert_eq!(r.pfs.total_reads(), before, "epoch 2 must not touch PFS");
@@ -886,7 +915,7 @@ mod tests {
         let r = rig(4, 16);
         let c = client(&r, FtPolicy::PfsRedirect);
         read_all(&c, 16); // warm epoch
-        std::thread::sleep(Duration::from_millis(50));
+        settle(&r);
         let lost: Vec<String> = (0..16)
             .map(|i| format!("train/s{i}.bin"))
             .filter(|p| c.owner_of(p) == Some(NodeId(1)))
@@ -915,7 +944,7 @@ mod tests {
         let r = rig(4, 16);
         let c = client(&r, FtPolicy::RingRecache);
         read_all(&c, 16); // warm epoch
-        std::thread::sleep(Duration::from_millis(50));
+        settle(&r);
         let lost: Vec<String> = (0..16)
             .map(|i| format!("train/s{i}.bin"))
             .filter(|p| c.owner_of(p) == Some(NodeId(1)))
@@ -927,7 +956,7 @@ mod tests {
 
         read_all(&c, 16); // failure epoch: detection + recache begins
         read_all(&c, 16); // files read via direct-PFS during detection recache now
-        std::thread::sleep(Duration::from_millis(50));
+        settle(&r);
         // Detection itself may redirect up to (timeout_limit - 1) reads to
         // the PFS before the node is declared failed; beyond that, each
         // lost file costs exactly one recache fetch.
@@ -1062,7 +1091,7 @@ mod tests {
             cfg,
         );
         read_all(&c, 16); // warm epoch: fetch + replicate to successors
-        std::thread::sleep(Duration::from_millis(60));
+        settle(&r);
         let m = c.metrics().snapshot();
         assert_eq!(m.replicas_written, 16, "each file pushed to one successor");
 
@@ -1097,7 +1126,7 @@ mod tests {
             })
             .expect("start engine");
         read_all(&c, 16); // warm epoch
-        std::thread::sleep(Duration::from_millis(50));
+        settle(&r);
 
         hub.timeline.mark(1, Phase::Kill); // what the injector would stamp
         r.net.kill(NodeId(1));
@@ -1158,7 +1187,7 @@ mod tests {
             })
             .expect("start engine");
         read_all(&c, 24); // warm epoch: index learns every assignment
-        std::thread::sleep(Duration::from_millis(50));
+        settle(&r);
         let lost: Vec<String> = (0..24)
             .map(|i| format!("train/s{i}.bin"))
             .filter(|p| c.owner_of(p) == Some(NodeId(1)))
@@ -1275,7 +1304,9 @@ mod tests {
             .expect("a file replicating to node 2");
         // One recent timeout: node 2 is suspect, not dead — the replica
         // write detours to the hint store without burning a TTL.
-        c.detector.lock().record_timeout(NodeId(2));
+        c.detector
+            .lock()
+            .record_timeout_at(NodeId(2), std::time::Instant::now());
         c.read(&p).unwrap();
         assert_eq!(engine.hints_pending_for(NodeId(2)), 1);
         assert_eq!(
@@ -1289,11 +1320,14 @@ mod tests {
             .find(|q| c.owner_of(q) == Some(NodeId(2)))
             .expect("a file owned by node 2");
         c.read(&owned).unwrap();
-        let t0 = std::time::Instant::now();
-        while engine.hints_pending() != 0 {
-            assert!(t0.elapsed() < Duration::from_secs(10), "hint must drain");
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        assert!(
+            r.net
+                .clock()
+                .wait_until(Duration::from_secs(10), Duration::from_millis(2), || engine
+                    .hints_pending()
+                    == 0,),
+            "hint must drain"
+        );
         let s = engine.stats();
         assert_eq!(s.hints_parked, 1);
         assert_eq!(s.hints_drained, 1);

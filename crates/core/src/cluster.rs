@@ -16,6 +16,7 @@ use crate::server::{CacheNet, ServerHandle};
 use ftc_hashring::NodeId;
 use ftc_net::{LatencyModel, Network};
 use ftc_storage::{synth_bytes, NvmeCache, Pfs};
+use ftc_time::ClockHandle;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -72,8 +73,18 @@ impl Cluster {
     /// Boot all server threads. Errors if any server (or its data mover)
     /// cannot be spawned; already-started servers shut down via `Drop`.
     pub fn start(config: ClusterConfig) -> Result<Self, CoreError> {
-        let net: CacheNet = Network::new(config.latency, config.seed);
-        let hub = ftc_obs::ObsHub::shared();
+        Self::start_with_clock(config, ClockHandle::wall())
+    }
+
+    /// Boot on an injected clock: the fabric, every server and data-mover
+    /// task, every client's retry/backoff/detector, and the observability
+    /// plane's stamps all go through it. On a
+    /// [`VirtualClock`](ftc_time::VirtualClock) (inside
+    /// [`ftc_time::with_virtual`]) the whole cluster runs deterministically
+    /// in virtual time.
+    pub fn start_with_clock(config: ClusterConfig, clock: ClockHandle) -> Result<Self, CoreError> {
+        let net: CacheNet = Network::with_clock(config.latency, config.seed, clock.clone());
+        let hub = ftc_obs::ObsHub::shared_with_clock(clock);
         net.attach_obs(&hub);
         let pfs = Arc::new(Pfs::in_memory());
         let mut servers = Vec::with_capacity(config.nodes as usize);
@@ -109,6 +120,35 @@ impl Cluster {
     /// The fabric (for additional fault injection in tests).
     pub fn network(&self) -> &CacheNet {
         &self.net
+    }
+
+    /// The clock the whole cluster runs on.
+    pub fn clock(&self) -> ClockHandle {
+        self.net.clock()
+    }
+
+    /// Condition-wait on the cluster's clock: polls `pred` every
+    /// `poll` until it holds or `timeout` elapses. The clock-aware
+    /// replacement for bare settle sleeps in tests and drivers.
+    pub fn wait_until(
+        &self,
+        timeout: Duration,
+        poll: Duration,
+        pred: impl FnMut() -> bool,
+    ) -> bool {
+        self.net.clock().wait_until(timeout, poll, pred)
+    }
+
+    /// Condition-wait until every live server's mover queue is empty —
+    /// i.e. all enqueued PFS→NVMe copies have landed. True on success.
+    pub fn wait_movers_drained(&self, timeout: Duration) -> bool {
+        self.wait_until(timeout, Duration::from_micros(200), || {
+            self.servers
+                .lock()
+                .iter()
+                .flatten()
+                .all(|h| h.mover_queue_depth() == 0)
+        })
     }
 
     /// Stage `count` synthetic files of `size` bytes onto the PFS under
@@ -401,8 +441,17 @@ impl Cluster {
             .collect()
     }
 
-    /// Stop every server and release resources.
+    /// Stop every server and release resources. Recovery engines on the
+    /// cluster's clients are stopped first — their workers hold client
+    /// references across blocking waits, so without an explicit stop they
+    /// outlive the cluster (fatal on a virtual clock, where every task
+    /// must be joined before the driver exits).
     pub fn shutdown(self) {
+        for c in self.clients.lock().iter() {
+            if let Some(engine) = c.recovery() {
+                engine.stop();
+            }
+        }
         let mut servers = self.servers.lock();
         for h in servers.iter_mut().filter_map(Option::take) {
             let _ = h.shutdown();
@@ -447,7 +496,7 @@ mod tests {
         for p in &paths {
             c.read(p).unwrap();
         }
-        std::thread::sleep(Duration::from_millis(80));
+        assert!(cluster.wait_movers_drained(Duration::from_secs(5)));
         let before = cluster.cached_objects_per_node();
         assert_eq!(before.iter().sum::<u64>(), 40);
 
@@ -457,7 +506,7 @@ mod tests {
                 c.read(p).unwrap();
             }
         }
-        std::thread::sleep(Duration::from_millis(80));
+        assert!(cluster.wait_movers_drained(Duration::from_secs(5)));
         let after = cluster.cached_objects_per_node();
         // Survivors absorbed the dead node's keys.
         let survivor_total: u64 = after
@@ -510,7 +559,7 @@ mod tests {
         assert!(c.live_nodes().contains(&NodeId(0)));
         // Warm rejoin: node 0 kept its NVMe, so its restored arcs serve
         // from cache — no PFS traffic at all after the rejoin.
-        std::thread::sleep(Duration::from_millis(50));
+        assert!(cluster.wait_movers_drained(Duration::from_secs(5)));
         cluster.pfs().reset_read_counters();
         for p in &paths {
             assert_eq!(c.read(p).unwrap(), synth_bytes(p, 16));
@@ -533,7 +582,7 @@ mod tests {
         assert!(c.live_nodes().contains(&NodeId(0)));
         // Cold rejoin: the re-provisioned node refills through the miss
         // path — exactly one PFS fetch per key it owns.
-        std::thread::sleep(Duration::from_millis(50));
+        assert!(cluster.wait_movers_drained(Duration::from_secs(5)));
         cluster.pfs().reset_read_counters();
         for p in &paths {
             assert_eq!(c.read(p).unwrap(), synth_bytes(p, 16));
@@ -563,14 +612,12 @@ mod tests {
         kill_node0_and_absorb(&cluster, &c, &paths);
         // The node comes back on the fabric, but nobody tells the client.
         cluster.revive_silent(NodeId(0)).expect("revive");
-        let t0 = std::time::Instant::now();
-        while !c.live_nodes().contains(&NodeId(0)) {
-            assert!(
-                t0.elapsed() < Duration::from_secs(5),
-                "probing must readmit the node autonomously"
-            );
-            std::thread::sleep(Duration::from_millis(5));
-        }
+        assert!(
+            cluster.wait_until(Duration::from_secs(5), Duration::from_millis(5), || c
+                .live_nodes()
+                .contains(&NodeId(0))),
+            "probing must readmit the node autonomously"
+        );
         let stats = c.recovery().expect("engine").stats();
         assert!(stats.probes_sent >= 1, "rejoin found by a probe");
         assert_eq!(stats.rejoins_detected, 1);
@@ -626,6 +673,38 @@ mod tests {
         assert!(incidents[0].stamp(ftc_obs::Phase::Kill).is_some());
         assert!(cluster.obs().flight.dump().contains("kill"));
         cluster.shutdown();
+    }
+
+    #[test]
+    fn whole_cluster_runs_on_virtual_clock() {
+        ftc_time::with_virtual(|clock| {
+            let cluster =
+                Cluster::start_with_clock(ClusterConfig::small(4, FtPolicy::RingRecache), clock)
+                    .expect("boot");
+            assert!(cluster.clock().is_virtual());
+            let paths = cluster.stage_dataset("train", 20, 16);
+            let c = cluster.client(0);
+            for p in &paths {
+                assert_eq!(c.read(p).unwrap(), synth_bytes(p, 16));
+            }
+            assert!(cluster.wait_movers_drained(Duration::from_secs(5)));
+            cluster.kill(NodeId(1));
+            for _ in 0..2 {
+                for p in &paths {
+                    c.read(p).unwrap();
+                }
+            }
+            assert!(cluster.wait_movers_drained(Duration::from_secs(5)));
+            let after = cluster.cached_objects_per_node();
+            let survivor_total: u64 = after
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != 1)
+                .map(|(_, &v)| v)
+                .sum();
+            assert_eq!(survivor_total, 20, "survivors re-own every key: {after:?}");
+            cluster.shutdown();
+        });
     }
 
     #[test]

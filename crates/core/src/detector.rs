@@ -86,13 +86,9 @@ impl FailureDetector {
         self.config.ttl
     }
 
-    /// Record a timeout against `node`, stamped now.
-    pub fn record_timeout(&mut self, node: NodeId) -> Verdict {
-        self.record_timeout_at(node, Instant::now())
-    }
-
-    /// Record a timeout against `node` with an explicit clock reading
-    /// (tests and the simulator drive this directly). Timeouts older than
+    /// Record a timeout against `node` with an explicit clock reading —
+    /// callers stamp with their injected [`ftc_time::ClockHandle`], so the
+    /// detector itself never consults a wall clock. Timeouts older than
     /// `suspicion_window` relative to `at` are purged before counting.
     pub fn record_timeout_at(&mut self, node: NodeId, at: Instant) -> Verdict {
         if self.failed.contains(&node) {
@@ -142,18 +138,13 @@ impl FailureDetector {
         self.timeouts.get(&node).map_or(0, |w| w.len() as u32)
     }
 
-    /// Whether `node` is currently under suspicion: at least one timeout
-    /// inside the sliding window, but not (yet) declared failed. Unlike
-    /// [`Self::suspect_count`] this ignores entries that have already
-    /// aged past the window, so a long-quiet node reads as healthy even
-    /// before the lazy purge runs. Callers use this to stop sending
-    /// best-effort traffic (replica writes) to a node that is probably
-    /// about to be declared dead.
-    pub fn is_suspect(&self, node: NodeId) -> bool {
-        self.is_suspect_at(node, Instant::now())
-    }
-
-    /// [`Self::is_suspect`] with an explicit clock reading.
+    /// Whether `node` is currently under suspicion at clock reading `at`:
+    /// at least one timeout inside the sliding window, but not (yet)
+    /// declared failed. Unlike [`Self::suspect_count`] this ignores
+    /// entries that have already aged past the window, so a long-quiet
+    /// node reads as healthy even before the lazy purge runs. Callers use
+    /// this to stop sending best-effort traffic (replica writes) to a
+    /// node that is probably about to be declared dead.
     pub fn is_suspect_at(&self, node: NodeId, at: Instant) -> bool {
         if self.failed.contains(&node) {
             return false;
@@ -182,6 +173,18 @@ impl FailureDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Wall-stamped conveniences for these tests only — production code
+    /// always passes an explicit clock reading.
+    trait WallStamped {
+        fn record_timeout(&mut self, node: NodeId) -> Verdict;
+    }
+
+    impl WallStamped for FailureDetector {
+        fn record_timeout(&mut self, node: NodeId) -> Verdict {
+            self.record_timeout_at(node, Instant::now())
+        }
+    }
 
     fn det(limit: u32) -> FailureDetector {
         FailureDetector::new(DetectorConfig {

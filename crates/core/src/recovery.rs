@@ -27,13 +27,14 @@
 use crate::client::HvacClient;
 use bytes::Bytes;
 use ftc_hashring::NodeId;
+use ftc_time::{
+    ClockHandle, ClockReceiver, ClockSender, RecvTimeoutError, TaskHandle, TryRecvError,
+};
 use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::{mpsc, Arc, OnceLock, Weak};
-use std::thread::JoinHandle;
+use std::sync::{Arc, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 /// Keys processed per scheduling slice, so probes and hint drains stay
@@ -436,9 +437,16 @@ struct RecacheJob {
 /// client, so dropping the client stops the engine.
 pub struct RecoveryEngine {
     config: RecoveryConfig,
-    tx: Sender<Task>,
-    worker: Mutex<Option<JoinHandle<()>>>,
-    worker_thread: OnceLock<std::thread::ThreadId>,
+    /// The client's clock: every bucket refill, throttle nap, probe
+    /// deadline and quiesce wait is stamped or slept through it.
+    clock: ClockHandle,
+    tx: ClockSender<Task>,
+    worker: Mutex<Option<TaskHandle>>,
+    /// Set by the worker itself as its first action (a task handle does
+    /// not expose a thread id). Drop reads it to detect a self-join; by
+    /// then the worker either never ran (unset, join returns fast) or set
+    /// it before touching any engine state.
+    worker_thread: Arc<OnceLock<std::thread::ThreadId>>,
     bucket: Mutex<TokenBucket>,
     hints: HintStore,
     stats: RecoveryStats,
@@ -458,17 +466,19 @@ impl RecoveryEngine {
         client: &Arc<HvacClient>,
         config: RecoveryConfig,
     ) -> Result<Arc<Self>, crate::error::CoreError> {
-        let (tx, rx) = mpsc::channel();
+        let clock = client.clock().clone();
+        let (tx, rx) = clock.channel::<Task>();
         let engine = Arc::new(RecoveryEngine {
             config,
             tx,
             worker: Mutex::new(None),
-            worker_thread: OnceLock::new(),
+            worker_thread: Arc::new(OnceLock::new()),
             bucket: Mutex::new(TokenBucket::new(
                 config.recache_rate,
                 config.recache_burst,
-                Instant::now(),
+                clock.now(),
             )),
+            clock,
             hints: HintStore::default(),
             stats: RecoveryStats::default(),
             pending: AtomicU64::new(0),
@@ -491,15 +501,19 @@ impl RecoveryEngine {
         }
         let weak_engine = Arc::downgrade(&engine);
         let weak_client = Arc::downgrade(client);
-        let join = std::thread::Builder::new()
-            .name(format!("ftc-recovery-{}", client.node()))
-            .spawn(move || Worker::new(weak_engine, weak_client, rx).run())
+        let wt = Arc::clone(&engine.worker_thread);
+        let worker_clock = engine.clock.clone();
+        let join = engine
+            .clock
+            .spawn(&format!("ftc-recovery-{}", client.node()), move || {
+                let _ = wt.set(std::thread::current().id());
+                Worker::new(weak_engine, weak_client, rx, worker_clock).run()
+            })
             .map_err(|source| crate::error::CoreError::Spawn {
                 what: "recovery engine",
                 node: client.node(),
                 source,
             })?;
-        let _ = engine.worker_thread.set(join.thread().id());
         *engine.worker.lock() = Some(join);
         Ok(engine)
     }
@@ -593,14 +607,8 @@ impl RecoveryEngine {
 
     /// Block until the engine quiesces or `timeout` elapses.
     pub fn wait_quiesced(&self, timeout: Duration) -> bool {
-        let t0 = Instant::now();
-        while !self.quiesced() {
-            if t0.elapsed() >= timeout {
-                return false;
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
-        true
+        self.clock
+            .wait_until(timeout, Duration::from_millis(1), || self.quiesced())
     }
 
     fn task_done(&self) {
@@ -623,8 +631,15 @@ impl RecoveryEngine {
     }
 }
 
-impl Drop for RecoveryEngine {
-    fn drop(&mut self) {
+impl RecoveryEngine {
+    /// Stop the worker and join it. Idempotent; dropping the last engine
+    /// handle does the same, but the worker holds client/engine references
+    /// across its blocking waits, so the final drop may happen *on* the
+    /// worker thread and leave it to exit detached. An explicit stop from
+    /// an owner (e.g. `Cluster::shutdown`) bounds the worker's lifetime
+    /// deterministically — required on a virtual clock, where every task
+    /// must be joined before the driver exits.
+    pub fn stop(&self) {
         let _ = self.tx.send(Task::Stop);
         // The worker may itself hold the last Arc<HvacClient>, whose drop
         // releases this engine from the worker thread — joining there
@@ -638,11 +653,18 @@ impl Drop for RecoveryEngine {
     }
 }
 
+impl Drop for RecoveryEngine {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
 /// The worker's transient scheduling state.
 struct Worker {
     engine: Weak<RecoveryEngine>,
     client: Weak<HvacClient>,
-    rx: Receiver<Task>,
+    rx: ClockReceiver<Task>,
+    clock: ClockHandle,
     jobs: VecDeque<RecacheJob>,
     /// Nodes with an active recache job (dedup).
     inflight: HashSet<u32>,
@@ -653,11 +675,17 @@ struct Worker {
 }
 
 impl Worker {
-    fn new(engine: Weak<RecoveryEngine>, client: Weak<HvacClient>, rx: Receiver<Task>) -> Self {
+    fn new(
+        engine: Weak<RecoveryEngine>,
+        client: Weak<HvacClient>,
+        rx: ClockReceiver<Task>,
+        clock: ClockHandle,
+    ) -> Self {
         Worker {
             engine,
             client,
             rx,
+            clock,
             jobs: VecDeque::new(),
             inflight: HashSet::new(),
             probing: HashSet::new(),
@@ -673,10 +701,11 @@ impl Worker {
             // 1. Wait for work — no busy spin when idle, zero wait when a
             //    job is mid-flight.
             let wait = if self.jobs.is_empty() {
+                let now = self.clock.now();
                 let next_probe = self
                     .probes
                     .peek()
-                    .map(|Reverse((due, _, _))| due.saturating_duration_since(Instant::now()));
+                    .map(|Reverse((due, _, _))| due.saturating_duration_since(now));
                 next_probe.unwrap_or(IDLE_TICK).min(IDLE_TICK)
             } else {
                 Duration::ZERO
@@ -696,7 +725,7 @@ impl Worker {
             }
 
             // 2. Fire due probes.
-            let now = Instant::now();
+            let now = self.clock.now();
             while let Some(&Reverse((due, node, backoff))) = self.probes.peek() {
                 if due > now {
                     break;
@@ -738,13 +767,13 @@ impl Worker {
                         epoch,
                         keys,
                         retries: HashMap::new(),
-                        started: Instant::now(),
+                        started: self.clock.now(),
                     });
                 }
                 if eng.config.probe && !self.probing.contains(&node.0) {
                     self.probing.insert(node.0);
                     self.probes.push(Reverse((
-                        Instant::now() + eng.config.probe_base,
+                        self.clock.now() + eng.config.probe_base,
                         node.0,
                         eng.config.probe_base,
                     )));
@@ -776,7 +805,7 @@ impl Worker {
             };
             // Rate limit first: a throttled engine must not even touch
             // the PFS.
-            if !eng.bucket.lock().try_take(Instant::now()) {
+            if !eng.bucket.lock().try_take(self.clock.now()) {
                 RecoveryStats::inc(&eng.stats.recache_throttled);
                 if let Some(obs) = eng.obs.get() {
                     obs.throttled.inc();
@@ -785,11 +814,11 @@ impl Worker {
                 let nap = eng
                     .bucket
                     .lock()
-                    .eta(Instant::now())
+                    .eta(self.clock.now())
                     .unwrap_or(THROTTLE_NAP)
                     .min(THROTTLE_NAP);
                 if !nap.is_zero() {
-                    std::thread::sleep(nap);
+                    self.clock.sleep(nap);
                 }
                 return false;
             }
@@ -852,7 +881,7 @@ impl Worker {
 
     fn finish(&mut self, eng: &Arc<RecoveryEngine>, job: RecacheJob) {
         self.inflight.remove(&job.node.0);
-        let elapsed = job.started.elapsed();
+        let elapsed = self.clock.since(job.started);
         RecoveryStats::inc(&eng.stats.recoveries_quiesced);
         eng.mark_phase(job.node, ftc_obs::Phase::RecoveryQuiesced);
         if let Some(obs) = eng.obs.get() {
@@ -888,7 +917,7 @@ impl Worker {
         } else {
             let next = (backoff * 2).min(eng.config.probe_max);
             self.probes
-                .push(Reverse((Instant::now() + backoff, node.0, next)));
+                .push(Reverse((self.clock.now() + backoff, node.0, next)));
         }
     }
 

@@ -11,9 +11,10 @@ use crate::proto::{CacheRequest, CacheResponse, ServeSource};
 use ftc_hashring::NodeId;
 use ftc_net::{Incoming, Network, TraceEventKind};
 use ftc_storage::{DataMover, NvmeCache, Pfs};
+use ftc_time::{ClockHandle, TaskHandle};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Shorthand for the cache-protocol network.
@@ -43,10 +44,23 @@ impl HvacServer {
         pfs: Arc<Pfs>,
         cache: Arc<NvmeCache>,
     ) -> Result<Self, CoreError> {
-        let mover = DataMover::spawn(Arc::clone(&cache)).map_err(|source| CoreError::Spawn {
-            what: "data mover",
-            node,
-            source,
+        Self::with_cache_clock(node, pfs, cache, ClockHandle::wall())
+    }
+
+    /// [`HvacServer::with_cache`] with an injected clock: the data mover
+    /// becomes a cooperative task under a virtual clock.
+    pub fn with_cache_clock(
+        node: NodeId,
+        pfs: Arc<Pfs>,
+        cache: Arc<NvmeCache>,
+        clock: ClockHandle,
+    ) -> Result<Self, CoreError> {
+        let mover = DataMover::spawn_with_clock(Arc::clone(&cache), clock).map_err(|source| {
+            CoreError::Spawn {
+                what: "data mover",
+                node,
+                source,
+            }
         })?;
         Ok(HvacServer {
             node,
@@ -161,11 +175,16 @@ impl HvacServer {
     }
 }
 
-/// Handle to a server's event-loop thread.
+/// Handle to a server's event-loop thread (or cooperative task, under a
+/// virtual clock).
 pub struct ServerHandle {
     node: NodeId,
     stop: Arc<AtomicBool>,
-    join: Option<JoinHandle<HvacServer>>,
+    join: Option<TaskHandle>,
+    /// The event loop parks the reclaimed [`HvacServer`] here on exit —
+    /// task handles carry no return value, so `shutdown` joins and then
+    /// takes it from this slot.
+    reclaimed: Arc<Mutex<Option<HvacServer>>>,
     cache: Arc<NvmeCache>,
     moved: Arc<std::sync::atomic::AtomicU64>,
     moved_bytes: Arc<std::sync::atomic::AtomicU64>,
@@ -182,7 +201,7 @@ impl ServerHandle {
         pfs: Arc<Pfs>,
         nvme_capacity: u64,
     ) -> Result<Self, CoreError> {
-        Self::spawn_inner(HvacServer::new(node, pfs, nvme_capacity)?, net)
+        Self::spawn_with_cache(node, net, pfs, Arc::new(NvmeCache::new(nvme_capacity)))
     }
 
     /// Spawn a server thread over an existing NVMe cache — the warm-rejoin
@@ -193,7 +212,12 @@ impl ServerHandle {
         pfs: Arc<Pfs>,
         cache: Arc<NvmeCache>,
     ) -> Result<Self, CoreError> {
-        Self::spawn_inner(HvacServer::with_cache(node, pfs, cache)?, net)
+        // The server inherits the network's clock, so a cluster built on a
+        // virtual clock gets cooperative server tasks with no extra plumbing.
+        Self::spawn_inner(
+            HvacServer::with_cache_clock(node, pfs, cache, net.clock())?,
+            net,
+        )
     }
 
     fn spawn_inner(server: HvacServer, net: &CacheNet) -> Result<Self, CoreError> {
@@ -204,9 +228,11 @@ impl ServerHandle {
         let mbox = net.register(node);
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
-        let join = std::thread::Builder::new()
-            .name(format!("hvac-server-{node}"))
-            .spawn(move || {
+        let reclaimed: Arc<Mutex<Option<HvacServer>>> = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&reclaimed);
+        let join = net
+            .clock()
+            .spawn(&format!("hvac-server-{node}"), move || {
                 // Poll with a short tick so a stop request is honored even
                 // when no traffic arrives.
                 //
@@ -218,7 +244,7 @@ impl ServerHandle {
                         server.handle(inc);
                     }
                 }
-                server
+                *slot.lock() = Some(server);
             })
             .map_err(|source| CoreError::Spawn {
                 what: "hvac server",
@@ -229,6 +255,7 @@ impl ServerHandle {
             node,
             stop,
             join: Some(join),
+            reclaimed,
             cache,
             moved,
             moved_bytes,
@@ -282,7 +309,11 @@ impl ServerHandle {
     /// Stop the loop and reclaim the server (drains the data mover).
     pub fn shutdown(mut self) -> Option<HvacServer> {
         self.request_stop();
-        self.join.take().and_then(|j| j.join().ok())
+        let joined = self.join.take()?;
+        if joined.join().is_err() {
+            return None; // loop panicked; nothing was parked in the slot
+        }
+        self.reclaimed.lock().take()
     }
 
     /// Whether the thread has been reclaimed already.
@@ -345,10 +376,11 @@ mod tests {
 
         // Wait for the mover, then the second read must be an NVMe hit
         // with no further PFS traffic.
-        let t0 = std::time::Instant::now();
-        while !h.cache().peek("train/s3.bin") && t0.elapsed() < Duration::from_secs(2) {
-            std::thread::yield_now();
-        }
+        assert!(net
+            .clock()
+            .wait_until(Duration::from_secs(2), Duration::from_micros(200), || h
+                .cache()
+                .peek("train/s3.bin"),));
         let r2 = ep
             .call(
                 NodeId(0),

@@ -67,7 +67,7 @@ proptest! {
         for ev in &events {
             match *ev {
                 Ev::Timeout(n) => {
-                    let verdict = det.record_timeout(NodeId(n.into()));
+                    let verdict = det.record_timeout_at(NodeId(n.into()), Instant::now());
                     if ref_failed[n as usize] {
                         prop_assert_eq!(verdict, Verdict::AlreadyFailed);
                     } else {
@@ -109,7 +109,7 @@ proptest! {
         });
         let mut edges = 0;
         for _ in 0..timeouts {
-            if det.record_timeout(NodeId(0)) == Verdict::JustFailed {
+            if det.record_timeout_at(NodeId(0), Instant::now()) == Verdict::JustFailed {
                 edges += 1;
             }
         }

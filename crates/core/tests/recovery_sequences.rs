@@ -83,7 +83,7 @@ fn successor_death_mid_recache_reroutes_pushes() {
     }
     // …and after the movers settle, wholly from cache: nothing stayed
     // lost.
-    std::thread::sleep(Duration::from_millis(100));
+    assert!(cluster.wait_movers_drained(Duration::from_secs(5)));
     cluster.pfs().reset_read_counters();
     for p in &paths {
         c.read(p).unwrap();

@@ -37,14 +37,14 @@ use crate::error::RpcError;
 use crate::latency::LatencyModel;
 use crate::stats::{NetStats, NetStatsSnapshot};
 use crate::trace::{TraceEventKind, Tracer, VClock};
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use ftc_hashring::NodeId;
+use ftc_time::{ClockHandle, ClockReceiver, ClockSender, RecvTimeoutError};
 use parking_lot::{Mutex, RwLock};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Anything that can cross the transport. `wire_size` feeds the latency
 /// model's bandwidth term; the default suits small control messages.
@@ -90,7 +90,7 @@ pub struct Incoming<Req, Resp> {
     served_by: NodeId,
     /// The sender's vector-clock stamp, if tracing was on at send time.
     stamp: Option<VClock>,
-    reply_to: Sender<Traced<Resp>>,
+    reply_to: ClockSender<Traced<Resp>>,
     net: Arc<Inner<Req, Resp>>,
 }
 
@@ -170,7 +170,7 @@ impl<Req: Payload, Resp: Payload> Incoming<Req, Resp> {
             self.net.latency.delay(bytes, rng.random::<f64>())
         };
         if !delay.is_zero() {
-            std::thread::sleep(delay);
+            self.net.clock.sleep(delay);
         }
         self.reply(resp);
     }
@@ -184,7 +184,7 @@ impl<Req: Payload, Resp: Payload> Incoming<Req, Resp> {
 /// Server-side receive handle for one node.
 pub struct Mailbox<Req, Resp> {
     node: NodeId,
-    rx: Receiver<Incoming<Req, Resp>>,
+    rx: ClockReceiver<Incoming<Req, Resp>>,
 }
 
 impl<Req: Payload, Resp: Payload> Mailbox<Req, Resp> {
@@ -250,7 +250,8 @@ struct NetObs {
 }
 
 struct Inner<Req, Resp> {
-    mailboxes: RwLock<HashMap<NodeId, Sender<Incoming<Req, Resp>>>>,
+    clock: ClockHandle,
+    mailboxes: RwLock<HashMap<NodeId, ClockSender<Incoming<Req, Resp>>>>,
     down: RwLock<HashSet<NodeId>>,
     extra_delay: RwLock<HashMap<NodeId, Duration>>,
     partitions: RwLock<HashSet<(NodeId, NodeId)>>,
@@ -333,10 +334,17 @@ impl<Req, Resp> Clone for Network<Req, Resp> {
 
 impl<Req: Payload, Resp: Payload> Network<Req, Resp> {
     /// A network with the given link model; `seed` makes jitter and drop
-    /// decisions reproducible.
+    /// decisions reproducible. Runs on the wall clock.
     pub fn new(latency: LatencyModel, seed: u64) -> Self {
+        Self::with_clock(latency, seed, ClockHandle::wall())
+    }
+
+    /// A network whose flight delays, deadlines, and mailbox blocking all
+    /// go through `clock` — the constructor virtual-time clusters use.
+    pub fn with_clock(latency: LatencyModel, seed: u64, clock: ClockHandle) -> Self {
         Network {
             inner: Arc::new(Inner {
+                clock,
                 mailboxes: RwLock::new(HashMap::new()),
                 down: RwLock::new(HashSet::new()),
                 extra_delay: RwLock::new(HashMap::new()),
@@ -360,10 +368,15 @@ impl<Req: Payload, Resp: Payload> Network<Req, Resp> {
     /// Register a node and obtain its server mailbox. Re-registering an id
     /// replaces the previous mailbox (elastic rejoin).
     pub fn register(&self, node: NodeId) -> Mailbox<Req, Resp> {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = self.inner.clock.channel();
         self.inner.mailboxes.write().insert(node, tx);
         self.inner.down.write().remove(&node);
         Mailbox { node, rx }
+    }
+
+    /// The clock this fabric runs on.
+    pub fn clock(&self) -> ClockHandle {
+        self.inner.clock.clone()
     }
 
     /// Client-side handle bound to a source node id.
@@ -526,6 +539,12 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
         self.me
     }
 
+    /// The clock the owning fabric runs on — upper layers reuse it for
+    /// their own deadlines so RPC time and protocol time agree.
+    pub fn clock(&self) -> ClockHandle {
+        self.net.clock.clone()
+    }
+
     /// The network's active tracer, if tracing has been enabled. Upper
     /// layers use this to record state events (ring updates, detector
     /// transitions) under this endpoint's actor.
@@ -540,7 +559,8 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
     /// caller *cannot distinguish* a dead node from a slow one except by
     /// the TTL expiring, exactly the observability model of §IV-A.
     pub fn call(&self, to: NodeId, req: Req, timeout: Duration) -> Result<Resp, RpcError> {
-        let start = Instant::now();
+        let clock = &self.net.clock;
+        let start = clock.now();
         NetStats::inc(&self.net.stats.rpcs_sent);
 
         let mbox = match self.net.mailboxes.read().get(&to) {
@@ -557,10 +577,10 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
         let extra = self.net.extra_delay.read().get(&to).copied();
         let flight = delay + extra.unwrap_or(Duration::ZERO);
         if !flight.is_zero() {
-            std::thread::sleep(flight.min(timeout));
+            clock.sleep(flight.min(timeout));
         }
 
-        let (reply_tx, reply_rx) = bounded::<Traced<Resp>>(1);
+        let (reply_tx, reply_rx) = clock.channel::<Traced<Resp>>();
         let tracer = self.net.tracer.read().clone();
         // Stamp before the drop decision: the send happens either way,
         // the message just may be lost in flight (no matching receive).
@@ -587,19 +607,19 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
         // peer and a lossy link must look identical to the caller.
         let _keep_alive = reply_tx;
 
-        let remaining = timeout.saturating_sub(start.elapsed());
+        let remaining = timeout.saturating_sub(clock.since(start));
         if remaining.is_zero() {
             // The request's flight time alone consumed the deadline: the
             // message may still arrive and be served, but the caller has
             // already given up. Deterministic timeout, no reply race.
             NetStats::inc_completion(&self.net.stats.timeouts);
-            self.net.observe_rpc(to, start.elapsed(), false);
+            self.net.observe_rpc(to, clock.since(start), false);
             return Err(RpcError::Timeout { to });
         }
         match reply_rx.recv_timeout(remaining) {
             Ok(traced) => {
                 NetStats::inc_completion(&self.net.stats.rpcs_ok);
-                self.net.observe_rpc(to, start.elapsed(), true);
+                self.net.observe_rpc(to, clock.since(start), true);
                 if let (Some(t), Some(s)) = (tracer.as_ref(), traced.stamp.as_ref()) {
                     t.record_recv(self.me, s, TraceEventKind::ReplyRecv { from: to });
                 }
@@ -607,7 +627,7 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
             }
             Err(RecvTimeoutError::Timeout) => {
                 NetStats::inc_completion(&self.net.stats.timeouts);
-                self.net.observe_rpc(to, start.elapsed(), false);
+                self.net.observe_rpc(to, clock.since(start), false);
                 Err(RpcError::Timeout { to })
             }
             Err(RecvTimeoutError::Disconnected) => {
@@ -616,9 +636,9 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
                 // crash mid-service, so present it as a timeout after the
                 // full deadline.
                 let _ = delivered;
-                std::thread::sleep(timeout.saturating_sub(start.elapsed()));
+                clock.sleep(timeout.saturating_sub(clock.since(start)));
                 NetStats::inc_completion(&self.net.stats.timeouts);
-                self.net.observe_rpc(to, start.elapsed(), false);
+                self.net.observe_rpc(to, clock.since(start), false);
                 Err(RpcError::Timeout { to })
             }
         }
@@ -629,6 +649,7 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
 mod tests {
     use super::*;
     use std::thread;
+    use std::time::Instant;
 
     const TTL: Duration = Duration::from_millis(50);
 
@@ -973,6 +994,40 @@ mod tests {
             "missing timeout event: {dump}"
         );
         assert!(dump.contains("Killed"), "drop cause missing: {dump}");
+    }
+
+    #[test]
+    fn virtual_clock_timeout_consumes_no_wall_time() {
+        // A killed node charges the full TTL in *virtual* time; the wall
+        // clock barely moves even for a multi-second deadline.
+        let wall0 = Instant::now();
+        ftc_time::with_virtual(|clock| {
+            let net: Network<String, String> =
+                Network::with_clock(LatencyModel::instant(), 3, clock.clone());
+            let mbox = net.register(NodeId(0));
+            let server = clock
+                .spawn("srv0", move || {
+                    while let Some(inc) = mbox.recv_timeout(Duration::from_millis(5)) {
+                        let reply = format!("{}:{}", inc.from, inc.req);
+                        inc.reply(reply);
+                    }
+                })
+                .expect("spawn server");
+            let ep = net.endpoint(NodeId(1));
+            let ttl = Duration::from_secs(2);
+            let t0 = clock.now();
+            assert_eq!(ep.call(NodeId(0), "a".into(), ttl).expect("served"), "n1:a");
+            net.kill(NodeId(0));
+            let err = ep.call(NodeId(0), "b".into(), ttl).expect_err("killed");
+            assert_eq!(err, RpcError::Timeout { to: NodeId(0) });
+            assert!(clock.since(t0) >= ttl, "virtual TTL fully charged");
+            // Let the server's 5ms poll lapse so its loop exits.
+            server.join().expect("server clean");
+        });
+        assert!(
+            wall0.elapsed() < Duration::from_secs(1),
+            "2s virtual TTL must cost ≪ 1s wall"
+        );
     }
 
     #[test]

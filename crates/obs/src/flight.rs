@@ -13,6 +13,7 @@
 //! metrics registry because flight events are orders of magnitude rarer
 //! than metric increments (state transitions, not per-read ticks).
 
+use ftc_time::ClockHandle;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -50,6 +51,7 @@ impl std::fmt::Display for FlightEvent {
 
 /// Bounded, thread-safe ring buffer of [`FlightEvent`]s.
 pub struct FlightRecorder {
+    clock: ClockHandle,
     origin: Instant,
     capacity: usize,
     seq: AtomicU64,
@@ -76,10 +78,17 @@ impl FlightRecorder {
     /// several overlapping failures at transition-event rates.
     pub const DEFAULT_CAPACITY: usize = 1024;
 
-    /// A recorder holding at most `capacity` events (minimum 1).
+    /// A recorder holding at most `capacity` events (minimum 1), stamped
+    /// by the wall clock.
     pub fn new(capacity: usize) -> Self {
+        Self::with_clock(capacity, ClockHandle::wall())
+    }
+
+    /// A recorder stamping event offsets through `clock`.
+    pub fn with_clock(capacity: usize, clock: ClockHandle) -> Self {
         FlightRecorder {
-            origin: Instant::now(),
+            origin: clock.now(),
+            clock,
             capacity: capacity.max(1),
             seq: AtomicU64::new(0),
             ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
@@ -100,7 +109,7 @@ impl FlightRecorder {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let ev = FlightEvent {
             seq,
-            at: self.origin.elapsed(),
+            at: self.clock.since(self.origin),
             actor: actor.to_owned(),
             kind: kind.to_owned(),
             detail: detail.into(),

@@ -76,9 +76,25 @@ impl ObsHub {
         ObsHub::default()
     }
 
+    /// A fresh hub whose timeline and flight recorder stamp through
+    /// `clock` — under a virtual clock, every offset in the report is a
+    /// deterministic function of the schedule, not of wall-time noise.
+    pub fn with_clock(clock: ftc_time::ClockHandle) -> Self {
+        ObsHub {
+            registry: Registry::default(),
+            timeline: TimelineRecorder::with_clock(clock.clone()),
+            flight: FlightRecorder::with_clock(FlightRecorder::DEFAULT_CAPACITY, clock),
+        }
+    }
+
     /// A fresh hub behind an `Arc`, ready to hand to cluster components.
     pub fn shared() -> Arc<Self> {
         Arc::new(ObsHub::new())
+    }
+
+    /// [`ObsHub::with_clock`] behind an `Arc`.
+    pub fn shared_with_clock(clock: ftc_time::ClockHandle) -> Arc<Self> {
+        Arc::new(ObsHub::with_clock(clock))
     }
 }
 

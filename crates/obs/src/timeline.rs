@@ -19,6 +19,7 @@
 //! Derived outputs: per-incident phase offsets, and detection / recovery
 //! latency lists ready for percentile treatment across campaigns.
 
+use ftc_time::ClockHandle;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Mutex;
@@ -179,6 +180,7 @@ struct TimelineInner {
 /// Thread-safe recorder of failure incidents. One per cluster/campaign;
 /// all stamps share its origin instant.
 pub struct TimelineRecorder {
+    clock: ClockHandle,
     origin: Instant,
     inner: Mutex<TimelineInner>,
 }
@@ -198,10 +200,17 @@ impl std::fmt::Debug for TimelineRecorder {
 }
 
 impl TimelineRecorder {
-    /// A recorder whose origin is now.
+    /// A recorder whose origin is now (wall clock).
     pub fn new() -> Self {
+        Self::with_clock(ClockHandle::wall())
+    }
+
+    /// A recorder stamping through `clock`; under a virtual clock the
+    /// incident offsets are exact virtual latencies, not wall noise.
+    pub fn with_clock(clock: ClockHandle) -> Self {
         TimelineRecorder {
-            origin: Instant::now(),
+            origin: clock.now(),
+            clock,
             inner: Mutex::new(TimelineInner {
                 incidents: Vec::new(),
                 open: HashMap::new(),
@@ -222,7 +231,7 @@ impl TimelineRecorder {
     /// implicitly when a client observes a failure the injector never
     /// announced (e.g. a flaky link).
     pub fn mark(&self, node: u32, phase: Phase) {
-        let at = self.origin.elapsed();
+        let at = self.clock.since(self.origin);
         let mut g = self.lock();
         let idx = match g.open.get(&node) {
             Some(&i) if !(phase == Phase::Kill && g.incidents[i].is_complete()) => i,

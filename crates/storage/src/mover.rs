@@ -15,11 +15,11 @@
 
 use crate::nvme::NvmeCache;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use ftc_time::{ClockHandle, ClockSender, TaskHandle};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Default bound on queued-but-unpersisted copies. Sized for a whole
 /// node's key range recaching at once (the worst organic burst) while
@@ -28,8 +28,9 @@ pub const DEFAULT_MOVER_QUEUE_CAP: u64 = 4096;
 
 /// Background PFS→NVMe copier for one node.
 pub struct DataMover {
-    tx: Option<Sender<CopyJob>>,
-    handle: Option<JoinHandle<()>>,
+    clock: ClockHandle,
+    tx: Option<ClockSender<CopyJob>>,
+    handle: Option<TaskHandle>,
     moved: Arc<AtomicU64>,
     moved_bytes: Arc<AtomicU64>,
     /// Jobs accepted but not yet persisted (queue depth).
@@ -52,30 +53,45 @@ impl DataMover {
 
     /// Spawn a mover whose queue holds at most `capacity` pending copies.
     pub fn spawn_bounded(cache: Arc<NvmeCache>, capacity: u64) -> std::io::Result<Self> {
-        let (tx, rx): (Sender<CopyJob>, Receiver<CopyJob>) = unbounded();
+        Self::spawn_bounded_with_clock(cache, capacity, ClockHandle::wall())
+    }
+
+    /// [`DataMover::spawn`] with an injected clock; under a virtual clock
+    /// the worker becomes a cooperative task and `drain` consumes virtual
+    /// rather than wall time.
+    pub fn spawn_with_clock(cache: Arc<NvmeCache>, clock: ClockHandle) -> std::io::Result<Self> {
+        Self::spawn_bounded_with_clock(cache, DEFAULT_MOVER_QUEUE_CAP, clock)
+    }
+
+    /// [`DataMover::spawn_bounded`] with an injected clock.
+    pub fn spawn_bounded_with_clock(
+        cache: Arc<NvmeCache>,
+        capacity: u64,
+        clock: ClockHandle,
+    ) -> std::io::Result<Self> {
+        let (tx, rx) = clock.channel::<CopyJob>();
         let moved = Arc::new(AtomicU64::new(0));
         let moved_bytes = Arc::new(AtomicU64::new(0));
         let depth = Arc::new(AtomicU64::new(0));
         let m = Arc::clone(&moved);
         let mb = Arc::clone(&moved_bytes);
         let d = Arc::clone(&depth);
-        let handle = std::thread::Builder::new()
-            .name("ftc-data-mover".into())
-            .spawn(move || {
-                while let Ok((key, data)) = rx.recv() {
-                    let len = data.len() as u64;
-                    cache.insert(&key, data);
-                    // ordering: Relaxed — pure statistics; readers poll
-                    // (`drain`) and tolerate lag, no data is published.
-                    m.fetch_add(1, Ordering::Relaxed);
-                    mb.fetch_add(len, Ordering::Relaxed);
-                    // ordering: Relaxed — depth is an admission-control
-                    // heuristic; a momentarily stale view only lets one
-                    // extra job through or rejects one early, both fine.
-                    d.fetch_sub(1, Ordering::Relaxed);
-                }
-            })?;
+        let handle = clock.spawn("ftc-data-mover", move || {
+            while let Ok((key, data)) = rx.recv() {
+                let len = data.len() as u64;
+                cache.insert(&key, data);
+                // ordering: Relaxed — pure statistics; readers poll
+                // (`drain`) and tolerate lag, no data is published.
+                m.fetch_add(1, Ordering::Relaxed);
+                mb.fetch_add(len, Ordering::Relaxed);
+                // ordering: Relaxed — depth is an admission-control
+                // heuristic; a momentarily stale view only lets one
+                // extra job through or rejects one early, both fine.
+                d.fetch_sub(1, Ordering::Relaxed);
+            }
+        })?;
         Ok(DataMover {
+            clock,
             tx: Some(tx),
             handle: Some(handle),
             moved,
@@ -171,16 +187,14 @@ impl DataMover {
     }
 
     /// Wait (bounded) until the backlog drains without shutting down —
-    /// lets tests assert "eventually cached" deterministically.
-    pub fn drain(&self, expected_moved: u64, timeout: std::time::Duration) -> bool {
-        let t0 = std::time::Instant::now();
-        while self.moved() < expected_moved {
-            if t0.elapsed() > timeout {
-                return false;
-            }
-            std::thread::yield_now();
-        }
-        true
+    /// lets tests assert "eventually cached" deterministically. The wait
+    /// is a clock-paced poll: in virtual mode each poll yields to the
+    /// worker task, so the drain costs virtual time only.
+    pub fn drain(&self, expected_moved: u64, timeout: Duration) -> bool {
+        self.clock
+            .wait_until(timeout, Duration::from_micros(200), || {
+                self.moved() >= expected_moved
+            })
     }
 }
 

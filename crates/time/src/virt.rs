@@ -1,0 +1,490 @@
+//! The virtual clock: simulated time plus a cooperative, deterministic
+//! scheduler over real OS threads.
+//!
+//! ## Execution model
+//!
+//! Exactly one task holds the *run token* at any moment; every other task
+//! thread is parked on its own condvar. A task releases the token only at
+//! a **yield point** — `sleep`, a clock-channel receive, or a task join.
+//! At a yield the task picks the next runnable task itself (FIFO ready
+//! queue), hands over the token, and parks. When nothing is runnable,
+//! virtual time jumps to the earliest pending timer (a binary heap keyed
+//! by `(deadline, insertion-seq)` — the same earliest-first FIFO
+//! tie-break as `ftc-sim`'s event queue) and the timer's task is made
+//! runnable. Because the interleaving is chosen by this deterministic
+//! discipline — never by the OS — two runs of the same seeded program
+//! produce the same schedule, the same virtual timestamps, and the same
+//! output bytes.
+//!
+//! ## Wakeups are level-triggered
+//!
+//! A wake (`make_ready`) on a task that is running or already runnable
+//! just sets `wake_pending`; `park` consumes the flag and returns
+//! immediately instead of blocking. Every blocking primitive is written
+//! as a *condition loop* (check → register → park), so stale timer pops
+//! and duplicate wakes are harmless: the task re-checks its condition and
+//! re-parks. This is what makes lost-wakeup races impossible without a
+//! global lock held across yields.
+//!
+//! ## Rules for code running under a virtual clock
+//!
+//! * Never hold a lock another task may need across a yield point — the
+//!   scheduler cannot see OS mutexes, so that is a real deadlock.
+//! * All blocking must go through the clock (sleep / clock channels /
+//!   join). Blocking on anything else parks the whole simulated world.
+//! * When every task is blocked and no timer is pending, the scheduler
+//!   panics with a per-task diagnostic rather than hanging.
+
+use std::cell::Cell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// The task id this OS thread runs under, when parented to a
+    /// `VirtualClock`.
+    static CURRENT_TASK: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TaskState {
+    /// Holds the run token.
+    Running,
+    /// In the ready queue, waiting for the token.
+    Ready,
+    /// Parked at a yield point.
+    Blocked,
+    /// Body returned (or unwound); never scheduled again.
+    Finished,
+}
+
+struct Task {
+    name: String,
+    state: TaskState,
+    /// A wake arrived while the task was running or already ready; the
+    /// next `park` returns immediately instead of blocking.
+    wake_pending: bool,
+    panicked: bool,
+    cv: Arc<Condvar>,
+    /// Tasks parked in `join_task` on this one.
+    joiners: Vec<usize>,
+}
+
+struct Sched {
+    /// Virtual elapsed time since `base`.
+    now: Duration,
+    tasks: Vec<Task>,
+    ready: VecDeque<usize>,
+    /// The task currently holding the run token.
+    current: usize,
+    /// Pending wakeups: `(deadline, insertion seq, task)`.
+    timers: BinaryHeap<Reverse<(Duration, u64, usize)>>,
+    timer_seq: u64,
+}
+
+/// Simulated time driven by a cooperative scheduler. Construct via
+/// [`with_virtual`]; share via [`crate::ClockHandle::from_virtual`].
+pub struct VirtualClock {
+    /// One real instant captured at creation; all fabricated instants are
+    /// `base + virtual_elapsed`, so downstream `Instant` arithmetic works
+    /// unchanged.
+    base: Instant,
+    sched: Mutex<Sched>,
+}
+
+/// The joined task panicked (virtual mode) or its thread panicked (wall
+/// mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskPanicked;
+
+impl std::fmt::Display for TaskPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("joined task panicked")
+    }
+}
+
+enum TaskRepr {
+    Wall(std::thread::JoinHandle<()>),
+    Virtual {
+        clock: Arc<VirtualClock>,
+        task: usize,
+        os: std::thread::JoinHandle<()>,
+    },
+}
+
+/// Handle to a worker spawned through a [`crate::ClockHandle`]; join is
+/// clock-aware (a scheduler yield point in virtual mode).
+pub struct TaskHandle(TaskRepr);
+
+impl TaskHandle {
+    pub(crate) fn wall(h: std::thread::JoinHandle<()>) -> Self {
+        TaskHandle(TaskRepr::Wall(h))
+    }
+
+    /// Wait for the task to finish. In virtual mode this parks the caller
+    /// as a scheduler yield point; in wall mode it is `JoinHandle::join`.
+    pub fn join(self) -> Result<(), TaskPanicked> {
+        match self.0 {
+            TaskRepr::Wall(h) => h.join().map_err(|_panic_payload| TaskPanicked),
+            TaskRepr::Virtual { clock, task, os } => {
+                let r = clock.join_task(task);
+                // The task is Finished; its OS thread is past all
+                // scheduler interaction and exits immediately.
+                let _ = os.join();
+                r
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for TaskHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            TaskRepr::Wall(_) => f.write_str("TaskHandle(Wall)"),
+            TaskRepr::Virtual { task, .. } => write!(f, "TaskHandle(Virtual#{task})"),
+        }
+    }
+}
+
+/// Ensures a spawned task always deregisters — even when its body
+/// panics — so the scheduler hands the run token onward instead of
+/// freezing the simulated world.
+struct ExitGuard {
+    clock: Arc<VirtualClock>,
+    task: usize,
+}
+
+impl Drop for ExitGuard {
+    fn drop(&mut self) {
+        self.clock.task_exit(self.task, std::thread::panicking());
+    }
+}
+
+impl VirtualClock {
+    fn new() -> Arc<Self> {
+        Arc::new(VirtualClock {
+            base: Instant::now(),
+            sched: Mutex::new(Sched {
+                now: Duration::ZERO,
+                tasks: Vec::new(),
+                ready: VecDeque::new(),
+                current: 0,
+                timers: BinaryHeap::new(),
+                timer_seq: 0,
+            }),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Sched> {
+        // Poisoning means some task panicked mid-update; scheduler state
+        // transitions are single-field writes, so recover and keep
+        // dispatching — the panic itself is reported via the exit guard.
+        self.sched.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The fabricated current instant: `base + virtual elapsed`.
+    pub fn now(&self) -> Instant {
+        self.base + self.lock().now
+    }
+
+    /// Virtual elapsed time since clock creation.
+    pub(crate) fn now_offset(&self) -> Duration {
+        self.lock().now
+    }
+
+    /// The calling thread's task id; panics when called from a thread
+    /// that is not parented to this clock (such a thread must never use
+    /// blocking virtual primitives).
+    pub(crate) fn this_task(&self) -> usize {
+        let Some(id) = CURRENT_TASK.with(Cell::get) else {
+            panic!("blocking virtual-clock call from a thread that is not a registered task");
+        };
+        id
+    }
+
+    /// Advance virtual time by sleeping until `now + d`.
+    pub(crate) fn sleep(&self, d: Duration) {
+        let deadline = self.lock().now + d;
+        loop {
+            if self.lock().now >= deadline {
+                return;
+            }
+            self.park(Some(deadline));
+        }
+    }
+
+    /// Yield the run token until woken (by `wake`, a timer at `wake_at`,
+    /// or a stale wake — callers re-check their condition in a loop).
+    pub(crate) fn park(&self, wake_at: Option<Duration>) {
+        let me = self.this_task();
+        let mut g = self.lock();
+        debug_assert_eq!(g.current, me, "parking task must hold the run token");
+        if g.tasks[me].wake_pending {
+            g.tasks[me].wake_pending = false;
+            return;
+        }
+        if let Some(at) = wake_at {
+            let at = at.max(g.now);
+            let seq = g.timer_seq;
+            g.timer_seq += 1;
+            g.timers.push(Reverse((at, seq, me)));
+        }
+        g.tasks[me].state = TaskState::Blocked;
+        Self::dispatch(&mut g);
+        g = Self::wait_for_token(g, me);
+        g.tasks[me].state = TaskState::Running;
+        g.tasks[me].wake_pending = false;
+    }
+
+    /// Make `tid` runnable (level-triggered; safe to call at any time,
+    /// from any thread).
+    pub(crate) fn wake(&self, tid: usize) {
+        let mut g = self.lock();
+        Self::make_ready(&mut g, tid);
+    }
+
+    fn wait_for_token(mut g: MutexGuard<'_, Sched>, me: usize) -> MutexGuard<'_, Sched> {
+        while g.current != me {
+            let cv = Arc::clone(&g.tasks[me].cv);
+            g = cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        g
+    }
+
+    fn make_ready(g: &mut Sched, tid: usize) {
+        let t = &mut g.tasks[tid];
+        match t.state {
+            TaskState::Blocked => {
+                t.state = TaskState::Ready;
+                t.wake_pending = true;
+                g.ready.push_back(tid);
+            }
+            TaskState::Ready | TaskState::Running => t.wake_pending = true,
+            TaskState::Finished => {}
+        }
+    }
+
+    /// Hand the run token to the next runnable task, advancing virtual
+    /// time over pending timers when nothing is ready. Panics (with a
+    /// per-task diagnostic) when the simulated world can never progress.
+    fn dispatch(g: &mut Sched) {
+        loop {
+            if let Some(next) = g.ready.pop_front() {
+                g.current = next;
+                g.tasks[next].cv.notify_all();
+                return;
+            }
+            if let Some(Reverse((at, _seq, tid))) = g.timers.pop() {
+                if g.now < at {
+                    g.now = at;
+                }
+                Self::make_ready(g, tid);
+                continue;
+            }
+            let stuck: Vec<String> = g
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.state != TaskState::Finished)
+                .map(|(i, t)| format!("  task {i} `{}`: {:?}", t.name, t.state))
+                .collect();
+            let diag = format!(
+                "virtual clock deadlock at t+{:?}: every task is blocked outside the \
+                 clock and no timer is pending\n{}",
+                g.now,
+                stuck.join("\n")
+            );
+            if std::thread::panicking() {
+                // Raised while a task unwinds (exit-guard path): a second
+                // panic would abort without the message, so print first.
+                eprintln!("{diag}");
+                std::process::abort();
+            }
+            panic!("{diag}");
+        }
+    }
+
+    /// Spawn a cooperative task: a real OS thread that runs only while it
+    /// holds the run token.
+    pub(crate) fn spawn(
+        self: &Arc<Self>,
+        name: &str,
+        f: impl FnOnce() + Send + 'static,
+    ) -> std::io::Result<TaskHandle> {
+        let tid = {
+            let mut g = self.lock();
+            let tid = g.tasks.len();
+            g.tasks.push(Task {
+                name: name.to_owned(),
+                state: TaskState::Ready,
+                wake_pending: false,
+                panicked: false,
+                cv: Arc::new(Condvar::new()),
+                joiners: Vec::new(),
+            });
+            g.ready.push_back(tid);
+            tid
+        };
+        let clock = Arc::clone(self);
+        let os = std::thread::Builder::new()
+            .name(name.to_owned())
+            .spawn(move || {
+                CURRENT_TASK.with(|c| c.set(Some(tid)));
+                {
+                    let g = clock.lock();
+                    let mut g = Self::wait_for_token(g, tid);
+                    g.tasks[tid].state = TaskState::Running;
+                    g.tasks[tid].wake_pending = false;
+                }
+                let _exit = ExitGuard {
+                    clock: Arc::clone(&clock),
+                    task: tid,
+                };
+                f();
+            })?;
+        Ok(TaskHandle(TaskRepr::Virtual {
+            clock: Arc::clone(self),
+            task: tid,
+            os,
+        }))
+    }
+
+    fn task_exit(&self, tid: usize, panicked: bool) {
+        let mut g = self.lock();
+        g.tasks[tid].state = TaskState::Finished;
+        g.tasks[tid].panicked = panicked;
+        let joiners = std::mem::take(&mut g.tasks[tid].joiners);
+        for j in joiners {
+            Self::make_ready(&mut g, j);
+        }
+        Self::dispatch(&mut g);
+    }
+
+    /// Park until task `tid` finishes; returns whether it panicked.
+    pub(crate) fn join_task(&self, tid: usize) -> Result<(), TaskPanicked> {
+        let me = self.this_task();
+        loop {
+            {
+                let mut g = self.lock();
+                if g.tasks[tid].state == TaskState::Finished {
+                    return if g.tasks[tid].panicked {
+                        Err(TaskPanicked)
+                    } else {
+                        Ok(())
+                    };
+                }
+                g.tasks[tid].joiners.push(me);
+            }
+            self.park(None);
+        }
+    }
+}
+
+/// Run `f` under a fresh virtual clock, with the calling thread
+/// registered as the driver task. Everything `f` does — spawning
+/// servers, running campaigns, reading through real clients — executes
+/// cooperatively in simulated time; when `f` returns, every spawned task
+/// must already be joined (a leak is a bug and panics).
+pub fn with_virtual<R>(f: impl FnOnce(crate::ClockHandle) -> R) -> R {
+    assert!(
+        CURRENT_TASK.with(Cell::get).is_none(),
+        "with_virtual cannot nest: this thread already drives a virtual clock"
+    );
+    let clock = VirtualClock::new();
+    {
+        let mut g = clock.lock();
+        g.tasks.push(Task {
+            name: "driver".to_owned(),
+            state: TaskState::Running,
+            wake_pending: false,
+            panicked: false,
+            cv: Arc::new(Condvar::new()),
+            joiners: Vec::new(),
+        });
+        g.current = 0;
+    }
+    CURRENT_TASK.with(|c| c.set(Some(0)));
+    let result = f(crate::ClockHandle::from_virtual(Arc::clone(&clock)));
+    CURRENT_TASK.with(|c| c.set(None));
+    let leaked: Vec<String> = {
+        let g = clock.lock();
+        g.tasks
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, t)| t.state != TaskState::Finished)
+            .map(|(i, t)| format!("task {i} `{}`: {:?}", t.name, t.state))
+            .collect()
+    };
+    assert!(
+        leaked.is_empty(),
+        "virtual tasks leaked past the driver (join them before returning): {leaked:?}"
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClockHandle;
+
+    #[test]
+    fn timers_fire_in_deadline_then_fifo_order() {
+        with_virtual(|clock| {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let mut hs = Vec::new();
+            // Same deadline for all: insertion order must win.
+            for i in 0..5u32 {
+                let log = Arc::clone(&log);
+                let c = clock.clone();
+                hs.push(
+                    clock
+                        .spawn(&format!("t{i}"), move || {
+                            c.sleep(Duration::from_millis(50));
+                            log.lock().expect("log").push(i);
+                        })
+                        .expect("spawn"),
+                );
+            }
+            for h in hs {
+                h.join().expect("clean");
+            }
+            assert_eq!(*log.lock().expect("log"), vec![0, 1, 2, 3, 4]);
+        });
+    }
+
+    #[test]
+    fn join_propagates_task_panic() {
+        // A panicking task must hand the token back (exit guard) and the
+        // joiner must observe the panic instead of hanging.
+        let err = with_virtual(|clock| {
+            let h = clock
+                .spawn("bomb", || {
+                    let prev = std::panic::take_hook();
+                    std::panic::set_hook(Box::new(|_| {})); // quiet the expected panic
+                    let unwind =
+                        std::panic::catch_unwind(|| panic!("boom")).expect_err("must panic");
+                    std::panic::set_hook(prev);
+                    std::panic::resume_unwind(unwind);
+                })
+                .expect("spawn");
+            h.join()
+        });
+        assert_eq!(err, Err(TaskPanicked));
+    }
+
+    #[test]
+    fn nested_virtual_time_math_is_exact() {
+        with_virtual(|clock: ClockHandle| {
+            let t0 = clock.now();
+            clock.sleep(Duration::from_nanos(1));
+            clock.sleep(Duration::from_millis(7));
+            clock.sleep(Duration::from_secs(2));
+            assert_eq!(
+                clock.since(t0),
+                Duration::from_secs(2) + Duration::from_millis(7) + Duration::from_nanos(1)
+            );
+        });
+    }
+}

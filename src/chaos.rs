@@ -22,7 +22,13 @@
 //!
 //! The plan — and therefore the whole campaign and its verdict — is a
 //! pure function of the seed, so `chaos --seed N` replays
-//! byte-identically (measured latencies are wall-clock and vary). The
+//! byte-identically (measured latencies are wall-clock and vary). Every
+//! campaign can also run on a [`ftc_time::VirtualClock`]
+//! ([`run_campaign_virtual`]): the same real cluster, servers, movers and
+//! recovery engine execute cooperatively in simulated time, so measured
+//! latencies become deterministic too — the full rendered report
+//! ([`CampaignReport::render`]) is then byte-identical across replays,
+//! and a 256-node kill sweep finishes in wall milliseconds. The
 //! kill schedule is additionally mirrored into a discrete-event
 //! [`FaultPlan`] and cross-checked against [`SimCluster`]: the simulator
 //! must agree on whether the job survives.
@@ -40,9 +46,10 @@ use ftc_hashring::NodeId;
 use ftc_net::TraceRecord;
 use ftc_sim::{FaultEvent, FaultPlan, SimCalibration, SimCluster, SimWorkload};
 use ftc_storage::synth_bytes;
+use ftc_time::ClockHandle;
 use std::collections::HashSet;
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One fault action in a campaign schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -335,6 +342,46 @@ impl ChaosPlan {
         plan
     }
 
+    /// Deterministic large-ring sweep for virtual-time scaling runs:
+    /// `nodes` servers, `files` staged keys, and a seed-chosen burst of
+    /// permanent kills (one per 32 nodes, clamped to 1..=8) spread over
+    /// two post-warm passes. Node 0 stays clean so the ring never
+    /// empties. Meant for [`run_campaign_virtual`], where a 256-node
+    /// sweep — real servers, real detector, real recache — finishes in
+    /// wall milliseconds.
+    ///
+    /// # Panics
+    /// If `nodes < 2` (there must be a clean node and a victim).
+    pub fn scenario_scale_sweep(seed: u64, nodes: u32, files: usize) -> Self {
+        assert!(nodes >= 2, "scale sweep needs at least 2 nodes");
+        let mut rng = Prng(seed ^ 0x5CA1_AB1E_0F01_D5EE);
+        let kills = (nodes / 32).clamp(1, 8) as usize;
+        let mut victims: Vec<NodeId> = Vec::with_capacity(kills);
+        while victims.len() < kills {
+            let v = NodeId(1 + rng.below(u64::from(nodes - 1)) as u32);
+            if !victims.contains(&v) {
+                victims.push(v);
+            }
+        }
+        ChaosPlan {
+            seed,
+            nodes,
+            files,
+            file_size: 48,
+            passes: 2,
+            events: victims
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| ChaosEvent {
+                    before_pass: (i % 2) as u32,
+                    action: ChaosAction::Kill(v),
+                })
+                .collect(),
+            degraded_only: Vec::new(),
+            clean_node: NodeId(0),
+        }
+    }
+
     /// One-line plan summary (stable across replays of the same seed).
     pub fn summary(&self) -> String {
         format!(
@@ -449,6 +496,59 @@ impl CampaignReport {
             .iter()
             .filter_map(ftc_obs::Incident::quiesce_latency)
             .collect()
+    }
+
+    /// Full rendering for replay diffing: the verdict line, read/abort
+    /// counters, per-kill window latencies, quiesce latencies, read p99s
+    /// and recovery-engine counters. In wall-clock campaigns the latency
+    /// lines vary run to run; under [`run_campaign_virtual`] the whole
+    /// string is a pure function of the seed, so CI replays a seed twice
+    /// and diffs this byte-for-byte.
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let ms = |d: Duration| format!("{:.3}ms", d.as_secs_f64() * 1e3);
+        let opt_ms = |d: Option<Duration>| d.map_or_else(|| "-".to_owned(), ms);
+        let mut out = String::new();
+        let _ = writeln!(out, "{self}");
+        let _ = writeln!(
+            out,
+            "reads_attempted={} aborted={} incidents={}",
+            self.reads_attempted,
+            self.aborted,
+            self.incidents.len()
+        );
+        for line in self.latency_summary() {
+            let _ = writeln!(out, "window: {line}");
+        }
+        for q in self.quiesce_latencies() {
+            let _ = writeln!(out, "quiesce: {}", ms(q));
+        }
+        let _ = writeln!(
+            out,
+            "warm_p99={} faulted_p99={}",
+            opt_ms(self.warm_read_p99),
+            opt_ms(self.faulted_read_p99)
+        );
+        if let Some(rs) = &self.recovery {
+            let _ = writeln!(
+                out,
+                "recovery: started={} quiesced={} pushed={} throttled={} skipped={} \
+                 failed={} stale_rejected={} hints_parked={} hints_drained={} \
+                 probes={} rejoins={}",
+                rs.recoveries_started,
+                rs.recoveries_quiesced,
+                rs.recache_pushed,
+                rs.recache_throttled,
+                rs.recache_skipped,
+                rs.recache_failed,
+                rs.stale_epoch_rejected,
+                rs.hints_parked,
+                rs.hints_drained,
+                rs.probes_sent,
+                rs.rejoins_detected
+            );
+        }
+        out
     }
 
     /// Per-kill latency lines (`n3 det=12.4ms rec=31.0ms`), one per
@@ -594,6 +694,31 @@ pub fn run_campaign_with(
     plan: &ChaosPlan,
     opts: CampaignOptions,
 ) -> (CampaignReport, Option<Vec<TraceRecord>>) {
+    run_campaign_on(policy, plan, opts, ClockHandle::wall())
+}
+
+/// Run one campaign entirely in virtual time: the same real threaded
+/// stack boots on a [`ftc_time::VirtualClock`] inside a cooperative
+/// driver, so every sleep, timeout, backoff and latency stamp advances
+/// simulated time instead of burning wall time. Same seed ⇒ the full
+/// rendered report ([`CampaignReport::render`]) is byte-identical.
+pub fn run_campaign_virtual(
+    policy: FtPolicy,
+    plan: &ChaosPlan,
+    opts: CampaignOptions,
+) -> CampaignReport {
+    ftc_time::with_virtual(|clock| run_campaign_on(policy, plan, opts, clock).0)
+}
+
+/// [`run_campaign_with`] on an injected clock: the cluster, its movers,
+/// the client's retry/backoff/detector and the recovery engine all share
+/// it, so the campaign runs identically on wall or virtual time.
+pub fn run_campaign_on(
+    policy: FtPolicy,
+    plan: &ChaosPlan,
+    opts: CampaignOptions,
+    clock: ClockHandle,
+) -> (CampaignReport, Option<Vec<TraceRecord>>) {
     let mut cfg = ClusterConfig::small(plan.nodes, policy);
     cfg.ft.detector.ttl = CAMPAIGN_TTL;
     cfg.ft.detector.timeout_limit = 2;
@@ -604,7 +729,7 @@ pub fn run_campaign_with(
     cfg.ft.retry.deadline_budget = Duration::from_secs(2);
     cfg.seed = plan.seed;
 
-    let cluster = match Cluster::start(cfg.clone()) {
+    let cluster = match Cluster::start_with_clock(cfg.clone(), clock.clone()) {
         Ok(c) => c,
         Err(e) => {
             // A cluster that cannot boot is a failed campaign, not a
@@ -692,9 +817,9 @@ pub fn run_campaign_with(
     let mut fault_lats: Vec<Duration> = Vec::new();
     for (i, p) in paths.iter().enumerate() {
         reads_attempted += 1;
-        let t0 = Instant::now();
+        let t0 = clock.now();
         let result = client.read(p);
-        warm_lats.push(t0.elapsed());
+        warm_lats.push(clock.since(t0));
         match result {
             Ok(bytes) if bytes == truth[i] => {}
             Ok(_) => violations.push(format!("integrity: warm read of {p} corrupted")),
@@ -702,7 +827,7 @@ pub fn run_campaign_with(
         }
     }
     // Let the movers land everything before accounting starts.
-    std::thread::sleep(Duration::from_millis(60));
+    let _ = cluster.wait_movers_drained(Duration::from_secs(2));
     let warm = client.metrics().snapshot();
     // Ownership at the healthy-ring baseline: `KillSuccessorOf` resolves
     // against this snapshot to find who inherited a dead node's range.
@@ -786,9 +911,9 @@ pub fn run_campaign_with(
         for idx in order {
             let p = &paths[idx];
             reads_attempted += 1;
-            let t0 = Instant::now();
+            let t0 = clock.now();
             let result = client.read(p);
-            let took = t0.elapsed();
+            let took = clock.since(t0);
             fault_lats.push(took);
             if took > cfg.ft.retry.deadline_budget + LIVELOCK_SLACK {
                 violations.push(format!(
@@ -812,7 +937,7 @@ pub fn run_campaign_with(
         }
         // Give movers a beat so recache fetches are attributed to the
         // pass that caused them.
-        std::thread::sleep(Duration::from_millis(40));
+        let _ = cluster.wait_movers_drained(Duration::from_secs(2));
     }
 
     // Invariants 5–7 (proactive recovery only, and moot after a NoFt
@@ -998,6 +1123,21 @@ pub struct DegradedWindowReport {
 /// the proactive engine re-homes the whole range during the gap and the
 /// epoch runs warm. `cold_reads` and `epoch_p99` capture exactly that.
 pub fn run_degraded_window_probe(mode: RecoveryMode, seed: u64) -> DegradedWindowReport {
+    run_degraded_window_probe_on(mode, seed, ClockHandle::wall())
+}
+
+/// [`run_degraded_window_probe`] in virtual time: deterministic detect /
+/// quiesce / epoch numbers for the same seed, in wall milliseconds.
+pub fn run_degraded_window_probe_virtual(mode: RecoveryMode, seed: u64) -> DegradedWindowReport {
+    ftc_time::with_virtual(|clock| run_degraded_window_probe_on(mode, seed, clock))
+}
+
+/// [`run_degraded_window_probe`] on an injected clock.
+pub fn run_degraded_window_probe_on(
+    mode: RecoveryMode,
+    seed: u64,
+    clock: ClockHandle,
+) -> DegradedWindowReport {
     let nodes = 4;
     let files = 64;
     let file_size = 48;
@@ -1021,7 +1161,7 @@ pub fn run_degraded_window_probe(mode: RecoveryMode, seed: u64) -> DegradedWindo
         warm_p99: None,
         violations: Vec::new(),
     };
-    let cluster = match Cluster::start(cfg) {
+    let cluster = match Cluster::start_with_clock(cfg, clock.clone()) {
         Ok(c) => c,
         Err(e) => {
             report
@@ -1055,16 +1195,16 @@ pub fn run_degraded_window_probe(mode: RecoveryMode, seed: u64) -> DegradedWindo
     // Warm pass: every read verified, latencies kept for scale.
     let mut warm_lats = Vec::with_capacity(paths.len());
     for (i, p) in paths.iter().enumerate() {
-        let t0 = Instant::now();
+        let t0 = clock.now();
         let result = client.read(p);
-        warm_lats.push(t0.elapsed());
+        warm_lats.push(clock.since(t0));
         match result {
             Ok(bytes) if bytes == truth[i] => {}
             _ => report.violations.push(format!("warm read of {p} wrong")),
         }
     }
     report.warm_p99 = percentile_99(&warm_lats);
-    std::thread::sleep(Duration::from_millis(60));
+    let _ = cluster.wait_movers_drained(Duration::from_secs(2));
 
     let victim = NodeId(1);
     let lost: Vec<&String> = paths
@@ -1082,41 +1222,41 @@ pub fn run_degraded_window_probe(mode: RecoveryMode, seed: u64) -> DegradedWindo
 
     // Kill, then drive detection with a single probe key so at most one
     // lost key is re-homed by demand before the compute gap.
-    let killed_at = Instant::now();
+    let killed_at = clock.now();
     cluster.kill(victim);
     while client.live_nodes().contains(&victim) {
-        if killed_at.elapsed() > Duration::from_secs(10) {
+        if clock.since(killed_at) > Duration::from_secs(10) {
             cluster.shutdown();
             report.violations.push("victim was never declared".into());
             return report;
         }
         let _ = client.read(probe_key);
     }
-    report.detect = killed_at.elapsed();
+    report.detect = clock.since(killed_at);
 
     // Compute phase: the job crunches, the cluster idles. A proactive
     // engine re-homes the dead range now; a lazy one waits for demand.
     if let Some(engine) = client.recovery() {
         if engine.wait_quiesced(QUIESCE_DEADLINE) {
-            report.quiesce = Some(killed_at.elapsed());
+            report.quiesce = Some(clock.since(killed_at));
         } else {
             report.violations.push(format!(
                 "engine failed to quiesce within {QUIESCE_DEADLINE:?}"
             ));
         }
     }
-    let elapsed = killed_at.elapsed();
+    let elapsed = clock.since(killed_at);
     if elapsed < PROBE_COMPUTE_GAP {
-        std::thread::sleep(PROBE_COMPUTE_GAP - elapsed);
+        clock.sleep(PROBE_COMPUTE_GAP - elapsed);
     }
 
     // Next epoch: sweep everything; count the reads that stalled on PFS.
     cluster.pfs().reset_read_counters();
     let mut epoch_lats = Vec::with_capacity(paths.len());
     for (i, p) in paths.iter().enumerate() {
-        let t0 = Instant::now();
+        let t0 = clock.now();
         let result = client.read(p);
-        epoch_lats.push(t0.elapsed());
+        epoch_lats.push(clock.since(t0));
         match result {
             Ok(bytes) if bytes == truth[i] => {}
             _ => report
@@ -1337,6 +1477,43 @@ mod tests {
         // compute gap, so the next epoch runs warm.
         assert_eq!(pro.cold_reads, 0, "proactive pre-positions every key");
         assert!(pro.quiesce.is_some(), "engine quiesced inside the gap");
+    }
+
+    #[test]
+    fn virtual_campaign_replays_byte_identically() {
+        let plan = plan_with_one_kill();
+        let opts = CampaignOptions {
+            recovery: RecoveryMode::Proactive,
+            ..Default::default()
+        };
+        let a = run_campaign_virtual(FtPolicy::RingRecache, &plan, opts);
+        let b = run_campaign_virtual(FtPolicy::RingRecache, &plan, opts);
+        assert!(a.passed(), "virtual campaign failed: {a}");
+        assert_eq!(
+            a.render(),
+            b.render(),
+            "same seed on the virtual clock must replay byte-identically"
+        );
+        // Latency stamps are simulated, not measured: they exist and are
+        // identical across the replays.
+        assert_eq!(a.detection_latencies(), b.detection_latencies());
+        assert!(a.warm_read_p99.is_some());
+    }
+
+    #[test]
+    fn scale_sweep_plans_are_well_formed() {
+        for (nodes, kills) in [(2u32, 1usize), (64, 2), (256, 8)] {
+            let plan = ChaosPlan::scenario_scale_sweep(9, nodes, 128);
+            assert_eq!(plan, ChaosPlan::scenario_scale_sweep(9, nodes, 128));
+            assert_eq!(plan.nodes, nodes);
+            assert_eq!(plan.events.len(), kills);
+            for ev in &plan.events {
+                match ev.action {
+                    ChaosAction::Kill(n) => assert_ne!(n, plan.clean_node),
+                    other => panic!("scale sweep emitted {other:?}"),
+                }
+            }
+        }
     }
 
     #[test]

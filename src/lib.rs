@@ -51,13 +51,14 @@ pub use ftc_obs as obs;
 pub use ftc_sim as sim;
 pub use ftc_slurm as slurm;
 pub use ftc_storage as storage;
+pub use ftc_time as time;
 pub use ftc_train as train;
 
 /// The names most programs need.
 pub mod prelude {
     pub use crate::chaos::{
         run_campaign, run_campaign_all_policies, run_campaign_sabotaged, run_campaign_traced,
-        CampaignReport, ChaosPlan,
+        run_campaign_virtual, CampaignReport, ChaosPlan,
     };
     pub use ftc_core::{
         Cluster, ClusterConfig, FtConfig, FtPolicy, HvacClient, PlacementKind, ReadError, ReadVia,
@@ -66,5 +67,6 @@ pub mod prelude {
     pub use ftc_obs::{ObsHub, Phase as ObsPhase};
     pub use ftc_sim::{FaultEvent, SimCalibration, SimCluster, SimReport, SimWorkload};
     pub use ftc_storage::{synth_bytes, verify_synth};
+    pub use ftc_time::{with_virtual, Clock, ClockHandle, VirtualClock};
     pub use ftc_train::{Dataset, FaultSpec, TrainConfig, TrainDriver, TrainReport};
 }

@@ -7,7 +7,8 @@
 //! just as flaky integration tests.
 
 use ft_cache::chaos::{
-    run_campaign, run_campaign_all_policies, run_campaign_sabotaged, ChaosAction, ChaosPlan,
+    run_campaign, run_campaign_all_policies, run_campaign_sabotaged, run_campaign_virtual,
+    CampaignOptions, ChaosAction, ChaosPlan,
 };
 use ft_cache::core::FtPolicy;
 
@@ -88,13 +89,18 @@ fn forced_invariant_violation_emits_flight_recorder_dump() {
 fn degraded_but_alive_node_is_never_declared_failed() {
     // Hunt a few seeds for plans that actually contain a degrade-only
     // node, and check invariant 4 holds under the most aggressive policy.
+    // Runs on the virtual clock: the degrade delay is 30–70% of the TTL
+    // by construction, so in simulated time it can *never* cross the
+    // timeout — on the wall clock, host scheduling noise on a loaded CI
+    // box occasionally pushed a 70%-delayed reply over the TTL and
+    // flaked this test with a legitimate-looking false positive.
     let mut checked = 0;
     for seed in 0..64u64 {
         let plan = ChaosPlan::generate(seed);
         if plan.degraded_only.is_empty() {
             continue;
         }
-        let report = run_campaign(FtPolicy::RingRecache, &plan);
+        let report = run_campaign_virtual(FtPolicy::RingRecache, &plan, CampaignOptions::default());
         assert!(report.passed(), "campaign failed: {report}");
         checked += 1;
         if checked == 3 {

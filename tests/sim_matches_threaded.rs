@@ -1,7 +1,10 @@
-//! Integration: the discrete-event simulator and the threaded cluster run
-//! the same placement/policy code — on identical scenarios their *logical*
-//! outcomes (who refetches what from the PFS) must agree, even though one
-//! measures virtual time and the other wall time.
+//! Integration: three executions of the same scenario must agree at the
+//! invariant level (who refetches what from the PFS):
+//!
+//! - the **threaded** cluster on the wall clock,
+//! - the *same real stack* on a `VirtualClock` (cooperative, simulated
+//!   time — every sleep, timeout and backoff is virtual),
+//! - the calibrated **discrete-event simulator** fast path.
 
 use ft_cache::prelude::*;
 use std::time::Duration;
@@ -9,10 +12,11 @@ use std::time::Duration;
 const NODES: u32 = 6;
 const FILES: u32 = 60;
 
-/// Run the threaded cluster: warm epoch, kill node, two more epochs;
-/// return post-failure PFS reads.
-fn threaded_post_failure_reads(policy: FtPolicy, victim: NodeId) -> u64 {
-    let cluster = Cluster::start(ClusterConfig::small(NODES, policy)).expect("boot cluster");
+/// Run the real cluster on the given clock: warm epoch, kill node, three
+/// more epochs; return post-failure PFS reads.
+fn post_failure_reads_on(policy: FtPolicy, victim: NodeId, clock: ClockHandle) -> u64 {
+    let cluster = Cluster::start_with_clock(ClusterConfig::small(NODES, policy), clock)
+        .expect("boot cluster");
     // Identical paths to the simulator's canonical naming.
     let dataset = Dataset::tiny(FILES, 64);
     let paths: Vec<String> = (0..FILES).map(|i| dataset.train_path(i)).collect();
@@ -23,18 +27,28 @@ fn threaded_post_failure_reads(policy: FtPolicy, victim: NodeId) -> u64 {
     for p in &paths {
         client.read(p).unwrap();
     }
-    std::thread::sleep(Duration::from_millis(80));
+    assert!(cluster.wait_movers_drained(Duration::from_secs(5)));
     cluster.kill(victim);
     cluster.pfs().reset_read_counters();
     for _ in 0..3 {
         for p in &paths {
             client.read(p).unwrap();
         }
-        std::thread::sleep(Duration::from_millis(50));
+        assert!(cluster.wait_movers_drained(Duration::from_secs(5)));
     }
     let reads = cluster.pfs().total_reads();
     cluster.shutdown();
     reads
+}
+
+/// The real stack on the wall clock.
+fn threaded_post_failure_reads(policy: FtPolicy, victim: NodeId) -> u64 {
+    post_failure_reads_on(policy, victim, ClockHandle::wall())
+}
+
+/// The same real stack, cooperatively scheduled in virtual time.
+fn virtual_post_failure_reads(policy: FtPolicy, victim: NodeId) -> u64 {
+    with_virtual(|clock| post_failure_reads_on(policy, victim, clock))
 }
 
 /// Same scenario in the simulator; returns post-cold PFS reads.
@@ -63,6 +77,7 @@ fn ring_recache_traffic_is_bounded_in_both_modes() {
     // detection window — never the whole dataset per epoch.
     let victim = NodeId(2);
     let threaded = threaded_post_failure_reads(FtPolicy::RingRecache, victim);
+    let virtualized = virtual_post_failure_reads(FtPolicy::RingRecache, victim);
     let simulated = simulated_post_failure_reads(FtPolicy::RingRecache, victim);
     // Both modes use the same ring (same hashes, same vnodes), so the
     // lost-file count is identical; allow the detection-window slack.
@@ -71,7 +86,11 @@ fn ring_recache_traffic_is_bounded_in_both_modes() {
         .filter(|&i| ring.owner(&Dataset::tiny(FILES, 64).train_path(i)) == Some(victim))
         .count() as u64;
     assert!(lost > 0);
-    for (label, reads) in [("threaded", threaded), ("simulated", simulated)] {
+    for (label, reads) in [
+        ("threaded", threaded),
+        ("virtual", virtualized),
+        ("simulated", simulated),
+    ] {
         assert!(
             reads >= lost,
             "{label}: every lost file must be refetched at least once ({reads} < {lost})"
@@ -92,9 +111,14 @@ fn pfs_redirect_traffic_scales_with_epochs_in_both_modes() {
     assert!(modulo > 0);
 
     let threaded = threaded_post_failure_reads(FtPolicy::PfsRedirect, victim);
+    let virtualized = virtual_post_failure_reads(FtPolicy::PfsRedirect, victim);
     let simulated = simulated_post_failure_reads(FtPolicy::PfsRedirect, victim);
-    // 3 post-failure epochs in both rigs → ≈ 3 × lost reads.
-    for (label, reads) in [("threaded", threaded), ("simulated", simulated)] {
+    // 3 post-failure epochs in every rig → ≈ 3 × lost reads.
+    for (label, reads) in [
+        ("threaded", threaded),
+        ("virtual", virtualized),
+        ("simulated", simulated),
+    ] {
         assert!(
             reads >= modulo * 3,
             "{label}: redirect pays per epoch ({reads} < 3x{modulo})"
@@ -108,6 +132,10 @@ fn pfs_redirect_traffic_scales_with_epochs_in_both_modes() {
     // 3 x lost; the simulator re-runs the victim epoch's aborted attempt,
     // whose detection-window reads add at most world x timeout_limit.
     assert_eq!(threaded, modulo * 3, "threaded redirect = once per epoch");
+    assert_eq!(
+        virtualized, threaded,
+        "the virtual-clock run executes the same code path read for read"
+    );
     assert!(
         simulated >= threaded && simulated <= threaded + u64::from(NODES) * 3,
         "simulated ({simulated}) must equal threaded ({threaded}) plus a bounded \
