@@ -32,5 +32,7 @@ pub mod hb;
 pub mod lint;
 
 pub use fsm::{check_fsm, FsmConfig, FsmReport};
-pub use hb::{check_trace, forge_stale_epoch_read, RaceFinding, RaceKind};
+pub use hb::{
+    check_trace, forge_retired_policy_read, forge_stale_epoch_read, RaceFinding, RaceKind,
+};
 pub use lint::{lint_source, lint_workspace, LintFinding};

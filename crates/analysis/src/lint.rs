@@ -1,11 +1,13 @@
 //! Repo-specific source lints, enforced in CI alongside clippy.
 //!
-//! Four rules, each encoding a convention this codebase adopted after
+//! Five rules, each encoding a convention this codebase adopted after
 //! real incidents (panicking boot paths mid-campaign, a catch-all arm
 //! that silently diverted NoFT reads to the PFS, an unjustified
 //! `Relaxed` snapshot that could report more completions than
-//! initiations, and bare wall-clock calls that made whole subsystems
-//! impossible to run deterministically in virtual time):
+//! initiations, bare wall-clock calls that made whole subsystems
+//! impossible to run deterministically in virtual time, and recovery
+//! tunables scattered as magic numbers that the runtime policy
+//! controller could not govern):
 //!
 //! * **unwrap** — no `.unwrap()` / `.expect(` in non-test library code.
 //!   Typed errors or destructuring `let-else` are required; a deliberate
@@ -25,6 +27,14 @@
 //!   `VirtualClock`. The clock crate itself and the non-protocol crates
 //!   (DES simulator, training driver, slurm shim, this crate) are exempt;
 //!   a deliberate exception carries `lint:allow(wall-clock)`.
+//! * **policy-const** — in `crates/core` and the umbrella `src/`, the
+//!   recovery-policy tunables (`recache_rate`, `recache_burst`,
+//!   `replication`) must not be initialised from numeric literals outside
+//!   `policy.rs` / `controller.rs`: every tunable flows through the named
+//!   defaults in `ftc_core::policy` or the controller's config surface,
+//!   so a runtime policy switch governs *all* of them. A deliberate
+//!   exception (e.g. a sabotage harness zeroing the bucket) carries
+//!   `lint:allow(policy-const)`.
 //!
 //! There is no `syn` in this build environment, so the scanner is a
 //! hand-rolled lexer: it strips line/block comments (keeping their text
@@ -47,7 +57,7 @@ pub struct LintFinding {
     /// 1-based line number.
     pub line: usize,
     /// Which rule fired (`"unwrap"`, `"err-catchall"`, `"ordering"`,
-    /// `"wall-clock"`).
+    /// `"wall-clock"`, `"policy-const"`).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -96,6 +106,54 @@ const WALL_CLOCK_CALLS: &[&str] = &[
 fn wall_clock_scoped(label: &Path) -> bool {
     let l = label.to_string_lossy().replace('\\', "/");
     WALL_CLOCK_SCOPE.iter().any(|p| l.starts_with(p))
+}
+
+/// Path prefixes where the `policy-const` rule applies: the core crate
+/// (where the tunables are consumed) and the umbrella harness. The two
+/// files that *define* the tunables are exempt by name.
+const POLICY_CONST_SCOPE: &[&str] = &["crates/core/", "src/"];
+
+/// The recovery-policy tunables the `policy-const` rule guards.
+const POLICY_CONST_FIELDS: &[&str] = &["recache_rate", "recache_burst", "replication"];
+
+/// True when `label` falls under the policy-const rule's scope.
+fn policy_const_scoped(label: &Path) -> bool {
+    let l = label.to_string_lossy().replace('\\', "/");
+    POLICY_CONST_SCOPE.iter().any(|p| l.starts_with(p))
+        && !(l.ends_with("policy.rs") || l.ends_with("controller.rs"))
+}
+
+/// `recache_rate: 50_000.0` / `replication: 2` … — a policy tunable
+/// initialised from a numeric literal in place. Type ascriptions
+/// (`replication: u32`) and named constants do not match.
+fn has_policy_const(code: &str) -> Option<&'static str> {
+    let bytes = code.as_bytes();
+    for field in POLICY_CONST_FIELDS {
+        let mut search = 0;
+        while let Some(pos) = code[search..].find(field) {
+            let start = search + pos;
+            search = start + field.len();
+            // Word boundary on the left: `max_replication` must not match.
+            if start > 0 {
+                let prev = bytes[start - 1] as char;
+                if prev.is_alphanumeric() || prev == '_' {
+                    continue;
+                }
+            }
+            let rest = code[start + field.len()..].trim_start();
+            let Some(rest) = rest.strip_prefix(':') else {
+                continue;
+            };
+            // `::` is a path segment, not a field init.
+            if rest.starts_with(':') {
+                continue;
+            }
+            if rest.trim_start().starts_with(|c: char| c.is_ascii_digit()) {
+                return Some(field);
+            }
+        }
+    }
+    None
 }
 
 /// Lint every library source file under `root` (the workspace root).
@@ -150,6 +208,7 @@ pub fn lint_source(label: &Path, source: &str) -> Vec<LintFinding> {
     let lexed = lex(source);
     let mut findings = Vec::new();
     let wall_scoped = wall_clock_scoped(label);
+    let policy_scoped = policy_const_scoped(label);
 
     let waived = |rule: &str, line_idx: usize| -> bool {
         let marker = format!("lint:allow({rule})");
@@ -198,6 +257,21 @@ pub fn lint_source(label: &Path, source: &str) -> Vec<LintFinding> {
                             "direct wall-clock call `{call}..)` in a protocol layer; \
                              go through the injected ftc_time::ClockHandle, or waive \
                              with lint:allow(wall-clock)"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if policy_scoped {
+            if let Some(field) = has_policy_const(code) {
+                if !waived("policy-const", i) {
+                    findings.push(LintFinding {
+                        file: label.to_path_buf(),
+                        line: line_no,
+                        rule: "policy-const",
+                        message: format!(
+                            "hard-coded recovery-policy tunable `{field}`; route it                              through the named defaults in ftc_core::policy or the                              controller's config surface, or waive with                              lint:allow(policy-const)"
                         ),
                     });
                 }
@@ -637,6 +711,48 @@ mod tests {
         let src =
             "// lint:allow(wall-clock): process boot stamp, never virtualized\nfn f() { let t = Instant::now(); }\n";
         assert!(lint_source(Path::new("crates/core/src/server.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn policy_const_literal_is_flagged_in_scope() {
+        let src = "fn f() { let c = RecoveryConfig { recache_rate: 100.0, ..d }; }\n";
+        let f = lint_source(Path::new("crates/core/src/recovery.rs"), src);
+        assert_eq!(rules(&f), vec!["policy-const"]);
+        let src = "fn f() { cfg.quiet = PolicyDecision { replication: 2, ..q }; }\n";
+        assert_eq!(
+            rules(&lint_source(Path::new("src/chaos.rs"), src)),
+            vec!["policy-const"]
+        );
+    }
+
+    #[test]
+    fn policy_const_defining_files_are_exempt() {
+        let src = "pub const X: f64 = 1.0; fn f() { let c = C { recache_burst: 512 }; }\n";
+        assert!(lint_source(Path::new("crates/core/src/policy.rs"), src).is_empty());
+        assert!(lint_source(Path::new("crates/core/src/controller.rs"), src).is_empty());
+        // Out-of-scope crates own their literals.
+        assert!(lint_source(Path::new("crates/sim/src/lib.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn policy_const_ignores_types_constants_and_lookalikes() {
+        for src in [
+            "pub struct C { pub replication: u32 }\n",
+            "fn f() { C { replication: DEFAULT_REPLICATION } }\n",
+            "fn f() { C { max_replication: 3 } }\n",
+            "fn f() { crate::policy::replication::tune() }\n",
+        ] {
+            assert!(
+                lint_source(Path::new("crates/core/src/client.rs"), src).is_empty(),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn policy_const_waiver_suppresses() {
+        let src = "// lint:allow(policy-const): sabotage mode starves the bucket\nfn f() { C { recache_rate: 0.0 } }\n";
+        assert!(lint_source(Path::new("src/chaos.rs"), src).is_empty());
     }
 
     #[test]

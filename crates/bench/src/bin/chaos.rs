@@ -4,7 +4,7 @@
 //! degraded-but-alive nodes; and under `--recovery proactive`: no stale
 //! serving, recovery quiescence, no foreground starvation).
 //!
-//! `cargo run -p ftc-bench --release --bin chaos [--seed 1] [--campaigns 50] [--policy ring|pfs|noft] [--recovery lazy|proactive] [--scenarios] [--compare] [--sabotage] [--sabotage-recovery] [--virtual [--nodes 128] [--files 256]]`
+//! `cargo run -p ftc-bench --release --bin chaos [--seed 1] [--campaigns 50] [--policy ring|pfs|noft] [--recovery lazy|proactive|adaptive] [--scenarios] [--compare] [--compare-adaptive] [--adaptive [--virtual]] [--sabotage] [--sabotage-recovery] [--sabotage-flap] [--virtual [--nodes 128] [--files 256]]`
 //!
 //! The fault schedule and every verdict are pure functions of the seed:
 //! `chaos --seed N` replays the same PASS/FAIL outcome byte-identically.
@@ -34,8 +34,25 @@
 //! rendering to stdout — every latency included. Same seed ⇒
 //! byte-identical output; CI runs it twice and diffs. Exits non-zero on
 //! any invariant violation.
+//!
+//! `--adaptive` runs the shifting-intensity scenario (quiet pass →
+//! fault burst → correlated kill) under the runtime policy controller,
+//! traced, on the virtual clock, and prints the deterministic render —
+//! including the `policy:` line (switches, suppressed flaps, retired
+//! reads). Exits non-zero on a violation, a retired-policy-epoch read,
+//! or a controller that never switched. `--sabotage-flap` is the flap
+//! self-test: the controller is forced to attempt the opposite posture
+//! every tick, and the run must show suppressed flaps while staying
+//! invariant-clean.
+//!
+//! `--compare-adaptive` runs the shifting-intensity scenario for each
+//! seed under every static posture × replication contender plus the
+//! adaptive controller, prints the comparison table, and exits non-zero
+//! unless adaptive matches or beats every static contender on both the
+//! degraded-window p99 and the faulted-read p99 (5% + 1ms tolerance).
 
 use ft_cache::chaos::{
+    adaptive_losses, compare_adaptive_contenders, compare_label, run_campaign_compare_adaptive,
     run_campaign_recovery_sabotaged, run_campaign_sabotaged, run_campaign_virtual,
     run_campaign_with, run_degraded_window_probe, CampaignOptions, CampaignReport, ChaosAction,
     ChaosPlan, DegradedWindowReport, RecoveryMode,
@@ -157,6 +174,113 @@ fn run_virtual_sweep(seed: u64, nodes: u32, files: usize) -> ! {
     std::process::exit(0);
 }
 
+/// `--adaptive`: the shifting-intensity scenario under the runtime
+/// policy controller, traced on the virtual clock. Stdout is the plan
+/// summary plus the deterministic render (policy line included), so CI
+/// diffs two runs of the same seed byte-for-byte. With `sabotage_flap`
+/// the run doubles as the flap self-test: the suppressed-flap counter
+/// must move while every invariant still holds.
+fn run_adaptive_campaign(seed: u64, sabotage_flap: bool) -> ! {
+    let plan = ChaosPlan::scenario_shifting_intensity(seed);
+    println!("seed={} plan: {}", plan.seed, plan.summary());
+    let report = run_campaign_virtual(
+        FtPolicy::RingRecache,
+        &plan,
+        CampaignOptions {
+            recovery: RecoveryMode::Adaptive,
+            sabotage_flap,
+            trace: true,
+            ..Default::default()
+        },
+    );
+    print!("{}", report.render());
+    if !report.passed() {
+        if let Some(dump) = &report.flight_dump {
+            eprintln!("{dump}");
+        }
+        std::process::exit(1);
+    }
+    if report.retired_policy_reads > 0 {
+        eprintln!(
+            "FAIL: {} read(s) attributed to a retired policy epoch",
+            report.retired_policy_reads
+        );
+        std::process::exit(1);
+    }
+    if sabotage_flap {
+        if report.policy_flaps_suppressed == 0 {
+            eprintln!("FAIL: flap sabotage never hit the cooldown suppressor");
+            std::process::exit(1);
+        }
+        eprintln!("flap self-test OK: cooldown suppressed the forced flapping");
+    } else if report.policy_switches == 0 {
+        eprintln!("FAIL: the fault burst never moved the controller off the quiet posture");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// `--compare-adaptive`: shifting-intensity campaigns for each seed under
+/// every static contender plus the adaptive controller, with the
+/// matches-or-beats assertion on both headline metrics.
+fn run_compare_adaptive(base_seed: u64, campaigns: u64) -> ! {
+    header(&format!(
+        "chaos --compare-adaptive — adaptive vs static postures, {campaigns} campaign(s) from seed {base_seed}"
+    ));
+    let contenders = compare_adaptive_contenders();
+    let mut per_contender: Vec<ModeAgg> = contenders.iter().map(|_| ModeAgg::default()).collect();
+    let mut losses = 0u64;
+    let mut switches = 0u64;
+    let mut retired = 0u64;
+    for offset in 0..campaigns {
+        let seed = base_seed + offset;
+        let reports = run_campaign_compare_adaptive(seed);
+        let adaptive = reports.last().expect("adaptive contender");
+        switches += adaptive.policy_switches;
+        retired += adaptive.retired_policy_reads;
+        for ((&(mode, rf), report), agg) in contenders
+            .iter()
+            .zip(&reports)
+            .zip(per_contender.iter_mut())
+        {
+            println!("  {report}");
+            if !report.passed() {
+                if let Some(dump) = &report.flight_dump {
+                    println!("{dump}");
+                }
+            }
+            agg.absorb(report);
+            if mode == RecoveryMode::Adaptive {
+                continue;
+            }
+            let label = compare_label(mode, rf);
+            for metric in adaptive_losses(adaptive, report) {
+                println!("  LOSS: adaptive {metric} worse than {label} (seed {seed})");
+                losses += 1;
+            }
+        }
+    }
+    println!(
+        "\n{:<14} {:>5} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "contender", "kills", "rec p50", "rec p99", "quiesce", "warm rd p99", "fault rd p99"
+    );
+    for (&(mode, rf), agg) in contenders.iter().zip(&per_contender) {
+        println!("{}", agg.row(&compare_label(mode, rf)));
+    }
+    println!(
+        "\nadaptive: switches={switches} retired_policy_reads={retired} across {campaigns} campaign(s)"
+    );
+    let failures: u64 = per_contender.iter().map(|a| a.failures).sum();
+    if failures > 0 || losses > 0 || retired > 0 || switches == 0 {
+        println!(
+            "\nFAIL: failures={failures} losses={losses} retired_reads={retired} switches={switches}"
+        );
+        std::process::exit(1);
+    }
+    println!("\nadaptive matched or beat every static contender");
+    std::process::exit(0);
+}
+
 /// `--scenarios`: the three named recovery scenarios under proactive
 /// recovery. Exits non-zero on any violation.
 fn run_scenarios(base_seed: u64) -> ! {
@@ -235,7 +359,7 @@ impl ModeAgg {
 
     fn row(&self, mode: &str) -> String {
         format!(
-            "{mode:<10} {:>5} {:>10} {:>10} {:>10} {:>12} {:>12}",
+            "{mode:<14} {:>5} {:>10} {:>10} {:>10} {:>12} {:>12}",
             self.recovery.len(),
             fmt_ms(percentile(&self.recovery, 0.50)),
             fmt_ms(percentile(&self.recovery, 0.99)),
@@ -278,7 +402,7 @@ fn run_compare(base_seed: u64, campaigns: u64) -> ! {
         }
     }
     println!(
-        "\n{:<10} {:>5} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "\n{:<14} {:>5} {:>10} {:>10} {:>10} {:>12} {:>12}",
         "mode", "kills", "rec p50", "rec p99", "quiesce", "warm rd p99", "fault rd p99"
     );
     println!("{}", lazy.row("lazy"));
@@ -339,6 +463,15 @@ fn run_compare(base_seed: u64, campaigns: u64) -> ! {
 fn main() {
     let base_seed: u64 = arg_or("--seed", 1);
     let campaigns: u64 = arg_or("--campaigns", 1);
+    if has_flag("--sabotage-flap") {
+        run_adaptive_campaign(base_seed, true);
+    }
+    if has_flag("--adaptive") {
+        run_adaptive_campaign(base_seed, false);
+    }
+    if has_flag("--compare-adaptive") {
+        run_compare_adaptive(base_seed, campaigns);
+    }
     if has_flag("--virtual") {
         run_virtual_sweep(base_seed, arg_or("--nodes", 128), arg_or("--files", 256));
     }
@@ -373,9 +506,10 @@ fn main() {
         .as_deref()
     {
         Some("proactive") => RecoveryMode::Proactive,
+        Some("adaptive") => RecoveryMode::Adaptive,
         Some("lazy") | None => RecoveryMode::Lazy,
         Some(other) => {
-            eprintln!("unknown --recovery {other:?} (expected lazy|proactive)");
+            eprintln!("unknown --recovery {other:?} (expected lazy|proactive|adaptive)");
             std::process::exit(2);
         }
     };

@@ -8,12 +8,16 @@
 //!
 //! `cargo run -p ftc-bench --release --bin ftc-top -- [--once] [--prom]
 //!   [--nodes 4] [--files 48] [--passes 3] [--kill 1] [--kill-at 1]
-//!   [--no-kill] [--seed 7]`
+//!   [--no-kill] [--adaptive] [--seed 7]`
 //!
 //! `--once` renders a single frame after the workload finishes (CI
 //! mode); the default renders a frame after every pass, clearing the
 //! screen between frames. `--prom` additionally dumps the Prometheus
-//! text exposition after the final frame.
+//! text exposition after the final frame. `--adaptive` runs the reads
+//! through a controller-governed client (recovery engine + runtime
+//! policy controller) and adds a `policy:` row — epoch, posture,
+//! replication factor, recache rate, failure-rate estimate, switches —
+//! to every frame.
 
 use ftc_bench::{arg_or, has_flag};
 use ftc_core::{Cluster, ClusterConfig, FtPolicy};
@@ -101,6 +105,25 @@ fn render(cluster: &Cluster, nodes: u32, pass_label: &str) {
         counter(&samples, "ftc_client_retries_total", None),
         counter(&samples, "ftc_client_nodes_declared_failed_total", None),
     );
+    // A live controller pushes its gauges every tick; epoch 0 means no
+    // controller ever booted, so the row only appears under --adaptive.
+    let policy_epoch = gauge(&samples, "ftc_policy_epoch", None);
+    if policy_epoch > 0.0 {
+        println!(
+            "policy: epoch={policy_epoch:.0} posture={} rf={:.0} recache_rate={:.0}/s \
+             failure_rate={:.1}/ks switches={} flaps_suppressed={}",
+            if gauge(&samples, "ftc_policy_proactive", None) > 0.0 {
+                "proactive"
+            } else {
+                "lazy"
+            },
+            gauge(&samples, "ftc_policy_replication", None),
+            gauge(&samples, "ftc_policy_recache_rate", None),
+            gauge(&samples, "ftc_policy_failure_rate_milli", None),
+            counter(&samples, "ftc_policy_switches_total", None),
+            counter(&samples, "ftc_policy_flap_suppressed_total", None),
+        );
+    }
     println!();
     println!("  node   state  hits     misses   hit%    objects  bytes");
     for i in 0..nodes {
@@ -172,7 +195,17 @@ fn main() {
         }
     };
     let paths = cluster.stage_dataset("top", files, 64);
-    let client = cluster.client(0);
+    let client = if has_flag("--adaptive") {
+        match cluster.client_adaptive(0, Default::default(), Default::default()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("adaptive client failed to start: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        cluster.client(0)
+    };
 
     for pass in 0..=passes {
         if !no_kill && pass == kill_at {

@@ -16,6 +16,7 @@
 //! fault-tolerant policies redirect *the affected request* to the PFS so
 //! training never stalls on detection, mirroring the artifact's client.
 
+use crate::controller::{ControllerConfig, LivePolicy, PolicyController, PolicySignals};
 use crate::detector::{FailureDetector, Verdict};
 use crate::metrics::ClientMetrics;
 use crate::policy::{FtConfig, FtPolicy};
@@ -125,6 +126,15 @@ pub struct HvacClient {
     /// Background recovery engine (proactive recache, hinted handoff,
     /// warm rejoin). Started once via [`Self::enable_recovery`].
     recovery: OnceLock<Arc<RecoveryEngine>>,
+    /// Runtime-mutable policy knobs (replication factor, recovery
+    /// posture, recache rate), consulted at use time. Mutated only by a
+    /// [`PolicyController`]; static clients never see it change.
+    live: Arc<LivePolicy>,
+    /// Detector signal counters the policy controller delta-polls.
+    signals: Arc<PolicySignals>,
+    /// Adaptive policy controller. Started once via
+    /// [`Self::enable_controller`].
+    controller: OnceLock<Arc<PolicyController>>,
 }
 
 impl HvacClient {
@@ -150,6 +160,12 @@ impl HvacClient {
             obs: OnceLock::new(),
             key_index: KeyIndex::new(),
             recovery: OnceLock::new(),
+            live: Arc::new(LivePolicy::new(
+                config.replication,
+                crate::policy::DEFAULT_RECACHE_RATE,
+            )),
+            signals: Arc::new(PolicySignals::default()),
+            controller: OnceLock::new(),
         }
     }
 
@@ -177,6 +193,44 @@ impl HvacClient {
     /// The recovery engine, if enabled.
     pub fn recovery(&self) -> Option<&Arc<RecoveryEngine>> {
         self.recovery.get()
+    }
+
+    /// Start the adaptive [`PolicyController`] for this client. Call
+    /// after [`attach_obs`](Self::attach_obs) (for the decision gauges)
+    /// and [`enable_recovery`](Self::enable_recovery) (so rate retunes
+    /// reach the engine). First call wins; later calls return the
+    /// existing controller. Errors only if the worker cannot be spawned.
+    pub fn enable_controller(
+        self: &Arc<Self>,
+        config: ControllerConfig,
+    ) -> Result<Arc<PolicyController>, crate::error::CoreError> {
+        if let Some(c) = self.controller.get() {
+            return Ok(Arc::clone(c));
+        }
+        let controller = PolicyController::start(self, config)?;
+        match self.controller.set(Arc::clone(&controller)) {
+            Ok(()) => Ok(controller),
+            // A racing enable won; ours stops on drop and the winner is
+            // returned. The Err payload is our rejected Arc back.
+            // lint:allow(err-catchall)
+            Err(_) => Ok(Arc::clone(self.controller.get().unwrap_or(&controller))),
+        }
+    }
+
+    /// The policy controller, if enabled.
+    pub fn controller(&self) -> Option<&Arc<PolicyController>> {
+        self.controller.get()
+    }
+
+    /// The runtime-mutable policy knobs shared with the controller and
+    /// the recovery engine.
+    pub fn live_policy(&self) -> &Arc<LivePolicy> {
+        &self.live
+    }
+
+    /// The detector signal counters the controller delta-polls.
+    pub fn policy_signals(&self) -> &Arc<PolicySignals> {
+        &self.signals
     }
 
     /// The client's observed key→owner index.
@@ -389,6 +443,13 @@ impl HvacClient {
                         owner,
                         epoch: view_epoch,
                     });
+                    // Attribute the read to the policy epoch current at
+                    // completion; the race detector proves the record is
+                    // ordered against every PolicyChange.
+                    self.trace_with(|| TraceEventKind::PolicyRead {
+                        key: path.to_owned(),
+                        policy_epoch: self.live.epoch(),
+                    });
                     if let Some(dead) = failed_over_from.take() {
                         // The dead node's keys are serving from a survivor
                         // again: its degraded window (for this client) is
@@ -409,8 +470,10 @@ impl HvacClient {
                             // Write-through replication: the file just
                             // entered the cache tier; push copies to the
                             // ring successors so even the owner's failure
-                            // needs no PFS fallback.
-                            if self.config.replication > 1 {
+                            // needs no PFS fallback. The factor is read
+                            // from the live policy so a runtime RF change
+                            // takes effect without a client restart.
+                            if self.live.replication() > 1 {
                                 self.replicate(path, &bytes, owner);
                             }
                             ReadVia::ServerPfsFetch(owner)
@@ -443,12 +506,14 @@ impl HvacClient {
                         .record_timeout_at(owner, self.clock.now());
                     match verdict {
                         Verdict::Suspect { count } => {
+                            self.signals.note_suspect();
                             self.trace_with(|| TraceEventKind::Suspect { node: owner, count });
                             self.obs_phase(owner, ftc_obs::Phase::Suspect, || {
                                 format!("{owner} timeout #{count}")
                             });
                         }
                         Verdict::JustFailed => {
+                            self.signals.note_declare();
                             self.trace_with(|| TraceEventKind::Declare { node: owner });
                             self.obs_phase(owner, ftc_obs::Phase::Declare, || {
                                 format!("{owner} declared failed")
@@ -582,6 +647,15 @@ impl HvacClient {
         &self.clock
     }
 
+    /// Record a policy-epoch transition under this client's actor, so
+    /// the happens-before checker can order reads against it.
+    pub(crate) fn trace_policy_change(&self, old_epoch: u64, new_epoch: u64) {
+        self.trace_with(|| TraceEventKind::PolicyChange {
+            old_epoch,
+            new_epoch,
+        });
+    }
+
     /// The attached observability hub, if any.
     pub(crate) fn obs_hub(&self) -> Option<Arc<ftc_obs::ObsHub>> {
         self.obs.get().map(|o| Arc::clone(&o.hub))
@@ -701,9 +775,13 @@ impl HvacClient {
     /// the replica successors). The recovery engine re-fences parked
     /// hints against this set at drain time.
     pub(crate) fn replica_targets(&self, path: &str) -> Vec<NodeId> {
+        // Re-resolved from the *current* ring epoch and the *live*
+        // replication factor on every call: a runtime RF change (policy
+        // controller) or membership change takes effect immediately,
+        // without a client restart.
         self.placement
             .lock()
-            .successors(path, (self.config.replication as usize).max(1))
+            .successors(path, self.live.replication() as usize)
     }
 
     /// Park a replica that could not be delivered; counted only when the

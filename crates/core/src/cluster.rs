@@ -193,6 +193,22 @@ impl Cluster {
         Ok(c)
     }
 
+    /// Create a client governed by a runtime [`crate::PolicyController`]
+    /// on top of a running recovery engine: the controller watches the
+    /// client's detector signals and switches recovery posture,
+    /// replication factor and recache rate at runtime, epoch-fenced.
+    /// Errors if either worker thread cannot spawn.
+    pub fn client_adaptive(
+        &self,
+        rank: u32,
+        recovery: crate::recovery::RecoveryConfig,
+        controller: crate::controller::ControllerConfig,
+    ) -> Result<Arc<HvacClient>, CoreError> {
+        let c = self.client_with_recovery(rank, recovery)?;
+        let _ = c.enable_controller(controller)?;
+        Ok(c)
+    }
+
     /// The cluster's observability hub (registry + timeline + flight
     /// recorder). The chaos harness stamps kills and embeds snapshots
     /// through this handle.
@@ -448,6 +464,12 @@ impl Cluster {
     /// must be joined before the driver exits).
     pub fn shutdown(self) {
         for c in self.clients.lock().iter() {
+            // Controllers first: a live controller mutates the policy the
+            // engines are fenced on, so it must stop re-deciding before
+            // the engines drain.
+            if let Some(ctl) = c.controller() {
+                ctl.stop();
+            }
             if let Some(engine) = c.recovery() {
                 engine.stop();
             }

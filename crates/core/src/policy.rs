@@ -5,6 +5,18 @@ use ftc_hashring::{HashRing, ModuloPlacement, Placement, RendezvousPlacement, DE
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
+/// Default proactive-recache token-bucket rate, tokens (keys) per second.
+///
+/// All recovery-policy tunables are named here (or set through
+/// [`crate::controller::ControllerConfig`]) so the runtime controller is
+/// the single surface that owns them; the `policy-const` repo lint flags
+/// hard-coded values anywhere else in ftc-core.
+pub const DEFAULT_RECACHE_RATE: f64 = 50_000.0;
+/// Default recache token-bucket burst, in keys.
+pub const DEFAULT_RECACHE_BURST: u32 = 512;
+/// Default cache copies per file (the paper's single-copy design).
+pub const DEFAULT_REPLICATION: u32 = 1;
+
 /// What a client does when the failure detector declares a server dead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FtPolicy {
@@ -140,7 +152,7 @@ impl FtConfig {
             placement: PlacementKind::default_for(policy),
             detector: DetectorConfig::default(),
             retry: RetryPolicy::default(),
-            replication: 1,
+            replication: DEFAULT_REPLICATION,
         }
     }
 }

@@ -71,8 +71,8 @@ pub struct RecoveryConfig {
 impl Default for RecoveryConfig {
     fn default() -> Self {
         RecoveryConfig {
-            recache_rate: 50_000.0,
-            recache_burst: 512,
+            recache_rate: crate::policy::DEFAULT_RECACHE_RATE,
+            recache_burst: crate::policy::DEFAULT_RECACHE_BURST,
             push_retries: 2,
             max_hints: 4096,
             probe: true,
@@ -102,20 +102,38 @@ impl TokenBucket {
         }
     }
 
-    fn refill(&mut self, now: Instant) {
-        let dt = now.saturating_duration_since(self.last).as_secs_f64();
+    /// Credit elapsed time. Monotone: a `now` behind the last refill
+    /// (a stale snapshot racing a virtual-time burst) grants nothing and
+    /// leaves `last` untouched — regressing `last` would let the next
+    /// caller re-credit an interval that was already paid out. Returns
+    /// true when the call was clamped for that reason.
+    fn refill(&mut self, now: Instant) -> bool {
+        if now < self.last {
+            return true;
+        }
+        let dt = now.duration_since(self.last).as_secs_f64();
         self.tokens = (self.tokens + dt * self.rate).min(self.burst);
         self.last = now;
+        false
     }
 
-    fn try_take(&mut self, now: Instant) -> bool {
-        self.refill(now);
+    /// Take one token if available: `(granted, refill_clamped)`.
+    fn try_take(&mut self, now: Instant) -> (bool, bool) {
+        let clamped = self.refill(now);
         if self.tokens >= 1.0 {
             self.tokens -= 1.0;
-            true
+            (true, clamped)
         } else {
-            false
+            (false, clamped)
         }
+    }
+
+    /// Retune the refill rate (runtime policy controller). The bucket is
+    /// settled at the old rate up to `now` first, so the change is never
+    /// retroactive.
+    fn set_rate(&mut self, rate: f64, now: Instant) {
+        let _ = self.refill(now);
+        self.rate = rate.max(0.0);
     }
 
     /// Time until one token is available (`None` when the bucket can
@@ -222,12 +240,18 @@ pub struct RecoveryStats {
     pub recache_pushed: AtomicU64,
     /// Times the token bucket made the engine wait.
     pub recache_throttled: AtomicU64,
+    /// Bucket refills clamped because `now` was behind the last refill
+    /// (stale snapshot under a virtual-time burst): no credit granted.
+    pub throttle_refill_clamped: AtomicU64,
     /// Keys skipped because the lazy path already re-homed them.
     pub recache_skipped: AtomicU64,
     /// Keys abandoned after exhausting push retries.
     pub recache_failed: AtomicU64,
     /// Recache/hint work rejected by epoch fencing.
     pub stale_epoch_rejected: AtomicU64,
+    /// Recovery work rejected because the runtime controller retired its
+    /// policy epoch (or posture) before it ran.
+    pub policy_fenced: AtomicU64,
     /// Hints parked.
     pub hints_parked: AtomicU64,
     /// Hints dropped by the bound (drop-oldest).
@@ -254,9 +278,11 @@ pub struct RecoveryStats {
 pub struct RecoveryStatsSnapshot {
     pub recache_pushed: u64,
     pub recache_throttled: u64,
+    pub throttle_refill_clamped: u64,
     pub recache_skipped: u64,
     pub recache_failed: u64,
     pub stale_epoch_rejected: u64,
+    pub policy_fenced: u64,
     pub hints_parked: u64,
     pub hints_dropped: u64,
     pub hints_drained: u64,
@@ -287,9 +313,11 @@ impl RecoveryStats {
         RecoveryStatsSnapshot {
             recache_pushed: ld(&self.recache_pushed),
             recache_throttled: ld(&self.recache_throttled),
+            throttle_refill_clamped: ld(&self.throttle_refill_clamped),
             recache_skipped: ld(&self.recache_skipped),
             recache_failed: ld(&self.recache_failed),
             stale_epoch_rejected: ld(&self.stale_epoch_rejected),
+            policy_fenced: ld(&self.policy_fenced),
             hints_parked: ld(&self.hints_parked),
             hints_dropped: ld(&self.hints_dropped),
             hints_drained: ld(&self.hints_drained),
@@ -311,11 +339,15 @@ impl RecoveryStatsSnapshot {
             recache_throttled: self
                 .recache_throttled
                 .saturating_add(other.recache_throttled),
+            throttle_refill_clamped: self
+                .throttle_refill_clamped
+                .saturating_add(other.throttle_refill_clamped),
             recache_skipped: self.recache_skipped.saturating_add(other.recache_skipped),
             recache_failed: self.recache_failed.saturating_add(other.recache_failed),
             stale_epoch_rejected: self
                 .stale_epoch_rejected
                 .saturating_add(other.stale_epoch_rejected),
+            policy_fenced: self.policy_fenced.saturating_add(other.policy_fenced),
             hints_parked: self.hints_parked.saturating_add(other.hints_parked),
             hints_dropped: self.hints_dropped.saturating_add(other.hints_dropped),
             hints_drained: self.hints_drained.saturating_add(other.hints_drained),
@@ -349,6 +381,10 @@ impl ftc_obs::Export for RecoveryStatsSnapshot {
             self.recache_throttled,
         ));
         out.push(Sample::counter(
+            "ftc_recovery_throttle_refill_clamped_total",
+            self.throttle_refill_clamped,
+        ));
+        out.push(Sample::counter(
             "ftc_recovery_skipped_total",
             self.recache_skipped,
         ));
@@ -359,6 +395,10 @@ impl ftc_obs::Export for RecoveryStatsSnapshot {
         out.push(Sample::counter(
             "ftc_recovery_stale_epoch_rejected_total",
             self.stale_epoch_rejected,
+        ));
+        out.push(Sample::counter(
+            "ftc_recovery_policy_fenced_total",
+            self.policy_fenced,
         ));
         out.push(Sample::counter(
             "ftc_recovery_hints_parked_total",
@@ -406,7 +446,9 @@ struct RecoveryObs {
     actor: String,
     queue_depth: Arc<ftc_obs::Gauge>,
     throttled: Arc<ftc_obs::Counter>,
+    refill_clamped: Arc<ftc_obs::Counter>,
     stale_rejected: Arc<ftc_obs::Counter>,
+    policy_fenced: Arc<ftc_obs::Counter>,
     hints_parked: Arc<ftc_obs::Counter>,
     hints_drained: Arc<ftc_obs::Counter>,
     duration_us: Arc<ftc_obs::Histogram>,
@@ -427,6 +469,9 @@ enum Task {
 struct RecacheJob {
     node: NodeId,
     epoch: u64,
+    /// Live-policy epoch at admission; a controller switch retires it
+    /// and the job is rejected-and-counted on its next slice.
+    policy_epoch: u64,
     keys: VecDeque<String>,
     retries: HashMap<String, u32>,
     started: Instant,
@@ -491,9 +536,13 @@ impl RecoveryEngine {
                 actor: format!("recovery:{}", client.node()),
                 queue_depth: hub.registry.gauge("ftc_recovery_queue_depth"),
                 throttled: hub.registry.counter("ftc_recovery_throttled_total"),
+                refill_clamped: hub
+                    .registry
+                    .counter("ftc_recovery_throttle_refill_clamped_total"),
                 stale_rejected: hub
                     .registry
                     .counter("ftc_recovery_stale_epoch_rejected_total"),
+                policy_fenced: hub.registry.counter("ftc_recovery_policy_fenced_total"),
                 hints_parked: hub.registry.counter("ftc_recovery_hints_parked_total"),
                 hints_drained: hub.registry.counter("ftc_recovery_hints_drained_total"),
                 duration_us: hub.registry.histogram("ftc_recovery_duration_us"),
@@ -526,6 +575,14 @@ impl RecoveryEngine {
     /// Counter snapshot.
     pub fn stats(&self) -> RecoveryStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Retune the recache token-bucket rate at runtime (the policy
+    /// controller's throttle knob). Settles the bucket at the old rate
+    /// first, so the change applies only from now on.
+    pub fn set_recache_rate(&self, rate: f64) {
+        let now = self.clock.now();
+        self.bucket.lock().set_rate(rate, now);
     }
 
     /// A node was declared failed: queue proactive recache of its keys
@@ -752,7 +809,18 @@ impl Worker {
         match task {
             Task::Stop => {}
             Task::Recache { node, epoch } => {
-                if !self.inflight.insert(node.0) {
+                // Posture gate: under a lazy live policy, proactive
+                // recache is rejected-and-counted — the foreground lazy
+                // path re-homes keys on first access instead. Probes
+                // still run below; readmission is posture-independent.
+                if !cli.live_policy().proactive() {
+                    RecoveryStats::inc(&eng.stats.policy_fenced);
+                    if let Some(obs) = eng.obs.get() {
+                        obs.policy_fenced.inc();
+                    }
+                    eng.flight("policy_fenced", format!("recache {node}: lazy posture"));
+                    eng.task_done();
+                } else if !self.inflight.insert(node.0) {
                     // A job for this node is already queued (e.g. verdict
                     // raced an out-of-band mark_failed).
                     eng.flight("recache_dup", node.to_string());
@@ -765,6 +833,7 @@ impl Worker {
                     self.jobs.push_back(RecacheJob {
                         node,
                         epoch,
+                        policy_epoch: cli.live_policy().epoch(),
                         keys,
                         retries: HashMap::new(),
                         started: self.clock.now(),
@@ -799,13 +868,41 @@ impl Worker {
         cli: &Arc<HvacClient>,
         job: &mut RecacheJob,
     ) -> bool {
+        // Policy fence: the controller retired the epoch this job was
+        // admitted under; running on would act on retired assumptions
+        // (wrong posture, wrong throttle, wrong RF). Reject the rest of
+        // the job — the lazy read path re-homes any key still needed.
+        if cli.live_policy().epoch() != job.policy_epoch {
+            RecoveryStats::inc(&eng.stats.policy_fenced);
+            if let Some(obs) = eng.obs.get() {
+                obs.policy_fenced.inc();
+            }
+            eng.flight(
+                "policy_fenced",
+                format!(
+                    "{}: policy epoch {} retired, {} keys dropped",
+                    job.node,
+                    job.policy_epoch,
+                    job.keys.len()
+                ),
+            );
+            job.keys.clear();
+            return true;
+        }
         for _ in 0..RECACHE_CHUNK {
             let Some(key) = job.keys.pop_front() else {
                 return true;
             };
             // Rate limit first: a throttled engine must not even touch
             // the PFS.
-            if !eng.bucket.lock().try_take(self.clock.now()) {
+            let (granted, clamped) = eng.bucket.lock().try_take(self.clock.now());
+            if clamped {
+                RecoveryStats::inc(&eng.stats.throttle_refill_clamped);
+                if let Some(obs) = eng.obs.get() {
+                    obs.refill_clamped.inc();
+                }
+            }
+            if !granted {
                 RecoveryStats::inc(&eng.stats.recache_throttled);
                 if let Some(obs) = eng.obs.get() {
                     obs.throttled.inc();
@@ -1006,12 +1103,12 @@ mod tests {
     fn token_bucket_enforces_rate() {
         let t0 = Instant::now();
         let mut b = TokenBucket::new(10.0, 2, t0);
-        assert!(b.try_take(t0));
-        assert!(b.try_take(t0));
-        assert!(!b.try_take(t0), "burst of 2 exhausted");
+        assert!(b.try_take(t0).0);
+        assert!(b.try_take(t0).0);
+        assert!(!b.try_take(t0).0, "burst of 2 exhausted");
         // 100 ms refills exactly one token at 10/s.
-        assert!(b.try_take(t0 + Duration::from_millis(100)));
-        assert!(!b.try_take(t0 + Duration::from_millis(100)));
+        assert!(b.try_take(t0 + Duration::from_millis(100)).0);
+        assert!(!b.try_take(t0 + Duration::from_millis(100)).0);
     }
 
     #[test]
@@ -1021,18 +1118,57 @@ mod tests {
         // A long idle period must not accumulate more than the burst.
         let later = t0 + Duration::from_secs(60);
         for _ in 0..3 {
-            assert!(b.try_take(later));
+            assert!(b.try_take(later).0);
         }
-        assert!(!b.try_take(later));
+        assert!(!b.try_take(later).0);
     }
 
     #[test]
     fn zero_rate_bucket_never_refills() {
         let t0 = Instant::now();
         let mut b = TokenBucket::new(0.0, 1, t0);
-        assert!(b.try_take(t0));
-        assert!(!b.try_take(t0 + Duration::from_secs(3600)));
+        assert!(b.try_take(t0).0);
+        assert!(!b.try_take(t0 + Duration::from_secs(3600)).0);
         assert_eq!(b.eta(t0), None, "no eta when the rate is zero");
+    }
+
+    #[test]
+    fn token_bucket_refill_is_monotone_under_stale_snapshots() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(10.0, 1, t0);
+        assert!(b.try_take(t0).0);
+        let later = t0 + Duration::from_millis(100);
+        let (granted, clamped) = b.try_take(later);
+        assert!(granted && !clamped, "100ms at 10/s refills one token");
+        // A snapshot taken before the last refill must not regress the
+        // bucket: clamped, no credit, `last` untouched.
+        let (granted, clamped) = b.try_take(t0);
+        assert!(!granted && clamped, "stale now: clamped, nothing granted");
+        // Because `last` did not regress, replaying `later` cannot
+        // re-credit the interval that was already paid out.
+        let (granted, clamped) = b.try_take(later);
+        assert!(!granted && !clamped, "no double-counted refill");
+    }
+
+    #[test]
+    fn token_bucket_set_rate_settles_before_switching() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(10.0, 5, t0);
+        for _ in 0..5 {
+            assert!(b.try_take(t0).0);
+        }
+        // 100ms at the old 10/s rate earns exactly one token even though
+        // the rate is raised at the same instant: never retroactive.
+        b.set_rate(1000.0, t0 + Duration::from_millis(100));
+        assert!(b.try_take(t0 + Duration::from_millis(100)).0);
+        assert!(!b.try_take(t0 + Duration::from_millis(100)).0);
+        // From here the new rate applies: 10ms at 1000/s is 10 tokens,
+        // capped at the burst of 5.
+        let later = t0 + Duration::from_millis(110);
+        for _ in 0..5 {
+            assert!(b.try_take(later).0);
+        }
+        assert!(!b.try_take(later).0);
     }
 
     #[test]
@@ -1088,7 +1224,7 @@ mod tests {
         assert_eq!(snap.recache_pushed, 1);
         assert_eq!(snap.hints_drained, 5);
         let samples = snap.export();
-        assert_eq!(samples.len(), 14, "one sample per counter");
+        assert_eq!(samples.len(), 16, "one sample per counter");
         assert!(samples
             .iter()
             .any(|s| s.name == "ftc_recovery_pushed_total" && s.value == Value::Counter(1)));

@@ -43,11 +43,11 @@
 use bytes::Bytes;
 use ftc_core::{Cluster, ClusterConfig, FtPolicy, ReadError};
 use ftc_hashring::NodeId;
-use ftc_net::TraceRecord;
+use ftc_net::{TraceEventKind, TraceRecord};
 use ftc_sim::{FaultEvent, FaultPlan, SimCalibration, SimCluster, SimWorkload};
 use ftc_storage::synth_bytes;
 use ftc_time::ClockHandle;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::Duration;
 
@@ -342,6 +342,45 @@ impl ChaosPlan {
         plan
     }
 
+    /// Deterministic shifting-intensity scenario for the adaptive
+    /// controller: a quiet pass (no faults — the controller should hold
+    /// the lazy posture), then a burst (a flaky link plus a kill — the
+    /// failure-rate estimate spikes and the controller escalates), then a
+    /// correlated kill of the node that inherited the dead range (the
+    /// proactive posture earns its keep). Node 0 stays clean.
+    pub fn scenario_shifting_intensity(seed: u64) -> Self {
+        let mut plan = ChaosPlan::generate(seed);
+        plan.nodes = 5;
+        plan.files = 40;
+        plan.passes = 3;
+        plan.clean_node = NodeId(0);
+        plan.degraded_only.clear();
+        plan.events = vec![
+            // Pass 0 is quiet: no events at all.
+            ChaosEvent {
+                before_pass: 1,
+                action: ChaosAction::Flaky {
+                    node: NodeId(3),
+                    up: 1,
+                    down: 2,
+                },
+            },
+            ChaosEvent {
+                before_pass: 1,
+                action: ChaosAction::Kill(NodeId(1)),
+            },
+            ChaosEvent {
+                before_pass: 2,
+                action: ChaosAction::ClearFlaky(NodeId(3)),
+            },
+            ChaosEvent {
+                before_pass: 2,
+                action: ChaosAction::KillSuccessorOf(NodeId(1)),
+            },
+        ];
+        plan
+    }
+
     /// Deterministic large-ring sweep for virtual-time scaling runs:
     /// `nodes` servers, `files` staged keys, and a seed-chosen burst of
     /// permanent kills (one per 32 nodes, clamped to 1..=8) spread over
@@ -407,6 +446,11 @@ pub enum RecoveryMode {
     /// node's keys to their new owners ahead of demand, parks hints for
     /// unreachable replicas, and reconciles warm rejoins.
     Proactive,
+    /// A [`ftc_core::PolicyController`] governs the recovery engine at
+    /// runtime: lazy while the failure-rate estimate is quiet, escalating
+    /// to proactive recache + replication under bursts, every switch
+    /// epoch-fenced.
+    Adaptive,
 }
 
 impl fmt::Display for RecoveryMode {
@@ -414,6 +458,7 @@ impl fmt::Display for RecoveryMode {
         match self {
             RecoveryMode::Lazy => write!(f, "lazy"),
             RecoveryMode::Proactive => write!(f, "proactive"),
+            RecoveryMode::Adaptive => write!(f, "adaptive"),
         }
     }
 }
@@ -431,6 +476,15 @@ pub struct CampaignOptions {
     /// Starve the recovery engine's token bucket (rate 0, burst 0) so the
     /// quiescence invariant must fire. Implies `Proactive`.
     pub sabotage_recovery: bool,
+    /// Override the static replication factor (`None` keeps the policy
+    /// default). Ignored under [`RecoveryMode::Adaptive`], where the
+    /// controller owns the live RF.
+    pub replication: Option<u32>,
+    /// Force the policy controller to attempt the opposite posture every
+    /// tick ([`RecoveryMode::Adaptive`] only): the hysteresis/cooldown
+    /// must suppress the oscillation and count it, which the
+    /// `--sabotage-flap` self-test asserts.
+    pub sabotage_flap: bool,
 }
 
 /// Result of running one campaign.
@@ -463,6 +517,14 @@ pub struct CampaignReport {
     pub warm_read_p99: Option<Duration>,
     /// Nearest-rank p99 of read latency across the faulted passes.
     pub faulted_read_p99: Option<Duration>,
+    /// Policy switches the controller installed ([`RecoveryMode::Adaptive`]
+    /// only; the silent boot install does not count).
+    pub policy_switches: u64,
+    /// Posture flips suppressed by hysteresis/cooldown (`Adaptive` only).
+    pub policy_flaps_suppressed: u64,
+    /// Reads attributed to a retired policy epoch, from the trace scan
+    /// (virtual traced campaigns only; always a violation when nonzero).
+    pub retired_policy_reads: u64,
 }
 
 impl CampaignReport {
@@ -498,6 +560,13 @@ impl CampaignReport {
             .collect()
     }
 
+    /// Nearest-rank p99 of the degraded windows (kill → first recached
+    /// hit) this campaign; `None` when no kill completed a window. The
+    /// adaptive-vs-static comparison ranks contenders on this.
+    pub fn degraded_window_p99(&self) -> Option<Duration> {
+        percentile_99(&self.recovery_latencies())
+    }
+
     /// Full rendering for replay diffing: the verdict line, read/abort
     /// counters, per-kill window latencies, quiesce latencies, read p99s
     /// and recovery-engine counters. In wall-clock campaigns the latency
@@ -529,6 +598,16 @@ impl CampaignReport {
             opt_ms(self.warm_read_p99),
             opt_ms(self.faulted_read_p99)
         );
+        if self.recovery_mode == RecoveryMode::Adaptive {
+            let _ = writeln!(
+                out,
+                "policy: switches={} flaps_suppressed={} retired_reads={} policy_fenced={}",
+                self.policy_switches,
+                self.policy_flaps_suppressed,
+                self.retired_policy_reads,
+                self.recovery.as_ref().map_or(0, |r| r.policy_fenced)
+            );
+        }
         if let Some(rs) = &self.recovery {
             let _ = writeln!(
                 out,
@@ -614,6 +693,49 @@ fn percentile_99(lats: &[Duration]) -> Option<Duration> {
     let mut v = lats.to_vec();
     v.sort_unstable();
     Some(v[(v.len() * 99 / 100).min(v.len() - 1)])
+}
+
+/// Controller tuning scaled to campaign time: millisecond ticks, a
+/// cooldown of a few ticks, and thresholds reachable from a handful of
+/// detector events, so the posture actually moves within a campaign that
+/// lasts tens of virtual milliseconds. Decision presets (quiet/burst)
+/// stay at the controller defaults.
+fn campaign_controller_config(sabotage_flap: bool) -> ftc_core::ControllerConfig {
+    ftc_core::ControllerConfig {
+        tick: Duration::from_millis(5),
+        cooldown: Duration::from_millis(60),
+        decay: Duration::from_millis(300),
+        prior_weight: 0.05,
+        escalate: 2.0,
+        deescalate: 0.5,
+        sabotage_flap,
+        ..Default::default()
+    }
+}
+
+/// Scan a trace for reads attributed to a policy epoch the controller had
+/// already retired *at recording time* (per actor, in log order). Sound
+/// only on the virtual clock: the cooperative driver makes epoch capture
+/// and trace recording atomic, so any stale attribution is a real
+/// fencing failure, not scheduling noise.
+fn count_retired_policy_reads(log: &[TraceRecord]) -> u64 {
+    let mut current: HashMap<u32, u64> = HashMap::new();
+    let mut stale = 0u64;
+    for r in log {
+        match &r.kind {
+            TraceEventKind::PolicyChange { new_epoch, .. } => {
+                let e = current.entry(r.actor.0).or_insert(0);
+                *e = (*e).max(*new_epoch);
+            }
+            TraceEventKind::PolicyRead { policy_epoch, .. }
+                if *policy_epoch < current.get(&r.actor.0).copied().unwrap_or(0) =>
+            {
+                stale += 1;
+            }
+            _ => {}
+        }
+    }
+    stale
 }
 
 /// Run one campaign of `plan` under `policy` on a real threaded cluster,
@@ -727,6 +849,9 @@ pub fn run_campaign_on(
     cfg.ft.retry.base_backoff = Duration::from_micros(200);
     cfg.ft.retry.max_backoff = Duration::from_millis(3);
     cfg.ft.retry.deadline_budget = Duration::from_secs(2);
+    if let Some(rf) = opts.replication {
+        cfg.ft.replication = rf;
+    }
     cfg.seed = plan.seed;
 
     let cluster = match Cluster::start_with_clock(cfg.clone(), clock.clone()) {
@@ -747,6 +872,9 @@ pub fn run_campaign_on(
                     recovery: None,
                     warm_read_p99: None,
                     faulted_read_p99: None,
+                    policy_switches: 0,
+                    policy_flaps_suppressed: 0,
+                    retired_policy_reads: 0,
                 },
                 None,
             );
@@ -767,11 +895,13 @@ pub fn run_campaign_on(
     };
     let client = match recovery_mode {
         RecoveryMode::Lazy => cluster.client(0),
-        RecoveryMode::Proactive => {
+        RecoveryMode::Proactive | RecoveryMode::Adaptive => {
             let rc = if opts.sabotage_recovery {
                 // A bucket that never refills: the recache job can only
                 // starve, so quiescence must time out.
                 ftc_core::RecoveryConfig {
+                    // lint:allow(policy-const): sabotage mode deliberately
+                    // starves the bucket outside the governed defaults.
                     recache_rate: 0.0,
                     recache_burst: 0,
                     probe: false,
@@ -783,7 +913,12 @@ pub fn run_campaign_on(
                     ..Default::default()
                 }
             };
-            match cluster.client_with_recovery(0, rc) {
+            let built = if recovery_mode == RecoveryMode::Adaptive {
+                cluster.client_adaptive(0, rc, campaign_controller_config(opts.sabotage_flap))
+            } else {
+                cluster.client_with_recovery(0, rc)
+            };
+            match built {
                 Ok(c) => c,
                 Err(e) => {
                     cluster.shutdown();
@@ -800,6 +935,9 @@ pub fn run_campaign_on(
                             recovery: None,
                             warm_read_p99: None,
                             faulted_read_p99: None,
+                            policy_switches: 0,
+                            policy_flaps_suppressed: 0,
+                            retired_policy_reads: 0,
                         },
                         None,
                     );
@@ -1032,6 +1170,24 @@ pub fn run_campaign_on(
         ));
     }
 
+    // Controller verdicts (adaptive only): switch/flap counters, and —
+    // on a traced virtual run — the retired-policy-read scan, whose only
+    // acceptable count is zero.
+    let (policy_switches, policy_flaps_suppressed) = client
+        .controller()
+        .map_or((0, 0), |c| (c.switches(), c.flaps_suppressed()));
+    let trace_log = cluster.network().tracer().map(|t| t.take());
+    let retired_policy_reads = match trace_log.as_deref() {
+        Some(log) if clock.is_virtual() => count_retired_policy_reads(log),
+        _ => 0,
+    };
+    if retired_policy_reads > 0 {
+        violations.push(format!(
+            "retired policy epoch: {retired_policy_reads} read(s) attributed to a \
+             policy epoch the controller had already retired"
+        ));
+    }
+
     // Harvest observability before teardown: the degraded-window
     // incidents, and — only when an invariant fired — the flight
     // recorder's last-events dump for postmortem context.
@@ -1047,7 +1203,6 @@ pub fn run_campaign_on(
         Some(cluster.obs().flight.dump())
     };
 
-    let trace_log = cluster.network().tracer().map(|t| t.take());
     cluster.shutdown();
     (
         CampaignReport {
@@ -1062,6 +1217,9 @@ pub fn run_campaign_on(
             recovery: recovery_stats,
             warm_read_p99: percentile_99(&warm_lats),
             faulted_read_p99: percentile_99(&fault_lats),
+            policy_switches,
+            policy_flaps_suppressed,
+            retired_policy_reads,
         },
         trace_log,
     )
@@ -1074,6 +1232,92 @@ pub fn run_campaign_all_policies(seed: u64) -> Vec<CampaignReport> {
     [FtPolicy::NoFt, FtPolicy::PfsRedirect, FtPolicy::RingRecache]
         .into_iter()
         .map(|policy| run_campaign(policy, &plan))
+        .collect()
+}
+
+/// The contenders of the adaptive-vs-static table, in render order:
+/// every static posture × replication-factor combination PR 4/5 measured,
+/// plus the adaptive controller.
+pub fn compare_adaptive_contenders() -> Vec<(RecoveryMode, Option<u32>)> {
+    vec![
+        (RecoveryMode::Lazy, None),
+        (RecoveryMode::Proactive, None),
+        (RecoveryMode::Lazy, Some(2)),
+        (RecoveryMode::Proactive, Some(2)),
+        (RecoveryMode::Adaptive, None),
+    ]
+}
+
+/// Stable row label for a compare-table contender.
+pub fn compare_label(mode: RecoveryMode, rf: Option<u32>) -> String {
+    format!(
+        "{mode}-rf{}",
+        rf.unwrap_or(ftc_core::policy::DEFAULT_REPLICATION)
+    )
+}
+
+/// The metrics on which `adaptive` failed to match or beat `static_r`,
+/// empty when adaptive holds the headline claim against this contender.
+///
+/// The degraded-window comparison pairs incidents by killed node,
+/// because the mechanisms differ in *which* windows ever complete: a
+/// lazy cluster can leave a lost range unmeasured forever (no demand →
+/// no first recached hit → a censored-but-unbounded window that makes
+/// its p99 look fast), while a proactive engine can *eliminate* a
+/// window outright (range re-homed before demand sees a single miss).
+/// Neither absence is comparable to a measurement, so only windows both
+/// contenders measured are compared: adaptive must not be slower than
+/// the static contender on any shared incident, under a 5% + 1 ms
+/// slack that absorbs stamp granularity without masking a real
+/// regression. The faulted-read p99 (foreground floor) is always
+/// measured on both sides and compares directly.
+pub fn adaptive_losses(adaptive: &CampaignReport, static_r: &CampaignReport) -> Vec<&'static str> {
+    let slack = |d: Duration| d + d / 20 + Duration::from_millis(1);
+    let windows = |r: &CampaignReport| -> HashMap<u32, Duration> {
+        r.incidents
+            .iter()
+            .filter_map(|i| Some((i.node, i.recovery_latency()?)))
+            .collect()
+    };
+    let mut losses = Vec::new();
+    let a = windows(adaptive);
+    let dw_ok = windows(static_r)
+        .iter()
+        .all(|(node, s)| a.get(node).is_none_or(|aw| *aw <= slack(*s)));
+    if !dw_ok {
+        losses.push("degraded window (paired by incident)");
+    }
+    let fr_ok = match (adaptive.faulted_read_p99, static_r.faulted_read_p99) {
+        (Some(a), Some(s)) => a <= slack(s),
+        _ => true,
+    };
+    if !fr_ok {
+        losses.push("faulted-read p99");
+    }
+    losses
+}
+
+/// Run the shifting-intensity scenario for `seed` under every contender
+/// of [`compare_adaptive_contenders`] on the virtual clock (traced, so
+/// the adaptive run also gets the retired-policy-read scan). One report
+/// per contender, same order. Deterministic: same seed ⇒ byte-identical
+/// renders.
+pub fn run_campaign_compare_adaptive(seed: u64) -> Vec<CampaignReport> {
+    let plan = ChaosPlan::scenario_shifting_intensity(seed);
+    compare_adaptive_contenders()
+        .into_iter()
+        .map(|(mode, rf)| {
+            run_campaign_virtual(
+                FtPolicy::RingRecache,
+                &plan,
+                CampaignOptions {
+                    recovery: mode,
+                    replication: rf,
+                    trace: true,
+                    ..Default::default()
+                },
+            )
+        })
         .collect()
 }
 
@@ -1174,12 +1418,17 @@ pub fn run_degraded_window_probe_on(
     let truth: Vec<Bytes> = paths.iter().map(|p| synth_bytes(p, file_size)).collect();
     let client = match mode {
         RecoveryMode::Lazy => cluster.client(0),
-        RecoveryMode::Proactive => {
+        RecoveryMode::Proactive | RecoveryMode::Adaptive => {
             let rc = ftc_core::RecoveryConfig {
                 probe: false,
                 ..Default::default()
             };
-            match cluster.client_with_recovery(0, rc) {
+            let built = if mode == RecoveryMode::Adaptive {
+                cluster.client_adaptive(0, rc, campaign_controller_config(false))
+            } else {
+                cluster.client_with_recovery(0, rc)
+            };
+            match built {
                 Ok(c) => c,
                 Err(e) => {
                     cluster.shutdown();
@@ -1530,5 +1779,212 @@ mod tests {
         assert!(dump.contains("flight recorder"), "dump header present");
         assert!(dump.contains("violation"), "dump records the trigger");
         assert!(dump.contains("kill"), "dump retains the kill event");
+    }
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+
+    #[test]
+    fn shifting_intensity_plan_is_deterministic_and_well_formed() {
+        let plan = ChaosPlan::scenario_shifting_intensity(7);
+        assert_eq!(
+            plan,
+            ChaosPlan::scenario_shifting_intensity(7),
+            "scenario must be a pure function of the seed"
+        );
+        assert_eq!(plan.nodes, 5);
+        assert_eq!(plan.passes, 3);
+        assert_eq!(plan.clean_node, NodeId(0));
+        // Pass 0 is quiet; the burst and the correlated kill come later.
+        assert!(plan.events.iter().all(|e| e.before_pass >= 1));
+        assert!(plan
+            .events
+            .iter()
+            .any(|e| matches!(e.action, ChaosAction::KillSuccessorOf(_))));
+    }
+
+    #[test]
+    fn adaptive_virtual_campaign_is_clean_and_replays_byte_identically() {
+        let plan = ChaosPlan::scenario_shifting_intensity(7);
+        let opts = CampaignOptions {
+            recovery: RecoveryMode::Adaptive,
+            trace: true,
+            ..Default::default()
+        };
+        let a = run_campaign_virtual(FtPolicy::RingRecache, &plan, opts);
+        let b = run_campaign_virtual(FtPolicy::RingRecache, &plan, opts);
+        assert!(a.passed(), "adaptive campaign failed: {a}");
+        assert_eq!(
+            a.render(),
+            b.render(),
+            "adaptive campaign must replay byte-identically on the virtual clock"
+        );
+        assert!(
+            a.policy_switches >= 1,
+            "the burst must move the controller off the quiet posture"
+        );
+        assert_eq!(
+            a.retired_policy_reads, 0,
+            "no read may be attributed to a retired policy epoch"
+        );
+        assert!(
+            a.render().contains("policy: switches="),
+            "adaptive renders carry the policy line"
+        );
+    }
+
+    #[test]
+    fn flap_sabotage_trips_the_suppressor_without_breaking_invariants() {
+        let plan = ChaosPlan::scenario_shifting_intensity(7);
+        let report = run_campaign_virtual(
+            FtPolicy::RingRecache,
+            &plan,
+            CampaignOptions {
+                recovery: RecoveryMode::Adaptive,
+                sabotage_flap: true,
+                trace: true,
+                ..Default::default()
+            },
+        );
+        assert!(
+            report.policy_flaps_suppressed > 0,
+            "a flapping controller must hit the cooldown: {report}"
+        );
+        assert!(
+            report.passed(),
+            "hysteresis must keep a flapping controller invariant-clean: {report}"
+        );
+        assert_eq!(report.retired_policy_reads, 0);
+    }
+
+    #[test]
+    fn adaptive_matches_or_beats_every_static_contender() {
+        let reports = run_campaign_compare_adaptive(7);
+        let contenders = compare_adaptive_contenders();
+        assert_eq!(reports.len(), contenders.len());
+        let adaptive = reports.last().expect("adaptive is the last contender");
+        assert_eq!(adaptive.recovery_mode, RecoveryMode::Adaptive);
+        assert!(adaptive.policy_switches >= 1, "{adaptive}");
+        assert_eq!(adaptive.retired_policy_reads, 0, "{adaptive}");
+        assert!(adaptive.degraded_window_p99().is_some(), "kills completed");
+        for ((mode, rf), r) in contenders.iter().zip(&reports) {
+            let label = compare_label(*mode, *rf);
+            assert!(r.passed(), "{label} failed: {r}");
+            if *mode == RecoveryMode::Adaptive {
+                continue;
+            }
+            let losses = adaptive_losses(adaptive, r);
+            assert!(
+                losses.is_empty(),
+                "adaptive lost to {label} on {losses:?} (adaptive {:?}/{:?} vs {:?}/{:?})",
+                adaptive.degraded_window_p99(),
+                adaptive.faulted_read_p99,
+                r.degraded_window_p99(),
+                r.faulted_read_p99,
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_window_comparison_pairs_incidents_by_node() {
+        // Windows only one side measured (lazy censoring, proactive
+        // elimination) must not decide the verdict; shared incidents
+        // compare directly.
+        let mk = |mode: RecoveryMode, windows: &[(u32, u64)]| {
+            // Stamp the windows through a virtual-clock timeline (the
+            // only way to construct incidents), all anchored at the
+            // same kill instant.
+            let incidents = ftc_time::with_virtual(|clock| {
+                let tl = ftc_obs::TimelineRecorder::with_clock(clock.clone());
+                for &(node, _) in windows {
+                    tl.mark(node, ftc_obs::Phase::Kill);
+                }
+                let mut order = windows.to_vec();
+                order.sort_by_key(|&(_, ms)| ms);
+                let mut elapsed = 0u64;
+                for (node, ms) in order {
+                    clock.sleep(Duration::from_millis(ms - elapsed));
+                    elapsed = ms;
+                    tl.mark(node, ftc_obs::Phase::FirstRecachedHit);
+                }
+                tl.incidents()
+            });
+            CampaignReport {
+                seed: 0,
+                policy: FtPolicy::RingRecache,
+                reads_attempted: 0,
+                aborted: false,
+                violations: Vec::new(),
+                incidents,
+                flight_dump: None,
+                recovery_mode: mode,
+                recovery: None,
+                warm_read_p99: None,
+                faulted_read_p99: Some(Duration::from_millis(15)),
+                policy_switches: 0,
+                policy_flaps_suppressed: 0,
+                retired_policy_reads: 0,
+            }
+        };
+        let adaptive = mk(RecoveryMode::Adaptive, &[(1, 50), (2, 35)]);
+        // Lazy never measured n1's window (censored): only n2 compares.
+        let censored = mk(RecoveryMode::Lazy, &[(2, 35)]);
+        // Adaptive never measured n3's window (eliminated before demand).
+        let eliminated = mk(RecoveryMode::Lazy, &[(1, 50), (2, 35), (3, 10)]);
+        // Shared incident n1 is strictly faster on the static side.
+        let slower = mk(RecoveryMode::Lazy, &[(1, 20), (2, 35)]);
+        assert!(adaptive_losses(&adaptive, &censored).is_empty());
+        assert!(adaptive_losses(&adaptive, &eliminated).is_empty());
+        assert_eq!(
+            adaptive_losses(&adaptive, &slower),
+            vec!["degraded window (paired by incident)"]
+        );
+        // Equal windows tie under the slack.
+        assert!(adaptive_losses(&adaptive, &adaptive).is_empty());
+    }
+
+    #[test]
+    fn retired_policy_read_scan_counts_per_actor() {
+        let mk = |seq: u64, actor: u32, kind: TraceEventKind| TraceRecord {
+            seq,
+            actor: NodeId(actor),
+            clock: ftc_net::VClock::new(),
+            kind,
+        };
+        let read = |seq, actor, epoch| {
+            mk(
+                seq,
+                actor,
+                TraceEventKind::PolicyRead {
+                    key: format!("k{seq}"),
+                    policy_epoch: epoch,
+                },
+            )
+        };
+        let change = |seq, actor, old, new| {
+            mk(
+                seq,
+                actor,
+                TraceEventKind::PolicyChange {
+                    old_epoch: old,
+                    new_epoch: new,
+                },
+            )
+        };
+        // Actor 0 reads under epoch 1, switches to 2, then serves one
+        // stale epoch-1 read; actor 1's epoch-1 reads stay clean because
+        // the switch belongs to actor 0.
+        let log = vec![
+            read(0, 0, 1),
+            change(1, 0, 1, 2),
+            read(2, 0, 2),
+            read(3, 0, 1),
+            read(4, 1, 1),
+        ];
+        assert_eq!(count_retired_policy_reads(&log), 1);
+        assert_eq!(count_retired_policy_reads(&log[..3]), 0);
+        assert_eq!(count_retired_policy_reads(&[]), 0);
     }
 }
