@@ -20,19 +20,38 @@
 //!   `unwrap`/`expect` outside test code, no `Err(_)` catch-alls in
 //!   fallback logic without an explicit waiver, and a justification
 //!   comment on every atomic-ordering choice.
+//! * [`explore`] — a bounded-DFS schedule explorer over the virtual-time
+//!   driver's recorded choice points (`ftc_time::with_virtual_sched`),
+//!   with partial-order-reduction-lite pruning keyed on vector-clock
+//!   execution fingerprints.
+//! * [`linz`] — a Wing–Gong-style linearizability checker over the
+//!   per-op histories the transport records (`ftc_net::history`), with
+//!   an epoch-aware freshness rule and the documented hinted-handoff
+//!   exception.
+//! * [`replay`] — the one text format both chaos-campaign seeds and
+//!   explored schedules serialize through for byte-identical replay.
 //!
 //! The `ftc-analysis` binary exposes `lint` and `fsm` subcommands for CI;
 //! the `races` binary in `ftc-bench` feeds chaos-campaign traces through
-//! [`hb::check_trace`].
+//! [`hb::check_trace`]; the `chaos` binary's `--explore` / `--check-linz`
+//! modes drive [`explore`] and [`linz`] over whole virtual clusters.
 
 #![warn(missing_docs)]
 
+pub mod explore;
 pub mod fsm;
 pub mod hb;
 pub mod lint;
+pub mod linz;
+pub mod replay;
 
+pub use explore::{bounded_dfs, fingerprint_trace, DfsConfig, DfsReport, RunOutcome, Violation};
 pub use fsm::{check_fsm, FsmConfig, FsmReport};
 pub use hb::{
     check_trace, forge_retired_policy_read, forge_stale_epoch_read, RaceFinding, RaceKind,
 };
 pub use lint::{lint_source, lint_workspace, LintFinding};
+pub use linz::{
+    check_history, forge_corrupt_read_value, forge_stale_linz_read, LinzReport, LinzViolation,
+};
+pub use replay::{Replayable, REPLAY_MAGIC};

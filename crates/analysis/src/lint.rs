@@ -108,6 +108,93 @@ fn wall_clock_scoped(label: &Path) -> bool {
     WALL_CLOCK_SCOPE.iter().any(|p| l.starts_with(p))
 }
 
+/// An aliased import of a banned wall-clock symbol — the evasion
+/// `use std::time::Instant as I;` + `I::now()` that the plain substring
+/// list misses. Collected in a pre-pass over the whole file (the alias
+/// may be declared far from its call sites).
+struct WallClockAlias {
+    /// What the alias renames, for the finding message.
+    origin: &'static str,
+    /// The call pattern to scan for (`I::now(` / `nap(`).
+    needle: String,
+}
+
+/// Scan `use` declarations for aliases of the banned wall-clock symbols.
+/// Handles the two spellings that occur in practice: a single renamed
+/// item (`use std::time::Instant as I;`) and a renamed item inside a
+/// brace list (`use std::time::{Duration, Instant as I};`).
+fn collect_wall_clock_aliases(code: &[String]) -> Vec<WallClockAlias> {
+    const RENAMABLE: &[(&str, &[(&str, &str)])] = &[
+        (
+            "std::time::",
+            &[
+                ("Instant", "std::time::Instant"),
+                ("SystemTime", "std::time::SystemTime"),
+            ],
+        ),
+        ("std::thread::", &[("sleep", "std::thread::sleep")]),
+    ];
+    let mut out = Vec::new();
+    for line in code {
+        let Some(use_pos) = line.find("use ") else {
+            continue;
+        };
+        let stmt = &line[use_pos + 4..];
+        for &(module, items) in RENAMABLE {
+            let Some(pos) = stmt.find(module) else {
+                continue;
+            };
+            let rest = &stmt[pos + module.len()..];
+            // Single item or brace list; either way the interesting part
+            // ends at `}` or `;`.
+            let list = rest
+                .strip_prefix('{')
+                .unwrap_or(rest)
+                .split(['}', ';'])
+                .next()
+                .unwrap_or("");
+            for item in list.split(',') {
+                let Some((name, alias)) = item.split_once(" as ") else {
+                    continue;
+                };
+                let (name, alias) = (name.trim(), alias.trim());
+                if alias.is_empty() || !alias.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                    continue;
+                }
+                if let Some(&(_, origin)) = items.iter().find(|&&(n, _)| n == name) {
+                    let needle = if name == "sleep" {
+                        format!("{alias}(")
+                    } else {
+                        format!("{alias}::now(")
+                    };
+                    out.push(WallClockAlias { origin, needle });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// First aliased wall-clock call on the line, with a left word boundary
+/// so `kidnap(` never matches a `sleep as nap` alias.
+fn find_aliased_call<'a>(code: &str, aliases: &'a [WallClockAlias]) -> Option<&'a WallClockAlias> {
+    for a in aliases {
+        let mut search = 0;
+        while let Some(pos) = code[search..].find(a.needle.as_str()) {
+            let start = search + pos;
+            search = start + a.needle.len();
+            if start > 0 {
+                let prev = code.as_bytes()[start - 1];
+                if prev.is_ascii_alphanumeric() || prev == b'_' {
+                    continue;
+                }
+            }
+            return Some(a);
+        }
+    }
+    None
+}
+
 /// Path prefixes where the `policy-const` rule applies: the core crate
 /// (where the tunables are consumed) and the umbrella harness. The two
 /// files that *define* the tunables are exempt by name.
@@ -208,6 +295,11 @@ pub fn lint_source(label: &Path, source: &str) -> Vec<LintFinding> {
     let lexed = lex(source);
     let mut findings = Vec::new();
     let wall_scoped = wall_clock_scoped(label);
+    let wall_aliases = if wall_scoped {
+        collect_wall_clock_aliases(&lexed.code)
+    } else {
+        Vec::new()
+    };
     let policy_scoped = policy_const_scoped(label);
 
     let waived = |rule: &str, line_idx: usize| -> bool {
@@ -257,6 +349,20 @@ pub fn lint_source(label: &Path, source: &str) -> Vec<LintFinding> {
                             "direct wall-clock call `{call}..)` in a protocol layer; \
                              go through the injected ftc_time::ClockHandle, or waive \
                              with lint:allow(wall-clock)"
+                        ),
+                    });
+                }
+            } else if let Some(a) = find_aliased_call(code, &wall_aliases) {
+                if !waived("wall-clock", i) {
+                    findings.push(LintFinding {
+                        file: label.to_path_buf(),
+                        line: line_no,
+                        rule: "wall-clock",
+                        message: format!(
+                            "aliased wall-clock call `{}..)` ({} renamed by a `use .. as` \
+                             import) in a protocol layer; go through the injected \
+                             ftc_time::ClockHandle, or waive with lint:allow(wall-clock)",
+                            a.needle, a.origin
                         ),
                     });
                 }
@@ -711,6 +817,70 @@ mod tests {
         let src =
             "// lint:allow(wall-clock): process boot stamp, never virtualized\nfn f() { let t = Instant::now(); }\n";
         assert!(lint_source(Path::new("crates/core/src/server.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_fully_qualified_paths_are_flagged() {
+        // Evasion regression: spelling the full path instead of importing
+        // must not slip past the substring list.
+        for call in [
+            "std::time::SystemTime::now()",
+            "std::time::Instant::now()",
+            "::std::thread::sleep(d)",
+        ] {
+            let src = format!("fn f() {{ let _ = {call}; }}\n");
+            let f = lint_source(Path::new("crates/net/src/transport.rs"), &src);
+            assert_eq!(rules(&f), vec!["wall-clock"], "call {call}");
+        }
+    }
+
+    #[test]
+    fn wall_clock_aliased_instant_import_is_flagged() {
+        // Evasion regression: `use .. as` renames hide the symbol from
+        // the direct substring list; the alias pre-pass must catch it.
+        let src = "use std::time::Instant as I;\nfn f() { let t = I::now(); }\n";
+        let f = lint_source(Path::new("crates/core/src/client.rs"), src);
+        assert_eq!(rules(&f), vec!["wall-clock"]);
+        assert!(
+            f[0].message.contains("std::time::Instant"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn wall_clock_aliased_brace_list_import_is_flagged() {
+        let src = "use std::time::{Duration, SystemTime as St};\nfn f() { let t = St::now(); }\n";
+        let f = lint_source(Path::new("crates/obs/src/timeline.rs"), src);
+        assert_eq!(rules(&f), vec!["wall-clock"]);
+        assert!(
+            f[0].message.contains("std::time::SystemTime"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn wall_clock_aliased_sleep_is_flagged_with_word_boundary() {
+        let src = "use std::thread::sleep as nap;\nfn f(d: Duration) { nap(d); }\n";
+        let f = lint_source(Path::new("src/chaos.rs"), src);
+        assert_eq!(rules(&f), vec!["wall-clock"]);
+        // A lookalike identifier ending in the alias must not match.
+        let src = "use std::thread::sleep as nap;\nfn f(d: Duration) { kidnap(d); }\n";
+        assert!(lint_source(Path::new("src/chaos.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_aliases_respect_scope_and_waivers() {
+        let src = "use std::time::Instant as I;\nfn f() { let t = I::now(); }\n";
+        // Out-of-scope crates may alias freely.
+        assert!(lint_source(Path::new("crates/sim/src/lib.rs"), src).is_empty());
+        // The waiver works on aliased calls like on direct ones.
+        let waived = "use std::time::Instant as I;\n// lint:allow(wall-clock): boot stamp\nfn f() { let t = I::now(); }\n";
+        assert!(lint_source(Path::new("crates/core/src/client.rs"), waived).is_empty());
+        // Aliasing something harmless must not arm the rule.
+        let harmless = "use std::time::Duration as D;\nfn f(d: D) { let _ = d; }\n";
+        assert!(lint_source(Path::new("crates/core/src/client.rs"), harmless).is_empty());
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! `Replayable` — one tiny text format for everything that replays.
+//!
+//! Two artifacts in this repo promise byte-identical reproduction: a
+//! chaos campaign (replayed from its seed + options) and an explored
+//! schedule (replayed from its recorded choice list). Both now
+//! serialize through this helper instead of growing two ad-hoc
+//! formats. The format is deliberately dumb — a header line naming the
+//! artifact kind, then `key=value` lines, `#` comments ignored:
+//!
+//! ```text
+//! ftc-replay v1 schedule
+//! strategy=random-walk
+//! seed=42
+//! choices=1/3 0/2 2/4
+//! ```
+//!
+//! Values may not contain newlines; keys may not contain `=`. That is
+//! the entire spec.
+
+use ftc_time::sched::ScheduleTrace;
+
+/// Magic first-line prefix every replay file starts with.
+pub const REPLAY_MAGIC: &str = "ftc-replay v1";
+
+/// A parsed (or under-construction) replay descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replayable {
+    /// Artifact kind, e.g. `"schedule"` or `"campaign"`.
+    pub kind: String,
+    /// Ordered `key=value` payload.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Replayable {
+    /// An empty descriptor of the given kind.
+    pub fn new(kind: &str) -> Self {
+        Replayable {
+            kind: kind.to_owned(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Append a field (builder style).
+    pub fn field(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.fields.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// First value stored under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parse a field as any `FromStr` type.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.get(key).and_then(|v| v.parse().ok())
+    }
+
+    /// Render to the text format (ends with a newline).
+    pub fn to_text(&self) -> String {
+        let mut out = format!("{REPLAY_MAGIC} {}\n", self.kind);
+        for (k, v) in &self.fields {
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the text format; errors carry a human-readable reason.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty replay file")?;
+        let kind = header
+            .strip_prefix(REPLAY_MAGIC)
+            .ok_or_else(|| format!("bad header {header:?}: expected `{REPLAY_MAGIC} <kind>`"))?
+            .trim();
+        if kind.is_empty() {
+            return Err(format!("header {header:?} names no artifact kind"));
+        }
+        let mut fields = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: {line:?} is not key=value", i + 2))?;
+            fields.push((k.to_owned(), v.to_owned()));
+        }
+        Ok(Replayable {
+            kind: kind.to_owned(),
+            fields,
+        })
+    }
+
+    /// Wrap a recorded schedule: kind `schedule`, the strategy that
+    /// produced it, its seed, and the choice list.
+    pub fn from_schedule(trace: &ScheduleTrace, strategy: &str, seed: u64) -> Self {
+        Replayable::new("schedule")
+            .field("strategy", strategy)
+            .field("seed", seed)
+            .field("choices", trace.render())
+    }
+
+    /// Decode the `choices` field back into a [`ScheduleTrace`].
+    pub fn schedule_trace(&self) -> Result<ScheduleTrace, String> {
+        let raw = self.get("choices").ok_or("no `choices` field")?;
+        let mut choices = Vec::new();
+        for tok in raw.split_whitespace() {
+            let (c, n) = tok
+                .split_once('/')
+                .ok_or_else(|| format!("choice token {tok:?} is not chosen/of"))?;
+            let c: u32 = c.parse().map_err(|_| format!("bad chosen in {tok:?}"))?;
+            let n: u32 = n.parse().map_err(|_| format!("bad count in {tok:?}"))?;
+            choices.push((c, n));
+        }
+        Ok(ScheduleTrace { choices })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trips() {
+        let r = Replayable::new("campaign")
+            .field("seed", 7)
+            .field("policy", "ring")
+            .field("recovery", "proactive");
+        let text = r.to_text();
+        assert!(text.starts_with("ftc-replay v1 campaign\n"));
+        let back = Replayable::parse(&text).expect("parse");
+        assert_eq!(back, r);
+        assert_eq!(back.get_parsed::<u64>("seed"), Some(7));
+        assert_eq!(back.get("policy"), Some("ring"));
+    }
+
+    #[test]
+    fn schedule_round_trips() {
+        let trace = ScheduleTrace {
+            choices: vec![(1, 3), (0, 2), (2, 4)],
+        };
+        let r = Replayable::from_schedule(&trace, "random-walk", 42);
+        let back = Replayable::parse(&r.to_text()).expect("parse");
+        assert_eq!(back.get("strategy"), Some("random-walk"));
+        assert_eq!(back.schedule_trace().expect("trace"), trace);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_reasons() {
+        assert!(Replayable::parse("").is_err());
+        assert!(Replayable::parse("not a replay\nseed=1").is_err());
+        assert!(Replayable::parse("ftc-replay v1 \n").is_err());
+        let bad = Replayable::parse("ftc-replay v1 schedule\nno-equals-here");
+        assert!(bad.expect_err("must fail").contains("key=value"));
+        let r = Replayable::parse("ftc-replay v1 schedule\n# comment\n\nchoices=9/x").expect("ok");
+        assert!(r.schedule_trace().is_err());
+    }
+}

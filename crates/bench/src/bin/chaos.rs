@@ -4,7 +4,7 @@
 //! degraded-but-alive nodes; and under `--recovery proactive`: no stale
 //! serving, recovery quiescence, no foreground starvation).
 //!
-//! `cargo run -p ftc-bench --release --bin chaos [--seed 1] [--campaigns 50] [--policy ring|pfs|noft] [--recovery lazy|proactive|adaptive] [--scenarios] [--compare] [--compare-adaptive] [--adaptive [--virtual]] [--sabotage] [--sabotage-recovery] [--sabotage-flap] [--virtual [--nodes 128] [--files 256]]`
+//! `cargo run -p ftc-bench --release --bin chaos [--seed 1] [--campaigns 50] [--policy ring|pfs|noft] [--recovery lazy|proactive|adaptive] [--scenarios] [--compare] [--compare-adaptive] [--adaptive [--virtual]] [--sabotage] [--sabotage-recovery] [--sabotage-flap] [--virtual [--nodes 128] [--files 256]] [--explore [--explore-strategy random|pct|dfs] [--schedules N] [--depth D]] [--sabotage-atomicity] [--check-linz] [--sabotage-linz]`
 //!
 //! The fault schedule and every verdict are pure functions of the seed:
 //! `chaos --seed N` replays the same PASS/FAIL outcome byte-identically.
@@ -50,12 +50,32 @@
 //! adaptive controller, prints the comparison table, and exits non-zero
 //! unless adaptive matches or beats every static contender on both the
 //! degraded-window p99 and the faulted-read p99 (5% + 1ms tolerance).
+//!
+//! `--explore` model-checks the failure-during-recache scenario: the
+//! campaign re-runs under explored schedules (random-walk + PCT smoke by
+//! default; `--explore-strategy dfs` for the bounded-DFS budget run) and
+//! every schedule must keep the invariants. A violating schedule is
+//! printed as a replay file that re-runs it byte-identically.
+//! `--sabotage-atomicity` is the explorer's self-test: a seeded
+//! check-then-act bug FIFO never exhibits must be found by the DFS and
+//! its schedule file must replay to the identical verdict.
+//!
+//! `--check-linz` runs `--campaigns` (default 50) virtual campaigns with
+//! the fabric op-history recorder on — always including the three named
+//! kill/revive scenarios, cycling lazy/proactive/adaptive recovery — and
+//! checks every history for linearizability (per-key register semantics
+//! plus the ring-epoch freshness rule). `--sabotage-linz` forges a
+//! stale-epoch read into a clean history and requires the checker to
+//! flag it.
 
 use ft_cache::chaos::{
     adaptive_losses, compare_adaptive_contenders, compare_label, run_campaign_compare_adaptive,
     run_campaign_recovery_sabotaged, run_campaign_sabotaged, run_campaign_virtual,
     run_campaign_with, run_degraded_window_probe, CampaignOptions, CampaignReport, ChaosAction,
     ChaosPlan, DegradedWindowReport, RecoveryMode,
+};
+use ft_cache::modelcheck::{
+    check_linz_campaigns, explore_campaign, sabotage_atomicity, sabotage_linz, ExploreStrategy,
 };
 use ftc_bench::{arg_or, has_flag, header};
 use ftc_core::FtPolicy;
@@ -281,6 +301,119 @@ fn run_compare_adaptive(base_seed: u64, campaigns: u64) -> ! {
     std::process::exit(0);
 }
 
+/// `--explore --sabotage-atomicity` (or standalone `--sabotage-atomicity`):
+/// the explorer's self-test. The seeded check-then-act bug must be found
+/// by the bounded DFS (FIFO hides it), the emitted schedule file must
+/// replay byte-identically, or the harness itself is broken.
+fn sabotage_atomicity_selftest() -> ! {
+    header("chaos --sabotage-atomicity — seeded-bug schedule-explorer self-test");
+    match sabotage_atomicity() {
+        Ok((schedule_file, verdict)) => {
+            println!("explorer found the seeded lost update: {verdict}");
+            println!("replay verified byte-identical; schedule file:\n");
+            print!("{schedule_file}");
+            println!("\nsabotage self-test OK: explorer found and replayed the seeded bug");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            println!("\nFAIL: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--explore`: model-check the failure-during-recache scenario under
+/// explored schedules. Default is the smoke pair (random-walk then PCT);
+/// `--explore-strategy dfs|random|pct` picks one search. Exits non-zero
+/// if any explored schedule violates a campaign invariant.
+fn run_explore(base_seed: u64, schedules: usize, depth: usize, strategy_arg: Option<&str>) -> ! {
+    let strategies: Vec<ExploreStrategy> = match strategy_arg {
+        Some("random") => vec![ExploreStrategy::RandomWalk],
+        Some("pct") => vec![ExploreStrategy::Pct { d: 3 }],
+        Some("dfs") => vec![ExploreStrategy::Dfs],
+        Some(other) => {
+            eprintln!("unknown --explore-strategy {other:?} (expected random|pct|dfs)");
+            std::process::exit(2);
+        }
+        None => vec![ExploreStrategy::RandomWalk, ExploreStrategy::Pct { d: 3 }],
+    };
+    header(&format!(
+        "chaos --explore — schedule exploration, {schedules} schedule(s)/strategy, depth {depth}, seed {base_seed}"
+    ));
+    let plan = ChaosPlan::scenario_failure_during_recache(base_seed);
+    println!("plan: {}", plan.summary());
+    let mut failed = false;
+    for strategy in strategies {
+        let summary = explore_campaign(
+            FtPolicy::RingRecache,
+            &plan,
+            CampaignOptions {
+                recovery: RecoveryMode::Proactive,
+                ..Default::default()
+            },
+            strategy,
+            schedules,
+            depth,
+            base_seed,
+        );
+        println!("  {summary}");
+        for (verdict, schedule_file) in &summary.violations {
+            failed = true;
+            println!("\n  VIOLATION: {verdict}");
+            println!("  replay file (re-runs this interleaving byte-identically):");
+            for line in schedule_file.lines() {
+                println!("    {line}");
+            }
+        }
+    }
+    if failed {
+        println!("\nFAIL: explored schedule(s) violated campaign invariants");
+        std::process::exit(1);
+    }
+    println!("\nall explored schedules kept the invariants");
+    std::process::exit(0);
+}
+
+/// `--check-linz`: linearizability over `campaigns` recorded virtual
+/// campaigns (named kill/revive scenarios always included, recovery mode
+/// cycling). Exits non-zero on any violation or campaign failure.
+fn run_check_linz(base_seed: u64, campaigns: usize) -> ! {
+    header(&format!(
+        "chaos --check-linz — linearizability over {campaigns} recorded campaign(s) from seed {base_seed}"
+    ));
+    let summary = check_linz_campaigns(campaigns, base_seed);
+    println!("{summary}");
+    for v in &summary.violations {
+        println!("  VIOLATION: {v}");
+    }
+    for f in &summary.campaign_failures {
+        println!("  campaign failure: {f}");
+    }
+    if !summary.passed() {
+        println!("\nFAIL: linearizability sweep found violations");
+        std::process::exit(1);
+    }
+    println!("\nall recorded histories linearizable");
+    std::process::exit(0);
+}
+
+/// `--sabotage-linz`: forge a stale-epoch read into a clean recorded
+/// history; the checker must flag it.
+fn sabotage_linz_selftest(base_seed: u64) -> ! {
+    header("chaos --sabotage-linz — forged-stale-read checker self-test");
+    match sabotage_linz(base_seed) {
+        Ok(v) => {
+            println!("checker flagged the forgery: {v}");
+            println!("\nsabotage self-test OK: forged stale read was caught");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            println!("\nFAIL: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// `--scenarios`: the three named recovery scenarios under proactive
 /// recovery. Exits non-zero on any violation.
 fn run_scenarios(base_seed: u64) -> ! {
@@ -463,6 +596,26 @@ fn run_compare(base_seed: u64, campaigns: u64) -> ! {
 fn main() {
     let base_seed: u64 = arg_or("--seed", 1);
     let campaigns: u64 = arg_or("--campaigns", 1);
+    if has_flag("--sabotage-atomicity") {
+        sabotage_atomicity_selftest();
+    }
+    if has_flag("--sabotage-linz") {
+        sabotage_linz_selftest(base_seed);
+    }
+    if has_flag("--explore") {
+        let strategy = std::env::args()
+            .position(|a| a == "--explore-strategy")
+            .and_then(|i| std::env::args().nth(i + 1));
+        run_explore(
+            base_seed,
+            arg_or("--schedules", 8),
+            arg_or("--depth", 16),
+            strategy.as_deref(),
+        );
+    }
+    if has_flag("--check-linz") {
+        run_check_linz(base_seed, arg_or("--campaigns", 50));
+    }
     if has_flag("--sabotage-flap") {
         run_adaptive_campaign(base_seed, true);
     }

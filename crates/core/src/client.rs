@@ -284,6 +284,24 @@ impl HvacClient {
             new_epoch: old + 1,
             joined,
         });
+        if let Some(h) = self.endpoint.history() {
+            // The bump is a point event: once it completes, reads this
+            // client invokes must not be attributed to an older epoch
+            // (the linearizability checker's epoch rule).
+            let t = h.now();
+            h.record(ftc_net::OpRecord {
+                id: 0,
+                actor: self.me,
+                kind: ftc_net::OpKind::EpochBump,
+                key: String::new(),
+                node,
+                epoch: old + 1,
+                invoke: t,
+                ret: t,
+                digest: 0,
+                handoff: false,
+            });
+        }
         if joined {
             if let Some(obs) = self.obs.get() {
                 obs.hub
@@ -405,6 +423,13 @@ impl HvacClient {
                     self.clock.sleep(nap);
                 }
             }
+            // The history invoke stamp is taken *before* the placement
+            // lock: any epoch bump that completed before this instant is
+            // therefore fully ordered before the owner/epoch capture
+            // below, which is what makes the checker's per-client epoch
+            // rule sound (no false positives from in-flight bumps).
+            let hist = self.endpoint.history();
+            let hist_invoke = hist.as_ref().map(|h| h.now());
             // Capture the owner and the placement epoch under one lock
             // acquisition: the pair is what the race detector checks a
             // served read against.
@@ -450,6 +475,22 @@ impl HvacClient {
                         key: path.to_owned(),
                         policy_epoch: self.live.epoch(),
                     });
+                    if let (Some(h), Some(invoke)) = (hist.as_ref(), hist_invoke) {
+                        h.record(ftc_net::OpRecord {
+                            id: 0,
+                            actor: self.me,
+                            kind: ftc_net::OpKind::Read,
+                            key: path.to_owned(),
+                            node: owner,
+                            epoch: view_epoch,
+                            invoke,
+                            ret: h.now(),
+                            digest: ftc_net::fnv1a(&bytes),
+                            // Served after failing over from a removed
+                            // owner — the documented handoff exception.
+                            handoff: failed_over_from.is_some(),
+                        });
+                    }
                     if let Some(dead) = failed_over_from.take() {
                         // The dead node's keys are serving from a survivor
                         // again: its degraded window (for this client) is

@@ -119,6 +119,24 @@ impl HvacServer {
             CacheRequest::Ping => inc.reply(CacheResponse::Pong),
             CacheRequest::Put { path, bytes } => {
                 let path = path.clone();
+                if let Some(h) = inc.history() {
+                    // Replica writes and recache pushes both land here;
+                    // the store is the linearization point, so the op is
+                    // recorded as a zero-width interval at serve time.
+                    let t = h.now();
+                    h.record(ftc_net::OpRecord {
+                        id: 0,
+                        actor: inc.served_by(),
+                        kind: ftc_net::OpKind::Write,
+                        key: path.clone(),
+                        node: inc.served_by(),
+                        epoch: 0,
+                        invoke: t,
+                        ret: t,
+                        digest: ftc_net::fnv1a(bytes),
+                        handoff: false,
+                    });
+                }
                 let evicted = self.cache.insert(&path, bytes.clone());
                 inc.trace_state(TraceEventKind::CacheInsert { key: path.clone() });
                 for key in evicted {

@@ -1,0 +1,193 @@
+//! Per-key operation histories for linearizability checking.
+//!
+//! While the vector-clock [`crate::trace`] layer captures *causality*
+//! (which events could have influenced which), this layer captures the
+//! *client-observable contract*: every completed read and write as an
+//! interval `[invoke, ret]` in clock time, tagged with the value digest,
+//! the serving node, and the ring epoch it was attributed to. The
+//! Wing–Gong-style checker in `ftc-analysis::linz` consumes these
+//! records per key: a history is accepted iff some linearization
+//! consistent with the real-time intervals has every read return the
+//! latest completed write, and no read runs against a ring epoch its
+//! own client had already retired (the epoch-aware part of the spec).
+//!
+//! Recording mirrors the [`crate::trace::Tracer`] pattern: enabled once
+//! on the [`crate::Network`], then reachable from every
+//! [`crate::Endpoint`] and [`crate::Incoming`]; disabled costs one
+//! RwLock read per op site.
+
+use ftc_hashring::NodeId;
+use ftc_time::ClockHandle;
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// FNV-1a over the value bytes — the digest stored in [`OpRecord`].
+/// Collisions are astronomically unlikely at campaign scale, and a
+/// hand-rolled 8-line hash keeps the recorder dependency-free.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// What kind of operation an [`OpRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A client read that completed with data.
+    Read,
+    /// A value landing on a node: replica write, recache push, or the
+    /// t=0 dataset staging (seeded via
+    /// [`HistoryRecorder::seed_write`]).
+    Write,
+    /// A client advanced its ring-epoch view (membership change
+    /// observed). Carries no key or value; `epoch` is the *new* epoch.
+    EpochBump,
+}
+
+/// One completed operation in the history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Recorder-assigned id, dense in completion order.
+    pub id: u64,
+    /// Who performed the op (client rank node for reads and epoch
+    /// bumps, storing node for writes).
+    pub actor: NodeId,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// The file path / placement key; empty for [`OpKind::EpochBump`].
+    pub key: String,
+    /// The node that served (read) or stored (write) the value.
+    pub node: NodeId,
+    /// Ring epoch: the client's placement-view epoch for reads, the new
+    /// epoch for bumps, 0 for writes (servers don't see the ring).
+    pub epoch: u64,
+    /// Invocation time, as an offset from recorder creation.
+    pub invoke: Duration,
+    /// Response time (≥ `invoke`); equal to `invoke` for ops whose
+    /// linearization point is their serve instant (writes, bumps).
+    pub ret: Duration,
+    /// [`fnv1a`] digest of the value bytes; 0 for epoch bumps.
+    pub digest: u64,
+    /// The read was served through the failover path (successor serve /
+    /// hinted handoff) — the documented exception the epoch rule skips.
+    pub handoff: bool,
+}
+
+/// Shared, thread-safe history collector. All timestamps come from the
+/// owning network's clock, so histories recorded under a virtual clock
+/// are deterministic and replay byte-identically.
+pub struct HistoryRecorder {
+    clock: ClockHandle,
+    birth: Instant,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    log: Vec<OpRecord>,
+    next: u64,
+}
+
+impl HistoryRecorder {
+    /// A recorder stamping offsets against `clock`'s current instant.
+    pub fn new(clock: ClockHandle) -> Self {
+        let birth = clock.now();
+        HistoryRecorder {
+            clock,
+            birth,
+            inner: Mutex::new(Inner {
+                log: Vec::new(),
+                next: 0,
+            }),
+        }
+    }
+
+    /// Current offset since recorder creation — capture this *before*
+    /// issuing an RPC to get the op's invoke time.
+    pub fn now(&self) -> Duration {
+        self.clock.since(self.birth)
+    }
+
+    /// Append a completed op. The record's `id` is overwritten with the
+    /// next dense id; pass 0.
+    pub fn record(&self, mut op: OpRecord) {
+        let mut g = self.inner.lock();
+        op.id = g.next;
+        g.next += 1;
+        g.log.push(op);
+    }
+
+    /// Register the ground-truth value a key was staged with before any
+    /// traffic ran: a write at t=0 by a synthetic "PFS" actor. Gives
+    /// every key a defined initial value so the first read is checkable.
+    pub fn seed_write(&self, key: &str, digest: u64) {
+        self.record(OpRecord {
+            id: 0,
+            actor: NodeId(u32::MAX),
+            kind: OpKind::Write,
+            key: key.to_owned(),
+            node: NodeId(u32::MAX),
+            epoch: 0,
+            invoke: Duration::ZERO,
+            ret: Duration::ZERO,
+            digest,
+            handoff: false,
+        });
+    }
+
+    /// Number of records so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().log.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain the history for checking.
+    pub fn take(&self) -> Vec<OpRecord> {
+        std::mem::take(&mut self.inner.lock().log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"ft-cache"), fnv1a(b"ft-cache"));
+        assert_ne!(fnv1a(b"ft-cache"), fnv1a(b"ft-cachf"));
+    }
+
+    #[test]
+    fn recorder_assigns_dense_ids_and_drains() {
+        let r = HistoryRecorder::new(ClockHandle::wall());
+        r.seed_write("a.dat", 7);
+        let t0 = r.now();
+        r.record(OpRecord {
+            id: 999, // overwritten
+            actor: NodeId(100),
+            kind: OpKind::Read,
+            key: "a.dat".into(),
+            node: NodeId(1),
+            epoch: 1,
+            invoke: t0,
+            ret: r.now(),
+            digest: 7,
+            handoff: false,
+        });
+        assert_eq!(r.len(), 2);
+        let ops = r.take();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].id, 0);
+        assert_eq!(ops[1].id, 1);
+        assert_eq!(ops[1].kind, OpKind::Read);
+        assert!(ops[1].ret >= ops[1].invoke);
+        assert!(r.is_empty());
+    }
+}

@@ -32,12 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod history;
 pub mod latency;
 pub mod stats;
 pub mod trace;
 pub mod transport;
 
 pub use error::RpcError;
+pub use history::{fnv1a, HistoryRecorder, OpKind, OpRecord};
 pub use latency::LatencyModel;
 pub use stats::{NetStats, NetStatsSnapshot};
 pub use trace::{TraceEventKind, TraceRecord, Tracer, VClock};

@@ -128,6 +128,12 @@ impl<Req: Payload, Resp: Payload> Incoming<Req, Resp> {
         }
     }
 
+    /// The network's active history recorder, if enabled. Servers use
+    /// this to log value arrivals (replica writes, recache pushes).
+    pub fn history(&self) -> Option<Arc<crate::history::HistoryRecorder>> {
+        self.net.history.read().clone()
+    }
+
     /// Reply immediately (zero response-serialization cost).
     ///
     /// The reply leg honors partitions independently of the request leg:
@@ -261,6 +267,7 @@ struct Inner<Req, Resp> {
     latency: LatencyModel,
     stats: NetStats,
     tracer: RwLock<Option<Arc<Tracer>>>,
+    history: RwLock<Option<Arc<crate::history::HistoryRecorder>>>,
     obs: RwLock<Option<NetObs>>,
 }
 
@@ -355,6 +362,7 @@ impl<Req: Payload, Resp: Payload> Network<Req, Resp> {
                 latency,
                 stats: NetStats::default(),
                 tracer: RwLock::new(None),
+                history: RwLock::new(None),
                 obs: RwLock::new(None),
             }),
         }
@@ -493,6 +501,29 @@ impl<Req: Payload, Resp: Payload> Network<Req, Resp> {
         self.inner.tracer.read().clone()
     }
 
+    /// Turn on operation-history recording (for linearizability
+    /// checking) and return the shared recorder. Timestamps come from
+    /// this fabric's clock. Idempotent, like
+    /// [`enable_tracing`](Self::enable_tracing).
+    pub fn enable_history(&self) -> Arc<crate::history::HistoryRecorder> {
+        let mut slot = self.inner.history.write();
+        match slot.as_ref() {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(crate::history::HistoryRecorder::new(
+                    self.inner.clock.clone(),
+                ));
+                *slot = Some(Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// The active history recorder, if history recording is enabled.
+    pub fn history(&self) -> Option<Arc<crate::history::HistoryRecorder>> {
+        self.inner.history.read().clone()
+    }
+
     /// Attach an observability hub: RPC outcomes feed the
     /// `ftc_net_rpc_ok_us` / `ftc_net_rpc_timeout_us` histograms and
     /// drops/timeouts leave flight-recorder events. Histogram handles are
@@ -550,6 +581,13 @@ impl<Req: Payload, Resp: Payload> Endpoint<Req, Resp> {
     /// transitions) under this endpoint's actor.
     pub fn tracer(&self) -> Option<Arc<Tracer>> {
         self.net.tracer.read().clone()
+    }
+
+    /// The network's active history recorder, if enabled. Clients use
+    /// this to log completed reads and epoch bumps for the
+    /// linearizability checker.
+    pub fn history(&self) -> Option<Arc<crate::history::HistoryRecorder>> {
+        self.net.history.read().clone()
     }
 
     /// Issue an RPC with a deadline.

@@ -409,6 +409,49 @@ mod tests {
     }
 
     #[test]
+    fn out_of_order_stamps_pin_exact_virtual_latencies() {
+        // Stamps can arrive out of causal order (a declare racing ahead
+        // of the suspect that caused it) and repeat (two reads each
+        // bumping the ring). On a virtual clock the derived latencies
+        // are exact, so pin them: declare-before-suspect must not skew
+        // detection, and only the FIRST ring bump counts.
+        let incidents = ftc_time::with_virtual(|clock| {
+            let t = TimelineRecorder::with_clock(clock.clone());
+            t.mark(9, Phase::Kill); // t=0
+            clock.sleep(Duration::from_millis(5));
+            t.mark(9, Phase::Declare); // t=5, arrives before its suspect
+            clock.sleep(Duration::from_millis(1));
+            t.mark(9, Phase::Suspect); // t=6, late — joins the open incident
+            clock.sleep(Duration::from_millis(1));
+            t.mark(9, Phase::RingUpdate); // t=7
+            clock.sleep(Duration::from_millis(1));
+            t.mark(9, Phase::RingUpdate); // t=8, duplicate bump — ignored
+            clock.sleep(Duration::from_millis(2));
+            t.mark(9, Phase::FirstRecachedHit); // t=10
+            t.incidents()
+        });
+        assert_eq!(
+            incidents.len(),
+            1,
+            "out-of-order stamps must not fork incidents"
+        );
+        let inc = &incidents[0];
+        assert_eq!(inc.detection_latency(), Some(Duration::from_millis(5)));
+        assert_eq!(inc.recovery_latency(), Some(Duration::from_millis(10)));
+        assert_eq!(
+            inc.stamp(Phase::RingUpdate),
+            Some(Duration::from_millis(7)),
+            "first ring bump wins; the duplicate at t=8 is ignored"
+        );
+        assert_eq!(
+            inc.stamp(Phase::Suspect),
+            Some(Duration::from_millis(6)),
+            "a suspect arriving after declare is still recorded where it happened"
+        );
+        assert!(inc.is_complete());
+    }
+
+    #[test]
     fn incident_display_is_readable() {
         let t = TimelineRecorder::new();
         t.mark(7, Phase::Kill);

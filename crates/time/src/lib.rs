@@ -43,11 +43,13 @@
 #![warn(missing_docs)]
 
 mod chan;
+pub mod sched;
 mod virt;
 
 pub use chan::{ClockReceiver, ClockSender};
 pub use crossbeam::channel::{RecvError, RecvTimeoutError, SendError, TryRecvError};
-pub use virt::{with_virtual, TaskHandle, TaskPanicked, VirtualClock};
+pub use sched::{Choice, ForcedPrefix, Pct, RandomWalk, RoundRobin, ScheduleTrace, Scheduler};
+pub use virt::{with_virtual, with_virtual_sched, TaskHandle, TaskPanicked, VirtualClock};
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -173,6 +175,7 @@ impl ClockHandle {
     /// scheduled and must block exclusively through this clock (sleep,
     /// clock channels, join). Returns the OS error if thread creation
     /// fails.
+    #[track_caller]
     pub fn spawn(
         &self,
         name: &str,

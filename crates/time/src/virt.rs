@@ -35,9 +35,11 @@
 //! * When every task is blocked and no timer is pending, the scheduler
 //!   panics with a per-task diagnostic rather than hanging.
 
+use crate::sched::{Choice, ScheduleTrace, Scheduler};
 use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::panic::Location;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -61,6 +63,10 @@ enum TaskState {
 
 struct Task {
     name: String,
+    /// Source location of the `spawn` call that created this task —
+    /// threaded through `#[track_caller]` so leak and deadlock
+    /// diagnostics name the spawn site, not just the task.
+    origin: &'static Location<'static>,
     state: TaskState,
     /// A wake arrived while the task was running or already ready; the
     /// next `park` returns immediately instead of blocking.
@@ -81,6 +87,13 @@ struct Sched {
     /// Pending wakeups: `(deadline, insertion seq, task)`.
     timers: BinaryHeap<Reverse<(Duration, u64, usize)>>,
     timer_seq: u64,
+    /// Installed schedule strategy (None = plain FIFO dispatch). Taken
+    /// out of the slot for the duration of a `pick` call so the strategy
+    /// can be consulted while the scheduler lock is held.
+    strategy: Option<Box<dyn Scheduler>>,
+    /// Recorded `(chosen, candidate count)` per choice point; only
+    /// populated while a strategy is installed.
+    trace: Vec<(u32, u32)>,
 }
 
 /// Simulated time driven by a cooperative scheduler. Construct via
@@ -162,7 +175,7 @@ impl Drop for ExitGuard {
 }
 
 impl VirtualClock {
-    fn new() -> Arc<Self> {
+    fn new(strategy: Option<Box<dyn Scheduler>>) -> Arc<Self> {
         Arc::new(VirtualClock {
             base: Instant::now(),
             sched: Mutex::new(Sched {
@@ -172,6 +185,8 @@ impl VirtualClock {
                 current: 0,
                 timers: BinaryHeap::new(),
                 timer_seq: 0,
+                strategy,
+                trace: Vec::new(),
             }),
         })
     }
@@ -268,8 +283,44 @@ impl VirtualClock {
     /// Hand the run token to the next runnable task, advancing virtual
     /// time over pending timers when nothing is ready. Panics (with a
     /// per-task diagnostic) when the simulated world can never progress.
+    ///
+    /// With a strategy installed, two things change: (1) when the ready
+    /// queue drains, *every* timer sharing the earliest deadline is
+    /// released together so same-instant wakeups form one choice point;
+    /// (2) whenever more than one task is runnable, the strategy picks
+    /// which runs and the `(chosen, count)` pair is recorded.
     fn dispatch(g: &mut Sched) {
         loop {
+            if g.strategy.is_some() {
+                if g.ready.is_empty() {
+                    if let Some(&Reverse((at, _, _))) = g.timers.peek() {
+                        if g.now < at {
+                            g.now = at;
+                        }
+                        while let Some(&Reverse((t, _, tid))) = g.timers.peek() {
+                            if t != at {
+                                break;
+                            }
+                            let _ = g.timers.pop();
+                            Self::make_ready(g, tid);
+                        }
+                        // Stale timers may have woken nobody; loop to
+                        // either pick a task or drain the next deadline.
+                        continue;
+                    }
+                } else {
+                    let idx = if g.ready.len() > 1 {
+                        Self::consult_strategy(g)
+                    } else {
+                        0
+                    };
+                    if let Some(next) = g.ready.remove(idx) {
+                        g.current = next;
+                        g.tasks[next].cv.notify_all();
+                        return;
+                    }
+                }
+            }
             if let Some(next) = g.ready.pop_front() {
                 g.current = next;
                 g.tasks[next].cv.notify_all();
@@ -287,7 +338,12 @@ impl VirtualClock {
                 .iter()
                 .enumerate()
                 .filter(|(_, t)| t.state != TaskState::Finished)
-                .map(|(i, t)| format!("  task {i} `{}`: {:?}", t.name, t.state))
+                .map(|(i, t)| {
+                    format!(
+                        "  task {i} `{}` (spawned at {}): {:?}",
+                        t.name, t.origin, t.state
+                    )
+                })
                 .collect();
             let diag = format!(
                 "virtual clock deadlock at t+{:?}: every task is blocked outside the \
@@ -305,18 +361,40 @@ impl VirtualClock {
         }
     }
 
+    /// Ask the installed strategy which ready-queue slot runs next.
+    /// The strategy box is taken out of its slot for the call so the
+    /// scheduler state stays borrowable; picks are clamped and recorded.
+    fn consult_strategy(g: &mut Sched) -> usize {
+        let Some(mut strategy) = g.strategy.take() else {
+            return 0;
+        };
+        let candidates: Vec<usize> = g.ready.iter().copied().collect();
+        let picked = strategy.pick(&Choice {
+            candidates: &candidates,
+            step: g.trace.len() as u64,
+            now: g.now,
+        });
+        g.strategy = Some(strategy);
+        let idx = picked.min(candidates.len() - 1);
+        g.trace.push((idx as u32, candidates.len() as u32));
+        idx
+    }
+
     /// Spawn a cooperative task: a real OS thread that runs only while it
     /// holds the run token.
+    #[track_caller]
     pub(crate) fn spawn(
         self: &Arc<Self>,
         name: &str,
         f: impl FnOnce() + Send + 'static,
     ) -> std::io::Result<TaskHandle> {
+        let origin = Location::caller();
         let tid = {
             let mut g = self.lock();
             let tid = g.tasks.len();
             g.tasks.push(Task {
                 name: name.to_owned(),
+                origin,
                 state: TaskState::Ready,
                 wake_pending: false,
                 panicked: false,
@@ -385,17 +463,43 @@ impl VirtualClock {
 /// registered as the driver task. Everything `f` does — spawning
 /// servers, running campaigns, reading through real clients — executes
 /// cooperatively in simulated time; when `f` returns, every spawned task
-/// must already be joined (a leak is a bug and panics).
+/// must already be joined (a leak is a bug and panics, naming each
+/// leaked task and the source location that spawned it).
+#[track_caller]
 pub fn with_virtual<R>(f: impl FnOnce(crate::ClockHandle) -> R) -> R {
+    with_virtual_inner(None, f).0
+}
+
+/// [`with_virtual`] with a pluggable [`Scheduler`] strategy deciding
+/// every choice point (>1 runnable task), plus simultaneity batching of
+/// equal-deadline timers — see [`crate::sched`]. Returns `f`'s result
+/// and the recorded [`ScheduleTrace`]; replaying the trace through
+/// [`crate::sched::ForcedPrefix::replay`] reproduces the run
+/// byte-identically.
+#[track_caller]
+pub fn with_virtual_sched<R>(
+    strategy: Box<dyn Scheduler>,
+    f: impl FnOnce(crate::ClockHandle) -> R,
+) -> (R, ScheduleTrace) {
+    with_virtual_inner(Some(strategy), f)
+}
+
+#[track_caller]
+fn with_virtual_inner<R>(
+    strategy: Option<Box<dyn Scheduler>>,
+    f: impl FnOnce(crate::ClockHandle) -> R,
+) -> (R, ScheduleTrace) {
     assert!(
         CURRENT_TASK.with(Cell::get).is_none(),
         "with_virtual cannot nest: this thread already drives a virtual clock"
     );
-    let clock = VirtualClock::new();
+    let origin = Location::caller();
+    let clock = VirtualClock::new(strategy);
     {
         let mut g = clock.lock();
         g.tasks.push(Task {
             name: "driver".to_owned(),
+            origin,
             state: TaskState::Running,
             wake_pending: false,
             panicked: false,
@@ -407,21 +511,34 @@ pub fn with_virtual<R>(f: impl FnOnce(crate::ClockHandle) -> R) -> R {
     CURRENT_TASK.with(|c| c.set(Some(0)));
     let result = f(crate::ClockHandle::from_virtual(Arc::clone(&clock)));
     CURRENT_TASK.with(|c| c.set(None));
-    let leaked: Vec<String> = {
-        let g = clock.lock();
-        g.tasks
+    let (leaked, trace) = {
+        let mut g = clock.lock();
+        let leaked: Vec<String> = g
+            .tasks
             .iter()
             .enumerate()
             .skip(1)
             .filter(|(_, t)| t.state != TaskState::Finished)
-            .map(|(i, t)| format!("task {i} `{}`: {:?}", t.name, t.state))
-            .collect()
+            .map(|(i, t)| {
+                format!(
+                    "task {i} `{}` (spawned at {}): {:?}",
+                    t.name, t.origin, t.state
+                )
+            })
+            .collect();
+        (
+            leaked,
+            ScheduleTrace {
+                choices: std::mem::take(&mut g.trace),
+            },
+        )
     };
     assert!(
         leaked.is_empty(),
-        "virtual tasks leaked past the driver (join them before returning): {leaked:?}"
+        "virtual tasks leaked past the driver (join them before returning): {}",
+        leaked.join("; ")
     );
-    result
+    (result, trace)
 }
 
 #[cfg(test)]
@@ -472,6 +589,90 @@ mod tests {
             h.join()
         });
         assert_eq!(err, Err(TaskPanicked));
+    }
+
+    #[test]
+    fn leak_panic_names_task_and_spawn_site() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // quiet the expected panic
+        let err = std::panic::catch_unwind(|| {
+            with_virtual(|clock| {
+                // Never joined: the driver returns while the task still
+                // waits for its first token grant.
+                let _leaked = clock.spawn("lingerer", || {}).expect("spawn");
+            });
+        })
+        .expect_err("a leaked task must panic the driver");
+        std::panic::set_hook(prev);
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("leak assert carries a formatted message");
+        assert!(
+            msg.contains("`lingerer`"),
+            "panic must name the leaked task: {msg}"
+        );
+        assert!(
+            msg.contains("virt.rs"),
+            "panic must carry the spawn-site location: {msg}"
+        );
+    }
+
+    fn run_logged_sleepers(
+        strategy: Box<dyn crate::sched::Scheduler>,
+    ) -> (Vec<u32>, ScheduleTrace) {
+        with_virtual_sched(strategy, |clock| {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let mut hs = Vec::new();
+            for i in 0..4u32 {
+                let log = Arc::clone(&log);
+                let c = clock.clone();
+                hs.push(
+                    clock
+                        .spawn(&format!("w{i}"), move || {
+                            for _ in 0..3 {
+                                c.sleep(Duration::from_millis(10));
+                                log.lock().expect("log").push(i);
+                            }
+                        })
+                        .expect("spawn"),
+                );
+            }
+            for h in hs {
+                h.join().expect("clean");
+            }
+            let v = log.lock().expect("log").clone();
+            v
+        })
+    }
+
+    #[test]
+    fn strategy_runs_are_seed_deterministic_and_replayable() {
+        use crate::sched::{ForcedPrefix, RandomWalk};
+        let (a, ta) = run_logged_sleepers(Box::new(RandomWalk::new(42)));
+        let (b, tb) = run_logged_sleepers(Box::new(RandomWalk::new(42)));
+        assert_eq!(a, b, "same seed, same interleaving");
+        assert_eq!(ta, tb, "same seed, same recorded schedule");
+        assert!(
+            !ta.is_empty(),
+            "four same-deadline sleepers must hit choice points"
+        );
+        let (c, tc) = run_logged_sleepers(Box::new(ForcedPrefix::replay(&ta)));
+        assert_eq!(c, a, "replaying the schedule reproduces the interleaving");
+        assert_eq!(tc, ta, "replay re-records the identical schedule");
+    }
+
+    #[test]
+    fn random_walk_reaches_interleavings_fifo_never_takes() {
+        use crate::sched::RoundRobin;
+        let (fifo, _) = run_logged_sleepers(Box::new(RoundRobin));
+        let diverged = (1..16).any(|seed| {
+            run_logged_sleepers(Box::new(crate::sched::RandomWalk::new(seed))).0 != fifo
+        });
+        assert!(
+            diverged,
+            "16 random walks over 4 racing sleepers must produce at least one non-FIFO order"
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@
 use bytes::Bytes;
 use ftc_core::{Cluster, ClusterConfig, FtPolicy, ReadError};
 use ftc_hashring::NodeId;
-use ftc_net::{TraceEventKind, TraceRecord};
+use ftc_net::{OpRecord, TraceEventKind, TraceRecord};
 use ftc_sim::{FaultEvent, FaultPlan, SimCalibration, SimCluster, SimWorkload};
 use ftc_storage::synth_bytes;
 use ftc_time::ClockHandle;
@@ -485,6 +485,12 @@ pub struct CampaignOptions {
     /// must suppress the oscillation and count it, which the
     /// `--sabotage-flap` self-test asserts.
     pub sabotage_flap: bool,
+    /// Record a per-key operation history on the fabric (client reads,
+    /// server-side value landings, ring-epoch bumps) for offline
+    /// linearizability checking (`ftc_analysis::linz`). The staged
+    /// dataset is seeded as t=0 writes so warm reads have something to
+    /// linearize against.
+    pub history: bool,
 }
 
 /// Result of running one campaign.
@@ -816,7 +822,8 @@ pub fn run_campaign_with(
     plan: &ChaosPlan,
     opts: CampaignOptions,
 ) -> (CampaignReport, Option<Vec<TraceRecord>>) {
-    run_campaign_on(policy, plan, opts, ClockHandle::wall())
+    let (report, trace, _) = run_campaign_on(policy, plan, opts, ClockHandle::wall());
+    (report, trace)
 }
 
 /// Run one campaign entirely in virtual time: the same real threaded
@@ -832,6 +839,45 @@ pub fn run_campaign_virtual(
     ftc_time::with_virtual(|clock| run_campaign_on(policy, plan, opts, clock).0)
 }
 
+/// [`run_campaign_on`] under a pluggable schedule strategy: the campaign
+/// runs inside [`ftc_time::with_virtual_sched`], so every point where
+/// more than one task is runnable is a recorded choice point. Returns
+/// the report, the recorded [`ScheduleTrace`] (replayable via
+/// [`ftc_time::ForcedPrefix::replay`]), and — when `opts` asked for them
+/// — the vector-clock trace and op history.
+pub fn run_campaign_explored(
+    policy: FtPolicy,
+    plan: &ChaosPlan,
+    opts: CampaignOptions,
+    strategy: Box<dyn ftc_time::Scheduler>,
+) -> (
+    CampaignReport,
+    ftc_time::ScheduleTrace,
+    Option<Vec<TraceRecord>>,
+    Option<Vec<OpRecord>>,
+) {
+    let ((report, trace, history), sched) =
+        ftc_time::with_virtual_sched(strategy, |clock| run_campaign_on(policy, plan, opts, clock));
+    (report, sched, trace, history)
+}
+
+/// Run one campaign in virtual time with history recording on and hand
+/// back the op history alongside the report — the unit `chaos
+/// --check-linz` iterates.
+pub fn run_campaign_history(
+    policy: FtPolicy,
+    plan: &ChaosPlan,
+    opts: CampaignOptions,
+) -> (CampaignReport, Vec<OpRecord>) {
+    let opts = CampaignOptions {
+        history: true,
+        ..opts
+    };
+    let (report, _, history) =
+        ftc_time::with_virtual(|clock| run_campaign_on(policy, plan, opts, clock));
+    (report, history.unwrap_or_default())
+}
+
 /// [`run_campaign_with`] on an injected clock: the cluster, its movers,
 /// the client's retry/backoff/detector and the recovery engine all share
 /// it, so the campaign runs identically on wall or virtual time.
@@ -840,7 +886,11 @@ pub fn run_campaign_on(
     plan: &ChaosPlan,
     opts: CampaignOptions,
     clock: ClockHandle,
-) -> (CampaignReport, Option<Vec<TraceRecord>>) {
+) -> (
+    CampaignReport,
+    Option<Vec<TraceRecord>>,
+    Option<Vec<OpRecord>>,
+) {
     let mut cfg = ClusterConfig::small(plan.nodes, policy);
     cfg.ft.detector.ttl = CAMPAIGN_TTL;
     cfg.ft.detector.timeout_limit = 2;
@@ -877,17 +927,29 @@ pub fn run_campaign_on(
                     retired_policy_reads: 0,
                 },
                 None,
+                None,
             );
         }
     };
     if opts.trace {
         cluster.network().enable_tracing();
     }
+    if opts.history {
+        cluster.network().enable_history();
+    }
     let paths = cluster.stage_dataset("train", plan.files, plan.file_size);
     let truth: Vec<Bytes> = paths
         .iter()
         .map(|p| synth_bytes(p, plan.file_size))
         .collect();
+    // Seed the history with the staged ground truth: every path exists
+    // on the PFS at t=0, so the linearizability spec treats staging as
+    // the initial write of each register.
+    if let Some(h) = cluster.network().history() {
+        for (p, bytes) in paths.iter().zip(&truth) {
+            h.seed_write(p, ftc_net::fnv1a(bytes));
+        }
+    }
     let recovery_mode = if opts.sabotage_recovery {
         RecoveryMode::Proactive
     } else {
@@ -939,6 +1001,7 @@ pub fn run_campaign_on(
                             policy_flaps_suppressed: 0,
                             retired_policy_reads: 0,
                         },
+                        None,
                         None,
                     );
                 }
@@ -1203,6 +1266,7 @@ pub fn run_campaign_on(
         Some(cluster.obs().flight.dump())
     };
 
+    let history_log = cluster.network().history().map(|h| h.take());
     cluster.shutdown();
     (
         CampaignReport {
@@ -1222,6 +1286,7 @@ pub fn run_campaign_on(
             retired_policy_reads,
         },
         trace_log,
+        history_log,
     )
 }
 

@@ -20,6 +20,8 @@
 //! | [`sim`] | discrete-event simulator: Figures 5/6 at 64–1024 nodes |
 //! | [`slurm`] | Frontier job-failure trace + Table I / Fig 1–2 analysis |
 //! | [`chaos`] | seeded gray-failure campaigns with invariant checking |
+//! | [`analysis`] | offline analyses: races, FSM checking, lints, linearizability |
+//! | [`modelcheck`] | schedule exploration + linz checking over chaos campaigns |
 //!
 //! ## Quickstart
 //!
@@ -43,7 +45,9 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod modelcheck;
 
+pub use ftc_analysis as analysis;
 pub use ftc_core as core;
 pub use ftc_hashring as hashring;
 pub use ftc_net as net;
