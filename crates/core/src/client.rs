@@ -25,7 +25,8 @@ use crate::recovery::{RecoveryConfig, RecoveryEngine};
 use crate::server::CacheNet;
 use bytes::Bytes;
 use ftc_hashring::{NodeId, Placement};
-use ftc_net::{Endpoint, TraceEventKind};
+use ftc_net::xport::{Caller, Transport};
+use ftc_net::TraceEventKind;
 use ftc_storage::{KeyIndex, Pfs};
 use ftc_time::ClockHandle;
 use parking_lot::Mutex;
@@ -104,7 +105,10 @@ pub struct HvacClient {
     /// and detector stamp goes through this handle, so a cluster built on
     /// a virtual clock runs the identical code path in virtual time.
     clock: ClockHandle,
-    endpoint: Endpoint<CacheRequest, CacheResponse>,
+    /// RPC issuer, backend-blind: the simulated fabric's endpoint inside
+    /// clusters, a pooled TCP caller in `ftc-client`. Everything the
+    /// client does to the network goes through this object.
+    endpoint: Box<dyn Caller<CacheRequest, CacheResponse>>,
     placement: Mutex<Box<dyn Placement + Send>>,
     detector: Mutex<FailureDetector>,
     config: FtConfig,
@@ -146,10 +150,23 @@ impl HvacClient {
         server_count: u32,
         config: FtConfig,
     ) -> Self {
+        Self::with_transport(me, net, pfs, server_count, config)
+    }
+
+    /// Build a client for rank `me` over any [`Transport`] backend —
+    /// the constructor `ftc-client` uses to run the identical retry /
+    /// detector / placement logic over real TCP sockets.
+    pub fn with_transport(
+        me: NodeId,
+        transport: &dyn Transport<CacheRequest, CacheResponse>,
+        pfs: Arc<Pfs>,
+        server_count: u32,
+        config: FtConfig,
+    ) -> Self {
         HvacClient {
             me,
-            clock: net.clock(),
-            endpoint: net.endpoint(me),
+            clock: transport.clock(),
+            endpoint: transport.caller(me),
             placement: Mutex::new(config.placement.build(server_count)),
             detector: Mutex::new(FailureDetector::new(config.detector)),
             config,

@@ -7,6 +7,7 @@
 
 use bytes::Bytes;
 use ftc_net::Payload;
+use ftc_wire::codec::{put_bytes, put_str, put_u32, CodecError, Reader, Wire};
 use serde::{Deserialize, Serialize};
 
 /// Where the server found the bytes it served.
@@ -114,6 +115,162 @@ impl Payload for CacheResponse {
                 32 + keys.iter().map(|k| 8 + k.len()).sum::<usize>()
             }
             CacheResponse::EvictAck { path, .. } => 33 + path.len(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP codec (ftc-wire). One tag byte per variant, then the fields in
+// declaration order. The tag spaces of request and response are
+// independent — the frame layer already says which side a body is.
+// ---------------------------------------------------------------------------
+
+impl ServeSource {
+    fn tag(self) -> u8 {
+        match self {
+            ServeSource::NvmeHit => 1,
+            ServeSource::PfsFetch => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, CodecError> {
+        match tag {
+            1 => Ok(ServeSource::NvmeHit),
+            2 => Ok(ServeSource::PfsFetch),
+            tag => Err(CodecError::BadTag {
+                what: "ServeSource",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for CacheRequest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CacheRequest::Read { path } => {
+                out.push(1);
+                put_str(out, path);
+            }
+            CacheRequest::Ping => out.push(2),
+            CacheRequest::Put { path, bytes } => {
+                out.push(3);
+                put_str(out, path);
+                put_bytes(out, bytes);
+            }
+            CacheRequest::Digest => out.push(4),
+            CacheRequest::Evict { path } => {
+                out.push(5);
+                put_str(out, path);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8("CacheRequest tag")? {
+            1 => Ok(CacheRequest::Read {
+                path: r.string("Read.path")?,
+            }),
+            2 => Ok(CacheRequest::Ping),
+            3 => Ok(CacheRequest::Put {
+                path: r.string("Put.path")?,
+                bytes: Bytes::from(r.bytes("Put.bytes")?),
+            }),
+            4 => Ok(CacheRequest::Digest),
+            5 => Ok(CacheRequest::Evict {
+                path: r.string("Evict.path")?,
+            }),
+            tag => Err(CodecError::BadTag {
+                what: "CacheRequest",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for CacheResponse {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CacheResponse::Data {
+                path,
+                bytes,
+                source,
+            } => {
+                out.push(1);
+                put_str(out, path);
+                put_bytes(out, bytes);
+                out.push(source.tag());
+            }
+            CacheResponse::NotFound { path } => {
+                out.push(2);
+                put_str(out, path);
+            }
+            CacheResponse::Pong => out.push(3),
+            CacheResponse::PutAck { path } => {
+                out.push(4);
+                put_str(out, path);
+            }
+            CacheResponse::DigestReply { keys } => {
+                out.push(5);
+                put_u32(out, keys.len() as u32);
+                for k in keys {
+                    put_str(out, k);
+                }
+            }
+            CacheResponse::EvictAck { path, existed } => {
+                out.push(6);
+                put_str(out, path);
+                out.push(u8::from(*existed));
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8("CacheResponse tag")? {
+            1 => Ok(CacheResponse::Data {
+                path: r.string("Data.path")?,
+                bytes: Bytes::from(r.bytes("Data.bytes")?),
+                source: ServeSource::from_tag(r.u8("Data.source")?)?,
+            }),
+            2 => Ok(CacheResponse::NotFound {
+                path: r.string("NotFound.path")?,
+            }),
+            3 => Ok(CacheResponse::Pong),
+            4 => Ok(CacheResponse::PutAck {
+                path: r.string("PutAck.path")?,
+            }),
+            5 => {
+                let n = r.u32("DigestReply.len")? as usize;
+                // Cap the pre-allocation by what the body could possibly
+                // hold (2 bytes minimum per entry): a hostile count
+                // cannot balloon memory ahead of the per-key length
+                // checks.
+                let mut keys = Vec::with_capacity(n.min(r.remaining() / 2));
+                for _ in 0..n {
+                    keys.push(r.string("DigestReply.key")?);
+                }
+                Ok(CacheResponse::DigestReply { keys })
+            }
+            6 => Ok(CacheResponse::EvictAck {
+                path: r.string("EvictAck.path")?,
+                // Strict bool: only 0/1 are accepted, so every message
+                // has exactly one byte representation (the garbage
+                // property test relies on the codec being canonical).
+                existed: match r.u8("EvictAck.existed")? {
+                    0 => false,
+                    1 => true,
+                    tag => {
+                        return Err(CodecError::BadTag {
+                            what: "EvictAck.existed",
+                            tag,
+                        })
+                    }
+                },
+            }),
+            tag => Err(CodecError::BadTag {
+                what: "CacheResponse",
+                tag,
+            }),
         }
     }
 }

@@ -9,6 +9,7 @@
 use crate::error::CoreError;
 use crate::proto::{CacheRequest, CacheResponse, ServeSource};
 use ftc_hashring::NodeId;
+use ftc_net::xport::{Inbound, Listener, Transport};
 use ftc_net::{Incoming, Network, TraceEventKind};
 use ftc_storage::{DataMover, NvmeCache, Pfs};
 use ftc_time::{ClockHandle, TaskHandle};
@@ -110,26 +111,42 @@ impl HvacServer {
         self.mover.pressure_handles()
     }
 
-    /// Synchronously process one incoming request.
-    pub fn handle(&self, mut inc: Incoming<CacheRequest, CacheResponse>) {
+    /// Synchronously process one incoming request from the in-process
+    /// fabric (DES-mode parity hook; the event loops go through
+    /// [`handle_inbound`](Self::handle_inbound)).
+    pub fn handle(&self, inc: Incoming<CacheRequest, CacheResponse>) {
+        self.handle_inbound(Box::new(inc));
+    }
+
+    /// Synchronously process one incoming request from any transport
+    /// backend. The protocol brain is backend-blind: tracing and history
+    /// hooks are live on the simulated fabric and no-ops over TCP.
+    pub fn handle_inbound(&self, mut inc: Box<dyn Inbound<CacheRequest, CacheResponse>>) {
         // Absorb the request's clock stamp up front so cache-map events
         // recorded below are causally after the client's send.
         inc.absorb();
-        match &inc.req {
-            CacheRequest::Ping => inc.reply(CacheResponse::Pong),
+        let served_by = inc.served_by();
+        let history = inc.history();
+        // Trace events are staged while the request payload is borrowed
+        // and emitted (in order) before the reply, which preserves the
+        // causal order the race detector expects.
+        let mut traces: Vec<TraceEventKind> = Vec::new();
+        // `sized` replies charge the response's serialization time to
+        // this server thread (data-bearing responses only).
+        let (resp, sized) = match inc.req() {
+            CacheRequest::Ping => (CacheResponse::Pong, false),
             CacheRequest::Put { path, bytes } => {
-                let path = path.clone();
-                if let Some(h) = inc.history() {
+                if let Some(h) = history {
                     // Replica writes and recache pushes both land here;
                     // the store is the linearization point, so the op is
                     // recorded as a zero-width interval at serve time.
                     let t = h.now();
                     h.record(ftc_net::OpRecord {
                         id: 0,
-                        actor: inc.served_by(),
+                        actor: served_by,
                         kind: ftc_net::OpKind::Write,
                         key: path.clone(),
-                        node: inc.served_by(),
+                        node: served_by,
                         epoch: 0,
                         invoke: t,
                         ret: t,
@@ -137,53 +154,72 @@ impl HvacServer {
                         handoff: false,
                     });
                 }
-                let evicted = self.cache.insert(&path, bytes.clone());
-                inc.trace_state(TraceEventKind::CacheInsert { key: path.clone() });
+                let evicted = self.cache.insert(path, bytes.clone());
+                traces.push(TraceEventKind::CacheInsert { key: path.clone() });
                 for key in evicted {
-                    inc.trace_state(TraceEventKind::CacheEvict { key });
+                    traces.push(TraceEventKind::CacheEvict { key });
                 }
-                inc.reply(CacheResponse::PutAck { path });
+                (CacheResponse::PutAck { path: path.clone() }, false)
             }
             CacheRequest::Read { path } => {
-                let path = path.clone();
-                if let Some(bytes) = self.cache.get(&path) {
-                    inc.reply_sized(CacheResponse::Data {
-                        path,
-                        bytes,
-                        source: ServeSource::NvmeHit,
-                    });
-                } else if let Some(bytes) = self.pfs.read(&path) {
+                if let Some(bytes) = self.cache.get(path) {
+                    (
+                        CacheResponse::Data {
+                            path: path.clone(),
+                            bytes,
+                            source: ServeSource::NvmeHit,
+                        },
+                        true,
+                    )
+                } else if let Some(bytes) = self.pfs.read(path) {
                     // Serve first, persist in the background (HVAC's
                     // data-mover pattern keeps the PFS fetch off the next
                     // reader's critical path only; this one pays it). A
                     // full mover queue drops the recache — the read still
                     // succeeds, only the insert trace is withheld so the
                     // model never records an insert that didn't happen.
-                    if self.mover.enqueue(&path, bytes.clone()) {
-                        inc.trace_state(TraceEventKind::CacheInsert { key: path.clone() });
+                    if self.mover.enqueue(path, bytes.clone()) {
+                        traces.push(TraceEventKind::CacheInsert { key: path.clone() });
                     }
-                    inc.reply_sized(CacheResponse::Data {
-                        path,
-                        bytes,
-                        source: ServeSource::PfsFetch,
-                    });
+                    (
+                        CacheResponse::Data {
+                            path: path.clone(),
+                            bytes,
+                            source: ServeSource::PfsFetch,
+                        },
+                        true,
+                    )
                 } else {
-                    inc.reply(CacheResponse::NotFound { path });
+                    (CacheResponse::NotFound { path: path.clone() }, false)
                 }
             }
-            CacheRequest::Digest => {
-                inc.reply_sized(CacheResponse::DigestReply {
+            CacheRequest::Digest => (
+                CacheResponse::DigestReply {
                     keys: self.cache.keys(),
-                });
-            }
+                },
+                true,
+            ),
             CacheRequest::Evict { path } => {
-                let path = path.clone();
-                let existed = self.cache.remove(&path);
+                let existed = self.cache.remove(path);
                 if existed {
-                    inc.trace_state(TraceEventKind::CacheEvict { key: path.clone() });
+                    traces.push(TraceEventKind::CacheEvict { key: path.clone() });
                 }
-                inc.reply(CacheResponse::EvictAck { path, existed });
+                (
+                    CacheResponse::EvictAck {
+                        path: path.clone(),
+                        existed,
+                    },
+                    false,
+                )
             }
+        };
+        for t in traces {
+            inc.trace_state(t);
+        }
+        if sized {
+            inc.reply_sized(resp);
+        } else {
+            inc.reply(resp);
         }
     }
 
@@ -232,24 +268,44 @@ impl ServerHandle {
     ) -> Result<Self, CoreError> {
         // The server inherits the network's clock, so a cluster built on a
         // virtual clock gets cooperative server tasks with no extra plumbing.
-        Self::spawn_inner(
-            HvacServer::with_cache_clock(node, pfs, cache, net.clock())?,
-            net,
-        )
+        Self::spawn_on(node, net, pfs, cache)
     }
 
-    fn spawn_inner(server: HvacServer, net: &CacheNet) -> Result<Self, CoreError> {
+    /// Spawn a server event loop over *any* transport backend — the
+    /// in-process fabric here, real TCP sockets in `ftc-server`. The
+    /// transport's clock drives the loop, so virtual-time clusters get
+    /// cooperative tasks and TCP gets plain threads from the same code.
+    pub fn spawn_on(
+        node: NodeId,
+        transport: &dyn Transport<CacheRequest, CacheResponse>,
+        pfs: Arc<Pfs>,
+        cache: Arc<NvmeCache>,
+    ) -> Result<Self, CoreError> {
+        let server = HvacServer::with_cache_clock(node, pfs, cache, transport.clock())?;
+        let listener = transport
+            .register(node)
+            .map_err(|source| CoreError::Spawn {
+                what: "transport listener",
+                node,
+                source,
+            })?;
+        Self::spawn_inner(server, transport.clock(), listener)
+    }
+
+    fn spawn_inner(
+        server: HvacServer,
+        clock: ClockHandle,
+        listener: Box<dyn Listener<CacheRequest, CacheResponse>>,
+    ) -> Result<Self, CoreError> {
         let node = server.node();
         let cache = server.cache();
         let (moved, moved_bytes) = server.mover_counters();
         let (queue_depth, enqueue_rejected) = server.mover_pressure();
-        let mbox = net.register(node);
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let reclaimed: Arc<Mutex<Option<HvacServer>>> = Arc::new(Mutex::new(None));
         let slot = Arc::clone(&reclaimed);
-        let join = net
-            .clock()
+        let join = clock
             .spawn(&format!("hvac-server-{node}"), move || {
                 // Poll with a short tick so a stop request is honored even
                 // when no traffic arrives.
@@ -258,10 +314,14 @@ impl ServerHandle {
                 // bounds how late a store is observed, and no other state
                 // rides on it.
                 while !stop2.load(Ordering::Relaxed) {
-                    if let Some(inc) = mbox.recv_timeout(Duration::from_millis(5)) {
-                        server.handle(inc);
+                    if let Some(inc) = listener.accept(Duration::from_millis(5)) {
+                        server.handle_inbound(inc);
                     }
                 }
+                // The listener (and with it any accept threads a real
+                // backend runs) dies with the loop; drop it before
+                // parking the server so shutdown fully quiesces the node.
+                drop(listener);
                 *slot.lock() = Some(server);
             })
             .map_err(|source| CoreError::Spawn {

@@ -37,6 +37,7 @@ pub mod latency;
 pub mod stats;
 pub mod trace;
 pub mod transport;
+pub mod xport;
 
 pub use error::RpcError;
 pub use history::{fnv1a, HistoryRecorder, OpKind, OpRecord};
@@ -44,3 +45,4 @@ pub use latency::LatencyModel;
 pub use stats::{NetStats, NetStatsSnapshot};
 pub use trace::{TraceEventKind, TraceRecord, Tracer, VClock};
 pub use transport::{Endpoint, Incoming, Mailbox, Network, Payload};
+pub use xport::{Caller, Inbound, Listener, Transport};

@@ -1,0 +1,140 @@
+//! `ftc-server` — one FT-Cache node over real TCP sockets.
+//!
+//! Hosts the full server stack of a cache node: the NVMe LRU tier, the
+//! PFS model (staged synthetically — every process derives the identical
+//! dataset from the paths alone, so a fleet needs no shared storage), the
+//! data mover, and the request brain shared verbatim with the in-process
+//! simulated clusters. The observability exposition (`--prom`) is served
+//! over the same socket listener via the wire protocol's `ObsScrape`
+//! frame, not a separate HTTP port.
+//!
+//! ```text
+//! ftc-server --node 0 --peers 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402 \
+//!     [--nvme-mb 256] [--files 64] [--size 65536] [--prefix train] \
+//!     [--stage PREFIX:COUNT:SIZE,...] [--prom]
+//! ```
+//!
+//! `--stage` stages several datasets at once (the bench needs its three
+//! value sizes); when absent, one dataset from `--prefix/--files/--size`.
+//!
+//! Prints `READY node=<n> addr=<addr>` on stdout once the listener is
+//! bound, then serves until killed.
+
+use ft_cache::fleet::{parse_stage_specs, stage_dataset, Args};
+use ftc_core::{CacheRequest, CacheResponse, ServerHandle};
+use ftc_hashring::NodeId;
+use ftc_obs::{render_prometheus, ObsHub, Sample};
+use ftc_storage::{NvmeCache, Pfs};
+use ftc_time::ClockHandle;
+use ftc_wire::tcp::{parse_peers, TcpConfig, TcpTransport};
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "usage: ftc-server --node N --peers HOST:PORT,... \
+[--nvme-mb MB] [--files N] [--size BYTES] [--prefix NAME] \
+[--stage PREFIX:COUNT:SIZE,...] [--prom]";
+
+fn die(msg: &str) -> ! {
+    eprintln!("ftc-server: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = match Args::parse(
+        std::env::args().skip(1),
+        &[
+            "node", "peers", "nvme-mb", "files", "size", "prefix", "stage",
+        ],
+        &["prom"],
+    ) {
+        Ok(a) => a,
+        Err(e) => die(&e),
+    };
+    let node = match args.required("node").and_then(|v| {
+        v.parse::<u32>()
+            .map_err(|_| format!("--node: cannot parse {v:?}"))
+    }) {
+        Ok(n) => NodeId(n),
+        Err(e) => die(&e),
+    };
+    let peers = match args.required("peers").map(parse_peers) {
+        Ok(Ok(p)) => p,
+        Ok(Err(e)) => die(&format!("--peers: {e}")),
+        Err(e) => die(&e),
+    };
+    let nvme_mb: u64 = args.parsed_or("nvme-mb", 256).unwrap_or_else(|e| die(&e));
+    let files: usize = args.parsed_or("files", 64).unwrap_or_else(|e| die(&e));
+    let size: usize = args.parsed_or("size", 65_536).unwrap_or_else(|e| die(&e));
+    let prefix = args.get("prefix").unwrap_or("train").to_string();
+    if (node.0 as usize) >= peers.len() {
+        die(&format!(
+            "--node {} out of range for {} peers",
+            node.0,
+            peers.len()
+        ));
+    }
+
+    // Stage the synthetic PFS locally. Deterministic: each server in the
+    // fleet stages the identical dataset(s) from the same flags.
+    let specs = match args.get("stage") {
+        Some(s) => parse_stage_specs(s).unwrap_or_else(|e| die(&e)),
+        None => vec![(prefix, files, size)],
+    };
+    let pfs = Arc::new(Pfs::in_memory());
+    for (prefix, count, size) in &specs {
+        stage_dataset(&pfs, prefix, *count, *size);
+    }
+    let cache = Arc::new(NvmeCache::new(nvme_mb * 1024 * 1024));
+
+    let transport: TcpTransport<CacheRequest, CacheResponse> =
+        TcpTransport::from_peer_list(&peers, TcpConfig::default());
+
+    if args.flag("prom") {
+        let hub = ObsHub::shared();
+        let scrape_cache = Arc::clone(&cache);
+        let scrape_pfs = Arc::clone(&pfs);
+        let scrape_node = node;
+        transport.set_obs_handler(Arc::new(move || {
+            let mut samples = hub.registry.samples();
+            let stats = scrape_cache.stats();
+            let label = |s: Sample| s.with_label("node", scrape_node.0);
+            samples.extend([
+                label(Sample::counter("ftc_nvme_hits_total", stats.hits)),
+                label(Sample::counter("ftc_nvme_misses_total", stats.misses)),
+                label(Sample::counter("ftc_nvme_evictions_total", stats.evictions)),
+                label(Sample::gauge(
+                    "ftc_nvme_resident_bytes",
+                    stats.resident_bytes as f64,
+                )),
+                label(Sample::gauge(
+                    "ftc_nvme_resident_objects",
+                    stats.resident_objects as f64,
+                )),
+                label(Sample::counter(
+                    "ftc_pfs_reads_total",
+                    scrape_pfs.total_reads(),
+                )),
+            ]);
+            render_prometheus(&samples)
+        }));
+    }
+
+    // The handle owns the event-loop thread; it must stay alive for the
+    // life of the process (dropping it would not stop the loop, but keep
+    // the binding explicit about ownership).
+    let _handle = match ServerHandle::spawn_on(node, &transport, pfs, cache) {
+        Ok(h) => h,
+        Err(e) => die(&format!("cannot start node {node}: {e}")),
+    };
+
+    println!("READY node={} addr={}", node.0, peers[node.0 as usize]);
+    let _ = std::io::stdout().flush();
+
+    // Serve until killed; the event loop lives on its spawned thread and
+    // this thread only keeps the process alive.
+    let clock = ClockHandle::wall();
+    loop {
+        clock.sleep(Duration::from_secs(3600));
+    }
+}

@@ -14,6 +14,7 @@
 //! |---|---|
 //! | [`hashring`] | placement: consistent hash ring + §IV-B alternatives |
 //! | [`net`] | interconnect: mailbox RPC, deadlines, fault injection |
+//! | [`wire`] | real TCP transport: framing, codec, pooled connections |
 //! | [`storage`] | NVMe cache (LRU), PFS with read accounting, data mover |
 //! | [`core`] | FT-Cache client/server/policies, threaded cluster |
 //! | [`train`] | CosmoFlow-shaped workload + Horovod-elastic driver |
@@ -22,6 +23,7 @@
 //! | [`chaos`] | seeded gray-failure campaigns with invariant checking |
 //! | [`analysis`] | offline analyses: races, FSM checking, lints, linearizability |
 //! | [`modelcheck`] | schedule exploration + linz checking over chaos campaigns |
+//! | [`fleet`] | helpers behind the `ftc-server` / `ftc-client` binaries |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod fleet;
 pub mod modelcheck;
 
 pub use ftc_analysis as analysis;
@@ -57,6 +60,7 @@ pub use ftc_slurm as slurm;
 pub use ftc_storage as storage;
 pub use ftc_time as time;
 pub use ftc_train as train;
+pub use ftc_wire as wire;
 
 /// The names most programs need.
 pub mod prelude {

@@ -1,0 +1,181 @@
+//! Loopback integration test for the real TCP transport: boots three
+//! `ftc-server` processes on 127.0.0.1, runs read epochs through an
+//! in-process `HvacClient` over `TcpTransport` (the exact client stack
+//! `ftc-client` wraps), kills one server mid-run, and asserts the fleet
+//! degrades gracefully and recovers — the paper's §IV-B story, but over
+//! real sockets and real process death instead of the simulated fabric.
+
+use ft_cache::fleet::dataset_paths;
+use ftc_core::{CacheRequest, CacheResponse, FtConfig, FtPolicy, HvacClient, ReadVia};
+use ftc_hashring::NodeId;
+use ftc_storage::{synth_bytes, verify_synth, Pfs};
+use ftc_time::ClockHandle;
+use ftc_wire::tcp::{scrape_obs, TcpConfig, TcpTransport};
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+const FILES: usize = 32;
+const SIZE: usize = 16 * 1024;
+const PREFIX: &str = "loop";
+
+/// Reserve `n` distinct loopback ports by binding then dropping.
+fn free_addrs(n: usize) -> Vec<SocketAddr> {
+    let held: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind :0"))
+        .collect();
+    held.iter()
+        .map(|l| l.local_addr().expect("local addr"))
+        .collect()
+}
+
+/// Start one `ftc-server` process and block until it prints `READY`.
+fn start_server(node: u32, peers: &str, prom: bool) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ftc-server"));
+    cmd.args(["--node", &node.to_string(), "--peers", peers])
+        .args(["--files", &FILES.to_string()])
+        .args(["--size", &SIZE.to_string()])
+        .args(["--prefix", PREFIX])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    if prom {
+        cmd.arg("--prom");
+    }
+    let mut child = cmd.spawn().expect("spawn ftc-server");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read READY line");
+    assert!(
+        line.starts_with("READY"),
+        "server {node} did not come up: {line:?}"
+    );
+    child
+}
+
+struct Fleet {
+    children: Vec<Child>,
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for c in &mut self.children {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+/// One epoch of verified reads; returns (nvme, server_pfs, direct_pfs).
+fn read_epoch(client: &HvacClient, paths: &[String]) -> (u32, u32, u32) {
+    let (mut nvme, mut server_pfs, mut direct_pfs) = (0, 0, 0);
+    for p in paths {
+        let out = client.read_traced(p).expect("read must survive the fleet");
+        assert!(verify_synth(p, &out.bytes), "corrupt bytes for {p}");
+        assert_eq!(out.bytes, synth_bytes(p, SIZE));
+        match out.via {
+            ReadVia::ServerNvme(_) => nvme += 1,
+            ReadVia::ServerPfsFetch(_) => server_pfs += 1,
+            ReadVia::DirectPfs => direct_pfs += 1,
+        }
+    }
+    (nvme, server_pfs, direct_pfs)
+}
+
+#[test]
+fn three_process_fleet_survives_a_mid_run_kill() {
+    let addrs = free_addrs(3);
+    let peers = addrs
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let mut fleet = Fleet {
+        children: (0..3).map(|n| start_server(n, &peers, n == 0)).collect(),
+    };
+
+    // The in-process client: the same stack `ftc-client` wraps, minus the
+    // process boundary, so the test can assert on detector state.
+    let transport: TcpTransport<CacheRequest, CacheResponse> =
+        TcpTransport::from_peer_list(&addrs, TcpConfig::default());
+    let pfs = Arc::new(Pfs::in_memory());
+    let paths = dataset_paths(PREFIX, FILES);
+    for p in &paths {
+        pfs.stage(p, synth_bytes(p, SIZE));
+    }
+    let mut config = FtConfig::for_policy(FtPolicy::RingRecache);
+    config.detector.ttl = Duration::from_millis(100);
+    let client = Arc::new(HvacClient::with_transport(
+        NodeId(100),
+        &transport,
+        Arc::clone(&pfs),
+        3,
+        config,
+    ));
+
+    // Epoch 1: cold fleet — every read is a server-side PFS fetch that
+    // seeds the owners' NVMe tiers over real sockets.
+    let (nvme, server_pfs, direct) = read_epoch(&client, &paths);
+    assert_eq!(server_pfs as usize + nvme as usize + direct as usize, FILES);
+    assert!(
+        server_pfs > 0,
+        "cold epoch must fetch via servers, got nvme={nvme} direct={direct}"
+    );
+
+    // Epoch 2: warm fleet — NVMe hits dominate.
+    let (nvme, _, _) = read_epoch(&client, &paths);
+    assert!(
+        nvme as usize > FILES / 2,
+        "warm epoch should be cache-hit dominated, got {nvme}/{FILES}"
+    );
+
+    // The obs endpoint rides the same listener socket as the RPCs.
+    let text = scrape_obs(addrs[0], Duration::from_secs(2)).expect("prom scrape");
+    assert!(
+        text.contains("ftc_nvme_resident_bytes"),
+        "exposition text missing cache gauges:\n{text}"
+    );
+
+    // Mid-run kill: node 1 dies hard (SIGKILL — no FIN handshake
+    // courtesy, exactly what a crashed node looks like).
+    fleet.children[1].kill().expect("kill node 1");
+    fleet.children[1].wait().expect("reap node 1");
+
+    // Epoch 3 (degraded): every read still succeeds. Keys owned by the
+    // dead node re-route to ring successors, which recache from their
+    // own PFS mirrors; the detector declares node 1 failed along the way.
+    let (_, _, _) = read_epoch(&client, &paths);
+    assert!(
+        client.failed_nodes().contains(&NodeId(1)),
+        "detector never declared the killed node failed: {:?}",
+        client.failed_nodes()
+    );
+
+    // Epoch 4 (recovered): the survivors now own and cache the dead
+    // node's keys — the fleet is back to cache-hit dominated service.
+    let (nvme, _, direct) = read_epoch(&client, &paths);
+    assert!(
+        nvme as usize > FILES / 2,
+        "fleet never recovered to cache hits after the kill, got nvme={nvme} direct={direct}"
+    );
+
+    // Liveness sanity: the surviving servers still answer a fresh client.
+    let fresh = HvacClient::with_transport(
+        NodeId(101),
+        &transport,
+        pfs,
+        3,
+        FtConfig::for_policy(FtPolicy::RingRecache),
+    );
+    let clock = ClockHandle::wall();
+    let t0 = clock.now();
+    read_epoch(&fresh, &paths);
+    assert!(
+        clock.since(t0) < Duration::from_secs(30),
+        "degraded fleet took pathologically long for a fresh client"
+    );
+}
