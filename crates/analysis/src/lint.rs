@@ -1,13 +1,14 @@
 //! Repo-specific source lints, enforced in CI alongside clippy.
 //!
-//! Five rules, each encoding a convention this codebase adopted after
+//! Six rules, each encoding a convention this codebase adopted after
 //! real incidents (panicking boot paths mid-campaign, a catch-all arm
 //! that silently diverted NoFT reads to the PFS, an unjustified
 //! `Relaxed` snapshot that could report more completions than
 //! initiations, bare wall-clock calls that made whole subsystems
-//! impossible to run deterministically in virtual time, and recovery
+//! impossible to run deterministically in virtual time, recovery
 //! tunables scattered as magic numbers that the runtime policy
-//! controller could not govern):
+//! controller could not govern, and the unbounded serve queue that the
+//! overload-armor PR replaced with admission control):
 //!
 //! * **unwrap** — no `.unwrap()` / `.expect(` in non-test library code.
 //!   Typed errors or destructuring `let-else` are required; a deliberate
@@ -35,6 +36,15 @@
 //!   so a runtime policy switch governs *all* of them. A deliberate
 //!   exception (e.g. a sabotage harness zeroing the bucket) carries
 //!   `lint:allow(policy-const)`.
+//! * **bounded-queue** — in the protocol ingress layers (`crates/net`,
+//!   `crates/wire`, `crates/core`), no unbounded queue construction:
+//!   `VecDeque::new(` and unbounded channel constructors (`channel()`,
+//!   `unbounded()`) are banned outside test code. Overload protection is
+//!   only as good as its weakest ingress point — one unbounded buffer
+//!   upstream of the admission queue turns load-shedding into
+//!   load-hiding. Every queue names its bound (`with_capacity` + an
+//!   enforced cap, a bounded channel) or carries a
+//!   `lint:allow(bounded-queue)` waiver stating what bounds it.
 //!
 //! There is no `syn` in this build environment, so the scanner is a
 //! hand-rolled lexer: it strips line/block comments (keeping their text
@@ -57,7 +67,7 @@ pub struct LintFinding {
     /// 1-based line number.
     pub line: usize,
     /// Which rule fired (`"unwrap"`, `"err-catchall"`, `"ordering"`,
-    /// `"wall-clock"`, `"policy-const"`).
+    /// `"wall-clock"`, `"policy-const"`, `"bounded-queue"`).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -200,6 +210,24 @@ fn find_aliased_call<'a>(code: &str, aliases: &'a [WallClockAlias]) -> Option<&'
     None
 }
 
+/// Path prefixes (repo-relative) where the `bounded-queue` rule applies:
+/// the layers requests flow through before admission control can shed
+/// them. The umbrella `src/` and the non-protocol crates are exempt —
+/// harness-side collections are workload-bounded by construction.
+const BOUNDED_QUEUE_SCOPE: &[&str] = &["crates/core/", "crates/net/", "crates/wire/"];
+
+/// Constructors the `bounded-queue` rule bans inside
+/// [`BOUNDED_QUEUE_SCOPE`]: the unbounded deque, and unbounded channel
+/// constructors (`ftc_time::ClockHandle::channel()`, `mpsc::channel()`,
+/// crossbeam's `unbounded()`).
+const BOUNDED_QUEUE_CALLS: &[&str] = &["VecDeque::new(", "channel()", "unbounded()"];
+
+/// True when `label` falls under the bounded-queue rule's scope.
+fn bounded_queue_scoped(label: &Path) -> bool {
+    let l = label.to_string_lossy().replace('\\', "/");
+    BOUNDED_QUEUE_SCOPE.iter().any(|p| l.starts_with(p))
+}
+
 /// Path prefixes where the `policy-const` rule applies: the core crate
 /// (where the tunables are consumed) and the umbrella harness. The two
 /// files that *define* the tunables are exempt by name.
@@ -306,6 +334,7 @@ pub fn lint_source(label: &Path, source: &str) -> Vec<LintFinding> {
         Vec::new()
     };
     let policy_scoped = policy_const_scoped(label);
+    let bounded_scoped = bounded_queue_scoped(label);
 
     let waived = |rule: &str, line_idx: usize| -> bool {
         let marker = format!("lint:allow({rule})");
@@ -368,6 +397,24 @@ pub fn lint_source(label: &Path, source: &str) -> Vec<LintFinding> {
                              import) in a protocol layer; go through the injected \
                              ftc_time::ClockHandle, or waive with lint:allow(wall-clock)",
                             a.needle, a.origin
+                        ),
+                    });
+                }
+            }
+        }
+
+        if bounded_scoped {
+            if let Some(call) = BOUNDED_QUEUE_CALLS.iter().find(|c| code.contains(*c)) {
+                if !waived("bounded-queue", i) {
+                    findings.push(LintFinding {
+                        file: label.to_path_buf(),
+                        line: line_no,
+                        rule: "bounded-queue",
+                        message: format!(
+                            "unbounded queue construction `{call}..)` in a protocol \
+                             ingress layer; name the bound (with_capacity + an enforced \
+                             cap, or a bounded channel), or waive with \
+                             lint:allow(bounded-queue) stating what bounds it"
                         ),
                     });
                 }
@@ -928,6 +975,47 @@ mod tests {
     fn policy_const_waiver_suppresses() {
         let src = "// lint:allow(policy-const): sabotage mode starves the bucket\nfn f() { C { recache_rate: 0.0 } }\n";
         assert!(lint_source(Path::new("src/chaos.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn bounded_queue_constructors_are_flagged_in_scope() {
+        for call in [
+            "VecDeque::new()",
+            "clock.channel()",
+            "mpsc::channel()",
+            "crossbeam::channel::unbounded()",
+        ] {
+            let src = format!("fn f() {{ let q = {call}; }}\n");
+            for scoped in [
+                "crates/core/src/server.rs",
+                "crates/net/src/transport.rs",
+                "crates/wire/src/tcp.rs",
+            ] {
+                let f = lint_source(Path::new(scoped), &src);
+                assert_eq!(rules(&f), vec!["bounded-queue"], "{call} in {scoped}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_queue_rule_is_scoped_and_waivable() {
+        let src = "fn f() { let q: VecDeque<u8> = VecDeque::new(); }\n";
+        // Harness and non-protocol crates own their collections.
+        for exempt in ["src/chaos.rs", "crates/sim/src/lib.rs", "test.rs"] {
+            assert!(
+                lint_source(Path::new(exempt), src).is_empty(),
+                "{exempt} must be exempt"
+            );
+        }
+        // Bounded construction does not match.
+        let bounded = "fn f(cap: usize) { let q = VecDeque::with_capacity(cap); }\n";
+        assert!(lint_source(Path::new("crates/core/src/server.rs"), bounded).is_empty());
+        // A waiver naming the bound suppresses.
+        let waived = "// lint:allow(bounded-queue): cap enforced at push_deadline\nfn f() { let q = VecDeque::new(); }\n";
+        assert!(lint_source(Path::new("crates/wire/src/tcp.rs"), waived).is_empty());
+        // Test code is exempt like everywhere else.
+        let test_gated = "#[cfg(test)]\nmod tests {\n    fn f() { let q = VecDeque::new(); }\n}\n";
+        assert!(lint_source(Path::new("crates/net/src/transport.rs"), test_gated).is_empty());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! degraded-but-alive nodes; and under `--recovery proactive`: no stale
 //! serving, recovery quiescence, no foreground starvation).
 //!
-//! `cargo run -p ftc-bench --release --bin chaos [--seed 1] [--campaigns 50] [--policy ring|pfs|noft] [--recovery lazy|proactive|adaptive] [--scenarios] [--compare] [--compare-adaptive] [--adaptive [--virtual]] [--sabotage] [--sabotage-recovery] [--sabotage-flap] [--virtual [--nodes 128] [--files 256]] [--explore [--explore-strategy random|pct|dfs] [--schedules N] [--depth D]] [--sabotage-atomicity] [--check-linz] [--sabotage-linz]`
+//! `cargo run -p ftc-bench --release --bin chaos [--seed 1] [--campaigns 50] [--policy ring|pfs|noft] [--recovery lazy|proactive|adaptive] [--scenarios] [--scenario cascading-overload] [--compare] [--compare-adaptive] [--adaptive [--virtual]] [--sabotage] [--sabotage-recovery] [--sabotage-flap] [--sabotage-shed] [--virtual [--nodes 128] [--files 256]] [--explore [--explore-strategy random|pct|dfs] [--schedules N] [--depth D]] [--sabotage-atomicity] [--check-linz] [--sabotage-linz]`
 //!
 //! The fault schedule and every verdict are pure functions of the seed:
 //! `chaos --seed N` replays the same PASS/FAIL outcome byte-identically.
@@ -59,6 +59,20 @@
 //! `--sabotage-atomicity` is the explorer's self-test: a seeded
 //! check-then-act bug FIFO never exhibits must be found by the DFS and
 //! its schedule file must replay to the identical verdict.
+//!
+//! `--scenario cascading-overload` runs the overload-armor scenario —
+//! a kill (recache burst) plus an open-loop six-reader surge against
+//! tight admission queues — under adaptive recovery, traced on the
+//! virtual clock, and prints the deterministic render including the
+//! `overload:` counters line. The campaign must hold the goodput floor
+//! (the armor degrades shed reads to the PFS, it never loses them), keep
+//! shed accounting consistent (client-observed typed sheds bounded by
+//! server sheds, no shedding-but-alive node declared failed) and cycle
+//! the brownout posture (entered under the surge, exited after it
+//! clears). Same seed ⇒ byte-identical output; CI diffs two runs.
+//! `--sabotage-shed` is the matching self-test: the client misclassifies
+//! typed sheds as detector evidence, and the run must FAIL with the
+//! shed-false-positive violation plus a flight dump.
 //!
 //! `--check-linz` runs `--campaigns` (default 50) virtual campaigns with
 //! the fabric op-history recorder on — always including the three named
@@ -238,6 +252,81 @@ fn run_adaptive_campaign(seed: u64, sabotage_flap: bool) -> ! {
         std::process::exit(1);
     }
     std::process::exit(0);
+}
+
+/// `--scenario cascading-overload`: kill + recache burst + open-loop
+/// client surge under the full overload armor, adaptive recovery, traced
+/// on the virtual clock. Stdout is the plan summary plus the
+/// deterministic render (`overload:` line included), so CI diffs two
+/// runs of the same seed byte-for-byte. Exits non-zero on any violation,
+/// a surge that never shed, or a brownout that never entered or exited.
+fn run_cascading_overload(seed: u64) -> ! {
+    let plan = ChaosPlan::scenario_cascading_overload(seed);
+    println!("seed={} plan: {}", plan.seed, plan.summary());
+    let report = run_campaign_virtual(
+        FtPolicy::RingRecache,
+        &plan,
+        CampaignOptions {
+            recovery: RecoveryMode::Adaptive,
+            overload: true,
+            trace: true,
+            ..Default::default()
+        },
+    );
+    print!("{}", report.render());
+    if !report.passed() {
+        if let Some(dump) = &report.flight_dump {
+            eprintln!("{dump}");
+        }
+        std::process::exit(1);
+    }
+    let Some(o) = report.overload else {
+        eprintln!("FAIL: overload campaign carried no overload stats");
+        std::process::exit(1);
+    };
+    if o.observed == 0 || o.brownout_entries == 0 || o.brownout_exits == 0 {
+        eprintln!(
+            "FAIL: the surge must shed and cycle brownout (observed={} brownout={}/{})",
+            o.observed, o.brownout_entries, o.brownout_exits
+        );
+        std::process::exit(1);
+    }
+    if report.retired_policy_reads > 0 {
+        eprintln!(
+            "FAIL: {} read(s) attributed to a retired policy epoch",
+            report.retired_policy_reads
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// `--sabotage-shed` self-test: the client misclassifies typed sheds as
+/// detector evidence (the exact bug the typed `Overloaded` reply exists
+/// to prevent), so the shed-false-positive invariant must fire and dump
+/// the flight recorder.
+fn sabotage_shed_selftest(seed: u64) -> ! {
+    header("chaos --sabotage-shed — misclassified-shed self-test");
+    let plan = ChaosPlan::scenario_cascading_overload(seed);
+    println!("seed={} plan: {}", plan.seed, plan.summary());
+    let report = run_campaign_virtual(
+        FtPolicy::RingRecache,
+        &plan,
+        CampaignOptions {
+            sabotage_shed: true,
+            ..Default::default()
+        },
+    );
+    println!("  {report}");
+    if !report
+        .violations
+        .iter()
+        .any(|v| v.contains("shed false positive"))
+    {
+        println!("\nFAIL: misclassified sheds did not trip the false-positive invariant");
+        std::process::exit(1);
+    }
+    selftest_verdict(&report)
 }
 
 /// `--compare-adaptive`: shifting-intensity campaigns for each seed under
@@ -615,6 +704,21 @@ fn main() {
     }
     if has_flag("--check-linz") {
         run_check_linz(base_seed, arg_or("--campaigns", 50));
+    }
+    if has_flag("--sabotage-shed") {
+        sabotage_shed_selftest(base_seed);
+    }
+    let scenario = std::env::args()
+        .position(|a| a == "--scenario")
+        .and_then(|i| std::env::args().nth(i + 1));
+    if let Some(name) = scenario.as_deref() {
+        match name {
+            "cascading-overload" => run_cascading_overload(base_seed),
+            other => {
+                eprintln!("unknown --scenario {other:?} (expected cascading-overload)");
+                std::process::exit(2);
+            }
+        }
     }
     if has_flag("--sabotage-flap") {
         run_adaptive_campaign(base_seed, true);

@@ -8,7 +8,13 @@
 //!
 //! `cargo run -p ftc-bench --release --bin ftc-top -- [--once] [--prom]
 //!   [--nodes 4] [--files 48] [--passes 3] [--kill 1] [--kill-at 1]
-//!   [--no-kill] [--adaptive] [--seed 7]`
+//!   [--no-kill] [--adaptive] [--armored] [--seed 7]`
+//!
+//! `--armored` arms server-side admission control and the client overload
+//! armor (breaker, retry budget, hedged reads); the `overload:` row then
+//! shows sheds, hedges, breaker short-circuits, budget denials, and the
+//! live brownout posture. The row always renders under `--armored`; on
+//! unarmored runs it appears only when some armor counter moved.
 //!
 //! `--once` renders a single frame after the workload finishes (CI
 //! mode); the default renders a frame after every pass, clearing the
@@ -40,6 +46,19 @@ fn counter(samples: &[Sample], name: &str, label: Option<(&str, &str)>) -> u64 {
             _ => None,
         })
         .unwrap_or(0)
+}
+
+/// Sum of every counter sample named `name` across all label sets
+/// (per-node counters roll up into one cluster-wide total).
+fn counter_sum(samples: &[Sample], name: &str) -> u64 {
+    samples
+        .iter()
+        .filter(|s| s.name == name)
+        .filter_map(|s| match s.value {
+            Value::Counter(c) => Some(c),
+            _ => None,
+        })
+        .sum()
 }
 
 /// Value of the first gauge sample matching `name` + `label`.
@@ -86,7 +105,7 @@ fn hist_line(samples: &[Sample], label: &str, name: &str) -> String {
 }
 
 /// Render one dashboard frame from a sample sweep.
-fn render(cluster: &Cluster, nodes: u32, pass_label: &str) {
+fn render(cluster: &Cluster, nodes: u32, armored: bool, pass_label: &str) {
     let samples = cluster.obs_samples();
     let killed = cluster.killed_nodes();
 
@@ -122,6 +141,27 @@ fn render(cluster: &Cluster, nodes: u32, pass_label: &str) {
             gauge(&samples, "ftc_policy_failure_rate_milli", None),
             counter(&samples, "ftc_policy_switches_total", None),
             counter(&samples, "ftc_policy_flap_suppressed_total", None),
+        );
+    }
+    // The row always renders under --armored (CI greps for it); on
+    // unarmored runs it appears only if some counter moved anyway.
+    let sheds = counter_sum(&samples, "ftc_server_shed_capacity_total")
+        + counter_sum(&samples, "ftc_server_shed_deadline_total");
+    let shed_seen = counter(&samples, "ftc_client_overloaded_total", None);
+    let hedges = counter(&samples, "ftc_client_hedges_launched_total", None);
+    let breaker = counter(&samples, "ftc_client_breaker_short_circuits_total", None);
+    let budget_denied = counter(&samples, "ftc_client_budget_denied_total", None);
+    if armored || sheds + shed_seen + hedges + breaker + budget_denied > 0 {
+        println!(
+            "overload: sheds={sheds} observed={shed_seen} fallbacks={} \
+             hedges={}/{hedges} breaker={breaker} budget_denied={budget_denied} brownout={}",
+            counter(&samples, "ftc_client_shed_pfs_fallbacks_total", None),
+            counter(&samples, "ftc_client_hedges_won_total", None),
+            if gauge(&samples, "ftc_policy_brownout", None) > 0.0 {
+                "ON"
+            } else {
+                "off"
+            },
         );
     }
     println!();
@@ -187,6 +227,11 @@ fn main() {
 
     let mut cfg = ClusterConfig::small(nodes, FtPolicy::RingRecache);
     cfg.seed = seed;
+    let armored = has_flag("--armored");
+    if armored {
+        cfg.admission = ftc_core::AdmissionConfig::armored(cfg.ft.detector.ttl);
+        cfg.ft.overload = ftc_core::OverloadConfig::armored();
+    }
     let cluster = match Cluster::start(cfg) {
         Ok(c) => c,
         Err(e) => {
@@ -222,6 +267,7 @@ fn main() {
             render(
                 &cluster,
                 nodes,
+                armored,
                 &format!("pass {pass}/{passes} (live, seed {seed})"),
             );
             std::thread::sleep(std::time::Duration::from_millis(arg_or(
@@ -234,7 +280,12 @@ fn main() {
     std::thread::sleep(std::time::Duration::from_millis(80));
 
     if once {
-        render(&cluster, nodes, &format!("final snapshot (seed {seed})"));
+        render(
+            &cluster,
+            nodes,
+            armored,
+            &format!("final snapshot (seed {seed})"),
+        );
     }
     if has_flag("--prom") {
         println!();

@@ -19,6 +19,7 @@
 use crate::controller::{ControllerConfig, LivePolicy, PolicyController, PolicySignals};
 use crate::detector::{FailureDetector, Verdict};
 use crate::metrics::ClientMetrics;
+use crate::overload::{self, BreakerState, CircuitBreaker, RetryBudget};
 use crate::policy::{FtConfig, FtPolicy};
 use crate::proto::{CacheRequest, CacheResponse, ServeSource};
 use crate::recovery::{RecoveryConfig, RecoveryEngine};
@@ -26,10 +27,11 @@ use crate::server::CacheNet;
 use bytes::Bytes;
 use ftc_hashring::{NodeId, Placement};
 use ftc_net::xport::{Caller, Transport};
-use ftc_net::TraceEventKind;
+use ftc_net::{RpcError, TraceEventKind};
 use ftc_storage::{KeyIndex, Pfs};
 use ftc_time::ClockHandle;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -139,6 +141,22 @@ pub struct HvacClient {
     /// Adaptive policy controller. Started once via
     /// [`Self::enable_controller`].
     controller: OnceLock<Arc<PolicyController>>,
+    /// Per-node circuit breakers (consulted only when the overload armor
+    /// is on; empty and untouched otherwise).
+    breakers: Mutex<HashMap<NodeId, CircuitBreaker>>,
+    /// Retry token budget: every retry spends a token, so an incident
+    /// cannot amplify into a retry storm. Consulted only when armored.
+    retry_budget: Mutex<RetryBudget>,
+    /// Recent successful read latencies feeding the hedge-delay p99
+    /// (bounded ring of [`overload::HEDGE_WINDOW`] samples).
+    read_lat: Mutex<LatWindow>,
+}
+
+/// Bounded ring of recent read latencies for the hedge-delay estimate.
+#[derive(Default)]
+struct LatWindow {
+    samples: Vec<Duration>,
+    next: usize,
 }
 
 impl HvacClient {
@@ -163,9 +181,11 @@ impl HvacClient {
         server_count: u32,
         config: FtConfig,
     ) -> Self {
+        let clock = transport.clock();
+        let retry_budget = RetryBudget::new(config.overload.budget, clock.now());
         HvacClient {
             me,
-            clock: transport.clock(),
+            clock,
             endpoint: transport.caller(me),
             placement: Mutex::new(config.placement.build(server_count)),
             detector: Mutex::new(FailureDetector::new(config.detector)),
@@ -183,6 +203,9 @@ impl HvacClient {
             )),
             signals: Arc::new(PolicySignals::default()),
             controller: OnceLock::new(),
+            breakers: Mutex::new(HashMap::new()),
+            retry_budget: Mutex::new(retry_budget),
+            read_lat: Mutex::new(LatWindow::default()),
         }
     }
 
@@ -350,6 +373,176 @@ impl HvacClient {
         (z >> 11) as f64 / (1u64 << 53) as f64
     }
 
+    // ---- overload armor (breaker / budget / hedging) ---------------
+
+    /// May a call to `node` proceed, per its circuit breaker? Lazily
+    /// creates a closed breaker on first contact. An open breaker whose
+    /// cool-off lapsed admits half-open probes.
+    fn breaker_allow(&self, node: NodeId) -> bool {
+        let now = self.clock.now();
+        let mut map = self.breakers.lock();
+        map.entry(node)
+            .or_insert_with(|| CircuitBreaker::new(self.config.overload.breaker))
+            .allow(now)
+    }
+
+    /// True when `node`'s breaker is fully closed (no trip in progress).
+    /// Hedging requires this: half-open probes must run at the full TTL
+    /// so a dead node still accumulates detector-grade evidence.
+    fn breaker_closed(&self, node: NodeId) -> bool {
+        match self.breakers.lock().get(&node) {
+            None => true,
+            Some(b) => matches!(b.state(), BreakerState::Closed { .. }),
+        }
+    }
+
+    /// Feed a success into `node`'s breaker (closes half-open, clears
+    /// the failure streak).
+    fn breaker_success(&self, node: NodeId) {
+        if let Some(b) = self.breakers.lock().get_mut(&node) {
+            b.on_success();
+        }
+    }
+
+    /// Feed a failure (timeout, disconnect or shed) into `node`'s
+    /// breaker.
+    fn breaker_failure(&self, node: NodeId) {
+        let now = self.clock.now();
+        self.breakers
+            .lock()
+            .entry(node)
+            .or_insert_with(|| CircuitBreaker::new(self.config.overload.breaker))
+            .on_failure(now);
+    }
+
+    /// Spend one retry token; `false` means the retry must not be sent.
+    fn budget_try_spend(&self) -> bool {
+        self.retry_budget.lock().try_spend(self.clock.now())
+    }
+
+    /// Record a successful read latency into the hedge window.
+    fn note_read_latency(&self, took: Duration) {
+        let mut w = self.read_lat.lock();
+        if w.samples.len() < overload::HEDGE_WINDOW {
+            w.samples.push(took);
+        } else {
+            let at = w.next;
+            w.samples[at] = took;
+        }
+        w.next = (w.next + 1) % overload::HEDGE_WINDOW;
+    }
+
+    /// The current hedge delay: the p99 of recent read latencies clamped
+    /// to the configured band; the upper clamp before any samples exist.
+    fn hedge_delay(&self) -> Duration {
+        let h = self.config.overload.hedge;
+        let p99 = ftc_obs::percentile(&self.read_lat.lock().samples, 0.99);
+        p99.unwrap_or(h.max_delay).clamp(h.min_delay, h.max_delay)
+    }
+
+    /// Issue one RPC and normalize the overload signal: an `Overloaded`
+    /// reply is counted, reported to the policy controller, and treated
+    /// as proof of liveness (the node answered — clear its timeout
+    /// window), exactly so that shedding never feeds the failure
+    /// detector.
+    fn call_counted(
+        &self,
+        to: NodeId,
+        req: CacheRequest,
+        ttl: Duration,
+    ) -> Result<CacheResponse, RpcError> {
+        let r = self.endpoint.call(to, req, ttl);
+        if matches!(r, Ok(CacheResponse::Overloaded)) {
+            ClientMetrics::inc(&self.metrics.overloaded_observed);
+            self.signals.note_shed();
+            if self.config.overload.shed_counts_as_failure {
+                // Sabotage self-test: feed the shed to the detector as if
+                // it were a timeout. A shedding-but-alive node then gets
+                // declared dead, and the chaos harness must catch it.
+                let _ = self.detector.lock().record_timeout_at(to, self.clock.now());
+            } else {
+                self.detector.lock().record_success(to);
+            }
+        }
+        r
+    }
+
+    /// The read RPC, hedged when the armor allows it: the primary call
+    /// runs with a deadline of the latency-derived p99; past that, a
+    /// second read goes to the next replica owner at the full TTL and
+    /// the first success wins. If both lag, the primary is retried at
+    /// the full TTL so the evidence the failure detector sees stays
+    /// TTL-grade. Hedging is skipped in brownout (a hedge is optional
+    /// load by definition) and while the primary's breaker is anything
+    /// but closed.
+    fn call_read_armored(
+        &self,
+        owner: NodeId,
+        path: &str,
+        ttl: Duration,
+    ) -> (NodeId, Result<CacheResponse, RpcError>) {
+        let armor = self.config.overload;
+        let read = || CacheRequest::Read {
+            path: path.to_owned(),
+        };
+        let hedge_to = if armor.armored
+            && armor.hedge.enabled
+            && !self.live.brownout()
+            && self.breaker_closed(owner)
+        {
+            self.placement
+                .lock()
+                .successors(path, 2)
+                .into_iter()
+                .find(|&n| n != owner)
+        } else {
+            None
+        };
+        let delay = self.hedge_delay().min(ttl);
+        let (second, delay) = match hedge_to {
+            Some(second) if delay < ttl => (second, delay),
+            _ => {
+                // No distinct second owner (or hedging off): plain call.
+                let begun = self.clock.now();
+                let r = self.call_counted(owner, read(), ttl);
+                if armor.armored && matches!(r, Ok(CacheResponse::Data { .. })) {
+                    self.note_read_latency(self.clock.since(begun));
+                }
+                return (owner, r);
+            }
+        };
+        let begun = self.clock.now();
+        match self.call_counted(owner, read(), delay) {
+            Ok(resp) => {
+                if matches!(resp, CacheResponse::Data { .. }) {
+                    self.note_read_latency(self.clock.since(begun));
+                }
+                (owner, Ok(resp))
+            }
+            Err(RpcError::Timeout { .. }) => {
+                // Primary is past its p99: launch the hedge. The short
+                // expiry is armor-internal — it is NOT counted as an rpc
+                // timeout and never reaches the detector; the breaker
+                // (client-local) absorbs it instead.
+                ClientMetrics::inc(&self.metrics.hedges_launched);
+                self.breaker_failure(owner);
+                match self.call_counted(second, read(), ttl) {
+                    Ok(resp) => {
+                        ClientMetrics::inc(&self.metrics.hedges_won);
+                        (second, Ok(resp))
+                    }
+                    Err(_hedge_loss) => {
+                        self.breaker_failure(second);
+                        // Both lag: re-try the primary at the full TTL so
+                        // a timeout here is legitimate detector evidence.
+                        (owner, self.call_counted(owner, read(), ttl))
+                    }
+                }
+            }
+            Err(e) => (owner, Err(e)),
+        }
+    }
+
     /// This client's rank/node id.
     pub fn node(&self) -> NodeId {
         self.me
@@ -430,6 +623,18 @@ impl HvacClient {
 
         for attempt in 0..retry.max_attempts.max(1) {
             if attempt > 0 {
+                // Retry budget: under armor every retry spends a token, so
+                // an incident amplifies into at most `capacity` extra RPCs
+                // instead of a retry storm. Denial is not an error — the
+                // read degrades to the PFS (or Exhausted under NoFT, which
+                // has no fallback by definition).
+                if self.config.overload.armored && !self.budget_try_spend() {
+                    ClientMetrics::inc(&self.metrics.budget_denied);
+                    if self.config.policy == FtPolicy::NoFt {
+                        return Err(ReadError::Exhausted(path.to_owned()));
+                    }
+                    return self.read_pfs_direct(path);
+                }
                 let spent = self.clock.since(started);
                 if spent >= retry.deadline_budget {
                     return Err(ReadError::Exhausted(path.to_owned()));
@@ -465,24 +670,34 @@ impl HvacClient {
                 return self.read_pfs_direct(path);
             }
 
-            match self.endpoint.call(
-                owner,
-                CacheRequest::Read {
-                    path: path.to_owned(),
-                },
-                ttl,
-            ) {
+            // Circuit breaker: a tripped owner is not called at all — no
+            // TTL burned, no queue slot consumed on a node that just
+            // failed repeatedly. Half-open admits its probe quota through.
+            if self.config.overload.armored && !self.breaker_allow(owner) {
+                ClientMetrics::inc(&self.metrics.breaker_short_circuits);
+                if self.config.policy == FtPolicy::NoFt {
+                    return Err(ReadError::NodeFailed(owner));
+                }
+                ClientMetrics::inc(&self.metrics.shed_pfs_fallbacks);
+                return self.read_pfs_direct(path);
+            }
+
+            let (served_by, outcome) = self.call_read_armored(owner, path, ttl);
+            match outcome {
                 Ok(CacheResponse::Data { bytes, source, .. }) => {
-                    self.detector.lock().record_success(owner);
-                    self.key_index.record(owner.0, path);
+                    self.detector.lock().record_success(served_by);
+                    if self.config.overload.armored {
+                        self.breaker_success(served_by);
+                    }
+                    self.key_index.record(served_by.0, path);
                     if let Some(engine) = self.recovery.get() {
                         // A formerly-suspect node answered: any replica
                         // hints parked against it can flush now.
-                        engine.notify_reachable(owner);
+                        engine.notify_reachable(served_by);
                     }
                     self.trace_with(|| TraceEventKind::ReadServed {
                         key: path.to_owned(),
-                        owner,
+                        owner: served_by,
                         epoch: view_epoch,
                     });
                     // Attribute the read to the policy epoch current at
@@ -498,14 +713,15 @@ impl HvacClient {
                             actor: self.me,
                             kind: ftc_net::OpKind::Read,
                             key: path.to_owned(),
-                            node: owner,
+                            node: served_by,
                             epoch: view_epoch,
                             invoke,
                             ret: h.now(),
                             digest: ftc_net::fnv1a(&bytes),
                             // Served after failing over from a removed
+                            // owner, or by a hedge to the next replica
                             // owner — the documented handoff exception.
-                            handoff: failed_over_from.is_some(),
+                            handoff: failed_over_from.is_some() || served_by != owner,
                         });
                     }
                     if let Some(dead) = failed_over_from.take() {
@@ -513,7 +729,7 @@ impl HvacClient {
                         // again: its degraded window (for this client) is
                         // over.
                         self.obs_phase(dead, ftc_obs::Phase::FirstRecachedHit, || {
-                            format!("{path} now served by {owner} (was {dead})")
+                            format!("{path} now served by {served_by} (was {dead})")
                         });
                     }
                     ClientMetrics::inc(&self.metrics.reads_ok);
@@ -521,7 +737,7 @@ impl HvacClient {
                     let via = match source {
                         ServeSource::NvmeHit => {
                             ClientMetrics::inc(&self.metrics.nvme_hits);
-                            ReadVia::ServerNvme(owner)
+                            ReadVia::ServerNvme(served_by)
                         }
                         ServeSource::PfsFetch => {
                             ClientMetrics::inc(&self.metrics.pfs_fetches_via_server);
@@ -532,16 +748,45 @@ impl HvacClient {
                             // from the live policy so a runtime RF change
                             // takes effect without a client restart.
                             if self.live.replication() > 1 {
-                                self.replicate(path, &bytes, owner);
+                                self.replicate(path, &bytes, served_by);
                             }
-                            ReadVia::ServerPfsFetch(owner)
+                            ReadVia::ServerPfsFetch(served_by)
                         }
                     };
                     return Ok(ReadOutcome { bytes, via });
                 }
                 Ok(CacheResponse::NotFound { .. }) => {
-                    self.detector.lock().record_success(owner);
+                    self.detector.lock().record_success(served_by);
+                    if self.config.overload.armored {
+                        self.breaker_success(served_by);
+                    }
                     return Err(ReadError::NotFound(path.to_owned()));
+                }
+                Ok(CacheResponse::Overloaded) => {
+                    // The node is alive but shedding (counted and fed to
+                    // the controller inside `call_counted`). Never a
+                    // detector signal — but the breaker notes it, so a
+                    // client hammering a saturated node backs off.
+                    if self.config.overload.armored {
+                        self.breaker_failure(served_by);
+                    }
+                    if let Some(obs) = self.obs.get() {
+                        obs.hub.flight.record(
+                            &obs.actor,
+                            "shed",
+                            format!("{path} shed by {served_by}"),
+                        );
+                    }
+                    if self.config.policy == FtPolicy::NoFt {
+                        // No fallback: burn a retry attempt on the same
+                        // owner after backoff.
+                        ClientMetrics::inc(&self.metrics.retries);
+                        continue;
+                    }
+                    // Degrade the request, not the job: this read goes to
+                    // the PFS; the next one re-tries the cache tier.
+                    ClientMetrics::inc(&self.metrics.shed_pfs_fallbacks);
+                    return self.read_pfs_direct(path);
                 }
                 Ok(CacheResponse::Pong)
                 | Ok(CacheResponse::PutAck { .. })
@@ -553,6 +798,9 @@ impl HvacClient {
                 }
                 Err(e) if e.indicates_failure() => {
                     ClientMetrics::inc(&self.metrics.rpc_timeouts);
+                    if self.config.overload.armored {
+                        self.breaker_failure(owner);
+                    }
                     if let Some(obs) = self.obs.get() {
                         // First timeout per incident; later ones are
                         // no-ops inside the recorder.
@@ -728,7 +976,7 @@ impl HvacClient {
     /// Push an object to a node's cache; true on acknowledged store.
     pub(crate) fn push_object(&self, node: NodeId, path: &str, bytes: &Bytes) -> bool {
         matches!(
-            self.endpoint.call(
+            self.call_counted(
                 node,
                 CacheRequest::Put {
                     path: path.to_owned(),
@@ -742,10 +990,7 @@ impl HvacClient {
 
     /// Ask a node for its NVMe key digest; `None` when unreachable.
     pub(crate) fn send_digest(&self, node: NodeId) -> Option<Vec<String>> {
-        match self
-            .endpoint
-            .call(node, CacheRequest::Digest, self.config.detector.ttl)
-        {
+        match self.call_counted(node, CacheRequest::Digest, self.config.detector.ttl) {
             Ok(CacheResponse::DigestReply { keys }) => Some(keys),
             _ => None,
         }
@@ -754,7 +999,7 @@ impl HvacClient {
     /// Tell a node to drop a key it no longer owns; true when acked.
     pub(crate) fn send_evict(&self, node: NodeId, path: &str) -> bool {
         matches!(
-            self.endpoint.call(
+            self.call_counted(
                 node,
                 CacheRequest::Evict {
                     path: path.to_owned(),
@@ -768,8 +1013,7 @@ impl HvacClient {
     /// Liveness probe; true when the node answered.
     pub(crate) fn probe_ping(&self, node: NodeId) -> bool {
         matches!(
-            self.endpoint
-                .call(node, CacheRequest::Ping, self.config.detector.ttl),
+            self.call_counted(node, CacheRequest::Ping, self.config.detector.ttl),
             Ok(CacheResponse::Pong)
         )
     }
@@ -916,6 +1160,7 @@ mod tests {
                 ..RetryPolicy::default()
             },
             replication: 1,
+            overload: crate::overload::OverloadConfig::default(),
         }
     }
 
@@ -1468,6 +1713,111 @@ mod tests {
         assert_eq!(s.hints_parked, 1);
         assert_eq!(s.hints_drained, 1);
         assert_eq!(s.stale_epoch_rejected, 0, "replica hint is not stale");
+    }
+
+    #[test]
+    fn armored_client_degrades_shed_reads_to_pfs() {
+        use crate::overload::{AdmissionConfig, OverloadConfig};
+        use ftc_storage::NvmeCache;
+        // A zero-capacity admission queue sheds every data request at
+        // enqueue: the armored client must degrade those reads to the PFS
+        // without feeding the failure detector a single timeout.
+        let net: CacheNet = Network::instant(7);
+        let pfs = Arc::new(Pfs::in_memory());
+        pfs.stage("train/s0.bin", synth_bytes("train/s0.bin", FILE_SIZE));
+        let h = ServerHandle::spawn_on_with_admission(
+            NodeId(0),
+            &net,
+            Arc::clone(&pfs),
+            Arc::new(NvmeCache::new(u64::MAX)),
+            AdmissionConfig {
+                queue_capacity: 0,
+                ..AdmissionConfig::armored(Duration::from_millis(500))
+            },
+        )
+        .expect("spawn armored server");
+        let mut cfg = fast_config(FtPolicy::RingRecache);
+        cfg.overload = OverloadConfig::armored();
+        let c = HvacClient::new(NodeId(100), &net, Arc::clone(&pfs), 1, cfg);
+        let out = c
+            .read_traced("train/s0.bin")
+            .expect("read degrades, not fails");
+        assert_eq!(out.via, ReadVia::DirectPfs, "shed read served by the PFS");
+        let m = c.metrics().snapshot();
+        assert_eq!(m.overloaded_observed, 1, "the shed reply was typed");
+        assert_eq!(m.shed_pfs_fallbacks, 1);
+        assert_eq!(m.rpc_timeouts, 0, "a shed is liveness, not a timeout");
+        assert!(c.failed_nodes().is_empty(), "shedding node is NOT dead");
+        assert_eq!(c.policy_signals().sheds_total(), 1);
+        let (capacity_sheds, deadline_sheds) = h.sheds();
+        assert_eq!(capacity_sheds, 1);
+        assert_eq!(deadline_sheds, 0);
+        h.request_stop();
+    }
+
+    #[test]
+    fn armored_client_retry_budget_denial_degrades_to_pfs() {
+        use crate::overload::BudgetConfig;
+        // Total message loss with an immediate-declare detector: the
+        // unarmored client would burn max_attempts RPCs; the armored one
+        // spends its two retry tokens, is denied the third, and degrades
+        // to the PFS instead of amplifying the incident.
+        let r = rig(6, 2);
+        let mut cfg = fast_config(FtPolicy::RingRecache);
+        cfg.detector.timeout_limit = 1;
+        cfg.retry.max_attempts = 8;
+        cfg.overload.armored = true;
+        cfg.overload.budget = BudgetConfig {
+            capacity: 2.0,
+            refill_per_sec: 0.0,
+        };
+        let c = HvacClient::new(NodeId(100), &r.net, Arc::clone(&r.pfs), 6, cfg);
+        r.net.set_drop_prob(1.0);
+        let out = c.read_traced("train/s0.bin").expect("PFS fallback");
+        assert_eq!(out.via, ReadVia::DirectPfs);
+        let m = c.metrics().snapshot();
+        assert_eq!(m.budget_denied, 1, "exactly one denied retry ends the loop");
+        assert_eq!(
+            m.rpc_timeouts, 3,
+            "first attempt plus the two budgeted retries"
+        );
+        assert!(
+            c.live_nodes().len() >= 3,
+            "budget denial spared the rest of the ring"
+        );
+    }
+
+    #[test]
+    fn hedged_read_rescues_dead_owner_without_detector_evidence() {
+        use crate::overload::OverloadConfig;
+        // The owner goes silent; the hedge (cold-start delay 20 ms, under
+        // the 25 ms TTL) fires a second read at the next ring owner and
+        // wins. The short primary expiry is armor-internal: no rpc
+        // timeout is counted and the detector never hears about it.
+        let r = rig(4, 8);
+        let mut cfg = fast_config(FtPolicy::RingRecache);
+        cfg.overload = OverloadConfig::armored();
+        let c = HvacClient::new(NodeId(100), &r.net, Arc::clone(&r.pfs), 4, cfg);
+        let p = "train/s0.bin";
+        let owner = c.owner_of(p).expect("owner");
+        r.net.kill(owner);
+        r.servers[owner.0 as usize].request_stop();
+        let out = c.read_traced(p).expect("hedge serves the read");
+        match out.via {
+            ReadVia::ServerNvme(n) | ReadVia::ServerPfsFetch(n) => {
+                assert_ne!(n, owner, "served by the hedge target")
+            }
+            ReadVia::DirectPfs => panic!("hedge should serve from the cache tier"),
+        }
+        let m = c.metrics().snapshot();
+        assert_eq!(m.hedges_launched, 1);
+        assert_eq!(m.hedges_won, 1);
+        assert_eq!(
+            m.rpc_timeouts, 0,
+            "the p99 expiry never reaches the detector"
+        );
+        assert!(c.failed_nodes().is_empty());
+        assert_eq!(m.reads_ok, 1);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::client::HvacClient;
 use crate::error::CoreError;
 use crate::metrics::ClusterMetrics;
+use crate::overload::AdmissionConfig;
 use crate::policy::{FtConfig, FtPolicy};
 use crate::server::{CacheNet, ServerHandle};
 use ftc_hashring::NodeId;
@@ -36,6 +37,11 @@ pub struct ClusterConfig {
     pub latency: LatencyModel,
     /// RNG seed for jitter/drop decisions.
     pub seed: u64,
+    /// Server-side admission control, applied to every server spawn
+    /// (including revives). Default disabled: the exact legacy serve
+    /// loop, no queue, no shedding.
+    #[serde(default)]
+    pub admission: AdmissionConfig,
 }
 
 impl ClusterConfig {
@@ -50,6 +56,7 @@ impl ClusterConfig {
             nvme_capacity: u64::MAX,
             latency: LatencyModel::instant(),
             seed: 42,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -64,6 +71,17 @@ pub struct Cluster {
     clients: Mutex<Vec<Arc<HvacClient>>>,
     killed: Mutex<HashSet<NodeId>>,
     recache_counts: Mutex<Vec<(u64, u64)>>,
+    /// Per-node shed counters `(capacity, deadline)`, shared with each
+    /// server's admission loop. The Arcs outlive kills, so shed totals
+    /// survive a node's death; respawns fold the old values into
+    /// `shed_base` before adopting the new server's counters.
+    shed_counters: Mutex<
+        Vec<(
+            Arc<std::sync::atomic::AtomicU64>,
+            Arc<std::sync::atomic::AtomicU64>,
+        )>,
+    >,
+    shed_base: Mutex<Vec<(u64, u64)>>,
     /// The cluster's observability plane: attached to the fabric at boot
     /// and to every client at creation; kills stamp the timeline here.
     hub: Arc<ftc_obs::ObsHub>,
@@ -89,13 +107,23 @@ impl Cluster {
         let pfs = Arc::new(Pfs::in_memory());
         let mut servers = Vec::with_capacity(config.nodes as usize);
         let mut caches = Vec::with_capacity(config.nodes as usize);
+        let mut shed_counters = Vec::with_capacity(config.nodes as usize);
         for i in 0..config.nodes {
-            let h = ServerHandle::spawn(NodeId(i), &net, Arc::clone(&pfs), config.nvme_capacity)?;
+            let h = ServerHandle::spawn_on_with_admission(
+                NodeId(i),
+                &net,
+                Arc::clone(&pfs),
+                Arc::new(NvmeCache::new(config.nvme_capacity)),
+                config.admission,
+            )?;
             caches.push(h.cache());
+            shed_counters.push(h.shed_handles());
             servers.push(Some(h));
         }
         Ok(Cluster {
             recache_counts: Mutex::new(vec![(0, 0); config.nodes as usize]),
+            shed_counters: Mutex::new(shed_counters),
+            shed_base: Mutex::new(vec![(0, 0); config.nodes as usize]),
             config,
             net,
             pfs,
@@ -296,17 +324,18 @@ impl Cluster {
             return Ok(());
         }
         self.net.revive(node);
-        let spawned = if warm {
-            let cache = Arc::clone(&self.caches.lock()[node.index()]);
-            ServerHandle::spawn_with_cache(node, &self.net, Arc::clone(&self.pfs), cache)
+        let cache = if warm {
+            Arc::clone(&self.caches.lock()[node.index()])
         } else {
-            ServerHandle::spawn(
-                node,
-                &self.net,
-                Arc::clone(&self.pfs),
-                self.config.nvme_capacity,
-            )
+            Arc::new(NvmeCache::new(self.config.nvme_capacity))
         };
+        let spawned = ServerHandle::spawn_on_with_admission(
+            node,
+            &self.net,
+            Arc::clone(&self.pfs),
+            cache,
+            self.config.admission,
+        );
         let h = match spawned {
             Ok(h) => h,
             Err(e) => {
@@ -317,9 +346,47 @@ impl Cluster {
                 return Err(e);
             }
         };
+        {
+            // Fold the dead incarnation's shed totals into the base, then
+            // adopt the fresh server's counters.
+            use std::sync::atomic::Ordering;
+            let mut counters = self.shed_counters.lock();
+            let (old_cap, old_dead) = &counters[node.index()];
+            let mut base = self.shed_base.lock();
+            // ordering: Relaxed — monotone tallies read for accounting.
+            base[node.index()].0 += old_cap.load(Ordering::Relaxed);
+            base[node.index()].1 += old_dead.load(Ordering::Relaxed);
+            counters[node.index()] = h.shed_handles();
+        }
         self.caches.lock()[node.index()] = h.cache();
         self.servers.lock()[node.index()] = Some(h);
         Ok(())
+    }
+
+    /// Per-node shed totals `(capacity_sheds, deadline_sheds)`, summed
+    /// across every incarnation of the node — a kill does not erase what
+    /// the dead server shed while alive, so client-side observation
+    /// counts can always be reconciled against these.
+    pub fn sheds_per_node(&self) -> Vec<(u64, u64)> {
+        use std::sync::atomic::Ordering;
+        let counters = self.shed_counters.lock();
+        let base = self.shed_base.lock();
+        counters
+            .iter()
+            .zip(base.iter())
+            // ordering: Relaxed — monotone tallies read for accounting.
+            .map(|((c, d), &(bc, bd))| {
+                (
+                    bc + c.load(Ordering::Relaxed),
+                    bd + d.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// Total requests shed by every server, all causes, all incarnations.
+    pub fn total_sheds(&self) -> u64 {
+        self.sheds_per_node().iter().map(|(c, d)| c + d).sum()
     }
 
     /// Nodes currently killed.
@@ -413,6 +480,16 @@ impl Cluster {
             );
             rejected.labels.push(("node".to_owned(), i.to_string()));
             out.push(rejected);
+        }
+        // Per-node admission sheds, split by cause. Always exported (zero
+        // when admission is off) so overload dashboards are stable.
+        for (i, (cap, dead)) in self.sheds_per_node().into_iter().enumerate() {
+            let mut c = ftc_obs::Sample::counter("ftc_server_shed_capacity_total", cap);
+            c.labels.push(("node".to_owned(), i.to_string()));
+            out.push(c);
+            let mut d = ftc_obs::Sample::counter("ftc_server_shed_deadline_total", dead);
+            d.labels.push(("node".to_owned(), i.to_string()));
+            out.push(d);
         }
         // Recovery-engine counters, aggregated across every client that
         // runs one (zero-valued when none does, so dashboards are stable).

@@ -50,6 +50,9 @@ pub struct LivePolicy {
     proactive: AtomicBool,
     /// Recache token-bucket rate, stored as `f64::to_bits`.
     recache_rate_bits: AtomicU64,
+    /// True while the cluster is under sustained shed pressure: optional
+    /// load (hedged reads) is suppressed until the surge clears.
+    brownout: AtomicBool,
 }
 
 impl LivePolicy {
@@ -63,6 +66,7 @@ impl LivePolicy {
             replication: AtomicU32::new(replication),
             proactive: AtomicBool::new(true),
             recache_rate_bits: AtomicU64::new(recache_rate.to_bits()),
+            brownout: AtomicBool::new(false),
         }
     }
 
@@ -92,6 +96,24 @@ impl LivePolicy {
         f64::from_bits(self.recache_rate_bits.load(Ordering::Acquire))
     }
 
+    /// True while the brownout posture is on (sustained shed pressure):
+    /// clients must not add optional load such as hedged reads.
+    pub fn brownout(&self) -> bool {
+        // ordering: Acquire — pairs with set_brownout()'s Release store.
+        self.brownout.load(Ordering::Acquire)
+    }
+
+    /// Flip the brownout posture and bump the policy epoch (the flag is a
+    /// policy knob like any other: readers that observe the new epoch see
+    /// the posture installed with it). Returns `(old_epoch, new_epoch)`.
+    pub fn set_brownout(&self, on: bool) -> (u64, u64) {
+        // ordering: Release on the flag, AcqRel on the epoch bump — same
+        // publication protocol as install().
+        self.brownout.store(on, Ordering::Release);
+        let old = self.epoch.fetch_add(1, Ordering::AcqRel);
+        (old, old + 1)
+    }
+
     /// Install `d` and bump the policy epoch. Returns
     /// `(old_epoch, new_epoch)`.
     pub fn install(&self, d: &PolicyDecision) -> (u64, u64) {
@@ -114,6 +136,7 @@ impl LivePolicy {
 pub struct PolicySignals {
     suspects: AtomicU64,
     declares: AtomicU64,
+    sheds: AtomicU64,
 }
 
 impl PolicySignals {
@@ -128,6 +151,20 @@ impl PolicySignals {
     pub fn note_declare(&self) {
         // ordering: Relaxed — see note_suspect.
         self.declares.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A server answered `Overloaded` — it shed the request instead of
+    /// serving it. Liveness, not failure; tallied separately so the
+    /// controller can tell a surge from a fault burst.
+    pub fn note_shed(&self) {
+        // ordering: Relaxed — see note_suspect.
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total shed replies observed so far.
+    pub fn sheds_total(&self) -> u64 {
+        // ordering: Relaxed — see note_suspect.
+        self.sheds.load(Ordering::Relaxed)
     }
 
     /// Current `(suspects, declares)` totals.
@@ -177,6 +214,14 @@ pub struct ControllerConfig {
     pub quiet: PolicyDecision,
     /// Decision installed in the burst regime.
     pub burst: PolicyDecision,
+    /// Shed rate (shed replies/second, across the cluster as seen by this
+    /// client) at or above which the controller enters brownout —
+    /// suppressing optional load such as hedged reads. `0.0` disables
+    /// brownout entirely (the default: pre-armor behaviour).
+    pub shed_enter: f64,
+    /// Shed rate at or below which brownout exits. Must be `< shed_enter`
+    /// when enabled; the gap is the hysteresis.
+    pub shed_exit: f64,
     /// Self-test hook: force a posture-flip attempt every tick so the
     /// cooldown's flap suppression is observable (`--sabotage-flap`).
     pub sabotage_flap: bool,
@@ -202,6 +247,8 @@ impl Default for ControllerConfig {
                 replication: 2,
                 recache_rate: 4.0 * DEFAULT_RECACHE_RATE,
             },
+            shed_enter: 0.0,
+            shed_exit: 0.0,
             sabotage_flap: false,
         }
     }
@@ -263,9 +310,13 @@ impl RateEstimator {
 /// [`PolicyController::set_policy`] override.
 struct CtlState {
     est: RateEstimator,
+    /// Shed-rate estimator for the brownout posture. Prior mass zero: a
+    /// cluster that never shed anything has shed rate exactly 0.
+    shed_est: RateEstimator,
     last_tick: Instant,
     last_suspects: u64,
     last_declares: u64,
+    last_sheds: u64,
     cooldown_until: Option<Instant>,
 }
 
@@ -281,6 +332,7 @@ struct CtlObs {
     failure_rate_milli: Arc<ftc_obs::Gauge>,
     switches: Arc<ftc_obs::Counter>,
     flaps_suppressed: Arc<ftc_obs::Counter>,
+    brownout: Arc<ftc_obs::Gauge>,
 }
 
 enum CtlMsg {
@@ -303,6 +355,8 @@ pub struct PolicyController {
     worker_thread: Arc<OnceLock<std::thread::ThreadId>>,
     switches: AtomicU64,
     flaps_suppressed: AtomicU64,
+    brownout_entries: AtomicU64,
+    brownout_exits: AtomicU64,
     obs: OnceLock<CtlObs>,
 }
 
@@ -319,12 +373,18 @@ impl PolicyController {
         let live = Arc::clone(client.live_policy());
         let signals = Arc::clone(client.policy_signals());
         let (s0, d0) = signals.totals();
+        let sh0 = signals.sheds_total();
         let controller = Arc::new(PolicyController {
             state: Mutex::new(CtlState {
                 est: RateEstimator::new(&config),
+                shed_est: RateEstimator::new(&ControllerConfig {
+                    prior_rate: 0.0,
+                    ..config
+                }),
                 last_tick: clock.now(),
                 last_suspects: s0,
                 last_declares: d0,
+                last_sheds: sh0,
                 cooldown_until: None,
             }),
             config,
@@ -336,6 +396,8 @@ impl PolicyController {
             worker_thread: Arc::new(OnceLock::new()),
             switches: AtomicU64::new(0),
             flaps_suppressed: AtomicU64::new(0),
+            brownout_entries: AtomicU64::new(0),
+            brownout_exits: AtomicU64::new(0),
             obs: OnceLock::new(),
             clock,
         });
@@ -349,6 +411,7 @@ impl PolicyController {
                 failure_rate_milli: hub.registry.gauge("ftc_policy_failure_rate_milli"),
                 switches: hub.registry.counter("ftc_policy_switches_total"),
                 flaps_suppressed: hub.registry.counter("ftc_policy_flap_suppressed_total"),
+                brownout: hub.registry.gauge("ftc_policy_brownout"),
                 hub,
             });
         }
@@ -405,6 +468,20 @@ impl PolicyController {
         self.flaps_suppressed.load(Ordering::Relaxed)
     }
 
+    /// Brownout postures entered / exited so far.
+    pub fn brownout_transitions(&self) -> (u64, u64) {
+        // ordering: Relaxed — monotone counters, read for reporting.
+        (
+            self.brownout_entries.load(Ordering::Relaxed),
+            self.brownout_exits.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The shed-rate posterior, shed replies/second.
+    pub fn shed_rate(&self) -> f64 {
+        self.state.lock().shed_est.rate()
+    }
+
     /// The estimator's current failure-rate posterior, events/second.
     pub fn failure_rate(&self) -> f64 {
         self.state.lock().est.rate()
@@ -430,7 +507,8 @@ impl PolicyController {
         };
         let now = self.clock.now();
         let (suspects, declares) = self.signals.totals();
-        let (rate, decision, in_cooldown) = {
+        let sheds = self.signals.sheds_total();
+        let (rate, shed_rate, decision, in_cooldown) = {
             let mut st = self.state.lock();
             let dt = now.saturating_duration_since(st.last_tick);
             st.last_tick = now;
@@ -441,7 +519,11 @@ impl PolicyController {
             st.last_suspects = suspects;
             st.last_declares = declares;
             st.est.observe(dt, events);
+            let shed_events = (sheds - st.last_sheds) as f64;
+            st.shed_est.observe(dt, shed_events);
+            st.last_sheds = sheds;
             let rate = st.est.rate();
+            let shed_rate = st.shed_est.rate();
             let proactive = self.live.proactive();
             let desired = if self.config.sabotage_flap {
                 // Forced oscillation: want the opposite posture every
@@ -462,7 +544,7 @@ impl PolicyController {
             if desired.is_some() && !in_cooldown {
                 st.cooldown_until = Some(now + self.config.cooldown);
             }
-            (rate, desired, in_cooldown)
+            (rate, shed_rate, desired, in_cooldown)
         };
         match decision {
             Some(d) if !in_cooldown => self.apply(&cli, &d),
@@ -475,8 +557,44 @@ impl PolicyController {
             }
             None => {}
         }
+        // Brownout: its own hysteresis band, deliberately outside the
+        // switch cooldown — load posture must track the surge, not the
+        // recovery-policy pacing. shed_enter = 0 disables it entirely.
+        if self.config.shed_enter > 0.0 {
+            let in_brownout = self.live.brownout();
+            if shed_rate >= self.config.shed_enter && !in_brownout {
+                self.flip_brownout(&cli, true, shed_rate);
+            } else if shed_rate <= self.config.shed_exit && in_brownout {
+                self.flip_brownout(&cli, false, shed_rate);
+            }
+        }
         self.push_gauges(rate);
         true
+    }
+
+    /// Enter or exit brownout: flip the live flag (epoch-fenced), count
+    /// the transition, and stamp every observability surface.
+    fn flip_brownout(&self, cli: &HvacClient, on: bool, shed_rate: f64) {
+        let (old_epoch, new_epoch) = self.live.set_brownout(on);
+        let counter = if on {
+            &self.brownout_entries
+        } else {
+            &self.brownout_exits
+        };
+        // ordering: Relaxed — monotone counter.
+        counter.fetch_add(1, Ordering::Relaxed);
+        cli.trace_policy_change(old_epoch, new_epoch);
+        if let Some(o) = self.obs.get() {
+            o.hub.timeline.mark_policy_changed(old_epoch, new_epoch);
+            o.hub.flight.record(
+                &o.actor,
+                "brownout",
+                format!(
+                    "{} at {shed_rate:.1} sheds/s (epoch {old_epoch}->{new_epoch})",
+                    if on { "enter" } else { "exit" }
+                ),
+            );
+        }
     }
 
     /// Install a decision: bump the policy epoch, retune the recovery
@@ -510,6 +628,7 @@ impl PolicyController {
             o.replication.set(i64::from(self.live.replication()));
             o.recache_rate.set(self.live.recache_rate() as i64);
             o.failure_rate_milli.set((rate * 1e3) as i64);
+            o.brownout.set(i64::from(self.live.brownout()));
         }
     }
 
@@ -615,5 +734,28 @@ mod tests {
         s.note_suspect();
         s.note_declare();
         assert_eq!(s.totals(), (2, 1));
+        assert_eq!(s.sheds_total(), 0);
+        s.note_shed();
+        s.note_shed();
+        s.note_shed();
+        assert_eq!(s.sheds_total(), 3);
+        assert_eq!(s.totals(), (2, 1), "sheds are tallied separately");
+    }
+
+    #[test]
+    fn brownout_flag_roundtrips_and_bumps_epoch() {
+        let live = LivePolicy::new(1, 100.0);
+        assert!(!live.brownout(), "boots clear");
+        assert_eq!(live.set_brownout(true), (0, 1));
+        assert!(live.brownout());
+        assert_eq!(live.set_brownout(false), (1, 2));
+        assert!(!live.brownout());
+    }
+
+    #[test]
+    fn default_config_disables_brownout() {
+        let c = cfg();
+        assert_eq!(c.shed_enter, 0.0, "brownout is opt-in");
+        assert_eq!(c.shed_exit, 0.0);
     }
 }

@@ -38,6 +38,7 @@ pub mod controller;
 pub mod detector;
 pub mod error;
 pub mod metrics;
+pub mod overload;
 pub mod policy;
 pub mod proto;
 pub mod recovery;
@@ -51,6 +52,10 @@ pub use controller::{
 pub use detector::{DetectorConfig, FailureDetector, Verdict};
 pub use error::CoreError;
 pub use metrics::{ClientMetrics, ClientMetricsSnapshot, ClusterMetrics};
+pub use overload::{
+    AdmissionConfig, AdmissionQueue, BreakerConfig, BreakerState, BudgetConfig, CircuitBreaker,
+    HedgeConfig, OverloadConfig, Priority, RetryBudget, ShedReason,
+};
 pub use policy::{FtConfig, FtPolicy, PlacementKind, RetryPolicy};
 pub use proto::{CacheRequest, CacheResponse, ServeSource};
 pub use recovery::{RecoveryConfig, RecoveryEngine, RecoveryStatsSnapshot};

@@ -38,6 +38,20 @@ pub struct ClientMetrics {
     /// Replicas parked as hints for an unreachable target, to be drained
     /// by the recovery engine when the node rejoins.
     pub replicas_hinted: AtomicU64,
+    /// `Overloaded` replies observed (server shed the request). Balanced
+    /// against the servers' shed counters by the chaos accounting
+    /// invariant — and deliberately disjoint from `rpc_timeouts`.
+    pub overloaded_observed: AtomicU64,
+    /// Foreground reads diverted to the PFS because the owner shed them.
+    pub shed_pfs_fallbacks: AtomicU64,
+    /// Hedged reads actually launched (second RPC issued).
+    pub hedges_launched: AtomicU64,
+    /// Hedged reads where the hedge beat the primary.
+    pub hedges_won: AtomicU64,
+    /// Reads short-circuited by an open per-node circuit breaker.
+    pub breaker_short_circuits: AtomicU64,
+    /// Retries refused because the retry token budget ran dry.
+    pub budget_denied: AtomicU64,
 }
 
 /// Plain-value snapshot of [`ClientMetrics`].
@@ -65,6 +79,18 @@ pub struct ClientMetricsSnapshot {
     pub replica_write_failures: u64,
     /// See [`ClientMetrics::replicas_hinted`].
     pub replicas_hinted: u64,
+    /// See [`ClientMetrics::overloaded_observed`].
+    pub overloaded_observed: u64,
+    /// See [`ClientMetrics::shed_pfs_fallbacks`].
+    pub shed_pfs_fallbacks: u64,
+    /// See [`ClientMetrics::hedges_launched`].
+    pub hedges_launched: u64,
+    /// See [`ClientMetrics::hedges_won`].
+    pub hedges_won: u64,
+    /// See [`ClientMetrics::breaker_short_circuits`].
+    pub breaker_short_circuits: u64,
+    /// See [`ClientMetrics::budget_denied`].
+    pub budget_denied: u64,
 }
 
 impl ClientMetrics {
@@ -87,6 +113,13 @@ impl ClientMetrics {
             replicas_written: self.replicas_written.load(Ordering::Relaxed),
             replica_write_failures: self.replica_write_failures.load(Ordering::Relaxed),
             replicas_hinted: self.replicas_hinted.load(Ordering::Relaxed),
+            // ordering: Relaxed — same independent-tally argument as above.
+            overloaded_observed: self.overloaded_observed.load(Ordering::Relaxed),
+            shed_pfs_fallbacks: self.shed_pfs_fallbacks.load(Ordering::Relaxed),
+            hedges_launched: self.hedges_launched.load(Ordering::Relaxed),
+            hedges_won: self.hedges_won.load(Ordering::Relaxed),
+            breaker_short_circuits: self.breaker_short_circuits.load(Ordering::Relaxed),
+            budget_denied: self.budget_denied.load(Ordering::Relaxed),
         }
     }
 
@@ -127,6 +160,18 @@ impl ClientMetricsSnapshot {
                 .replica_write_failures
                 .saturating_add(other.replica_write_failures),
             replicas_hinted: self.replicas_hinted.saturating_add(other.replicas_hinted),
+            overloaded_observed: self
+                .overloaded_observed
+                .saturating_add(other.overloaded_observed),
+            shed_pfs_fallbacks: self
+                .shed_pfs_fallbacks
+                .saturating_add(other.shed_pfs_fallbacks),
+            hedges_launched: self.hedges_launched.saturating_add(other.hedges_launched),
+            hedges_won: self.hedges_won.saturating_add(other.hedges_won),
+            breaker_short_circuits: self
+                .breaker_short_circuits
+                .saturating_add(other.breaker_short_circuits),
+            budget_denied: self.budget_denied.saturating_add(other.budget_denied),
         }
     }
 }
@@ -176,6 +221,30 @@ impl ftc_obs::Export for ClientMetricsSnapshot {
         out.push(ftc_obs::Sample::counter(
             "ftc_client_replicas_hinted_total",
             self.replicas_hinted,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_overloaded_total",
+            self.overloaded_observed,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_shed_pfs_fallbacks_total",
+            self.shed_pfs_fallbacks,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_hedges_launched_total",
+            self.hedges_launched,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_hedges_won_total",
+            self.hedges_won,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_breaker_short_circuits_total",
+            self.breaker_short_circuits,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_budget_denied_total",
+            self.budget_denied,
         ));
     }
 }
@@ -264,7 +333,7 @@ mod tests {
         };
         let samples = snap.export();
         // One sample per public field — nothing reachable only privately.
-        assert_eq!(samples.len(), 11);
+        assert_eq!(samples.len(), 17);
         let find = |n: &str| {
             samples
                 .iter()

@@ -1,6 +1,7 @@
 //! Fault-tolerance policies — the three systems compared in §V.
 
 use crate::detector::DetectorConfig;
+use crate::overload::OverloadConfig;
 use ftc_hashring::{HashRing, ModuloPlacement, Placement, RendezvousPlacement, DEFAULT_VNODES};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -142,6 +143,10 @@ pub struct FtConfig {
     /// `k-1` ring successors, so a failure needs no PFS traffic at all —
     /// the "no-fallback" extension, traded against k x NVMe footprint.
     pub replication: u32,
+    /// Client-side overload armor (circuit breakers, retry budget,
+    /// hedged reads). Default is disarmed: behavior is identical to the
+    /// pre-armor client.
+    pub overload: OverloadConfig,
 }
 
 impl FtConfig {
@@ -153,6 +158,7 @@ impl FtConfig {
             detector: DetectorConfig::default(),
             retry: RetryPolicy::default(),
             replication: DEFAULT_REPLICATION,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -206,6 +212,10 @@ mod tests {
         assert_eq!(c.replication, 1, "paper default: single copy");
         assert!(c.retry.max_attempts >= 1);
         assert!(c.retry.base_backoff <= c.retry.max_backoff);
+        assert!(
+            !c.overload.armored,
+            "overload armor is opt-in; the paper-faithful client is unarmored"
+        );
     }
 
     #[test]

@@ -90,6 +90,12 @@ pub enum CacheResponse {
         /// Whether the object was resident.
         existed: bool,
     },
+    /// The server shed this request under load (admission control):
+    /// its queue was full, or the request's remaining deadline was below
+    /// the estimated service time. The node is alive — clients map this
+    /// to [`ftc_net::RpcError::Overloaded`]-style handling, never to the
+    /// failure detector.
+    Overloaded,
 }
 
 impl Payload for CacheRequest {
@@ -115,6 +121,7 @@ impl Payload for CacheResponse {
                 32 + keys.iter().map(|k| 8 + k.len()).sum::<usize>()
             }
             CacheResponse::EvictAck { path, .. } => 33 + path.len(),
+            CacheResponse::Overloaded => 16,
         }
     }
 }
@@ -222,6 +229,7 @@ impl Wire for CacheResponse {
                 put_str(out, path);
                 out.push(u8::from(*existed));
             }
+            CacheResponse::Overloaded => out.push(7),
         }
     }
 
@@ -267,6 +275,7 @@ impl Wire for CacheResponse {
                     }
                 },
             }),
+            7 => Ok(CacheResponse::Overloaded),
             tag => Err(CodecError::BadTag {
                 what: "CacheResponse",
                 tag,
@@ -322,5 +331,6 @@ mod tests {
             .wire_size(),
             35
         );
+        assert_eq!(CacheResponse::Overloaded.wire_size(), 16);
     }
 }

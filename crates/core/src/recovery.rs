@@ -743,6 +743,8 @@ impl Worker {
             client,
             rx,
             clock,
+            // lint:allow(bounded-queue): one job per failed node, bounded
+            // by cluster size; the rate limiter bounds work in flight.
             jobs: VecDeque::new(),
             inflight: HashSet::new(),
             probing: HashSet::new(),

@@ -7,6 +7,7 @@
 //! failed node's keys — the recache path *is* the miss path.
 
 use crate::error::CoreError;
+use crate::overload::{priority_of, AdmissionConfig, AdmissionQueue, ShedReason};
 use crate::proto::{CacheRequest, CacheResponse, ServeSource};
 use ftc_hashring::NodeId;
 use ftc_net::xport::{Inbound, Listener, Transport};
@@ -14,7 +15,7 @@ use ftc_net::{Incoming, Network, TraceEventKind};
 use ftc_storage::{DataMover, NvmeCache, Pfs};
 use ftc_time::{ClockHandle, TaskHandle};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -244,6 +245,8 @@ pub struct ServerHandle {
     moved_bytes: Arc<std::sync::atomic::AtomicU64>,
     queue_depth: Arc<std::sync::atomic::AtomicU64>,
     enqueue_rejected: Arc<std::sync::atomic::AtomicU64>,
+    shed_capacity: Arc<AtomicU64>,
+    shed_deadline: Arc<AtomicU64>,
 }
 
 impl ServerHandle {
@@ -281,6 +284,21 @@ impl ServerHandle {
         pfs: Arc<Pfs>,
         cache: Arc<NvmeCache>,
     ) -> Result<Self, CoreError> {
+        Self::spawn_on_with_admission(node, transport, pfs, cache, AdmissionConfig::default())
+    }
+
+    /// [`ServerHandle::spawn_on`] with explicit admission control. With
+    /// `admission.enabled` the event loop drains arrivals into a bounded
+    /// priority queue and sheds (typed `Overloaded` replies, counted per
+    /// cause) instead of queueing without limit; the default disabled
+    /// config runs the exact legacy serve loop.
+    pub fn spawn_on_with_admission(
+        node: NodeId,
+        transport: &dyn Transport<CacheRequest, CacheResponse>,
+        pfs: Arc<Pfs>,
+        cache: Arc<NvmeCache>,
+        admission: AdmissionConfig,
+    ) -> Result<Self, CoreError> {
         let server = HvacServer::with_cache_clock(node, pfs, cache, transport.clock())?;
         let listener = transport
             .register(node)
@@ -289,13 +307,22 @@ impl ServerHandle {
                 node,
                 source,
             })?;
-        Self::spawn_inner(server, transport.clock(), listener)
+        Self::spawn_inner(server, transport.clock(), listener, admission)
+    }
+
+    /// Absorb and answer one shed request: the reply is the typed
+    /// `Overloaded`, so the client learns the node is alive-but-full
+    /// instead of burning a TTL on silence.
+    fn shed(mut inc: Box<dyn Inbound<CacheRequest, CacheResponse>>) {
+        inc.absorb();
+        inc.reply(CacheResponse::Overloaded);
     }
 
     fn spawn_inner(
         server: HvacServer,
         clock: ClockHandle,
         listener: Box<dyn Listener<CacheRequest, CacheResponse>>,
+        admission: AdmissionConfig,
     ) -> Result<Self, CoreError> {
         let node = server.node();
         let cache = server.cache();
@@ -305,17 +332,34 @@ impl ServerHandle {
         let stop2 = Arc::clone(&stop);
         let reclaimed: Arc<Mutex<Option<HvacServer>>> = Arc::new(Mutex::new(None));
         let slot = Arc::clone(&reclaimed);
-        let join = clock
+        let shed_capacity = Arc::new(AtomicU64::new(0));
+        let shed_deadline = Arc::new(AtomicU64::new(0));
+        let shed_cap2 = Arc::clone(&shed_capacity);
+        let shed_dead2 = Arc::clone(&shed_deadline);
+        let spawner = clock.clone();
+        let join = spawner
             .spawn(&format!("hvac-server-{node}"), move || {
-                // Poll with a short tick so a stop request is honored even
-                // when no traffic arrives.
-                //
-                // ordering: Relaxed — stop is a plain flag; the 5 ms poll
-                // bounds how late a store is observed, and no other state
-                // rides on it.
-                while !stop2.load(Ordering::Relaxed) {
-                    if let Some(inc) = listener.accept(Duration::from_millis(5)) {
-                        server.handle_inbound(inc);
+                if admission.enabled {
+                    Self::admission_loop(
+                        &server,
+                        &clock,
+                        &*listener,
+                        admission,
+                        &stop2,
+                        &shed_cap2,
+                        &shed_dead2,
+                    );
+                } else {
+                    // Poll with a short tick so a stop request is honored
+                    // even when no traffic arrives.
+                    //
+                    // ordering: Relaxed — stop is a plain flag; the 5 ms
+                    // poll bounds how late a store is observed, and no
+                    // other state rides on it.
+                    while !stop2.load(Ordering::Relaxed) {
+                        if let Some(inc) = listener.accept(Duration::from_millis(5)) {
+                            server.handle_inbound(inc);
+                        }
                     }
                 }
                 // The listener (and with it any accept threads a real
@@ -339,7 +383,73 @@ impl ServerHandle {
             moved_bytes,
             queue_depth,
             enqueue_rejected,
+            shed_capacity,
+            shed_deadline,
         })
+    }
+
+    /// The armored event loop: drain arrivals into the bounded priority
+    /// queue (capacity sheds at enqueue), then serve by class with
+    /// deadline sheds at pop, feeding measured service times back into
+    /// the EWMA the deadline check runs on.
+    fn admission_loop(
+        server: &HvacServer,
+        clock: &ClockHandle,
+        listener: &dyn Listener<CacheRequest, CacheResponse>,
+        admission: AdmissionConfig,
+        stop: &AtomicBool,
+        shed_capacity: &AtomicU64,
+        shed_deadline: &AtomicU64,
+    ) {
+        let mut queue: AdmissionQueue<Box<dyn Inbound<CacheRequest, CacheResponse>>> =
+            AdmissionQueue::new(admission);
+        // ordering: Relaxed — stop is a plain flag; the 5 ms poll bounds
+        // how late a store is observed, and no other state rides on it.
+        while !stop.load(Ordering::Relaxed) {
+            // Block briefly for the first arrival, then sweep whatever
+            // else is already waiting so the queue sees the real backlog
+            // (the priority classes only matter when there is a backlog).
+            if let Some(first) = listener.accept(Duration::from_millis(5)) {
+                let mut arrival = Some(first);
+                while let Some(inc) = arrival {
+                    let class = priority_of(inc.req());
+                    if let Err((rejected, ShedReason::QueueFull)) =
+                        queue.push(inc, class, clock.now())
+                    {
+                        // ordering: Relaxed — monotone shed tally.
+                        shed_capacity.fetch_add(1, Ordering::Relaxed);
+                        Self::shed(rejected);
+                    }
+                    arrival = listener.accept(Duration::ZERO);
+                }
+            }
+            // Serve the backlog in class order; pops whose deadline is
+            // already hopeless come back as sheds.
+            while let Some(popped) = queue.pop(clock.now()) {
+                match popped {
+                    Ok(inc) => {
+                        let begun = clock.now();
+                        server.handle_inbound(inc);
+                        queue.observe_service(clock.since(begun));
+                    }
+                    Err((inc, _reason)) => {
+                        // ordering: Relaxed — monotone shed tally.
+                        shed_deadline.fetch_add(1, Ordering::Relaxed);
+                        Self::shed(inc);
+                    }
+                }
+            }
+        }
+        // Graceful exit: answer everything still queued with `Overloaded`
+        // rather than leaving callers to time out against a dead mailbox.
+        while let Some(popped) = queue.pop(clock.now()) {
+            let inc = match popped {
+                Ok(inc) | Err((inc, _)) => inc,
+            };
+            // ordering: Relaxed — monotone shed tally.
+            shed_deadline.fetch_add(1, Ordering::Relaxed);
+            Self::shed(inc);
+        }
     }
 
     /// The served node id.
@@ -374,6 +484,32 @@ impl ServerHandle {
     pub fn mover_enqueue_rejected(&self) -> u64 {
         // ordering: Relaxed — monotone statistic, metrics tolerate lag.
         self.enqueue_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed by admission control, split by cause:
+    /// `(queue_full, deadline_hopeless)`. Zero unless the server was
+    /// spawned with [`ServerHandle::spawn_on_with_admission`].
+    pub fn sheds(&self) -> (u64, u64) {
+        // ordering: Relaxed — monotone statistics, metrics tolerate lag.
+        (
+            self.shed_capacity.load(Ordering::Relaxed),
+            self.shed_deadline.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Total requests shed by admission control.
+    pub fn total_sheds(&self) -> u64 {
+        let (cap, dead) = self.sheds();
+        cap + dead
+    }
+
+    /// Shared handles to the `(queue_full, deadline)` shed counters, for
+    /// per-node obs export (mirrors [`HvacServer::mover_pressure`]).
+    pub fn shed_handles(&self) -> (Arc<AtomicU64>, Arc<AtomicU64>) {
+        (
+            Arc::clone(&self.shed_capacity),
+            Arc::clone(&self.shed_deadline),
+        )
     }
 
     /// Ask the loop to exit without waiting (used by abrupt kill: the
@@ -620,6 +756,41 @@ mod tests {
                 existed: false
             }
         );
+        drop(h);
+    }
+
+    #[test]
+    fn armored_server_serves_normally_when_unloaded() {
+        // Admission control must be invisible off-peak: an armored server
+        // with no backlog serves every class and sheds nothing.
+        let (net, pfs) = setup();
+        let h = ServerHandle::spawn_on_with_admission(
+            NodeId(0),
+            &net,
+            pfs,
+            Arc::new(NvmeCache::new(u64::MAX)),
+            AdmissionConfig::armored(Duration::from_millis(500)),
+        )
+        .expect("spawn armored server");
+        let ep = net.endpoint(NodeId(1));
+        assert_eq!(
+            ep.call(NodeId(0), CacheRequest::Ping, TTL).unwrap(),
+            CacheResponse::Pong
+        );
+        for i in 0..8 {
+            let r = ep
+                .call(
+                    NodeId(0),
+                    CacheRequest::Read {
+                        path: format!("train/s{i}.bin"),
+                    },
+                    TTL,
+                )
+                .unwrap();
+            assert!(matches!(r, CacheResponse::Data { .. }));
+        }
+        assert_eq!(h.sheds(), (0, 0), "no backlog, no sheds");
+        assert_eq!(h.total_sheds(), 0);
         drop(h);
     }
 

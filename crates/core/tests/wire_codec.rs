@@ -48,7 +48,7 @@ fn resp_from(
     keys: Vec<String>,
     flag: bool,
 ) -> CacheResponse {
-    match sel % 6 {
+    match sel % 7 {
         0 => CacheResponse::Data {
             path,
             bytes: Bytes::from(payload),
@@ -62,6 +62,7 @@ fn resp_from(
         2 => CacheResponse::Pong,
         3 => CacheResponse::PutAck { path },
         4 => CacheResponse::DigestReply { keys },
+        5 => CacheResponse::Overloaded,
         _ => CacheResponse::EvictAck {
             path,
             existed: flag,

@@ -23,6 +23,13 @@ pub enum RpcError {
     Disconnected(NodeId),
     /// The caller's own endpoint was shut down.
     LocalShutdown,
+    /// The server answered, but only to say it shed the request under
+    /// load. Distinct from [`RpcError::Timeout`] on purpose: a shedding
+    /// node is alive, so this must never feed the failure detector.
+    Overloaded {
+        /// The server that shed the request.
+        to: NodeId,
+    },
 }
 
 impl fmt::Display for RpcError {
@@ -32,6 +39,7 @@ impl fmt::Display for RpcError {
             RpcError::UnknownNode(n) => write!(f, "unknown destination node {n}"),
             RpcError::Disconnected(n) => write!(f, "node {n} disconnected"),
             RpcError::LocalShutdown => write!(f, "local endpoint shut down"),
+            RpcError::Overloaded { to } => write!(f, "node {to} shed the request (overloaded)"),
         }
     }
 }
@@ -58,6 +66,12 @@ mod tests {
         assert!(RpcError::Disconnected(NodeId(1)).indicates_failure());
         assert!(!RpcError::UnknownNode(NodeId(1)).indicates_failure());
         assert!(!RpcError::LocalShutdown.indicates_failure());
+        let o = RpcError::Overloaded { to: NodeId(2) };
+        assert_eq!(o.to_string(), "node n2 shed the request (overloaded)");
+        assert!(
+            !o.indicates_failure(),
+            "a shedding node is alive; Overloaded must not feed the detector"
+        );
         assert_eq!(
             RpcError::UnknownNode(NodeId(9)).to_string(),
             "unknown destination node n9"

@@ -376,6 +376,9 @@ impl<Req: Payload, Resp: Payload> Network<Req, Resp> {
     /// Register a node and obtain its server mailbox. Re-registering an id
     /// replaces the previous mailbox (elastic rejoin).
     pub fn register(&self, node: NodeId) -> Mailbox<Req, Resp> {
+        // Bounded by the campaign workload (closed-loop clients, finite
+        // plans); server-side admission control bounds the serve queue
+        // behind it. lint:allow(bounded-queue)
         let (tx, rx) = self.inner.clock.channel();
         self.inner.mailboxes.write().insert(node, tx);
         self.inner.down.write().remove(&node);

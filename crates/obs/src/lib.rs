@@ -51,7 +51,7 @@ pub use export::{render_json, render_prometheus, Export, Sample, Value};
 pub use flight::{FlightEvent, FlightRecorder};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, Registry};
-pub use timeline::{percentile, Incident, Phase, PolicyChanged, TimelineRecorder};
+pub use timeline::{nearest_rank, percentile, Incident, Phase, PolicyChanged, TimelineRecorder};
 
 use std::sync::Arc;
 

@@ -314,17 +314,26 @@ impl TimelineRecorder {
     }
 }
 
+/// Nearest-rank index for quantile `q` over `n` ascending samples:
+/// `ceil(q·n) - 1`, clamped into `0..n`; `None` when `n == 0`. The one
+/// definition of "percentile" in the workspace — every latency report
+/// (campaign renders, dashboards, fleet binaries) indexes through this
+/// so they all quote the same rank.
+pub fn nearest_rank(n: usize, q: f64) -> Option<usize> {
+    if n == 0 {
+        return None;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+    Some(rank - 1)
+}
+
 /// Percentile of a latency list (nearest-rank), `None` when empty.
 /// Shared by campaign reports and dashboards so both quote the same
 /// definition.
 pub fn percentile(samples: &[Duration], q: f64) -> Option<Duration> {
-    if samples.is_empty() {
-        return None;
-    }
     let mut sorted: Vec<Duration> = samples.to_vec();
     sorted.sort_unstable();
-    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
-    Some(sorted[rank - 1])
+    nearest_rank(sorted.len(), q).map(|i| sorted[i])
 }
 
 #[cfg(test)]
@@ -468,5 +477,20 @@ mod tests {
         assert_eq!(percentile(&ms, 0.99), Some(Duration::from_millis(99)));
         assert_eq!(percentile(&ms, 1.0), Some(Duration::from_millis(100)));
         assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn nearest_rank_covers_the_edges() {
+        assert_eq!(nearest_rank(0, 0.5), None);
+        // A single sample is every percentile.
+        assert_eq!(nearest_rank(1, 0.0), Some(0));
+        assert_eq!(nearest_rank(1, 1.0), Some(0));
+        // q=0 still means "the first sample", never an out-of-range rank.
+        assert_eq!(nearest_rank(100, 0.0), Some(0));
+        assert_eq!(nearest_rank(100, 0.5), Some(49));
+        assert_eq!(nearest_rank(100, 0.999), Some(99));
+        // Out-of-domain q clamps instead of indexing out of bounds.
+        assert_eq!(nearest_rank(10, -3.0), Some(0));
+        assert_eq!(nearest_rank(10, 7.0), Some(9));
     }
 }

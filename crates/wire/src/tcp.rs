@@ -264,6 +264,8 @@ impl BoundedQueue {
     fn new(cap: usize) -> Self {
         BoundedQueue {
             state: StdMutex::new(QueueState {
+                // lint:allow(bounded-queue): `cap` is enforced at
+                // push_deadline — this deque never exceeds it.
                 buf: VecDeque::new(),
                 closed: false,
             }),

@@ -9,7 +9,8 @@
 //! ```text
 //! ftc-client --peers 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402 \
 //!     [--epochs 3] [--files 64] [--size 65536] [--prefix train] \
-//!     [--policy ring|pfs|noft] [--ttl-ms 100] [--me 100] [--no-recovery]
+//!     [--policy ring|pfs|noft] [--ttl-ms 100] [--me 100] [--no-recovery] \
+//!     [--armored]
 //! ```
 //!
 //! Per epoch it prints one `EPOCH …` line (read provenance counts,
@@ -31,7 +32,7 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: ftc-client --peers HOST:PORT,... [--epochs N] [--files N] \
 [--size BYTES] [--prefix NAME] [--policy ring|pfs|noft] [--ttl-ms MS] [--me N] \
-[--no-recovery] [--bench] [--out PATH]";
+[--no-recovery] [--armored] [--bench] [--out PATH]";
 
 /// Bench value sizes: small (metadata-ish), medium (the default file
 /// size everywhere else in the tree), large (frame dominated by body).
@@ -115,9 +116,15 @@ fn build_client(
     policy: FtPolicy,
     ttl: Duration,
     recovery: bool,
+    armored: bool,
 ) -> Arc<HvacClient> {
     let mut config = FtConfig::for_policy(policy);
     config.detector.ttl = ttl;
+    if armored {
+        // Client-side overload armor: per-node circuit breaker, token
+        // retry budget, hedged reads — pairs with `ftc-server --armored`.
+        config.overload = ftc_core::OverloadConfig::armored();
+    }
     let client = Arc::new(HvacClient::with_transport(
         me,
         transport,
@@ -139,7 +146,7 @@ fn main() {
         &[
             "peers", "epochs", "files", "size", "prefix", "policy", "ttl-ms", "me", "out",
         ],
-        &["bench", "no-recovery"],
+        &["bench", "no-recovery", "armored"],
     ) {
         Ok(a) => a,
         Err(e) => die(&e),
@@ -184,7 +191,15 @@ fn main() {
     // servers used.
     let pfs = Arc::new(Pfs::in_memory());
     let paths = stage_dataset(&pfs, &prefix, files, size);
-    let client = build_client(me, &transport, pfs, policy, ttl, !args.flag("no-recovery"));
+    let client = build_client(
+        me,
+        &transport,
+        pfs,
+        policy,
+        ttl,
+        !args.flag("no-recovery"),
+        args.flag("armored"),
+    );
 
     let mut epoch_docs = Vec::with_capacity(epochs);
     let mut total_errors = 0;
@@ -243,7 +258,15 @@ fn run_bench(
         let paths = stage_dataset(&pfs, &prefix, files, size);
         // A distinct client identity per size keeps detector state and
         // placement caches from leaking across measurements.
-        let client = build_client(NodeId(me.0 + i as u32), transport, pfs, policy, ttl, false);
+        let client = build_client(
+            NodeId(me.0 + i as u32),
+            transport,
+            pfs,
+            policy,
+            ttl,
+            false,
+            false,
+        );
         let warm = run_epoch(&client, &paths, clock);
         if warm.errors > 0 {
             die(&format!("bench warm-up saw {} errors", warm.errors));

@@ -11,29 +11,58 @@
 //! ```text
 //! ftc-server --node 0 --peers 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402 \
 //!     [--nvme-mb 256] [--files 64] [--size 65536] [--prefix train] \
-//!     [--stage PREFIX:COUNT:SIZE,...] [--prom]
+//!     [--stage PREFIX:COUNT:SIZE,...] [--prom] \
+//!     [--armored [--queue N] [--ttl-ms MS]]
 //! ```
 //!
 //! `--stage` stages several datasets at once (the bench needs its three
 //! value sizes); when absent, one dataset from `--prefix/--files/--size`.
+//! `--armored` turns on server-side admission control: a bounded
+//! priority queue (`--queue`, default 64) with deadline-aware shedding
+//! against the assumed client deadline (`--ttl-ms`, default 500) —
+//! overload gets a typed `Overloaded` reply instead of unbounded queueing.
 //!
 //! Prints `READY node=<n> addr=<addr>` on stdout once the listener is
-//! bound, then serves until killed.
+//! bound, then serves until killed. SIGTERM shuts down gracefully: the
+//! listener closes (in-flight requests finish, new connections are
+//! refused), the data mover drains, and a final
+//! `DRAINED node=<n> hits=<h> misses=<m> sheds=<c>+<d> recached=<r>`
+//! snapshot is printed before exit 0. SIGKILL remains the crash path the
+//! loopback test exercises.
 
 use ft_cache::fleet::{parse_stage_specs, stage_dataset, Args};
-use ftc_core::{CacheRequest, CacheResponse, ServerHandle};
+use ftc_core::{AdmissionConfig, CacheRequest, CacheResponse, ServerHandle};
 use ftc_hashring::NodeId;
 use ftc_obs::{render_prometheus, ObsHub, Sample};
 use ftc_storage::{NvmeCache, Pfs};
 use ftc_time::ClockHandle;
 use ftc_wire::tcp::{parse_peers, TcpConfig, TcpTransport};
 use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: ftc-server --node N --peers HOST:PORT,... \
 [--nvme-mb MB] [--files N] [--size BYTES] [--prefix NAME] \
-[--stage PREFIX:COUNT:SIZE,...] [--prom]";
+[--stage PREFIX:COUNT:SIZE,...] [--prom] [--armored [--queue N] [--ttl-ms MS]]";
+
+/// Set by the SIGTERM handler; the main loop polls it and drains.
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// libc `signal(2)`, declared directly: the workspace carries no libc
+    /// crate and a single handler installation does not justify one.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Async-signal-safe by construction: one relaxed store, nothing else.
+extern "C" fn on_sigterm(_sig: i32) {
+    // ordering: Relaxed — plain flag; the 50 ms poll in main bounds how
+    // late the store is observed, and no other state rides on it.
+    TERM_REQUESTED.store(true, Ordering::Relaxed);
+}
 
 fn die(msg: &str) -> ! {
     eprintln!("ftc-server: {msg}\n{USAGE}");
@@ -44,9 +73,9 @@ fn main() {
     let args = match Args::parse(
         std::env::args().skip(1),
         &[
-            "node", "peers", "nvme-mb", "files", "size", "prefix", "stage",
+            "node", "peers", "nvme-mb", "files", "size", "prefix", "stage", "queue", "ttl-ms",
         ],
-        &["prom"],
+        &["prom", "armored"],
     ) {
         Ok(a) => a,
         Err(e) => die(&e),
@@ -120,21 +149,67 @@ fn main() {
         }));
     }
 
-    // The handle owns the event-loop thread; it must stay alive for the
-    // life of the process (dropping it would not stop the loop, but keep
-    // the binding explicit about ownership).
-    let _handle = match ServerHandle::spawn_on(node, &transport, pfs, cache) {
-        Ok(h) => h,
-        Err(e) => die(&format!("cannot start node {node}: {e}")),
+    let admission = if args.flag("armored") {
+        let ttl_ms: u64 = args.parsed_or("ttl-ms", 500).unwrap_or_else(|e| die(&e));
+        let mut a = AdmissionConfig::armored(Duration::from_millis(ttl_ms));
+        a.queue_capacity = args.parsed_or("queue", 64).unwrap_or_else(|e| die(&e));
+        a
+    } else {
+        AdmissionConfig::default()
     };
+
+    // The handle owns the event-loop thread; it must stay alive until the
+    // graceful drain below reclaims it.
+    let handle =
+        match ServerHandle::spawn_on_with_admission(node, &transport, pfs, cache, admission) {
+            Ok(h) => h,
+            Err(e) => die(&format!("cannot start node {node}: {e}")),
+        };
+
+    // SAFETY: installs a handler that performs a single atomic store; no
+    // allocation, locking, or I/O happens in signal context.
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
 
     println!("READY node={} addr={}", node.0, peers[node.0 as usize]);
     let _ = std::io::stdout().flush();
 
-    // Serve until killed; the event loop lives on its spawned thread and
-    // this thread only keeps the process alive.
+    // Serve until SIGTERM (graceful drain) or SIGKILL (the crash path the
+    // loopback test exercises); the event loop lives on its spawned
+    // thread and this thread only keeps the process alive.
     let clock = ClockHandle::wall();
-    loop {
-        clock.sleep(Duration::from_secs(3600));
+    // ordering: Relaxed — paired with the handler's Relaxed store; the
+    // poll interval bounds observation latency.
+    while !TERM_REQUESTED.load(Ordering::Relaxed) {
+        clock.sleep(Duration::from_millis(50));
     }
+
+    // Graceful shutdown: stop accepting (the listener dies with the event
+    // loop), let the reclaimed server drain its data mover, then report a
+    // final snapshot so operators see what the node did with its life.
+    // Best-effort writes: the parent may have closed our stdout pipe
+    // already, and a drain must never panic on EPIPE.
+    let (shed_capacity, shed_deadline) = handle.sheds();
+    let mut out = std::io::stdout();
+    match handle.shutdown() {
+        Some(server) => {
+            let stats = server.cache().stats();
+            let _ = writeln!(
+                out,
+                "DRAINED node={} hits={} misses={} sheds={}+{} recached={}",
+                node.0,
+                stats.hits,
+                stats.misses,
+                shed_capacity,
+                shed_deadline,
+                server.files_recached(),
+            );
+        }
+        None => {
+            let _ = writeln!(out, "DRAINED node={} (event loop panicked)", node.0);
+        }
+    }
+    let _ = out.flush();
+    std::process::exit(0);
 }

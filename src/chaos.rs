@@ -49,6 +49,8 @@ use ftc_storage::synth_bytes;
 use ftc_time::ClockHandle;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One fault action in a campaign schedule.
@@ -381,6 +383,30 @@ impl ChaosPlan {
         plan
     }
 
+    /// Deterministic cascading-overload scenario for the overload armor:
+    /// a warm pass, then a kill right before pass [`SURGE_PASS`] — so the
+    /// recache burst from the lost range lands exactly when the campaign
+    /// runner fires its open-loop client surge (armed via
+    /// [`CampaignOptions::overload`]). The surviving nodes absorb
+    /// failover traffic, recache pushes and the surge at once: admission
+    /// control must shed rather than stall, the armored client must
+    /// degrade shed reads to the PFS rather than fail them, and under
+    /// [`RecoveryMode::Adaptive`] the controller must enter and then
+    /// exit the brownout posture. Node 0 stays clean.
+    pub fn scenario_cascading_overload(seed: u64) -> Self {
+        let mut plan = ChaosPlan::generate(seed);
+        plan.nodes = 4;
+        plan.files = 32;
+        plan.passes = 3;
+        plan.clean_node = NodeId(0);
+        plan.degraded_only.clear();
+        plan.events = vec![ChaosEvent {
+            before_pass: SURGE_PASS,
+            action: ChaosAction::Kill(NodeId(1)),
+        }];
+        plan
+    }
+
     /// Deterministic large-ring sweep for virtual-time scaling runs:
     /// `nodes` servers, `files` staged keys, and a seed-chosen burst of
     /// permanent kills (one per 32 nodes, clamped to 1..=8) spread over
@@ -491,6 +517,23 @@ pub struct CampaignOptions {
     /// dataset is seeded as t=0 writes so warm reads have something to
     /// linearize against.
     pub history: bool,
+    /// Arm the overload pipeline end to end — deadline-aware server
+    /// admission with a deliberately tight foreground queue, the full
+    /// client armor (breaker / retry budget / hedging), and brownout
+    /// thresholds on the adaptive controller — then fire an open-loop
+    /// multi-reader surge before pass [`SURGE_PASS`]'s reads. Three more
+    /// invariants join the campaign: the goodput floor, shed accounting
+    /// (client-observed sheds bounded by server sheds, and no
+    /// shedding-but-alive node ever declared failed), and — under
+    /// [`RecoveryMode::Adaptive`] — the brownout lifecycle (entered
+    /// under the surge, exited once it clears). Ignored under `NoFt`
+    /// (no fallback to degrade to).
+    pub overload: bool,
+    /// Make the client misclassify typed `Overloaded` replies as
+    /// detector evidence — the exact bug the typed shed reply exists to
+    /// prevent — so the shed-false-positive invariant must fire (and
+    /// dump the flight recorder). Implies `overload`.
+    pub sabotage_shed: bool,
 }
 
 /// Result of running one campaign.
@@ -531,6 +574,40 @@ pub struct CampaignReport {
     /// Reads attributed to a retired policy epoch, from the trace scan
     /// (virtual traced campaigns only; always a violation when nonzero).
     pub retired_policy_reads: u64,
+    /// Overload-armor counters ([`CampaignOptions::overload`] only).
+    pub overload: Option<OverloadStats>,
+}
+
+/// Overload-armor counters harvested at campaign end, present only when
+/// [`CampaignOptions::overload`] armed the pipeline. Surge reads are
+/// tracked here, separate from [`CampaignReport::reads_attempted`] (which
+/// keeps its pre-armor meaning: the sequential pass reads).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Open-loop surge reads issued.
+    pub surge_reads: u64,
+    /// Surge reads that completed with ground-truth bytes.
+    pub surge_ok: u64,
+    /// Server-side sheds at queue admission (foreground queue full).
+    pub shed_capacity: u64,
+    /// Server-side sheds at dequeue (deadline already hopeless).
+    pub shed_deadline: u64,
+    /// Typed `Overloaded` replies the client observed.
+    pub observed: u64,
+    /// Reads degraded to the direct PFS path by a shed or open breaker.
+    pub shed_pfs_fallbacks: u64,
+    /// Hedged reads launched (primary past its p99 delay).
+    pub hedges_launched: u64,
+    /// Hedges whose second-owner read supplied the answer.
+    pub hedges_won: u64,
+    /// Reads short-circuited by an open circuit breaker (no RPC sent).
+    pub breaker_short_circuits: u64,
+    /// Retries denied by the token budget.
+    pub budget_denied: u64,
+    /// Brownout postures entered ([`RecoveryMode::Adaptive`] only).
+    pub brownout_entries: u64,
+    /// Brownout postures exited.
+    pub brownout_exits: u64,
 }
 
 impl CampaignReport {
@@ -614,6 +691,25 @@ impl CampaignReport {
                 self.recovery.as_ref().map_or(0, |r| r.policy_fenced)
             );
         }
+        if let Some(o) = &self.overload {
+            let _ = writeln!(
+                out,
+                "overload: surge={}/{} sheds={}+{} observed={} fallbacks={} hedges={}/{} \
+                 breaker={} budget_denied={} brownout={}/{}",
+                o.surge_ok,
+                o.surge_reads,
+                o.shed_capacity,
+                o.shed_deadline,
+                o.observed,
+                o.shed_pfs_fallbacks,
+                o.hedges_won,
+                o.hedges_launched,
+                o.breaker_short_circuits,
+                o.budget_denied,
+                o.brownout_entries,
+                o.brownout_exits
+            );
+        }
         if let Some(rs) = &self.recovery {
             let _ = writeln!(
                 out,
@@ -691,6 +787,27 @@ const STARVATION_FLOOR: Duration = Duration::from_millis(300);
 /// declaring the quiescence invariant violated.
 const QUIESCE_DEADLINE: Duration = Duration::from_secs(3);
 
+/// The pass whose reads the open-loop surge precedes in an overload
+/// campaign ([`CampaignOptions::overload`]); overload plans need at least
+/// `SURGE_PASS + 1` post-warm passes.
+pub const SURGE_PASS: u32 = 1;
+
+/// Concurrent open-loop readers in the surge. They share one client and
+/// read every path in the same order, convoying on one owner at a time so
+/// the tight foreground admission queue actually sheds.
+const SURGE_READERS: usize = 6;
+
+/// Goodput floor (percent): the fraction of surge reads that must
+/// complete with ground-truth bytes. The armor degrades shed reads to the
+/// PFS instead of failing them, so an armored cluster holds 100%; any
+/// read the surge loses outright is a real bug.
+const GOODPUT_FLOOR_PCT: u64 = 99;
+
+/// How long the campaign waits after the last pass for the brownout
+/// posture to decay back out once the surge pressure is gone (virtual
+/// time in CI, so the wait is free).
+const BROWNOUT_EXIT_DEADLINE: Duration = Duration::from_secs(5);
+
 /// Nearest-rank p99 of a latency sample; `None` on an empty sample.
 fn percentile_99(lats: &[Duration]) -> Option<Duration> {
     if lats.is_empty() {
@@ -706,8 +823,8 @@ fn percentile_99(lats: &[Duration]) -> Option<Duration> {
 /// detector events, so the posture actually moves within a campaign that
 /// lasts tens of virtual milliseconds. Decision presets (quiet/burst)
 /// stay at the controller defaults.
-fn campaign_controller_config(sabotage_flap: bool) -> ftc_core::ControllerConfig {
-    ftc_core::ControllerConfig {
+fn campaign_controller_config(sabotage_flap: bool, overload: bool) -> ftc_core::ControllerConfig {
+    let mut cc = ftc_core::ControllerConfig {
         tick: Duration::from_millis(5),
         cooldown: Duration::from_millis(60),
         decay: Duration::from_millis(300),
@@ -716,7 +833,17 @@ fn campaign_controller_config(sabotage_flap: bool) -> ftc_core::ControllerConfig
         deescalate: 0.5,
         sabotage_flap,
         ..Default::default()
+    };
+    if overload {
+        // Brownout thresholds scaled to the surge: a convoying
+        // six-reader surge sheds tens of reads within a few virtual
+        // milliseconds (rate far above 50/s), and once it clears the
+        // shed estimator decays below 5/s within about a virtual second
+        // — comfortably inside BROWNOUT_EXIT_DEADLINE.
+        cc.shed_enter = 50.0;
+        cc.shed_exit = 5.0;
     }
+    cc
 }
 
 /// Scan a trace for reads attributed to a policy epoch the controller had
@@ -902,6 +1029,20 @@ pub fn run_campaign_on(
     if let Some(rf) = opts.replication {
         cfg.ft.replication = rf;
     }
+    // Overload armor: deadline-aware admission on every server with a
+    // deliberately tight foreground queue (so the convoying surge
+    // actually sheds), plus the full client armor. Everything stays at
+    // the disarmed defaults unless asked for, so pre-armor campaigns are
+    // byte-identical. NoFt is exempt: it has no fallback to degrade to.
+    let overload_on = (opts.overload || opts.sabotage_shed) && policy != FtPolicy::NoFt;
+    if overload_on {
+        cfg.admission = ftc_core::AdmissionConfig {
+            queue_capacity: 2,
+            ..ftc_core::AdmissionConfig::armored(CAMPAIGN_TTL)
+        };
+        cfg.ft.overload = ftc_core::OverloadConfig::armored();
+        cfg.ft.overload.shed_counts_as_failure = opts.sabotage_shed;
+    }
     cfg.seed = plan.seed;
 
     let cluster = match Cluster::start_with_clock(cfg.clone(), clock.clone()) {
@@ -925,6 +1066,7 @@ pub fn run_campaign_on(
                     policy_switches: 0,
                     policy_flaps_suppressed: 0,
                     retired_policy_reads: 0,
+                    overload: None,
                 },
                 None,
                 None,
@@ -976,7 +1118,11 @@ pub fn run_campaign_on(
                 }
             };
             let built = if recovery_mode == RecoveryMode::Adaptive {
-                cluster.client_adaptive(0, rc, campaign_controller_config(opts.sabotage_flap))
+                cluster.client_adaptive(
+                    0,
+                    rc,
+                    campaign_controller_config(opts.sabotage_flap, overload_on),
+                )
             } else {
                 cluster.client_with_recovery(0, rc)
             };
@@ -1000,6 +1146,7 @@ pub fn run_campaign_on(
                             policy_switches: 0,
                             policy_flaps_suppressed: 0,
                             retired_policy_reads: 0,
+                            overload: None,
                         },
                         None,
                         None,
@@ -1012,6 +1159,8 @@ pub fn run_campaign_on(
     let mut violations = Vec::new();
     let mut reads_attempted = 0u64;
     let mut aborted = false;
+    let mut surge_issued = 0u64;
+    let mut surge_ok = 0u64;
 
     // Warm pass: healthy cluster, every read must verify.
     let mut warm_lats: Vec<Duration> = Vec::with_capacity(paths.len());
@@ -1102,6 +1251,48 @@ pub fn run_campaign_on(
             }
         }
 
+        // Open-loop surge (overload campaigns only): SURGE_READERS tasks
+        // sharing this client hammer every path in the same order, so
+        // they convoy on one owner at a time and the tight foreground
+        // queue sheds. Sharing the client matters: the sheds feed the
+        // controller's signals (brownout) and a single metrics snapshot
+        // (accounting), and every task joins before the pass reads
+        // resume — nothing leaks past the virtual driver.
+        if overload_on && pass == SURGE_PASS {
+            let ok = Arc::new(AtomicU64::new(0));
+            let issued = Arc::new(AtomicU64::new(0));
+            let mut workers = Vec::with_capacity(SURGE_READERS);
+            for r in 0..SURGE_READERS {
+                let client = Arc::clone(&client);
+                let paths = paths.clone();
+                let truth = truth.clone();
+                let ok = Arc::clone(&ok);
+                let issued = Arc::clone(&issued);
+                let spawned = clock.spawn(&format!("surge-{r}"), move || {
+                    for (p, want) in paths.iter().zip(&truth) {
+                        // ordering: Relaxed — per-task tallies folded in
+                        // after join; no cross-task ordering needed.
+                        issued.fetch_add(1, Ordering::Relaxed);
+                        if matches!(client.read(p), Ok(bytes) if bytes == *want) {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+                match spawned {
+                    Ok(h) => workers.push(h),
+                    Err(e) => violations.push(format!("surge: reader {r} failed to spawn: {e}")),
+                }
+            }
+            for h in workers {
+                if h.join().is_err() {
+                    violations.push("surge: a reader panicked".to_owned());
+                }
+            }
+            // ordering: Relaxed — tasks are joined; these are final.
+            surge_issued = issued.load(Ordering::Relaxed);
+            surge_ok = ok.load(Ordering::Relaxed);
+        }
+
         // Deterministic per-pass read order.
         let mut order: Vec<usize> = (0..paths.len()).collect();
         let mut rng = Prng(plan.seed.wrapping_add(u64::from(pass) + 1));
@@ -1139,6 +1330,19 @@ pub fn run_campaign_on(
         // Give movers a beat so recache fetches are attributed to the
         // pass that caused them.
         let _ = cluster.wait_movers_drained(Duration::from_secs(2));
+    }
+
+    // Brownout lifecycle (adaptive overload only): the surge pushed the
+    // controller into brownout; once the pressure is gone the shed-rate
+    // estimator must decay it back out. Give the decay the time it needs
+    // — free on the virtual clock — before judging the transitions.
+    if overload_on && !aborted {
+        if let Some(ctl) = client.controller() {
+            let waited_from = clock.now();
+            while ctl.live().brownout() && clock.since(waited_from) < BROWNOUT_EXIT_DEADLINE {
+                clock.sleep(Duration::from_millis(25));
+            }
+        }
     }
 
     // Invariants 5–7 (proactive recovery only, and moot after a NoFt
@@ -1188,6 +1392,15 @@ pub fn run_campaign_on(
     let budget = if opts.sabotage_economy { 0 } else { budget };
     if policy == FtPolicy::RingRecache {
         let after = client.metrics().snapshot();
+        // Overload slack: a hedged read lands on a non-owner replica,
+        // which may have to fetch from the PFS once — legitimate load
+        // the per-kill budget never counted.
+        let budget = budget
+            + if overload_on {
+                after.hedges_launched
+            } else {
+                0
+            };
         let fetched = after.pfs_fetches_via_server - warm.pfs_fetches_via_server;
         if fetched > budget {
             violations.push(format!(
@@ -1205,6 +1418,84 @@ pub fn run_campaign_on(
             ));
         }
     }
+
+    // Overload invariants (armed campaigns only): the goodput floor, shed
+    // accounting, shed-vs-death separation and the brownout lifecycle.
+    let overload_stats = if overload_on {
+        let snap = client.metrics().snapshot();
+        let per_node = cluster.sheds_per_node();
+        let (shed_capacity, shed_deadline) = per_node
+            .iter()
+            .fold((0u64, 0u64), |(c, d), (pc, pd)| (c + pc, d + pd));
+        let server_sheds = shed_capacity + shed_deadline;
+        // Goodput floor: the armor degrades shed reads to the PFS instead
+        // of failing them, so the surge may not lose reads outright.
+        if surge_issued > 0 && surge_ok * 100 < surge_issued * GOODPUT_FLOOR_PCT {
+            violations.push(format!(
+                "goodput: surge completed {surge_ok}/{surge_issued} reads, \
+                 below the {GOODPUT_FLOOR_PCT}% floor"
+            ));
+        }
+        // Shed accounting: the surge must actually exercise admission
+        // control, and the client can never observe more typed sheds
+        // than the servers issued.
+        if !aborted && surge_issued > 0 && snap.overloaded_observed == 0 {
+            violations.push(
+                "shed accounting: the surge never produced a typed shed \
+                 (admission control idle?)"
+                    .to_owned(),
+            );
+        }
+        if snap.overloaded_observed > server_sheds {
+            violations.push(format!(
+                "shed accounting: client observed {} typed sheds, servers \
+                 issued {server_sheds}",
+                snap.overloaded_observed
+            ));
+        }
+        // A shed is a liveness signal: a node that shed but kept serving
+        // must never be declared failed. (--sabotage-shed misclassifies
+        // sheds on the client so this fires on demand.)
+        let killed: HashSet<NodeId> = cluster.killed_nodes().into_iter().collect();
+        for (i, (c, d)) in per_node.iter().enumerate() {
+            let n = NodeId(i as u32);
+            if c + d > 0 && !killed.contains(&n) && failed.contains(&n) {
+                violations.push(format!(
+                    "shed false positive: shedding-but-alive node {n} declared failed"
+                ));
+            }
+        }
+        let (brownout_entries, brownout_exits) = client
+            .controller()
+            .map_or((0, 0), |c| c.brownout_transitions());
+        if recovery_mode == RecoveryMode::Adaptive && !opts.sabotage_shed && !aborted {
+            if brownout_entries == 0 {
+                violations
+                    .push("brownout: the surge never entered the brownout posture".to_owned());
+            } else if brownout_exits == 0 {
+                violations.push(format!(
+                    "brownout: posture never exited within {BROWNOUT_EXIT_DEADLINE:?} \
+                     of the surge clearing"
+                ));
+            }
+        }
+        Some(OverloadStats {
+            surge_reads: surge_issued,
+            surge_ok,
+            shed_capacity,
+            shed_deadline,
+            observed: snap.overloaded_observed,
+            shed_pfs_fallbacks: snap.shed_pfs_fallbacks,
+            hedges_launched: snap.hedges_launched,
+            hedges_won: snap.hedges_won,
+            breaker_short_circuits: snap.breaker_short_circuits,
+            budget_denied: snap.budget_denied,
+            brownout_entries,
+            brownout_exits,
+        })
+    } else {
+        None
+    };
 
     // DES cross-check: mirror the kill schedule and ask the simulator
     // whether the job survives; the verdicts must agree.
@@ -1284,6 +1575,7 @@ pub fn run_campaign_on(
             policy_switches,
             policy_flaps_suppressed,
             retired_policy_reads,
+            overload: overload_stats,
         },
         trace_log,
         history_log,
@@ -1489,7 +1781,7 @@ pub fn run_degraded_window_probe_on(
                 ..Default::default()
             };
             let built = if mode == RecoveryMode::Adaptive {
-                cluster.client_adaptive(0, rc, campaign_controller_config(false))
+                cluster.client_adaptive(0, rc, campaign_controller_config(false, false))
             } else {
                 cluster.client_with_recovery(0, rc)
             };
@@ -1991,6 +2283,7 @@ mod adaptive_tests {
                 policy_switches: 0,
                 policy_flaps_suppressed: 0,
                 retired_policy_reads: 0,
+                overload: None,
             }
         };
         let adaptive = mk(RecoveryMode::Adaptive, &[(1, 50), (2, 35)]);
@@ -2051,5 +2344,113 @@ mod adaptive_tests {
         assert_eq!(count_retired_policy_reads(&log), 1);
         assert_eq!(count_retired_policy_reads(&log[..3]), 0);
         assert_eq!(count_retired_policy_reads(&[]), 0);
+    }
+}
+
+#[cfg(test)]
+mod overload_tests {
+    use super::*;
+
+    #[test]
+    fn cascading_overload_plan_is_deterministic_and_well_formed() {
+        let plan = ChaosPlan::scenario_cascading_overload(7);
+        assert_eq!(
+            plan,
+            ChaosPlan::scenario_cascading_overload(7),
+            "scenario must be a pure function of the seed"
+        );
+        assert_eq!(plan.nodes, 4);
+        assert_eq!(plan.clean_node, NodeId(0));
+        assert!(
+            plan.passes > SURGE_PASS,
+            "the surge needs a pass to precede"
+        );
+        assert!(plan.has_lossy_events(), "the kill is the recache burst");
+        assert!(plan.degraded_only.is_empty());
+    }
+
+    #[test]
+    fn cascading_overload_campaign_holds_the_goodput_floor_and_replays() {
+        let plan = ChaosPlan::scenario_cascading_overload(7);
+        let opts = CampaignOptions {
+            recovery: RecoveryMode::Adaptive,
+            overload: true,
+            trace: true,
+            ..Default::default()
+        };
+        let a = run_campaign_virtual(FtPolicy::RingRecache, &plan, opts);
+        let b = run_campaign_virtual(FtPolicy::RingRecache, &plan, opts);
+        assert!(a.passed(), "overload campaign failed: {a}");
+        assert_eq!(
+            a.render(),
+            b.render(),
+            "overload campaign must replay byte-identically on the virtual clock"
+        );
+        let o = a.overload.expect("overload stats present");
+        assert!(o.surge_reads > 0, "the surge ran");
+        assert_eq!(
+            o.surge_ok, o.surge_reads,
+            "armor degrades shed reads, it never loses them: {o:?}"
+        );
+        assert!(o.observed > 0, "the surge must actually shed: {o:?}");
+        assert!(
+            o.observed <= o.shed_capacity + o.shed_deadline,
+            "client cannot observe more sheds than servers issued: {o:?}"
+        );
+        assert!(
+            o.brownout_entries >= 1,
+            "the surge must enter brownout: {o:?}"
+        );
+        assert!(
+            o.brownout_exits >= 1,
+            "brownout must exit once the surge clears: {o:?}"
+        );
+        assert!(a.render().contains("overload: surge="));
+        assert_eq!(a.retired_policy_reads, 0);
+    }
+
+    #[test]
+    fn unarmed_campaigns_render_without_an_overload_line() {
+        let mut plan = ChaosPlan::generate(3);
+        plan.nodes = 3;
+        plan.files = 24;
+        plan.passes = 2;
+        plan.clean_node = NodeId(0);
+        plan.degraded_only.clear();
+        plan.events = vec![ChaosEvent {
+            before_pass: 0,
+            action: ChaosAction::Kill(NodeId(1)),
+        }];
+        let report = run_campaign_virtual(FtPolicy::RingRecache, &plan, CampaignOptions::default());
+        assert!(report.passed(), "{report}");
+        assert!(report.overload.is_none());
+        assert!(
+            !report.render().contains("overload:"),
+            "pre-armor renders must stay byte-identical"
+        );
+    }
+
+    #[test]
+    fn shed_sabotage_fires_the_false_positive_invariant() {
+        let plan = ChaosPlan::scenario_cascading_overload(7);
+        let report = run_campaign_virtual(
+            FtPolicy::RingRecache,
+            &plan,
+            CampaignOptions {
+                sabotage_shed: true,
+                ..Default::default()
+            },
+        );
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("shed false positive")),
+            "misclassified sheds must declare a live node dead: {report}"
+        );
+        assert!(
+            report.flight_dump.is_some(),
+            "violation must carry a flight dump"
+        );
     }
 }

@@ -129,16 +129,14 @@ pub fn parse_stage_specs(s: &str) -> Result<Vec<(String, usize, usize)>, String>
 }
 
 /// Exact percentile of a sample set: the value at rank `ceil(q·n)`
-/// (nearest-rank definition), 0 for an empty set. `sorted` must be
-/// ascending — debug builds assert it.
+/// (nearest-rank definition, via the shared [`ftc_obs::nearest_rank`]),
+/// 0 for an empty set. `sorted` must be ascending — debug builds assert
+/// it.
 pub fn percentile(sorted: &[u64], q: f64) -> u64 {
     debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
-    if sorted.is_empty() {
-        return 0;
-    }
-    let q = q.clamp(0.0, 1.0);
-    let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    ftc_obs::nearest_rank(sorted.len(), q)
+        .map(|i| sorted[i])
+        .unwrap_or(0)
 }
 
 /// A flat JSON document builder — objects, arrays, strings, numbers.

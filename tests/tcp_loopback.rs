@@ -31,8 +31,23 @@ fn free_addrs(n: usize) -> Vec<SocketAddr> {
         .collect()
 }
 
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// libc `kill(2)`, declared directly — the workspace carries no libc
+    /// crate and graceful teardown needs exactly one syscall from it.
+    /// (`std::process::Child::kill` is always SIGKILL.)
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
 /// Start one `ftc-server` process and block until it prints `READY`.
-fn start_server(node: u32, peers: &str, prom: bool) -> Child {
+/// The stdout reader stays alive so teardown can read the `DRAINED`
+/// snapshot the graceful SIGTERM path prints.
+fn start_server(
+    node: u32,
+    peers: &str,
+    prom: bool,
+) -> (Child, BufReader<std::process::ChildStdout>) {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_ftc-server"));
     cmd.args(["--node", &node.to_string(), "--peers", peers])
         .args(["--files", &FILES.to_string()])
@@ -45,24 +60,56 @@ fn start_server(node: u32, peers: &str, prom: bool) -> Child {
     }
     let mut child = cmd.spawn().expect("spawn ftc-server");
     let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
     let mut line = String::new();
-    BufReader::new(stdout)
-        .read_line(&mut line)
-        .expect("read READY line");
+    reader.read_line(&mut line).expect("read READY line");
     assert!(
         line.starts_with("READY"),
         "server {node} did not come up: {line:?}"
     );
-    child
+    (child, reader)
 }
 
 struct Fleet {
-    children: Vec<Child>,
+    children: Vec<(Child, Option<BufReader<std::process::ChildStdout>>)>,
+}
+
+impl Fleet {
+    /// Graceful teardown: SIGTERM every surviving server, read its
+    /// `DRAINED` snapshot, and require a clean exit. The mid-run crash in
+    /// the test body stays `Child::kill` (SIGKILL) — that is the crash
+    /// under test; this is the orderly path operators use.
+    fn shutdown_gracefully(&mut self) {
+        for (node, (c, reader)) in self.children.iter_mut().enumerate() {
+            if matches!(c.try_wait(), Ok(Some(_))) {
+                continue; // the mid-run kill victim, already reaped
+            }
+            // SAFETY: plain kill(2) aimed at a child this test spawned.
+            let rc = unsafe { kill(c.id() as i32, SIGTERM) };
+            assert_eq!(rc, 0, "SIGTERM to node {node} failed");
+            let mut drained = String::new();
+            if let Some(r) = reader {
+                r.read_line(&mut drained).expect("read DRAINED line");
+            }
+            assert!(
+                drained.starts_with("DRAINED"),
+                "node {node} did not drain gracefully on SIGTERM: {drained:?}"
+            );
+            let status = c.wait().expect("reap drained server");
+            assert!(
+                status.success(),
+                "node {node} exited {status} after a graceful drain"
+            );
+        }
+    }
 }
 
 impl Drop for Fleet {
     fn drop(&mut self) {
-        for c in &mut self.children {
+        // Hard-kill fallback only: the happy path has already reaped
+        // every child via `shutdown_gracefully`, and a panicking test
+        // must not hang on a wedged server.
+        for (c, _) in &mut self.children {
             let _ = c.kill();
             let _ = c.wait();
         }
@@ -95,7 +142,12 @@ fn three_process_fleet_survives_a_mid_run_kill() {
         .join(",");
 
     let mut fleet = Fleet {
-        children: (0..3).map(|n| start_server(n, &peers, n == 0)).collect(),
+        children: (0..3)
+            .map(|n| {
+                let (child, reader) = start_server(n, &peers, n == 0);
+                (child, Some(reader))
+            })
+            .collect(),
     };
 
     // The in-process client: the same stack `ftc-client` wraps, minus the
@@ -142,8 +194,8 @@ fn three_process_fleet_survives_a_mid_run_kill() {
 
     // Mid-run kill: node 1 dies hard (SIGKILL — no FIN handshake
     // courtesy, exactly what a crashed node looks like).
-    fleet.children[1].kill().expect("kill node 1");
-    fleet.children[1].wait().expect("reap node 1");
+    fleet.children[1].0.kill().expect("kill node 1");
+    fleet.children[1].0.wait().expect("reap node 1");
 
     // Epoch 3 (degraded): every read still succeeds. Keys owned by the
     // dead node re-route to ring successors, which recache from their
@@ -178,4 +230,8 @@ fn three_process_fleet_survives_a_mid_run_kill() {
         clock.since(t0) < Duration::from_secs(30),
         "degraded fleet took pathologically long for a fresh client"
     );
+
+    // Orderly teardown: the survivors drain on SIGTERM and exit 0 with a
+    // DRAINED snapshot; only the crashed node went down without one.
+    fleet.shutdown_gracefully();
 }
