@@ -1,14 +1,15 @@
 //! Repo-specific source lints, enforced in CI alongside clippy.
 //!
-//! Six rules, each encoding a convention this codebase adopted after
+//! Seven rules, each encoding a convention this codebase adopted after
 //! real incidents (panicking boot paths mid-campaign, a catch-all arm
 //! that silently diverted NoFT reads to the PFS, an unjustified
 //! `Relaxed` snapshot that could report more completions than
 //! initiations, bare wall-clock calls that made whole subsystems
 //! impossible to run deterministically in virtual time, recovery
 //! tunables scattered as magic numbers that the runtime policy
-//! controller could not govern, and the unbounded serve queue that the
-//! overload-armor PR replaced with admission control):
+//! controller could not govern, the unbounded serve queue that the
+//! overload-armor PR replaced with admission control, and the per-hop
+//! value copies that the zero-copy data-plane PR removed):
 //!
 //! * **unwrap** — no `.unwrap()` / `.expect(` in non-test library code.
 //!   Typed errors or destructuring `let-else` are required; a deliberate
@@ -45,6 +46,17 @@
 //!   load-hiding. Every queue names its bound (`with_capacity` + an
 //!   enforced cap, a bounded channel) or carries a
 //!   `lint:allow(bounded-queue)` waiver stating what bounds it.
+//! * **hot-path-alloc** — in the serving read-path files (client, server,
+//!   single-flight, the value/cache/index/object stores, the wire codec),
+//!   no copying constructors on value bytes: `.to_vec()`, `Vec::from(`,
+//!   and path-qualified `::copy_from_slice(` are banned. The zero-copy
+//!   data plane hands `ValueBuf` windows (refcount bumps) between tiers;
+//!   one stray `.to_vec()` on the reply path silently reintroduces a
+//!   per-read allocation that no test catches but every benchmark pays
+//!   for. A deliberate copy (the `ValueBuf::to_vec` escape hatch itself,
+//!   `detach`'s right-sizing copy, a conversion at a boundary that must
+//!   own its bytes) carries a `lint:allow(hot-path-alloc)` waiver naming
+//!   why the copy is required.
 //!
 //! There is no `syn` in this build environment, so the scanner is a
 //! hand-rolled lexer: it strips line/block comments (keeping their text
@@ -67,7 +79,8 @@ pub struct LintFinding {
     /// 1-based line number.
     pub line: usize,
     /// Which rule fired (`"unwrap"`, `"err-catchall"`, `"ordering"`,
-    /// `"wall-clock"`, `"policy-const"`, `"bounded-queue"`).
+    /// `"wall-clock"`, `"policy-const"`, `"bounded-queue"`,
+    /// `"hot-path-alloc"`).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -228,6 +241,35 @@ fn bounded_queue_scoped(label: &Path) -> bool {
     BOUNDED_QUEUE_SCOPE.iter().any(|p| l.starts_with(p))
 }
 
+/// Exact files (repo-relative) where the `hot-path-alloc` rule applies:
+/// the serving read path, where every per-read allocation multiplies by
+/// request rate. Deliberately a file list, not a prefix list — the miss
+/// path (`pfs.rs`, where synthesis allocates by nature) and the
+/// background movers copy legitimately and stay out of scope.
+const HOT_PATH_ALLOC_SCOPE: &[&str] = &[
+    "crates/core/src/client.rs",
+    "crates/core/src/server.rs",
+    "crates/core/src/singleflight.rs",
+    "crates/storage/src/value.rs",
+    "crates/storage/src/nvme.rs",
+    "crates/storage/src/index.rs",
+    "crates/storage/src/object.rs",
+    "crates/wire/src/codec.rs",
+    "crates/wire/src/frame.rs",
+];
+
+/// Copying constructors the `hot-path-alloc` rule bans inside
+/// [`HOT_PATH_ALLOC_SCOPE`]. `::copy_from_slice(` is matched
+/// path-qualified so the method *definition* in `value.rs` does not
+/// trip its own rule.
+const HOT_PATH_ALLOC_CALLS: &[&str] = &[".to_vec()", "Vec::from(", "::copy_from_slice("];
+
+/// True when `label` is one of the hot-path files.
+fn hot_path_alloc_scoped(label: &Path) -> bool {
+    let l = label.to_string_lossy().replace('\\', "/");
+    HOT_PATH_ALLOC_SCOPE.iter().any(|p| l == *p)
+}
+
 /// Path prefixes where the `policy-const` rule applies: the core crate
 /// (where the tunables are consumed) and the umbrella harness. The two
 /// files that *define* the tunables are exempt by name.
@@ -335,6 +377,7 @@ pub fn lint_source(label: &Path, source: &str) -> Vec<LintFinding> {
     };
     let policy_scoped = policy_const_scoped(label);
     let bounded_scoped = bounded_queue_scoped(label);
+    let hot_scoped = hot_path_alloc_scoped(label);
 
     let waived = |rule: &str, line_idx: usize| -> bool {
         let marker = format!("lint:allow({rule})");
@@ -415,6 +458,24 @@ pub fn lint_source(label: &Path, source: &str) -> Vec<LintFinding> {
                              ingress layer; name the bound (with_capacity + an enforced \
                              cap, or a bounded channel), or waive with \
                              lint:allow(bounded-queue) stating what bounds it"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if hot_scoped {
+            if let Some(call) = HOT_PATH_ALLOC_CALLS.iter().find(|c| code.contains(*c)) {
+                if !waived("hot-path-alloc", i) {
+                    findings.push(LintFinding {
+                        file: label.to_path_buf(),
+                        line: line_no,
+                        rule: "hot-path-alloc",
+                        message: format!(
+                            "copying allocation `{call}..)` on the serving read path; \
+                             hand a ValueBuf window (clone is a refcount bump) instead, \
+                             or waive with lint:allow(hot-path-alloc) naming why the \
+                             copy is required"
                         ),
                     });
                 }
@@ -1016,6 +1077,55 @@ mod tests {
         // Test code is exempt like everywhere else.
         let test_gated = "#[cfg(test)]\nmod tests {\n    fn f() { let q = VecDeque::new(); }\n}\n";
         assert!(lint_source(Path::new("crates/net/src/transport.rs"), test_gated).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_copies_are_flagged_in_scope() {
+        for call in [
+            "bytes.to_vec()",
+            "Vec::from(slice)",
+            "ValueBuf::copy_from_slice(body)",
+            "Bytes::copy_from_slice(body)",
+        ] {
+            let src = format!("fn f() {{ let v = {call}; }}\n");
+            for scoped in [
+                "crates/core/src/server.rs",
+                "crates/storage/src/nvme.rs",
+                "crates/wire/src/codec.rs",
+            ] {
+                let f = lint_source(Path::new(scoped), &src);
+                assert_eq!(rules(&f), vec!["hot-path-alloc"], "{call} in {scoped}");
+            }
+        }
+    }
+
+    #[test]
+    fn hot_path_alloc_is_file_scoped_and_waivable() {
+        let src = "fn f(b: &[u8]) { let v = b.to_vec(); }\n";
+        // Miss path, movers, harness, and non-protocol crates copy freely.
+        for exempt in [
+            "crates/storage/src/pfs.rs",
+            "crates/storage/src/mover.rs",
+            "crates/core/src/recovery.rs",
+            "src/chaos.rs",
+            "test.rs",
+        ] {
+            assert!(
+                lint_source(Path::new(exempt), src).is_empty(),
+                "{exempt} must be exempt"
+            );
+        }
+        // The definition of `copy_from_slice` itself does not match the
+        // path-qualified needle.
+        let def = "pub fn copy_from_slice(data: &[u8]) -> Self { Self::of(data) }\n";
+        assert!(lint_source(Path::new("crates/storage/src/value.rs"), def).is_empty());
+        // A waiver naming the reason suppresses.
+        let waived = "// lint:allow(hot-path-alloc): detach right-sizes a partial window\nfn f(b: &[u8]) { let v = b.to_vec(); }\n";
+        assert!(lint_source(Path::new("crates/storage/src/value.rs"), waived).is_empty());
+        // Test code is exempt like everywhere else.
+        let test_gated =
+            "#[cfg(test)]\nmod tests {\n    fn f(b: &[u8]) { let v = b.to_vec(); }\n}\n";
+        assert!(lint_source(Path::new("crates/core/src/client.rs"), test_gated).is_empty());
     }
 
     #[test]

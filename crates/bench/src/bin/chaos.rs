@@ -78,9 +78,14 @@
 //! the fabric op-history recorder on — always including the three named
 //! kill/revive scenarios, cycling lazy/proactive/adaptive recovery — and
 //! checks every history for linearizability (per-key register semantics
-//! plus the ring-epoch freshness rule). `--sabotage-linz` forges a
-//! stale-epoch read into a clean history and requires the checker to
-//! flag it.
+//! plus the ring-epoch freshness rule). Every campaign fires the
+//! single-flight duplicate storm: concurrent duplicate readers race
+//! each kill, so coalesced (follower-accepted) reads are part of the
+//! checked histories, and the campaign itself asserts that every storm
+//! read returns ground truth and resolves exactly once (leader,
+//! fresh-epoch accept, or independent stale retry). `--sabotage-linz`
+//! forges a stale-epoch read into a clean history and requires the
+//! checker to flag it.
 
 use ft_cache::chaos::{
     adaptive_losses, compare_adaptive_contenders, compare_label, run_campaign_compare_adaptive,

@@ -164,6 +164,16 @@ fn render(cluster: &Cluster, nodes: u32, armored: bool, pass_label: &str) {
             },
         );
     }
+    // Single-flight: always rendered — leaders tick on every read, so
+    // the row doubles as proof the coalescing layer is in the path.
+    println!(
+        "singleflight: leaders={} coalesced={} stale_retries={} server_flights={}/{}",
+        counter(&samples, "ftc_client_singleflight_leaders_total", None),
+        counter(&samples, "ftc_client_coalesced_reads_total", None),
+        counter(&samples, "ftc_client_coalesced_stale_retries_total", None),
+        counter_sum(&samples, "ftc_server_pfs_coalesced_total"),
+        counter_sum(&samples, "ftc_server_pfs_flight_leaders_total"),
+    );
     println!();
     println!("  node   state  hits     misses   hit%    objects  bytes");
     for i in 0..nodes {

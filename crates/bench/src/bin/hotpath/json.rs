@@ -1,0 +1,315 @@
+//! Minimal JSON reader for the bench-results inspection modes
+//! (`--validate`, `--diff-keys`). The build is hermetic (no serde_json),
+//! and the documents are small and machine-written, so a strict
+//! recursive-descent parser over the full grammar is all that's needed.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Val {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (integers included — the documents never need i64
+    /// precision beyond f64's 2^53, and counters stay far below it).
+    Num(f64),
+    /// String (escapes decoded).
+    Str(String),
+    /// Array.
+    Arr(Vec<Val>),
+    /// Object, insertion-ordered.
+    Obj(Vec<(String, Val)>),
+}
+
+impl Val {
+    /// Object field lookup; `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Val> {
+        match self {
+            Val::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Val::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Val::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Val]> {
+        match self {
+            Val::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where parsing failed.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Val, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Val) -> Result<Val, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Val, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Val::Str(self.string()?)),
+            Some(b't') => self.literal("true", Val::Bool(true)),
+            Some(b'f') => self.literal("false", Val::Bool(false)),
+            Some(b'n') => self.literal("null", Val::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Val, ParseError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Val::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Val::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Val, ParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Val::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Val::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return Err(self.err("bad \\u escape")),
+                            }
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through byte-wise: the input
+                    // is valid UTF-8 (it came from read_to_string), so
+                    // collect the full code point.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|b| b & 0b1100_0000 == 0b1000_0000)
+                    {
+                        self.pos += 1;
+                    }
+                    match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err(self.err("invalid utf-8 in string")),
+                    }
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Val, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Val::Num(n)),
+            _ => Err(self.err("bad number")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_bench_document_shape() {
+        let v = parse(r#"{"bench": "hotpath", "sizes": [{"n": 1.5}, {"n": -2e3}], "ok": true}"#)
+            .expect("parses");
+        assert_eq!(v.get("bench").and_then(Val::as_str), Some("hotpath"));
+        let sizes = v.get("sizes").and_then(Val::as_arr).expect("array");
+        assert_eq!(sizes[0].get("n").and_then(Val::as_num), Some(1.5));
+        assert_eq!(sizes[1].get("n").and_then(Val::as_num), Some(-2000.0));
+        assert_eq!(v.get("ok"), Some(&Val::Bool(true)));
+    }
+
+    #[test]
+    fn empty_containers_and_escapes() {
+        assert_eq!(parse("[]").expect("array"), Val::Arr(vec![]));
+        assert_eq!(parse("{}").expect("object"), Val::Obj(vec![]));
+        let v = parse(r#""a\"b\\c\ndA""#).expect("string");
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd\u{41}"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "nul", "1 2", "\"open"] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn real_bench_output_round_trips() {
+        // The exact renderer idiom used by the writer side.
+        let doc = r#"{"bench": "hotpath", "smoke": 0, "cores": 1, "index": [{"threads": 1, "single_ops_per_sec": 1028221.11, "sharded_ops_per_sec": 1119210.50, "speedup": 1.09}]}"#;
+        let v = parse(doc).expect("parses");
+        assert_eq!(v.get("cores").and_then(Val::as_num), Some(1.0));
+        let idx = v.get("index").and_then(Val::as_arr).expect("array");
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx[0].get("threads").and_then(Val::as_num), Some(1.0));
+    }
+}

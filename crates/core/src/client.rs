@@ -24,11 +24,12 @@ use crate::policy::{FtConfig, FtPolicy};
 use crate::proto::{CacheRequest, CacheResponse, ServeSource};
 use crate::recovery::{RecoveryConfig, RecoveryEngine};
 use crate::server::CacheNet;
+use crate::singleflight::{Join, SingleFlight};
 use bytes::Bytes;
 use ftc_hashring::{NodeId, Placement};
 use ftc_net::xport::{Caller, Transport};
 use ftc_net::{RpcError, TraceEventKind};
-use ftc_storage::{KeyIndex, Pfs};
+use ftc_storage::{KeyIndex, Pfs, ValueBuf};
 use ftc_time::ClockHandle;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -150,6 +151,10 @@ pub struct HvacClient {
     /// Recent successful read latencies feeding the hedge-delay p99
     /// (bounded ring of [`overload::HEDGE_WINDOW`] samples).
     read_lat: Mutex<LatWindow>,
+    /// Open read flights for single-flight coalescing (consulted only
+    /// when [`FtConfig::coalesce`] is on). Duplicate concurrent reads of
+    /// one key share the leader's result, epoch-guarded.
+    inflight: SingleFlight<Result<ReadOutcome, ReadError>>,
 }
 
 /// Bounded ring of recent read latencies for the hedge-delay estimate.
@@ -206,6 +211,7 @@ impl HvacClient {
             breakers: Mutex::new(HashMap::new()),
             retry_budget: Mutex::new(retry_budget),
             read_lat: Mutex::new(LatWindow::default()),
+            inflight: SingleFlight::default(),
         }
     }
 
@@ -587,11 +593,11 @@ impl HvacClient {
     /// returns in bounded time.
     pub fn read_traced(&self, path: &str) -> Result<ReadOutcome, ReadError> {
         let Some(obs) = self.obs.get() else {
-            return self.read_attempts(path);
+            return self.read_coalesced(path);
         };
         obs.inflight_reads.add(1);
         let started = self.clock.now();
-        let result = self.read_attempts(path);
+        let result = self.read_coalesced(path);
         let elapsed = self.clock.since(started);
         obs.inflight_reads.add(-1);
         match &result {
@@ -608,6 +614,77 @@ impl HvacClient {
             }
         }
         result
+    }
+
+    /// Single-flight layer between tracing and the retry loop: the first
+    /// reader of a key leads and executes [`read_attempts`](Self::read_attempts);
+    /// duplicates arriving while that flight is open wait for the
+    /// leader's published result instead of issuing their own RPCs.
+    ///
+    /// The follower acceptance rule is the data-plane invariant: a
+    /// published result is taken **only if** its publish-time ring epoch
+    /// still matches this client's current epoch. A kill that rewires
+    /// the ring mid-flight forces every follower down the independent
+    /// retry path — a coalesced read can never observe the old regime.
+    fn read_coalesced(&self, path: &str) -> Result<ReadOutcome, ReadError> {
+        if !self.config.coalesce {
+            return self.read_attempts(path);
+        }
+        match self.inflight.join(path) {
+            Join::Leader(leader) => {
+                ClientMetrics::inc(&self.metrics.singleflight_leaders);
+                let result = self.read_attempts(path);
+                leader.publish(self.ring_epoch(), result.clone());
+                result
+            }
+            Join::Follower(follower) => {
+                // Invoke stamp taken before the wait so the follower's
+                // recorded interval brackets the leader's publish — the
+                // linearizability checker sees a legal overlapping read.
+                let hist = self.endpoint.history();
+                let hist_invoke = hist.as_ref().map(|h| h.now());
+                let published = follower.wait(&self.clock, self.config.retry.deadline_budget);
+                match published {
+                    Some(p) if p.epoch == self.ring_epoch() => {
+                        ClientMetrics::inc(&self.metrics.coalesced_reads);
+                        if let Ok(out) = &p.value {
+                            ClientMetrics::inc(&self.metrics.reads_ok);
+                            ClientMetrics::add(&self.metrics.bytes_read, out.bytes.len() as u64);
+                            let node = match out.via {
+                                ReadVia::ServerNvme(n) | ReadVia::ServerPfsFetch(n) => n,
+                                ReadVia::DirectPfs => self.me,
+                            };
+                            if let (Some(h), Some(invoke)) = (hist.as_ref(), hist_invoke) {
+                                h.record(ftc_net::OpRecord {
+                                    id: 0,
+                                    actor: self.me,
+                                    kind: ftc_net::OpKind::Read,
+                                    key: path.to_owned(),
+                                    node,
+                                    epoch: p.epoch,
+                                    invoke,
+                                    ret: h.now(),
+                                    digest: ftc_net::fnv1a(&out.bytes),
+                                    // A coalesced delivery is not bound to
+                                    // the current owner: the leader may
+                                    // have been served by a replica or a
+                                    // direct PFS read.
+                                    handoff: self.owner_of(path) != Some(node),
+                                });
+                            }
+                        }
+                        p.value
+                    }
+                    // Stale epoch or abandoned flight: count it, then
+                    // take the ordinary retry loop against the current
+                    // ring — correctness over reuse.
+                    _ => {
+                        ClientMetrics::inc(&self.metrics.coalesced_stale_retries);
+                        self.read_attempts(path)
+                    }
+                }
+            }
+        }
     }
 
     /// The retry loop behind [`read_traced`](Self::read_traced).
@@ -753,7 +830,13 @@ impl HvacClient {
                             ReadVia::ServerPfsFetch(served_by)
                         }
                     };
-                    return Ok(ReadOutcome { bytes, via });
+                    // `into_bytes` reuses the decoded window's allocation
+                    // when it spans the whole buffer; a window into a
+                    // larger frame detaches here so the frame can drop.
+                    return Ok(ReadOutcome {
+                        bytes: bytes.into_bytes(),
+                        via,
+                    });
                 }
                 Ok(CacheResponse::NotFound { .. }) => {
                     self.detector.lock().record_success(served_by);
@@ -969,12 +1052,12 @@ impl HvacClient {
 
     /// Read a file straight from the PFS without touching read metrics
     /// (recovery traffic is not a foreground read).
-    pub(crate) fn pfs_read(&self, path: &str) -> Option<Bytes> {
+    pub(crate) fn pfs_read(&self, path: &str) -> Option<ValueBuf> {
         self.pfs.read(path)
     }
 
     /// Push an object to a node's cache; true on acknowledged store.
-    pub(crate) fn push_object(&self, node: NodeId, path: &str, bytes: &Bytes) -> bool {
+    pub(crate) fn push_object(&self, node: NodeId, path: &str, bytes: &ValueBuf) -> bool {
         matches!(
             self.call_counted(
                 node,
@@ -1031,7 +1114,7 @@ impl HvacClient {
     /// too — no point burning a TTL on a node that just timed out; the
     /// hint flushes as soon as the node answers anything
     /// ([`RecoveryEngine::notify_reachable`]) or rejoins.
-    fn replicate(&self, path: &str, bytes: &Bytes, owner: NodeId) {
+    fn replicate(&self, path: &str, bytes: &ValueBuf, owner: NodeId) {
         for node in self
             .replica_targets(path)
             .into_iter()
@@ -1088,7 +1171,7 @@ impl HvacClient {
 
     /// Park a replica that could not be delivered; counted only when the
     /// recovery engine is there to eventually drain it.
-    fn park_replica_hint(&self, node: NodeId, path: &str, bytes: &Bytes) {
+    fn park_replica_hint(&self, node: NodeId, path: &str, bytes: &ValueBuf) {
         if let Some(engine) = self.recovery.get() {
             engine.park_hint(node, path, bytes, self.ring_epoch());
             ClientMetrics::inc(&self.metrics.replicas_hinted);
@@ -1102,7 +1185,7 @@ impl HvacClient {
                 ClientMetrics::inc(&self.metrics.pfs_direct_reads);
                 ClientMetrics::add(&self.metrics.bytes_read, bytes.len() as u64);
                 Ok(ReadOutcome {
-                    bytes,
+                    bytes: bytes.into_bytes(),
                     via: ReadVia::DirectPfs,
                 })
             }
@@ -1161,6 +1244,7 @@ mod tests {
             },
             replication: 1,
             overload: crate::overload::OverloadConfig::default(),
+            coalesce: true,
         }
     }
 
@@ -1701,15 +1785,20 @@ mod tests {
             .find(|q| c.owner_of(q) == Some(NodeId(2)))
             .expect("a file owned by node 2");
         c.read(&owned).unwrap();
+        // Wait on the drained *counter*, not `hints_pending`: the engine
+        // empties the store before it counts deliveries, so a pending==0
+        // wake can race the stats update.
         assert!(
             r.net
                 .clock()
-                .wait_until(Duration::from_secs(10), Duration::from_millis(2), || engine
-                    .hints_pending()
-                    == 0,),
+                .wait_until(Duration::from_secs(10), Duration::from_millis(2), || {
+                    let s = engine.stats();
+                    s.hints_drained + s.stale_epoch_rejected > 0
+                }),
             "hint must drain"
         );
         let s = engine.stats();
+        assert_eq!(engine.hints_pending(), 0);
         assert_eq!(s.hints_parked, 1);
         assert_eq!(s.hints_drained, 1);
         assert_eq!(s.stale_epoch_rejected, 0, "replica hint is not stale");

@@ -113,7 +113,7 @@ impl Cluster {
                 NodeId(i),
                 &net,
                 Arc::clone(&pfs),
-                Arc::new(NvmeCache::new(config.nvme_capacity)),
+                Arc::new(NvmeCache::for_serving(config.nvme_capacity)),
                 config.admission,
             )?;
             caches.push(h.cache());
@@ -327,7 +327,7 @@ impl Cluster {
         let cache = if warm {
             Arc::clone(&self.caches.lock()[node.index()])
         } else {
-            Arc::new(NvmeCache::new(self.config.nvme_capacity))
+            Arc::new(NvmeCache::for_serving(self.config.nvme_capacity))
         };
         let spawned = ServerHandle::spawn_on_with_admission(
             node,
@@ -480,6 +480,18 @@ impl Cluster {
             );
             rejected.labels.push(("node".to_owned(), i.to_string()));
             out.push(rejected);
+            // Miss single-flight: how many PFS fetches the node led vs
+            // answered from an already-open flight.
+            let (leaders, coalesced, stale) = h.singleflight_handles().snapshot();
+            for (name, v) in [
+                ("ftc_server_pfs_flight_leaders_total", leaders),
+                ("ftc_server_pfs_coalesced_total", coalesced),
+                ("ftc_server_pfs_flight_retries_total", stale),
+            ] {
+                let mut s = ftc_obs::Sample::counter(name, v);
+                s.labels.push(("node".to_owned(), i.to_string()));
+                out.push(s);
+            }
         }
         // Per-node admission sheds, split by cause. Always exported (zero
         // when admission is off) so overload dashboards are stable.

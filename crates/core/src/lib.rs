@@ -43,6 +43,7 @@ pub mod policy;
 pub mod proto;
 pub mod recovery;
 pub mod server;
+pub mod singleflight;
 
 pub use client::{HvacClient, ReadError, ReadOutcome, ReadVia};
 pub use cluster::{Cluster, ClusterConfig};
@@ -60,3 +61,4 @@ pub use policy::{FtConfig, FtPolicy, PlacementKind, RetryPolicy};
 pub use proto::{CacheRequest, CacheResponse, ServeSource};
 pub use recovery::{RecoveryConfig, RecoveryEngine, RecoveryStatsSnapshot};
 pub use server::{CacheNet, HvacServer, ServerHandle};
+pub use singleflight::{SingleFlight, SingleFlightStats};

@@ -52,6 +52,16 @@ pub struct ClientMetrics {
     pub breaker_short_circuits: AtomicU64,
     /// Retries refused because the retry token budget ran dry.
     pub budget_denied: AtomicU64,
+    /// Reads answered from another reader's in-flight result (the
+    /// single-flight follower path): no RPC issued at all.
+    pub coalesced_reads: AtomicU64,
+    /// Reads that led a single-flight group (executed while duplicates
+    /// waited). Equals `reads_ok + errors` when no duplicates exist.
+    pub singleflight_leaders: AtomicU64,
+    /// Follower waits discarded because the published result carried a
+    /// stale ring epoch (or the leader vanished) — the read re-executed
+    /// independently rather than serve old-regime bytes.
+    pub coalesced_stale_retries: AtomicU64,
 }
 
 /// Plain-value snapshot of [`ClientMetrics`].
@@ -91,6 +101,15 @@ pub struct ClientMetricsSnapshot {
     pub breaker_short_circuits: u64,
     /// See [`ClientMetrics::budget_denied`].
     pub budget_denied: u64,
+    /// See [`ClientMetrics::coalesced_reads`].
+    #[serde(default)]
+    pub coalesced_reads: u64,
+    /// See [`ClientMetrics::singleflight_leaders`].
+    #[serde(default)]
+    pub singleflight_leaders: u64,
+    /// See [`ClientMetrics::coalesced_stale_retries`].
+    #[serde(default)]
+    pub coalesced_stale_retries: u64,
 }
 
 impl ClientMetrics {
@@ -120,6 +139,10 @@ impl ClientMetrics {
             hedges_won: self.hedges_won.load(Ordering::Relaxed),
             breaker_short_circuits: self.breaker_short_circuits.load(Ordering::Relaxed),
             budget_denied: self.budget_denied.load(Ordering::Relaxed),
+            // ordering: Relaxed — same independent-tally argument as above.
+            coalesced_reads: self.coalesced_reads.load(Ordering::Relaxed),
+            singleflight_leaders: self.singleflight_leaders.load(Ordering::Relaxed),
+            coalesced_stale_retries: self.coalesced_stale_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -172,6 +195,13 @@ impl ClientMetricsSnapshot {
                 .breaker_short_circuits
                 .saturating_add(other.breaker_short_circuits),
             budget_denied: self.budget_denied.saturating_add(other.budget_denied),
+            coalesced_reads: self.coalesced_reads.saturating_add(other.coalesced_reads),
+            singleflight_leaders: self
+                .singleflight_leaders
+                .saturating_add(other.singleflight_leaders),
+            coalesced_stale_retries: self
+                .coalesced_stale_retries
+                .saturating_add(other.coalesced_stale_retries),
         }
     }
 }
@@ -245,6 +275,18 @@ impl ftc_obs::Export for ClientMetricsSnapshot {
         out.push(ftc_obs::Sample::counter(
             "ftc_client_budget_denied_total",
             self.budget_denied,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_coalesced_reads_total",
+            self.coalesced_reads,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_singleflight_leaders_total",
+            self.singleflight_leaders,
+        ));
+        out.push(ftc_obs::Sample::counter(
+            "ftc_client_coalesced_stale_retries_total",
+            self.coalesced_stale_retries,
         ));
     }
 }
@@ -333,7 +375,7 @@ mod tests {
         };
         let samples = snap.export();
         // One sample per public field — nothing reachable only privately.
-        assert_eq!(samples.len(), 17);
+        assert_eq!(samples.len(), 20);
         let find = |n: &str| {
             samples
                 .iter()

@@ -147,6 +147,13 @@ pub struct FtConfig {
     /// hedged reads). Default is disarmed: behavior is identical to the
     /// pre-armor client.
     pub overload: OverloadConfig,
+    /// Single-flight read coalescing: duplicate in-flight reads of the
+    /// same key share one execution (leader/follower, epoch-guarded —
+    /// see [`crate::singleflight`]). [`FtConfig::for_policy`] enables
+    /// it; configs recorded before the field existed deserialize to
+    /// `false`, the pre-singleflight behavior.
+    #[serde(default)]
+    pub coalesce: bool,
 }
 
 impl FtConfig {
@@ -159,6 +166,7 @@ impl FtConfig {
             retry: RetryPolicy::default(),
             replication: DEFAULT_REPLICATION,
             overload: OverloadConfig::default(),
+            coalesce: true,
         }
     }
 }
@@ -215,6 +223,10 @@ mod tests {
         assert!(
             !c.overload.armored,
             "overload armor is opt-in; the paper-faithful client is unarmored"
+        );
+        assert!(
+            c.coalesce,
+            "duplicate-read coalescing is on for freshly built configs"
         );
     }
 

@@ -5,9 +5,9 @@
 //! request kind matters — `Read` — plus a `Ping` used by liveness probes
 //! in tests.
 
-use bytes::Bytes;
 use ftc_net::Payload;
-use ftc_wire::codec::{put_bytes, put_str, put_u32, CodecError, Reader, Wire};
+use ftc_storage::ValueBuf;
+use ftc_wire::codec::{put_bytes, put_str, put_u32, ByteView, CodecError, Reader, Wire};
 use serde::{Deserialize, Serialize};
 
 /// Where the server found the bytes it served.
@@ -37,8 +37,8 @@ pub enum CacheRequest {
     Put {
         /// The file path.
         path: String,
-        /// The file bytes.
-        bytes: Bytes,
+        /// The file bytes (shared buffer — cloning a request is cheap).
+        bytes: ValueBuf,
     },
     /// Ask the node for a digest of its NVMe contents — the warm-rejoin
     /// anti-entropy exchange: a revived node that kept its disk announces
@@ -61,8 +61,10 @@ pub enum CacheResponse {
     Data {
         /// Echoed path.
         path: String,
-        /// The file bytes.
-        bytes: Bytes,
+        /// The file bytes: a shared window over the cache's (or, on the
+        /// receive side, the wire frame's) allocation — replies clone
+        /// without copying the value.
+        bytes: ValueBuf,
         /// Which tier produced them.
         source: ServeSource,
     },
@@ -132,6 +134,14 @@ impl Payload for CacheResponse {
 // independent — the frame layer already says which side a body is.
 // ---------------------------------------------------------------------------
 
+/// A decoded wire span as a [`ValueBuf`]: when the frame body was read
+/// into a shared allocation (`decode_all_shared`, the TCP hot path) this
+/// is zero-copy — the value is a window into the frame itself.
+fn view_to_value(view: ByteView) -> ValueBuf {
+    let (data, off, len) = view.into_parts();
+    ValueBuf::from_shared(data, off, len)
+}
+
 impl ServeSource {
     fn tag(self) -> u8 {
         match self {
@@ -181,7 +191,7 @@ impl Wire for CacheRequest {
             2 => Ok(CacheRequest::Ping),
             3 => Ok(CacheRequest::Put {
                 path: r.string("Put.path")?,
-                bytes: Bytes::from(r.bytes("Put.bytes")?),
+                bytes: view_to_value(r.view("Put.bytes")?),
             }),
             4 => Ok(CacheRequest::Digest),
             5 => Ok(CacheRequest::Evict {
@@ -237,7 +247,7 @@ impl Wire for CacheResponse {
         match r.u8("CacheResponse tag")? {
             1 => Ok(CacheResponse::Data {
                 path: r.string("Data.path")?,
-                bytes: Bytes::from(r.bytes("Data.bytes")?),
+                bytes: view_to_value(r.view("Data.bytes")?),
                 source: ServeSource::from_tag(r.u8("Data.source")?)?,
             }),
             2 => Ok(CacheResponse::NotFound {
@@ -296,7 +306,7 @@ mod tests {
 
         let d = CacheResponse::Data {
             path: "abc".into(),
-            bytes: Bytes::from_static(&[0u8; 100]),
+            bytes: ValueBuf::copy_from_slice(&[0u8; 100]),
             source: ServeSource::NvmeHit,
         };
         assert_eq!(d.wire_size(), 48 + 3 + 100);
@@ -310,7 +320,7 @@ mod tests {
         assert_eq!(CacheResponse::Pong.wire_size(), 16);
         let put = CacheRequest::Put {
             path: "ab".into(),
-            bytes: Bytes::from_static(&[0u8; 10]),
+            bytes: ValueBuf::copy_from_slice(&[0u8; 10]),
         };
         assert_eq!(put.wire_size(), 60);
         assert_eq!(CacheResponse::PutAck { path: "ab".into() }.wire_size(), 34);

@@ -25,8 +25,8 @@
 //! never applied.
 
 use crate::client::HvacClient;
-use bytes::Bytes;
 use ftc_hashring::NodeId;
+use ftc_storage::ValueBuf;
 use ftc_time::{
     ClockHandle, ClockReceiver, ClockSender, RecvTimeoutError, TaskHandle, TryRecvError,
 };
@@ -154,8 +154,9 @@ impl TokenBucket {
 pub struct Hint {
     /// The file path (placement key).
     pub path: String,
-    /// The file bytes.
-    pub bytes: Bytes,
+    /// The file bytes (shared buffer — parking clones the
+    /// handle, not the value).
+    pub bytes: ValueBuf,
     /// Placement epoch when the hint was parked, for diagnostics.
     pub epoch: u64,
 }
@@ -607,7 +608,7 @@ impl RecoveryEngine {
     }
 
     /// Park a replica write for an unreachable node.
-    pub fn park_hint(&self, node: NodeId, path: &str, bytes: &Bytes, epoch: u64) {
+    pub fn park_hint(&self, node: NodeId, path: &str, bytes: &ValueBuf, epoch: u64) {
         let dropped = self.hints.park(
             node,
             Hint {
@@ -1178,7 +1179,7 @@ mod tests {
         let s = HintStore::default();
         let h = |p: &str| Hint {
             path: p.into(),
-            bytes: Bytes::from_static(b"x"),
+            bytes: ValueBuf::copy_from_slice(b"x"),
             epoch: 1,
         };
         assert_eq!(s.park(NodeId(1), h("a"), 10), 0);
@@ -1200,7 +1201,7 @@ mod tests {
         let s = HintStore::default();
         let h = |p: &str| Hint {
             path: p.into(),
-            bytes: Bytes::from_static(b"x"),
+            bytes: ValueBuf::copy_from_slice(b"x"),
             epoch: 0,
         };
         assert_eq!(s.park(NodeId(1), h("a"), 2), 0);

@@ -9,10 +9,11 @@
 use crate::error::CoreError;
 use crate::overload::{priority_of, AdmissionConfig, AdmissionQueue, ShedReason};
 use crate::proto::{CacheRequest, CacheResponse, ServeSource};
+use crate::singleflight::{Join, SingleFlight, SingleFlightStats};
 use ftc_hashring::NodeId;
 use ftc_net::xport::{Inbound, Listener, Transport};
 use ftc_net::{Incoming, Network, TraceEventKind};
-use ftc_storage::{DataMover, NvmeCache, Pfs};
+use ftc_storage::{DataMover, NvmeCache, Pfs, ValueBuf};
 use ftc_time::{ClockHandle, TaskHandle};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -22,19 +23,30 @@ use std::time::Duration;
 /// Shorthand for the cache-protocol network.
 pub type CacheNet = Network<CacheRequest, CacheResponse>;
 
+/// How long a coalesced miss waits for the leader's PFS fetch before
+/// fetching independently. Generous against any simulated PFS latency;
+/// reached only if the leading request unwound without publishing.
+const MISS_FLIGHT_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// The request-serving half of a node.
 pub struct HvacServer {
     node: NodeId,
     cache: Arc<NvmeCache>,
     pfs: Arc<Pfs>,
     mover: DataMover,
+    /// Clock shared with the mover: follower waits on coalesced misses
+    /// must be cooperative under a virtual driver.
+    clock: ClockHandle,
+    /// Open PFS fetches, single-flighted by key: a storm of concurrent
+    /// misses for one file costs one PFS read, not one per request.
+    miss_flights: SingleFlight<Option<ValueBuf>>,
 }
 
 impl HvacServer {
     /// Server for `node`, caching onto an NVMe of `nvme_capacity` bytes.
     /// Errors if the data-mover thread cannot be spawned.
     pub fn new(node: NodeId, pfs: Arc<Pfs>, nvme_capacity: u64) -> Result<Self, CoreError> {
-        Self::with_cache(node, pfs, Arc::new(NvmeCache::new(nvme_capacity)))
+        Self::with_cache(node, pfs, Arc::new(NvmeCache::for_serving(nvme_capacity)))
     }
 
     /// Server for `node` over an existing NVMe cache — the warm-rejoin
@@ -57,18 +69,21 @@ impl HvacServer {
         cache: Arc<NvmeCache>,
         clock: ClockHandle,
     ) -> Result<Self, CoreError> {
-        let mover = DataMover::spawn_with_clock(Arc::clone(&cache), clock).map_err(|source| {
-            CoreError::Spawn {
-                what: "data mover",
-                node,
-                source,
-            }
-        })?;
+        let mover =
+            DataMover::spawn_with_clock(Arc::clone(&cache), clock.clone()).map_err(|source| {
+                CoreError::Spawn {
+                    what: "data mover",
+                    node,
+                    source,
+                }
+            })?;
         Ok(HvacServer {
             node,
             cache,
             pfs,
             mover,
+            clock,
+            miss_flights: SingleFlight::default(),
         })
     }
 
@@ -172,14 +187,17 @@ impl HvacServer {
                         },
                         true,
                     )
-                } else if let Some(bytes) = self.pfs.read(path) {
+                } else if let Some((bytes, led)) = self.pfs_fetch_coalesced(path) {
                     // Serve first, persist in the background (HVAC's
                     // data-mover pattern keeps the PFS fetch off the next
                     // reader's critical path only; this one pays it). A
                     // full mover queue drops the recache — the read still
                     // succeeds, only the insert trace is withheld so the
                     // model never records an insert that didn't happen.
-                    if self.mover.enqueue(path, bytes.clone()) {
+                    // Only the flight leader recaches: a coalesced
+                    // follower re-enqueueing the same bytes would just
+                    // double-copy into the mover queue.
+                    if led && self.mover.enqueue(path, bytes.clone()) {
                         traces.push(TraceEventKind::CacheInsert { key: path.clone() });
                     }
                     (
@@ -228,6 +246,48 @@ impl HvacServer {
     pub fn drain_mover(&self, expected: u64, timeout: Duration) -> bool {
         self.mover.drain(expected, timeout)
     }
+
+    /// Fetch `path` from the PFS through the miss single-flight group.
+    /// Returns the bytes plus whether *this* request led the flight (the
+    /// leader owns the recache enqueue). `None` when the PFS has no such
+    /// file.
+    ///
+    /// Requests to one node arriving on a single event loop serialize
+    /// and never coalesce here; the group earns its keep when the server
+    /// is driven concurrently — multi-threaded bench harnesses and any
+    /// transport that dispatches in parallel.
+    fn pfs_fetch_coalesced(&self, path: &str) -> Option<(ValueBuf, bool)> {
+        let stats = Arc::clone(self.miss_flights.stats());
+        match self.miss_flights.join(path) {
+            Join::Leader(leader) => {
+                stats.note_leader();
+                let fetched = self.pfs.read(path);
+                // Servers have no ring view; the epoch stamp is unused
+                // on this path (PFS contents are immutable per key).
+                leader.publish(0, fetched.clone());
+                fetched.map(|b| (b, true))
+            }
+            Join::Follower(follower) => {
+                match follower.wait(&self.clock, MISS_FLIGHT_TIMEOUT) {
+                    Some(p) => {
+                        stats.note_coalesced();
+                        p.value.map(|b| (b, false))
+                    }
+                    // Leader unwound without publishing: fetch
+                    // independently and take over its recache duty.
+                    None => {
+                        stats.note_stale_retry();
+                        self.pfs.read(path).map(|b| (b, true))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Leader/coalesce counters for the miss single-flight group.
+    pub fn singleflight_stats(&self) -> Arc<SingleFlightStats> {
+        Arc::clone(self.miss_flights.stats())
+    }
 }
 
 /// Handle to a server's event-loop thread (or cooperative task, under a
@@ -247,6 +307,7 @@ pub struct ServerHandle {
     enqueue_rejected: Arc<std::sync::atomic::AtomicU64>,
     shed_capacity: Arc<AtomicU64>,
     shed_deadline: Arc<AtomicU64>,
+    singleflight: Arc<SingleFlightStats>,
 }
 
 impl ServerHandle {
@@ -258,7 +319,12 @@ impl ServerHandle {
         pfs: Arc<Pfs>,
         nvme_capacity: u64,
     ) -> Result<Self, CoreError> {
-        Self::spawn_with_cache(node, net, pfs, Arc::new(NvmeCache::new(nvme_capacity)))
+        Self::spawn_with_cache(
+            node,
+            net,
+            pfs,
+            Arc::new(NvmeCache::for_serving(nvme_capacity)),
+        )
     }
 
     /// Spawn a server thread over an existing NVMe cache — the warm-rejoin
@@ -326,6 +392,7 @@ impl ServerHandle {
     ) -> Result<Self, CoreError> {
         let node = server.node();
         let cache = server.cache();
+        let singleflight = server.singleflight_stats();
         let (moved, moved_bytes) = server.mover_counters();
         let (queue_depth, enqueue_rejected) = server.mover_pressure();
         let stop = Arc::new(AtomicBool::new(false));
@@ -385,6 +452,7 @@ impl ServerHandle {
             enqueue_rejected,
             shed_capacity,
             shed_deadline,
+            singleflight,
         })
     }
 
@@ -510,6 +578,12 @@ impl ServerHandle {
             Arc::clone(&self.shed_capacity),
             Arc::clone(&self.shed_deadline),
         )
+    }
+
+    /// Shared miss single-flight counters (leaders, coalesced, stale
+    /// retries), for per-node obs export.
+    pub fn singleflight_handles(&self) -> Arc<SingleFlightStats> {
+        Arc::clone(&self.singleflight)
     }
 
     /// Ask the loop to exit without waiting (used by abrupt kill: the

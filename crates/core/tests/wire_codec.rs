@@ -18,8 +18,8 @@
 //! prefix, oversized declared length, bad magic/version byte) lives next
 //! to the frame code in `ftc-wire`.
 
-use bytes::Bytes;
 use ftc_core::{CacheRequest, CacheResponse, ServeSource};
+use ftc_storage::ValueBuf;
 use ftc_wire::codec::Wire;
 use ftc_wire::frame::{read_frame, write_frame, FrameKind};
 use ftc_wire::DEFAULT_MAX_FRAME;
@@ -33,7 +33,7 @@ fn req_from(sel: u8, path: String, payload: Vec<u8>) -> CacheRequest {
         1 => CacheRequest::Ping,
         2 => CacheRequest::Put {
             path,
-            bytes: Bytes::from(payload),
+            bytes: ValueBuf::from(payload),
         },
         3 => CacheRequest::Digest,
         _ => CacheRequest::Evict { path },
@@ -51,7 +51,7 @@ fn resp_from(
     match sel % 7 {
         0 => CacheResponse::Data {
             path,
-            bytes: Bytes::from(payload),
+            bytes: ValueBuf::from(payload),
             source: if flag {
                 ServeSource::NvmeHit
             } else {

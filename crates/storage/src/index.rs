@@ -12,35 +12,79 @@
 //! owner until re-read or reassigned). The recovery engine compensates by
 //! re-resolving each key's owner against the live placement at push time
 //! — the index only needs to be a superset-ish hint of what was lost.
+//!
+//! ## Sharding
+//!
+//! Every successful read records here, so under many client threads a
+//! single mutex around the maps serializes the whole read path. The index
+//! is lock-striped into [`KeyIndex::DEFAULT_SHARDS`] shards routed by the
+//! same ring hash the placement uses ([`ftc_hashring::key_hash`]): reads
+//! of different keys touch different shards and never contend. Per-key
+//! operations lock exactly one shard; whole-index walks (`keys_of`,
+//! `drain_node`, `len`) visit shards in order and merge — since the index
+//! has no eviction or cross-key coupling, the merged view is identical
+//! to the old single-lock one (drains and walks stay sorted).
 
+use ftc_hashring::hash::key_hash;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 
 /// Which node was last observed owning each key, with a per-node mirror
-/// for O(1) "everything node X held" drains.
-#[derive(Debug, Default)]
+/// for O(1) "everything node X held" drains. Lock-striped by ring hash.
+#[derive(Debug)]
 pub struct KeyIndex {
-    inner: Mutex<IndexInner>,
+    shards: Box<[Mutex<IndexInner>]>,
 }
 
 #[derive(Debug, Default)]
 struct IndexInner {
-    /// key -> owner node (raw id; this crate does not depend on
-    /// `ftc-hashring`).
+    /// key -> owner node (raw ring id).
     owner_of: HashMap<String, u32>,
     /// node -> keys, mirror of `owner_of`.
     keys_of: HashMap<u32, HashSet<String>>,
 }
 
+impl Default for KeyIndex {
+    fn default() -> Self {
+        KeyIndex::new()
+    }
+}
+
 impl KeyIndex {
-    /// Empty index.
+    /// Shard count used by [`KeyIndex::new`]. A small power of two: far
+    /// more stripes than a client's worker threads, cheap to walk whole.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// Empty index with [`KeyIndex::DEFAULT_SHARDS`] stripes.
     pub fn new() -> Self {
-        KeyIndex::default()
+        KeyIndex::with_shards(Self::DEFAULT_SHARDS)
+    }
+
+    /// Empty index with an explicit stripe count (benchmarks compare
+    /// `with_shards(1)` — the old single-lock layout — against the
+    /// default). Clamped to at least one shard.
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1);
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || Mutex::new(IndexInner::default()));
+        KeyIndex {
+            shards: v.into_boxed_slice(),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<IndexInner> {
+        let i = key_hash(key) as usize % self.shards.len();
+        &self.shards[i]
     }
 
     /// Record that `node` owns `key` (moving it from any previous owner).
     pub fn record(&self, node: u32, key: &str) {
-        let mut g = self.inner.lock();
+        let mut g = self.shard(key).lock();
         match g.owner_of.insert(key.to_owned(), node) {
             Some(prev) if prev == node => return,
             Some(prev) => {
@@ -55,17 +99,18 @@ impl KeyIndex {
 
     /// The node last observed owning `key`.
     pub fn owner(&self, key: &str) -> Option<u32> {
-        self.inner.lock().owner_of.get(key).copied()
+        self.shard(key).lock().owner_of.get(key).copied()
     }
 
     /// The keys filed under `node`, sorted for deterministic walks.
     pub fn keys_of(&self, node: u32) -> Vec<String> {
-        let g = self.inner.lock();
-        let mut v: Vec<String> = g
-            .keys_of
-            .get(&node)
-            .map(|s| s.iter().cloned().collect())
-            .unwrap_or_default();
+        let mut v: Vec<String> = Vec::new();
+        for shard in self.shards.iter() {
+            let g = shard.lock();
+            if let Some(set) = g.keys_of.get(&node) {
+                v.extend(set.iter().cloned());
+            }
+        }
         v.sort_unstable();
         v
     }
@@ -74,19 +119,23 @@ impl KeyIndex {
     /// drain on a failure declaration. The keys become unowned until
     /// re-recorded under their new owners.
     pub fn drain_node(&self, node: u32) -> Vec<String> {
-        let mut g = self.inner.lock();
-        let keys = g.keys_of.remove(&node).unwrap_or_default();
-        for k in &keys {
-            g.owner_of.remove(k);
+        let mut v: Vec<String> = Vec::new();
+        for shard in self.shards.iter() {
+            let mut g = shard.lock();
+            if let Some(keys) = g.keys_of.remove(&node) {
+                for k in &keys {
+                    g.owner_of.remove(k);
+                }
+                v.extend(keys);
+            }
         }
-        let mut v: Vec<String> = keys.into_iter().collect();
         v.sort_unstable();
         v
     }
 
     /// Forget one key entirely (e.g. it vanished from the PFS).
     pub fn forget(&self, key: &str) {
-        let mut g = self.inner.lock();
+        let mut g = self.shard(key).lock();
         if let Some(node) = g.owner_of.remove(key) {
             if let Some(set) = g.keys_of.get_mut(&node) {
                 set.remove(key);
@@ -96,12 +145,15 @@ impl KeyIndex {
 
     /// Number of keys tracked under `node`.
     pub fn count_of(&self, node: u32) -> usize {
-        self.inner.lock().keys_of.get(&node).map_or(0, HashSet::len)
+        self.shards
+            .iter()
+            .map(|s| s.lock().keys_of.get(&node).map_or(0, HashSet::len))
+            .sum()
     }
 
     /// Total keys tracked.
     pub fn len(&self) -> usize {
-        self.inner.lock().owner_of.len()
+        self.shards.iter().map(|s| s.lock().owner_of.len()).sum()
     }
 
     /// True when nothing is tracked.
@@ -168,5 +220,21 @@ mod tests {
         }
         assert_eq!(idx.keys_of(7), vec!["a", "m", "z"]);
         assert_eq!(idx.count_of(7), 3, "keys_of must not drain");
+    }
+
+    #[test]
+    fn single_shard_matches_default_layout() {
+        let one = KeyIndex::with_shards(1);
+        let many = KeyIndex::new();
+        assert_eq!(one.shard_count(), 1);
+        assert_eq!(many.shard_count(), KeyIndex::DEFAULT_SHARDS);
+        for (i, k) in ["a", "b", "c", "d", "e", "f"].iter().enumerate() {
+            one.record((i % 2) as u32, k);
+            many.record((i % 2) as u32, k);
+        }
+        assert_eq!(one.keys_of(0), many.keys_of(0));
+        assert_eq!(one.keys_of(1), many.keys_of(1));
+        assert_eq!(one.drain_node(0), many.drain_node(0));
+        assert_eq!(one.len(), many.len());
     }
 }

@@ -24,6 +24,7 @@ pub mod nvme;
 pub mod object;
 pub mod pfs;
 pub mod synth;
+pub mod value;
 
 pub use cost::{frontier, frontier_node, CostModel, NodeSpec, TierCost};
 pub use index::KeyIndex;
@@ -32,3 +33,4 @@ pub use nvme::{NvmeCache, NvmeStats};
 pub use object::{FileStore, MemStore, ObjectStore};
 pub use pfs::{Pfs, PfsModel};
 pub use synth::{synth_bytes, verify_synth};
+pub use value::ValueBuf;

@@ -14,7 +14,7 @@
 //! and the rejection is counted so the pressure is observable.
 
 use crate::nvme::NvmeCache;
-use bytes::Bytes;
+use crate::value::ValueBuf;
 use ftc_time::{ClockHandle, ClockSender, TaskHandle};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,7 +41,7 @@ pub struct DataMover {
 }
 
 /// A queued copy: (key, contents).
-type CopyJob = (String, Bytes);
+type CopyJob = (String, ValueBuf);
 
 impl DataMover {
     /// Spawn a mover with the default queue bound. Errors if the OS
@@ -106,7 +106,7 @@ impl DataMover {
     /// queue is at capacity or the mover has shut down. Callers must not
     /// assume the copy will land — the serve already happened, only the
     /// recache is skipped.
-    pub fn enqueue(&self, key: &str, data: Bytes) -> bool {
+    pub fn enqueue(&self, key: &str, data: impl Into<ValueBuf>) -> bool {
         let Some(tx) = &self.tx else {
             // ordering: Relaxed — monotone statistic, publishes no data.
             self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -120,7 +120,7 @@ impl DataMover {
         // ordering: Relaxed — paired with the worker-side decrement; the
         // count is advisory, the channel owns the data.
         self.depth.fetch_add(1, Ordering::Relaxed);
-        if tx.send((key.to_owned(), data)).is_ok() {
+        if tx.send((key.to_owned(), data.into())).is_ok() {
             true
         } else {
             // ordering: Relaxed — rollback of the advisory count.
@@ -210,6 +210,7 @@ pub type SharedMover = Arc<Mutex<DataMover>>;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use std::time::Duration;
 
     #[test]

@@ -5,8 +5,23 @@
 //! fit, but a fault-tolerant cache must survive the recached keys of a dead
 //! neighbor pushing a node past its capacity, so eviction is load-bearing
 //! here, not hypothetical.
+//!
+//! ## Sharding
+//!
+//! The cache can be lock-striped ([`NvmeCache::sharded`]): keys route to
+//! shards by the same ring hash the placement uses, so concurrent reads
+//! of different keys never contend on one mutex. Each shard runs its own
+//! LRU over `capacity / shards` bytes — an approximation of global LRU
+//! (standard cache practice; eviction choice can differ from the
+//! single-lock cache near capacity). [`NvmeCache::new`] therefore stays
+//! single-shard with the exact legacy semantics; bounded configurations
+//! that pin eviction order keep using it, while the serving path picks
+//! stripes via [`NvmeCache::for_serving`] when the capacity is
+//! effectively unbounded (where the two layouts are observably
+//! identical).
 
-use bytes::Bytes;
+use crate::value::ValueBuf;
+use ftc_hashring::hash::key_hash;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -56,13 +71,13 @@ impl ftc_obs::Export for NvmeStats {
 
 #[derive(Debug)]
 struct Entry {
-    data: Bytes,
+    data: ValueBuf,
     /// Monotone access stamp; smallest = least recently used.
     stamp: u64,
 }
 
 #[derive(Debug, Default)]
-struct Inner {
+struct Shard {
     map: HashMap<String, Entry>,
     /// stamp -> key, mirror of `map` ordered by recency.
     lru: std::collections::BTreeMap<u64, String>,
@@ -74,35 +89,85 @@ struct Inner {
     inserts: u64,
 }
 
-/// Capacity-bounded LRU cache of objects on one node's NVMe.
+/// Capacity-bounded LRU cache of objects on one node's NVMe, optionally
+/// lock-striped into independent shards.
 #[derive(Debug)]
 pub struct NvmeCache {
-    inner: Mutex<Inner>,
+    shards: Box<[Mutex<Shard>]>,
+    /// Byte budget of one shard (total / shard count).
+    shard_capacity: u64,
+    /// Total configured capacity across all shards.
     capacity: u64,
 }
 
 impl NvmeCache {
-    /// Cache bounded to `capacity` bytes.
+    /// Shard count used by [`NvmeCache::for_serving`] and
+    /// [`NvmeCache::unbounded`].
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// Single-shard cache bounded to `capacity` bytes — the exact legacy
+    /// global-LRU semantics (eviction order is fully determined).
     pub fn new(capacity: u64) -> Self {
+        Self::sharded(capacity, 1)
+    }
+
+    /// Lock-striped cache: `capacity` bytes split evenly across `shards`
+    /// independent LRUs, keys routed by ring hash. Clamped to at least
+    /// one shard.
+    pub fn sharded(capacity: u64, shards: usize) -> Self {
+        let n = shards.max(1);
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || Mutex::new(Shard::default()));
         NvmeCache {
-            inner: Mutex::new(Inner::default()),
+            shards: v.into_boxed_slice(),
+            shard_capacity: if capacity == u64::MAX {
+                u64::MAX
+            } else {
+                capacity / n as u64
+            },
             capacity,
         }
     }
 
     /// Effectively unbounded cache (tests and fits-in-memory datasets).
+    /// Striped by default: with no eviction possible, the sharded and
+    /// single-lock layouts are observably identical, so the unbounded
+    /// case always takes the contention win.
     pub fn unbounded() -> Self {
-        Self::new(u64::MAX)
+        Self::sharded(u64::MAX, Self::DEFAULT_SHARDS)
     }
 
-    /// Configured capacity in bytes.
+    /// The layout the serving path should use for a given capacity:
+    /// striped when unbounded (identical observables, no lock
+    /// contention), single-shard when bounded (per-shard LRU would
+    /// perturb pinned eviction order in replayed scenarios).
+    pub fn for_serving(capacity: u64) -> Self {
+        if capacity == u64::MAX {
+            Self::unbounded()
+        } else {
+            Self::new(capacity)
+        }
+    }
+
+    /// Configured total capacity in bytes.
     pub fn capacity(&self) -> u64 {
         self.capacity
     }
 
-    /// Look up an object, refreshing its recency on hit.
-    pub fn get(&self, key: &str) -> Option<Bytes> {
-        let mut g = self.inner.lock();
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
+        let i = key_hash(key) as usize % self.shards.len();
+        &self.shards[i]
+    }
+
+    /// Look up an object, refreshing its recency on hit. The returned
+    /// value is a window over the cached allocation — no bytes copied.
+    pub fn get(&self, key: &str) -> Option<ValueBuf> {
+        let mut g = self.shard(key).lock();
         g.next_stamp += 1;
         let stamp = g.next_stamp;
         match g.map.get_mut(key) {
@@ -124,19 +189,21 @@ impl NvmeCache {
 
     /// Presence check without touching recency or hit/miss counters.
     pub fn peek(&self, key: &str) -> bool {
-        self.inner.lock().map.contains_key(key)
+        self.shard(key).lock().map.contains_key(key)
     }
 
-    /// Insert an object, evicting least-recently-used entries as needed.
+    /// Insert an object, evicting least-recently-used entries from the
+    /// key's shard as needed.
     ///
-    /// Returns the keys evicted. An object larger than the whole device is
-    /// rejected (returned count is empty and the object is not stored).
-    pub fn insert(&self, key: &str, data: Bytes) -> Vec<String> {
+    /// Returns the keys evicted. An object larger than its shard's budget
+    /// is rejected (returned count is empty and the object is not stored).
+    pub fn insert(&self, key: &str, data: impl Into<ValueBuf>) -> Vec<String> {
+        let data = data.into();
         let size = data.len() as u64;
-        if size > self.capacity {
+        if size > self.shard_capacity {
             return Vec::new();
         }
-        let mut g = self.inner.lock();
+        let mut g = self.shard(key).lock();
         let mut evicted = Vec::new();
 
         // Replacing an existing entry frees its bytes first.
@@ -145,7 +212,7 @@ impl NvmeCache {
             g.bytes -= old.data.len() as u64;
         }
 
-        while g.bytes + size > self.capacity {
+        while g.bytes + size > self.shard_capacity {
             // `bytes > 0` implies the LRU mirror is non-empty; if the
             // mirrors ever disagree, stop evicting instead of spinning.
             let stamp = match g.lru.iter().next() {
@@ -174,7 +241,7 @@ impl NvmeCache {
 
     /// Remove an object (e.g. invalidation); returns whether it existed.
     pub fn remove(&self, key: &str) -> bool {
-        let mut g = self.inner.lock();
+        let mut g = self.shard(key).lock();
         if let Some(e) = g.map.remove(key) {
             g.lru.remove(&e.stamp);
             g.bytes -= e.data.len() as u64;
@@ -186,25 +253,29 @@ impl NvmeCache {
 
     /// Drop every object (node wipe).
     pub fn clear(&self) {
-        let mut g = self.inner.lock();
-        g.map.clear();
-        g.lru.clear();
-        g.bytes = 0;
+        for shard in self.shards.iter() {
+            let mut g = shard.lock();
+            g.map.clear();
+            g.lru.clear();
+            g.bytes = 0;
+        }
     }
 
     /// Sorted list of resident keys — the warm-rejoin digest source: a
     /// revived node announces these so the recovery engine can reconcile
     /// the surviving contents against the current ring.
     pub fn keys(&self) -> Vec<String> {
-        let g = self.inner.lock();
-        let mut v: Vec<String> = g.map.keys().cloned().collect();
+        let mut v: Vec<String> = Vec::new();
+        for shard in self.shards.iter() {
+            v.extend(shard.lock().map.keys().cloned());
+        }
         v.sort_unstable();
         v
     }
 
     /// Resident object count.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// True when nothing is cached.
@@ -214,26 +285,29 @@ impl NvmeCache {
 
     /// Resident bytes.
     pub fn resident_bytes(&self) -> u64 {
-        self.inner.lock().bytes
+        self.shards.iter().map(|s| s.lock().bytes).sum()
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, summed across shards.
     pub fn stats(&self) -> NvmeStats {
-        let g = self.inner.lock();
-        NvmeStats {
-            hits: g.hits,
-            misses: g.misses,
-            evictions: g.evictions,
-            inserts: g.inserts,
-            resident_bytes: g.bytes,
-            resident_objects: g.map.len() as u64,
+        let mut out = NvmeStats::default();
+        for shard in self.shards.iter() {
+            let g = shard.lock();
+            out.hits += g.hits;
+            out.misses += g.misses;
+            out.evictions += g.evictions;
+            out.inserts += g.inserts;
+            out.resident_bytes += g.bytes;
+            out.resident_objects += g.map.len() as u64;
         }
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
 
     fn b(n: usize) -> Bytes {
         Bytes::from(vec![0xAB; n])
@@ -359,5 +433,35 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.hits, 0);
         assert_eq!(s.misses, 0);
+    }
+
+    #[test]
+    fn sharded_capacity_splits_evenly() {
+        let c = NvmeCache::sharded(160, 16);
+        assert_eq!(c.shard_count(), 16);
+        assert_eq!(c.capacity(), 160);
+        // One shard's budget is 10 bytes: an 11-byte object is rejected
+        // even though the total capacity would hold it.
+        assert!(c.insert("big", b(11)).is_empty());
+        assert!(c.insert("ok", b(10)).is_empty());
+        assert!(c.peek("ok"));
+    }
+
+    #[test]
+    fn sharded_get_returns_cached_window_without_copy() {
+        let c = NvmeCache::unbounded();
+        c.insert("k", b(64));
+        let first = c.get("k").unwrap();
+        let second = c.get("k").unwrap();
+        assert!(first.shares_backing_with(&second), "get must not copy");
+    }
+
+    #[test]
+    fn serving_layout_by_capacity() {
+        assert_eq!(
+            NvmeCache::for_serving(u64::MAX).shard_count(),
+            NvmeCache::DEFAULT_SHARDS
+        );
+        assert_eq!(NvmeCache::for_serving(1024).shard_count(), 1);
     }
 }

@@ -14,7 +14,7 @@
 //!   makes post-failure PFS traffic produce *stragglers* at scale.
 
 use crate::object::{MemStore, ObjectStore};
-use bytes::Bytes;
+use crate::value::ValueBuf;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -47,12 +47,12 @@ impl Pfs {
 
     /// Stage a file onto the PFS (dataset preparation; not counted as a
     /// read).
-    pub fn stage(&self, key: &str, data: Bytes) {
-        self.store.put(key, data);
+    pub fn stage(&self, key: &str, data: impl Into<ValueBuf>) {
+        self.store.put(key, data.into());
     }
 
     /// Read a file, bumping the per-file and total read counters.
-    pub fn read(&self, key: &str) -> Option<Bytes> {
+    pub fn read(&self, key: &str) -> Option<ValueBuf> {
         let data = self.store.get(key)?;
         *self.reads.lock().entry(key.to_owned()).or_insert(0) += 1;
         *self.total_reads.lock() += 1;
@@ -162,7 +162,7 @@ mod tests {
     #[test]
     fn stage_and_read_with_accounting() {
         let pfs = Pfs::in_memory();
-        pfs.stage("a", Bytes::from_static(b"1234"));
+        pfs.stage("a", ValueBuf::copy_from_slice(b"1234"));
         assert_eq!(pfs.file_count(), 1);
         assert_eq!(pfs.total_bytes(), 4);
         assert_eq!(pfs.reads_of("a"), 0);
@@ -177,7 +177,7 @@ mod tests {
     #[test]
     fn reset_counters() {
         let pfs = Pfs::in_memory();
-        pfs.stage("a", Bytes::from_static(b"x"));
+        pfs.stage("a", ValueBuf::copy_from_slice(b"x"));
         pfs.read("a");
         pfs.reset_read_counters();
         assert_eq!(pfs.reads_of("a"), 0);
@@ -188,8 +188,8 @@ mod tests {
     #[test]
     fn files_read_more_than() {
         let pfs = Pfs::in_memory();
-        pfs.stage("a", Bytes::from_static(b"x"));
-        pfs.stage("b", Bytes::from_static(b"y"));
+        pfs.stage("a", ValueBuf::copy_from_slice(b"x"));
+        pfs.stage("b", ValueBuf::copy_from_slice(b"y"));
         pfs.read("a");
         pfs.read("a");
         pfs.read("b");

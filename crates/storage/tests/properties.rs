@@ -3,7 +3,8 @@
 //! integrity.
 
 use bytes::Bytes;
-use ftc_storage::{synth_bytes, verify_synth, NvmeCache, Pfs};
+use ftc_hashring::hash::key_hash;
+use ftc_storage::{synth_bytes, verify_synth, KeyIndex, NvmeCache, NvmeStats, Pfs};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -18,6 +19,21 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (any::<u8>(), 1u16..512).prop_map(|(k, s)| Op::Insert(k, s)),
         any::<u8>().prop_map(Op::Get),
         any::<u8>().prop_map(Op::Remove),
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum IdxOp {
+    Record(u32, u8),
+    Forget(u8),
+    Drain(u32),
+}
+
+fn idx_op_strategy() -> impl Strategy<Value = IdxOp> {
+    prop_oneof![
+        (0u32..4, any::<u8>()).prop_map(|(n, k)| IdxOp::Record(n, k)),
+        any::<u8>().prop_map(IdxOp::Forget),
+        (0u32..4).prop_map(IdxOp::Drain),
     ]
 }
 
@@ -98,6 +114,105 @@ proptest! {
             corrupted[len / 2] ^= 0x01;
             prop_assert!(!verify_synth(&path, &corrupted));
         }
+    }
+
+    /// A lock-striped `KeyIndex` is observably identical to the
+    /// single-lock layout under any operation sequence: the stripes only
+    /// partition the maps, they never change what the index reports.
+    #[test]
+    fn key_index_layouts_are_equivalent(
+        shards in 2usize..=16,
+        ops in prop::collection::vec(idx_op_strategy(), 1..200),
+    ) {
+        let single = KeyIndex::with_shards(1);
+        let striped = KeyIndex::with_shards(shards);
+        for op in ops {
+            match op {
+                IdxOp::Record(node, k) => {
+                    let key = format!("k{k}");
+                    single.record(node, &key);
+                    striped.record(node, &key);
+                    prop_assert_eq!(single.owner(&key), striped.owner(&key));
+                }
+                IdxOp::Forget(k) => {
+                    let key = format!("k{k}");
+                    single.forget(&key);
+                    striped.forget(&key);
+                    prop_assert_eq!(single.owner(&key), None);
+                    prop_assert_eq!(striped.owner(&key), None);
+                }
+                IdxOp::Drain(node) => {
+                    // Both walks return sorted keys, so drains compare
+                    // exactly even though stripe visit order differs.
+                    prop_assert_eq!(single.drain_node(node), striped.drain_node(node));
+                }
+            }
+            prop_assert_eq!(single.len(), striped.len());
+            for node in 0..4 {
+                prop_assert_eq!(single.count_of(node), striped.count_of(node));
+                prop_assert_eq!(single.keys_of(node), striped.keys_of(node));
+            }
+        }
+    }
+
+    /// A sharded cache is exactly `n` independent single-shard caches of
+    /// `capacity / n` bytes with keys routed by ring hash: same hit/miss
+    /// results, same evicted keys in the same order, same rejections,
+    /// same residency and counters — eviction and accounting semantics
+    /// are per-shard, and the stripes add nothing else.
+    #[test]
+    fn nvme_sharded_equals_routed_singles(
+        capacity in 256u64..4096,
+        shards in 2usize..=8,
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        let sharded = NvmeCache::sharded(capacity, shards);
+        let singles: Vec<NvmeCache> = (0..shards)
+            .map(|_| NvmeCache::new(capacity / shards as u64))
+            .collect();
+        let route = |key: &str| key_hash(key) as usize % shards;
+        for op in ops {
+            match op {
+                Op::Insert(k, size) => {
+                    let key = format!("k{k}");
+                    let data = Bytes::from(vec![0x5A; size as usize]);
+                    let evicted = sharded.insert(&key, data.clone());
+                    let expected = singles[route(&key)].insert(&key, data);
+                    prop_assert_eq!(evicted, expected);
+                }
+                Op::Get(k) => {
+                    let key = format!("k{k}");
+                    let got = sharded.get(&key);
+                    let expected = singles[route(&key)].get(&key);
+                    prop_assert_eq!(
+                        got.as_ref().map(|v| v.len()),
+                        expected.as_ref().map(|v| v.len())
+                    );
+                }
+                Op::Remove(k) => {
+                    let key = format!("k{k}");
+                    prop_assert_eq!(sharded.remove(&key), singles[route(&key)].remove(&key));
+                }
+            }
+            prop_assert_eq!(sharded.len(), singles.iter().map(NvmeCache::len).sum::<usize>());
+            prop_assert_eq!(
+                sharded.resident_bytes(),
+                singles.iter().map(NvmeCache::resident_bytes).sum::<u64>()
+            );
+        }
+        let mut agg = NvmeStats::default();
+        for s in singles.iter().map(NvmeCache::stats) {
+            agg.hits += s.hits;
+            agg.misses += s.misses;
+            agg.evictions += s.evictions;
+            agg.inserts += s.inserts;
+            agg.resident_bytes += s.resident_bytes;
+            agg.resident_objects += s.resident_objects;
+        }
+        prop_assert_eq!(sharded.stats(), agg);
+        let mut keys: Vec<String> = singles.iter().flat_map(|c| c.keys()).collect();
+        keys.sort_unstable();
+        prop_assert_eq!(sharded.keys(), keys);
     }
 
     /// PFS read accounting is exact under arbitrary access sequences.

@@ -16,6 +16,7 @@
 //!   the two sides disagree about the schema.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a byte sequence failed to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,16 +64,77 @@ impl fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
+/// A window into a shared frame body: the body's allocation plus an
+/// offset/len span. Produced by [`Reader::view`] when the reader was
+/// built over a shared buffer ([`Reader::new_shared`]) — the span
+/// borrows the frame's own allocation, so decoding a large value field
+/// costs zero copies. `ftc-core` converts this into its `ValueBuf`.
+#[derive(Debug, Clone)]
+pub struct ByteView {
+    data: Arc<[u8]>,
+    off: usize,
+    len: usize,
+}
+
+impl ByteView {
+    /// A view owning a private copy of `bytes` (the fallback when the
+    /// reader has no shared backing).
+    pub fn copied(bytes: &[u8]) -> Self {
+        ByteView {
+            data: Arc::from(bytes),
+            off: 0,
+            len: bytes.len(),
+        }
+    }
+
+    /// The underlying allocation and the span within it.
+    pub fn into_parts(self) -> (Arc<[u8]>, usize, usize) {
+        (self.data, self.off, self.len)
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// Bounds-checked cursor over a received body.
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// When decoding straight out of a shared frame body, the body's
+    /// allocation — lets [`Reader::view`] hand out zero-copy spans.
+    shared: Option<&'a Arc<[u8]>>,
 }
 
 impl<'a> Reader<'a> {
     /// A reader over the whole of `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
+        Reader {
+            buf,
+            pos: 0,
+            shared: None,
+        }
+    }
+
+    /// A reader over a shared frame body; [`Reader::view`] spans will
+    /// reference `buf`'s allocation instead of copying.
+    pub fn new_shared(buf: &'a Arc<[u8]>) -> Self {
+        Reader {
+            buf: &buf[..],
+            pos: 0,
+            shared: Some(buf),
+        }
     }
 
     /// Bytes not yet consumed.
@@ -117,7 +179,27 @@ impl<'a> Reader<'a> {
     /// prefix cannot trigger a huge allocation.
     pub fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, CodecError> {
         let len = self.u32(what)? as usize;
+        // lint:allow(hot-path-alloc): the owned-Vec decoder is for
+        // control-plane fields; value bodies go through `view()`.
         Ok(self.take(len, what)?.to_vec())
+    }
+
+    /// Length-prefixed byte array as a [`ByteView`]: zero-copy over the
+    /// frame's allocation when the reader is shared-backed, one private
+    /// copy otherwise. Same validate-before-allocate rule as
+    /// [`bytes`](Self::bytes).
+    pub fn view(&mut self, what: &'static str) -> Result<ByteView, CodecError> {
+        let len = self.u32(what)? as usize;
+        let start = self.pos;
+        let slice = self.take(len, what)?;
+        match self.shared {
+            Some(arc) => Ok(ByteView {
+                data: Arc::clone(arc),
+                off: start,
+                len,
+            }),
+            None => Ok(ByteView::copied(slice)),
+        }
     }
 
     /// Length-prefixed UTF-8 string, same allocation rule as
@@ -182,6 +264,17 @@ pub trait Wire: Sized {
         r.finish()?;
         Ok(v)
     }
+
+    /// Decode a full frame body held in a shared allocation: byte-array
+    /// fields read via [`Reader::view`] become zero-copy windows into
+    /// `body` instead of private copies. Same exact-consumption rule as
+    /// [`decode_all`](Self::decode_all).
+    fn decode_all_shared(body: &Arc<[u8]>) -> Result<Self, CodecError> {
+        let mut r = Reader::new_shared(body);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +322,49 @@ mod tests {
         let mut r = Reader::new(&[1, 2, 3]);
         let _ = r.u8("x").unwrap();
         assert_eq!(r.finish().unwrap_err(), CodecError::Trailing { left: 2 });
+    }
+
+    #[test]
+    fn shared_view_references_the_frame_allocation() {
+        let mut out = Vec::new();
+        put_str(&mut out, "key");
+        put_bytes(&mut out, &[9, 8, 7, 6]);
+        let body: Arc<[u8]> = Arc::from(out);
+
+        let mut r = Reader::new_shared(&body);
+        assert_eq!(r.string("k").unwrap(), "key");
+        let view = r.view("v").unwrap();
+        r.finish().unwrap();
+        assert_eq!(view.as_slice(), &[9, 8, 7, 6]);
+        let (arc, off, len) = view.into_parts();
+        assert!(Arc::ptr_eq(&arc, &body), "shared view must not copy");
+        assert_eq!(&arc[off..off + len], &[9, 8, 7, 6]);
+
+        // An unshared reader still produces a correct (copied) view.
+        let mut r = Reader::new(&body[..]);
+        let _ = r.string("k").unwrap();
+        let view = r.view("v").unwrap();
+        assert_eq!(view.as_slice(), &[9, 8, 7, 6]);
+        let (arc, _, _) = view.into_parts();
+        assert!(!Arc::ptr_eq(&arc, &body));
+    }
+
+    #[test]
+    fn view_hostile_length_prefix_fails_before_allocating() {
+        let mut out = Vec::new();
+        put_u32(&mut out, u32::MAX);
+        out.extend_from_slice(&[0; 2]);
+        let body: Arc<[u8]> = Arc::from(out);
+        let mut r = Reader::new_shared(&body);
+        let err = r.view("blob").unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::Truncated {
+                what: "blob",
+                needed: u32::MAX as usize,
+                have: 2
+            }
+        );
     }
 
     #[test]

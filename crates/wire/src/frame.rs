@@ -25,6 +25,7 @@ use crate::codec::CodecError;
 use ftc_hashring::NodeId;
 use std::fmt;
 use std::io::{self, Read, Write};
+use std::sync::Arc;
 
 /// Handshake magic: identifies an FT-Cache wire peer.
 pub const MAGIC: [u8; 4] = *b"FTCW";
@@ -75,6 +76,20 @@ pub struct Frame {
     pub id: u64,
     /// The undecoded body bytes.
     pub body: Vec<u8>,
+}
+
+/// One decoded frame whose body sits in a shared allocation, so message
+/// decode (`Wire::decode_all_shared`) can hand out zero-copy views into
+/// it instead of copying value fields. The hot read/serve paths use this;
+/// [`Frame`] remains for callers that want an owned body.
+#[derive(Debug, Clone)]
+pub struct SharedFrame {
+    /// What the body is.
+    pub kind: FrameKind,
+    /// Request/response correlation id.
+    pub id: u64,
+    /// The undecoded body bytes, shared.
+    pub body: Arc<[u8]>,
 }
 
 /// Why a frame could not be read or written.
@@ -155,10 +170,9 @@ fn read_full(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, io::Error> {
     Ok(true)
 }
 
-/// Read one frame. A declared length over `cap` (or under the header
-/// size) fails without reading or allocating the body; the stream is
-/// then desynchronized and the caller must drop the connection.
-pub fn read_frame(r: &mut impl Read, cap: u32) -> Result<Frame, FrameError> {
+/// Read and validate a frame header: `(kind, id, body_len)`. Oversized
+/// and runt declarations fail before any body read or allocation.
+fn read_frame_header(r: &mut impl Read, cap: u32) -> Result<(FrameKind, u64, usize), FrameError> {
     let mut len4 = [0u8; 4];
     if !read_full(r, &mut len4)? {
         return Err(FrameError::Closed);
@@ -180,13 +194,41 @@ pub fn read_frame(r: &mut impl Read, cap: u32) -> Result<Frame, FrameError> {
     let id = u64::from_be_bytes([
         tail[1], tail[2], tail[3], tail[4], tail[5], tail[6], tail[7], tail[8],
     ]);
-    let mut body = vec![0u8; declared as usize - HEADER_TAIL];
+    Ok((kind, id, declared as usize - HEADER_TAIL))
+}
+
+/// Read one frame. A declared length over `cap` (or under the header
+/// size) fails without reading or allocating the body; the stream is
+/// then desynchronized and the caller must drop the connection.
+pub fn read_frame(r: &mut impl Read, cap: u32) -> Result<Frame, FrameError> {
+    let (kind, id, body_len) = read_frame_header(r, cap)?;
+    let mut body = vec![0u8; body_len];
     if !body.is_empty() && !read_full(r, &mut body)? {
         return Err(FrameError::Io(io::Error::from(
             io::ErrorKind::UnexpectedEof,
         )));
     }
     Ok(Frame { kind, id, body })
+}
+
+/// [`read_frame`], but the body lands directly in a shared allocation so
+/// downstream decode can expose value fields as zero-copy views — the
+/// body is never re-copied between the socket and the cache/client.
+pub fn read_frame_shared(r: &mut impl Read, cap: u32) -> Result<SharedFrame, FrameError> {
+    let (kind, id, body_len) = read_frame_header(r, cap)?;
+    let mut body: Arc<[u8]> = vec![0u8; body_len].into();
+    if body_len > 0 {
+        // A fresh Arc is unique, so get_mut always succeeds; the guard
+        // exists only to avoid an unwrap on the hot path.
+        if let Some(slice) = Arc::get_mut(&mut body) {
+            if !read_full(r, slice)? {
+                return Err(FrameError::Io(io::Error::from(
+                    io::ErrorKind::UnexpectedEof,
+                )));
+            }
+        }
+    }
+    Ok(SharedFrame { kind, id, body })
 }
 
 /// Write one frame and flush. Refuses to emit a frame over `cap` — the
@@ -324,6 +366,33 @@ mod tests {
         let f = read_frame(&mut Cursor::new(&buf), DEFAULT_MAX_FRAME).unwrap();
         assert_eq!(f.kind, FrameKind::ObsScrape);
         assert!(f.body.is_empty());
+    }
+
+    #[test]
+    fn shared_frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            FrameKind::Response,
+            9,
+            b"payload",
+            DEFAULT_MAX_FRAME,
+        )
+        .unwrap();
+        let f = read_frame_shared(&mut Cursor::new(&buf), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(f.kind, FrameKind::Response);
+        assert_eq!(f.id, 9);
+        assert_eq!(&f.body[..], b"payload");
+
+        let mut empty = Vec::new();
+        write_frame(&mut empty, FrameKind::ObsScrape, 1, b"", DEFAULT_MAX_FRAME).unwrap();
+        let f = read_frame_shared(&mut Cursor::new(&empty), DEFAULT_MAX_FRAME).unwrap();
+        assert!(f.body.is_empty());
+
+        assert!(matches!(
+            read_frame_shared(&mut Cursor::new(&[]), DEFAULT_MAX_FRAME).unwrap_err(),
+            FrameError::Closed
+        ));
     }
 
     #[test]

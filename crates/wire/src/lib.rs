@@ -28,8 +28,9 @@ pub mod codec;
 pub mod frame;
 pub mod tcp;
 
-pub use codec::{CodecError, Reader, Wire};
+pub use codec::{ByteView, CodecError, Reader, Wire};
 pub use frame::{
-    Frame, FrameError, FrameKind, HandshakeError, Hello, DEFAULT_MAX_FRAME, MAGIC, WIRE_VERSION,
+    Frame, FrameError, FrameKind, HandshakeError, Hello, SharedFrame, DEFAULT_MAX_FRAME, MAGIC,
+    WIRE_VERSION,
 };
 pub use tcp::{parse_peers, scrape_obs, ObsHandler, TcpConfig, TcpTransport, ANON_NODE};

@@ -37,8 +37,8 @@
 
 use crate::codec::Wire;
 use crate::frame::{
-    read_frame, read_hello, send_hello, write_frame, Frame, FrameError, FrameKind, Hello,
-    DEFAULT_MAX_FRAME,
+    read_frame, read_frame_shared, read_hello, send_hello, write_frame, FrameError, FrameKind,
+    Hello, SharedFrame, DEFAULT_MAX_FRAME,
 };
 use ftc_hashring::NodeId;
 use ftc_net::xport::{Caller, Inbound, Listener, Transport};
@@ -213,12 +213,34 @@ impl Read for PatientReader<'_> {
 struct ConnWriter {
     stream: Mutex<TcpStream>,
     max_frame: u32,
+    /// Reusable encode buffer for [`ConnWriter::write_msg`]: one
+    /// allocation per connection instead of one per frame on the reply
+    /// path. Grows to the largest message seen and stays there.
+    scratch: Mutex<Vec<u8>>,
 }
 
 impl ConnWriter {
+    fn new(stream: TcpStream, max_frame: u32) -> Self {
+        ConnWriter {
+            stream: Mutex::new(stream),
+            max_frame,
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+
     fn write(&self, kind: FrameKind, id: u64, body: &[u8]) -> Result<(), FrameError> {
         let mut s = self.stream.lock();
         write_frame(&mut *s, kind, id, body, self.max_frame)
+    }
+
+    /// Encode `msg` into the connection's scratch buffer and write the
+    /// frame — no per-frame body allocation.
+    fn write_msg<M: Wire>(&self, kind: FrameKind, id: u64, msg: &M) -> Result<(), FrameError> {
+        let mut buf = self.scratch.lock();
+        buf.clear();
+        msg.encode(&mut buf);
+        let mut s = self.stream.lock();
+        write_frame(&mut *s, kind, id, &buf, self.max_frame)
     }
 }
 
@@ -416,10 +438,7 @@ where
         });
 
         let writer_stream = stream.try_clone().map_err(|e| io_to_rpc(&e, to))?;
-        let writer = ConnWriter {
-            stream: Mutex::new(writer_stream),
-            max_frame: cfg.max_frame,
-        };
+        let writer = ConnWriter::new(writer_stream, cfg.max_frame);
         let wconn = Arc::clone(&conn);
         thread::Builder::new()
             .name(format!("wire-cli-w-{to}"))
@@ -444,8 +463,9 @@ where
                 };
                 // Any read failure — torn stream, oversized or malformed
                 // frame — ends the loop and the connection; the pool
-                // redials on the next call.
-                while let Ok(frame) = read_frame(&mut r, max_frame) {
+                // redials on the next call. Bodies arrive in a shared
+                // allocation so a large Data reply decodes zero-copy.
+                while let Ok(frame) = read_frame_shared(&mut r, max_frame) {
                     if frame.kind != FrameKind::Response {
                         // Servers only ever send responses on this
                         // connection; anything else is a protocol break.
@@ -453,7 +473,7 @@ where
                     }
                     let waiter = rconn.pending.lock().remove(&frame.id);
                     if let Some(tx) = waiter {
-                        let out = match Resp::decode_all(&frame.body) {
+                        let out = match Resp::decode_all_shared(&frame.body) {
                             Ok(v) => Ok(v),
                             // Every decode failure maps to the same
                             // verdict: the stream cannot be trusted.
@@ -591,10 +611,10 @@ where
 
     fn reply(self: Box<Self>, resp: Resp) {
         // A failed reply write means the client is gone; it will observe
-        // the outcome as Disconnected/Timeout and retry elsewhere.
-        let _ = self
-            .writer
-            .write(FrameKind::Response, self.id, &resp.encode_vec());
+        // the outcome as Disconnected/Timeout and retry elsewhere. The
+        // body encodes into the connection's scratch buffer — no
+        // per-reply allocation.
+        let _ = self.writer.write_msg(FrameKind::Response, self.id, &resp);
     }
 }
 
@@ -666,23 +686,20 @@ where
     })?;
     stream.set_read_timeout(Some(cfg.io_timeout))?;
 
-    let writer = Arc::new(ConnWriter {
-        stream: Mutex::new(stream.try_clone()?),
-        max_frame: cfg.max_frame,
-    });
+    let writer = Arc::new(ConnWriter::new(stream.try_clone()?, cfg.max_frame));
     let mut r = PatientReader {
         stream: &stream,
         stop,
     };
     loop {
-        let frame: Frame = match read_frame(&mut r, cfg.max_frame) {
+        let frame: SharedFrame = match read_frame_shared(&mut r, cfg.max_frame) {
             Ok(f) => f,
             // Peer went away or sent a malformed frame: either way the
             // conversation is over. lint:allow(err-catchall)
             Err(_) => return Ok(()),
         };
         match frame.kind {
-            FrameKind::Request => match Req::decode_all(&frame.body) {
+            FrameKind::Request => match Req::decode_all_shared(&frame.body) {
                 Ok(req) => {
                     let inbound: Box<dyn Inbound<Req, Resp>> = Box::new(TcpInbound {
                         from: hello.node,

@@ -50,6 +50,21 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
+    /// Wrap an already-shared buffer with zero copying.
+    pub fn from_shared(data: Arc<[u8]>) -> Self {
+        Bytes(Repr::Shared(data))
+    }
+
+    /// The shared backing of this buffer. Zero-copy for shared buffers
+    /// (the common case); a `'static` slice pays a one-time copy into a
+    /// fresh allocation.
+    pub fn into_shared(self) -> Arc<[u8]> {
+        match self.0 {
+            Repr::Static(s) => Arc::from(s),
+            Repr::Shared(a) => a,
+        }
+    }
+
     fn as_slice(&self) -> &[u8] {
         match &self.0 {
             Repr::Static(s) => s,
@@ -184,5 +199,17 @@ mod tests {
         let a = Bytes::from(vec![0u8; 1024]);
         let b = a.clone();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_round_trip_preserves_the_allocation() {
+        let arc: Arc<[u8]> = Arc::from(vec![7u8; 16]);
+        let b = Bytes::from_shared(Arc::clone(&arc));
+        let back = b.into_shared();
+        assert!(Arc::ptr_eq(&arc, &back), "no copy on the shared path");
+        assert_eq!(&back[..], &[7u8; 16]);
+        // A static buffer converts by copying once.
+        let s = Bytes::from_static(b"abc").into_shared();
+        assert_eq!(&s[..], b"abc");
     }
 }

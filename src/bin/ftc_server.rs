@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! ftc-server --node 0 --peers 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402 \
-//!     [--nvme-mb 256] [--files 64] [--size 65536] [--prefix train] \
+//!     [--nvme-mb 256] [--nvme-shards 16] [--files 64] [--size 65536] [--prefix train] \
 //!     [--stage PREFIX:COUNT:SIZE,...] [--prom] \
 //!     [--armored [--queue N] [--ttl-ms MS]]
 //! ```
@@ -43,7 +43,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: ftc-server --node N --peers HOST:PORT,... \
-[--nvme-mb MB] [--files N] [--size BYTES] [--prefix NAME] \
+[--nvme-mb MB] [--nvme-shards N] [--files N] [--size BYTES] [--prefix NAME] \
 [--stage PREFIX:COUNT:SIZE,...] [--prom] [--armored [--queue N] [--ttl-ms MS]]";
 
 /// Set by the SIGTERM handler; the main loop polls it and drains.
@@ -73,7 +73,16 @@ fn main() {
     let args = match Args::parse(
         std::env::args().skip(1),
         &[
-            "node", "peers", "nvme-mb", "files", "size", "prefix", "stage", "queue", "ttl-ms",
+            "node",
+            "peers",
+            "nvme-mb",
+            "nvme-shards",
+            "files",
+            "size",
+            "prefix",
+            "stage",
+            "queue",
+            "ttl-ms",
         ],
         &["prom", "armored"],
     ) {
@@ -93,6 +102,9 @@ fn main() {
         Err(e) => die(&e),
     };
     let nvme_mb: u64 = args.parsed_or("nvme-mb", 256).unwrap_or_else(|e| die(&e));
+    let nvme_shards: usize = args
+        .parsed_or("nvme-shards", 16)
+        .unwrap_or_else(|e| die(&e));
     let files: usize = args.parsed_or("files", 64).unwrap_or_else(|e| die(&e));
     let size: usize = args.parsed_or("size", 65_536).unwrap_or_else(|e| die(&e));
     let prefix = args.get("prefix").unwrap_or("train").to_string();
@@ -114,7 +126,10 @@ fn main() {
     for (prefix, count, size) in &specs {
         stage_dataset(&pfs, prefix, *count, *size);
     }
-    let cache = Arc::new(NvmeCache::new(nvme_mb * 1024 * 1024));
+    // Lock-striped on the real-socket path: concurrent reads from a
+    // fleet of clients hash to independent shards instead of serialising
+    // on one LRU lock. The capacity budget splits evenly per shard.
+    let cache = Arc::new(NvmeCache::sharded(nvme_mb * 1024 * 1024, nvme_shards));
 
     let transport: TcpTransport<CacheRequest, CacheResponse> =
         TcpTransport::from_peer_list(&peers, TcpConfig::default());

@@ -534,6 +534,21 @@ pub struct CampaignOptions {
     /// prevent — so the shed-false-positive invariant must fire (and
     /// dump the flight recorder). Implies `overload`.
     pub sabotage_shed: bool,
+    /// Fire a single-flight duplicate storm at every pass whose events
+    /// include a kill: [`DUP_READERS`] tasks sharing the client read the
+    /// about-to-be-orphaned keys in the same order, spawned *before* the
+    /// kill lands so the flights they share are open when the ring
+    /// rewires underneath them. Three invariants join the campaign: every storm read
+    /// returns ground truth (a follower can never accept a stale-epoch
+    /// value — integrity catches it, and with [`CampaignOptions::history`]
+    /// the linearizability checker sees the coalesced reads too), every
+    /// storm read resolves exactly once (leader, coalesced accept, or
+    /// independent stale retry — the counters must conserve), and the
+    /// storm actually coalesced (a storm the layer never saw proves
+    /// nothing). Ignored under `NoFt` (a kill legitimately fails its
+    /// reads) and under `overload` (which pins coalescing off so the
+    /// admission queue sees real duplicate load).
+    pub dup_storm: bool,
 }
 
 /// Result of running one campaign.
@@ -803,6 +818,17 @@ const SURGE_READERS: usize = 6;
 /// read the surge loses outright is a real bug.
 const GOODPUT_FLOOR_PCT: u64 = 99;
 
+/// Concurrent duplicate readers in the single-flight storm
+/// ([`CampaignOptions::dup_storm`]). They share one client and read the
+/// doomed keys in the same order, so flights overlap on every key — the
+/// shape the coalescing layer exists for.
+const DUP_READERS: usize = 3;
+
+/// Rounds each storm reader makes over the doomed keys: enough that
+/// flights are still open when the kill fires, with later rounds
+/// exercising fresh-epoch accepts against the rewired ring.
+const DUP_ROUNDS: usize = 3;
+
 /// How long the campaign waits after the last pass for the brownout
 /// posture to decay back out once the surge pressure is gone (virtual
 /// time in CI, so the wait is free).
@@ -1042,7 +1068,17 @@ pub fn run_campaign_on(
         };
         cfg.ft.overload = ftc_core::OverloadConfig::armored();
         cfg.ft.overload.shed_counts_as_failure = opts.sabotage_shed;
+        // The surge readers share one client and convoy on one key at a
+        // time — exactly the duplicate storm single-flight exists to
+        // absorb. Coalescing would collapse the surge into one RPC per
+        // key and the admission queue would never shed, so overload
+        // campaigns pin it off: the armor must be exercised by real
+        // duplicate load, not rescued by the coalescer upstream of it.
+        cfg.ft.coalesce = false;
     }
+    // The duplicate storm needs the coalescer in the path (overload pins
+    // it off) and reads that must succeed through a kill (NoFt's won't).
+    let storm_on = opts.dup_storm && policy != FtPolicy::NoFt && !overload_on;
     cfg.seed = plan.seed;
 
     let cluster = match Cluster::start_with_clock(cfg.clone(), clock.clone()) {
@@ -1161,6 +1197,7 @@ pub fn run_campaign_on(
     let mut aborted = false;
     let mut surge_issued = 0u64;
     let mut surge_ok = 0u64;
+    let mut storm_keys = 0u64;
 
     // Warm pass: healthy cluster, every read must verify.
     let mut warm_lats: Vec<Duration> = Vec::with_capacity(paths.len());
@@ -1195,6 +1232,85 @@ pub fn run_campaign_on(
     };
 
     'passes: for pass in 0..plan.passes {
+        // Single-flight duplicate storm: spawn duplicate readers over
+        // the keys this pass's kill is about to orphan, *before* the
+        // kill lands, so the flights they share are open when the ring
+        // rewires underneath them. A follower must then either accept
+        // the leader's result (publish epoch still current) or retry
+        // independently against the new ring — never accept a value
+        // published under the old regime. The storm reads only the
+        // doomed keys: hammering unrelated keys would pile timeout
+        // evidence onto flaky/degraded nodes and perturb the recache
+        // economy the other invariants calibrate against.
+        let storm_paths: Vec<usize> = if storm_on {
+            let mut doomed: Vec<NodeId> = Vec::new();
+            for ev in plan.events.iter().filter(|e| e.before_pass == pass) {
+                match ev.action {
+                    ChaosAction::Kill(n) => doomed.push(n),
+                    // Mirror the event handler's resolution below; reads
+                    // of healthy keys never move ownership, so the two
+                    // resolutions agree.
+                    ChaosAction::KillSuccessorOf(n) => {
+                        let target = paths
+                            .iter()
+                            .zip(&start_owners)
+                            .find(|(_, o)| **o == Some(n))
+                            .and_then(|(p, _)| client.owner_of(p));
+                        if let Some(t) = target.filter(|&t| t != n) {
+                            doomed.push(t);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            (0..paths.len())
+                .filter(|&i| {
+                    client
+                        .owner_of(&paths[i])
+                        .is_some_and(|o| doomed.contains(&o))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let storm_this_pass = !storm_paths.is_empty();
+        let mut storm_workers = Vec::new();
+        let storm_failed = Arc::new(AtomicU64::new(0));
+        let storm_before = client.metrics().snapshot();
+        if storm_this_pass {
+            storm_keys += storm_paths.len() as u64;
+            for r in 0..DUP_READERS {
+                let client = Arc::clone(&client);
+                let paths = paths.clone();
+                let truth = truth.clone();
+                let storm_paths = storm_paths.clone();
+                let failed = Arc::clone(&storm_failed);
+                let spawned = clock.spawn(&format!("dup-storm-{r}"), move || {
+                    // Several rounds so flights are still open when the
+                    // kill fires, and later rounds exercise fresh-epoch
+                    // accepts against the rewired ring.
+                    for _ in 0..DUP_ROUNDS {
+                        for &i in &storm_paths {
+                            if !matches!(client.read(&paths[i]), Ok(bytes) if bytes == truth[i]) {
+                                // ordering: Relaxed — per-task tally folded
+                                // in after join; no cross-task ordering
+                                // needed.
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+                match spawned {
+                    Ok(h) => storm_workers.push(h),
+                    Err(e) => violations.push(format!(
+                        "singleflight: storm reader {r} failed to spawn: {e}"
+                    )),
+                }
+            }
+            // Let the readers open their shared flights before the kill.
+            clock.sleep(Duration::from_micros(50));
+        }
+
         for ev in plan.events.iter().filter(|e| e.before_pass == pass) {
             match ev.action {
                 ChaosAction::Kill(n) => {
@@ -1248,6 +1364,43 @@ pub fn run_campaign_on(
                     debug_assert!(extra < CAMPAIGN_TTL);
                     cluster.network().delay_node(node, extra);
                 }
+            }
+        }
+
+        if storm_this_pass {
+            let expected = (storm_workers.len() * storm_paths.len() * DUP_ROUNDS) as u64;
+            for h in storm_workers {
+                if h.join().is_err() {
+                    violations.push("singleflight: a storm reader panicked".to_owned());
+                }
+            }
+            // ordering: Relaxed — readers are joined; the tally is final.
+            let failed = storm_failed.load(Ordering::Relaxed);
+            if failed > 0 {
+                violations.push(format!(
+                    "singleflight: {failed} storm read(s) lost ground truth across the kill"
+                ));
+            }
+            // Conservation: every storm read resolved exactly one way —
+            // led its flight, accepted a fresh-epoch publish, or walked
+            // the independent retry path after a stale/abandoned flight.
+            // Only the storm reads between the two snapshots (the main
+            // task is applying events, not reading).
+            let after = client.metrics().snapshot();
+            let led = after.singleflight_leaders - storm_before.singleflight_leaders;
+            let accepted = after.coalesced_reads - storm_before.coalesced_reads;
+            let retried = after.coalesced_stale_retries - storm_before.coalesced_stale_retries;
+            if led + accepted + retried != expected {
+                violations.push(format!(
+                    "singleflight: {expected} storm reads but {led} led + {accepted} \
+                     coalesced + {retried} stale-retried (reads unaccounted for)"
+                ));
+            }
+            if expected > 0 && accepted + retried == 0 {
+                violations.push(
+                    "singleflight: the duplicate storm never engaged the coalescing layer"
+                        .to_owned(),
+                );
             }
         }
 
@@ -1401,6 +1554,14 @@ pub fn run_campaign_on(
             } else {
                 0
             };
+        // Storm slack: a stormed key read mid-rewire can recache onto a
+        // node the campaign later removes (a flaky successor, a second
+        // kill) — one more fetch when it re-homes — and a follower's
+        // stale-epoch retry can re-fetch a key whose leader's result
+        // landed under the old regime. Both cost at most one extra
+        // fetch per stormed key; sequential campaigns never race the
+        // rewire this way, so the slack is storm-scoped.
+        let budget = budget + if storm_on { storm_keys } else { 0 };
         let fetched = after.pfs_fetches_via_server - warm.pfs_fetches_via_server;
         if fetched > budget {
             violations.push(format!(
@@ -2104,6 +2265,27 @@ mod tests {
         // identical across the replays.
         assert_eq!(a.detection_latencies(), b.detection_latencies());
         assert!(a.warm_read_p99.is_some());
+    }
+
+    #[test]
+    fn singleflight_storm_survives_a_kill_and_replays_byte_identically() {
+        let plan = ChaosPlan::scenario_failure_during_recache(17);
+        let opts = CampaignOptions {
+            recovery: RecoveryMode::Proactive,
+            dup_storm: true,
+            ..Default::default()
+        };
+        let a = run_campaign_virtual(FtPolicy::RingRecache, &plan, opts);
+        // passed() covers the storm invariants too: ground truth across
+        // the kill, leader/coalesced/stale-retry conservation, and the
+        // storm actually engaging the coalescing layer.
+        assert!(a.passed(), "storm campaign failed: {a}");
+        let b = run_campaign_virtual(FtPolicy::RingRecache, &plan, opts);
+        assert_eq!(
+            a.render(),
+            b.render(),
+            "the duplicate storm must not break byte-identical replay"
+        );
     }
 
     #[test]

@@ -407,7 +407,10 @@ fn linz_plan_mix(count: usize, base_seed: u64) -> Vec<(ChaosPlan, RecoveryMode)>
 
 /// Run `count` virtual campaigns with history recording and check every
 /// history for linearizability. The mix always includes the three named
-/// kill/revive scenarios and cycles lazy/proactive/adaptive recovery.
+/// kill/revive scenarios and cycles lazy/proactive/adaptive recovery;
+/// every campaign runs the single-flight duplicate storm
+/// ([`CampaignOptions::dup_storm`]) so coalesced reads are part of the
+/// checked histories.
 pub fn check_linz_campaigns(count: usize, base_seed: u64) -> LinzSummary {
     let mut summary = LinzSummary {
         campaigns: 0,
@@ -426,6 +429,12 @@ pub fn check_linz_campaigns(count: usize, base_seed: u64) -> LinzSummary {
             &plan,
             CampaignOptions {
                 recovery: mode,
+                // Duplicate readers race every kill, so the recorded
+                // histories contain coalesced (follower-accepted) reads
+                // and the epoch-freshness rule checks them too: a
+                // follower that accepted a stale-epoch publish would
+                // surface here as a linearizability violation.
+                dup_storm: true,
                 ..Default::default()
             },
         );
